@@ -1,0 +1,1 @@
+bench/harness.ml: Array Ddp_core Ddp_minir Ddp_util Ddp_workloads Domain Option Printf String Unix

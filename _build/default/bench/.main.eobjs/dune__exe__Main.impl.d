@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Ddp_analyses Ddp_baselines Ddp_core Ddp_minir Ddp_util Ddp_workloads Harness Hashtbl List Measure Printf Staged String Sys Test Time Toolkit

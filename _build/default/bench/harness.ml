@@ -1,0 +1,209 @@
+(* Shared machinery for the experiment harnesses: timing, calibration,
+   the multicore pipeline (makespan) model, and table printing.
+
+   Timing methodology (see DESIGN.md): the evaluation machine has one
+   core, so parallel-profiler wall clock cannot show multicore speedup.
+   Every timing experiment therefore reports
+   - measured wall-clock on this machine, and
+   - a modeled multicore time: the steady-state makespan of the
+     producer/consumer pipeline,
+       max(producer time, slowest worker's work) + merge,
+     with per-event costs calibrated from serial runs and queue
+     micro-benchmarks.  The model is the quantity a multicore run
+     measures when queues neither starve nor overflow. *)
+
+module Clock = Ddp_util.Clock
+module Config = Ddp_core.Config
+
+let fprintf = Printf.printf
+
+(* -- workload runs -------------------------------------------------------- *)
+
+type native_run = {
+  native_time : float;
+  events : int;
+  addresses : int;
+  lines : int;
+}
+
+let run_native ?(sched_seed = 42) prog_fn =
+  let prog = prog_fn () in
+  let t0 = Clock.now () in
+  let stats = Ddp_minir.Interp.run ~sched_seed prog in
+  let native_time = Clock.now () -. t0 in
+  { native_time; events = stats.accesses; addresses = stats.addresses; lines = stats.lines }
+
+let run_serial ?(sched_seed = 42) ~config prog_fn =
+  let prog = prog_fn () in
+  let profiler = Ddp_core.Serial_profiler.create_signature config in
+  let t0 = Clock.now () in
+  let stats = Ddp_minir.Interp.run ~sched_seed ~hooks:profiler.Ddp_core.Serial_profiler.hooks prog in
+  let time = Clock.now () -. t0 in
+  (time, stats, profiler)
+
+let run_parallel ?(sched_seed = 42) ?(mt = false) ~config prog_fn =
+  let prog = prog_fn () in
+  let t = Ddp_core.Parallel_profiler.create config in
+  Ddp_core.Parallel_profiler.start t;
+  let hooks = Ddp_core.Parallel_profiler.hooks t in
+  let hooks, front =
+    if mt then begin
+      let f = Ddp_core.Mt_frontend.create ~window:config.Config.reorder_window hooks in
+      (Ddp_core.Mt_frontend.hooks f, Some f)
+    end
+    else (hooks, None)
+  in
+  let t0 = Clock.now () in
+  let stats = Ddp_minir.Interp.run ~sched_seed ~hooks prog in
+  Option.iter Ddp_core.Mt_frontend.finish front;
+  let result = Ddp_core.Parallel_profiler.finish t in
+  let time = Clock.now () -. t0 in
+  let frontend_bytes =
+    match front with Some f -> Ddp_core.Mt_frontend.peak_bytes f | None -> 0
+  in
+  (time, stats, result, frontend_bytes)
+
+(* -- calibration ---------------------------------------------------------- *)
+
+type calibration = {
+  t_process : float;  (* consumer-side Algorithm 1 cost per event, seconds *)
+  t_route_lock_free : float;  (* producer-side chunk+queue cost per event *)
+  t_route_lock_based : float;
+  t_frontend : float;  (* MT reorder-window push layer cost per event *)
+  t_queue_chunk_lf : float;  (* contended transfer cost per chunk, lock-free *)
+  t_queue_chunk_lb : float;
+}
+
+(* Queue transfer cost per event under real producer/consumer contention:
+   a producer domain streams chunks to a consumer domain through the
+   queue; wall time over transported events.  This is where the
+   lock-based and lock-free designs actually differ — the uncontended
+   per-op costs are close, but the mutex serializes producer and
+   consumers on the pipeline's critical path. *)
+let queue_cost ~lock_free ~chunk_size =
+  let rounds = 4000 in
+  let chunk = Ddp_core.Chunk.create ~capacity:chunk_size in
+  let push, pop =
+    if lock_free then begin
+      let q = Ddp_core.Spsc_queue.create ~capacity:64 ~dummy:chunk in
+      ((fun c -> Ddp_core.Spsc_queue.try_push q c), fun () -> Ddp_core.Spsc_queue.try_pop q)
+    end
+    else begin
+      let q = Ddp_core.Locked_queue.create ~capacity:64 ~dummy:chunk in
+      ((fun c -> Ddp_core.Locked_queue.try_push q c), fun () -> Ddp_core.Locked_queue.try_pop q)
+    end
+  in
+  let backoff spins = if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05 in
+  let t0 = Clock.now () in
+  let consumer =
+    Domain.spawn (fun () ->
+        let received = ref 0 and spins = ref 0 in
+        while !received < rounds do
+          match pop () with
+          | Some _ ->
+            spins := 0;
+            incr received
+          | None ->
+            incr spins;
+            backoff !spins
+        done)
+  in
+  let spins = ref 0 in
+  for _ = 1 to rounds do
+    spins := 0;
+    while not (push chunk) do
+      incr spins;
+      backoff !spins
+    done
+  done;
+  Domain.join consumer;
+  (Clock.now () -. t0) /. float_of_int (rounds * chunk_size)
+
+(* Producer-side per-event routing cost (dispatch + chunk fill), measured
+   by filling chunks without any worker. *)
+let route_cost ~chunk_size =
+  let n = 300_000 in
+  let dispatch = Ddp_core.Dispatch.create ~workers:8 ~sample:16 ~hot_set_size:10 in
+  let chunk = Ddp_core.Chunk.create ~capacity:chunk_size in
+  let t0 = Clock.now () in
+  for i = 0 to n - 1 do
+    Ddp_core.Dispatch.note_access dispatch i;
+    let (_ : int) = Ddp_core.Dispatch.worker_of dispatch i in
+    if Ddp_core.Chunk.is_full chunk then Ddp_core.Chunk.clear chunk;
+    Ddp_core.Chunk.push chunk ~addr:i ~op:Ddp_core.Chunk.op_read ~payload:1 ~time:i
+  done;
+  (Clock.now () -. t0) /. float_of_int n
+
+(* Per-event cost of the Sec.-V push layer (reorder buffering), measured
+   by streaming a synthetic unlocked multi-thread event sequence through
+   an Mt_frontend wrapped around null hooks. *)
+let frontend_cost () =
+  let n = 200_000 in
+  let front = Ddp_core.Mt_frontend.create ~window:6 Ddp_minir.Event.null in
+  let hooks = Ddp_core.Mt_frontend.hooks front in
+  let loc = Ddp_minir.Loc.make ~file:1 ~line:1 in
+  let t0 = Clock.now () in
+  for i = 0 to n - 1 do
+    hooks.Ddp_minir.Event.on_write ~addr:(i land 63) ~loc ~var:0 ~thread:(1 + (i land 3)) ~time:i
+      ~locked:false
+  done;
+  Ddp_core.Mt_frontend.finish front;
+  (Clock.now () -. t0) /. float_of_int n
+
+(* Per-event consumer cost from a serial run of a calibration workload:
+   (serial - native) / events covers Algorithm 1 + dependence merging. *)
+let calibrate ~config () =
+  let prog_fn () = (Ddp_workloads.Registry.find "mg").Ddp_workloads.Wl.seq ~scale:1 in
+  let native = run_native prog_fn in
+  let serial_time, stats, _ = run_serial ~config prog_fn in
+  let t_process = (serial_time -. native.native_time) /. float_of_int stats.accesses in
+  let fill = route_cost ~chunk_size:config.Config.chunk_size in
+  let q_lf = queue_cost ~lock_free:true ~chunk_size:config.Config.chunk_size in
+  let q_lb = queue_cost ~lock_free:false ~chunk_size:config.Config.chunk_size in
+  {
+    t_process = max t_process 1e-9;
+    t_route_lock_free = fill +. q_lf;
+    t_route_lock_based = fill +. q_lb;
+    t_frontend = frontend_cost ();
+    t_queue_chunk_lf = q_lf *. float_of_int config.Config.chunk_size;
+    t_queue_chunk_lb = q_lb *. float_of_int config.Config.chunk_size;
+  }
+
+(* Modeled multicore wall time of a parallel profiling run.  [mt] adds
+   the Sec.-V push-layer cost to the producer term. *)
+let modeled_time ?(mt = false) cal ~lock_free ~native_time ~per_worker_events =
+  let events = Array.fold_left ( + ) 0 per_worker_events in
+  let t_route = if lock_free then cal.t_route_lock_free else cal.t_route_lock_based in
+  let t_route = if mt then t_route +. cal.t_frontend else t_route in
+  let producer = native_time +. (float_of_int events *. t_route) in
+  let slowest =
+    Array.fold_left (fun acc e -> max acc (float_of_int e *. cal.t_process)) 0.0 per_worker_events
+  in
+  max producer slowest
+
+(* Modeled time for a hypothetical worker count, assuming the observed
+   load distribution scales as its maximum share: used to trace the
+   speedup curve between serial and the saturated producer-bound
+   regime. *)
+let modeled_time_at ?(mt = false) cal ~lock_free ~native_time ~events ~workers ~imbalance =
+  let t_route = if lock_free then cal.t_route_lock_free else cal.t_route_lock_based in
+  let t_route = if mt then t_route +. cal.t_frontend else t_route in
+  let producer = native_time +. (float_of_int events *. t_route) in
+  let slowest =
+    float_of_int events /. float_of_int workers *. imbalance *. cal.t_process
+  in
+  max producer slowest
+
+(* -- output helpers ------------------------------------------------------- *)
+
+let rule () = fprintf "%s\n" (String.make 78 '-')
+
+let header title =
+  fprintf "\n";
+  rule ();
+  fprintf "%s\n" title;
+  rule ()
+
+let pp_slowdown x = Printf.sprintf "%.1fx" x
+
+let mib bytes = float_of_int bytes /. 1048576.0

@@ -1,0 +1,794 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Sec. VI and VII) plus the ablations called out in
+   DESIGN.md.
+
+     dune exec bench/main.exe                 -- all experiments
+     dune exec bench/main.exe -- table1 fig9  -- a selection
+     dune exec bench/main.exe -- --list
+
+   Experiment ids: table1 fig5 fig6 fig7 fig8 table2 fig9 eq2 merge
+   ablate-baselines ablate-war ablate-redist micro.
+   (fig5/fig7 share one measurement pass, as do fig6/fig8.)
+
+   See EXPERIMENTS.md for paper-vs-measured discussion; DESIGN.md for the
+   1-core makespan-model methodology. *)
+
+module Config = Ddp_core.Config
+module H = Harness
+module Wl = Ddp_workloads.Wl
+
+let fprintf = Printf.printf
+
+let bench_config =
+  {
+    Config.default with
+    slots = 1 lsl 20;
+    chunk_size = 1024;
+    queue_capacity = 64;
+    redistribution_interval = 500;
+    stats_sample = 16;
+  }
+
+let seq_prog name () = (Ddp_workloads.Registry.find name).Wl.seq ~scale:1
+
+let par_prog ?(threads = 4) name () =
+  match (Ddp_workloads.Registry.find name).Wl.par with
+  | Some par -> par ~threads ~scale:1
+  | None -> invalid_arg (name ^ " has no parallel variant")
+
+let nas_names = List.map (fun (w : Wl.t) -> w.name) Ddp_workloads.Registry.nas
+let star_names = List.map (fun (w : Wl.t) -> w.name) Ddp_workloads.Registry.starbench
+
+(* ==== Table I: accuracy of profiled dependences ========================== *)
+
+(* The paper sweeps 1e6 / 1e7 / 1e8 slots over workloads with 4e2..6e6
+   addresses.  Our scaled workloads touch 1e2..4e5 addresses, so the
+   sweep is scaled to keep the slots-to-addresses ratios comparable. *)
+let table1_slot_sizes = [ 1 lsl 12; 1 lsl 15; 1 lsl 19 ]
+
+let table1 () =
+  H.header
+    "Table I: false positive / false negative rates of profiled dependences (Starbench)";
+  fprintf "%-14s %5s %9s %10s %6s" "program" "LOC" "#addr" "#accesses" "#deps";
+  List.iter
+    (fun slots -> fprintf " | m=2^%-2d FPR%%  FNR%%" (int_of_float (log (float_of_int slots) /. log 2.0)))
+    table1_slot_sizes;
+  fprintf "\n";
+  let sums = Array.make (2 * List.length table1_slot_sizes) 0.0 in
+  let count = ref 0 in
+  List.iter
+    (fun name ->
+      let perfect =
+        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config:bench_config
+          (seq_prog name ())
+      in
+      fprintf "%-14s %5d %9d %10d %6d" name perfect.run_stats.lines perfect.run_stats.addresses
+        perfect.run_stats.accesses
+        (Ddp_core.Dep_store.distinct perfect.deps);
+      incr count;
+      List.iteri
+        (fun i slots ->
+          let o =
+            Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
+              ~config:{ bench_config with slots }
+              (seq_prog name ())
+          in
+          let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
+          sums.(2 * i) <- sums.(2 * i) +. acc.fpr;
+          sums.((2 * i) + 1) <- sums.((2 * i) + 1) +. acc.fnr;
+          fprintf " | %11.2f %5.2f" (100.0 *. acc.fpr) (100.0 *. acc.fnr))
+        table1_slot_sizes;
+      fprintf "\n%!")
+    star_names;
+  fprintf "%-14s %5s %9s %10s %6s" "average" "" "" "" "";
+  List.iteri
+    (fun i _ ->
+      fprintf " | %11.2f %5.2f"
+        (100.0 *. sums.(2 * i) /. float_of_int !count)
+        (100.0 *. sums.((2 * i) + 1) /. float_of_int !count))
+    table1_slot_sizes;
+  fprintf "\n";
+  fprintf
+    "shape check (paper: 24.5/5.4 -> 4.7/0.7 -> 0.35/0.04): rates fall steeply with slots.\n"
+
+(* ==== Fig. 5 + Fig. 7: sequential slowdown and memory =================== *)
+
+type seq_row = {
+  sr_name : string;
+  sr_suite : string;
+  sr_native : float;
+  sr_serial : float;
+  sr_serial_mem : int;
+  sr_events : int;
+  sr_imbalance : float;  (* max/mean worker load at 8 workers *)
+  sr_lb8 : float;  (* measured wall, lock-based 8 workers *)
+  sr_lb8_model : float;
+  sr_lf8 : float;
+  sr_lf8_model : float;
+  sr_lf8_mem : int;
+  sr_lf16 : float;
+  sr_lf16_model : float;
+  sr_lf16_mem : int;
+  sr_curve : (int * float) list;  (* modeled slowdown at 1/2/4/8/16 workers *)
+}
+
+let parallel_mem (r : Ddp_core.Parallel_profiler.result) =
+  r.signature_bytes + r.queue_bytes + r.chunk_bytes + r.dispatch_bytes
+  + Ddp_core.Dep_store.approx_bytes r.deps
+
+(* The paper fixes the signature size *per profiling thread* (6.25e6
+   slots each, aggregating to 1e8 at 16 threads), so signature memory
+   grows with the thread count; we scale the same way: [slots_per_worker]
+   each, the serial profiler getting the 16-worker aggregate. *)
+let slots_per_worker = bench_config.Config.slots / 16
+
+let seq_config ~workers ~lock_free =
+  { bench_config with workers; lock_free; slots = slots_per_worker * workers }
+
+let measure_seq cal name suite =
+  let prog_fn = seq_prog name in
+  let native = H.run_native prog_fn in
+  let serial_time, _, sp = H.run_serial ~config:bench_config prog_fn in
+  let serial_mem =
+    sp.Ddp_core.Serial_profiler.store_bytes ()
+    + Ddp_core.Dep_store.approx_bytes sp.Ddp_core.Serial_profiler.deps
+  in
+  let run ~workers ~lock_free =
+    let config = seq_config ~workers ~lock_free in
+    let time, _, result, _ = H.run_parallel ~config prog_fn in
+    let model =
+      H.modeled_time cal ~lock_free ~native_time:native.native_time
+        ~per_worker_events:result.per_worker_events
+    in
+    (time, model, parallel_mem result, result)
+  in
+  let lb8, lb8_model, _, _ = run ~workers:8 ~lock_free:false in
+  let lf8, lf8_model, lf8_mem, r8 = run ~workers:8 ~lock_free:true in
+  let lf16, lf16_model, lf16_mem, _ = run ~workers:16 ~lock_free:true in
+  let imbalance =
+    Ddp_util.Stats.imbalance (Array.map float_of_int r8.per_worker_events)
+  in
+  let events = Array.fold_left ( + ) 0 r8.per_worker_events in
+  let curve =
+    List.map
+      (fun workers ->
+        ( workers,
+          H.modeled_time_at cal ~lock_free:true ~native_time:native.native_time ~events ~workers
+            ~imbalance
+          /. native.native_time ))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  {
+    sr_name = name;
+    sr_suite = suite;
+    sr_native = native.native_time;
+    sr_serial = serial_time;
+    sr_serial_mem = serial_mem;
+    sr_events = events;
+    sr_imbalance = imbalance;
+    sr_lb8 = lb8;
+    sr_lb8_model = lb8_model;
+    sr_lf8 = lf8;
+    sr_lf8_model = lf8_model;
+    sr_lf8_mem = lf8_mem;
+    sr_lf16 = lf16;
+    sr_lf16_model = lf16_model;
+    sr_lf16_mem = lf16_mem;
+    sr_curve = curve;
+  }
+
+let seq_rows = ref ([] : seq_row list)
+
+let get_seq_rows () =
+  if !seq_rows = [] then begin
+    let cal = H.calibrate ~config:bench_config () in
+    fprintf
+      "calibration: t_process=%.0f ns/ev, t_route(lock-free)=%.0f ns/ev, t_route(lock-based)=%.0f ns/ev\n"
+      (1e9 *. cal.H.t_process)
+      (1e9 *. cal.H.t_route_lock_free)
+      (1e9 *. cal.H.t_route_lock_based);
+    fprintf
+      "             contended queue transfer: %.2f us/chunk lock-free vs %.2f us/chunk lock-based (%.1fx);\n\
+      \             at %d accesses/chunk the queue cost amortizes to <1%% of routing, so the\n\
+      \             model predicts near-parity; any lock-free gain appears only in the\n\
+      \             measured (contended) columns, and 1-core timeslicing makes those noisy.\n%!"
+      (1e6 *. cal.H.t_queue_chunk_lf) (1e6 *. cal.H.t_queue_chunk_lb)
+      (cal.H.t_queue_chunk_lb /. cal.H.t_queue_chunk_lf)
+      bench_config.Config.chunk_size;
+    seq_rows :=
+      List.map (fun n -> measure_seq cal n "NAS") nas_names
+      @ List.map (fun n -> measure_seq cal n "Starbench") star_names
+  end;
+  !seq_rows
+
+let avg f rows = Ddp_util.Stats.mean (Array.of_list (List.map f rows))
+
+let fig5 () =
+  H.header "Fig. 5: profiler slowdowns, sequential NAS + Starbench";
+  fprintf "(measured = 1-core wall clock; modeled = multicore pipeline makespan)\n";
+  let rows = get_seq_rows () in
+  fprintf "%-14s | %8s | %9s %9s %9s | %9s %9s %9s\n" "program" "serial" "8T-lock" "8T-free"
+    "16T-free" "8T-lock*" "8T-free*" "16T-free*";
+  fprintf "%-14s | %8s | %27s | %29s\n" "" "" "measured slowdown (1 core)"
+    "modeled multicore slowdown";
+  let print_row r =
+    let s x = x /. r.sr_native in
+    fprintf "%-14s | %8s | %9s %9s %9s | %9s %9s %9s\n" r.sr_name
+      (H.pp_slowdown (s r.sr_serial))
+      (H.pp_slowdown (s r.sr_lb8))
+      (H.pp_slowdown (s r.sr_lf8))
+      (H.pp_slowdown (s r.sr_lf16))
+      (H.pp_slowdown (s r.sr_lb8_model))
+      (H.pp_slowdown (s r.sr_lf8_model))
+      (H.pp_slowdown (s r.sr_lf16_model))
+  in
+  List.iter print_row rows;
+  let averages suite =
+    let rs = List.filter (fun r -> r.sr_suite = suite) rows in
+    fprintf "%-14s | %8s | %9s %9s %9s | %9s %9s %9s\n" (suite ^ "-average")
+      (H.pp_slowdown (avg (fun r -> r.sr_serial /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lb8 /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lf8 /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lf16 /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lb8_model /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lf8_model /. r.sr_native) rs))
+      (H.pp_slowdown (avg (fun r -> r.sr_lf16_model /. r.sr_native) rs))
+  in
+  averages "NAS";
+  averages "Starbench";
+  fprintf "\nmodeled slowdown curve vs profiling threads (lock-free; the paper's scaling story):\n";
+  fprintf "%-14s %9s %9s %9s %9s %9s %9s  %s\n" "program" "serial" "W=1" "W=2" "W=4" "W=8"
+    "W=16" "imbalance";
+  List.iter
+    (fun r ->
+      fprintf "%-14s %9s" r.sr_name (H.pp_slowdown (r.sr_serial /. r.sr_native));
+      List.iter (fun (_, s) -> fprintf " %9s" (H.pp_slowdown s)) r.sr_curve;
+      fprintf " %9.2f\n" r.sr_imbalance)
+    rows;
+  fprintf
+    "shape check (paper: serial 190x -> 8T ~100x -> 16T ~78-93x, i.e. 2.4x speedup\n\
+     at 16T, sub-linear; lock-free beats lock-based by 1.3-1.6x): the modeled curve\n\
+     must fall with workers and then saturate at the producer bound, with skewed\n\
+     workloads (high imbalance, cf. md5/kmeans) saturating earlier — the paper's\n\
+     own explanation for its non-linear speedup (Sec. VI-B).\n"
+
+let fig7 () =
+  H.header "Fig. 7: profiler memory consumption, sequential NAS + Starbench (accounted bytes)";
+  let rows = get_seq_rows () in
+  fprintf "%-14s %12s %12s %12s\n" "program" "serial(MiB)" "8T(MiB)" "16T(MiB)";
+  List.iter
+    (fun r ->
+      fprintf "%-14s %12.1f %12.1f %12.1f\n" r.sr_name (H.mib r.sr_serial_mem)
+        (H.mib r.sr_lf8_mem) (H.mib r.sr_lf16_mem))
+    rows;
+  let averages suite =
+    let rs = List.filter (fun r -> r.sr_suite = suite) rows in
+    fprintf "%-14s %12.1f %12.1f %12.1f\n" (suite ^ "-average")
+      (H.mib (int_of_float (avg (fun r -> float_of_int r.sr_serial_mem) rs)))
+      (H.mib (int_of_float (avg (fun r -> float_of_int r.sr_lf8_mem) rs)))
+      (H.mib (int_of_float (avg (fun r -> float_of_int r.sr_lf16_mem) rs)))
+  in
+  averages "NAS";
+  averages "Starbench";
+  fprintf
+    "shape check (paper: 473-505 MB at 8T, 649-1390 MB at 16T, signatures dominate):\n\
+     signature bytes scale with total slots; queue/chunk pools grow with workers.\n"
+
+(* ==== Fig. 6 + Fig. 8: multi-threaded targets ============================ *)
+
+type mt_row = {
+  mr_name : string;
+  mr_native : float;
+  mr_w8 : float;
+  mr_w8_model : float;
+  mr_w8_mem : int;
+  mr_w16 : float;
+  mr_w16_model : float;
+  mr_w16_mem : int;
+  mr_races : int;
+}
+
+let mt_rows = ref ([] : mt_row list)
+
+let get_mt_rows () =
+  if !mt_rows = [] then begin
+    let cal = H.calibrate ~config:bench_config () in
+    mt_rows :=
+      List.map
+        (fun name ->
+          let prog_fn = par_prog ~threads:4 name in
+          let native = H.run_native prog_fn in
+          let run workers =
+            let config =
+              { (seq_config ~workers ~lock_free:true) with check_timestamps = true }
+            in
+            let time, _, result, mt_bytes = H.run_parallel ~mt:true ~config prog_fn in
+            let model =
+              H.modeled_time ~mt:true cal ~lock_free:true ~native_time:native.H.native_time
+                ~per_worker_events:result.per_worker_events
+            in
+            (time, model, parallel_mem result + mt_bytes, result)
+          in
+          let w8, w8_model, w8_mem, _ = run 8 in
+          let w16, w16_model, w16_mem, r16 = run 16 in
+          {
+            mr_name = name;
+            mr_native = native.H.native_time;
+            mr_w8 = w8;
+            mr_w8_model = w8_model;
+            mr_w8_mem = w8_mem;
+            mr_w16 = w16;
+            mr_w16_model = w16_model;
+            mr_w16_mem = w16_mem;
+            mr_races = Ddp_analyses.Race_report.count r16.Ddp_core.Parallel_profiler.deps;
+          })
+        star_names
+  end;
+  !mt_rows
+
+let fig6 () =
+  H.header "Fig. 6: profiler slowdown, parallel Starbench targets (pthread-style, 4 threads)";
+  let rows = get_mt_rows () in
+  fprintf "%-14s | %9s %9s | %9s %9s | %6s\n" "program" "8T-wall" "16T-wall" "8T-model"
+    "16T-model" "races";
+  List.iter
+    (fun r ->
+      fprintf "%-14s | %9s %9s | %9s %9s | %6d\n" r.mr_name
+        (H.pp_slowdown (r.mr_w8 /. r.mr_native))
+        (H.pp_slowdown (r.mr_w16 /. r.mr_native))
+        (H.pp_slowdown (r.mr_w8_model /. r.mr_native))
+        (H.pp_slowdown (r.mr_w16_model /. r.mr_native))
+        r.mr_races)
+    rows;
+  fprintf "%-14s | %9s %9s | %9s %9s |\n" "average"
+    (H.pp_slowdown (avg (fun r -> r.mr_w8 /. r.mr_native) rows))
+    (H.pp_slowdown (avg (fun r -> r.mr_w16 /. r.mr_native) rows))
+    (H.pp_slowdown (avg (fun r -> r.mr_w8_model /. r.mr_native) rows))
+    (H.pp_slowdown (avg (fun r -> r.mr_w16_model /. r.mr_native) rows));
+  fprintf
+    "shape check (paper: 346x at 8T -> 261x at 16T, higher than sequential profiling):\n\
+     MT overhead exceeds the sequential case (reorder buffers, timestamps), and the\n\
+     modeled slowdown falls with more profiling threads.\n"
+
+let fig8 () =
+  H.header "Fig. 8: profiler memory, parallel Starbench targets (accounted bytes)";
+  let rows = get_mt_rows () in
+  fprintf "%-14s %12s %12s\n" "program" "8T(MiB)" "16T(MiB)";
+  List.iter
+    (fun r -> fprintf "%-14s %12.1f %12.1f\n" r.mr_name (H.mib r.mr_w8_mem) (H.mib r.mr_w16_mem))
+    rows;
+  fprintf "%-14s %12.1f %12.1f\n" "average"
+    (H.mib (int_of_float (avg (fun r -> float_of_int r.mr_w8_mem) rows)))
+    (H.mib (int_of_float (avg (fun r -> float_of_int r.mr_w16_mem) rows)));
+  fprintf
+    "shape check (paper: 995 MB at 8T / 1920 MB at 16T, above the sequential case):\n\
+     memory grows with profiling threads and exceeds the Fig. 7 numbers.\n"
+
+(* ==== Table II: parallelizable-loop detection ============================ *)
+
+let table2 () =
+  H.header "Table II: detection of parallelizable loops in NAS benchmarks";
+  fprintf "%-8s %7s %15s %16s %9s\n" "program" "# OMP" "# identified(DP)" "# identified(sig)"
+    "# missed";
+  let totals = Array.make 4 0 in
+  List.iter
+    (fun name ->
+      let prog () = seq_prog name () in
+      let dp = Ddp_analyses.Loop_parallelism.analyze ~perfect:true (prog ()) in
+      let sg =
+        Ddp_analyses.Loop_parallelism.analyze ~config:bench_config ~perfect:false (prog ())
+      in
+      let missed_vs_dp = dp.identified - sg.identified in
+      fprintf "%-8s %7d %15d %16d %9d\n" name dp.annotated_total dp.identified sg.identified
+        missed_vs_dp;
+      totals.(0) <- totals.(0) + dp.annotated_total;
+      totals.(1) <- totals.(1) + dp.identified;
+      totals.(2) <- totals.(2) + sg.identified;
+      totals.(3) <- totals.(3) + missed_vs_dp)
+    nas_names;
+  fprintf "%-8s %7d %15d %16d %9d\n" "Overall" totals.(0) totals.(1) totals.(2) totals.(3);
+  fprintf
+    "shape check (paper: 136/147 identified, signature misses 0 vs DiscoPoP): the\n\
+     signature column must equal the DP column (0 missed), with some annotated\n\
+     loops unprovable for both (atomics/criticals invisible to dependence tests).\n"
+
+(* ==== Fig. 9: communication pattern ===================================== *)
+
+let fig9 () =
+  H.header "Fig. 9: communication pattern of water-spatial (4 worker threads)";
+  let prog = Ddp_workloads.Water_spatial.par ~threads:4 ~scale:2 in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let m = Ddp_analyses.Comm_pattern.workers_only (Ddp_analyses.Comm_pattern.of_deps outcome.deps) in
+  print_string (Ddp_analyses.Comm_pattern.render m);
+  let total = Ddp_analyses.Comm_pattern.total_volume m in
+  let banded = ref 0.0 in
+  let n = Ddp_util.Matrix.rows m in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      if abs (r - c) = 1 then banded := !banded +. Ddp_util.Matrix.get m r c
+    done
+  done;
+  fprintf "cross-thread RAW volume: %.0f; neighbour-band share: %.1f%%\n" total
+    (100.0 *. !banded /. total);
+  fprintf
+    "shape check (paper Fig. 9): halo exchange between adjacent slab owners gives a\n\
+     banded matrix; the lock-protected global sum adds a faint background.\n"
+
+(* ==== Eq. (2): FPR model ================================================= *)
+
+let eq2 () =
+  H.header "Eq. (2): predicted vs measured false-positive behaviour";
+  List.iter
+    (fun name ->
+      let prog_fn = seq_prog name in
+      let native = H.run_native prog_fn in
+      let perfect =
+        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config:bench_config
+          (prog_fn ())
+      in
+      fprintf "%s (%d addresses):\n" name native.H.addresses;
+      List.iter
+        (fun slots ->
+          let predicted = Ddp_core.Fpr_model.p_fp ~slots ~addresses:native.H.addresses in
+          let o =
+            Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
+              ~config:{ bench_config with slots }
+              (prog_fn ())
+          in
+          let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
+          fprintf "  slots %8d: predicted slot collision %6.2f%%   measured dep FPR %6.2f%% FNR %5.2f%%\n"
+            slots (100.0 *. predicted) (100.0 *. acc.fpr) (100.0 *. acc.fnr))
+        [ 1 lsl 12; 1 lsl 14; 1 lsl 16; 1 lsl 18; 1 lsl 20 ])
+    [ "rotate"; "rgbyuv"; "streamcluster" ];
+  fprintf
+    "shape check: measured FPR/FNR fall monotonically as predicted collision falls;\n\
+     P_fp is inversely proportional to m and proportional to n (paper Sec. VI-A).\n"
+
+(* ==== merging ablation =================================================== *)
+
+let merge () =
+  H.header "Merging identical dependences (paper Sec. III-B: ~1e5x output reduction)";
+  fprintf "%-14s %12s %10s %12s %14s\n" "program" "occurrences" "distinct" "merge-factor"
+    "est. raw size";
+  List.iter
+    (fun name ->
+      let o =
+        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config:bench_config
+          (seq_prog name ())
+      in
+      (* ~40 bytes per textual dependence record, the paper's 6.1 GB -> 53 KB
+         comparison in miniature *)
+      let raw_bytes = 40 * Ddp_core.Dep_store.total_occurrences o.deps in
+      fprintf "%-14s %12d %10d %11.0fx %11.1f MiB\n" name
+        (Ddp_core.Dep_store.total_occurrences o.deps)
+        (Ddp_core.Dep_store.distinct o.deps)
+        (Ddp_core.Dep_store.merge_factor o.deps)
+        (H.mib raw_bytes))
+    nas_names
+
+(* ==== baselines ablation ================================================= *)
+
+let ablate_baselines () =
+  H.header "Ablation: signature vs hash table vs shadow memory (paper Sec. III-B)";
+  (* The comparison is made on a pre-recorded access trace (flat int
+     arrays), so the measured time is purely the store's: this mirrors
+     the paper's setting, where instrumentation is cheap native code and
+     the access-record bookkeeping dominates. *)
+  let n = 3_000_000 in
+  let distinct = 200_000 in
+  let rng = Ddp_util.Rng.create 17 in
+  let addrs = Array.init n (fun _ -> Ddp_util.Rng.int rng distinct) in
+  let is_write = Array.init n (fun _ -> Ddp_util.Rng.bool rng) in
+  let payload = Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line:1) ~var:0 ~thread:0 in
+  let replay (type a) (module A : Ddp_core.Algo.S with type t = a) (algo : a) =
+    let t0 = Ddp_util.Clock.now () in
+    for i = 0 to n - 1 do
+      if is_write.(i) then A.on_write algo ~addr:addrs.(i) ~payload ~time:i
+      else A.on_read algo ~addr:addrs.(i) ~payload ~time:i
+    done;
+    Ddp_util.Clock.now () -. t0
+  in
+  (* signature *)
+  let deps = Ddp_core.Dep_store.create () in
+  let sig_r = Ddp_core.Sig_store.create ~slots:bench_config.Config.slots () in
+  let sig_w = Ddp_core.Sig_store.create ~slots:bench_config.Config.slots () in
+  let algo_sig = Ddp_core.Algo.Over_signature.create ~reads:sig_r ~writes:sig_w ~deps () in
+  let t_sig = replay (module Ddp_core.Algo.Over_signature) algo_sig in
+  let m_sig = Ddp_core.Sig_store.bytes sig_r + Ddp_core.Sig_store.bytes sig_w in
+  (* chained hash table *)
+  let deps2 = Ddp_core.Dep_store.create () in
+  let h_r = Ddp_baselines.Hash_profiler.create () in
+  let h_w = Ddp_baselines.Hash_profiler.create () in
+  let algo_h = Ddp_baselines.Hash_profiler.Algo.create ~reads:h_r ~writes:h_w ~deps:deps2 () in
+  let t_hash = replay (module Ddp_baselines.Hash_profiler.Algo) algo_h in
+  let m_hash = Ddp_baselines.Hash_profiler.bytes h_r + Ddp_baselines.Hash_profiler.bytes h_w in
+  (* paged shadow *)
+  let deps3 = Ddp_core.Dep_store.create () in
+  let p_r = Ddp_baselines.Shadow_memory.Paged.create () in
+  let p_w = Ddp_baselines.Shadow_memory.Paged.create () in
+  let algo_p =
+    Ddp_baselines.Shadow_memory.Algo_paged.create ~reads:p_r ~writes:p_w ~deps:deps3 ()
+  in
+  let t_paged = replay (module Ddp_baselines.Shadow_memory.Algo_paged) algo_p in
+  let m_paged =
+    Ddp_baselines.Shadow_memory.Paged.bytes p_r + Ddp_baselines.Shadow_memory.Paged.bytes p_w
+  in
+  fprintf "trace: %d accesses over %d distinct addresses\n" n distinct;
+  fprintf "%-22s %10s %12s %12s\n" "store" "time(s)" "ns/access" "memory(MiB)";
+  fprintf "%-22s %10.3f %12.1f %12.2f\n" "signature" t_sig
+    (1e9 *. t_sig /. float_of_int n)
+    (H.mib m_sig);
+  fprintf "%-22s %10.3f %12.1f %12.2f   (%.2fx vs signature)\n" "chained hash table" t_hash
+    (1e9 *. t_hash /. float_of_int n)
+    (H.mib m_hash) (t_hash /. t_sig);
+  fprintf "%-22s %10.3f %12.1f %12.2f   (%.2fx vs signature)\n" "paged shadow memory" t_paged
+    (1e9 *. t_paged /. float_of_int n)
+    (H.mib m_paged) (t_paged /. t_sig);
+  (* flat shadow under realistic (sparse) pointer spread *)
+  (* Flat shadow memory pays for the whole address range.  Under a
+     realistic 4096x pointer spread the table for this trace would need
+     ~13 GiB — the paper's "impossible ... if no more than 16 GB of
+     memory is available" case — so the requirement is computed, and
+     demonstrated by allocation only on a 1000-address slice. *)
+  let spread_factor = 4096 in
+  let full_range =
+    Ddp_baselines.Shadow_memory.Addr_spread.spread ~factor:spread_factor (distinct - 1) + 1
+  in
+  fprintf "%-22s %10s %12s %12.2f   (computed: flat table over a %dx-spread space)\n"
+    "flat shadow memory" "-" "-"
+    (H.mib (full_range * 16))
+    spread_factor;
+  let flat = Ddp_baselines.Shadow_memory.Flat.create () in
+  for a = 0 to 999 do
+    Ddp_baselines.Shadow_memory.Flat.set flat
+      ~addr:(Ddp_baselines.Shadow_memory.Addr_spread.spread ~factor:spread_factor a)
+      ~payload:1 ~time:0
+  done;
+  fprintf "%-22s %10s %12s %12.2f   (allocated: same layout, first 1000 addresses)\n"
+    "  (1000-addr slice)" "-" "-"
+    (H.mib (Ddp_baselines.Shadow_memory.Flat.bytes flat));
+  fprintf
+    "shape check (paper: hash table 1.5-3.7x slower than signatures; flat shadow\n\
+     infeasible on sparse address spaces; signatures bound memory by construction).\n"
+
+(* ==== WAR pseudocode ablation ============================================ *)
+
+let ablate_war () =
+  H.header "Ablation: literal Algorithm 1 WAR (requires prior write) vs prose behaviour";
+  fprintf "%-14s %12s %14s %10s\n" "program" "WAR (prose)" "WAR (literal)" "lost";
+  List.iter
+    (fun name ->
+      let war_count config =
+        let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (seq_prog name ()) in
+        let _, war, _, _, _ = Ddp_core.Report.kind_counts o.deps in
+        war
+      in
+      let prose = war_count bench_config in
+      let literal = war_count { bench_config with war_requires_prior_write = true } in
+      fprintf "%-14s %12d %14d %9.1f%%\n" name prose literal
+        (100.0 *. float_of_int (prose - literal) /. float_of_int (max prose 1)))
+    [ "is"; "cg"; "mg"; "c-ray"; "kmeans"; "tinyjpeg" ];
+  (* The workloads above initialize arrays before reading them, so both
+     variants agree there.  An in-place update of *externally initialized*
+     data (zero-filled buffers, memory-mapped input) reads before any
+     recorded write — the case the literal pseudocode silently drops. *)
+  let module B = Ddp_minir.Builder in
+  let inplace () =
+    B.program ~name:"inplace"
+      [
+        B.arr "buf" (B.i 256);
+        (* scale in place: read buf[i] (never written), then overwrite *)
+        B.for_ "i" (B.i 0) (B.i 256) (fun iv ->
+            [ B.store "buf" iv B.(idx "buf" iv *: i 3) ]);
+      ]
+  in
+  let war_of config =
+    let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (inplace ()) in
+    let _, war, _, _, _ = Ddp_core.Report.kind_counts o.deps in
+    war
+  in
+  let prose = war_of bench_config in
+  let literal = war_of { bench_config with war_requires_prior_write = true } in
+  fprintf "%-14s %12d %14d %9.1f%%   (uninitialized-input update)\n" "inplace-scale" prose
+    literal
+    (100.0 *. float_of_int (prose - literal) /. float_of_int (max prose 1));
+  fprintf
+    "the literal pseudocode silently drops WAR dependences whose address was read\n\
+     but never previously written (externally initialized / zero-filled inputs);\n\
+     on write-before-read workloads the two variants agree.\n"
+
+(* ==== redistribution ablation ============================================ *)
+
+(* A histogram whose counters sit at stride-W addresses: under the modulo
+   rule every hot counter lands on the *same* worker — the pathological
+   skew the paper's redistribution exists for.  (Real workloads below it
+   for contrast: their hot scalars have consecutive addresses, which the
+   modulo rule already spreads, so redistribution rarely fires — matching
+   the paper's "at most 20 times per benchmark".) *)
+let skewed_histogram () =
+  let module B = Ddp_minir.Builder in
+  let w = 8 in
+  B.program ~name:"skewed-histogram"
+    [
+      B.arr "h" (B.i (w * w));
+      Ddp_workloads.Wl.zero_loop "h" (w * w);
+      B.for_ "i" (B.i 0) (B.i 150_000) (fun _ ->
+          [
+            B.local "b" B.(rand_int (i w) *: i w);  (* hot cells at stride 8 *)
+            B.store "h" (B.v "b") B.(idx "h" (v "b") +: i 1);
+          ]);
+    ]
+
+let ablate_redist () =
+  H.header "Ablation: hot-address redistribution (paper Sec. IV-A)";
+  fprintf "%-18s %12s %14s %14s %12s\n" "program" "redistrib." "imbalance-on" "imbalance-off"
+    "model-gain";
+  let cases =
+    ("skewed-histogram", fun () -> skewed_histogram ())
+    :: List.map (fun name -> (name, seq_prog name)) [ "md5"; "kmeans"; "streamcluster" ]
+  in
+  List.iter
+    (fun (name, prog_fn) ->
+      let run interval =
+        let config =
+          { bench_config with workers = 8; redistribution_interval = interval; stats_sample = 4 }
+        in
+        let _, _, result, _ = H.run_parallel ~config prog_fn in
+        result
+      in
+      let on = run 50 in
+      let off = run 0 in
+      let imb (r : Ddp_core.Parallel_profiler.result) =
+        Ddp_util.Stats.imbalance (Array.map float_of_int r.per_worker_events)
+      in
+      let max_events (r : Ddp_core.Parallel_profiler.result) =
+        Array.fold_left max 0 r.per_worker_events
+      in
+      fprintf "%-18s %12d %14.2f %14.2f %11.2fx\n" name on.redistributions (imb on) (imb off)
+        (float_of_int (max_events off) /. float_of_int (max 1 (max_events on))))
+    cases;
+  fprintf
+    "imbalance = max worker events / mean; the modeled multicore time is bounded by\n\
+     the slowest worker, so lowering imbalance lowers the makespan (model-gain).\n\
+     Redistribution fires on the stride-congruent histogram and stays quiet on\n\
+     workloads the modulo rule already balances (paper: <= 20 redistributions).\n"
+
+(* ==== set-based profiling ablation ======================================= *)
+
+let ablate_sections () =
+  H.header
+    "Ablation: statement-level vs set-based (loop-section) profiling (paper Sec. VI-B)";
+  fprintf "%-14s | %10s %10s | %10s %10s | %8s\n" "program" "stmt-deps" "sect-deps" "stmt-time"
+    "sect-time" "dep-cut";
+  List.iter
+    (fun name ->
+      let run section_level =
+        let config = { bench_config with section_level } in
+        let t0 = Ddp_util.Clock.now () in
+        let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (seq_prog name ()) in
+        (Ddp_core.Dep_store.distinct o.deps, Ddp_util.Clock.now () -. t0)
+      in
+      let stmt_deps, stmt_time = run false in
+      let sect_deps, sect_time = run true in
+      fprintf "%-14s | %10d %10d | %9.2fs %9.2fs | %7.1fx\n" name stmt_deps sect_deps stmt_time
+        sect_time
+        (float_of_int stmt_deps /. float_of_int (max 1 sect_deps)))
+    [ "is"; "cg"; "mg"; "c-ray"; "tinyjpeg"; "h264dec" ];
+  fprintf
+    "set-based profiling reports dependences between code sections instead of\n\
+     statements.  Measured: the cut is small (1.0-1.2x) and runtime does not\n\
+     improve — post-merge dependence sets are already tiny, and loop-boundary\n\
+     accesses (bound evaluation before entry) can even split across sections.\n\
+     This supports the paper's choice to stay statement-level for generality\n\
+     (Sec. VI-B); the offline equivalent is Dep_graph.collapse_to_regions.\n"
+
+(* ==== bechamel micro-benchmarks ========================================== *)
+
+let micro () =
+  H.header "Micro-benchmarks of the profiler's hot kernels (bechamel)";
+  let open Bechamel in
+  let sig_store = Ddp_core.Sig_store.create ~slots:(1 lsl 16) () in
+  let perfect = Ddp_core.Perfect_sig.create () in
+  let hash = Ddp_baselines.Hash_profiler.create () in
+  let dispatch = Ddp_core.Dispatch.create ~workers:8 ~sample:16 ~hot_set_size:10 in
+  let chunk = Ddp_core.Chunk.create ~capacity:1024 in
+  let spsc = Ddp_core.Spsc_queue.create ~capacity:8 ~dummy:chunk in
+  let locked = Ddp_core.Locked_queue.create ~capacity:8 ~dummy:chunk in
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter land 0xFFFF
+  in
+  let tests =
+    [
+      Test.make ~name:"sig_store set+probe"
+        (Staged.stage (fun () ->
+             let a = next () in
+             Ddp_core.Sig_store.set sig_store ~addr:a ~payload:1 ~time:a;
+             Ddp_core.Sig_store.probe sig_store ~addr:a));
+      Test.make ~name:"perfect_sig set+probe"
+        (Staged.stage (fun () ->
+             let a = next () in
+             Ddp_core.Perfect_sig.set perfect ~addr:a ~payload:1 ~time:a;
+             Ddp_core.Perfect_sig.probe perfect ~addr:a));
+      Test.make ~name:"hash_table set+probe"
+        (Staged.stage (fun () ->
+             let a = next () in
+             Ddp_baselines.Hash_profiler.set hash ~addr:a ~payload:1 ~time:a;
+             Ddp_baselines.Hash_profiler.probe hash ~addr:a));
+      Test.make ~name:"dispatch route"
+        (Staged.stage (fun () ->
+             let a = next () in
+             Ddp_core.Dispatch.note_access dispatch a;
+             Ddp_core.Dispatch.worker_of dispatch a));
+      Test.make ~name:"spsc push+pop"
+        (Staged.stage (fun () ->
+             ignore (Ddp_core.Spsc_queue.try_push spsc chunk : bool);
+             Ddp_core.Spsc_queue.try_pop spsc));
+      Test.make ~name:"locked push+pop"
+        (Staged.stage (fun () ->
+             ignore (Ddp_core.Locked_queue.try_push locked chunk : bool);
+             Ddp_core.Locked_queue.try_pop locked));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:true () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> fprintf "  %-26s %10.1f ns/op\n" name ns
+          | Some _ | None -> fprintf "  %-26s (no estimate)\n" name)
+        analyzed)
+    tests;
+  fprintf "(spsc vs locked push+pop is the per-chunk synchronization cost the paper's\n";
+  fprintf " lock-free design removes from the pipeline's critical path.)\n"
+
+(* ==== driver ============================================================= *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("table2", table2);
+    ("fig9", fig9);
+    ("eq2", eq2);
+    ("merge", merge);
+    ("ablate-baselines", ablate_baselines);
+    ("ablate-war", ablate_war);
+    ("ablate-redist", ablate_redist);
+    ("ablate-sections", ablate_sections);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then
+    List.iter (fun (name, _) -> print_endline name) experiments
+  else begin
+    let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+    let to_run =
+      if selected = [] then experiments
+      else
+        List.map
+          (fun name ->
+            match List.assoc_opt name experiments with
+            | Some fn -> (name, fn)
+            | None ->
+              Printf.eprintf "unknown experiment %s (use --list)\n" name;
+              exit 1)
+          selected
+    in
+    let t0 = Ddp_util.Clock.now () in
+    List.iter (fun (_, fn) -> fn ()) to_run;
+    Printf.printf "\ntotal bench time: %.1fs\n" (Ddp_util.Clock.now () -. t0)
+  end

@@ -1,0 +1,286 @@
+(* ddprof — command-line front end to the data-dependence profiler.
+
+     ddprof list
+     ddprof run kmeans --mode parallel --workers 8 --report
+     ddprof run water-spatial --variant par --mt --report --show-threads
+     ddprof loops cg
+     ddprof comm water-spatial --target-threads 4
+     ddprof races streamcluster *)
+
+open Cmdliner
+
+let get_program ~variant ~target_threads ~scale name =
+  let w = Ddp_workloads.Registry.find name in
+  match variant with
+  | `Seq -> w.Ddp_workloads.Wl.seq ~scale
+  | `Par -> (
+    match w.Ddp_workloads.Wl.par with
+    | Some par -> par ~threads:target_threads ~scale
+    | None -> failwith (Printf.sprintf "workload %s has no parallel (pthread-style) variant" name))
+
+(* -- common args --------------------------------------------------------- *)
+
+let name_arg =
+  let doc = "Workload name (see `ddprof list')." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"K" ~doc:"Problem-size multiplier.")
+
+let variant_arg =
+  let v = Arg.enum [ ("seq", `Seq); ("par", `Par) ] in
+  Arg.(value & opt v `Seq & info [ "variant" ] ~docv:"V" ~doc:"Target variant: seq or par (pthread-style).")
+
+let target_threads_arg =
+  Arg.(value & opt int 4 & info [ "target-threads" ] ~docv:"N" ~doc:"Threads of the parallel target program.")
+
+let workers_arg =
+  Arg.(value & opt int 8 & info [ "workers" ] ~docv:"W" ~doc:"Profiling worker threads (parallel mode).")
+
+let slots_arg =
+  Arg.(value & opt int (1 lsl 20) & info [ "slots" ] ~docv:"M" ~doc:"Total signature slots per direction.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Scheduler seed.")
+
+(* -- run ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let mode_arg =
+    let m = Arg.enum [ ("serial", `Serial); ("parallel", `Parallel); ("perfect", `Perfect) ] in
+    Arg.(value & opt m `Serial & info [ "mode" ] ~docv:"MODE" ~doc:"Profiler mode.")
+  in
+  let mt_arg =
+    Arg.(value & flag & info [ "mt" ] ~doc:"Enable multi-threaded-target machinery (Sec. V).")
+  in
+  let report_arg = Arg.(value & flag & info [ "report" ] ~doc:"Print the Fig.-1-style dependence report.") in
+  let show_threads_arg =
+    Arg.(value & flag & info [ "show-threads" ] ~doc:"Include thread ids in the report (Fig. 3 format).")
+  in
+  let lock_based_arg =
+    Arg.(value & flag & info [ "lock-based" ] ~doc:"Use mutex queues instead of lock-free SPSC.")
+  in
+  let run name scale variant target_threads mode mt workers slots seed report show_threads
+      lock_based =
+    let prog = get_program ~variant ~target_threads ~scale name in
+    let config =
+      { Ddp_core.Config.default with workers; slots; seed; lock_free = not lock_based }
+    in
+    let mode =
+      match mode with
+      | `Serial -> Ddp_core.Profiler.Serial
+      | `Parallel -> Ddp_core.Profiler.Parallel
+      | `Perfect -> Ddp_core.Profiler.Perfect
+    in
+    let account = Ddp_util.Mem_account.create () in
+    let outcome =
+      Ddp_core.Profiler.profile ~mode ~config ~mt ~account:(account, "deps") ~sched_seed:seed prog
+    in
+    let raw, war, waw, init, races = Ddp_core.Report.kind_counts outcome.deps in
+    Printf.printf "workload %s (%s): %d accesses over %d addresses, %d lines\n" name
+      (match variant with `Seq -> "seq" | `Par -> "par")
+      outcome.run_stats.accesses outcome.run_stats.addresses outcome.run_stats.lines;
+    Printf.printf "dependences: %d distinct (RAW %d, WAR %d, WAW %d, INIT %d), %d race-flagged\n"
+      (Ddp_core.Dep_store.distinct outcome.deps) raw war waw init races;
+    Printf.printf "merge factor: %.1fx (%d occurrences folded)\n"
+      (Ddp_core.Dep_store.merge_factor outcome.deps)
+      (Ddp_core.Dep_store.total_occurrences outcome.deps);
+    Printf.printf "instrumented wall time: %.3fs\n" outcome.elapsed;
+    (match outcome.parallel with
+    | Some r ->
+      Printf.printf "parallel: %d chunks, %d redistributions, worker events: [%s]\n" r.chunks
+        r.redistributions
+        (String.concat "; " (Array.to_list (Array.map string_of_int r.per_worker_events)))
+    | None -> ());
+    Format.printf "memory (accounted):@.%a" (fun ppf () -> Ddp_util.Mem_account.report ppf account) ();
+    if report then begin
+      print_newline ();
+      print_string (Ddp_core.Profiler.report ~show_threads outcome)
+    end
+  in
+  let term =
+    Term.(
+      const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg $ mt_arg
+      $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Profile a workload and summarize its dependences.") term
+
+(* -- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Ddp_workloads.Wl.t) ->
+        Printf.printf "%-14s %-10s %s%s\n" w.name
+          (Ddp_workloads.Wl.suite_name w.suite)
+          w.description
+          (if w.par <> None then "  [has par variant]" else ""))
+      Ddp_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const run $ const ())
+
+(* -- loops ---------------------------------------------------------------- *)
+
+let loops_cmd =
+  let perfect_arg = Arg.(value & flag & info [ "perfect" ] ~doc:"Use the perfect-signature oracle.") in
+  let run name scale perfect slots =
+    let w = Ddp_workloads.Registry.find name in
+    let prog = w.Ddp_workloads.Wl.seq ~scale in
+    let config = { Ddp_core.Config.default with slots } in
+    let summary = Ddp_analyses.Loop_parallelism.analyze ~config ~perfect prog in
+    Ddp_analyses.Loop_parallelism.pp_summary Format.std_formatter summary
+  in
+  Cmd.v
+    (Cmd.info "loops" ~doc:"Classify loops as parallelizable (the Table II analysis).")
+    Term.(const run $ name_arg $ scale_arg $ perfect_arg $ slots_arg)
+
+(* -- comm ----------------------------------------------------------------- *)
+
+let comm_cmd =
+  let run name scale target_threads seed =
+    let prog = get_program ~variant:`Par ~target_threads ~scale name in
+    let outcome = Ddp_core.Profiler.profile ~mode:Serial ~mt:true ~sched_seed:seed prog in
+    let m = Ddp_analyses.Comm_pattern.of_deps outcome.deps in
+    print_string
+      (Ddp_analyses.Comm_pattern.render (Ddp_analyses.Comm_pattern.workers_only m));
+    Printf.printf "total cross-thread RAW volume: %.0f\n"
+      (Ddp_analyses.Comm_pattern.total_volume m)
+  in
+  Cmd.v
+    (Cmd.info "comm" ~doc:"Producer/consumer communication matrix (the Fig. 9 analysis).")
+    Term.(const run $ name_arg $ scale_arg $ target_threads_arg $ seed_arg)
+
+(* -- record / replay ------------------------------------------------------ *)
+
+let path_arg =
+  Arg.(required & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc:"Trace file path.")
+
+let record_cmd =
+  let run name scale variant target_threads seed path =
+    let prog = get_program ~variant ~target_threads ~scale name in
+    Ddp_minir.Trace_file.record ~sched_seed:seed ~path prog;
+    Printf.printf "trace written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload's instrumentation stream to a trace file.")
+    Term.(const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ seed_arg $ path_arg)
+
+let replay_cmd =
+  let report_arg = Arg.(value & flag & info [ "report" ] ~doc:"Print the dependence report.") in
+  let run path slots report =
+    let events, symtab = Ddp_minir.Trace_file.load ~path in
+    let profiler =
+      Ddp_core.Serial_profiler.create_signature { Ddp_core.Config.default with slots }
+    in
+    Ddp_minir.Event.replay profiler.Ddp_core.Serial_profiler.hooks events;
+    let deps = profiler.Ddp_core.Serial_profiler.deps in
+    let raw, war, waw, init, races = Ddp_core.Report.kind_counts deps in
+    Printf.printf "replayed %d events: %d distinct deps (RAW %d, WAR %d, WAW %d, INIT %d), %d race-flagged\n"
+      (List.length events) (Ddp_core.Dep_store.distinct deps) raw war waw init races;
+    if report then
+      print_string
+        (Ddp_core.Report.render
+           ~var_name:(Ddp_minir.Symtab.var_name symtab)
+           ~deps ~regions:profiler.Ddp_core.Serial_profiler.regions ())
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Profile a previously recorded trace (collect once, analyze many).")
+    Term.(const run $ path_arg $ slots_arg $ report_arg)
+
+(* -- distance -------------------------------------------------------------- *)
+
+let distance_cmd =
+  let run name scale =
+    let w = Ddp_workloads.Registry.find name in
+    let summary = Ddp_analyses.Dep_distance.analyze (w.Ddp_workloads.Wl.seq ~scale) in
+    print_string (Ddp_analyses.Dep_distance.render summary)
+  in
+  Cmd.v
+    (Cmd.info "distance" ~doc:"Loop-carried dependence distances per loop.")
+    Term.(const run $ name_arg $ scale_arg)
+
+(* -- calltree --------------------------------------------------------------- *)
+
+let calltree_cmd =
+  let full_arg =
+    Arg.(value & flag & info [ "exec-tree" ] ~doc:"Show the full execution tree (loops included).")
+  in
+  let run name scale full =
+    let w = Ddp_workloads.Registry.find name in
+    let tree, symtab = Ddp_analyses.Exec_tree.build (w.Ddp_workloads.Wl.seq ~scale) in
+    let func_name = Ddp_minir.Symtab.var_name symtab in
+    let node =
+      if full then Ddp_analyses.Exec_tree.root tree else Ddp_analyses.Exec_tree.call_tree tree
+    in
+    print_string (Ddp_analyses.Exec_tree.render ~func_name node)
+  in
+  Cmd.v
+    (Cmd.info "calltree" ~doc:"Call tree (or full dynamic execution tree) of a workload run.")
+    Term.(const run $ name_arg $ scale_arg $ full_arg)
+
+(* -- graph ---------------------------------------------------------------- *)
+
+let graph_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Write Graphviz to FILE.")
+  in
+  let sections_arg =
+    Arg.(value & flag & info [ "sections" ] ~doc:"Collapse statements into loop regions (set-based granularity).")
+  in
+  let run name scale sections out =
+    let w = Ddp_workloads.Registry.find name in
+    let prog = w.Ddp_workloads.Wl.seq ~scale in
+    let summary = Ddp_analyses.Loop_parallelism.analyze ~perfect:true prog in
+    let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog in
+    let g = Ddp_analyses.Dep_graph.of_store outcome.deps in
+    let g =
+      if sections then Ddp_analyses.Dep_graph.collapse_to_regions ~regions:outcome.regions g
+      else g
+    in
+    Printf.printf "dependence graph: %d nodes, %d edges\n" (Ddp_analyses.Dep_graph.node_count g)
+      (Ddp_analyses.Dep_graph.edge_count g);
+    print_string
+      (Ddp_analyses.Loop_table.render (Ddp_analyses.Loop_table.of_regions ~summary outcome.regions));
+    match out with
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Ddp_analyses.Dep_graph.to_dot ~name g);
+      close_out oc;
+      Printf.printf "Graphviz written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Dependence graph + loop table (the framework representations).")
+    Term.(const run $ name_arg $ scale_arg $ sections_arg $ out_arg)
+
+(* -- races ---------------------------------------------------------------- *)
+
+let races_cmd =
+  let run name scale target_threads seed =
+    let prog = get_program ~variant:`Par ~target_threads ~scale name in
+    let outcome = Ddp_core.Profiler.profile ~mode:Serial ~mt:true ~sched_seed:seed prog in
+    print_string
+      (Ddp_analyses.Race_report.render
+         ~var_name:(Ddp_minir.Symtab.var_name outcome.symtab)
+         outcome.deps)
+  in
+  Cmd.v
+    (Cmd.info "races" ~doc:"Report dependences observed with reversed order (potential races).")
+    Term.(const run $ name_arg $ scale_arg $ target_threads_arg $ seed_arg)
+
+let main =
+  let doc = "generic data-dependence profiler (IPDPS'15 reproduction)" in
+  Cmd.group (Cmd.info "ddprof" ~doc)
+    [
+      run_cmd;
+      list_cmd;
+      loops_cmd;
+      comm_cmd;
+      races_cmd;
+      graph_cmd;
+      record_cmd;
+      replay_cmd;
+      distance_cmd;
+      calltree_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

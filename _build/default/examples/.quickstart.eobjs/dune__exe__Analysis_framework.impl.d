@@ -1,0 +1,1 @@
+examples/analysis_framework.ml: Array Ddp_analyses Ddp_core Ddp_minir Ddp_workloads List Printf String Sys

@@ -1,0 +1,1 @@
+examples/comm_matrix.ml: Array Ddp_analyses Ddp_core Ddp_util Ddp_workloads Printf Sys

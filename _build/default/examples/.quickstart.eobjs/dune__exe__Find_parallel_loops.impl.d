@@ -1,0 +1,1 @@
+examples/find_parallel_loops.ml: Array Ddp_analyses Ddp_minir Ddp_workloads Format List Printf Sys

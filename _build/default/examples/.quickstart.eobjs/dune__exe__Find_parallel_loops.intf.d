@@ -1,0 +1,1 @@
+examples/find_parallel_loops.mli:

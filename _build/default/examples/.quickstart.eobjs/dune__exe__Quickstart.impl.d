@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddp_core Ddp_minir Printf

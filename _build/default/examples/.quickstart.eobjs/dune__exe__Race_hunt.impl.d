@@ -1,0 +1,1 @@
+examples/race_hunt.ml: Ddp_analyses Ddp_core Ddp_minir List Printf

@@ -1,0 +1,1 @@
+examples/signature_sizing.ml: Array Ddp_core Ddp_minir Ddp_workloads List Printf Sys

@@ -1,0 +1,31 @@
+(* Communication-pattern detection (the paper's Sec. VII-B application,
+   Fig. 9): profile the water-spatial analogue with thread ids and derive
+   the producer/consumer matrix from cross-thread RAW dependences.
+
+     dune exec examples/comm_matrix.exe [threads] *)
+
+let () =
+  let threads = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
+  let prog = Ddp_workloads.Water_spatial.par ~threads ~scale:2 in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  Printf.printf "=== water-spatial with %d threads ===\n" threads;
+  Printf.printf "%d accesses, %d distinct dependences\n" outcome.run_stats.accesses
+    (Ddp_core.Dep_store.distinct outcome.deps);
+  let m = Ddp_analyses.Comm_pattern.of_deps outcome.deps in
+  let workers = Ddp_analyses.Comm_pattern.workers_only m in
+  print_endline "producer/consumer matrix (cross-thread RAW volume, worker threads only):";
+  print_string (Ddp_analyses.Comm_pattern.render workers);
+  print_endline
+    "expected: a banded pattern — each z-slab owner exchanges halos with its\n\
+     neighbours only, plus a faint all-to-all from the lock-protected energy sum.";
+  (* Quantify bandedness: fraction of volume on the +/-1 off-diagonals. *)
+  let total = Ddp_analyses.Comm_pattern.total_volume workers in
+  let banded = ref 0.0 in
+  let n = Ddp_util.Matrix.rows workers in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      if abs (r - c) = 1 then banded := !banded +. Ddp_util.Matrix.get workers r c
+    done
+  done;
+  Printf.printf "neighbour-band share of communication volume: %.1f%%\n"
+    (if total = 0.0 then 0.0 else 100.0 *. !banded /. total)

@@ -1,0 +1,49 @@
+(* Quickstart: write a small program in the MiniIR builder DSL, profile
+   it serially, and print the paper-style (Fig. 1) dependence report.
+
+     dune exec examples/quickstart.exe *)
+
+module B = Ddp_minir.Builder
+
+let () =
+  (* A little image-smoothing kernel with a deliberate mix of dependence
+     kinds: an initialization loop (INIT + no carried deps), an in-place
+     smoothing loop (carried RAW: reads a[i-1] written in the previous
+     iteration), and a reduction. *)
+  let n = 64 in
+  let prog =
+    B.program ~name:"quickstart"
+      [
+        B.arr "a" (B.i n);
+        B.local "total" (B.f 0.0);
+        B.for_ ~parallel:true "i" (B.i 0) (B.i n) (fun iv ->
+            [ B.store "a" iv B.(call "float" [ iv ] /: f 8.0) ]);
+        B.for_ "j" (B.i 1) (B.i n) (fun jv ->
+            [ B.store "a" jv B.(f 0.5 *: (idx "a" (jv -: i 1) +: idx "a" jv)) ]);
+        B.for_ ~parallel:true ~reduction:[ "total" ] "k" (B.i 0) (B.i n) (fun k ->
+            [ B.assign "total" B.(v "total" +: idx "a" k) ]);
+      ]
+  in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog in
+  print_endline "=== dependence report (paper Fig. 1 format) ===";
+  print_string (Ddp_core.Profiler.report outcome);
+  let raw, war, waw, init, _ = Ddp_core.Report.kind_counts outcome.deps in
+  Printf.printf "\n%d distinct dependences: %d RAW, %d WAR, %d WAW, %d INIT\n"
+    (Ddp_core.Dep_store.distinct outcome.deps)
+    raw war waw init;
+  Printf.printf "(from %d instrumented memory accesses; merging folded %d occurrences)\n"
+    outcome.run_stats.accesses
+    (Ddp_core.Dep_store.total_occurrences outcome.deps);
+  (* The same program under the parallel profiler produces the same
+     dependences — the paper's Sec. IV correctness claim. *)
+  let par =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel
+      ~config:{ Ddp_core.Config.default with workers = 4 }
+      prog
+  in
+  let equal =
+    Ddp_core.Dep_store.Key_set.equal
+      (Ddp_core.Dep_store.key_set outcome.deps)
+      (Ddp_core.Dep_store.key_set par.deps)
+  in
+  Printf.printf "parallel profiler (4 workers) agrees with serial: %b\n" equal

@@ -1,0 +1,50 @@
+(* Unenforced-dependence detection (the paper's Sec. V-B): profile a
+   deliberately racy multi-threaded program and show the reversed-order
+   flags, then fix the race with a lock and show the flags disappear.
+
+     dune exec examples/race_hunt.exe *)
+
+module B = Ddp_minir.Builder
+
+(* Four threads bump a shared counter [iters] times.  With [locked]
+   the update is in a lock region (access+push atomic, Fig. 4 of the
+   paper); without, pushes can be delayed past other threads' accesses
+   and the worker observes reversed timestamps. *)
+let counter_program ~locked ~iters =
+  let body t =
+    let guard stmts = if locked then (B.lock 1 :: stmts) @ [ B.unlock 1 ] else stmts in
+    [
+      B.for_ (Printf.sprintf "i%d" t) (B.i 0) (B.i iters) (fun _ ->
+          guard [ B.assign "counter" B.(v "counter" +: i 1) ]);
+    ]
+  in
+  B.program
+    ~name:(if locked then "counter-locked" else "counter-racy")
+    [
+      B.local "counter" (B.i 0);
+      B.par (List.init 4 body);
+      B.local "snapshot" (B.v "counter");
+    ]
+
+let run ~locked =
+  let prog = counter_program ~locked ~iters:400 in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let flagged = Ddp_analyses.Race_report.count outcome.deps in
+  Printf.printf "%-16s: %d dependences, %d race-flagged\n"
+    (if locked then "with lock" else "without lock")
+    (Ddp_core.Dep_store.distinct outcome.deps)
+    flagged;
+  if flagged > 0 then
+    print_string
+      (Ddp_analyses.Race_report.render
+         ~var_name:(Ddp_minir.Symtab.var_name outcome.symtab)
+         outcome.deps);
+  flagged
+
+let () =
+  print_endline "=== potential-data-race detection via reversed dependences ===";
+  let racy = run ~locked:false in
+  let clean = run ~locked:true in
+  Printf.printf "\nracy version flagged: %d, locked version flagged: %d\n" racy clean;
+  if racy > 0 && clean = 0 then
+    print_endline "the profiler exposed the missing lock, as in the paper's Sec. V-B."

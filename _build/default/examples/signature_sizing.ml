@@ -1,0 +1,32 @@
+(* Signature sizing with the paper's Eq. (2): predict the collision
+   probability for a workload, pick a slot count for a target accuracy,
+   and verify the prediction against measured FPR.
+
+     dune exec examples/signature_sizing.exe [workload] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "rotate" in
+  let w = Ddp_workloads.Registry.find name in
+  let prog = w.Ddp_workloads.Wl.seq ~scale:1 in
+  (* One uninstrumented run to count addresses (the paper suggests sizing
+     from an estimate of the address count). *)
+  let stats = Ddp_minir.Interp.run prog in
+  Printf.printf "=== %s: %d distinct addresses ===\n" name stats.addresses;
+  let perfect = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  List.iter
+    (fun slots ->
+      let predicted = Ddp_core.Fpr_model.p_fp ~slots ~addresses:stats.addresses in
+      let o =
+        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
+          ~config:{ Ddp_core.Config.default with slots }
+          prog
+      in
+      let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
+      Printf.printf
+        "slots %8d: predicted slot-collision %.2f%%, measured dep FPR %.2f%% FNR %.2f%%\n" slots
+        (100.0 *. predicted) (100.0 *. acc.fpr) (100.0 *. acc.fnr))
+    [ 1 lsl 12; 1 lsl 14; 1 lsl 16; 1 lsl 18; 1 lsl 20 ];
+  let target = 0.01 in
+  let needed = Ddp_core.Fpr_model.slots_for ~addresses:stats.addresses ~target in
+  Printf.printf "Eq. (2) sizing: %d slots keep slot-collision probability <= %.0f%%\n" needed
+    (100.0 *. target)

@@ -1,0 +1,1 @@
+lib/analyses/comm_pattern.ml: Ddp_core Ddp_util Format

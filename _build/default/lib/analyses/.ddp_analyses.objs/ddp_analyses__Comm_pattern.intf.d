@@ -1,0 +1,1 @@
+lib/analyses/comm_pattern.mli: Ddp_core Ddp_util

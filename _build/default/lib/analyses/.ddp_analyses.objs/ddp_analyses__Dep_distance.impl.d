@@ -1,0 +1,1 @@
+lib/analyses/dep_distance.ml: Array Buffer Ddp_core Ddp_minir Hashtbl Int List Printf

@@ -1,0 +1,1 @@
+lib/analyses/dep_distance.mli: Ddp_core Ddp_minir

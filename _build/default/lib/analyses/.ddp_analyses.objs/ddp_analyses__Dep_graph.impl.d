@@ -1,0 +1,1 @@
+lib/analyses/dep_graph.ml: Buffer Ddp_core Ddp_minir Fun Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/analyses/dep_graph.mli: Ddp_core Ddp_minir

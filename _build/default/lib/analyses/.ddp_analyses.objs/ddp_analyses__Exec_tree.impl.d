@@ -1,0 +1,1 @@
+lib/analyses/exec_tree.ml: Buffer Ddp_minir List Printf String

@@ -1,0 +1,1 @@
+lib/analyses/exec_tree.mli: Ddp_minir

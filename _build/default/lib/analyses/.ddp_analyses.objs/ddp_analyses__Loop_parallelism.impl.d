@@ -1,0 +1,1 @@
+lib/analyses/loop_parallelism.ml: Ddp_core Ddp_minir Ddp_util Format Hashtbl Int List Set String

@@ -1,0 +1,1 @@
+lib/analyses/loop_parallelism.mli: Ddp_core Ddp_minir Format

@@ -1,0 +1,1 @@
+lib/analyses/loop_table.ml: Buffer Ddp_core Ddp_minir Int List Loop_parallelism Option Printf

@@ -1,0 +1,1 @@
+lib/analyses/loop_table.mli: Ddp_core Ddp_minir Loop_parallelism

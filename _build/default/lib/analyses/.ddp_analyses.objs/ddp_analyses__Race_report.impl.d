@@ -1,0 +1,1 @@
+lib/analyses/race_report.ml: Buffer Ddp_core Ddp_minir List Printf

@@ -1,0 +1,1 @@
+lib/analyses/race_report.mli: Ddp_core Ddp_minir

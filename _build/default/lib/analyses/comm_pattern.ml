@@ -1,0 +1,54 @@
+(* Communication-pattern detection (paper Sec. VII-B, Fig. 9).
+
+   Producer-consumer communication in shared memory is a read-after-write
+   across threads: thread P writes, thread C reads the value.  Those are
+   exactly the cross-thread RAW dependences the profiler already records
+   with thread ids, so the communication matrix falls out of the merged
+   dependence map directly — the occurrence count of each cross-thread
+   RAW is the communication intensity. *)
+
+module Matrix = Ddp_util.Matrix
+
+let threads_in (deps : Ddp_core.Dep_store.t) =
+  Ddp_core.Dep_store.fold deps
+    (fun dep _ acc ->
+      let acc = max acc (Ddp_core.Dep.sink_thread dep) in
+      if dep.Ddp_core.Dep.src = 0 then acc else max acc (Ddp_core.Dep.src_thread dep))
+    0
+
+(* [threads]: matrix dimension; defaults to 1 + highest thread id seen. *)
+let of_deps ?threads (deps : Ddp_core.Dep_store.t) =
+  let n = match threads with Some n -> n | None -> threads_in deps + 1 in
+  let m = Matrix.create ~rows:n ~cols:n in
+  Ddp_core.Dep_store.iter deps (fun dep count ->
+      if dep.Ddp_core.Dep.kind = Ddp_core.Dep.RAW && Ddp_core.Dep.is_cross_thread dep then
+        Matrix.add m (Ddp_core.Dep.src_thread dep) (Ddp_core.Dep.sink_thread dep)
+          (float_of_int count));
+  m
+
+(* Restrict to worker threads (drop the main thread's row/column), which
+   is how the paper's Fig. 9 presents splash2x.water-spatial. *)
+let workers_only m =
+  let n = Matrix.rows m in
+  if n <= 1 then m
+  else begin
+    let w = Matrix.create ~rows:(n - 1) ~cols:(n - 1) in
+    for r = 1 to n - 1 do
+      for c = 1 to n - 1 do
+        Matrix.set w (r - 1) (c - 1) (Matrix.get m r c)
+      done
+    done;
+    w
+  end
+
+let total_volume m =
+  let acc = ref 0.0 in
+  for r = 0 to Matrix.rows m - 1 do
+    for c = 0 to Matrix.cols m - 1 do
+      acc := !acc +. Matrix.get m r c
+    done
+  done;
+  !acc
+
+let render ?(row_label = "producer") ?(col_label = "consumer") m =
+  Format.asprintf "%a" (Matrix.pp_heatmap ~row_label ~col_label) m

@@ -1,0 +1,14 @@
+(** Communication-pattern detection (paper Sec. VII-B, Fig. 9): the
+    producer/consumer matrix derived from cross-thread RAW dependences. *)
+
+val of_deps : ?threads:int -> Ddp_core.Dep_store.t -> Ddp_util.Matrix.t
+(** [m[p][c]] = occurrences of RAW dependences written by thread [p] and
+    read by thread [c]. *)
+
+val workers_only : Ddp_util.Matrix.t -> Ddp_util.Matrix.t
+(** Drop row/column 0 (the main thread). *)
+
+val total_volume : Ddp_util.Matrix.t -> float
+
+val render : ?row_label:string -> ?col_label:string -> Ddp_util.Matrix.t -> string
+(** ASCII heatmap. *)

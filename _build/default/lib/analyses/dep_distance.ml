@@ -1,0 +1,165 @@
+(* Loop-carried dependence distances.
+
+   The paper positions its profiler as a generic base for analyses that
+   previously needed custom profilers; dependence *distance* (how many
+   iterations apart source and sink of a carried dependence are) is the
+   canonical example — Alchemist (cited as [4]) was built around it.  A
+   minimum carried distance d means d iterations can run concurrently
+   (skewing / pipelining), so the metric refines the binary
+   parallelizable/serial verdict of Table II.
+
+   Implemented as its own serial profiling pass: a region tracker records
+   every iteration's start time for each active loop, and the dependence
+   observer maps source timestamps to iteration indices by binary
+   search. *)
+
+module Loc = Ddp_minir.Loc
+
+type active = {
+  header_line : int;
+  activation_time : int;
+  mutable iter_starts : int array;  (* start time of iteration i *)
+  mutable iters : int;
+}
+
+type loop_stats = {
+  line : int;
+  mutable carried_deps : int;  (* carried RAW occurrences *)
+  mutable min_distance : int;
+  mutable max_distance : int;
+  mutable d1 : int;  (* occurrences at distance 1 *)
+  mutable d_small : int;  (* 2..7 *)
+  mutable d_large : int;  (* >= 8 *)
+}
+
+type t = {
+  stats : (int, loop_stats) Hashtbl.t;
+  mutable stack : active list;  (* innermost first; serial pass: thread 0 *)
+}
+
+let create () = { stats = Hashtbl.create 16; stack = [] }
+
+let stats_of t line =
+  match Hashtbl.find_opt t.stats line with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        line;
+        carried_deps = 0;
+        min_distance = max_int;
+        max_distance = 0;
+        d1 = 0;
+        d_small = 0;
+        d_large = 0;
+      }
+    in
+    Hashtbl.add t.stats line s;
+    s
+
+let on_enter t ~loc ~time =
+  t.stack <-
+    { header_line = Loc.line loc; activation_time = time; iter_starts = Array.make 8 0; iters = 0 }
+    :: t.stack
+
+let on_iter t ~time =
+  match t.stack with
+  | a :: _ ->
+    if a.iters >= Array.length a.iter_starts then begin
+      let bigger = Array.make (2 * Array.length a.iter_starts) 0 in
+      Array.blit a.iter_starts 0 bigger 0 a.iters;
+      a.iter_starts <- bigger
+    end;
+    a.iter_starts.(a.iters) <- time;
+    a.iters <- a.iters + 1
+  | [] -> invalid_arg "Dep_distance: iteration without active loop"
+
+let on_exit t = match t.stack with _ :: rest -> t.stack <- rest | [] -> ()
+
+(* Index of the iteration containing [time]: the last start <= time. *)
+let iteration_of a time =
+  let lo = ref 0 and hi = ref (a.iters - 1) in
+  if a.iters = 0 || time < a.iter_starts.(0) then -1
+  else begin
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if a.iter_starts.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let on_raw t ~src_line ~src_time ~sink_time =
+  (* Innermost active loop for which the source is a previous iteration.
+     The loop's own index update (source at the header line) is exempt,
+     as in the Table II analysis: the parallel runtime privatizes it. *)
+  match
+    List.find_opt
+      (fun a ->
+        a.iters > 0 && src_time >= a.activation_time
+        && src_line <> a.header_line
+        && iteration_of a src_time < iteration_of a sink_time)
+      t.stack
+  with
+  | None -> ()
+  | Some a ->
+    let d = iteration_of a sink_time - iteration_of a src_time in
+    let s = stats_of t a.header_line in
+    s.carried_deps <- s.carried_deps + 1;
+    if d < s.min_distance then s.min_distance <- d;
+    if d > s.max_distance then s.max_distance <- d;
+    if d = 1 then s.d1 <- s.d1 + 1
+    else if d < 8 then s.d_small <- s.d_small + 1
+    else s.d_large <- s.d_large + 1
+
+type summary = loop_stats list
+
+(* Serial pass over [prog] with its own perfect- or signature-store
+   Algorithm 1 instance. *)
+let analyze ?(config = Ddp_core.Config.default) ?(perfect = true) ?sched_seed ?input_seed prog =
+  let t = create () in
+  let profiler =
+    if perfect then Ddp_core.Serial_profiler.create_perfect config
+    else Ddp_core.Serial_profiler.create_signature config
+  in
+  profiler.Ddp_core.Serial_profiler.set_observer (fun kind ~sink:_ ~src ~src_time ~sink_time ->
+      if kind = Ddp_core.Dep.RAW then
+        on_raw t
+          ~src_line:(Loc.line (Ddp_core.Payload.loc src))
+          ~src_time ~sink_time);
+  let inner = profiler.Ddp_core.Serial_profiler.hooks in
+  let hooks =
+    {
+      inner with
+      Ddp_minir.Event.on_region_enter =
+        (fun ~loc ~kind ~thread ~time ->
+          on_enter t ~loc ~time;
+          inner.Ddp_minir.Event.on_region_enter ~loc ~kind ~thread ~time);
+      on_region_iter =
+        (fun ~loc ~thread ~time ->
+          on_iter t ~time;
+          inner.Ddp_minir.Event.on_region_iter ~loc ~thread ~time);
+      on_region_exit =
+        (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
+          on_exit t;
+          inner.Ddp_minir.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
+    }
+  in
+  let (_ : Ddp_minir.Interp.stats) = Ddp_minir.Interp.run ~hooks ?sched_seed ?input_seed prog in
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.stats []
+  |> List.sort (fun a b -> Int.compare a.line b.line)
+
+let render summary =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-8s %10s %6s %6s %8s %8s %8s\n" "loop" "carried" "min-d" "max-d" "d=1"
+       "d in 2-7" "d>=8");
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-8s %10d %6d %6d %8d %8d %8d\n"
+           (Printf.sprintf "@%d" s.line)
+           s.carried_deps
+           (if s.min_distance = max_int then 0 else s.min_distance)
+           s.max_distance s.d1 s.d_small s.d_large))
+    summary;
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Loop-carried dependence distances (the Alchemist-style metric): a
+    minimum carried distance of d iterations permits d-way concurrency
+    via skewing or pipelining, refining Table II's binary verdict. *)
+
+type loop_stats = {
+  line : int;  (** loop header line *)
+  mutable carried_deps : int;
+  mutable min_distance : int;  (** [max_int] when no carried RAW *)
+  mutable max_distance : int;
+  mutable d1 : int;
+  mutable d_small : int;  (** distance 2..7 *)
+  mutable d_large : int;  (** distance >= 8 *)
+}
+
+type summary = loop_stats list
+
+val analyze :
+  ?config:Ddp_core.Config.t ->
+  ?perfect:bool ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  Ddp_minir.Ast.program ->
+  summary
+(** Serial profiling pass recording the iteration distance of every
+    loop-carried RAW occurrence, per loop, innermost carrying loop. *)
+
+val render : summary -> string

@@ -1,0 +1,151 @@
+(* Dependence graph: one of the derived representations of the
+   integrated program-analysis framework the paper announces in its
+   conclusion ("dynamic execution tree, call tree, dependence graph, loop
+   table, etc.").
+
+   Nodes are source locations (optionally qualified by thread); edges are
+   directed source -> sink dependences aggregated over kinds, with
+   occurrence counts.  [collapse_to_regions] additionally folds statement
+   nodes into their enclosing loop regions — the "set-based profiling"
+   granularity the paper discusses in Sec. VI-B (dependences between code
+   sections instead of statements). *)
+
+module Loc = Ddp_minir.Loc
+
+type edge = {
+  e_src : Loc.t;
+  e_sink : Loc.t;
+  mutable raw : int;
+  mutable war : int;
+  mutable waw : int;
+  mutable occurrences : int;
+  mutable race : bool;
+}
+
+type t = {
+  edges : (Loc.t * Loc.t, edge) Hashtbl.t;
+  nodes : (Loc.t, unit) Hashtbl.t;
+}
+
+let create () = { edges = Hashtbl.create 64; nodes = Hashtbl.create 64 }
+
+let note_node t loc = if not (Hashtbl.mem t.nodes loc) then Hashtbl.add t.nodes loc ()
+
+let add_edge t ~src ~sink ~kind ~count ~race =
+  note_node t src;
+  note_node t sink;
+  let e =
+    match Hashtbl.find_opt t.edges (src, sink) with
+    | Some e -> e
+    | None ->
+      let e = { e_src = src; e_sink = sink; raw = 0; war = 0; waw = 0; occurrences = 0; race = false } in
+      Hashtbl.add t.edges (src, sink) e;
+      e
+  in
+  (match kind with
+  | Ddp_core.Dep.RAW -> e.raw <- e.raw + 1
+  | Ddp_core.Dep.WAR -> e.war <- e.war + 1
+  | Ddp_core.Dep.WAW -> e.waw <- e.waw + 1
+  | Ddp_core.Dep.INIT -> ());
+  e.occurrences <- e.occurrences + count;
+  e.race <- e.race || race
+
+let of_store (deps : Ddp_core.Dep_store.t) =
+  let t = create () in
+  Ddp_core.Dep_store.iter deps (fun dep count ->
+      match dep.Ddp_core.Dep.kind with
+      | Ddp_core.Dep.INIT -> note_node t (Ddp_core.Dep.sink_loc dep)
+      | (Ddp_core.Dep.RAW | Ddp_core.Dep.WAR | Ddp_core.Dep.WAW) as kind ->
+        add_edge t ~src:(Ddp_core.Dep.src_loc dep) ~sink:(Ddp_core.Dep.sink_loc dep) ~kind
+          ~count ~race:dep.Ddp_core.Dep.race);
+  t
+
+let node_count t = Hashtbl.length t.nodes
+let edge_count t = Hashtbl.length t.edges
+
+let edges t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.edges []
+  |> List.sort (fun a b ->
+         let c = Loc.compare a.e_src b.e_src in
+         if c <> 0 then c else Loc.compare a.e_sink b.e_sink)
+
+let successors t loc =
+  Hashtbl.fold (fun (src, sink) _ acc -> if src = loc then sink :: acc else acc) t.edges []
+  |> List.sort_uniq Loc.compare
+
+let predecessors t loc =
+  Hashtbl.fold (fun (src, sink) _ acc -> if sink = loc then src :: acc else acc) t.edges []
+  |> List.sort_uniq Loc.compare
+
+(* Fold statement-level nodes into their enclosing loop region: a node
+   inside [begin, end] of a recorded region is represented by the
+   region's header location.  Nested regions: the innermost wins.  This
+   is the paper's "set-based" granularity (Sec. VI-B). *)
+let collapse_to_regions ~(regions : Ddp_core.Region.t) t =
+  let spans =
+    Ddp_core.Region.fold regions
+      (fun loc info acc -> (Loc.line loc, Loc.line info.Ddp_core.Region.end_loc, loc) :: acc)
+      []
+    (* innermost = narrowest span first *)
+    |> List.sort (fun (b1, e1, _) (b2, e2, _) -> Int.compare (e1 - b1) (e2 - b2))
+  in
+  let owner loc =
+    let line = Loc.line loc in
+    let rec find = function
+      | (b, e, header) :: rest -> if line >= b && line <= e then header else find rest
+      | [] -> loc
+    in
+    if Loc.is_none loc then loc else find spans
+  in
+  let g = create () in
+  Hashtbl.iter (fun loc () -> note_node g (owner loc)) t.nodes;
+  Hashtbl.iter
+    (fun _ e ->
+      let src = owner e.e_src and sink = owner e.e_sink in
+      if src <> sink then begin
+        (* aggregate per kind with the original multiplicities *)
+        for _ = 1 to e.raw do
+          add_edge g ~src ~sink ~kind:Ddp_core.Dep.RAW ~count:0 ~race:e.race
+        done;
+        for _ = 1 to e.war do
+          add_edge g ~src ~sink ~kind:Ddp_core.Dep.WAR ~count:0 ~race:false
+        done;
+        for _ = 1 to e.waw do
+          add_edge g ~src ~sink ~kind:Ddp_core.Dep.WAW ~count:0 ~race:false
+        done;
+        (match Hashtbl.find_opt g.edges (src, sink) with
+        | Some ge -> ge.occurrences <- ge.occurrences + e.occurrences
+        | None -> ())
+      end)
+    t.edges;
+  g
+
+(* Graphviz export: RAW edges solid, WAR dashed, WAW dotted; potential
+   races in red. *)
+let to_dot ?(name = "deps") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=TB;\n  node [shape=box];\n" name);
+  Hashtbl.iter
+    (fun loc () ->
+      Buffer.add_string buf (Printf.sprintf "  %S;\n" (Loc.to_string loc)))
+    t.nodes;
+  List.iter
+    (fun e ->
+      let style =
+        if e.raw > 0 then "solid" else if e.war > 0 then "dashed" else "dotted"
+      in
+      let color = if e.race then "red" else "black" in
+      Buffer.add_string buf
+        (Printf.sprintf "  %S -> %S [style=%s, color=%s, label=\"%s x%d\"];\n"
+           (Loc.to_string e.e_src) (Loc.to_string e.e_sink) style color
+           (String.concat "/"
+              (List.filter_map Fun.id
+                 [
+                   (if e.raw > 0 then Some "RAW" else None);
+                   (if e.war > 0 then Some "WAR" else None);
+                   (if e.waw > 0 then Some "WAW" else None);
+                 ]))
+           e.occurrences))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

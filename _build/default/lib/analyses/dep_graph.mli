@@ -1,0 +1,34 @@
+(** Dependence graph over source locations: a derived representation of
+    the program-analysis framework the paper announces (Sec. VIII), with
+    the "set-based" section granularity of Sec. VI-B via
+    {!collapse_to_regions}. *)
+
+module Loc = Ddp_minir.Loc
+
+type edge = {
+  e_src : Loc.t;
+  e_sink : Loc.t;
+  mutable raw : int;  (** distinct RAW dependences on this edge *)
+  mutable war : int;
+  mutable waw : int;
+  mutable occurrences : int;  (** total dynamic occurrences *)
+  mutable race : bool;
+}
+
+type t
+
+val of_store : Ddp_core.Dep_store.t -> t
+val node_count : t -> int
+val edge_count : t -> int
+val edges : t -> edge list
+(** Sorted by (src, sink). *)
+
+val successors : t -> Loc.t -> Loc.t list
+val predecessors : t -> Loc.t -> Loc.t list
+
+val collapse_to_regions : regions:Ddp_core.Region.t -> t -> t
+(** Fold statement nodes into their innermost enclosing loop region:
+    dependences between code sections instead of statements. *)
+
+val to_dot : ?name:string -> t -> string
+(** Graphviz export: RAW solid, WAR dashed, WAW dotted, races red. *)

@@ -1,0 +1,148 @@
+(* Dynamic execution tree and call tree: the remaining derived
+   representations of the paper's announced analysis framework
+   (Sec. VIII: "dynamic execution tree, call tree, dependence graph,
+   loop table").
+
+   The tree is built from call/return and region enter/exit events of one
+   run.  Nodes are procedure activations or loop regions, merged by
+   (parent, kind, location): calling the same procedure twice from the
+   same context increments the node's count instead of adding a sibling,
+   so the tree stays bounded (this is the classical calling-context-tree
+   compression).  Memory accesses are attributed to the innermost open
+   node of their thread.  Per-thread subtrees hang off a common root so
+   multi-threaded targets produce one tree. *)
+
+module Loc = Ddp_minir.Loc
+
+type node_kind =
+  | Root
+  | Thread of int
+  | Proc of int  (* interned procedure name *)
+  | Loop of Loc.t
+
+type node = {
+  kind : node_kind;
+  mutable count : int;  (* activations (calls / region entries) *)
+  mutable accesses : int;  (* memory accesses attributed to this node *)
+  mutable children : node list;  (* reverse discovery order *)
+}
+
+type t = {
+  root : node;
+  mutable stacks : (int * node list) list;  (* thread -> open path, innermost first *)
+  mutable total_accesses : int;
+}
+
+let new_node kind = { kind; count = 0; accesses = 0; children = [] }
+
+let create () = { root = new_node Root; stacks = []; total_accesses = 0 }
+
+let child_of parent kind =
+  match List.find_opt (fun c -> c.kind = kind) parent.children with
+  | Some c -> c
+  | None ->
+    let c = new_node kind in
+    parent.children <- c :: parent.children;
+    c
+
+let stack t thread =
+  match List.assoc_opt thread t.stacks with
+  | Some s -> s
+  | None ->
+    let tnode = child_of t.root (Thread thread) in
+    tnode.count <- tnode.count + 1;
+    let s = [ tnode ] in
+    t.stacks <- (thread, s) :: t.stacks;
+    s
+
+let set_stack t thread s = t.stacks <- (thread, s) :: List.remove_assoc thread t.stacks
+
+let push t thread kind =
+  let s = stack t thread in
+  let top = List.hd s in
+  let node = child_of top kind in
+  node.count <- node.count + 1;
+  set_stack t thread (node :: s)
+
+let pop t thread kind =
+  match stack t thread with
+  | top :: (_ :: _ as rest) when top.kind = kind -> set_stack t thread rest
+  | _ -> invalid_arg "Exec_tree: unbalanced call/region events"
+
+let on_access t thread =
+  t.total_accesses <- t.total_accesses + 1;
+  let top = List.hd (stack t thread) in
+  top.accesses <- top.accesses + 1
+
+(* Hooks that build the tree during a run; regions and calls both become
+   tree levels, giving the dynamic execution tree.  Other events are
+   ignored. *)
+let hooks t =
+  {
+    Ddp_minir.Event.null with
+    Ddp_minir.Event.on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread ~time:_ ~locked:_ -> on_access t thread);
+    on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread ~time:_ ~locked:_ -> on_access t thread);
+    on_region_enter =
+      (fun ~loc ~kind:Ddp_minir.Event.Loop ~thread ~time:_ -> push t thread (Loop loc));
+    on_region_exit =
+      (fun ~loc ~end_loc:_ ~kind:Ddp_minir.Event.Loop ~iterations:_ ~thread ~time:_ ->
+        pop t thread (Loop loc));
+    on_call = (fun ~loc:_ ~func ~thread ~time:_ -> push t thread (Proc func));
+    on_return = (fun ~func ~thread ~time:_ -> pop t thread (Proc func));
+    on_thread_end =
+      (fun ~thread ->
+        (* Close the thread's path: a later Par reusing the id counts as a
+           new activation of the thread node. *)
+        t.stacks <- List.remove_assoc thread t.stacks);
+  }
+
+let build ?sched_seed ?input_seed prog =
+  let t = create () in
+  let symtab = Ddp_minir.Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks:(hooks t) ?sched_seed ?input_seed ~symtab prog
+  in
+  (t, symtab)
+
+let root t = t.root
+let total_accesses t = t.total_accesses
+
+(* Restrict to procedure activations (loop levels spliced out): the call
+   tree. *)
+let call_tree t =
+  let rec gather c =
+    match c.kind with
+    | Loop _ -> List.concat_map gather c.children
+    | Root | Thread _ | Proc _ -> [ { c with children = List.concat_map gather c.children } ]
+  in
+  match gather t.root with
+  | [ r ] -> r
+  | _ -> assert false
+
+let kind_to_string ~func_name = function
+  | Root -> "<root>"
+  | Thread n -> Printf.sprintf "thread %d" n
+  | Proc f -> Printf.sprintf "%s()" (func_name f)
+  | Loop loc -> Printf.sprintf "loop@%s" (Loc.to_string loc)
+
+let render ?(max_depth = 12) ~func_name t_or_node =
+  let buf = Buffer.create 512 in
+  let rec go depth node =
+    if depth <= max_depth then begin
+      Buffer.add_string buf
+        (Printf.sprintf "%s%s  [count %d, accesses %d]\n"
+           (String.make (2 * depth) ' ')
+           (kind_to_string ~func_name node.kind)
+           node.count node.accesses);
+      List.iter (go (depth + 1)) (List.rev node.children)
+    end
+  in
+  go 0 t_or_node;
+  Buffer.contents buf
+
+(* Total nodes in the (context-compressed) tree. *)
+let rec size node = 1 + List.fold_left (fun acc c -> acc + size c) 0 node.children
+
+let rec find_proc node fid =
+  if node.kind = Proc fid then Some node
+  else List.find_map (fun c -> find_proc c fid) node.children

@@ -1,0 +1,44 @@
+(** Dynamic execution tree and call tree (paper Sec. VIII): procedure
+    activations and loop regions of one run, context-compressed (one node
+    per (parent, kind, location)), with per-node activation and access
+    counts. *)
+
+module Loc = Ddp_minir.Loc
+
+type node_kind =
+  | Root
+  | Thread of int
+  | Proc of int  (** interned procedure name *)
+  | Loop of Loc.t
+
+type node = {
+  kind : node_kind;
+  mutable count : int;
+  mutable accesses : int;
+  mutable children : node list;
+}
+
+type t
+
+val create : unit -> t
+
+val hooks : t -> Ddp_minir.Event.hooks
+(** Attach to an interpreter run to build the tree. *)
+
+val build :
+  ?sched_seed:int -> ?input_seed:int -> Ddp_minir.Ast.program -> t * Ddp_minir.Symtab.t
+(** Run a program under tree-building hooks. *)
+
+val root : t -> node
+val total_accesses : t -> int
+
+val call_tree : t -> node
+(** Loop levels spliced out: procedure activations only. *)
+
+val size : node -> int
+
+val find_proc : node -> int -> node option
+(** First node for the given interned procedure name. *)
+
+val render : ?max_depth:int -> func_name:(int -> string) -> node -> string
+(** Indented tree with activation and access counts. *)

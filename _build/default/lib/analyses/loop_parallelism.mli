@@ -1,0 +1,40 @@
+(** Loop-parallelism discovery (paper Sec. VII-A, Table II): classify
+    every For loop as parallelizable iff it carries no loop-carried RAW
+    dependence, with induction and reduction exemptions. *)
+
+module Loc = Ddp_minir.Loc
+
+type offender = {
+  o_src : Loc.t;
+  o_sink : Loc.t;
+  o_var : int;
+}
+
+type loop_result = {
+  header_line : int;
+  annotated : bool;  (** ground truth (the OpenMP pragma analogue) *)
+  reduction_vars : string list;
+  iterations : int;
+  carried_raw : offender list;
+  parallelizable : bool;
+}
+
+type summary = {
+  loops : loop_result list;
+  annotated_total : int;  (** "# OMP" of Table II *)
+  identified : int;  (** "# identified" *)
+  missed : int;  (** "# missed" *)
+  extra : int;
+}
+
+val analyze :
+  ?config:Ddp_core.Config.t ->
+  ?perfect:bool ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  Ddp_minir.Ast.program ->
+  summary
+(** Profile serially ([perfect] selects the oracle store, the "DP" column;
+    default signature store is the "sig" column) and classify loops. *)
+
+val pp_summary : Format.formatter -> summary -> unit

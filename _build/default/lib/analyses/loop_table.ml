@@ -1,0 +1,60 @@
+(* Loop table: another derived representation of the announced analysis
+   framework — every loop region with entry counts, total and average
+   iterations, and whether the profiler found it parallelizable when a
+   Loop_parallelism summary is supplied. *)
+
+module Loc = Ddp_minir.Loc
+
+type entry = {
+  header : Loc.t;
+  end_loc : Loc.t;
+  entries : int;
+  total_iterations : int;
+  avg_iterations : float;
+  parallelizable : bool option;  (* None when no analysis summary given *)
+}
+
+let of_regions ?summary (regions : Ddp_core.Region.t) =
+  let classify line =
+    match summary with
+    | None -> None
+    | Some (s : Loop_parallelism.summary) ->
+      List.find_opt (fun (l : Loop_parallelism.loop_result) -> l.header_line = line) s.loops
+      |> Option.map (fun (l : Loop_parallelism.loop_result) -> l.parallelizable)
+  in
+  Ddp_core.Region.to_sorted_list regions
+  |> List.map (fun (loc, (info : Ddp_core.Region.info)) ->
+         {
+           header = loc;
+           end_loc = info.Ddp_core.Region.end_loc;
+           entries = info.Ddp_core.Region.entries;
+           total_iterations = info.Ddp_core.Region.iterations;
+           avg_iterations =
+             (if info.Ddp_core.Region.entries = 0 then 0.0
+              else float_of_int info.Ddp_core.Region.iterations /. float_of_int info.Ddp_core.Region.entries);
+           parallelizable = classify (Loc.line loc);
+         })
+
+let render table =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-10s %-10s %8s %12s %10s  %s\n" "loop" "end" "entries" "iterations"
+       "avg-iters" "parallel?");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s %-10s %8d %12d %10.1f  %s\n" (Loc.to_string e.header)
+           (Loc.to_string e.end_loc) e.entries e.total_iterations e.avg_iterations
+           (match e.parallelizable with
+           | None -> "-"
+           | Some true -> "yes"
+           | Some false -> "no")))
+    table;
+  Buffer.contents buf
+
+(* Hottest loops by total iterations — the "hottest 20 loops" selection
+   the paper contrasts its whole-program profiling against (SD3 profiles
+   only these). *)
+let hottest ?(n = 20) table =
+  List.sort (fun a b -> Int.compare b.total_iterations a.total_iterations) table
+  |> List.filteri (fun i _ -> i < n)

@@ -1,0 +1,20 @@
+(** Loop table: loop regions with entry/iteration statistics, optionally
+    joined with parallelizability verdicts. *)
+
+module Loc = Ddp_minir.Loc
+
+type entry = {
+  header : Loc.t;
+  end_loc : Loc.t;
+  entries : int;
+  total_iterations : int;
+  avg_iterations : float;
+  parallelizable : bool option;
+}
+
+val of_regions : ?summary:Loop_parallelism.summary -> Ddp_core.Region.t -> entry list
+val render : entry list -> string
+
+val hottest : ?n:int -> entry list -> entry list
+(** Top-n loops by total iterations (the paper's "hottest 20 loops"
+    selection used by SD3). *)

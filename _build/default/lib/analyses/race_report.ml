@@ -1,0 +1,46 @@
+(* Unenforced-dependence reporting (paper Sec. V-B).
+
+   A dependence flagged by the worker-side timestamp check was observed
+   with reversed access/push order, which can only happen when the two
+   accesses were not protected by a common lock — the absence of mutual
+   exclusion exposes a potential data race. *)
+
+type entry = {
+  dep : Ddp_core.Dep.t;
+  occurrences : int;
+}
+
+let collect (deps : Ddp_core.Dep_store.t) =
+  Ddp_core.Dep_store.fold deps
+    (fun dep count acc -> if dep.Ddp_core.Dep.race then { dep; occurrences = count } :: acc else acc)
+    []
+  |> List.sort (fun a b -> Ddp_core.Dep.compare a.dep b.dep)
+
+let count deps = List.length (collect deps)
+
+(* Pairs of (location, location) involved in any flagged dependence:
+   the deduplicated "look here" list a user acts on. *)
+let suspect_pairs deps =
+  collect deps
+  |> List.map (fun e -> (Ddp_core.Dep.src_loc e.dep, Ddp_core.Dep.sink_loc e.dep))
+  |> List.sort_uniq compare
+
+let render ~var_name deps =
+  let entries = collect deps in
+  if entries = [] then "no potential races detected\n"
+  else begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "%d dependence(s) observed with reversed order (potential data races):\n"
+         (List.length entries));
+    List.iter
+      (fun e ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s|%d <- %s  (%d occurrence(s))\n"
+             (Ddp_minir.Loc.to_string (Ddp_core.Dep.sink_loc e.dep))
+             (Ddp_core.Dep.sink_thread e.dep)
+             (Ddp_core.Dep.to_string ~show_threads:true ~var_name e.dep)
+             e.occurrences))
+      entries;
+    Buffer.contents buf
+  end

@@ -1,0 +1,12 @@
+(** Unenforced-dependence (potential data race) reporting, paper
+    Sec. V-B. *)
+
+type entry = {
+  dep : Ddp_core.Dep.t;
+  occurrences : int;
+}
+
+val collect : Ddp_core.Dep_store.t -> entry list
+val count : Ddp_core.Dep_store.t -> int
+val suspect_pairs : Ddp_core.Dep_store.t -> (Ddp_minir.Loc.t * Ddp_minir.Loc.t) list
+val render : var_name:(int -> string) -> Ddp_core.Dep_store.t -> string

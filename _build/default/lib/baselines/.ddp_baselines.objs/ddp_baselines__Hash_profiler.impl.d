@@ -1,0 +1,1 @@
+lib/baselines/hash_profiler.ml: Array Ddp_core Ddp_util

@@ -1,0 +1,1 @@
+lib/baselines/hash_profiler.mli: Ddp_core Ddp_util

@@ -1,0 +1,1 @@
+lib/baselines/shadow_memory.ml: Array Ddp_core Ddp_util Hashtbl

@@ -1,0 +1,1 @@
+lib/baselines/shadow_memory.mli: Ddp_core Ddp_util

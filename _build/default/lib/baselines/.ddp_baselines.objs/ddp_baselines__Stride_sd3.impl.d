@@ -1,0 +1,1 @@
+lib/baselines/stride_sd3.ml: Ddp_core Hashtbl

@@ -1,0 +1,1 @@
+lib/baselines/stride_sd3.mli: Ddp_core

@@ -1,0 +1,186 @@
+(* SD3-style stride compression (Kim, Kim & Luk, MICRO'10), the
+   memory-reduction technique of the paper's main related-work baseline
+   (Sec. II): instead of one record per address, accesses issued by one
+   source line are summarized by a finite state machine that learns
+   "base + k*stride" patterns, so a million-element array walk costs one
+   record.
+
+   This module reproduces the *compression* idea as an ablation
+   comparator: it answers how many records SD3-style bookkeeping needs
+   for a trace versus the per-address entries of shadow/hash approaches,
+   and extracts pairwise dependences by stride-set intersection.  The FSM
+   follows SD3's three states: Start (first access), FirstObserved (one
+   address seen), StrideLearned (constant stride confirmed); an access
+   breaking the stride retires the current run into a fixed list and
+   restarts learning.  Point accesses (stride 0) stay point records. *)
+
+type state =
+  | Start
+  | First_observed
+  | Stride_learned
+
+type run = {
+  base : int;
+  stride : int;  (* 0 for a point *)
+  count : int;  (* addresses covered *)
+  payload : int;  (* source payload of the last access in the run *)
+}
+
+type line_record = {
+  mutable st : state;
+  mutable cur_base : int;
+  mutable cur_stride : int;
+  mutable cur_count : int;
+  mutable last_addr : int;
+  mutable last_payload : int;
+  mutable retired : run list;
+  mutable retired_count : int;
+}
+
+type t = {
+  (* one record per (source location, access kind) *)
+  writes : (int, line_record) Hashtbl.t;
+  reads : (int, line_record) Hashtbl.t;
+  deps : Ddp_core.Dep_store.t;
+  max_retired : int;  (* cap per line to bound worst-case memory *)
+}
+
+let create ?(max_retired = 64) () =
+  {
+    writes = Hashtbl.create 128;
+    reads = Hashtbl.create 128;
+    deps = Ddp_core.Dep_store.create ();
+    max_retired;
+  }
+
+let fresh_record () =
+  {
+    st = Start;
+    cur_base = 0;
+    cur_stride = 0;
+    cur_count = 0;
+    last_addr = 0;
+    last_payload = 0;
+    retired = [];
+    retired_count = 0;
+  }
+
+let record_of tbl loc =
+  match Hashtbl.find_opt tbl loc with
+  | Some r -> r
+  | None ->
+    let r = fresh_record () in
+    Hashtbl.add tbl loc r;
+    r
+
+(* Does a run cover [addr]? *)
+let run_covers r addr =
+  if r.stride = 0 then addr = r.base
+  else begin
+    let offset = addr - r.base in
+    offset >= 0 && offset mod r.stride = 0 && offset / r.stride < r.count
+  end
+
+let current_run rec_ =
+  match rec_.st with
+  | Start -> None
+  | First_observed ->
+    Some { base = rec_.last_addr; stride = 0; count = 1; payload = rec_.last_payload }
+  | Stride_learned ->
+    Some
+      {
+        base = rec_.cur_base;
+        stride = rec_.cur_stride;
+        count = rec_.cur_count;
+        payload = rec_.last_payload;
+      }
+
+let covers rec_ addr =
+  let in_current = match current_run rec_ with Some r -> run_covers r addr | None -> false in
+  if in_current then Some rec_.last_payload
+  else
+    let rec search = function
+      | [] -> None
+      | r :: rest -> if run_covers r addr then Some r.payload else search rest
+    in
+    search rec_.retired
+
+let retire rec_ ~max_retired =
+  (match current_run rec_ with
+  | Some r ->
+    if rec_.retired_count < max_retired then begin
+      rec_.retired <- r :: rec_.retired;
+      rec_.retired_count <- rec_.retired_count + 1
+    end
+  | None -> ());
+  rec_.st <- Start
+
+(* Advance the FSM of one line record with a new address. *)
+let observe t rec_ ~addr ~payload =
+  rec_.last_payload <- payload;
+  (match rec_.st with
+  | Start ->
+    rec_.st <- First_observed;
+    rec_.last_addr <- addr
+  | First_observed ->
+    let stride = addr - rec_.last_addr in
+    if stride = 0 then ()
+    else begin
+      rec_.st <- Stride_learned;
+      rec_.cur_base <- rec_.last_addr;
+      rec_.cur_stride <- stride;
+      rec_.cur_count <- 2;
+      rec_.last_addr <- addr
+    end
+  | Stride_learned ->
+    if addr - rec_.last_addr = rec_.cur_stride then begin
+      rec_.cur_count <- rec_.cur_count + 1;
+      rec_.last_addr <- addr
+    end
+    else begin
+      retire rec_ ~max_retired:t.max_retired;
+      rec_.st <- First_observed;
+      rec_.last_addr <- addr
+    end);
+  ()
+
+(* Dependence checks intersect the incoming address with every line's
+   runs of the opposite kind: O(#lines) per access — the price of range
+   granularity, acceptable because #lines is small and fixed. *)
+let check_deps t tbl ~kind ~addr ~sink =
+  Hashtbl.iter
+    (fun _loc rec_ ->
+      match covers rec_ addr with
+      | Some src_payload -> Ddp_core.Dep_store.add t.deps ~kind ~sink ~src:src_payload ~race:false
+      | None -> ())
+    tbl
+
+let on_write t ~addr ~payload ~time:_ =
+  check_deps t t.writes ~kind:Ddp_core.Dep.WAW ~addr ~sink:payload;
+  check_deps t t.reads ~kind:Ddp_core.Dep.WAR ~addr ~sink:payload;
+  let loc = Ddp_core.Payload.loc payload in
+  observe t (record_of t.writes loc) ~addr ~payload
+
+let on_read t ~addr ~payload ~time:_ =
+  check_deps t t.writes ~kind:Ddp_core.Dep.RAW ~addr ~sink:payload;
+  let loc = Ddp_core.Payload.loc payload in
+  observe t (record_of t.reads loc) ~addr ~payload
+
+let deps t = t.deps
+
+let records t =
+  let count tbl =
+    Hashtbl.fold (fun _ r acc -> acc + r.retired_count + 1) tbl 0
+  in
+  count t.writes + count t.reads
+
+(* Per-record footprint: ~10 words, plus retired runs at 5 words. *)
+let bytes t =
+  let of_tbl tbl =
+    Hashtbl.fold (fun _ r acc -> acc + (10 * 8) + (r.retired_count * 5 * 8)) tbl 0
+  in
+  of_tbl t.writes + of_tbl t.reads
+
+(* Compression ratio versus one record per distinct address. *)
+let compression_vs ~distinct_addresses t =
+  if records t = 0 then 1.0 else float_of_int distinct_addresses /. float_of_int (records t)

@@ -1,0 +1,21 @@
+(** SD3-style stride-compressed access bookkeeping (the paper's main
+    related-work baseline): per-source-line finite state machines learn
+    "base + k*stride" runs, trading per-address exactness for range
+    granularity.  Used by the ablation benches. *)
+
+type t
+
+val create : ?max_retired:int -> unit -> t
+val on_write : t -> addr:int -> payload:int -> time:int -> unit
+val on_read : t -> addr:int -> payload:int -> time:int -> unit
+
+val deps : t -> Ddp_core.Dep_store.t
+(** Dependences at stride-run granularity. *)
+
+val records : t -> int
+(** Stride/point records currently held. *)
+
+val bytes : t -> int
+
+val compression_vs : distinct_addresses:int -> t -> float
+(** How many per-address entries one stride record replaces. *)

@@ -1,0 +1,1 @@
+lib/core/algo.ml: Dep Dep_store Perfect_sig Sig_store

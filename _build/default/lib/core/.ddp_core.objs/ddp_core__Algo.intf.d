@@ -1,0 +1,1 @@
+lib/core/algo.mli: Dep Dep_store Perfect_sig Sig_store

@@ -1,0 +1,1 @@
+lib/core/dep.ml: Bool Ddp_minir Hashtbl Int Payload Printf

@@ -1,0 +1,1 @@
+lib/core/dep_store.ml: Ddp_util Dep Hashtbl Set

@@ -1,0 +1,1 @@
+lib/core/dep_store.mli: Ddp_util Dep Set

@@ -1,0 +1,1 @@
+lib/core/dispatch.ml: Array Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/core/fpr_model.ml:

@@ -1,0 +1,1 @@
+lib/core/locked_queue.ml: Domain Mutex Queue

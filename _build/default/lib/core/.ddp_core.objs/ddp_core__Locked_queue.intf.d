@@ -1,0 +1,1 @@
+lib/core/locked_queue.mli:

@@ -1,0 +1,1 @@
+lib/core/mt_frontend.ml: Ddp_minir Ddp_util Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/mt_frontend.mli: Ddp_minir

@@ -1,0 +1,1 @@
+lib/core/parallel_profiler.ml: Algo Array Atomic Chunk Config Ddp_minir Ddp_util Dep_store Dispatch Domain List Locked_queue Option Payload Region Sig_store Spsc_queue Unix

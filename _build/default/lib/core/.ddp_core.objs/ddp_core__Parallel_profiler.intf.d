@@ -1,0 +1,1 @@
+lib/core/parallel_profiler.mli: Config Ddp_minir Ddp_util Dep_store Region

@@ -1,0 +1,1 @@
+lib/core/payload.mli: Ddp_minir

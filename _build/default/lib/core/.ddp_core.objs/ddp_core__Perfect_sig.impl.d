@@ -1,0 +1,1 @@
+lib/core/perfect_sig.ml: Ddp_util Hashtbl

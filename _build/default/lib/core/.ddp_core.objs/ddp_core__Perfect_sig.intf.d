@@ -1,0 +1,1 @@
+lib/core/perfect_sig.mli: Ddp_util

@@ -1,0 +1,1 @@
+lib/core/profiler.ml: Config Ddp_minir Ddp_util Dep_store Mt_frontend Option Parallel_profiler Region Report Serial_profiler

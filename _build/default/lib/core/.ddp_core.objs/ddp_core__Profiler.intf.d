@@ -1,0 +1,1 @@
+lib/core/profiler.mli: Config Ddp_minir Ddp_util Dep_store Parallel_profiler Region

@@ -1,0 +1,1 @@
+lib/core/region.ml: Ddp_minir Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Ddp_minir Dep Dep_store Int List Map Option Printf Region String

@@ -1,0 +1,1 @@
+lib/core/serial_profiler.ml: Algo Config Ddp_minir Dep_store Option Payload Perfect_sig Region Sig_store

@@ -1,0 +1,1 @@
+lib/core/serial_profiler.mli: Algo Config Ddp_minir Ddp_util Dep_store Region

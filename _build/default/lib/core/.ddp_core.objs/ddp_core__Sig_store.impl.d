@@ -1,0 +1,1 @@
+lib/core/sig_store.ml: Array Ddp_util

@@ -1,0 +1,1 @@
+lib/core/sig_store.mli: Ddp_util

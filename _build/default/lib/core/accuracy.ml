@@ -1,0 +1,41 @@
+(* Accuracy of profiled dependences against the perfect-signature baseline
+   (paper Sec. VI-A, Table I).
+
+   A false positive is a dependence the signature profiler reports that
+   the perfect signature does not (a collision made a stranger's payload
+   look like the last access).  A false negative is a true dependence the
+   signature profiler misses (the true source was overwritten by a
+   collider, so the built dependence carries the wrong source).  Rates
+   are relative to the respective set sizes. *)
+
+type t = {
+  reported : int;
+  ground_truth : int;
+  false_positives : int;
+  false_negatives : int;
+  fpr : float;  (* false_positives / reported *)
+  fnr : float;  (* false_negatives / ground_truth *)
+}
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let of_key_sets ~reported ~ground_truth =
+  let module S = Dep_store.Key_set in
+  let fp = S.cardinal (S.diff reported ground_truth) in
+  let fn = S.cardinal (S.diff ground_truth reported) in
+  {
+    reported = S.cardinal reported;
+    ground_truth = S.cardinal ground_truth;
+    false_positives = fp;
+    false_negatives = fn;
+    fpr = ratio fp (S.cardinal reported);
+    fnr = ratio fn (S.cardinal ground_truth);
+  }
+
+let compare_stores ~profiled ~perfect =
+  of_key_sets ~reported:(Dep_store.key_set_no_race profiled)
+    ~ground_truth:(Dep_store.key_set_no_race perfect)
+
+let pp ppf t =
+  Format.fprintf ppf "reported %d, truth %d, FP %d (%.2f%%), FN %d (%.2f%%)" t.reported
+    t.ground_truth t.false_positives (100.0 *. t.fpr) t.false_negatives (100.0 *. t.fnr)

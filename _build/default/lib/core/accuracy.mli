@@ -1,0 +1,19 @@
+(** False-positive / false-negative rates of a profiled dependence set
+    against the perfect-signature baseline (Table I). *)
+
+type t = {
+  reported : int;
+  ground_truth : int;
+  false_positives : int;
+  false_negatives : int;
+  fpr : float;  (** FP / reported *)
+  fnr : float;  (** FN / ground truth *)
+}
+
+val of_key_sets :
+  reported:Dep_store.Key_set.t -> ground_truth:Dep_store.Key_set.t -> t
+
+val compare_stores : profiled:Dep_store.t -> perfect:Dep_store.t -> t
+(** Race flags are ignored in the comparison. *)
+
+val pp : Format.formatter -> t -> unit

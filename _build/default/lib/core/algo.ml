@@ -1,0 +1,108 @@
+(* Algorithm 1 of the paper: signature-based data-dependence detection.
+
+   Two access stores (one for reads, one for writes) record the last
+   access that mapped to each slot.  On a write: an empty write slot
+   means this is the address's first write (INIT); otherwise a WAW is
+   built; a non-empty read slot builds a WAR.  On a read: a non-empty
+   write slot builds a RAW.  Read-after-read is deliberately not tracked.
+
+   Deviation from the paper's printed pseudocode: there, WAR is nested
+   under the "write slot non-empty" branch, so a read-then-write with no
+   earlier write would be missed.  We build WAR from the read slot alone,
+   which matches the paper's prose; the literal behaviour is available
+   via [war_requires_prior_write] and quantified by the `ablate-war`
+   bench.
+
+   The functor abstracts the store so the same kernel runs over the real
+   signature (Sig_store), the perfect signature (Perfect_sig) and the
+   baseline stores. *)
+
+module type STORE = sig
+  type t
+
+  val probe : t -> addr:int -> int
+  val probe_time : t -> addr:int -> int
+  val set : t -> addr:int -> payload:int -> time:int -> unit
+  val remove : t -> addr:int -> unit
+end
+
+(* Optional observer invoked for every dependence as it is built, with the
+   timestamps of both end points — the hook the loop-parallelism analysis
+   (Sec. VII-A) uses to decide whether a dependence is loop-carried. *)
+type dep_observer = Dep.kind -> sink:int -> src:int -> src_time:int -> sink_time:int -> unit
+
+(* Output signature of [Make], usable as a first-class module so store-
+   agnostic code (e.g. Serial_profiler) can be written once. *)
+module type S = sig
+  type store
+  type t
+
+  val create :
+    ?track_init:bool ->
+    ?war_requires_prior_write:bool ->
+    ?check_timestamps:bool ->
+    reads:store ->
+    writes:store ->
+    deps:Dep_store.t ->
+    unit ->
+    t
+
+  val set_observer : t -> dep_observer -> unit
+  val on_write : t -> addr:int -> payload:int -> time:int -> unit
+  val on_read : t -> addr:int -> payload:int -> time:int -> unit
+  val on_free : t -> addr:int -> unit
+end
+
+module Make (S : STORE) = struct
+  type store = S.t
+  type t = {
+    reads : S.t;
+    writes : S.t;
+    deps : Dep_store.t;
+    track_init : bool;
+    war_requires_prior_write : bool;
+    check_timestamps : bool;
+    mutable observer : dep_observer option;
+  }
+
+  let create ?(track_init = true) ?(war_requires_prior_write = false)
+      ?(check_timestamps = false) ~reads ~writes ~deps () =
+    { reads; writes; deps; track_init; war_requires_prior_write; check_timestamps; observer = None }
+
+  let set_observer t obs = t.observer <- Some obs
+
+  let build t kind ~sink ~src ~src_time ~sink_time =
+    (* A source timestamp later than the sink's means the push order was
+       observed reversed: flag a potential race (Sec. V-B). *)
+    let race = t.check_timestamps && src_time > sink_time in
+    Dep_store.add t.deps ~kind ~sink ~src ~race;
+    match t.observer with
+    | Some f -> f kind ~sink ~src ~src_time ~sink_time
+    | None -> ()
+
+  let on_write t ~addr ~payload ~time =
+    let w = S.probe t.writes ~addr in
+    if w = 0 then begin
+      if t.track_init then Dep_store.add_init t.deps ~sink:payload
+    end
+    else build t Dep.WAW ~sink:payload ~src:w ~src_time:(S.probe_time t.writes ~addr) ~sink_time:time;
+    let r = S.probe t.reads ~addr in
+    if r <> 0 && ((not t.war_requires_prior_write) || w <> 0) then
+      build t Dep.WAR ~sink:payload ~src:r ~src_time:(S.probe_time t.reads ~addr) ~sink_time:time;
+    S.set t.writes ~addr ~payload ~time
+
+  let on_read t ~addr ~payload ~time =
+    let w = S.probe t.writes ~addr in
+    if w <> 0 then
+      build t Dep.RAW ~sink:payload ~src:w ~src_time:(S.probe_time t.writes ~addr) ~sink_time:time;
+    S.set t.reads ~addr ~payload ~time
+
+  (* Variable-lifetime analysis: a freed address's history must not leak
+     into the next variable that reuses the address. *)
+  let on_free t ~addr =
+    S.remove t.reads ~addr;
+    S.remove t.writes ~addr
+end
+
+module Over_signature = Make (Sig_store)
+module Over_perfect = Make (Perfect_sig)

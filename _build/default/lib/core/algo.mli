@@ -1,0 +1,44 @@
+(** Algorithm 1 of the paper: the signature-based dependence-detection
+    kernel, as a functor over the access store so the same code runs over
+    real signatures, the perfect signature and baseline stores. *)
+
+module type STORE = sig
+  type t
+
+  val probe : t -> addr:int -> int
+  (** Packed payload of the last recorded access; 0 if none. *)
+
+  val probe_time : t -> addr:int -> int
+  val set : t -> addr:int -> payload:int -> time:int -> unit
+  val remove : t -> addr:int -> unit
+end
+
+type dep_observer = Dep.kind -> sink:int -> src:int -> src_time:int -> sink_time:int -> unit
+
+module type S = sig
+  type store
+  type t
+
+  val create :
+    ?track_init:bool ->
+    ?war_requires_prior_write:bool ->
+    ?check_timestamps:bool ->
+    reads:store ->
+    writes:store ->
+    deps:Dep_store.t ->
+    unit ->
+    t
+  (** [war_requires_prior_write] restores the paper's literal pseudocode
+      (WAR only after an earlier write); [check_timestamps] enables the
+      reversed-order race flag of Sec. V-B. *)
+
+  val set_observer : t -> dep_observer -> unit
+  val on_write : t -> addr:int -> payload:int -> time:int -> unit
+  val on_read : t -> addr:int -> payload:int -> time:int -> unit
+  val on_free : t -> addr:int -> unit
+end
+
+module Make (S : STORE) : S with type store = S.t
+
+module Over_signature : S with type store = Sig_store.t
+module Over_perfect : S with type store = Perfect_sig.t

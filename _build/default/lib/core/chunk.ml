@@ -1,0 +1,47 @@
+(* Chunks of memory accesses (paper Sec. IV): the unit of transfer from
+   the producer (the instrumented program) to the worker threads.
+
+   Struct-of-arrays layout with pre-sized int lanes: filling a chunk
+   allocates nothing, and chunks are recycled through a return queue, so
+   steady-state profiling is allocation-free on the producer side. *)
+
+(* Operation tags packed into the low bits of the meta lane. *)
+let op_read = 0
+let op_write = 1
+let op_free = 2
+
+type t = {
+  addrs : int array;
+  meta : int array;  (* payload lsl 2 | op *)
+  times : int array;
+  capacity : int;
+  mutable len : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Chunk.create: capacity must be positive";
+  {
+    addrs = Array.make capacity 0;
+    meta = Array.make capacity 0;
+    times = Array.make capacity 0;
+    capacity;
+    len = 0;
+  }
+
+let is_full t = t.len >= t.capacity
+let length t = t.len
+let clear t = t.len <- 0
+
+let push t ~addr ~op ~payload ~time =
+  let i = t.len in
+  t.addrs.(i) <- addr;
+  t.meta.(i) <- (payload lsl 2) lor op;
+  t.times.(i) <- time;
+  t.len <- i + 1
+
+let addr t i = t.addrs.(i)
+let op t i = t.meta.(i) land 3
+let payload t i = t.meta.(i) lsr 2
+let time t i = t.times.(i)
+
+let bytes t = (3 * t.capacity * 8) + 40

@@ -1,0 +1,24 @@
+(** Chunks of memory accesses: the producer-to-worker transfer unit of the
+    paper's parallel design.  Struct-of-arrays, recycled, allocation-free
+    to fill. *)
+
+type t
+
+val op_read : int
+val op_write : int
+val op_free : int
+
+val create : capacity:int -> t
+val is_full : t -> bool
+val length : t -> int
+val clear : t -> unit
+
+val push : t -> addr:int -> op:int -> payload:int -> time:int -> unit
+(** Precondition: [not (is_full t)]. *)
+
+val addr : t -> int -> int
+val op : t -> int -> int
+val payload : t -> int -> int
+val time : t -> int -> int
+
+val bytes : t -> int

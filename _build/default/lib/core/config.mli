@@ -1,0 +1,25 @@
+(** Profiler configuration (see DESIGN.md for the mapping to the paper's
+    parameters). *)
+
+type t = {
+  slots : int;
+  track_init : bool;
+  war_requires_prior_write : bool;
+  lifetime_analysis : bool;
+  check_timestamps : bool;
+  workers : int;
+  chunk_size : int;
+  queue_capacity : int;
+  lock_free : bool;
+  redistribution_interval : int;
+  hot_set_size : int;
+  stats_sample : int;
+  reorder_window : int;
+  section_level : bool;
+      (** Sec. VI-B set-based profiling: loop-region granularity instead
+          of statements (serial profiler only). *)
+  seed : int;
+}
+
+val default : t
+val slots_per_worker : t -> int

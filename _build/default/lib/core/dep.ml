@@ -1,0 +1,69 @@
+(* Data dependences.
+
+   A dependence is the triple <sink, type, source> of the paper's
+   Sec. III-A, where sink and source are (location, thread) pairs plus the
+   variable name, and type is RAW / WAR / WAW or the pseudo-type INIT
+   marking the first write to an address.  Source and sink are kept in
+   packed payload form (see Payload); [view] decodes them for display. *)
+
+module Loc = Ddp_minir.Loc
+
+type kind =
+  | RAW
+  | WAR
+  | WAW
+  | INIT
+
+let kind_to_string = function RAW -> "RAW" | WAR -> "WAR" | WAW -> "WAW" | INIT -> "INIT"
+
+let kind_compare a b =
+  let rank = function RAW -> 0 | WAR -> 1 | WAW -> 2 | INIT -> 3 in
+  Int.compare (rank a) (rank b)
+
+(* The merged-dependence key: identical keys are stored once (paper:
+   "we merge identical dependences", Sec. III-B).  [race] marks a
+   dependence whose access order was observed reversed at the worker — a
+   potential data race on an unenforced dependence (Sec. V-B). *)
+type t = {
+  kind : kind;
+  sink : int;  (* packed payload; never 0 *)
+  src : int;  (* packed payload; 0 for INIT *)
+  race : bool;
+}
+
+let compare a b =
+  let c = Int.compare a.sink b.sink in
+  if c <> 0 then c
+  else
+    let c = kind_compare a.kind b.kind in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.src b.src in
+      if c <> 0 then c else Bool.compare a.race b.race
+
+let equal a b = a.kind = b.kind && a.sink = b.sink && a.src = b.src && a.race = b.race
+let hash t = Hashtbl.hash t
+
+let sink_loc t = Payload.loc t.sink
+let sink_thread t = Payload.thread t.sink
+let src_loc t = if t.src = 0 then Loc.none else Payload.loc t.src
+let src_thread t = if t.src = 0 then -1 else Payload.thread t.src
+let var t = if t.src = 0 then Payload.var t.sink else Payload.var t.src
+
+let is_cross_thread t = t.src <> 0 && Payload.thread t.src <> Payload.thread t.sink
+
+(* Render one dependence the way the paper's Fig. 1 / Fig. 3 print it:
+   "{RAW 1:59|temp1}" sequentially, "{RAW 4:77|2|iter}" with thread ids.
+   INIT has no source: "{INIT *}". *)
+let to_string ?(show_threads = false) ~var_name t =
+  match t.kind with
+  | INIT -> "{INIT *}"
+  | RAW | WAR | WAW ->
+    let name = var_name (var t) in
+    let race = if t.race then "?" else "" in
+    if show_threads then
+      Printf.sprintf "{%s%s %s|%d|%s}" (kind_to_string t.kind) race
+        (Loc.to_string (src_loc t))
+        (src_thread t) name
+    else
+      Printf.sprintf "{%s%s %s|%s}" (kind_to_string t.kind) race (Loc.to_string (src_loc t)) name

@@ -1,0 +1,38 @@
+(** Data dependences: the triple <sink, type, source> of the paper's
+    Sec. III-A, in packed-payload form. *)
+
+type kind =
+  | RAW
+  | WAR
+  | WAW
+  | INIT  (** pseudo-type: first write to an address *)
+
+val kind_to_string : kind -> string
+val kind_compare : kind -> kind -> int
+
+type t = {
+  kind : kind;
+  sink : int;  (** packed payload of the later access; never 0 *)
+  src : int;  (** packed payload of the earlier access; 0 for INIT *)
+  race : bool;  (** observed-reversed timestamps: potential data race (Sec. V-B) *)
+}
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val sink_loc : t -> Ddp_minir.Loc.t
+val sink_thread : t -> int
+val src_loc : t -> Ddp_minir.Loc.t
+val src_thread : t -> int
+
+val var : t -> int
+(** Variable id of the accessed location (the source's, falling back to
+    the sink's for INIT). *)
+
+val is_cross_thread : t -> bool
+
+val to_string : ?show_threads:bool -> var_name:(int -> string) -> t -> string
+(** Paper-style rendering: ["{RAW 1:59|temp1}"], ["{RAW 4:77|2|iter}"]
+    with thread ids, ["{INIT *}"].  A trailing ["?"] after the kind marks
+    a potential race. *)

@@ -1,0 +1,91 @@
+(* Address-to-worker distribution with hot-address load balancing
+   (paper Sec. IV-A).
+
+   Baseline rule: worker = address mod W (the paper's Eq. 1).  On top of
+   that, a sampled access-statistics map tracks how often each address is
+   touched; at regular intervals the dispatcher checks whether the
+   [hot_set_size] most-accessed addresses are spread evenly over workers
+   and, if not, produces an explicit redistribution: hot addresses are
+   reassigned round-robin and recorded in an override map that takes
+   priority over the modulo rule.  The caller (Parallel_profiler) is
+   responsible for migrating signature state of moved addresses. *)
+
+type t = {
+  workers : int;
+  overrides : (int, int) Hashtbl.t;  (* addr -> worker, beats the modulo rule *)
+  stats : (int, int ref) Hashtbl.t;  (* sampled access counts *)
+  sample : int;  (* note 1 in [sample] accesses *)
+  hot_set_size : int;
+  mutable clock : int;  (* accesses seen, for sampling *)
+  mutable redistributions : int;
+}
+
+let create ~workers ~sample ~hot_set_size =
+  if workers <= 0 then invalid_arg "Dispatch.create: workers must be positive";
+  {
+    workers;
+    overrides = Hashtbl.create 64;
+    stats = Hashtbl.create 4096;
+    sample = max 1 sample;
+    hot_set_size;
+    clock = 0;
+    redistributions = 0;
+  }
+
+let worker_of t addr =
+  match Hashtbl.find_opt t.overrides addr with
+  | Some w -> w
+  | None -> addr mod t.workers
+
+(* Sampled statistics update: the paper updates on every access; sampling
+   by a fixed stride keeps the producer overhead bounded while preserving
+   the ranking of heavily accessed addresses. *)
+let note_access t addr =
+  t.clock <- t.clock + 1;
+  if t.clock mod t.sample = 0 then
+    match Hashtbl.find_opt t.stats addr with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.stats addr (ref 1)
+
+let hot_addresses t =
+  let all = Hashtbl.fold (fun addr r acc -> (addr, !r) :: acc) t.stats [] in
+  let sorted = List.sort (fun (_, a) (_, b) -> Int.compare b a) all in
+  List.filteri (fun i _ -> i < t.hot_set_size) sorted |> List.map fst
+
+(* Check balance of the hot set; if any worker owns more than its fair
+   share, reassign hot addresses round-robin (most-accessed first).
+   Returns the moves (addr, old_worker, new_worker) so the caller can
+   migrate signature state.  An empty list means the distribution was
+   already acceptable. *)
+let rebalance t =
+  let hot = hot_addresses t in
+  let n = List.length hot in
+  if n = 0 then []
+  else begin
+    let per_worker = Array.make t.workers 0 in
+    List.iter (fun addr -> per_worker.(worker_of t addr) <- per_worker.(worker_of t addr) + 1) hot;
+    let fair = (n + t.workers - 1) / t.workers in
+    let unbalanced = Array.exists (fun c -> c > fair) per_worker in
+    if not unbalanced then []
+    else begin
+      t.redistributions <- t.redistributions + 1;
+      let moves = ref [] in
+      List.iteri
+        (fun i addr ->
+          let target = i mod t.workers in
+          let current = worker_of t addr in
+          if current <> target then begin
+            Hashtbl.replace t.overrides addr target;
+            moves := (addr, current, target) :: !moves
+          end)
+        hot;
+      List.rev !moves
+    end
+  end
+
+let redistributions t = t.redistributions
+let override_count t = Hashtbl.length t.overrides
+let stats_entries t = Hashtbl.length t.stats
+
+(* stats map + overrides, ~6 words per entry *)
+let bytes t = 6 * 8 * (Hashtbl.length t.stats + Hashtbl.length t.overrides)

@@ -1,0 +1,25 @@
+(** Address-to-worker distribution: the modulo rule of the paper's Eq. (1)
+    plus sampled access statistics and hot-address redistribution
+    (Sec. IV-A). *)
+
+type t
+
+val create : workers:int -> sample:int -> hot_set_size:int -> t
+
+val worker_of : t -> int -> int
+(** Owning worker of an address (override map, falling back to modulo). *)
+
+val note_access : t -> int -> unit
+(** Record one access into the sampled statistics. *)
+
+val hot_addresses : t -> int list
+(** The current top-N most-accessed addresses, hottest first. *)
+
+val rebalance : t -> (int * int * int) list
+(** Check the hot-set balance; returns [(addr, old, new)] moves performed
+    (empty when already balanced).  Caller must migrate signature state. *)
+
+val redistributions : t -> int
+val override_count : t -> int
+val stats_entries : t -> int
+val bytes : t -> int

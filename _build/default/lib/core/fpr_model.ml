@@ -1,0 +1,33 @@
+(* Analytical false-positive model of the paper's Sec. VI-A, Eq. (2):
+
+     P_fp = 1 - (1 - 1/m)^n
+
+   the probability that a given slot of an m-slot signature is already
+   occupied after inserting n distinct addresses — i.e. the chance a
+   membership check reports a colliding stranger.  The model predicts the
+   trend of Table I: FPR inversely proportional to m, proportional to n. *)
+
+let p_fp ~slots ~addresses =
+  if slots <= 0 then invalid_arg "Fpr_model.p_fp: slots must be positive";
+  if addresses < 0 then invalid_arg "Fpr_model.p_fp: addresses must be non-negative";
+  let m = float_of_int slots and n = float_of_int addresses in
+  (* log1p-based form stays accurate for large m. *)
+  1.0 -. exp (n *. log1p (-1.0 /. m))
+
+(* Smallest signature size whose predicted collision probability stays
+   under [target] for [addresses] distinct addresses — the sizing helper
+   the paper suggests ("if an estimation of the total number of memory
+   accesses ... is available, the signature size can also be estimated"). *)
+let slots_for ~addresses ~target =
+  if target <= 0.0 || target >= 1.0 then invalid_arg "Fpr_model.slots_for: target must be in (0,1)";
+  if addresses <= 0 then 1
+  else begin
+    let n = float_of_int addresses in
+    (* Solve 1 - (1 - 1/m)^n <= t  =>  m >= 1 / (1 - (1-t)^{1/n}) *)
+    let m = 1.0 /. (1.0 -. exp (log1p (-.target) /. n)) in
+    int_of_float (ceil m)
+  end
+
+(* Expected number of occupied slots after n inserts (balls in bins):
+   m * P_fp.  Useful to sanity-check measured signature occupancy. *)
+let expected_occupancy ~slots ~addresses = float_of_int slots *. p_fp ~slots ~addresses

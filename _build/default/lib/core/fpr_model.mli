@@ -1,0 +1,13 @@
+(** The analytical false-positive model of the paper's Eq. (2):
+    [P_fp = 1 - (1 - 1/m)^n]. *)
+
+val p_fp : slots:int -> addresses:int -> float
+(** Probability that a membership check hits a colliding slot after
+    inserting [addresses] distinct addresses into a [slots]-slot
+    signature. *)
+
+val slots_for : addresses:int -> target:float -> int
+(** Smallest signature size keeping the predicted collision probability
+    at or below [target]. *)
+
+val expected_occupancy : slots:int -> addresses:int -> float

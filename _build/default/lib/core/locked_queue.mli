@@ -1,0 +1,13 @@
+(** Mutex-protected bounded queue, interface-compatible with
+    {!Spsc_queue}: the lock-based baseline of the paper's Fig. 5. *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val try_push : 'a t -> 'a -> bool
+val push_blocking : 'a t -> 'a -> unit
+val try_pop : 'a t -> 'a option
+val bytes : 'a t -> int

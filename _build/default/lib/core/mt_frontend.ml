@@ -1,0 +1,154 @@
+(* Push layer for multi-threaded target programs (paper Sec. V).
+
+   In a real multi-threaded execution, a memory access and the push of its
+   record into the profiler are atomic only when the access is inside a
+   lock region (the instrumentation inserts the push into the same region,
+   Fig. 4).  Unlocked accesses can be pushed after other threads have
+   accessed the same address, so the worker can observe timestamps out of
+   order — which the profiler turns into a potential-data-race flag
+   (Sec. V-B).
+
+   Our interpreter is deterministic, so this non-atomicity must be
+   *emulated*: each simulated thread gets a FIFO buffer of pending pushes;
+   a locked access first flushes its thread's buffer and is then forwarded
+   immediately (access+push atomic), while an unlocked access is held back
+   by a seeded random delay of up to [window] push-layer steps.  Per
+   thread the push order stays program order (as in reality); reordering
+   happens only across threads, and only for unlocked accesses — exactly
+   the phenomenon the paper describes. *)
+
+module Event = Ddp_minir.Event
+
+type pending = {
+  is_write : bool;
+  addr : int;
+  loc : Ddp_minir.Loc.t;
+  var : int;
+  thread : int;
+  time : int;
+  deadline : int;
+}
+
+type t = {
+  inner : Event.hooks;
+  window : int;
+  rng : Ddp_util.Rng.t;
+  buffers : (int, pending Queue.t) Hashtbl.t;
+  mutable active : int list;  (* threads with possibly non-empty buffers *)
+  mutable seq : int;  (* push-layer step counter *)
+  mutable delayed : int;  (* accesses that were buffered, for diagnostics *)
+  mutable pending : int;  (* currently buffered pushes *)
+  mutable peak_pending : int;  (* high-water mark of buffered pushes *)
+}
+
+let create ?(window = 6) ?(seed = 99) inner =
+  {
+    inner;
+    window;
+    rng = Ddp_util.Rng.create seed;
+    buffers = Hashtbl.create 16;
+    active = [];
+    seq = 0;
+    delayed = 0;
+    pending = 0;
+    peak_pending = 0;
+  }
+
+let buffer t thread =
+  match Hashtbl.find_opt t.buffers thread with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.buffers thread q;
+    t.active <- thread :: t.active;
+    q
+
+let forward t (p : pending) =
+  t.pending <- t.pending - 1;
+  if p.is_write then
+    t.inner.Event.on_write ~addr:p.addr ~loc:p.loc ~var:p.var ~thread:p.thread ~time:p.time
+      ~locked:false
+  else
+    t.inner.Event.on_read ~addr:p.addr ~loc:p.loc ~var:p.var ~thread:p.thread ~time:p.time
+      ~locked:false
+
+(* Flush, per thread in FIFO order, every buffered push whose deadline has
+   passed.  Thread visiting order follows the (stable) active list. *)
+let flush_expired t =
+  List.iter
+    (fun thread ->
+      let q = Hashtbl.find t.buffers thread in
+      let continue_ = ref true in
+      while !continue_ do
+        match Queue.peek_opt q with
+        | Some p when p.deadline <= t.seq -> forward t (Queue.pop q)
+        | Some _ | None -> continue_ := false
+      done)
+    t.active
+
+let flush_thread t thread =
+  match Hashtbl.find_opt t.buffers thread with
+  | None -> ()
+  | Some q ->
+    while not (Queue.is_empty q) do
+      forward t (Queue.pop q)
+    done
+
+let flush_all t = List.iter (flush_thread t) t.active
+
+let on_access t ~is_write ~addr ~loc ~var ~thread ~time ~locked =
+  t.seq <- t.seq + 1;
+  flush_expired t;
+  if locked then begin
+    (* Access and push are atomic inside a lock region: preserve order. *)
+    flush_thread t thread;
+    let p = { is_write; addr; loc; var; thread; time; deadline = 0 } in
+    if is_write then
+      t.inner.Event.on_write ~addr ~loc ~var ~thread ~time ~locked:true
+    else t.inner.Event.on_read ~addr ~loc ~var ~thread ~time ~locked:true;
+    ignore p
+  end
+  else begin
+    t.delayed <- t.delayed + 1;
+    let delay = 1 + Ddp_util.Rng.int t.rng (max 1 t.window) in
+    Queue.push
+      { is_write; addr; loc; var; thread; time; deadline = t.seq + delay }
+      (buffer t thread);
+    t.pending <- t.pending + 1;
+    if t.pending > t.peak_pending then t.peak_pending <- t.pending
+  end
+
+let hooks t =
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        on_access t ~is_write:false ~addr ~loc ~var ~thread ~time ~locked);
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        on_access t ~is_write:true ~addr ~loc ~var ~thread ~time ~locked);
+    on_region_enter = t.inner.Event.on_region_enter;
+    on_region_iter = t.inner.Event.on_region_iter;
+    on_region_exit = t.inner.Event.on_region_exit;
+    on_alloc = t.inner.Event.on_alloc;
+    on_free =
+      (fun ~base ~len ~var ->
+        (* A free invalidates signature state: all pending pushes must land
+           before it, whatever their thread. *)
+        flush_all t;
+        t.inner.Event.on_free ~base ~len ~var);
+    on_call = t.inner.Event.on_call;
+    on_return = t.inner.Event.on_return;
+    on_thread_end =
+      (fun ~thread ->
+        flush_thread t thread;
+        t.inner.Event.on_thread_end ~thread);
+  }
+
+let finish t = flush_all t
+let delayed t = t.delayed
+
+(* Pending-buffer footprint: one boxed record of 8 words per entry plus
+   queue cells, at the high-water mark.  Part of the "additional data
+   structures to record thread interleaving events" the paper cites for
+   the higher MT memory (Fig. 8). *)
+let peak_bytes t = t.peak_pending * 10 * 8

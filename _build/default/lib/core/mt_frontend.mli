@@ -1,0 +1,24 @@
+(** Push layer for multi-threaded targets (paper Sec. V): emulates the
+    non-atomicity of access+push outside lock regions by delaying unlocked
+    pushes per thread (FIFO within a thread, reorderable across threads),
+    so the worker-side timestamp check can observe reversed orders and
+    flag potential races. *)
+
+type t
+
+val create : ?window:int -> ?seed:int -> Ddp_minir.Event.hooks -> t
+(** Wrap profiler hooks.  [window] bounds the random push delay of an
+    unlocked access in push-layer steps. *)
+
+val hooks : t -> Ddp_minir.Event.hooks
+(** The wrapped hooks to attach to the interpreter. *)
+
+val finish : t -> unit
+(** Flush all pending pushes (call after the run). *)
+
+val delayed : t -> int
+(** Number of accesses that went through the delay buffer. *)
+
+val peak_bytes : t -> int
+(** High-water footprint of the pending buffers (part of the extra MT
+    memory of the paper's Fig. 8). *)

@@ -1,0 +1,342 @@
+(* The parallel profiler (paper Sec. IV, Fig. 2).
+
+   The main thread executes the instrumented program and fills per-worker
+   chunks of memory accesses; addresses are assigned to workers by
+   Dispatch (modulo rule + hot-address redistribution) so every address
+   is owned by exactly one worker and dependence types stay correct.
+   Full chunks travel through per-worker bounded queues — lock-free SPSC
+   rings by default, the mutex-based variant for the Fig. 5 comparison —
+   and workers run Algorithm 1 on their own signature pair, storing
+   dependences in thread-local maps that are merged at the end.  Empty
+   chunks return to the producer over per-worker recycle queues, so
+   steady-state profiling allocates nothing.
+
+   Redistribution (Sec. IV-A) uses a drain barrier: the producer waits
+   until every worker has consumed its queue (pushed == processed), then
+   migrates the signature slots of moved addresses and resumes.  The
+   paper performs at most ~20 redistributions per run, so the barrier
+   cost is negligible.
+
+   On the 1-core evaluation machine workers cannot run truly in parallel;
+   idle loops therefore back off to the OS scheduler after a bounded spin
+   so the producer is not starved.  Per-worker event counts and busy
+   times are recorded for the multicore makespan model described in
+   DESIGN.md. *)
+
+module Clock = Ddp_util.Clock
+module Event = Ddp_minir.Event
+
+type queue = {
+  try_push : Chunk.t -> bool;
+  pop : unit -> Chunk.t option;
+  q_bytes : int;
+}
+
+let dummy_chunk = Chunk.create ~capacity:1
+
+let make_queue ~lock_free ~capacity =
+  if lock_free then begin
+    let q = Spsc_queue.create ~capacity ~dummy:dummy_chunk in
+    {
+      try_push = (fun c -> Spsc_queue.try_push q c);
+      pop = (fun () -> Spsc_queue.try_pop q);
+      q_bytes = Spsc_queue.bytes q;
+    }
+  end
+  else begin
+    let q = Locked_queue.create ~capacity ~dummy:dummy_chunk in
+    {
+      try_push = (fun c -> Locked_queue.try_push q c);
+      pop = (fun () -> Locked_queue.try_pop q);
+      q_bytes = Locked_queue.bytes q;
+    }
+  end
+
+(* Bounded spin, then yield the timeslice: mandatory on machines with
+   fewer cores than domains. *)
+let backoff spins =
+  if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
+
+type worker = {
+  id : int;
+  work_q : queue;
+  recycle_q : queue;
+  reads : Sig_store.t;
+  writes : Sig_store.t;
+  algo : Algo.Over_signature.t;
+  deps : Dep_store.t;
+  pushed : int Atomic.t;  (* chunks handed to this worker *)
+  processed : int Atomic.t;  (* chunks fully consumed *)
+  mutable events : int;
+  mutable busy : float;
+}
+
+type t = {
+  config : Config.t;
+  workers : worker array;
+  dispatch : Dispatch.t;
+  open_chunks : Chunk.t array;
+  regions : Region.t;
+  global_deps : Dep_store.t;
+  stop : bool Atomic.t;
+  mutable domains : unit Domain.t array;
+  mutable chunks_pushed : int;
+  mutable extra_chunks : int;  (* allocated beyond the initial pool *)
+  account : (Ddp_util.Mem_account.t * string) option;
+}
+
+type result = {
+  deps : Dep_store.t;
+  regions : Region.t;
+  chunks : int;
+  redistributions : int;
+  per_worker_events : int array;
+  per_worker_busy : float array;
+  signature_bytes : int;
+  queue_bytes : int;
+  chunk_bytes : int;
+  dispatch_bytes : int;
+}
+
+(* -- worker side --------------------------------------------------------- *)
+
+let process_chunk w chunk =
+  let n = Chunk.length chunk in
+  for i = 0 to n - 1 do
+    let addr = Chunk.addr chunk i in
+    let op = Chunk.op chunk i in
+    if op = Chunk.op_read then
+      Algo.Over_signature.on_read w.algo ~addr ~payload:(Chunk.payload chunk i)
+        ~time:(Chunk.time chunk i)
+    else if op = Chunk.op_write then
+      Algo.Over_signature.on_write w.algo ~addr ~payload:(Chunk.payload chunk i)
+        ~time:(Chunk.time chunk i)
+    else Algo.Over_signature.on_free w.algo ~addr
+  done;
+  w.events <- w.events + n
+
+let worker_loop stop w =
+  let spins = ref 0 in
+  let running = ref true in
+  while !running do
+    match w.work_q.pop () with
+    | Some chunk ->
+      spins := 0;
+      let t0 = Clock.now () in
+      process_chunk w chunk;
+      w.busy <- w.busy +. (Clock.now () -. t0);
+      Chunk.clear chunk;
+      Atomic.incr w.processed;
+      (* Recycle; if the return queue is full the chunk is dropped and the
+         producer will allocate a fresh one. *)
+      ignore (w.recycle_q.try_push chunk : bool)
+    | None ->
+      if Atomic.get stop && Atomic.get w.pushed = Atomic.get w.processed then running := false
+      else begin
+        incr spins;
+        backoff !spins
+      end
+  done
+
+(* -- producer side ------------------------------------------------------- *)
+
+(* Pool allocations (chunks, queues, dispatch maps) get their own
+   category regardless of the caller-supplied one. *)
+let charge t n =
+  match t.account with
+  | Some (acct, _) -> Ddp_util.Mem_account.add acct "pools" n
+  | None -> ()
+
+let acquire_chunk t w =
+  match w.recycle_q.pop () with
+  | Some c -> c
+  | None ->
+    t.extra_chunks <- t.extra_chunks + 1;
+    let c = Chunk.create ~capacity:t.config.chunk_size in
+    charge t (Chunk.bytes c);
+    c
+
+(* Drain barrier: wait until every worker has consumed everything pushed
+   to it.  Used by redistribution and at shutdown. *)
+let drain t =
+  Array.iter
+    (fun w ->
+      let spins = ref 0 in
+      while Atomic.get w.pushed <> Atomic.get w.processed do
+        incr spins;
+        backoff !spins
+      done)
+    t.workers
+
+(* Move the signature state of a redistributed address (Sec. IV-A).
+   Safe only while drained. *)
+let migrate t ~addr ~from_w ~to_w =
+  let src = t.workers.(from_w) and dst = t.workers.(to_w) in
+  let move src_store dst_store =
+    let payload = Sig_store.probe src_store ~addr in
+    if payload <> 0 then begin
+      Sig_store.set dst_store ~addr ~payload ~time:(Sig_store.probe_time src_store ~addr);
+      Sig_store.remove src_store ~addr
+    end
+  in
+  move src.reads dst.reads;
+  move src.writes dst.writes
+
+(* Push one worker's open chunk (if non-empty) without triggering a
+   redistribution check. *)
+let flush_chunk t w_id =
+  let chunk = t.open_chunks.(w_id) in
+  if Chunk.length chunk > 0 then begin
+    let w = t.workers.(w_id) in
+    Atomic.incr w.pushed;
+    let spins = ref 0 in
+    while not (w.work_q.try_push chunk) do
+      incr spins;
+      backoff !spins
+    done;
+    t.open_chunks.(w_id) <- acquire_chunk t w;
+    t.chunks_pushed <- t.chunks_pushed + 1
+  end
+
+let maybe_redistribute t =
+  let interval = t.config.redistribution_interval in
+  if interval > 0 && t.chunks_pushed mod interval = 0 then begin
+    let moves_needed = Dispatch.rebalance t.dispatch in
+    match moves_needed with
+    | [] -> ()
+    | moves ->
+      (* Accesses to a moved address may still sit in open chunks routed
+         under the old assignment: flush everything, let the old owners
+         consume it, and only then migrate signature state.  Without this
+         barrier the old owner would process in-flight accesses against a
+         signature whose slots were just migrated away. *)
+      Array.iteri (fun w_id _ -> flush_chunk t w_id) t.open_chunks;
+      drain t;
+      List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves
+  end
+
+let flush t w_id =
+  flush_chunk t w_id;
+  maybe_redistribute t
+
+let route t ~addr ~op ~payload ~time =
+  Dispatch.note_access t.dispatch addr;
+  let w = Dispatch.worker_of t.dispatch addr in
+  let chunk = t.open_chunks.(w) in
+  Chunk.push chunk ~addr ~op ~payload ~time;
+  if Chunk.is_full chunk then flush t w
+
+(* -- construction -------------------------------------------------------- *)
+
+let create ?account (config : Config.t) =
+  let nw = max 1 config.workers in
+  let sig_account = Option.map (fun (a, _) -> (a, "signatures")) account in
+  let slots = Config.slots_per_worker { config with workers = nw } in
+  let workers =
+    Array.init nw (fun id ->
+        let reads = Sig_store.create ?account:sig_account ~slots () in
+        let writes = Sig_store.create ?account:sig_account ~slots () in
+        let deps = Dep_store.create ?account:(Option.map (fun (a, _) -> (a, "deps-local")) account) () in
+        let algo =
+          Algo.Over_signature.create ~track_init:config.track_init
+            ~war_requires_prior_write:config.war_requires_prior_write
+            ~check_timestamps:config.check_timestamps ~reads ~writes ~deps ()
+        in
+        {
+          id;
+          work_q = make_queue ~lock_free:config.lock_free ~capacity:config.queue_capacity;
+          recycle_q = make_queue ~lock_free:config.lock_free ~capacity:config.queue_capacity;
+          reads;
+          writes;
+          algo;
+          deps;
+          pushed = Atomic.make 0;
+          processed = Atomic.make 0;
+          events = 0;
+          busy = 0.0;
+        })
+  in
+  let regions = Region.create () in
+  let global_deps =
+    Dep_store.create ?account:(Option.map (fun (a, _) -> (a, "deps-global")) account) ()
+  in
+  {
+    config = { config with workers = nw };
+    workers;
+    dispatch =
+      Dispatch.create ~workers:nw ~sample:config.stats_sample ~hot_set_size:config.hot_set_size;
+    open_chunks = Array.map (fun _ -> Chunk.create ~capacity:config.chunk_size) workers;
+    regions;
+    global_deps;
+    stop = Atomic.make false;
+    domains = [||];
+    chunks_pushed = 0;
+    extra_chunks = 0;
+    account;
+  }
+
+let start t =
+  (* Charge the fixed pools once: open chunks and queues. *)
+  Array.iter (fun c -> charge t (Chunk.bytes c)) t.open_chunks;
+  Array.iter (fun w -> charge t (w.work_q.q_bytes + w.recycle_q.q_bytes)) t.workers;
+  t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop w)) t.workers
+
+let hooks t =
+  let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =
+    route t ~addr ~op:Chunk.op_read ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  in
+  let on_write ~addr ~loc ~var ~thread ~time ~locked:_ =
+    route t ~addr ~op:Chunk.op_write ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  in
+  let on_free ~base ~len ~var:_ =
+    if t.config.lifetime_analysis then
+      for a = base to base + len - 1 do
+        route t ~addr:a ~op:Chunk.op_free ~payload:1 ~time:0
+      done
+  in
+  {
+    Event.on_read;
+    on_write;
+    on_region_enter =
+      (fun ~loc ~kind:Event.Loop ~thread ~time -> Region.on_enter t.regions ~loc ~thread ~time);
+    on_region_iter = (fun ~loc ~thread ~time -> Region.on_iter t.regions ~loc ~thread ~time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time:_ ->
+        Region.on_exit t.regions ~loc ~end_loc ~iterations ~thread);
+    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+    on_free;
+    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
+    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
+    on_thread_end = (fun ~thread:_ -> ());
+  }
+
+let finish t =
+  Array.iteri (fun w_id _ -> flush t w_id) t.open_chunks;
+  drain t;
+  Atomic.set t.stop true;
+  Array.iter Domain.join t.domains;
+  Array.iter (fun (w : worker) -> Dep_store.merge_into ~src:w.deps ~dst:t.global_deps) t.workers;
+  charge t (Dispatch.bytes t.dispatch);
+  {
+    deps = t.global_deps;
+    regions = t.regions;
+    chunks = t.chunks_pushed;
+    redistributions = Dispatch.redistributions t.dispatch;
+    per_worker_events = Array.map (fun (w : worker) -> w.events) t.workers;
+    per_worker_busy = Array.map (fun (w : worker) -> w.busy) t.workers;
+    signature_bytes =
+      Array.fold_left (fun acc (w : worker) -> acc + Sig_store.bytes w.reads + Sig_store.bytes w.writes) 0
+        t.workers;
+    queue_bytes = Array.fold_left (fun acc (w : worker) -> acc + w.work_q.q_bytes + w.recycle_q.q_bytes) 0 t.workers;
+    chunk_bytes =
+      (Array.length t.open_chunks + t.extra_chunks) * Chunk.bytes t.open_chunks.(0);
+    dispatch_bytes = Dispatch.bytes t.dispatch;
+  }
+
+(* Profile one program end to end under the parallel profiler. *)
+let profile ?account ?(config = Config.default) ?sched_seed ?input_seed ?symtab prog =
+  let t = create ?account config in
+  start t;
+  let stats = Ddp_minir.Interp.run ~hooks:(hooks t) ?sched_seed ?input_seed ?symtab prog in
+  let result = finish t in
+  (result, stats)

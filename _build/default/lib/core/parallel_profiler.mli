@@ -1,0 +1,41 @@
+(** The parallel profiler (paper Sec. IV, Fig. 2): producer/worker
+    pipeline over OCaml 5 domains with per-worker lock-free SPSC chunk
+    queues (or the lock-based variant), modulo address distribution,
+    hot-address redistribution and end-of-run merge of thread-local
+    dependence maps. *)
+
+type t
+
+type result = {
+  deps : Dep_store.t;  (** merged global dependence map *)
+  regions : Region.t;
+  chunks : int;
+  redistributions : int;
+  per_worker_events : int array;  (** feeds the makespan model *)
+  per_worker_busy : float array;
+  signature_bytes : int;
+  queue_bytes : int;
+  chunk_bytes : int;
+  dispatch_bytes : int;
+}
+
+val create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
+
+val start : t -> unit
+(** Spawn the worker domains. *)
+
+val hooks : t -> Ddp_minir.Event.hooks
+(** Producer-side instrumentation hooks; attach to an interpreter run
+    between {!start} and {!finish}. *)
+
+val finish : t -> result
+(** Flush, stop workers, join domains, merge local dependence maps. *)
+
+val profile :
+  ?account:Ddp_util.Mem_account.t * string ->
+  ?config:Config.t ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  ?symtab:Ddp_minir.Symtab.t ->
+  Ddp_minir.Ast.program ->
+  result * Ddp_minir.Interp.stats

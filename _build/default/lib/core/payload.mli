@@ -1,0 +1,19 @@
+(** Packed signature-slot payloads: location (24 bits) + variable id
+    (20 bits) + thread id (10 bits) in one int; 0 is the empty sentinel. *)
+
+val empty : int
+val is_empty : int -> bool
+
+val pack : loc:Ddp_minir.Loc.t -> var:int -> thread:int -> int
+(** Range-checked; raises [Invalid_argument]. *)
+
+val pack_unsafe : loc:Ddp_minir.Loc.t -> var:int -> thread:int -> int
+(** No range checks; for the instrumentation hot path. *)
+
+val loc : int -> Ddp_minir.Loc.t
+val var : int -> int
+val thread : int -> int
+
+val max_thread : int
+val max_var : int
+val max_loc : int

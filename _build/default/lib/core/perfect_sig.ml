@@ -1,0 +1,53 @@
+(* The "perfect signature" of the paper's Sec. VI-A: every address has its
+   own entry, so hash collisions — and therefore false positives and
+   false negatives — cannot happen.  It is the accuracy baseline for
+   Table I and the dependence oracle for the loop-parallelism comparison
+   of Table II.
+
+   Implemented as a hash table from address to (payload, time); unbounded
+   memory, which is exactly the trade-off signatures avoid. *)
+
+type entry = { mutable payload : int; mutable time : int }
+
+type t = {
+  tbl : (int, entry) Hashtbl.t;
+  account : (Ddp_util.Mem_account.t * string) option;
+}
+
+(* Key + boxed entry + bucket: ~8 words. *)
+let entry_bytes = 8 * 8
+
+let create ?account () = { tbl = Hashtbl.create 4096; account }
+
+let charge t n =
+  match t.account with
+  | Some (acct, cat) -> Ddp_util.Mem_account.add acct cat n
+  | None -> ()
+
+let probe t ~addr =
+  match Hashtbl.find_opt t.tbl addr with Some e -> e.payload | None -> 0
+
+let probe_time t ~addr =
+  match Hashtbl.find_opt t.tbl addr with Some e -> e.time | None -> 0
+
+let set t ~addr ~payload ~time =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some e ->
+    e.payload <- payload;
+    e.time <- time
+  | None ->
+    Hashtbl.add t.tbl addr { payload; time };
+    charge t entry_bytes
+
+let remove t ~addr =
+  if Hashtbl.mem t.tbl addr then begin
+    Hashtbl.remove t.tbl addr;
+    charge t (-entry_bytes)
+  end
+
+let clear t =
+  charge t (-(entry_bytes * Hashtbl.length t.tbl));
+  Hashtbl.reset t.tbl
+
+let entries t = Hashtbl.length t.tbl
+let bytes t = entry_bytes * Hashtbl.length t.tbl

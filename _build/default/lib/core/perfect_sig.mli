@@ -1,0 +1,13 @@
+(** The "perfect signature" (paper Sec. VI-A): one entry per address, no
+    collisions, no false positives/negatives — the accuracy baseline. *)
+
+type t
+
+val create : ?account:Ddp_util.Mem_account.t * string -> unit -> t
+val probe : t -> addr:int -> int
+val probe_time : t -> addr:int -> int
+val set : t -> addr:int -> payload:int -> time:int -> unit
+val remove : t -> addr:int -> unit
+val clear : t -> unit
+val entries : t -> int
+val bytes : t -> int

@@ -1,0 +1,79 @@
+(* Unified façade: pick a mode, profile a program, get dependences,
+   regions and a paper-style report.  This is the public entry point the
+   examples and the CLI use; benches drive the individual profilers
+   directly when they need finer control. *)
+
+module Interp = Ddp_minir.Interp
+module Symtab = Ddp_minir.Symtab
+
+type mode =
+  | Serial  (* signature store, inline Algorithm 1 (paper Sec. III) *)
+  | Perfect  (* perfect signature: the accuracy oracle (Sec. VI-A) *)
+  | Parallel  (* worker pipeline over domains (Sec. IV) *)
+
+type outcome = {
+  deps : Dep_store.t;
+  regions : Region.t;
+  symtab : Symtab.t;
+  run_stats : Interp.stats;
+  parallel : Parallel_profiler.result option;
+  mt_delayed : int;  (* accesses that went through the MT reorder buffer *)
+  elapsed : float;  (* wall-clock of the instrumented run, seconds *)
+}
+
+let report ?show_threads outcome =
+  Report.render ?show_threads
+    ~var_name:(Symtab.var_name outcome.symtab)
+    ~deps:outcome.deps ~regions:outcome.regions ()
+
+(* [mt] enables the Sec. V machinery for multi-threaded targets: the
+   non-atomic push emulation plus worker-side timestamp race checks. *)
+let profile ?(mode = Serial) ?(config = Config.default) ?(mt = false) ?account ?sched_seed
+    ?input_seed prog =
+  let config = if mt then { config with check_timestamps = true } else config in
+  let symtab = Symtab.create () in
+  let wrap hooks =
+    if mt then begin
+      let front = Mt_frontend.create ~window:config.reorder_window ~seed:config.seed hooks in
+      (Mt_frontend.hooks front, Some front)
+    end
+    else (hooks, None)
+  in
+  match mode with
+  | Serial | Perfect ->
+    let p =
+      if mode = Perfect then Serial_profiler.create_perfect ?account config
+      else Serial_profiler.create_signature ?account config
+    in
+    let hooks, front = wrap p.Serial_profiler.hooks in
+    let t0 = Ddp_util.Clock.now () in
+    let run_stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
+    Option.iter Mt_frontend.finish front;
+    let elapsed = Ddp_util.Clock.now () -. t0 in
+    {
+      deps = p.Serial_profiler.deps;
+      regions = p.Serial_profiler.regions;
+      symtab;
+      run_stats;
+      parallel = None;
+      mt_delayed = (match front with Some f -> Mt_frontend.delayed f | None -> 0);
+      elapsed;
+    }
+  | Parallel ->
+    let t = Parallel_profiler.create ?account config in
+    Parallel_profiler.start t;
+    let hooks, front = wrap (Parallel_profiler.hooks t) in
+    let t0 = Ddp_util.Clock.now () in
+    let run_stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
+    Option.iter Mt_frontend.finish front;
+    let result = Parallel_profiler.finish t in
+    let elapsed = Ddp_util.Clock.now () -. t0 in
+    {
+      deps = result.Parallel_profiler.deps;
+      regions = result.Parallel_profiler.regions;
+      symtab;
+      run_stats;
+      parallel = Some result;
+      mt_delayed = (match front with Some f -> Mt_frontend.delayed f | None -> 0);
+      elapsed;
+    }

@@ -1,0 +1,32 @@
+(** Unified profiling façade: the public entry point for examples and the
+    CLI. *)
+
+type mode =
+  | Serial  (** signature store, inline Algorithm 1 *)
+  | Perfect  (** perfect signature — the accuracy oracle *)
+  | Parallel  (** producer/worker pipeline over domains *)
+
+type outcome = {
+  deps : Dep_store.t;
+  regions : Region.t;
+  symtab : Ddp_minir.Symtab.t;
+  run_stats : Ddp_minir.Interp.stats;
+  parallel : Parallel_profiler.result option;
+  mt_delayed : int;
+  elapsed : float;
+}
+
+val profile :
+  ?mode:mode ->
+  ?config:Config.t ->
+  ?mt:bool ->
+  ?account:Ddp_util.Mem_account.t * string ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  Ddp_minir.Ast.program ->
+  outcome
+(** [mt] enables the multi-threaded-target machinery (Sec. V):
+    reorder-window push emulation and timestamp race flags. *)
+
+val report : ?show_threads:bool -> outcome -> string
+(** Paper-style (Fig. 1 / Fig. 3) textual report. *)

@@ -1,0 +1,80 @@
+(* Runtime control-flow information (paper Sec. III-A).
+
+   Two jobs:
+   - a registry of control regions (loops) with entry counts and total
+     iterations, feeding the BGN/END lines of the Fig.-1-style report;
+   - a per-thread stack of *active* regions with activation and
+     current-iteration timestamps, which is what the loop-parallelism
+     analysis consults to decide whether a dependence is loop-carried:
+     a dependence is carried by an active loop iff its source executed
+     during this activation but before the current iteration began. *)
+
+module Loc = Ddp_minir.Loc
+
+type info = {
+  mutable end_loc : Loc.t;
+  mutable entries : int;
+  mutable iterations : int;
+}
+
+type active = {
+  a_loc : Loc.t;
+  activation_time : int;
+  mutable cur_iter_time : int;
+  mutable iters_seen : int;
+}
+
+type t = {
+  registry : (Loc.t, info) Hashtbl.t;
+  stacks : (int, active list ref) Hashtbl.t;  (* thread -> innermost-first *)
+}
+
+let create () = { registry = Hashtbl.create 64; stacks = Hashtbl.create 8 }
+
+let stack t thread =
+  match Hashtbl.find_opt t.stacks thread with
+  | Some s -> s
+  | None ->
+    let s = ref [] in
+    Hashtbl.add t.stacks thread s;
+    s
+
+let on_enter t ~loc ~thread ~time =
+  let s = stack t thread in
+  s := { a_loc = loc; activation_time = time; cur_iter_time = time; iters_seen = 0 } :: !s
+
+let on_iter t ~loc ~thread ~time =
+  match !(stack t thread) with
+  | a :: _ when a.a_loc = loc ->
+    a.cur_iter_time <- time;
+    a.iters_seen <- a.iters_seen + 1
+  | _ -> invalid_arg "Region.on_iter: iteration event without matching active region"
+
+let on_exit t ~loc ~end_loc ~iterations ~thread =
+  (match !(stack t thread) with
+  | a :: rest when a.a_loc = loc -> (stack t thread) := rest
+  | _ -> invalid_arg "Region.on_exit: exit event without matching active region");
+  match Hashtbl.find_opt t.registry loc with
+  | Some info ->
+    info.entries <- info.entries + 1;
+    info.iterations <- info.iterations + iterations;
+    info.end_loc <- end_loc
+  | None -> Hashtbl.add t.registry loc { end_loc; entries = 1; iterations }
+
+let active_stack t ~thread = !(stack t thread)
+
+(* Innermost active region of [thread] in which a source executed at
+   [src_time] counts as a *previous* iteration. *)
+let carrying_regions t ~thread ~src_time =
+  List.filter
+    (fun a -> src_time >= a.activation_time && src_time < a.cur_iter_time)
+    !(stack t thread)
+
+let find t loc = Hashtbl.find_opt t.registry loc
+
+let fold t f init = Hashtbl.fold (fun loc info acc -> f loc info acc) t.registry init
+
+(* (begin_loc, info) sorted by location, for the reporter. *)
+let to_sorted_list t =
+  fold t (fun loc info acc -> (loc, info) :: acc) []
+  |> List.sort (fun (a, _) (b, _) -> Loc.compare a b)

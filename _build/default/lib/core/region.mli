@@ -1,0 +1,36 @@
+(** Runtime control-flow information: a registry of loop regions (for the
+    BGN/END report lines) and per-thread active-region stacks with
+    iteration timestamps (for loop-carried-dependence classification). *)
+
+module Loc = Ddp_minir.Loc
+
+type info = {
+  mutable end_loc : Loc.t;
+  mutable entries : int;  (** times the region was entered *)
+  mutable iterations : int;  (** total iterations over all entries *)
+}
+
+type active = {
+  a_loc : Loc.t;
+  activation_time : int;
+  mutable cur_iter_time : int;
+  mutable iters_seen : int;
+}
+
+type t
+
+val create : unit -> t
+val on_enter : t -> loc:Loc.t -> thread:int -> time:int -> unit
+val on_iter : t -> loc:Loc.t -> thread:int -> time:int -> unit
+val on_exit : t -> loc:Loc.t -> end_loc:Loc.t -> iterations:int -> thread:int -> unit
+
+val active_stack : t -> thread:int -> active list
+(** Innermost first. *)
+
+val carrying_regions : t -> thread:int -> src_time:int -> active list
+(** Active regions of [thread] for which an access at [src_time] belongs
+    to a previous iteration of the current activation. *)
+
+val find : t -> Loc.t -> info option
+val fold : t -> (Loc.t -> info -> 'a -> 'a) -> 'a -> 'a
+val to_sorted_list : t -> (Loc.t * info) list

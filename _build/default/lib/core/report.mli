@@ -1,0 +1,12 @@
+(** Textual dependence report in the paper's Fig. 1 / Fig. 3 format. *)
+
+val render :
+  ?show_threads:bool ->
+  var_name:(int -> string) ->
+  deps:Dep_store.t ->
+  regions:Region.t ->
+  unit ->
+  string
+
+val kind_counts : Dep_store.t -> int * int * int * int * int
+(** (RAW, WAR, WAW, INIT, race-flagged) distinct dependence counts. *)

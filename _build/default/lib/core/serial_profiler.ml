@@ -1,0 +1,124 @@
+(* The serial profiler (paper Sec. III): Algorithm 1 applied inline to the
+   instrumentation stream of a single run.  Works over either the real
+   signature or the perfect signature; the two constructors return the
+   same first-class record so callers are store-agnostic.
+
+   The serial profiler also accepts multi-threaded targets (events then
+   carry real thread ids); with [check_timestamps] it applies the race
+   flagging of Sec. V-B. *)
+
+module Event = Ddp_minir.Event
+
+type t = {
+  hooks : Event.hooks;
+  deps : Dep_store.t;
+  regions : Region.t;
+  set_observer : Algo.dep_observer -> unit;
+  store_bytes : unit -> int;
+  release : unit -> unit;
+}
+
+let region_hooks regions =
+  let on_region_enter ~loc ~kind:Event.Loop ~thread ~time = Region.on_enter regions ~loc ~thread ~time in
+  let on_region_iter ~loc ~thread ~time = Region.on_iter regions ~loc ~thread ~time in
+  let on_region_exit ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time:_ =
+    Region.on_exit regions ~loc ~end_loc ~iterations ~thread
+  in
+  (on_region_enter, on_region_iter, on_region_exit)
+
+let make_hooks (type a) (module A : Algo.S with type t = a) (algo : a) regions
+    ~(lifetime : bool) ~(section_level : bool) =
+  (* Set-based profiling (Sec. VI-B): attribute the access to the
+     innermost active loop region instead of the statement. *)
+  let effective_loc ~loc ~thread =
+    if not section_level then loc
+    else
+      match Region.active_stack regions ~thread with
+      | a :: _ -> a.Region.a_loc
+      | [] -> loc
+  in
+  let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =
+    let loc = effective_loc ~loc ~thread in
+    A.on_read algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  in
+  let on_write ~addr ~loc ~var ~thread ~time ~locked:_ =
+    let loc = effective_loc ~loc ~thread in
+    A.on_write algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  in
+  let on_free ~base ~len ~var:_ =
+    if lifetime then
+      for a = base to base + len - 1 do
+        A.on_free algo ~addr:a
+      done
+  in
+  let on_region_enter, on_region_iter, on_region_exit = region_hooks regions in
+  {
+    Event.on_read;
+    on_write;
+    on_region_enter;
+    on_region_iter;
+    on_region_exit;
+    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+    on_free;
+    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
+    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
+    on_thread_end = (fun ~thread:_ -> ());
+  }
+
+let create_signature ?account (config : Config.t) =
+  let deps = Dep_store.create ?account () in
+  let regions = Region.create () in
+  let sig_account = Option.map (fun (a, _) -> (a, "signatures")) account in
+  let reads = Sig_store.create ?account:sig_account ~slots:config.slots () in
+  let writes = Sig_store.create ?account:sig_account ~slots:config.slots () in
+  let algo =
+    Algo.Over_signature.create ~track_init:config.track_init
+      ~war_requires_prior_write:config.war_requires_prior_write
+      ~check_timestamps:config.check_timestamps ~reads ~writes ~deps ()
+  in
+  let hooks =
+    make_hooks (module Algo.Over_signature) algo regions ~lifetime:config.lifetime_analysis
+      ~section_level:config.section_level
+  in
+  {
+    hooks;
+    deps;
+    regions;
+    set_observer = Algo.Over_signature.set_observer algo;
+    store_bytes = (fun () -> Sig_store.bytes reads + Sig_store.bytes writes);
+    release =
+      (fun () ->
+        Sig_store.release reads;
+        Sig_store.release writes);
+  }
+
+let create_perfect ?account (config : Config.t) =
+  let deps = Dep_store.create ?account () in
+  let regions = Region.create () in
+  let store_account = Option.map (fun (a, _) -> (a, "perfect-store")) account in
+  let reads = Perfect_sig.create ?account:store_account () in
+  let writes = Perfect_sig.create ?account:store_account () in
+  let algo =
+    Algo.Over_perfect.create ~track_init:config.track_init
+      ~war_requires_prior_write:config.war_requires_prior_write
+      ~check_timestamps:config.check_timestamps ~reads ~writes ~deps ()
+  in
+  let hooks =
+    make_hooks (module Algo.Over_perfect) algo regions ~lifetime:config.lifetime_analysis
+      ~section_level:config.section_level
+  in
+  {
+    hooks;
+    deps;
+    regions;
+    set_observer = Algo.Over_perfect.set_observer algo;
+    store_bytes = (fun () -> Perfect_sig.bytes reads + Perfect_sig.bytes writes);
+    release = (fun () -> ());
+  }
+
+(* Convenience: profile one program end to end. *)
+let profile ?account ?(config = Config.default) ?(perfect = false) ?sched_seed ?input_seed
+    ?symtab prog =
+  let p = if perfect then create_perfect ?account config else create_signature ?account config in
+  let stats = Ddp_minir.Interp.run ~hooks:p.hooks ?sched_seed ?input_seed ?symtab prog in
+  (p, stats)

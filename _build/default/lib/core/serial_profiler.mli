@@ -1,0 +1,26 @@
+(** The serial profiler (paper Sec. III): Algorithm 1 applied inline to
+    one run's instrumentation stream, over either the real or the perfect
+    signature. *)
+
+type t = {
+  hooks : Ddp_minir.Event.hooks;  (** attach to an interpreter run *)
+  deps : Dep_store.t;
+  regions : Region.t;
+  set_observer : Algo.dep_observer -> unit;
+  store_bytes : unit -> int;
+  release : unit -> unit;  (** return accounted signature bytes *)
+}
+
+val create_signature : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
+val create_perfect : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
+
+val profile :
+  ?account:Ddp_util.Mem_account.t * string ->
+  ?config:Config.t ->
+  ?perfect:bool ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  ?symtab:Ddp_minir.Symtab.t ->
+  Ddp_minir.Ast.program ->
+  t * Ddp_minir.Interp.stats
+(** Profile one program end to end. *)

@@ -1,0 +1,79 @@
+(* The signature: a fixed-size hashed slot array (paper Sec. III-B).
+
+   Unlike a bloom filter, each slot holds a full payload (the packed
+   source location / variable / thread of the last access, see Payload)
+   plus a timestamp, because building a dependence needs the source line,
+   and the multi-threaded extension (Sec. V-B) needs access times.  A
+   single hash function is used — the paper makes the same choice to keep
+   element *removal* possible for the variable-lifetime analysis.
+
+   Hash collisions overwrite: that is the deliberate approximation that
+   trades bounded memory for a small false-positive/negative rate,
+   quantified by Table I and predicted by Eq. (2). *)
+
+type t = {
+  slots : int array;  (* packed payloads; 0 = empty *)
+  times : int array;
+  size : int;
+  mutable occupied : int;
+  account : (Ddp_util.Mem_account.t * string) option;
+}
+
+let bytes_per_slot = 16 (* two boxed-free int lanes *)
+
+let create ?account ~slots () =
+  if slots <= 0 then invalid_arg "Sig_store.create: slots must be positive";
+  (match account with
+  | Some (acct, cat) -> Ddp_util.Mem_account.add acct cat (slots * bytes_per_slot)
+  | None -> ());
+  { slots = Array.make slots 0; times = Array.make slots 0; size = slots; occupied = 0; account }
+
+let release t =
+  match t.account with
+  | Some (acct, cat) -> Ddp_util.Mem_account.sub acct cat (t.size * bytes_per_slot)
+  | None -> ()
+
+let size t = t.size
+let occupied t = t.occupied
+
+(* Fibonacci (multiplicative) hashing spreads consecutive addresses —
+   the common case for array walks — across the table. *)
+let index t addr = (addr * 0x2545F4914F6CDD1D land max_int) mod t.size
+
+let probe t ~addr = t.slots.(index t addr)
+
+let probe_time t ~addr = t.times.(index t addr)
+
+let set t ~addr ~payload ~time =
+  let i = index t addr in
+  if t.slots.(i) = 0 && payload <> 0 then t.occupied <- t.occupied + 1;
+  t.slots.(i) <- payload;
+  t.times.(i) <- time
+
+(* Variable-lifetime analysis support: drop the slot for a freed address.
+   With one hash function this may also evict a colliding live entry —
+   an accepted approximation (it can cause a false negative, never an
+   unsound extra dependence). *)
+let remove t ~addr =
+  let i = index t addr in
+  if t.slots.(i) <> 0 then t.occupied <- t.occupied - 1;
+  t.slots.(i) <- 0;
+  t.times.(i) <- 0
+
+let clear t =
+  Array.fill t.slots 0 t.size 0;
+  Array.fill t.times 0 t.size 0;
+  t.occupied <- 0
+
+(* Raw slot access, used by the parallel profiler to migrate signature
+   state when a hot address is redistributed to another worker
+   (Sec. IV-A). *)
+let slot_of_index t i = (t.slots.(i), t.times.(i))
+
+let set_index t i ~payload ~time =
+  if t.slots.(i) = 0 && payload <> 0 then t.occupied <- t.occupied + 1
+  else if t.slots.(i) <> 0 && payload = 0 then t.occupied <- t.occupied - 1;
+  t.slots.(i) <- payload;
+  t.times.(i) <- time
+
+let bytes t = t.size * bytes_per_slot

@@ -1,0 +1,37 @@
+(** The signature: a fixed-size hashed slot array holding the packed
+    payload and timestamp of the last access that mapped to each slot
+    (paper Sec. III-B).  Collisions overwrite — the bounded-memory
+    approximation quantified by Table I. *)
+
+type t
+
+val create : ?account:Ddp_util.Mem_account.t * string -> slots:int -> unit -> t
+val release : t -> unit
+(** Return the accounted bytes (call when discarding a signature). *)
+
+val size : t -> int
+val occupied : t -> int
+val index : t -> int -> int
+(** The slot an address hashes to. *)
+
+val probe : t -> addr:int -> int
+(** Payload of the slot for [addr]; 0 when empty (membership check). *)
+
+val probe_time : t -> addr:int -> int
+
+val set : t -> addr:int -> payload:int -> time:int -> unit
+(** Insertion: overwrites on collision. *)
+
+val remove : t -> addr:int -> unit
+(** Variable-lifetime analysis: clear the slot of a freed address (may
+    evict a colliding live entry — causes false negatives only). *)
+
+val clear : t -> unit
+
+val slot_of_index : t -> int -> int * int
+(** Raw [(payload, time)] of a slot, for redistribution migration. *)
+
+val set_index : t -> int -> payload:int -> time:int -> unit
+
+val bytes : t -> int
+val bytes_per_slot : int

@@ -1,0 +1,67 @@
+(* Bounded lock-free single-producer/single-consumer ring buffer.
+
+   This is the queue of the paper's Fig. 2: the main thread (producer)
+   pushes chunks of memory accesses, one dedicated worker (consumer) pops
+   them.  Because each queue has exactly one producer and one consumer,
+   unsynchronized index caching suffices: the producer owns [tail], the
+   consumer owns [head], and each reads the other's index through an
+   Atomic (OCaml atomics are SC, giving the release/acquire pairing that
+   publishes element writes). *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t;  (* next index to pop; advanced by the consumer *)
+  tail : int Atomic.t;  (* next index to push; advanced by the producer *)
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ~capacity ~dummy =
+  if capacity <= 0 then invalid_arg "Spsc_queue.create: capacity must be positive";
+  let cap = next_pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- x;
+    (* SC store: publishes the element write above. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let x = t.buf.(head land t.mask) in
+    t.buf.(head land t.mask) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some x
+  end
+
+let is_empty t = length t = 0
+
+(* Spin until there is room; the producer-side backpressure of the
+   pipeline. *)
+let push_blocking t x =
+  while not (try_push t x) do
+    Domain.cpu_relax ()
+  done
+
+let bytes t = (capacity t + 8) * 8

@@ -1,0 +1,22 @@
+(** Bounded lock-free single-producer/single-consumer ring buffer: the
+    per-worker chunk queue of the paper's parallel design (Fig. 2). *)
+
+type 'a t
+
+val create : capacity:int -> dummy:'a -> 'a t
+(** Capacity is rounded up to a power of two. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only.  [false] when full. *)
+
+val push_blocking : 'a t -> 'a -> unit
+(** Spin until pushed. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side only. *)
+
+val bytes : 'a t -> int

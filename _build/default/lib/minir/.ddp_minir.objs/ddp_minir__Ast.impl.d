@@ -1,0 +1,1 @@
+lib/minir/ast.ml: List Value

@@ -1,0 +1,1 @@
+lib/minir/builder.ml: Ast List Value

@@ -1,0 +1,1 @@
+lib/minir/event.mli: Loc

@@ -1,0 +1,1 @@
+lib/minir/interp.ml: Array Ast Ddp_util Effect Event Float Fun Hashtbl List Loc Map Memory Printf String Symtab Value

@@ -1,0 +1,1 @@
+lib/minir/loc.mli: Format

@@ -1,0 +1,1 @@
+lib/minir/memory.ml: Array Hashtbl Value

@@ -1,0 +1,1 @@
+lib/minir/memory.mli: Value

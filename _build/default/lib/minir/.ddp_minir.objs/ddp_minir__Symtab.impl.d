@@ -1,0 +1,1 @@
+lib/minir/symtab.ml: Ddp_util

@@ -1,0 +1,1 @@
+lib/minir/symtab.mli: Ddp_util

@@ -1,0 +1,1 @@
+lib/minir/trace_file.ml: Ddp_util Event Interp List Printf Scanf String Symtab

@@ -1,0 +1,1 @@
+lib/minir/trace_file.mli: Ast Event Symtab

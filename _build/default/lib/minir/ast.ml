@@ -1,0 +1,157 @@
+(* Abstract syntax of MiniIR, the small imperative language in which the
+   synthetic NAS/Starbench workloads are written.
+
+   Design notes:
+   - every statement carries a mutable [line]; [number] assigns lines in
+     textual (pre-order) order, like line numbers of a pretty-printed
+     source file.  Loops additionally get a dedicated [end_line] so the
+     reporter can print "END loop <iterations>" on its own line, exactly
+     as in the paper's Fig. 1 (BGN at 1:60, END at 1:74);
+   - [For] carries the ground-truth [parallel] annotation (the analogue of
+     the OpenMP pragma in the paper's Table II) and the list of reduction
+     variables an OpenMP reduction clause would privatize;
+   - [Par] forks simulated threads (the pthread analogue); [Lock]/[Unlock]
+     are explicit, as required by the paper's Sec. V. *)
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Load of string * expr  (* array[index] *)
+  | Binop of Value.binop * expr * expr
+  | Unop of Value.unop * expr
+  | Intrinsic of string * expr list
+
+type stmt = {
+  mutable line : int;
+  mutable end_line : int;  (* loops only; 0 elsewhere *)
+  kind : kind;
+}
+
+and kind =
+  | Local of string * expr  (* declare + initialize a scope-local scalar *)
+  | Assign of string * expr  (* write an existing scalar *)
+  | Store of string * expr * expr  (* array[index] = value *)
+  | Array_decl of string * expr  (* allocate a scope-local array *)
+  | Free of string  (* early explicit free of an array *)
+  | If of expr * block * block
+  | For of {
+      index : string;
+      lo : expr;
+      hi : expr;  (* exclusive upper bound, re-evaluated each iteration *)
+      step : expr;
+      parallel : bool;  (* ground truth: is this loop parallelizable? *)
+      reduction : string list;  (* variables an OpenMP reduction would privatize *)
+      body : block;
+    }
+  | While of expr * block
+  | Par of block list  (* fork one simulated thread per block, join all *)
+  | Lock of int
+  | Unlock of int
+  | Call_proc of string * expr list  (* procedure call (no return value) *)
+  | Nop
+
+and block = stmt list
+
+(* Procedures: value parameters, no return value (results go through
+   global arrays/scalars, C style).  The header line carries parameter
+   writes in the profile, like a function prologue. *)
+type func = {
+  fname : string;
+  params : string list;
+  mutable header_line : int;
+  fbody : block;
+}
+
+type program = {
+  name : string;
+  funcs : func list;
+  body : block;
+}
+
+let mk kind = { line = 0; end_line = 0; kind }
+
+(* Assign pre-order line numbers (main body first, then each procedure).
+   Returns the number of lines used, the "LOC" analogue of Table I. *)
+let number prog =
+  let next = ref 0 in
+  let fresh () =
+    incr next;
+    !next
+  in
+  let rec stmt s =
+    s.line <- fresh ();
+    match s.kind with
+    | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+    | Call_proc _ -> ()
+    | If (_, t, e) ->
+      block t;
+      block e
+    | For f ->
+      block f.body;
+      s.end_line <- fresh ()
+    | While (_, b) ->
+      block b;
+      s.end_line <- fresh ()
+    | Par blocks -> List.iter block blocks
+  and block b = List.iter stmt b in
+  block prog.body;
+  List.iter
+    (fun f ->
+      f.header_line <- fresh ();
+      block f.fbody)
+    prog.funcs;
+  !next
+
+(* Statement/loop census used by experiment harnesses. *)
+type loop_info = {
+  loop_line : int;
+  loop_end_line : int;
+  annotated_parallel : bool;
+  reduction_vars : string list;
+}
+
+let loops prog =
+  let acc = ref [] in
+  let rec stmt s =
+    match s.kind with
+    | For f ->
+      acc :=
+        {
+          loop_line = s.line;
+          loop_end_line = s.end_line;
+          annotated_parallel = f.parallel;
+          reduction_vars = f.reduction;
+        }
+        :: !acc;
+      block f.body
+    | While (_, b) -> block b
+    | If (_, t, e) ->
+      block t;
+      block e
+    | Par blocks -> List.iter block blocks
+    | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+    | Call_proc _ -> ()
+  and block b = List.iter stmt b in
+  block prog.body;
+  List.iter (fun f -> block f.fbody) prog.funcs;
+  List.rev !acc
+
+let rec max_threads_block b =
+  List.fold_left
+    (fun acc s ->
+      match s.kind with
+      | Par blocks ->
+        let inner =
+          List.fold_left (fun m blk -> max m (max_threads_block blk)) 0 blocks
+        in
+        max acc (List.length blocks + inner)
+      | If (_, t, e) -> max acc (max (max_threads_block t) (max_threads_block e))
+      | For { body; _ } | While (_, body) -> max acc (max_threads_block body)
+      | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+      | Call_proc _ -> acc)
+    0 b
+
+(* Number of simulated threads a program can run concurrently, main thread
+   included. *)
+let max_threads prog = 1 + max_threads_block prog.body

@@ -1,0 +1,76 @@
+(** Abstract syntax of MiniIR, the small imperative language the synthetic
+    workloads are written in.  See {!Builder} for the construction DSL. *)
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string
+  | Load of string * expr
+  | Binop of Value.binop * expr * expr
+  | Unop of Value.unop * expr
+  | Intrinsic of string * expr list
+
+type stmt = {
+  mutable line : int;  (** assigned by {!number} in pre-order *)
+  mutable end_line : int;  (** loops only: the line of the closing brace *)
+  kind : kind;
+}
+
+and kind =
+  | Local of string * expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | Array_decl of string * expr
+  | Free of string
+  | If of expr * block * block
+  | For of {
+      index : string;
+      lo : expr;
+      hi : expr;
+      step : expr;
+      parallel : bool;  (** ground-truth annotation (the OpenMP pragma analogue) *)
+      reduction : string list;
+      body : block;
+    }
+  | While of expr * block
+  | Par of block list
+  | Lock of int
+  | Unlock of int
+  | Call_proc of string * expr list
+  | Nop
+
+and block = stmt list
+
+(** Procedures: value parameters, no return value (results flow through
+    global arrays/scalars, C style). *)
+type func = {
+  fname : string;
+  params : string list;
+  mutable header_line : int;  (** assigned by {!number} *)
+  fbody : block;
+}
+
+type program = {
+  name : string;
+  funcs : func list;
+  body : block;
+}
+
+val mk : kind -> stmt
+
+val number : program -> int
+(** Assign pre-order line numbers (loops get an extra end line); returns
+    the total number of lines, the "LOC" analogue of Table I. *)
+
+type loop_info = {
+  loop_line : int;
+  loop_end_line : int;
+  annotated_parallel : bool;
+  reduction_vars : string list;
+}
+
+val loops : program -> loop_info list
+(** All [For] loops in textual order.  Call after {!number}. *)
+
+val max_threads : program -> int
+(** Simulated threads the program can run concurrently, main included. *)

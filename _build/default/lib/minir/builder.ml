@@ -1,0 +1,81 @@
+(* Construction DSL for MiniIR programs.
+
+   Workloads read roughly like the C they imitate:
+
+     let prog = B.program ~name:"saxpy" [
+       B.arr "x" (B.i n); B.arr "y" (B.i n);
+       B.for_ ~parallel:true "i" (B.i 0) (B.i n) (fun i ->
+         [ B.store "y" i B.(idx "x" i *: f 2.0 +: idx "y" i) ]);
+     ]
+*)
+
+open Ast
+
+let i n = Int n
+let f x = Float x
+let v name = Var name
+let idx arr e = Load (arr, e)
+
+let ( +: ) a b = Binop (Value.Add, a, b)
+let ( -: ) a b = Binop (Value.Sub, a, b)
+let ( *: ) a b = Binop (Value.Mul, a, b)
+let ( /: ) a b = Binop (Value.Div, a, b)
+let ( %: ) a b = Binop (Value.Mod, a, b)
+let ( <: ) a b = Binop (Value.Lt, a, b)
+let ( <=: ) a b = Binop (Value.Le, a, b)
+let ( >: ) a b = Binop (Value.Gt, a, b)
+let ( >=: ) a b = Binop (Value.Ge, a, b)
+let ( =: ) a b = Binop (Value.Eq, a, b)
+let ( <>: ) a b = Binop (Value.Ne, a, b)
+let ( &&: ) a b = Binop (Value.Band, a, b)
+let ( ||: ) a b = Binop (Value.Bor, a, b)
+let ( ^: ) a b = Binop (Value.Bxor, a, b)
+let ( <<: ) a b = Binop (Value.Shl, a, b)
+let ( >>: ) a b = Binop (Value.Shr, a, b)
+let min_ a b = Binop (Value.Min, a, b)
+let max_ a b = Binop (Value.Max, a, b)
+let neg a = Unop (Value.Neg, a)
+let not_ a = Unop (Value.Not, a)
+let bnot a = Unop (Value.Bnot, a)
+let call name args = Intrinsic (name, args)
+let sqrt_ a = call "sqrt" [ a ]
+let rand_ = call "rand" []
+let rand_int bound = call "rand_int" [ bound ]
+
+let local name e = mk (Local (name, e))
+
+(* Assert a condition inside the target program (raises
+   [Interp.Runtime_error] when it evaluates to 0) — used by tests and by
+   workload self-checks. *)
+let assert_ cond = mk (Local ("_assert", Intrinsic ("assert", [ cond ])))
+let assign name e = mk (Assign (name, e))
+let store arr index value = mk (Store (arr, index, value))
+let arr name size = mk (Array_decl (name, size))
+let free name = mk (Free name)
+let if_ cond then_ else_ = mk (If (cond, then_, else_))
+let nop = mk Nop
+
+let for_ ?(parallel = false) ?(reduction = []) ?(step = Int 1) index lo hi body_fn =
+  mk (For { index; lo; hi; step; parallel; reduction; body = body_fn (Var index) })
+
+let while_ cond body = mk (While (cond, body))
+let par blocks = mk (Par blocks)
+let lock id = mk (Lock id)
+let unlock id = mk (Unlock id)
+let call_proc name args = mk (Call_proc (name, args))
+
+(* Procedure definition; attach via [program ~funcs]. *)
+let proc fname params fbody = { fname; params; header_line = 0; fbody }
+
+(* Fork [n] threads, each running [body_fn tid_expr] with a thread-local
+   scalar [tid_name] bound to its 0-based rank — the pthread-create idiom
+   every parallel workload uses. *)
+let par_n ?(tid_name = "tid") n body_fn =
+  par
+    (List.init n (fun rank ->
+         local tid_name (i rank) :: body_fn (v tid_name) rank))
+
+let program ?(funcs = []) ~name body =
+  let prog = { name; funcs; body } in
+  let (_ : int) = number prog in
+  prog

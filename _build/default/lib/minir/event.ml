@@ -1,0 +1,96 @@
+(* Instrumentation events.
+
+   The interpreter plays the role of the paper's LLVM instrumentation
+   pass: every load/store, loop-region boundary and allocation event is
+   delivered through a [hooks] record.  Hooks are plain labelled functions
+   (not a variant) so the hot path allocates nothing. *)
+
+type region_kind = Loop
+
+type hooks = {
+  on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_write : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_region_enter : loc:Loc.t -> kind:region_kind -> thread:int -> time:int -> unit;
+  on_region_iter : loc:Loc.t -> thread:int -> time:int -> unit;
+  on_region_exit :
+    loc:Loc.t -> end_loc:Loc.t -> kind:region_kind -> iterations:int -> thread:int -> time:int -> unit;
+  on_alloc : base:int -> len:int -> var:int -> unit;
+  on_free : base:int -> len:int -> var:int -> unit;
+  on_call : loc:Loc.t -> func:int -> thread:int -> time:int -> unit;
+      (* [loc] is the call site, [func] the interned procedure name *)
+  on_return : func:int -> thread:int -> time:int -> unit;
+  on_thread_end : thread:int -> unit;
+}
+
+let null =
+  {
+    on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
+    on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
+    on_region_enter = (fun ~loc:_ ~kind:_ ~thread:_ ~time:_ -> ());
+    on_region_iter = (fun ~loc:_ ~thread:_ ~time:_ -> ());
+    on_region_exit = (fun ~loc:_ ~end_loc:_ ~kind:_ ~iterations:_ ~thread:_ ~time:_ -> ());
+    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+    on_free = (fun ~base:_ ~len:_ ~var:_ -> ());
+    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
+    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
+    on_thread_end = (fun ~thread:_ -> ());
+  }
+
+(* Concrete event values, used by tests and by trace-replay oracles. *)
+type t =
+  | Read of { addr : int; loc : Loc.t; var : int; thread : int; time : int; locked : bool }
+  | Write of { addr : int; loc : Loc.t; var : int; thread : int; time : int; locked : bool }
+  | Region_enter of { loc : Loc.t; thread : int; time : int }
+  | Region_iter of { loc : Loc.t; thread : int; time : int }
+  | Region_exit of { loc : Loc.t; end_loc : Loc.t; iterations : int; thread : int; time : int }
+  | Alloc of { base : int; len : int; var : int }
+  | Free of { base : int; len : int; var : int }
+  | Call of { loc : Loc.t; func : int; thread : int; time : int }
+  | Return of { func : int; thread : int; time : int }
+  | Thread_end of { thread : int }
+
+let collector () =
+  let acc = ref [] in
+  let push e = acc := e :: !acc in
+  let hooks =
+    {
+      on_read =
+        (fun ~addr ~loc ~var ~thread ~time ~locked ->
+          push (Read { addr; loc; var; thread; time; locked }));
+      on_write =
+        (fun ~addr ~loc ~var ~thread ~time ~locked ->
+          push (Write { addr; loc; var; thread; time; locked }));
+      on_region_enter = (fun ~loc ~kind:Loop ~thread ~time -> push (Region_enter { loc; thread; time }));
+      on_region_iter = (fun ~loc ~thread ~time -> push (Region_iter { loc; thread; time }));
+      on_region_exit =
+        (fun ~loc ~end_loc ~kind:Loop ~iterations ~thread ~time ->
+          push (Region_exit { loc; end_loc; iterations; thread; time }));
+      on_alloc = (fun ~base ~len ~var -> push (Alloc { base; len; var }));
+      on_free = (fun ~base ~len ~var -> push (Free { base; len; var }));
+      on_call = (fun ~loc ~func ~thread ~time -> push (Call { loc; func; thread; time }));
+      on_return = (fun ~func ~thread ~time -> push (Return { func; thread; time }));
+      on_thread_end = (fun ~thread -> push (Thread_end { thread }));
+    }
+  in
+  (hooks, fun () -> List.rev !acc)
+
+(* Replay a concrete event list into a hooks record: lets oracles and
+   profilers consume recorded traces interchangeably with live runs. *)
+let replay hooks events =
+  List.iter
+    (fun e ->
+      match e with
+      | Read { addr; loc; var; thread; time; locked } ->
+        hooks.on_read ~addr ~loc ~var ~thread ~time ~locked
+      | Write { addr; loc; var; thread; time; locked } ->
+        hooks.on_write ~addr ~loc ~var ~thread ~time ~locked
+      | Region_enter { loc; thread; time } -> hooks.on_region_enter ~loc ~kind:Loop ~thread ~time
+      | Region_iter { loc; thread; time } -> hooks.on_region_iter ~loc ~thread ~time
+      | Region_exit { loc; end_loc; iterations; thread; time } ->
+        hooks.on_region_exit ~loc ~end_loc ~kind:Loop ~iterations ~thread ~time
+      | Alloc { base; len; var } -> hooks.on_alloc ~base ~len ~var
+      | Free { base; len; var } -> hooks.on_free ~base ~len ~var
+      | Call { loc; func; thread; time } -> hooks.on_call ~loc ~func ~thread ~time
+      | Return { func; thread; time } -> hooks.on_return ~func ~thread ~time
+      | Thread_end { thread } -> hooks.on_thread_end ~thread)
+    events

@@ -1,0 +1,46 @@
+(** Instrumentation events emitted by the MiniIR interpreter.
+
+    This is the contract between the "instrumented target program" (the
+    interpreter, standing in for the paper's LLVM pass) and every
+    profiler.  Hooks are plain functions so the hot path allocates
+    nothing. *)
+
+type region_kind = Loop
+
+type hooks = {
+  on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_write : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_region_enter : loc:Loc.t -> kind:region_kind -> thread:int -> time:int -> unit;
+  on_region_iter : loc:Loc.t -> thread:int -> time:int -> unit;
+  on_region_exit :
+    loc:Loc.t -> end_loc:Loc.t -> kind:region_kind -> iterations:int -> thread:int -> time:int -> unit;
+  on_alloc : base:int -> len:int -> var:int -> unit;
+  on_free : base:int -> len:int -> var:int -> unit;
+  on_call : loc:Loc.t -> func:int -> thread:int -> time:int -> unit;
+      (** [loc] is the call site, [func] the interned procedure name *)
+  on_return : func:int -> thread:int -> time:int -> unit;
+  on_thread_end : thread:int -> unit;
+}
+
+val null : hooks
+(** Discards everything: the "uninstrumented" baseline run. *)
+
+(** Concrete events, for tests and replay oracles. *)
+type t =
+  | Read of { addr : int; loc : Loc.t; var : int; thread : int; time : int; locked : bool }
+  | Write of { addr : int; loc : Loc.t; var : int; thread : int; time : int; locked : bool }
+  | Region_enter of { loc : Loc.t; thread : int; time : int }
+  | Region_iter of { loc : Loc.t; thread : int; time : int }
+  | Region_exit of { loc : Loc.t; end_loc : Loc.t; iterations : int; thread : int; time : int }
+  | Alloc of { base : int; len : int; var : int }
+  | Free of { base : int; len : int; var : int }
+  | Call of { loc : Loc.t; func : int; thread : int; time : int }
+  | Return of { func : int; thread : int; time : int }
+  | Thread_end of { thread : int }
+
+val collector : unit -> hooks * (unit -> t list)
+(** A hooks record that records events, and a function returning them in
+    program order. *)
+
+val replay : hooks -> t list -> unit
+(** Feed a recorded trace into a hooks record. *)

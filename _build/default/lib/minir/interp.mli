@@ -1,0 +1,33 @@
+(** The instrumenting MiniIR interpreter — the reproduction's analogue of
+    the paper's LLVM instrumentation pass.
+
+    Simulated threads are interleaved by a seeded deterministic scheduler
+    built on OCaml 5 effects, so profiled traces are replayable. *)
+
+exception Runtime_error of string
+
+type stats = {
+  reads : int;
+  writes : int;
+  accesses : int;  (** reads + writes: "#accesses" of Table I *)
+  addresses : int;  (** distinct cells allocated: "#addresses" of Table I *)
+  final_time : int;
+  lines : int;  (** numbered source lines: the "LOC" analogue *)
+}
+
+val run :
+  ?hooks:Event.hooks ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  ?symtab:Symtab.t ->
+  Ast.program ->
+  stats
+(** Execute a program, delivering instrumentation events to [hooks]
+    (default: none — the "uninstrumented" baseline).  [sched_seed] drives
+    the thread interleaving, [input_seed] the [rand]/[rand_int]
+    intrinsics.  Numbers the program's lines as a side effect. *)
+
+val trace :
+  ?sched_seed:int -> ?input_seed:int -> ?symtab:Symtab.t -> Ast.program -> Event.t list * stats
+(** Run and collect the full event trace (tests and oracles only — the
+    trace of a real workload is large). *)

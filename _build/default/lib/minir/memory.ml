@@ -1,0 +1,73 @@
+(* The target program's flat address space.
+
+   Addresses are simple cell indices.  Freed blocks are kept on per-size
+   free lists and reused first, so address reuse across variable lifetimes
+   actually happens — this is what makes the profiler's variable-lifetime
+   analysis (removal of freed addresses from signatures, Sec. III-B of the
+   paper) observable: without removal, a reused address would inherit the
+   dead variable's access history and produce false dependences. *)
+
+type t = {
+  mutable cells : Value.t array;
+  mutable top : int;  (* bump pointer; also the address-space high-water mark *)
+  free_lists : (int, int list ref) Hashtbl.t;  (* block size -> freed bases *)
+  mutable live_blocks : int;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    cells = Array.make (max capacity 1) Value.zero;
+    top = 0;
+    free_lists = Hashtbl.create 16;
+    live_blocks = 0;
+  }
+
+let high_water t = t.top
+
+let ensure t n =
+  let cap = Array.length t.cells in
+  if t.top + n > cap then begin
+    let cap' = max (2 * cap) (t.top + n) in
+    let cells = Array.make cap' Value.zero in
+    Array.blit t.cells 0 cells 0 t.top;
+    t.cells <- cells
+  end
+
+let alloc ?(reuse = true) t n =
+  if n <= 0 then invalid_arg "Memory.alloc: size must be positive";
+  t.live_blocks <- t.live_blocks + 1;
+  let reused =
+    if not reuse then None
+    else
+      match Hashtbl.find_opt t.free_lists n with
+      | Some ({ contents = base :: rest } as cell) ->
+        cell := rest;
+        Some base
+      | Some { contents = [] } | None -> None
+  in
+  match reused with
+  | Some base ->
+    Array.fill t.cells base n Value.zero;
+    base
+  | None ->
+    ensure t n;
+    let base = t.top in
+    t.top <- t.top + n;
+    base
+
+let free t ~base ~len =
+  if len <= 0 then invalid_arg "Memory.free: size must be positive";
+  t.live_blocks <- t.live_blocks - 1;
+  match Hashtbl.find_opt t.free_lists len with
+  | Some cell -> cell := base :: !cell
+  | None -> Hashtbl.add t.free_lists len (ref [ base ])
+
+let get t addr =
+  if addr < 0 || addr >= t.top then invalid_arg "Memory.get: address out of range";
+  t.cells.(addr)
+
+let set t addr v =
+  if addr < 0 || addr >= t.top then invalid_arg "Memory.set: address out of range";
+  t.cells.(addr) <- v
+
+let live_blocks t = t.live_blocks

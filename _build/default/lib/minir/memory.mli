@@ -1,0 +1,25 @@
+(** The target program's flat address space.
+
+    Freed blocks are reused (per-size free lists), so address reuse across
+    variable lifetimes occurs and the profiler's variable-lifetime
+    analysis has observable effect. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val alloc : ?reuse:bool -> t -> int -> int
+(** [alloc t n] returns the base address of a zeroed block of [n] cells,
+    reusing a freed block of the same size when available (unless
+    [~reuse:false]). *)
+
+val free : t -> base:int -> len:int -> unit
+
+val get : t -> int -> Value.t
+val set : t -> int -> Value.t -> unit
+
+val high_water : t -> int
+(** Number of distinct cells ever allocated: the "#addresses" column of
+    the paper's Table I. *)
+
+val live_blocks : t -> int

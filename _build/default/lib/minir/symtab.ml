@@ -1,0 +1,23 @@
+(* Symbol table shared between the interpreter (which emits events with
+   interned ids) and the reporters (which need names back).  One instance
+   per profiling run. *)
+
+type t = {
+  vars : Ddp_util.Intern.t;
+  files : Ddp_util.Intern.t;
+}
+
+let create () =
+  { vars = Ddp_util.Intern.create (); files = Ddp_util.Intern.create () }
+
+let var t name = Ddp_util.Intern.intern t.vars name
+let var_name t id = Ddp_util.Intern.name t.vars id
+
+let file t name =
+  let id = Ddp_util.Intern.intern t.files name in
+  (* File ids are printed and packed; id 0 is reserved so the first file is
+     "1", matching the paper's "1:60" style. *)
+  id + 1
+
+let file_name t id =
+  if id = 0 then "*" else Ddp_util.Intern.name t.files (id - 1)

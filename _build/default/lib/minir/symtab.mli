@@ -1,0 +1,17 @@
+(** Symbol table shared by one profiling run: interns variable names and
+    file (program) names so events can carry small integer ids. *)
+
+type t = {
+  vars : Ddp_util.Intern.t;
+  files : Ddp_util.Intern.t;
+}
+
+val create : unit -> t
+
+val var : t -> string -> int
+val var_name : t -> int -> string
+
+val file : t -> string -> int
+(** File ids start at 1; 0 is reserved for "no location". *)
+
+val file_name : t -> int -> string

@@ -1,0 +1,152 @@
+(* Trace files: record one run's instrumentation stream to disk and
+   replay it later into any profiler or analysis.
+
+   This supports the paper's reuse story operationally — the whole point
+   of a generic profiler is that one collection serves many analyses, and
+   a persisted trace lets those analyses run without re-executing the
+   (slow) instrumented program.
+
+   Format: a line-oriented text file.
+     ddp-trace 1
+     <event lines>
+     %var <id> <name>      (symbol table, written after the events)
+     %file <id> <name>
+   Event lines are single characters plus integer fields; locations are
+   stored packed (they are plain ints).  Variable and file names may
+   contain no newlines; names are written escaped with String.escaped. *)
+
+let magic = "ddp-trace 1"
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* -- recording ------------------------------------------------------------ *)
+
+let bool_int b = if b then 1 else 0
+
+(* Streaming hooks: events go straight to the channel, O(1) memory. *)
+let recorder oc =
+  let p fmt = Printf.fprintf oc fmt in
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        p "R %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        p "W %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
+    on_region_enter = (fun ~loc ~kind:Event.Loop ~thread ~time -> p "B %d %d %d\n" loc thread time);
+    on_region_iter = (fun ~loc ~thread ~time -> p "I %d %d %d\n" loc thread time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
+        p "E %d %d %d %d %d\n" loc end_loc iterations thread time);
+    on_alloc = (fun ~base ~len ~var -> p "A %d %d %d\n" base len var);
+    on_free = (fun ~base ~len ~var -> p "F %d %d %d\n" base len var);
+    on_call = (fun ~loc ~func ~thread ~time -> p "C %d %d %d %d\n" loc func thread time);
+    on_return = (fun ~func ~thread ~time -> p "T %d %d %d\n" func thread time);
+    on_thread_end = (fun ~thread -> p "X %d\n" thread);
+  }
+
+let write_symtab oc (symtab : Symtab.t) =
+  Ddp_util.Intern.iter symtab.Symtab.vars (fun id name ->
+      Printf.fprintf oc "%%var %d %s\n" id (String.escaped name));
+  Ddp_util.Intern.iter symtab.Symtab.files (fun id name ->
+      Printf.fprintf oc "%%file %d %s\n" id (String.escaped name))
+
+(* Record a program run to [path]; returns the run's stats. *)
+let record ?sched_seed ?input_seed ~path prog =
+  let oc = open_out path in
+  let symtab = Symtab.create () in
+  output_string oc magic;
+  output_char oc '\n';
+  let finish () = close_out oc in
+  (try
+     let (_ : Interp.stats) =
+       Interp.run ~hooks:(recorder oc) ?sched_seed ?input_seed ~symtab prog
+     in
+     write_symtab oc symtab
+   with e ->
+     finish ();
+     raise e);
+  finish ()
+
+(* -- loading --------------------------------------------------------------- *)
+
+let parse_ints line start =
+  String.split_on_char ' ' (String.sub line start (String.length line - start))
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match int_of_string_opt s with
+         | Some n -> n
+         | None -> fail "bad integer %S in line %S" s line)
+
+let load ~path =
+  let ic = open_in path in
+  let events = ref [] in
+  let symtab = Symtab.create () in
+  (* names must land at the recorded ids: insert in id order *)
+  let pending_vars = ref [] and pending_files = ref [] in
+  let parse_line line =
+    if line = "" then ()
+    else if line.[0] = '%' then begin
+      match String.index_opt line ' ' with
+      | None -> fail "bad symtab line %S" line
+      | Some sp1 -> (
+        let kind = String.sub line 1 (sp1 - 1) in
+        let rest = String.sub line (sp1 + 1) (String.length line - sp1 - 1) in
+        match String.index_opt rest ' ' with
+        | None -> fail "bad symtab line %S" line
+        | Some sp2 ->
+          let id = int_of_string (String.sub rest 0 sp2) in
+          let name = Scanf.unescaped (String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)) in
+          if kind = "var" then pending_vars := (id, name) :: !pending_vars
+          else if kind = "file" then pending_files := (id, name) :: !pending_files
+          else fail "unknown symtab kind %S" kind)
+    end
+    else begin
+      let tag = line.[0] in
+      let ints = parse_ints line 1 in
+      let ev =
+        match (tag, ints) with
+        | 'R', [ addr; loc; var; thread; time; locked ] ->
+          Event.Read { addr; loc; var; thread; time; locked = locked <> 0 }
+        | 'W', [ addr; loc; var; thread; time; locked ] ->
+          Event.Write { addr; loc; var; thread; time; locked = locked <> 0 }
+        | 'B', [ loc; thread; time ] -> Event.Region_enter { loc; thread; time }
+        | 'I', [ loc; thread; time ] -> Event.Region_iter { loc; thread; time }
+        | 'E', [ loc; end_loc; iterations; thread; time ] ->
+          Event.Region_exit { loc; end_loc; iterations; thread; time }
+        | 'A', [ base; len; var ] -> Event.Alloc { base; len; var }
+        | 'F', [ base; len; var ] -> Event.Free { base; len; var }
+        | 'C', [ loc; func; thread; time ] -> Event.Call { loc; func; thread; time }
+        | 'T', [ func; thread; time ] -> Event.Return { func; thread; time }
+        | 'X', [ thread ] -> Event.Thread_end { thread }
+        | _ -> fail "malformed event line %S" line
+      in
+      events := ev :: !events
+    end
+  in
+  (try
+     (match input_line ic with
+     | l when l = magic -> ()
+     | l -> fail "bad magic %S (expected %S)" l magic
+     | exception End_of_file -> fail "empty trace file");
+     try
+       while true do
+         parse_line (input_line ic)
+       done
+     with End_of_file -> ()
+   with e ->
+     close_in ic;
+     raise e);
+  close_in ic;
+  let insert intern pending =
+    List.sort compare !pending
+    |> List.iteri (fun expected (id, name) ->
+           if id <> expected then fail "non-dense symtab ids in trace";
+           let actual = Ddp_util.Intern.intern intern name in
+           if actual <> id then fail "symtab id mismatch for %S" name)
+  in
+  insert symtab.Symtab.vars pending_vars;
+  insert symtab.Symtab.files pending_files;
+  (List.rev !events, symtab)

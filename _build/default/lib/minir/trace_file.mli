@@ -1,0 +1,16 @@
+(** Trace files: persist one run's instrumentation stream and replay it
+    into any profiler or analysis — one collection, many analyses. *)
+
+exception Parse_error of string
+
+val recorder : out_channel -> Event.hooks
+(** Streaming hooks that write each event to the channel (O(1) memory). *)
+
+val write_symtab : out_channel -> Symtab.t -> unit
+
+val record : ?sched_seed:int -> ?input_seed:int -> path:string -> Ast.program -> unit
+(** Run the program and record its full trace (with symbol table) to
+    [path]. *)
+
+val load : path:string -> Event.t list * Symtab.t
+(** Parse a recorded trace.  Raises {!Parse_error} on malformed input. *)

@@ -1,0 +1,94 @@
+(* Runtime values of MiniIR: 63-bit integers and floats, with C-like
+   promotion (int op float -> float).  Bitwise and shift operators require
+   integer operands. *)
+
+type t =
+  | I of int
+  | F of float
+
+let zero = I 0
+
+let to_float = function I n -> float_of_int n | F x -> x
+let to_int = function I n -> n | F x -> int_of_float x
+let truth = function I n -> n <> 0 | F x -> x <> 0.0
+let of_bool b = I (if b then 1 else 0)
+
+let equal a b =
+  match (a, b) with
+  | I x, I y -> x = y
+  | F x, F y -> x = y
+  | (I _ | F _), _ -> to_float a = to_float b
+
+let pp ppf = function
+  | I n -> Format.fprintf ppf "%d" n
+  | F x -> Format.fprintf ppf "%g" x
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Min
+  | Max
+
+type unop = Neg | Not | Bnot
+
+let int_only op =
+  invalid_arg (Printf.sprintf "Value: operator %s requires integer operands" op)
+
+let binop op a b =
+  match (op, a, b) with
+  | Add, I x, I y -> I (x + y)
+  | Add, _, _ -> F (to_float a +. to_float b)
+  | Sub, I x, I y -> I (x - y)
+  | Sub, _, _ -> F (to_float a -. to_float b)
+  | Mul, I x, I y -> I (x * y)
+  | Mul, _, _ -> F (to_float a *. to_float b)
+  | Div, I x, I y -> if y = 0 then invalid_arg "Value: division by zero" else I (x / y)
+  | Div, _, _ -> F (to_float a /. to_float b)
+  | Mod, I x, I y -> if y = 0 then invalid_arg "Value: modulo by zero" else I (x mod y)
+  | Mod, _, _ -> F (Float.rem (to_float a) (to_float b))
+  | Band, I x, I y -> I (x land y)
+  | Band, _, _ -> int_only "land"
+  | Bor, I x, I y -> I (x lor y)
+  | Bor, _, _ -> int_only "lor"
+  | Bxor, I x, I y -> I (x lxor y)
+  | Bxor, _, _ -> int_only "lxor"
+  | Shl, I x, I y -> I (x lsl y)
+  | Shl, _, _ -> int_only "lsl"
+  | Shr, I x, I y -> I (x lsr y)
+  | Shr, _, _ -> int_only "lsr"
+  | Lt, I x, I y -> of_bool (x < y)
+  | Lt, _, _ -> of_bool (to_float a < to_float b)
+  | Le, I x, I y -> of_bool (x <= y)
+  | Le, _, _ -> of_bool (to_float a <= to_float b)
+  | Gt, I x, I y -> of_bool (x > y)
+  | Gt, _, _ -> of_bool (to_float a > to_float b)
+  | Ge, I x, I y -> of_bool (x >= y)
+  | Ge, _, _ -> of_bool (to_float a >= to_float b)
+  | Eq, _, _ -> of_bool (equal a b)
+  | Ne, _, _ -> of_bool (not (equal a b))
+  | Min, I x, I y -> I (min x y)
+  | Min, _, _ -> F (Float.min (to_float a) (to_float b))
+  | Max, I x, I y -> I (max x y)
+  | Max, _, _ -> F (Float.max (to_float a) (to_float b))
+
+let unop op a =
+  match (op, a) with
+  | Neg, I x -> I (-x)
+  | Neg, F x -> F (-.x)
+  | Not, _ -> of_bool (not (truth a))
+  | Bnot, I x -> I (lnot x)
+  | Bnot, F _ -> int_only "lnot"

@@ -1,0 +1,41 @@
+(** MiniIR runtime values: integers and floats with C-like promotion. *)
+
+type t =
+  | I of int
+  | F of float
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Min
+  | Max
+
+type unop = Neg | Not | Bnot
+
+val zero : t
+val to_float : t -> float
+val to_int : t -> int
+val truth : t -> bool
+val of_bool : bool -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val binop : binop -> t -> t -> t
+(** Raises [Invalid_argument] on division by zero or bitwise ops over
+    floats. *)
+
+val unop : unop -> t -> t

@@ -1,0 +1,1 @@
+lib/util/mem_account.ml: Atomic Format Hashtbl List Mutex

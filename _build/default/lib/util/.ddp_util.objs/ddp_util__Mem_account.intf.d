@@ -1,0 +1,1 @@
+lib/util/mem_account.mli: Format

@@ -1,0 +1,15 @@
+(* Wall-clock timing.  [Unix.gettimeofday] is adequate for the
+   millisecond-scale intervals measured here; benches that need finer
+   resolution use bechamel's monotonic clock directly. *)
+
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+let time_unit f =
+  let t0 = now () in
+  f ();
+  now () -. t0

@@ -1,0 +1,10 @@
+(** Wall-clock timing helpers. *)
+
+val now : unit -> float
+(** Seconds since the epoch (wall clock). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+val time_unit : (unit -> unit) -> float
+(** Elapsed seconds of a unit computation. *)

@@ -1,0 +1,49 @@
+(* String interner: bidirectional mapping between strings and dense ids.
+
+   The profiler packs identifiers (variable names, source locations) into
+   machine words stored in signature slots, so every name must be reduced
+   to a small integer.  Ids are dense, starting at 0, and stable for the
+   lifetime of the table. *)
+
+type t = {
+  tbl : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable next : int;
+}
+
+let create ?(capacity = 64) () =
+  { tbl = Hashtbl.create capacity; names = Array.make (max capacity 1) ""; next = 0 }
+
+let size t = t.next
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.next >= cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names
+  end
+
+let intern t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some id -> id
+  | None ->
+    let id = t.next in
+    grow t;
+    t.names.(id) <- name;
+    t.next <- id + 1;
+    Hashtbl.add t.tbl name id;
+    id
+
+let find_opt t name = Hashtbl.find_opt t.tbl name
+
+let name t id =
+  if id < 0 || id >= t.next then invalid_arg "Intern.name: id out of range";
+  t.names.(id)
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let iter t f =
+  for id = 0 to t.next - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,27 @@
+(** Bidirectional string interner with dense integer ids.
+
+    Used to reduce variable names and source locations to small integers
+    that fit in packed signature-slot payloads. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty table. *)
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating the next dense id on
+    first sight. *)
+
+val find_opt : t -> string -> int option
+(** Id of an already-interned string, if any. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}.  Raises [Invalid_argument] on unknown ids. *)
+
+val mem : t -> string -> bool
+
+val size : t -> int
+(** Number of interned strings (also the next id to be allocated). *)
+
+val iter : t -> (int -> string -> unit) -> unit
+(** Iterate over all (id, name) pairs in id order. *)

@@ -1,0 +1,75 @@
+(* Dense float matrices with an ASCII heatmap renderer, used for the
+   communication-pattern figures (paper Fig. 9). *)
+
+type t = {
+  rows : int;
+  cols : int;
+  data : float array;
+}
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Matrix.create";
+  { rows; cols; data = Array.make (rows * cols) 0.0 }
+
+let rows t = t.rows
+let cols t = t.cols
+
+let check t r c =
+  if r < 0 || r >= t.rows || c < 0 || c >= t.cols then invalid_arg "Matrix: index out of range"
+
+let get t r c =
+  check t r c;
+  t.data.((r * t.cols) + c)
+
+let set t r c v =
+  check t r c;
+  t.data.((r * t.cols) + c) <- v
+
+let add t r c v =
+  check t r c;
+  let i = (r * t.cols) + c in
+  t.data.(i) <- t.data.(i) +. v
+
+let max_value t = Array.fold_left max 0.0 t.data
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Matrix.map2: shape mismatch";
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let frobenius_distance a b =
+  let d = map2 (fun x y -> (x -. y) *. (x -. y)) a b in
+  sqrt (Array.fold_left ( +. ) 0.0 d.data)
+
+let normalize t =
+  let m = max_value t in
+  if m = 0.0 then { t with data = Array.copy t.data }
+  else { t with data = Array.map (fun x -> x /. m) t.data }
+
+(* Ten intensity levels from blank to saturated, matching the grey scale of
+   the paper's figure. *)
+let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '%'; '@' |]
+
+let shade_of_intensity v =
+  let v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v in
+  let i = int_of_float (v *. 9.0 +. 0.5) in
+  shades.(i)
+
+let pp_heatmap ?(row_label = "producer") ?(col_label = "consumer") ppf t =
+  let m = max_value t in
+  Format.fprintf ppf "     %s ->@." col_label;
+  Format.fprintf ppf "     ";
+  for c = 0 to t.cols - 1 do
+    Format.fprintf ppf "%3d " c
+  done;
+  Format.fprintf ppf "@.";
+  for r = 0 to t.rows - 1 do
+    Format.fprintf ppf "%3d  " r;
+    for c = 0 to t.cols - 1 do
+      let v = if m = 0.0 then 0.0 else get t r c /. m in
+      let ch = shade_of_intensity v in
+      Format.fprintf ppf " %c%c " ch ch
+    done;
+    if r = 0 then Format.fprintf ppf "  (%s)" row_label;
+    Format.fprintf ppf "@."
+  done;
+  Format.fprintf ppf "     scale: '%c' = 0  ..  '%c' = %.0f@." shades.(0) shades.(9) m

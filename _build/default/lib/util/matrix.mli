@@ -1,0 +1,23 @@
+(** Dense float matrices with an ASCII heatmap renderer (for the
+    communication-pattern experiment, paper Fig. 9). *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val add : t -> int -> int -> float -> unit
+val max_value : t -> float
+
+val normalize : t -> t
+(** Scale so the maximum entry is 1.0 (identity on the zero matrix). *)
+
+val frobenius_distance : t -> t -> float
+(** Raises [Invalid_argument] on shape mismatch. *)
+
+val shade_of_intensity : float -> char
+(** Map an intensity in [\[0., 1.\]] (clamped) to a ten-level ASCII shade. *)
+
+val pp_heatmap : ?row_label:string -> ?col_label:string -> Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(* Explicit byte accounting of profiler data structures.
+
+   The paper measures maximum resident set size with /usr/bin/time -v.  On
+   a shared managed heap that number is dominated by GC policy, so the
+   reproduction instead counts the bytes of every structure the profiler
+   allocates (signatures, queues, chunk pools, dependence maps, access
+   statistics).  Counters are atomic because worker domains allocate
+   dependence-map entries concurrently.  A high-water mark is maintained
+   per category, mirroring "maximum" RSS. *)
+
+type counter = {
+  current : int Atomic.t;
+  peak : int Atomic.t;
+}
+
+type t = {
+  mutex : Mutex.t;
+  tbl : (string, counter) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 16 }
+
+let counter t category =
+  match Hashtbl.find_opt t.tbl category with
+  | Some c -> c
+  | None ->
+    Mutex.lock t.mutex;
+    let c =
+      match Hashtbl.find_opt t.tbl category with
+      | Some c -> c
+      | None ->
+        let c = { current = Atomic.make 0; peak = Atomic.make 0 } in
+        Hashtbl.add t.tbl category c;
+        c
+    in
+    Mutex.unlock t.mutex;
+    c
+
+let rec raise_peak c v =
+  let p = Atomic.get c.peak in
+  if v > p && not (Atomic.compare_and_set c.peak p v) then raise_peak c v
+
+let add t category bytes =
+  let c = counter t category in
+  let v = Atomic.fetch_and_add c.current bytes + bytes in
+  if bytes > 0 then raise_peak c v
+
+let sub t category bytes = add t category (-bytes)
+
+let current t category =
+  match Hashtbl.find_opt t.tbl category with
+  | Some c -> Atomic.get c.current
+  | None -> 0
+
+let peak t category =
+  match Hashtbl.find_opt t.tbl category with
+  | Some c -> Atomic.get c.peak
+  | None -> 0
+
+let fold t f init =
+  Hashtbl.fold
+    (fun cat c acc -> f cat ~current:(Atomic.get c.current) ~peak:(Atomic.get c.peak) acc)
+    t.tbl init
+
+let total_current t = fold t (fun _ ~current ~peak:_ acc -> acc + current) 0
+let total_peak t = fold t (fun _ ~current:_ ~peak acc -> acc + peak) 0
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n >= 1 lsl 30 then Format.fprintf ppf "%.2f GiB" (f /. 1073741824.0)
+  else if n >= 1 lsl 20 then Format.fprintf ppf "%.2f MiB" (f /. 1048576.0)
+  else if n >= 1 lsl 10 then Format.fprintf ppf "%.2f KiB" (f /. 1024.0)
+  else Format.fprintf ppf "%d B" n
+
+let report ppf t =
+  let rows = fold t (fun cat ~current ~peak acc -> (cat, current, peak) :: acc) [] in
+  let rows = List.sort compare rows in
+  List.iter
+    (fun (cat, cur, peak) ->
+      Format.fprintf ppf "  %-24s current %a, peak %a@." cat pp_bytes cur pp_bytes peak)
+    rows;
+  Format.fprintf ppf "  %-24s current %a, peak %a@." "TOTAL" pp_bytes (total_current t)
+    pp_bytes (total_peak t)

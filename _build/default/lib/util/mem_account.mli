@@ -1,0 +1,29 @@
+(** Explicit, categorized byte accounting with per-category peaks.
+
+    Substitutes for the paper's max-RSS measurements (see DESIGN.md):
+    every profiler data structure registers its footprint here, giving a
+    deterministic memory figure independent of GC policy. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int -> unit
+(** [add t category bytes] records an allocation; thread-safe. *)
+
+val sub : t -> string -> int -> unit
+(** Record a release. *)
+
+val current : t -> string -> int
+val peak : t -> string -> int
+
+val total_current : t -> int
+val total_peak : t -> int
+
+val fold : t -> (string -> current:int -> peak:int -> 'a -> 'a) -> 'a -> 'a
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable byte count. *)
+
+val report : Format.formatter -> t -> unit
+(** Per-category table plus totals. *)

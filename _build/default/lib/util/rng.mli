@@ -1,0 +1,28 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every source of randomness in the reproduction is an explicitly seeded
+    instance of this module, so experiments are bit-replayable. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a generator with the given seed. *)
+
+val copy : t -> t
+
+val bits : t -> int
+(** A non-negative pseudo-random integer with 62 usable bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Raises on [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0., bound)]. *)
+
+val bool : t -> bool
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** Derive an independent generator (for per-thread streams). *)

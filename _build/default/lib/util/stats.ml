@@ -1,0 +1,53 @@
+(* Small descriptive-statistics helpers used by benches and load-balance
+   diagnostics. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else begin
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. log (max x 1e-300)) a;
+    exp (!acc /. float_of_int n)
+  end
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    Array.iter (fun x -> acc := !acc +. ((x -. m) *. (x -. m))) a;
+    sqrt (!acc /. float_of_int (n - 1))
+  end
+
+let min_max a =
+  if Array.length a = 0 then invalid_arg "Stats.min_max: empty";
+  let lo = ref a.(0) and hi = ref a.(0) in
+  Array.iter
+    (fun x ->
+      if x < !lo then lo := x;
+      if x > !hi then hi := x)
+    a;
+  (!lo, !hi)
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. w)) +. (sorted.(hi) *. w)
+  end
+
+(* Imbalance of a load vector: max over mean.  1.0 means perfectly even. *)
+let imbalance loads =
+  let m = mean loads in
+  if m = 0.0 then 1.0 else snd (min_max loads) /. m

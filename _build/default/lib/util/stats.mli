@@ -1,0 +1,15 @@
+(** Descriptive statistics for benchmarks and load-balance diagnostics. *)
+
+val mean : float array -> float
+val geomean : float array -> float
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+(** Raises [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] is the linearly interpolated [p]-th percentile,
+    [p] in [\[0., 100.\]].  Raises on an empty array. *)
+
+val imbalance : float array -> float
+(** Max-over-mean of a load vector; 1.0 is perfectly balanced. *)

@@ -1,0 +1,1 @@
+lib/workloads/nas_bt.ml: Ddp_minir Wl

@@ -1,0 +1,1 @@
+lib/workloads/nas_cg.ml: Ddp_minir Wl

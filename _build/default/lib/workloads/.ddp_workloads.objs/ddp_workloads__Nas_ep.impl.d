@@ -1,0 +1,1 @@
+lib/workloads/nas_ep.ml: Ddp_minir Wl

@@ -1,0 +1,1 @@
+lib/workloads/nas_ft.ml: Ddp_minir Wl

@@ -1,0 +1,1 @@
+lib/workloads/nas_lu.ml: Ddp_minir Wl

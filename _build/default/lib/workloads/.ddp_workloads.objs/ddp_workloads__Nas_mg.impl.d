@@ -1,0 +1,1 @@
+lib/workloads/nas_mg.ml: Ddp_minir Wl

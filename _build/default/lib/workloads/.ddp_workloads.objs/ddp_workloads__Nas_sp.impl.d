@@ -1,0 +1,1 @@
+lib/workloads/nas_sp.ml: Ddp_minir Wl

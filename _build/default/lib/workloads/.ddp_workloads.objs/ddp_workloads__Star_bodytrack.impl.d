@@ -1,0 +1,1 @@
+lib/workloads/star_bodytrack.ml: Ddp_minir Printf Wl

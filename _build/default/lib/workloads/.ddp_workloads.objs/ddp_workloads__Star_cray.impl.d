@@ -1,0 +1,1 @@
+lib/workloads/star_cray.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_h264dec.ml: Ddp_minir Printf Wl

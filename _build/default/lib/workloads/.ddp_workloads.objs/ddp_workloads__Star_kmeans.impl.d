@@ -1,0 +1,1 @@
+lib/workloads/star_kmeans.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_md5.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_rayrot.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_rgbyuv.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_rotate.ml: Ddp_minir Printf Wl

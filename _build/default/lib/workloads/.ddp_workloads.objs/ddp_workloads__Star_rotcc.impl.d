@@ -1,0 +1,1 @@
+lib/workloads/star_rotcc.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_streamcluster.ml: Ddp_minir Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/star_tinyjpeg.ml: Ddp_minir Printf Wl

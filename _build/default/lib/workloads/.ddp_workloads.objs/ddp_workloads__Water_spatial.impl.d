@@ -1,0 +1,1 @@
+lib/workloads/water_spatial.ml: Array Ddp_minir List Printf Wl

@@ -1,0 +1,1 @@
+lib/workloads/wl.ml: Ddp_minir List

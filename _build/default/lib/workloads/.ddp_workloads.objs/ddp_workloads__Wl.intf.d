@@ -1,0 +1,1 @@
+lib/workloads/wl.mli: Ddp_minir

@@ -1,0 +1,74 @@
+(* BT — block tridiagonal solver (NAS).  ADI-style structure on an NxN
+   grid: RHS computation from a 5-point stencil (parallel over all
+   cells), then line solves — a forward elimination and backward
+   substitution along each row (x-sweep) and each column (y-sweep).  The
+   sweeps are carried *along* the line but independent *across* lines, so
+   the outer line loops are annotated parallel and the inner substitution
+   loops are serial — the dependence split BT's OpenMP version exploits. *)
+
+module B = Ddp_minir.Builder
+
+let seq ~scale =
+  let n = 100 * scale in
+  let cells = n * n in
+  let steps = 2 in
+  let at r c = B.((r *: i n) +: c) in
+  B.program ~name:"bt"
+    [
+      B.arr "u" (B.i cells);
+      B.arr "rhs" (B.i cells);
+      B.arr "lhs" (B.i cells);
+      Wl.fill_rand_loop "u" cells;
+      Wl.zero_loop "rhs" cells;
+      B.for_ "step" (B.i 0) (B.i steps) (fun _ ->
+          [
+            (* RHS from 5-point stencil: pure gather, parallel. *)
+            B.for_ ~parallel:true "rr" (B.i 1) (B.i (n - 1)) (fun r ->
+                [
+                  B.for_ "rc" (B.i 1) (B.i (n - 1)) (fun c ->
+                      [
+                        B.store "rhs" (at r c)
+                          B.(
+                            idx "u" (at r c)
+                            -: (f 0.25
+                               *: (idx "u" (at (r -: i 1) c)
+                                  +: idx "u" (at (r +: i 1) c)
+                                  +: idx "u" (at r (c -: i 1))
+                                  +: idx "u" (at r (c +: i 1)))));
+                      ]);
+                ]);
+            (* x-sweep: rows independent (parallel); along a row the
+               elimination/substitution is carried (serial inner loops). *)
+            B.for_ ~parallel:true "xr" (B.i 0) (B.i n) (fun r ->
+                [
+                  B.for_ "fe" (B.i 1) (B.i n) (fun c ->
+                      [
+                        B.store "lhs" (at r c)
+                          B.(idx "rhs" (at r c) +: (f 0.4 *: idx "lhs" (at r (c -: i 1))));
+                      ]);
+                  B.for_ "bsub" (B.i 1) (B.i n) (fun c ->
+                      [
+                        B.local "cc" B.(i n -: i 1 -: c);
+                        B.store "lhs" (at r (B.v "cc"))
+                          B.(idx "lhs" (at r (v "cc")) +: (f 0.3 *: idx "lhs" (at r (v "cc" +: i 1))));
+                      ]);
+                ]);
+            (* y-sweep: columns independent. *)
+            B.for_ ~parallel:true "yc" (B.i 0) (B.i n) (fun c ->
+                [
+                  B.for_ "fey" (B.i 1) (B.i n) (fun r ->
+                      [
+                        B.store "lhs" (at r c)
+                          B.(idx "lhs" (at r c) +: (f 0.4 *: idx "lhs" (at (r -: i 1) c)));
+                      ]);
+                ]);
+            (* Update solution: parallel. *)
+            B.for_ ~parallel:true "up" (B.i 0) (B.i cells) (fun p ->
+                [ B.store "u" p B.(idx "u" p -: (f 0.1 *: idx "lhs" p)) ]);
+          ]);
+      (* self-check: the solve stayed finite (NaN fails x = x) *)
+      B.assert_ B.(idx "u" (i 1) =: idx "u" (i 1));
+    ]
+
+let workload =
+  { Wl.name = "bt"; suite = Wl.Nas; description = "block-tridiagonal ADI solver"; seq; par = None }

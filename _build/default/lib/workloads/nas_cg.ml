@@ -1,0 +1,71 @@
+(* CG — conjugate gradient (NAS).  Sparse matrix-vector products with
+   data-dependent column indices (the access pattern static analysis
+   cannot resolve), dot-product reductions, and axpy updates.  One
+   accumulation loop is annotated (OMP parallelizes it with a critical
+   section) but deliberately lacks the reduction clause analogue, so the
+   analysis reports a carried RAW — giving CG its annotated-but-missed
+   loops as in the paper's Table II (9/16). *)
+
+module B = Ddp_minir.Builder
+
+let nnz_per_row = 8
+
+(* Sparse row dot-product: the per-row kernel as a procedure, so CG's
+   call tree shows the matvec leaf under the row loop. *)
+let spmv_row_proc =
+  B.proc "spmv_row" [ "row" ]
+    [
+      B.local "sum" (B.f 0.0);
+      B.for_ "k" (B.i 0) (B.i nnz_per_row) (fun k ->
+          [
+            B.assign "sum"
+              B.(
+                v "sum"
+                +: idx "aval" ((v "row" *: i nnz_per_row) +: k)
+                   *: idx "x" (idx "colidx" ((v "row" *: i nnz_per_row) +: k)));
+          ]);
+      B.store "q" (B.v "row") (B.v "sum");
+    ]
+
+let seq ~scale =
+  let n = 3_000 * scale in
+  let nnz = n * nnz_per_row in
+  let iters = 3 in
+  B.program ~name:"cg" ~funcs:[ spmv_row_proc ]
+    [
+      B.arr "colidx" (B.i nnz);
+      B.arr "aval" (B.i nnz);
+      B.arr "x" (B.i n);
+      B.arr "q" (B.i n);
+      B.arr "r" (B.i n);
+      B.local "rho" (B.f 0.0);
+      B.local "checksum" (B.f 0.0);
+      Wl.fill_rand_int_loop ~index:"ci" "colidx" nnz n;
+      Wl.fill_rand_loop ~index:"ai" "aval" nnz;
+      B.for_ ~parallel:true "xi" (B.i 0) (B.i n) (fun iv -> [ B.store "x" iv (B.f 1.0) ]);
+      B.for_ "it" (B.i 0) (B.i iters) (fun _ ->
+          [
+            (* Sparse matvec: rows independent; the per-call accumulator is
+               a fresh local each activation (lifetime analysis keeps its
+               reused address from leaking a false carried dep). *)
+            B.for_ ~parallel:true "row" (B.i 0) (B.i n) (fun row ->
+                [ B.call_proc "spmv_row" [ row ] ]);
+            (* rho = x . q : proper reduction clause. *)
+            B.assign "rho" (B.f 0.0);
+            B.for_ ~parallel:true ~reduction:[ "rho" ] "d" (B.i 0) (B.i n) (fun iv ->
+                [ B.assign "rho" B.(v "rho" +: (idx "x" iv *: idx "q" iv)) ]);
+            (* axpy update: parallel. *)
+            B.for_ ~parallel:true "u" (B.i 0) (B.i n) (fun iv ->
+                [ B.store "r" iv B.(idx "x" iv -: (f 0.5 *: idx "q" iv)) ]);
+            B.for_ ~parallel:true "c" (B.i 0) (B.i n) (fun iv -> [ B.store "x" iv (B.idx "r" iv) ]);
+          ]);
+      (* Residual-norm accumulation: OMP uses a critical section; without a
+         reduction clause the carried RAW is real -> annotated, missed. *)
+      B.for_ ~parallel:true "nrm" (B.i 0) (B.i n) (fun iv ->
+          [ B.assign "checksum" B.(v "checksum" +: (idx "r" iv *: idx "r" iv)) ]);
+      (* self-check: a sum of squares is non-negative and not NaN *)
+      B.assert_ B.(v "checksum" >=: f 0.0);
+    ]
+
+let workload =
+  { Wl.name = "cg"; suite = Wl.Nas; description = "sparse conjugate-gradient kernel"; seq; par = None }

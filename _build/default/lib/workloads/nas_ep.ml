@@ -1,0 +1,45 @@
+(* EP — embarrassingly parallel (NAS).  Gaussian-pair generation with
+   scalar reductions; the single hot loop is fully parallel under an
+   OpenMP reduction clause, which is why the paper's Table II shows 1/1
+   for EP.  The annulus histogram is kept in a separate, unannotated loop
+   pass so the main loop stays reduction-only. *)
+
+module B = Ddp_minir.Builder
+
+let nbins = 10
+
+let seq ~scale =
+  let n = 60_000 * scale in
+  B.program ~name:"ep"
+    [
+      B.local "sx" (B.f 0.0);
+      B.local "sy" (B.f 0.0);
+      B.local "hits" (B.i 0);
+      B.arr "q" (B.i nbins);
+      Wl.zero_loop "q" nbins;
+      B.for_ ~parallel:true ~reduction:[ "sx"; "sy"; "hits" ] "i" (B.i 0) (B.i n) (fun _ ->
+          [
+            B.local "t1" B.(rand_ *: f 2.0 -: f 1.0);
+            B.local "t2" B.(rand_ *: f 2.0 -: f 1.0);
+            B.local "tsq" B.((v "t1" *: v "t1") +: (v "t2" *: v "t2"));
+            B.if_
+              B.(v "tsq" <=: f 1.0)
+              [
+                B.assign "sx" B.(v "sx" +: v "t1");
+                B.assign "sy" B.(v "sy" +: v "t2");
+                B.assign "hits" B.(v "hits" +: i 1);
+              ]
+              [];
+          ]);
+      (* self-check: acceptance bound *)
+      B.assert_ B.(v "hits" >=: i 0 &&: (v "hits" <=: i n));
+      (* Annulus histogram: read-modify-write on data-dependent bins is a
+         carried RAW, so this loop is (correctly) not annotated. *)
+      B.for_ "j" (B.i 0) (B.i (n / 64)) (fun _ ->
+          [
+            B.local "b" (B.rand_int (B.i nbins));
+            B.store "q" (B.v "b") B.(idx "q" (v "b") +: f 1.0);
+          ]);
+    ]
+
+let workload = { Wl.name = "ep"; suite = Wl.Nas; description = "embarrassingly parallel"; seq; par = None }

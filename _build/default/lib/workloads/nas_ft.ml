@@ -1,0 +1,71 @@
+(* FT — FFT kernel (NAS).  Bit-reversal permutation (parallel scatter to
+   distinct targets) followed by log2(n) in-place butterfly stages: the
+   stage loop is serial, but butterflies within a stage touch disjoint
+   pairs and are annotated parallel.  The final checksum loop mirrors the
+   paper's one missed FT loop: OMP sums it in a critical section, so the
+   carried RAW is real. *)
+
+module B = Ddp_minir.Builder
+
+let log2 n =
+  let rec go k acc = if k <= 1 then acc else go (k / 2) (acc + 1) in
+  go n 0
+
+let seq ~scale =
+  let n = 8_192 * scale in
+  let stages = log2 n in
+  B.program ~name:"ft"
+    [
+      B.arr "re" (B.i n);
+      B.arr "im" (B.i n);
+      B.arr "tr" (B.i n);
+      B.arr "rev" (B.i n);
+      Wl.fill_rand_loop "re" n;
+      Wl.zero_loop "im" n;
+      (* Bit-reversal table: each element computed independently. *)
+      B.for_ ~parallel:true "bi" (B.i 0) (B.i n) (fun iv ->
+          [
+            B.local "x" iv;
+            B.local "acc" (B.i 0);
+            B.for_ "b" (B.i 0) (B.i stages) (fun _ ->
+                [
+                  B.assign "acc" B.((v "acc" <<: i 1) ||: (v "x" &&: i 1));
+                  B.assign "x" B.(v "x" >>: i 1);
+                ]);
+            B.store "rev" iv (B.v "acc");
+          ]);
+      (* self-check: bit-reversal fixes 0 and sends 1 to n/2 *)
+      B.assert_ B.(idx "rev" (i 0) =: i 0);
+      B.assert_ B.(idx "rev" (i 1) =: i (n / 2));
+      (* Permute: distinct targets (rev is a bijection) — parallel. *)
+      B.for_ ~parallel:true "pm" (B.i 0) (B.i n) (fun iv ->
+          [ B.store "tr" (B.idx "rev" iv) (B.idx "re" iv) ]);
+      B.for_ ~parallel:true "cp" (B.i 0) (B.i n) (fun iv -> [ B.store "re" iv (B.idx "tr" iv) ]);
+      (* Butterfly stages: outer serial, inner parallel over disjoint pairs. *)
+      B.for_ "s" (B.i 0) (B.i stages) (fun s ->
+          [
+            B.local "half" B.(i 1 <<: s);
+            B.for_ ~parallel:true "bf" (B.i 0) (B.i (n / 2)) (fun bf ->
+                [
+                  B.local "blk" B.(bf /: v "half");
+                  B.local "off" B.(bf %: v "half");
+                  B.local "lo" B.((v "blk" *: (v "half" *: i 2)) +: v "off");
+                  B.local "hi" B.(v "lo" +: v "half");
+                  B.local "w" B.(call "cos" [ call "float" [ v "off" ] /: call "float" [ v "half" ] ]);
+                  B.local "a" (B.idx "re" (B.v "lo"));
+                  B.local "bv" B.(idx "re" (v "hi") *: v "w");
+                  B.store "re" (B.v "lo") B.(v "a" +: v "bv");
+                  B.store "re" (B.v "hi") B.(v "a" -: v "bv");
+                  B.local "ai" (B.idx "im" (B.v "lo"));
+                  B.local "bvi" B.(idx "im" (v "hi") *: v "w");
+                  B.store "im" (B.v "lo") B.(v "ai" +: v "bvi");
+                  B.store "im" (B.v "hi") B.(v "ai" -: v "bvi");
+                ]);
+          ]);
+      (* Checksum: annotated (OMP critical) but genuinely carried. *)
+      B.local "chk" (B.f 0.0);
+      B.for_ ~parallel:true "ck" (B.i 0) (B.i n) (fun iv ->
+          [ B.assign "chk" B.(v "chk" +: idx "re" iv) ]);
+    ]
+
+let workload = { Wl.name = "ft"; suite = Wl.Nas; description = "radix-2 FFT butterfly kernel"; seq; par = None }

@@ -1,0 +1,38 @@
+(* IS — integer sort (NAS).  Bucket/counting sort: key generation and
+   ranking are parallel; the histogram loop is OpenMP-parallelizable only
+   with atomics, so dependence analysis (correctly) reports a carried RAW
+   and the loop shows up as annotated-but-missed, mirroring the 8/11 row
+   of the paper's Table II.  The prefix sum is genuinely serial. *)
+
+module B = Ddp_minir.Builder
+
+let max_key = 512
+
+let seq ~scale =
+  let n = 40_000 * scale in
+  B.program ~name:"is"
+    [
+      B.arr "keys" (B.i n);
+      B.arr "count" (B.i max_key);
+      B.arr "ranked" (B.i n);
+      Wl.fill_rand_int_loop "keys" n max_key;
+      Wl.zero_loop "count" max_key;
+      (* Histogram: OMP parallelizes it with atomic increments, but the
+         carried RAW on count[] is real — annotated yet not identifiable. *)
+      B.for_ ~parallel:true "h" (B.i 0) (B.i n) (fun iv ->
+          [
+            B.local "k" (B.idx "keys" iv);
+            B.store "count" (B.v "k") B.(idx "count" (v "k") +: i 1);
+          ]);
+      (* Prefix sum: inherently serial, not annotated. *)
+      B.for_ "p" (B.i 1) (B.i max_key) (fun iv ->
+          [ B.store "count" iv B.(idx "count" iv +: idx "count" (iv -: i 1)) ]);
+      (* Ranking: pure gather, parallel. *)
+      B.for_ ~parallel:true "r" (B.i 0) (B.i n) (fun iv ->
+          [ B.store "ranked" iv B.(idx "count" (idx "keys" iv) -: i 1) ]);
+      (* self-check: the prefix sum totals n, ranks stay in range *)
+      B.assert_ B.(idx "count" (i (max_key - 1)) =: i n);
+      B.assert_ B.(idx "ranked" (i 0) >=: i 0 &&: (idx "ranked" (i 0) <: i n));
+    ]
+
+let workload = { Wl.name = "is"; suite = Wl.Nas; description = "integer (counting) sort"; seq; par = None }

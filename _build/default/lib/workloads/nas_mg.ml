@@ -1,0 +1,56 @@
+(* MG — multigrid (NAS).  A 1-D V-cycle: Jacobi smoothing (two-array,
+   parallel), residual restriction to a coarser grid (parallel), a
+   Gauss-Seidel sweep at the coarsest level (in-place, carried, serial)
+   and prolongation back (parallel).  Strided neighbour accesses give the
+   signature distinctly non-uniform slot pressure. *)
+
+module B = Ddp_minir.Builder
+
+let seq ~scale =
+  let n = 16_384 * scale in
+  let n2 = n / 2 and n4 = n / 4 in
+  let cycles = 2 in
+  B.program ~name:"mg"
+    [
+      B.arr "u" (B.i n);
+      B.arr "v" (B.i n);
+      B.arr "r1" (B.i n2);
+      B.arr "r2" (B.i n4);
+      Wl.fill_rand_loop "u" n;
+      Wl.zero_loop ~index:"z1" "r1" n2;
+      Wl.zero_loop ~index:"z2" "r2" n4;
+      B.for_ "cyc" (B.i 0) (B.i cycles) (fun _ ->
+          [
+            (* Jacobi smooth u -> v : parallel (distinct in/out arrays). *)
+            B.for_ ~parallel:true "s" (B.i 1) (B.i (n - 1)) (fun iv ->
+                [
+                  B.store "v" iv
+                    B.(f 0.25 *: (idx "u" (iv -: i 1) +: (f 2.0 *: idx "u" iv) +: idx "u" (iv +: i 1)));
+                ]);
+            (* Restrict v -> r1 : parallel, stride-2 gather. *)
+            B.for_ ~parallel:true "rs" (B.i 0) (B.i n2) (fun iv ->
+                [ B.store "r1" iv B.(f 0.5 *: (idx "v" (iv *: i 2) +: idx "v" ((iv *: i 2) +: i 1))) ]);
+            (* Restrict r1 -> r2. *)
+            B.for_ ~parallel:true "rt" (B.i 0) (B.i n4) (fun iv ->
+                [ B.store "r2" iv B.(f 0.5 *: (idx "r1" (iv *: i 2) +: idx "r1" ((iv *: i 2) +: i 1))) ]);
+            (* Coarsest level: in-place Gauss-Seidel — genuinely carried. *)
+            B.for_ "gs" (B.i 1) (B.i (n4 - 1)) (fun iv ->
+                [
+                  B.store "r2" iv
+                    B.(f 0.5 *: (idx "r2" (iv -: i 1) +: idx "r2" (iv +: i 1)));
+                ]);
+            (* Prolongate r2 -> r1 -> u : parallel scatter, disjoint targets. *)
+            B.for_ ~parallel:true "p1" (B.i 0) (B.i n4) (fun iv ->
+                [
+                  B.store "r1" (B.( *: ) iv (B.i 2)) B.(idx "r1" (iv *: i 2) +: idx "r2" iv);
+                  B.store "r1" B.((iv *: i 2) +: i 1) B.(idx "r1" ((iv *: i 2) +: i 1) +: idx "r2" iv);
+                ]);
+            B.for_ ~parallel:true "p0" (B.i 0) (B.i n2) (fun iv ->
+                [ B.store "u" (B.( *: ) iv (B.i 2)) B.(idx "u" (iv *: i 2) +: idx "r1" iv) ]);
+          ]);
+      (* self-check: non-negative inputs stay non-negative (and not NaN) *)
+      B.assert_ B.(idx "u" (i 2) >=: f 0.0);
+      B.assert_ B.(idx "u" (i 2) =: idx "u" (i 2));
+    ]
+
+let workload = { Wl.name = "mg"; suite = Wl.Nas; description = "1-D multigrid V-cycle"; seq; par = None }

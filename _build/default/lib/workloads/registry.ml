@@ -1,0 +1,42 @@
+(* All workloads, by suite, in the order the paper's figures list them. *)
+
+let nas : Wl.t list =
+  [
+    Nas_ft.workload;
+    Nas_is.workload;
+    Nas_sp.workload;
+    Nas_bt.workload;
+    Nas_cg.workload;
+    Nas_ep.workload;
+    Nas_mg.workload;
+    Nas_lu.workload;
+  ]
+
+let starbench : Wl.t list =
+  [
+    Star_cray.workload;
+    Star_kmeans.workload;
+    Star_md5.workload;
+    Star_rayrot.workload;
+    Star_rgbyuv.workload;
+    Star_rotate.workload;
+    Star_rotcc.workload;
+    Star_streamcluster.workload;
+    Star_tinyjpeg.workload;
+    Star_bodytrack.workload;
+    Star_h264dec.workload;
+  ]
+
+let splash : Wl.t list = [ Water_spatial.workload ]
+
+let all = nas @ starbench @ splash
+
+let find name =
+  match List.find_opt (fun (w : Wl.t) -> w.name = name) all with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload %S (known: %s)" name
+         (String.concat ", " (List.map (fun (w : Wl.t) -> w.name) all)))
+
+let names = List.map (fun (w : Wl.t) -> w.name) all

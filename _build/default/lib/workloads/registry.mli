@@ -1,0 +1,12 @@
+(** All workloads, grouped by suite in the order the paper's figures list
+    them. *)
+
+val nas : Wl.t list
+val starbench : Wl.t list
+val splash : Wl.t list
+val all : Wl.t list
+
+val find : string -> Wl.t
+(** Raises [Invalid_argument] with the known names on an unknown name. *)
+
+val names : string list

@@ -1,0 +1,97 @@
+(* bodytrack — particle filter (Starbench/PARSEC).  Per frame: weight
+   evaluation is parallel over particles; weight normalization is a
+   reduction; cumulative-sum resampling is serial; the state update
+   gathers from the old state array into a new one (parallel) and then
+   swaps.  Particle indices selected by resampling are data-dependent
+   gathers — the dynamic access pattern dependence profiling exists for. *)
+
+module B = Ddp_minir.Builder
+
+let frames = 3
+
+let setup nparticles =
+  [
+    B.arr "state" (B.i nparticles);
+    B.arr "nstate" (B.i nparticles);
+    B.arr "weight" (B.i nparticles);
+    B.arr "cum" (B.i nparticles);
+    B.arr "pick" (B.i nparticles);
+    B.local "wsum" (B.f 0.0);
+    Wl.fill_rand_loop "state" nparticles;
+  ]
+
+let weigh_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "x" (B.idx "state" p);
+        B.local "err" B.((v "x" -: f 0.5) *: (v "x" -: f 0.5));
+        B.store "weight" p (B.call "exp" [ B.(f 0.0 -: (v "err" *: f 4.0)) ]);
+      ])
+
+let update_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.store "nstate" p
+          B.(idx "state" (idx "pick" p) +: ((rand_ -: f 0.5) *: f 0.05));
+      ])
+
+let copy_back ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p -> [ B.store "state" p (B.idx "nstate" p) ])
+
+let frame_body ~nparticles ~par_stage =
+  [
+    par_stage `Weigh;
+    (* Normalization sum: proper reduction. *)
+    B.assign "wsum" (B.f 0.0);
+    B.for_ ~parallel:true ~reduction:[ "wsum" ] "ws" (B.i 0) (B.i nparticles) (fun p ->
+        [ B.assign "wsum" B.(v "wsum" +: idx "weight" p) ]);
+    (* Cumulative sum: serial recurrence. *)
+    B.store "cum" (B.i 0) (B.idx "weight" (B.i 0));
+    B.for_ "cs" (B.i 1) (B.i nparticles) (fun p ->
+        [ B.store "cum" p B.(idx "cum" (p -: i 1) +: idx "weight" p) ]);
+    (* Systematic resampling: serial two-pointer walk. *)
+    B.local "j" (B.i 0);
+    B.for_ "rs" (B.i 0) (B.i nparticles) (fun p ->
+        [
+          B.local "target" B.(call "float" [ p ] *: v "wsum" /: call "float" [ i nparticles ]);
+          B.while_
+            B.((v "j" <: i (nparticles - 1)) &&: (idx "cum" (v "j") <: v "target"))
+            [ B.assign "j" B.(v "j" +: i 1) ];
+          B.store "pick" p (B.v "j");
+        ]);
+    par_stage `Update;
+    par_stage `Copy;
+  ]
+
+let seq ~scale =
+  let nparticles = 2_500 * scale in
+  let par_stage = function
+    | `Weigh -> weigh_range ~index:"wp" (B.i 0) (B.i nparticles)
+    | `Update -> update_range ~index:"up" (B.i 0) (B.i nparticles)
+    | `Copy -> copy_back ~index:"cp" (B.i 0) (B.i nparticles)
+  in
+  B.program ~name:"bodytrack"
+    (setup nparticles
+    @ [
+        B.for_ "fr" (B.i 0) (B.i frames) (fun _ -> frame_body ~nparticles ~par_stage);
+        (* self-check: weights are positive (exp never returns <= 0) *)
+        B.assert_ B.(v "wsum" >: f 0.0);
+      ])
+
+let par ~threads ~scale =
+  let nparticles = 2_500 * scale in
+  let par_stage stage =
+    let build ~t ~lo ~hi =
+      match stage with
+      | `Weigh -> [ weigh_range ~index:(Printf.sprintf "wp%d" t) (B.i lo) (B.i hi) ]
+      | `Update -> [ update_range ~index:(Printf.sprintf "up%d" t) (B.i lo) (B.i hi) ]
+      | `Copy -> [ copy_back ~index:(Printf.sprintf "cp%d" t) (B.i lo) (B.i hi) ]
+    in
+    Wl.par_range ~threads ~n:nparticles build
+  in
+  B.program ~name:"bodytrack"
+    (setup nparticles
+    @ [ B.for_ "fr" (B.i 0) (B.i frames) (fun _ -> frame_body ~nparticles ~par_stage) ])
+
+let workload =
+  { Wl.name = "bodytrack"; suite = Wl.Starbench; description = "particle-filter tracker"; seq; par = Some par }

@@ -1,0 +1,64 @@
+(* c-ray — ray tracer (Starbench).  Per-pixel ray/sphere intersection:
+   pixels are independent (annotated parallel); the per-pixel nearest-hit
+   search over the sphere list is a serial inner reduction on locals.
+   The pthread variant block-partitions the pixel range, reproducing the
+   read-shared (spheres) / write-private (image rows) pattern of the real
+   benchmark. *)
+
+module B = Ddp_minir.Builder
+
+let nspheres = 12
+
+let setup w h =
+  [
+    B.arr "sx" (B.i nspheres);
+    B.arr "sy" (B.i nspheres);
+    B.arr "sz" (B.i nspheres);
+    B.arr "sr" (B.i nspheres);
+    B.arr "img" (B.i (w * h));
+    Wl.fill_rand_loop ~index:"i1" "sx" nspheres;
+    Wl.fill_rand_loop ~index:"i2" "sy" nspheres;
+    Wl.fill_rand_loop ~index:"i3" "sz" nspheres;
+    Wl.fill_rand_loop ~index:"i4" "sr" nspheres;
+  ]
+
+(* Trace the pixels in [lo, hi): the shared per-pixel kernel. *)
+let trace_range ~w ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "px" B.(call "float" [ p %: i w ] /: f (float_of_int w));
+        B.local "py" B.(call "float" [ p /: i w ] /: f (float_of_int w));
+        B.local "best" (B.f 1.0e9);
+        B.for_ "s" (B.i 0) (B.i nspheres) (fun s ->
+            [
+              B.local "dx" B.(idx "sx" s -: v "px");
+              B.local "dy" B.(idx "sy" s -: v "py");
+              B.local "dz" (B.idx "sz" s);
+              B.local "d2" B.((v "dx" *: v "dx") +: (v "dy" *: v "dy") +: (v "dz" *: v "dz"));
+              B.local "rr" B.(idx "sr" s *: idx "sr" s);
+              B.if_ B.(v "d2" <: v "rr" *: f 40.0)
+                [
+                  B.local "t" (B.sqrt_ (B.v "d2"));
+                  B.if_ B.(v "t" <: v "best") [ B.assign "best" (B.v "t") ] [];
+                ]
+                [];
+            ]);
+        B.store "img" p B.(f 255.0 /: (f 1.0 +: v "best"));
+      ])
+
+let seq ~scale =
+  let w = 64 * scale and h = 48 in
+  B.program ~name:"c-ray" (setup w h @ [ trace_range ~w ~index:"p" (B.i 0) (B.i (w * h)) ])
+
+let par ~threads ~scale =
+  let w = 64 * scale and h = 48 in
+  let n = w * h in
+  B.program ~name:"c-ray"
+    (setup w h
+    @ [
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ trace_range ~w ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "c-ray"; suite = Wl.Starbench; description = "ray/sphere tracer"; seq; par = Some par }

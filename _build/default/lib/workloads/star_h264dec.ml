@@ -1,0 +1,78 @@
+(* h264dec — video decoding (Starbench).  Frames decode serially (each
+   frame's motion compensation reads the previous frame), while
+   macroblocks within a frame are independent (parallel).  Motion
+   vectors are data-dependent, so the reference-frame reads are dynamic
+   gathers — unresolvable statically, the profiler's home turf.  h264dec
+   is the paper's biggest benchmark (42.8 kLOC, 31k deps): here its role
+   is to contribute the largest dependence count of the suite. *)
+
+module B = Ddp_minir.Builder
+
+let mb = 16 (* pixels per macroblock (1-D layout) *)
+let frames = 4
+
+let setup nmb =
+  let fsize = nmb * mb in
+  [
+    B.arr "ref" (B.i fsize);
+    B.arr "cur" (B.i fsize);
+    B.arr "resid" (B.i fsize);
+    B.arr "mv" (B.i nmb);
+    Wl.fill_rand_int_loop ~index:"i1" "ref" fsize 256;
+  ]
+
+let decode_range ~nmb ~index lo hi =
+  let fsize = nmb * mb in
+  B.for_ ~parallel:true index lo hi (fun m ->
+      [
+        B.local "vvec" (B.idx "mv" m);
+        B.for_ "px" (B.i 0) (B.i mb) (fun px ->
+            [
+              B.local "src" B.(((m *: i mb) +: px +: v "vvec") %: i fsize);
+              B.store "cur"
+                B.((m *: i mb) +: px)
+                (B.min_
+                   B.(idx "ref" (v "src") +: idx "resid" ((m *: i mb) +: px))
+                   (B.i 255));
+            ]);
+      ])
+
+let frame_body ~nmb ~threads_opt =
+  let fsize = nmb * mb in
+  [
+    (* New residuals and motion vectors arrive with each frame. *)
+    Wl.fill_rand_int_loop ~index:"rs" "resid" fsize 16;
+    Wl.fill_rand_int_loop ~index:"mvv" "mv" nmb (mb * 4);
+  ]
+  @ (match threads_opt with
+    | None -> [ decode_range ~nmb ~index:"m" (B.i 0) (B.i nmb) ]
+    | Some threads ->
+      [
+        Wl.par_range ~threads ~n:nmb (fun ~t ~lo ~hi ->
+            [ decode_range ~nmb ~index:(Printf.sprintf "m%d" t) (B.i lo) (B.i hi) ]);
+      ])
+  @ [
+      (* The decoded frame becomes the next reference: the serial
+         frame-to-frame carried dependence. *)
+      B.for_ ~parallel:true "cpf" (B.i 0) (B.i fsize) (fun p ->
+          [ B.store "ref" p (B.idx "cur" p) ]);
+    ]
+
+let seq ~scale =
+  let nmb = 800 * scale in
+  B.program ~name:"h264dec"
+    (setup nmb
+    @ [
+        B.for_ "fr" (B.i 0) (B.i frames) (fun _ -> frame_body ~nmb ~threads_opt:None);
+        (* self-check: reconstructed pixels stay clamped *)
+        B.assert_ B.(idx "ref" (i 0) >=: i 0 &&: (idx "ref" (i 0) <=: i 255));
+      ])
+
+let par ~threads ~scale =
+  let nmb = 800 * scale in
+  B.program ~name:"h264dec"
+    (setup nmb
+    @ [ B.for_ "fr" (B.i 0) (B.i frames) (fun _ -> frame_body ~nmb ~threads_opt:(Some threads)) ])
+
+let workload =
+  { Wl.name = "h264dec"; suite = Wl.Starbench; description = "motion-compensated block decoder"; seq; par = Some par }

@@ -1,0 +1,137 @@
+(* kmeans — clustering (Starbench).  Per-round structure: the assignment
+   step is parallel over points (nearest-centroid search on locals); the
+   accumulation step is a data-dependent histogram (annotated — the
+   pthread/OMP versions use locks/atomics — but genuinely carried, so
+   dependence analysis reports it, as for CG-class loops in Table II);
+   the centroid update is parallel over clusters.
+
+   The pthread variant partitions points; each thread folds its slice
+   into the shared per-cluster sums *inside a lock region*, which is
+   exactly the Sec. V pattern: cross-thread dependences on the sum arrays
+   with lock-protected (hence in-order, never race-flagged) pushes. *)
+
+module B = Ddp_minir.Builder
+
+let k = 8
+let rounds = 3
+
+let setup npts =
+  [
+    B.arr "px" (B.i npts);
+    B.arr "py" (B.i npts);
+    B.arr "cx" (B.i k);
+    B.arr "cy" (B.i k);
+    B.arr "label" (B.i npts);
+    B.arr "sumx" (B.i k);
+    B.arr "sumy" (B.i k);
+    B.arr "cnt" (B.i k);
+    Wl.fill_rand_loop ~index:"i1" "px" npts;
+    Wl.fill_rand_loop ~index:"i2" "py" npts;
+    Wl.fill_rand_loop ~index:"i3" "cx" k;
+    Wl.fill_rand_loop ~index:"i4" "cy" k;
+  ]
+
+let assign_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "best" (B.f 1.0e18);
+        B.local "bi" (B.i 0);
+        B.for_ "c" (B.i 0) (B.i k) (fun c ->
+            [
+              B.local "dx" B.(idx "px" p -: idx "cx" c);
+              B.local "dy" B.(idx "py" p -: idx "cy" c);
+              B.local "d" B.((v "dx" *: v "dx") +: (v "dy" *: v "dy"));
+              B.if_ B.(v "d" <: v "best")
+                [ B.assign "best" (B.v "d"); B.assign "bi" c ]
+                [];
+            ]);
+        B.store "label" p (B.v "bi");
+      ])
+
+let zero_sums =
+  [
+    Wl.zero_loop ~index:"z1" "sumx" k;
+    Wl.zero_loop ~index:"z2" "sumy" k;
+    Wl.zero_loop ~index:"z3" "cnt" k;
+  ]
+
+let update_centroids =
+  B.for_ ~parallel:true "uc" (B.i 0) (B.i k) (fun c ->
+      [
+        B.local "n" (B.max_ (B.idx "cnt" c) (B.f 1.0));
+        B.store "cx" c B.(idx "sumx" c /: v "n");
+        B.store "cy" c B.(idx "sumy" c /: v "n");
+      ])
+
+let seq ~scale =
+  let npts = 6_000 * scale in
+  B.program ~name:"kmeans"
+    (setup npts
+    @ [
+        B.for_ "round" (B.i 0) (B.i rounds) (fun _ ->
+            [ assign_range ~index:"p" (B.i 0) (B.i npts) ]
+            @ zero_sums
+            @ [
+                (* Accumulation: annotated (parallelized with atomics in
+                   the native benchmark), genuinely carried. *)
+                B.for_ ~parallel:true "acc" (B.i 0) (B.i npts) (fun p ->
+                    [
+                      B.local "l" (B.idx "label" p);
+                      B.store "sumx" (B.v "l") B.(idx "sumx" (v "l") +: idx "px" p);
+                      B.store "sumy" (B.v "l") B.(idx "sumy" (v "l") +: idx "py" p);
+                      B.store "cnt" (B.v "l") B.(idx "cnt" (v "l") +: f 1.0);
+                    ]);
+                update_centroids;
+              ]);
+        (* self-check: every point was counted in exactly one cluster *)
+        B.local "total" (B.f 0.0);
+        B.for_ "tc" (B.i 0) (B.i k) (fun c -> [ B.assign "total" B.(v "total" +: idx "cnt" c) ]);
+        B.assert_ B.(v "total" =: f (float_of_int npts));
+      ])
+
+let par ~threads ~scale =
+  let npts = 6_000 * scale in
+  B.program ~name:"kmeans"
+    (setup npts
+    @ [
+        B.for_ "round" (B.i 0) (B.i rounds) (fun _ ->
+            [
+              Wl.par_range ~threads ~n:npts (fun ~t ~lo ~hi ->
+                  [ assign_range ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+            ]
+            @ zero_sums
+            @ [
+                (* Each thread folds its slice into thread-local partials,
+                   then merges into the shared sums under a lock: the
+                   locked cross-thread writes of Sec. V. *)
+                Wl.par_range ~threads ~n:npts (fun ~t ~lo ~hi ->
+                    let ix name = Printf.sprintf "%s%d" name t in
+                    [
+                      B.arr (ix "lsx") (B.i k);
+                      B.arr (ix "lsy") (B.i k);
+                      B.arr (ix "lcn") (B.i k);
+                      Wl.zero_loop ~index:(ix "z1") (ix "lsx") k;
+                      Wl.zero_loop ~index:(ix "z2") (ix "lsy") k;
+                      Wl.zero_loop ~index:(ix "z3") (ix "lcn") k;
+                      B.for_ (ix "a") (B.i lo) (B.i hi) (fun p ->
+                          [
+                            B.local "l" (B.idx "label" p);
+                            B.store (ix "lsx") (B.v "l") B.(idx (ix "lsx") (v "l") +: idx "px" p);
+                            B.store (ix "lsy") (B.v "l") B.(idx (ix "lsy") (v "l") +: idx "py" p);
+                            B.store (ix "lcn") (B.v "l") B.(idx (ix "lcn") (v "l") +: f 1.0);
+                          ]);
+                      B.lock 1;
+                      B.for_ (ix "m") (B.i 0) (B.i k) (fun c ->
+                          [
+                            B.store "sumx" c B.(idx "sumx" c +: idx (ix "lsx") c);
+                            B.store "sumy" c B.(idx "sumy" c +: idx (ix "lsy") c);
+                            B.store "cnt" c B.(idx "cnt" c +: idx (ix "lcn") c);
+                          ]);
+                      B.unlock 1;
+                    ]);
+                update_centroids;
+              ]);
+      ])
+
+let workload =
+  { Wl.name = "kmeans"; suite = Wl.Starbench; description = "k-means clustering"; seq; par = Some par }

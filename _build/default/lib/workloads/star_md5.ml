@@ -1,0 +1,70 @@
+(* md5 — hash throughput (Starbench).  Independent messages hashed in
+   parallel; inside each message the 64-round mixing chain on the four
+   state words a/b/c/d is a tight serial recurrence on locals (integer
+   rotates, xors, adds).  A small address footprint revisited very many
+   times — the opposite profile of rgbyuv, and the workload whose skewed
+   access counts stress the profiler's load balancing (paper Sec. VI-B). *)
+
+module B = Ddp_minir.Builder
+
+let words_per_msg = 16
+let rounds = 64
+
+let setup nmsg =
+  [
+    B.arr "msg" (B.i (nmsg * words_per_msg));
+    B.arr "digest" (B.i (nmsg * 4));
+    Wl.fill_rand_int_loop "msg" (nmsg * words_per_msg) 65536;
+  ]
+
+(* One message digested per call: the per-block procedure of the real
+   benchmark, giving the call tree a hot leaf. *)
+let md5_block_proc =
+  B.proc "md5_block" [ "m" ]
+    [
+      B.local "a" (B.i 0x67452301);
+      B.local "b" (B.i 0xefcdab89);
+      B.local "c" (B.i 0x98badcfe);
+      B.local "d" (B.i 0x10325476);
+      B.for_ "r" (B.i 0) (B.i rounds) (fun r ->
+          [
+            (* f = (b & c) | (~b & d), simplified round schedule g = r mod 16 *)
+            B.local "f" B.((v "b" &&: v "c") ||: (bnot (v "b") &&: v "d"));
+            B.local "w" (B.idx "msg" B.((v "m" *: i words_per_msg) +: (r %: i words_per_msg)));
+            B.local "tmp" (B.v "d");
+            B.assign "d" (B.v "c");
+            B.assign "c" (B.v "b");
+            B.assign "b" B.(v "b" +: ((v "a" +: v "f" +: v "w") &&: i 0xffffffff));
+            B.assign "a" (B.v "tmp");
+          ]);
+      B.store "digest" B.(v "m" *: i 4) (B.v "a");
+      B.store "digest" B.((v "m" *: i 4) +: i 1) (B.v "b");
+      B.store "digest" B.((v "m" *: i 4) +: i 2) (B.v "c");
+      B.store "digest" B.((v "m" *: i 4) +: i 3) (B.v "d");
+    ]
+
+let hash_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun m -> [ B.call_proc "md5_block" [ m ] ])
+
+let seq ~scale =
+  let nmsg = 600 * scale in
+  B.program ~name:"md5" ~funcs:[ md5_block_proc ]
+    (setup nmsg
+    @ [
+        hash_range ~index:"m" (B.i 0) (B.i nmsg);
+        (* self-check: digests computed and in range *)
+        B.assert_ B.(idx "digest" (i 0) >=: i 0);
+        B.assert_ B.(idx "digest" (i 1) >: i 0);
+      ])
+
+let par ~threads ~scale =
+  let nmsg = 600 * scale in
+  B.program ~name:"md5" ~funcs:[ md5_block_proc ]
+    (setup nmsg
+    @ [
+        Wl.par_range ~threads ~n:nmsg (fun ~t ~lo ~hi ->
+            [ hash_range ~index:(Printf.sprintf "m%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "md5"; suite = Wl.Starbench; description = "MD5-style message digests"; seq; par = Some par }

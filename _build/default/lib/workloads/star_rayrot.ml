@@ -1,0 +1,64 @@
+(* ray-rot — ray tracing + rotation (Starbench).  A two-stage pipeline:
+   a lightweight shading pass renders into a framebuffer, then the frame
+   is rotated into the output.  Combines c-ray's compute-dense pattern
+   with rotate's permutation stride. *)
+
+module B = Ddp_minir.Builder
+
+let nspheres = 8
+
+let setup w h =
+  let n = w * h in
+  [
+    B.arr "sx" (B.i nspheres);
+    B.arr "sy" (B.i nspheres);
+    B.arr "fb" (B.i n);
+    B.arr "out" (B.i n);
+    Wl.fill_rand_loop ~index:"i1" "sx" nspheres;
+    Wl.fill_rand_loop ~index:"i2" "sy" nspheres;
+  ]
+
+let shade_range ~w ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "px" B.(call "float" [ p %: i w ] /: f (float_of_int w));
+        B.local "py" B.(call "float" [ p /: i w ] /: f (float_of_int w));
+        B.local "acc" (B.f 0.0);
+        B.for_ "s" (B.i 0) (B.i nspheres) (fun s ->
+            [
+              B.local "dx" B.(idx "sx" s -: v "px");
+              B.local "dy" B.(idx "sy" s -: v "py");
+              B.assign "acc" B.(v "acc" +: (f 1.0 /: (f 0.1 +: (v "dx" *: v "dx") +: (v "dy" *: v "dy"))));
+            ]);
+        B.store "fb" p (B.v "acc");
+      ])
+
+let rot_range ~w ~h ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "x" B.(p %: i w);
+        B.local "yy" B.(p /: i w);
+        B.store "out" B.((v "x" *: i h) +: (i (h - 1) -: v "yy")) (B.idx "fb" p);
+      ])
+
+let seq ~scale =
+  let w = 110 * scale and h = 80 in
+  let n = w * h in
+  B.program ~name:"ray-rot"
+    (setup w h
+    @ [ shade_range ~w ~index:"p" (B.i 0) (B.i n); rot_range ~w ~h ~index:"q" (B.i 0) (B.i n) ])
+
+let par ~threads ~scale =
+  let w = 110 * scale and h = 80 in
+  let n = w * h in
+  B.program ~name:"ray-rot"
+    (setup w h
+    @ [
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ shade_range ~w ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ rot_range ~w ~h ~index:(Printf.sprintf "q%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "ray-rot"; suite = Wl.Starbench; description = "shading + rotation pipeline"; seq; par = Some par }

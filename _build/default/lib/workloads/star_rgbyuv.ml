@@ -1,0 +1,57 @@
+(* rgbyuv — RGB to YUV color conversion (Starbench).  A pure streaming
+   map over six arrays: every pixel independent, integer arithmetic with
+   shifts.  The large number of distinct addresses touched exactly once
+   is what gives rgbyuv its high signature false-positive rate in the
+   paper's Table I. *)
+
+module B = Ddp_minir.Builder
+
+let setup n =
+  [
+    B.arr "r" (B.i n);
+    B.arr "g" (B.i n);
+    B.arr "b" (B.i n);
+    B.arr "y" (B.i n);
+    B.arr "u" (B.i n);
+    B.arr "w" (B.i n);
+    Wl.fill_rand_int_loop ~index:"i1" "r" n 256;
+    Wl.fill_rand_int_loop ~index:"i2" "g" n 256;
+    Wl.fill_rand_int_loop ~index:"i3" "b" n 256;
+  ]
+
+let convert_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "cr" (B.idx "r" p);
+        B.local "cg" (B.idx "g" p);
+        B.local "cb" (B.idx "b" p);
+        B.store "y" p
+          B.((((i 66 *: v "cr") +: (i 129 *: v "cg") +: (i 25 *: v "cb") +: i 128) >>: i 8) +: i 16);
+        B.store "u" p
+          B.((((i 0 -: (i 38 *: v "cr")) -: (i 74 *: v "cg") +: (i 112 *: v "cb") +: i 128) >>: i 8)
+             +: i 128);
+        B.store "w" p
+          B.((((i 112 *: v "cr") -: (i 94 *: v "cg") -: (i 18 *: v "cb") +: i 128) >>: i 8) +: i 128);
+      ])
+
+let seq ~scale =
+  let n = 60_000 * scale in
+  B.program ~name:"rgbyuv"
+    (setup n
+    @ [
+        convert_range ~index:"p" (B.i 0) (B.i n);
+        (* self-check: BT.601 luma stays in [16, 235] for 8-bit input *)
+        B.assert_ B.(idx "y" (i 0) >=: i 16 &&: (idx "y" (i 0) <=: i 235));
+      ])
+
+let par ~threads ~scale =
+  let n = 60_000 * scale in
+  B.program ~name:"rgbyuv"
+    (setup n
+    @ [
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ convert_range ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "rgbyuv"; suite = Wl.Starbench; description = "RGB->YUV conversion"; seq; par = Some par }

@@ -1,0 +1,46 @@
+(* rotate — 90-degree image rotation (Starbench).  A pure permutation:
+   out[x*h + (h-1-y)] = in[y*w + x].  Every target is written exactly
+   once, so all loops are parallel; the transposed write stride defeats
+   simple cache/stride assumptions, which is the point of the original
+   benchmark. *)
+
+module B = Ddp_minir.Builder
+
+let setup w h =
+  [
+    B.arr "src" (B.i (w * h));
+    B.arr "dst" (B.i (w * h));
+    Wl.fill_rand_int_loop "src" (w * h) 256;
+  ]
+
+let rotate_range ~w ~h ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "x" B.(p %: i w);
+        B.local "yy" B.(p /: i w);
+        B.store "dst" B.((v "x" *: i h) +: (i (h - 1) -: v "yy")) (B.idx "src" p);
+      ])
+
+let seq ~scale =
+  let w = 300 * scale and h = 200 in
+  B.program ~name:"rotate"
+    (setup w h
+    @ [
+        rotate_range ~w ~h ~index:"p" (B.i 0) (B.i (w * h));
+        (* self-check: the rotation really is the transpose-flip permutation *)
+        B.assert_ B.(idx "dst" (i (h - 1)) =: idx "src" (i 0));
+        B.assert_ B.(idx "dst" (i ((w - 1) * h)) =: idx "src" (i ((w * h) - 1)));
+      ])
+
+let par ~threads ~scale =
+  let w = 300 * scale and h = 200 in
+  let n = w * h in
+  B.program ~name:"rotate"
+    (setup w h
+    @ [
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ rotate_range ~w ~h ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "rotate"; suite = Wl.Starbench; description = "90-degree image rotation"; seq; par = Some par }

@@ -1,0 +1,59 @@
+(* rot-cc — rotate + color conversion (Starbench).  The two pipeline
+   stages of rotate and rgbyuv fused over the same image: stage 1
+   permutes, stage 2 converts the permuted pixels.  The cross-stage RAW
+   dependences (rotated output feeding conversion input) are what made
+   rot-cc the worst FPR case in the paper's Table I — twice the address
+   footprint, all touched twice. *)
+
+module B = Ddp_minir.Builder
+
+let setup w h =
+  let n = w * h in
+  [
+    B.arr "src" (B.i n);
+    B.arr "mid" (B.i n);
+    B.arr "out" (B.i n);
+    Wl.fill_rand_int_loop "src" n 256;
+  ]
+
+let rotate_range ~w ~h ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "x" B.(p %: i w);
+        B.local "yy" B.(p /: i w);
+        B.store "mid" B.((v "x" *: i h) +: (i (h - 1) -: v "yy")) (B.idx "src" p);
+      ])
+
+let convert_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "c" (B.idx "mid" p);
+        B.store "out" p B.((((i 66 *: v "c") +: i 128) >>: i 8) +: i 16);
+      ])
+
+let seq ~scale =
+  let w = 280 * scale and h = 180 in
+  let n = w * h in
+  B.program ~name:"rot-cc"
+    (setup w h
+    @ [
+        rotate_range ~w ~h ~index:"p" (B.i 0) (B.i n);
+        convert_range ~index:"q" (B.i 0) (B.i n);
+      ])
+
+let par ~threads ~scale =
+  let w = 280 * scale and h = 180 in
+  let n = w * h in
+  B.program ~name:"rot-cc"
+    (setup w h
+    @ [
+        (* Stage barrier between rotate and convert: fork/join twice, as
+           the pthread benchmark does between pipeline stages. *)
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ rotate_range ~w ~h ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi) ]);
+        Wl.par_range ~threads ~n (fun ~t ~lo ~hi ->
+            [ convert_range ~index:(Printf.sprintf "q%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "rot-cc"; suite = Wl.Starbench; description = "rotate + color-convert pipeline"; seq; par = Some par }

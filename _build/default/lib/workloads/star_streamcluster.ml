@@ -1,0 +1,101 @@
+(* streamcluster — online clustering (Starbench/PARSEC).  Points arrive
+   in batches; distance evaluation against the current centers is
+   parallel over the batch, while the decision to open a new center
+   mutates shared clustering state and is inherently serial.  The tiny
+   live address set (paper Table I: 8.6e3 addresses for 1.2e7 accesses)
+   means signatures barely collide — streamcluster is the low-FPR anchor
+   of the accuracy table.
+
+   In the pthread variant the serial center-opening runs inside a lock
+   region after each thread's parallel distance pass. *)
+
+module B = Ddp_minir.Builder
+
+let max_centers = 24
+let batch = 250
+
+let setup () =
+  [
+    B.arr "ctr_x" (B.i max_centers);
+    B.arr "ctr_y" (B.i max_centers);
+    B.arr "dist" (B.i batch);
+    B.arr "bx" (B.i batch);
+    B.arr "by" (B.i batch);
+    B.local "ncenters" (B.i 1);
+    B.store "ctr_x" (B.i 0) (B.f 0.5);
+    B.store "ctr_y" (B.i 0) (B.f 0.5);
+  ]
+
+let fill_batch ~index =
+  [
+    Wl.fill_rand_loop ~index:(index ^ "x") "bx" batch;
+    Wl.fill_rand_loop ~index:(index ^ "y") "by" batch;
+  ]
+
+let eval_range ~index lo hi =
+  (* Nearest-center distance per point: parallel over the batch. *)
+  B.for_ ~parallel:true index lo hi (fun p ->
+      [
+        B.local "best" (B.f 1.0e18);
+        B.for_ "c" (B.i 0) (B.v "ncenters") (fun c ->
+            [
+              B.local "dx" B.(idx "bx" p -: idx "ctr_x" c);
+              B.local "dy" B.(idx "by" p -: idx "ctr_y" c);
+              B.local "d" B.((v "dx" *: v "dx") +: (v "dy" *: v "dy"));
+              B.if_ B.(v "d" <: v "best") [ B.assign "best" (B.v "d") ] [];
+            ]);
+        B.store "dist" p (B.v "best");
+      ])
+
+let open_centers lo hi =
+  (* Serial: opening a center changes the state later points compare to. *)
+  B.for_ "oc" (B.i lo) (B.i hi) (fun p ->
+      [
+        B.if_
+          B.(idx "dist" p >: f 0.18 &&: (v "ncenters" <: i max_centers))
+          [
+            B.store "ctr_x" (B.v "ncenters") (B.idx "bx" p);
+            B.store "ctr_y" (B.v "ncenters") (B.idx "by" p);
+            B.assign "ncenters" B.(v "ncenters" +: i 1);
+          ]
+          [];
+      ])
+
+let seq ~scale =
+  let batches = 10 * scale in
+  B.program ~name:"streamcluster"
+    (setup ()
+    @ [
+        B.for_ "bt" (B.i 0) (B.i batches) (fun _ ->
+            fill_batch ~index:"f"
+            @ [ eval_range ~index:"p" (B.i 0) (B.i batch); open_centers 0 batch ]);
+        (* self-check: the clustering opened a sane number of centers *)
+        B.assert_ B.(v "ncenters" >=: i 1 &&: (v "ncenters" <=: i max_centers));
+      ])
+
+let par ~threads ~scale =
+  let batches = 10 * scale in
+  B.program ~name:"streamcluster"
+    (setup ()
+    @ [
+        B.for_ "bt" (B.i 0) (B.i batches) (fun _ ->
+            fill_batch ~index:"f"
+            @ [
+                Wl.par_range ~threads ~n:batch (fun ~t ~lo ~hi ->
+                    [
+                      eval_range ~index:(Printf.sprintf "p%d" t) (B.i lo) (B.i hi);
+                      B.lock 1;
+                      open_centers lo hi;
+                      B.unlock 1;
+                    ]);
+              ]);
+      ])
+
+let workload =
+  {
+    Wl.name = "streamcluster";
+    suite = Wl.Starbench;
+    description = "online stream clustering";
+    seq;
+    par = Some par;
+  }

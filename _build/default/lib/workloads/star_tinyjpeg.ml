@@ -1,0 +1,71 @@
+(* tinyjpeg — JPEG-style block decoding (Starbench).  Independent 8x8
+   blocks (parallel); inside each block, a separable row/column IDCT-like
+   pass works through a block-local scratch array that is allocated and
+   freed every block — heavy allocator churn over a small footprint,
+   which is what exercises the profiler's variable-lifetime analysis
+   (address reuse across block lifetimes must not fabricate cross-block
+   dependences). *)
+
+module B = Ddp_minir.Builder
+
+let bsize = 64 (* 8x8 *)
+
+let setup nblocks =
+  [
+    B.arr "coef" (B.i (nblocks * bsize));
+    B.arr "out" (B.i (nblocks * bsize));
+    Wl.fill_rand_int_loop "coef" (nblocks * bsize) 2048;
+  ]
+
+let decode_range ~index lo hi =
+  B.for_ ~parallel:true index lo hi (fun blk ->
+      [
+        (* Block-local scratch: fresh lifetime per block. *)
+        B.arr "tmp" (B.i bsize);
+        (* Row pass: tmp[r][c] = sum-ish over the coefficient row. *)
+        B.for_ "r" (B.i 0) (B.i 8) (fun r ->
+            [
+              B.local "acc" (B.i 0);
+              B.for_ "c" (B.i 0) (B.i 8) (fun c ->
+                  [
+                    B.assign "acc"
+                      B.(v "acc" +: idx "coef" ((blk *: i bsize) +: (r *: i 8) +: c));
+                    B.store "tmp" B.((r *: i 8) +: c) B.(v "acc" >>: i 1);
+                  ]);
+            ]);
+        (* Column pass into the output, with clamping. *)
+        B.for_ "cc" (B.i 0) (B.i 8) (fun c ->
+            [
+              B.local "acc2" (B.i 0);
+              B.for_ "rr" (B.i 0) (B.i 8) (fun r ->
+                  [
+                    B.assign "acc2" B.(v "acc2" +: idx "tmp" ((r *: i 8) +: c));
+                    B.store "out"
+                      B.((blk *: i bsize) +: (r *: i 8) +: c)
+                      (B.min_ B.(v "acc2" >>: i 2) (B.i 255));
+                  ]);
+            ]);
+        B.free "tmp";
+      ])
+
+let seq ~scale =
+  let nblocks = 700 * scale in
+  B.program ~name:"tinyjpeg"
+    (setup nblocks
+    @ [
+        decode_range ~index:"b" (B.i 0) (B.i nblocks);
+        (* self-check: the clamp held *)
+        B.assert_ B.(idx "out" (i 63) <=: i 255);
+      ])
+
+let par ~threads ~scale =
+  let nblocks = 700 * scale in
+  B.program ~name:"tinyjpeg"
+    (setup nblocks
+    @ [
+        Wl.par_range ~threads ~n:nblocks (fun ~t ~lo ~hi ->
+            [ decode_range ~index:(Printf.sprintf "b%d" t) (B.i lo) (B.i hi) ]);
+      ])
+
+let workload =
+  { Wl.name = "tinyjpeg"; suite = Wl.Starbench; description = "8x8 block decoder"; seq; par = Some par }

@@ -1,0 +1,96 @@
+(* water-spatial — the splash2x kernel behind the paper's Fig. 9
+   communication matrix.
+
+   Spatial domain decomposition of a 3-D cell grid: threads own
+   contiguous z-slabs of cells; each iteration every thread recomputes
+   its own cells from the 6-neighbour stencil, reading halo cells owned
+   by the adjacent slabs.  Written values flow to the neighbouring
+   threads only, which is what produces the banded (diagonal plus
+   off-diagonal) producer/consumer matrix of Fig. 9.  A lock-protected
+   global energy accumulation adds the faint all-to-all background the
+   original analysis also observes.
+
+   Iterations are separated by fork/join (the pthread original uses
+   barriers), with the main thread swapping the density arrays between
+   steps. *)
+
+module B = Ddp_minir.Builder
+
+let g = 8 (* grid side; cells = g^3 *)
+
+let cell x y z = B.(((x *: i (g * g)) +: (y *: i g)) +: z)
+
+let stencil_range ~src ~dst ~index lo hi =
+  (* Cells [lo, hi) in linear order; reads the 6-neighbour halo in [src],
+     writes own cells in [dst]. *)
+  B.for_ ~parallel:true index (B.i lo) (B.i hi) (fun c ->
+      [
+        B.local "x" B.(c /: i (g * g));
+        B.local "y" B.(c /: i g %: i g);
+        B.local "z" B.(c %: i g);
+        B.local "xm" (B.max_ B.(v "x" -: i 1) (B.i 0));
+        B.local "xp" (B.min_ B.(v "x" +: i 1) (B.i (g - 1)));
+        B.local "ym" (B.max_ B.(v "y" -: i 1) (B.i 0));
+        B.local "yp" (B.min_ B.(v "y" +: i 1) (B.i (g - 1)));
+        B.local "zm" (B.max_ B.(v "z" -: i 1) (B.i 0));
+        B.local "zp" (B.min_ B.(v "z" +: i 1) (B.i (g - 1)));
+        B.store dst c
+          B.(
+            f (1.0 /. 7.0)
+            *: (idx src c
+               +: idx src (cell (v "xm") (v "y") (v "z"))
+               +: idx src (cell (v "xp") (v "y") (v "z"))
+               +: idx src (cell (v "x") (v "ym") (v "z"))
+               +: idx src (cell (v "x") (v "yp") (v "z"))
+               +: idx src (cell (v "x") (v "y") (v "zm"))
+               +: idx src (cell (v "x") (v "y") (v "zp"))));
+      ])
+
+let energy_fold ~src ~t lo hi =
+  let acc = Printf.sprintf "eacc%d" t in
+  [
+    B.local acc (B.f 0.0);
+    B.for_ (Printf.sprintf "ea%d" t) (B.i lo) (B.i hi) (fun c ->
+        [ B.assign acc B.(v acc +: idx src c) ]);
+    B.lock 1;
+    B.assign "energy" B.(v "energy" +: v acc);
+    B.unlock 1;
+  ]
+
+let par ~threads ~scale =
+  let cells = g * g * g in
+  let iters = 3 * scale in
+  let arrays = [| "d0"; "d1" |] in
+  B.program ~name:"water-spatial"
+    ([
+       B.arr "d0" (B.i cells);
+       B.arr "d1" (B.i cells);
+       B.local "energy" (B.f 0.0);
+       Wl.fill_rand_loop "d0" cells;
+       Wl.zero_loop "d1" cells;
+     ]
+    @ List.concat
+        (List.init iters (fun it ->
+             let src = arrays.(it mod 2) and dst = arrays.((it + 1) mod 2) in
+             [
+               Wl.par_range ~threads ~n:cells (fun ~t ~lo ~hi ->
+                   stencil_range ~src ~dst ~index:(Printf.sprintf "c%d_%d" it t) lo hi
+                   :: energy_fold ~src ~t lo hi);
+             ]))
+    @ [
+        (* self-check: averaging keeps densities in [0,1); the lock-summed
+           energy is positive *)
+        B.assert_ B.(idx arrays.(iters mod 2) (i 0) >=: f 0.0);
+        B.assert_ B.(v "energy" >: f 0.0);
+      ])
+
+let seq ~scale = par ~threads:1 ~scale
+
+let workload =
+  {
+    Wl.name = "water-spatial";
+    suite = Wl.Splash;
+    description = "3-D spatial-decomposition stencil (splash2x analogue)";
+    seq;
+    par = Some par;
+  }

@@ -1,0 +1,48 @@
+(* Common infrastructure for the synthetic benchmark kernels.
+
+   Each workload mirrors the dependence structure (not the absolute size)
+   of its NAS / Starbench namesake: which loops are parallelizable, where
+   reductions and histograms occur, how addresses are strided or skewed,
+   and — for the pthread-style variants — how threads partition data and
+   which accesses are lock-protected.  See DESIGN.md for the substitution
+   argument. *)
+
+module B = Ddp_minir.Builder
+module Ast = Ddp_minir.Ast
+
+type suite =
+  | Nas
+  | Starbench
+  | Splash
+
+let suite_name = function Nas -> "NAS" | Starbench -> "Starbench" | Splash -> "Splash"
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  seq : scale:int -> Ast.program;
+  par : (threads:int -> scale:int -> Ast.program) option;
+      (* pthread-style variant (Starbench/Splash only) *)
+}
+
+(* Fork [threads] simulated threads; thread [t] runs [body ~t ~lo ~hi]
+   over its slice of [0, n).  The block partition used by every pthread
+   variant. *)
+let par_range ~threads ~n body =
+  B.par
+    (List.init threads (fun t ->
+         let lo = t * n / threads and hi = (t + 1) * n / threads in
+         body ~t ~lo ~hi))
+
+(* Zero-initialize an array with an (annotated-parallel) loop: the
+   ubiquitous "init" loop OpenMP versions parallelize. *)
+let zero_loop ?(index = "zi") name n =
+  B.for_ ~parallel:true index (B.i 0) (B.i n) (fun iv -> [ B.store name iv (B.f 0.0) ])
+
+let fill_rand_loop ?(index = "ri") name n =
+  B.for_ ~parallel:true index (B.i 0) (B.i n) (fun iv -> [ B.store name iv B.rand_ ])
+
+let fill_rand_int_loop ?(index = "ki") name n bound =
+  B.for_ ~parallel:true index (B.i 0) (B.i n) (fun iv ->
+      [ B.store name iv (B.rand_int (B.i bound)) ])

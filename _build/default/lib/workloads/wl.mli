@@ -1,0 +1,30 @@
+(** Common infrastructure for the synthetic benchmark kernels (NAS and
+    Starbench analogues; see DESIGN.md for the substitution argument). *)
+
+module B = Ddp_minir.Builder
+module Ast = Ddp_minir.Ast
+
+type suite =
+  | Nas
+  | Starbench
+  | Splash
+
+val suite_name : suite -> string
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  seq : scale:int -> Ast.program;
+  par : (threads:int -> scale:int -> Ast.program) option;
+      (** pthread-style variant, where the original benchmark has one *)
+}
+
+val par_range :
+  threads:int -> n:int -> (t:int -> lo:int -> hi:int -> Ast.block) -> Ast.stmt
+(** Fork [threads] simulated threads; thread [t] runs over its block
+    partition slice [lo, hi) of [0, n). *)
+
+val zero_loop : ?index:string -> string -> int -> Ast.stmt
+val fill_rand_loop : ?index:string -> string -> int -> Ast.stmt
+val fill_rand_int_loop : ?index:string -> string -> int -> int -> Ast.stmt

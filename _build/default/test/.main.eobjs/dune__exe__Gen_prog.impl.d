@@ -1,0 +1,1 @@
+test/gen_prog.ml: Array Ddp_minir Float Printf QCheck

@@ -1,0 +1,1 @@
+test/test_accuracy.ml: Alcotest Ddp_core Ddp_minir Ddp_util Float List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_algo.ml: Alcotest Ddp_core Ddp_minir Gen Hashtbl List QCheck QCheck_alcotest

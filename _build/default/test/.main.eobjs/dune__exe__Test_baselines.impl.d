@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ddp_baselines Ddp_core Ddp_minir Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_chunk.ml: Alcotest Ddp_core Ddp_minir

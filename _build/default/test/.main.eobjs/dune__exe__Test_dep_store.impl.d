@@ -1,0 +1,1 @@
+test/test_dep_store.ml: Alcotest Ddp_core Ddp_minir List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dispatch.ml: Alcotest Array Ddp_core List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_framework.ml: Alcotest Ddp_analyses Ddp_core Ddp_minir List String

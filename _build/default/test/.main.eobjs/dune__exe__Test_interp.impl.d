@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Builder Ddp_minir Event Interp List Loc Printf

@@ -1,0 +1,1 @@
+test/test_loc_payload.ml: Alcotest Ddp_core Ddp_minir QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mt.ml: Alcotest Ddp_analyses Ddp_core Ddp_minir Fun Gen List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Ddp_core Ddp_minir Ddp_workloads Fun Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_procs.ml: Alcotest Ddp_analyses Ddp_core Ddp_minir Ddp_util Ddp_workloads List Option String

@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Array Ddp_core Ddp_minir Ddp_util String

@@ -1,0 +1,1 @@
+test/test_queues.ml: Alcotest Ddp_core Domain List QCheck QCheck_alcotest Queue

@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Array Ddp_core Ddp_minir Gen_prog Hashtbl List QCheck QCheck_alcotest String

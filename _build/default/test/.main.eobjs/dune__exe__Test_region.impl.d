@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Ddp_core Ddp_minir List

@@ -1,0 +1,1 @@
+test/test_sig_store.ml: Alcotest Ddp_core Ddp_minir Ddp_util Gen Hashtbl List QCheck QCheck_alcotest

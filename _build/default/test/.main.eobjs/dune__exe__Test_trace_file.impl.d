@@ -1,0 +1,1 @@
+test/test_trace_file.ml: Alcotest Ddp_core Ddp_minir Ddp_util Filename List Sys

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ddp_util Domain Fun Gen Intern List Matrix Mem_account Printf QCheck QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Ddp_minir QCheck QCheck_alcotest Value

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ddp_analyses Ddp_core Ddp_minir Ddp_workloads List Option

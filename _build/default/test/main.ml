@@ -1,0 +1,31 @@
+(* Test entry point: all suites.  `dune runtest` runs everything;
+   ALCOTEST_QUICK_ONLY=1 skips the slow integration cases. *)
+
+let () =
+  Alcotest.run "ddp"
+    [
+      ("util", Test_util.suite);
+      ("value", Test_value.suite);
+      ("memory", Test_memory.suite);
+      ("loc-payload", Test_loc_payload.suite);
+      ("interp", Test_interp.suite);
+      ("sig-store", Test_sig_store.suite);
+      ("algo", Test_algo.suite);
+      ("dep-store", Test_dep_store.suite);
+      ("region", Test_region.suite);
+      ("chunk", Test_chunk.suite);
+      ("queues", Test_queues.suite);
+      ("dispatch", Test_dispatch.suite);
+      ("parallel", Test_parallel.suite);
+      ("mt", Test_mt.suite);
+      ("accuracy", Test_accuracy.suite);
+      ("report", Test_report.suite);
+      ("profiler", Test_profiler.suite);
+      ("baselines", Test_baselines.suite);
+      ("analyses", Test_analyses.suite);
+      ("framework", Test_framework.suite);
+      ("procs", Test_procs.suite);
+      ("random-programs", Test_random_programs.suite);
+      ("trace-file", Test_trace_file.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the application analyses: loop parallelism (Table II),
+   communication patterns (Fig. 9), race reporting (Sec. V-B). *)
+
+module B = Ddp_minir.Builder
+module LP = Ddp_analyses.Loop_parallelism
+
+let analyze prog = LP.analyze ~perfect:true prog
+
+let find_loop (s : LP.summary) line =
+  match List.find_opt (fun (l : LP.loop_result) -> l.header_line = line) s.loops with
+  | Some l -> l
+  | None -> Alcotest.failf "no loop at line %d" line
+
+(* -- loop parallelism ----------------------------------------------------- *)
+
+let test_independent_loop_parallel () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        (* line 2: independent stores *)
+        B.for_ ~parallel:true "i" (B.i 0) (B.i 16) (fun iv -> [ B.store "a" iv iv ]);
+      ]
+  in
+  let s = analyze prog in
+  Alcotest.(check bool) "parallelizable" true (find_loop s 2).parallelizable;
+  Alcotest.(check int) "identified" 1 s.identified;
+  Alcotest.(check int) "missed" 0 s.missed
+
+let test_carried_raw_blocks () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        B.store "a" (B.i 0) (B.i 1);
+        (* line 3: a[i] = a[i-1] is carried *)
+        B.for_ ~parallel:true "i" (B.i 1) (B.i 16) (fun iv ->
+            [ B.store "a" iv B.(idx "a" (iv -: i 1) +: i 1) ]);
+      ]
+  in
+  let s = analyze prog in
+  let l = find_loop s 3 in
+  Alcotest.(check bool) "not parallelizable" false l.parallelizable;
+  Alcotest.(check bool) "offender recorded" true (l.carried_raw <> []);
+  Alcotest.(check int) "missed" 1 s.missed
+
+let test_reduction_exemption () =
+  let with_clause reduction =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        Ddp_workloads.Wl.zero_loop "a" 16;
+        B.local "s" (B.f 0.0);
+        B.for_ ~parallel:true ~reduction "k" (B.i 0) (B.i 16) (fun iv ->
+            [ B.assign "s" B.(v "s" +: idx "a" iv) ]);
+      ]
+  in
+  let s_with = analyze (with_clause [ "s" ]) in
+  let s_without = analyze (with_clause []) in
+  (* find the reduction loop: the one with reduction vars or the last one *)
+  let red_with =
+    List.find (fun (l : LP.loop_result) -> l.reduction_vars = [ "s" ]) s_with.loops
+  in
+  Alcotest.(check bool) "reduction clause accepts" true red_with.parallelizable;
+  let red_without =
+    List.find
+      (fun (l : LP.loop_result) -> l.header_line = red_with.header_line)
+      s_without.loops
+  in
+  Alcotest.(check bool) "without clause it is carried" false red_without.parallelizable
+
+let test_induction_exemption () =
+  (* A loop whose body reads the index: the header-line increment writes
+     must not count as carried RAW. *)
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        B.for_ ~parallel:true "i" (B.i 0) (B.i 16) (fun iv -> [ B.store "a" iv B.(iv *: i 2) ]);
+      ]
+  in
+  let s = analyze prog in
+  Alcotest.(check bool) "induction tolerated" true (find_loop s 2).parallelizable
+
+let test_fresh_local_not_carried () =
+  (* A per-iteration local reuses the same address each iteration; the
+     free at scope exit must prevent a false carried dependence. *)
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        Ddp_workloads.Wl.zero_loop "a" 16;
+        B.for_ ~parallel:true "i" (B.i 0) (B.i 16) (fun iv ->
+            [ B.local "tmp" (B.idx "a" iv); B.store "a" iv B.(v "tmp" +: i 1) ]);
+      ]
+  in
+  let s = analyze prog in
+  let l = List.find (fun (l : LP.loop_result) -> l.iterations = 16) s.loops in
+  Alcotest.(check bool) "lifetime analysis prevents false carried dep" true l.parallelizable
+
+(* A per-iteration scratch array whose cell is read before being written
+   (legal: cells are zero-initialized).  When the freed block is reused
+   by the next iteration, the stale signature entry from the previous
+   lifetime makes the read look like a carried RAW — unless lifetime
+   analysis removes freed addresses, which is exactly what the paper's
+   optimization is for. *)
+let scratch_reuse_prog () =
+  B.program ~name:"t"
+    [
+      B.arr "a" (B.i 16);
+      Ddp_workloads.Wl.zero_loop "a" 16;
+      B.for_ ~parallel:true "i" (B.i 0) (B.i 16) (fun iv ->
+          [
+            B.arr "buf" (B.i 4);
+            B.local "stale" (B.idx "buf" (B.i 1));  (* read-before-write *)
+            B.store "buf" (B.i 1) (B.idx "a" iv);
+            B.store "a" iv B.(v "stale" +: idx "buf" (i 1));
+            B.free "buf";
+          ]);
+    ]
+
+let scratch_loop (s : LP.summary) =
+  (* the scratch loop is the last annotated loop of the program *)
+  List.fold_left
+    (fun acc (l : LP.loop_result) -> if l.annotated then Some l else acc)
+    None s.loops
+  |> Option.get
+
+let test_lifetime_on_prevents_false_carried () =
+  let s = LP.analyze ~perfect:true (scratch_reuse_prog ()) in
+  let l = scratch_loop s in
+  Alcotest.(check bool) "clean with lifetime analysis" true l.parallelizable
+
+let test_lifetime_off_creates_false_carried () =
+  let config = { Ddp_core.Config.default with lifetime_analysis = false } in
+  let s = LP.analyze ~config ~perfect:true (scratch_reuse_prog ()) in
+  let l = scratch_loop s in
+  Alcotest.(check bool) "false carried dep without lifetime analysis" false l.parallelizable
+
+let test_nested_loop_attribution () =
+  (* Inner-carried recurrence must not block the parallel outer loop. *)
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "m" (B.i 64);
+        Ddp_workloads.Wl.zero_loop "m" 64;
+        B.for_ ~parallel:true "r" (B.i 0) (B.i 8) (fun r ->
+            [
+              B.for_ "c" (B.i 1) (B.i 8) (fun c ->
+                  [
+                    B.store "m" B.((r *: i 8) +: c)
+                      B.(idx "m" ((r *: i 8) +: c -: i 1) +: i 1);
+                  ]);
+            ]);
+      ]
+  in
+  let s = analyze prog in
+  let outer = List.find (fun (l : LP.loop_result) -> l.annotated) s.loops in
+  Alcotest.(check bool) "outer parallel" true outer.parallelizable;
+  let inner = List.find (fun (l : LP.loop_result) -> not l.annotated) s.loops in
+  Alcotest.(check bool) "inner carried" false inner.parallelizable
+
+let test_signature_agrees_with_perfect_on_nas () =
+  List.iter
+    (fun name ->
+      let w = Ddp_workloads.Registry.find name in
+      let p = LP.analyze ~perfect:true (w.Ddp_workloads.Wl.seq ~scale:1) in
+      let s =
+        LP.analyze
+          ~config:{ Ddp_core.Config.default with slots = 1 lsl 21 }
+          (w.Ddp_workloads.Wl.seq ~scale:1)
+      in
+      Alcotest.(check int) (name ^ " identified agree") p.identified s.identified;
+      Alcotest.(check int) (name ^ " missed agree") p.missed s.missed)
+    [ "is"; "ep" ]
+
+(* -- communication patterns ----------------------------------------------- *)
+
+let test_comm_matrix_from_constructed_deps () =
+  let deps = Ddp_core.Dep_store.create () in
+  let p ~line ~thread =
+    Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line) ~var:0 ~thread
+  in
+  (* thread 1 writes, thread 2 reads, 5 occurrences *)
+  for _ = 1 to 5 do
+    Ddp_core.Dep_store.add deps ~kind:Ddp_core.Dep.RAW ~sink:(p ~line:2 ~thread:2)
+      ~src:(p ~line:1 ~thread:1) ~race:false
+  done;
+  (* same-thread RAW: not communication *)
+  Ddp_core.Dep_store.add deps ~kind:Ddp_core.Dep.RAW ~sink:(p ~line:3 ~thread:1)
+    ~src:(p ~line:1 ~thread:1) ~race:false;
+  (* cross-thread WAW: not producer/consumer *)
+  Ddp_core.Dep_store.add deps ~kind:Ddp_core.Dep.WAW ~sink:(p ~line:4 ~thread:3)
+    ~src:(p ~line:1 ~thread:1) ~race:false;
+  let m = Ddp_analyses.Comm_pattern.of_deps deps in
+  Alcotest.(check (float 1e-9)) "1->2 intensity" 5.0 (Ddp_util.Matrix.get m 1 2);
+  Alcotest.(check (float 1e-9)) "diag empty" 0.0 (Ddp_util.Matrix.get m 1 1);
+  Alcotest.(check (float 1e-9)) "waw ignored" 0.0 (Ddp_util.Matrix.get m 1 3);
+  Alcotest.(check (float 1e-9)) "total" 5.0 (Ddp_analyses.Comm_pattern.total_volume m)
+
+let test_comm_workers_only () =
+  let m = Ddp_util.Matrix.create ~rows:3 ~cols:3 in
+  Ddp_util.Matrix.set m 0 1 7.0;
+  Ddp_util.Matrix.set m 1 2 3.0;
+  let w = Ddp_analyses.Comm_pattern.workers_only m in
+  Alcotest.(check int) "dims" 2 (Ddp_util.Matrix.rows w);
+  Alcotest.(check (float 1e-9)) "shifted" 3.0 (Ddp_util.Matrix.get w 0 1)
+
+let test_water_spatial_banded () =
+  let prog = Ddp_workloads.Water_spatial.par ~threads:4 ~scale:1 in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let m = Ddp_analyses.Comm_pattern.workers_only (Ddp_analyses.Comm_pattern.of_deps outcome.deps) in
+  let total = Ddp_analyses.Comm_pattern.total_volume m in
+  Alcotest.(check bool) "communication exists" true (total > 0.0);
+  let banded = ref 0.0 in
+  for r = 0 to 3 do
+    for c = 0 to 3 do
+      if abs (r - c) = 1 then banded := !banded +. Ddp_util.Matrix.get m r c
+    done
+  done;
+  Alcotest.(check bool) "mostly neighbour-banded" true (!banded /. total > 0.8)
+
+(* -- race report ---------------------------------------------------------- *)
+
+let test_race_report_render () =
+  let deps = Ddp_core.Dep_store.create () in
+  let p ~line ~thread =
+    Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line) ~var:0 ~thread
+  in
+  Ddp_core.Dep_store.add deps ~kind:Ddp_core.Dep.WAW ~sink:(p ~line:2 ~thread:2)
+    ~src:(p ~line:1 ~thread:1) ~race:true;
+  Alcotest.(check int) "one entry" 1 (Ddp_analyses.Race_report.count deps);
+  Alcotest.(check int) "one suspect pair" 1 (List.length (Ddp_analyses.Race_report.suspect_pairs deps));
+  let s = Ddp_analyses.Race_report.render ~var_name:(fun _ -> "x") deps in
+  Alcotest.(check bool) "mentions reversed order" true (String.length s > 20)
+
+let test_race_report_empty () =
+  let deps = Ddp_core.Dep_store.create () in
+  Alcotest.(check int) "none" 0 (Ddp_analyses.Race_report.count deps);
+  Alcotest.(check string) "clean message" "no potential races detected\n"
+    (Ddp_analyses.Race_report.render ~var_name:(fun _ -> "x") deps)
+
+let suite =
+  [
+    Alcotest.test_case "independent loop parallel" `Quick test_independent_loop_parallel;
+    Alcotest.test_case "carried RAW blocks" `Quick test_carried_raw_blocks;
+    Alcotest.test_case "reduction exemption" `Quick test_reduction_exemption;
+    Alcotest.test_case "induction exemption" `Quick test_induction_exemption;
+    Alcotest.test_case "fresh local not carried" `Quick test_fresh_local_not_carried;
+    Alcotest.test_case "lifetime on prevents false carried" `Quick
+      test_lifetime_on_prevents_false_carried;
+    Alcotest.test_case "lifetime off creates false carried" `Quick
+      test_lifetime_off_creates_false_carried;
+    Alcotest.test_case "nested loop attribution" `Quick test_nested_loop_attribution;
+    Alcotest.test_case "signature agrees with perfect (NAS)" `Slow
+      test_signature_agrees_with_perfect_on_nas;
+    Alcotest.test_case "comm matrix from constructed deps" `Quick
+      test_comm_matrix_from_constructed_deps;
+    Alcotest.test_case "comm workers only" `Quick test_comm_workers_only;
+    Alcotest.test_case "water-spatial banded" `Slow test_water_spatial_banded;
+    Alcotest.test_case "race report render" `Quick test_race_report_render;
+    Alcotest.test_case "race report empty" `Quick test_race_report_empty;
+  ]

@@ -1,0 +1,54 @@
+(* Tests for the access-chunk transfer unit. *)
+
+let test_push_read_back () =
+  let c = Ddp_core.Chunk.create ~capacity:8 in
+  Ddp_core.Chunk.push c ~addr:42 ~op:Ddp_core.Chunk.op_write ~payload:7 ~time:13;
+  Ddp_core.Chunk.push c ~addr:43 ~op:Ddp_core.Chunk.op_read ~payload:9 ~time:14;
+  Ddp_core.Chunk.push c ~addr:44 ~op:Ddp_core.Chunk.op_free ~payload:1 ~time:0;
+  Alcotest.(check int) "len" 3 (Ddp_core.Chunk.length c);
+  Alcotest.(check int) "addr" 42 (Ddp_core.Chunk.addr c 0);
+  Alcotest.(check int) "op write" Ddp_core.Chunk.op_write (Ddp_core.Chunk.op c 0);
+  Alcotest.(check int) "payload" 7 (Ddp_core.Chunk.payload c 0);
+  Alcotest.(check int) "time" 13 (Ddp_core.Chunk.time c 0);
+  Alcotest.(check int) "op read" Ddp_core.Chunk.op_read (Ddp_core.Chunk.op c 1);
+  Alcotest.(check int) "op free" Ddp_core.Chunk.op_free (Ddp_core.Chunk.op c 2)
+
+let test_full_and_clear () =
+  let c = Ddp_core.Chunk.create ~capacity:2 in
+  Alcotest.(check bool) "not full" false (Ddp_core.Chunk.is_full c);
+  Ddp_core.Chunk.push c ~addr:1 ~op:0 ~payload:1 ~time:1;
+  Ddp_core.Chunk.push c ~addr:2 ~op:0 ~payload:1 ~time:2;
+  Alcotest.(check bool) "full" true (Ddp_core.Chunk.is_full c);
+  Ddp_core.Chunk.clear c;
+  Alcotest.(check int) "cleared" 0 (Ddp_core.Chunk.length c);
+  Alcotest.(check bool) "reusable" false (Ddp_core.Chunk.is_full c)
+
+let test_payload_width () =
+  (* The largest packable payload must survive the op tag packing. *)
+  let loc = Ddp_minir.Loc.make ~file:Ddp_minir.Loc.max_file ~line:Ddp_minir.Loc.max_line in
+  let payload =
+    Ddp_core.Payload.pack ~loc ~var:Ddp_core.Payload.max_var ~thread:Ddp_core.Payload.max_thread
+  in
+  let c = Ddp_core.Chunk.create ~capacity:1 in
+  Ddp_core.Chunk.push c ~addr:0 ~op:Ddp_core.Chunk.op_write ~payload ~time:0;
+  Alcotest.(check int) "payload intact" payload (Ddp_core.Chunk.payload c 0);
+  Alcotest.(check int) "op intact" Ddp_core.Chunk.op_write (Ddp_core.Chunk.op c 0)
+
+let test_invalid_capacity () =
+  Alcotest.check_raises "zero" (Invalid_argument "Chunk.create: capacity must be positive")
+    (fun () -> ignore (Ddp_core.Chunk.create ~capacity:0))
+
+let test_bytes_scale () =
+  let small = Ddp_core.Chunk.create ~capacity:16 in
+  let big = Ddp_core.Chunk.create ~capacity:1024 in
+  Alcotest.(check bool) "bytes grow with capacity" true
+    (Ddp_core.Chunk.bytes big > Ddp_core.Chunk.bytes small)
+
+let suite =
+  [
+    Alcotest.test_case "push and read back" `Quick test_push_read_back;
+    Alcotest.test_case "full and clear" `Quick test_full_and_clear;
+    Alcotest.test_case "payload width" `Quick test_payload_width;
+    Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
+    Alcotest.test_case "bytes scale" `Quick test_bytes_scale;
+  ]

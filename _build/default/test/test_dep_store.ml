@@ -1,0 +1,109 @@
+(* Tests for merged dependence storage. *)
+
+module Dep = Ddp_core.Dep
+module Dep_store = Ddp_core.Dep_store
+
+let payload line =
+  Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line) ~var:0 ~thread:0
+
+let test_merging () =
+  let s = Dep_store.create () in
+  for _ = 1 to 100 do
+    Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false
+  done;
+  Alcotest.(check int) "one distinct" 1 (Dep_store.distinct s);
+  Alcotest.(check int) "100 occurrences" 100 (Dep_store.total_occurrences s);
+  Alcotest.(check (float 1e-9)) "merge factor" 100.0 (Dep_store.merge_factor s)
+
+let test_distinct_keys () =
+  let s = Dep_store.create () in
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.add s ~kind:Dep.WAR ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 3) ~src:(payload 1) ~race:false;
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:true;
+  Alcotest.(check int) "four distinct" 4 (Dep_store.distinct s)
+
+let test_merge_into () =
+  let a = Dep_store.create () and b = Dep_store.create () in
+  Dep_store.add a ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.add a ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.add b ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.add b ~kind:Dep.WAW ~sink:(payload 4) ~src:(payload 3) ~race:false;
+  Dep_store.merge_into ~src:a ~dst:b;
+  Alcotest.(check int) "distinct union" 2 (Dep_store.distinct b);
+  Alcotest.(check int) "counts sum" 3
+    (Dep_store.count b { Dep.kind = Dep.RAW; sink = payload 2; src = payload 1; race = false })
+
+let test_key_set_no_race () =
+  let s = Dep_store.create () in
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:true;
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Alcotest.(check int) "race variants collapse" 1
+    (Dep_store.Key_set.cardinal (Dep_store.key_set_no_race s));
+  Alcotest.(check int) "race variants distinct" 2
+    (Dep_store.Key_set.cardinal (Dep_store.key_set s))
+
+let test_clear () =
+  let s = Dep_store.create () in
+  Dep_store.add s ~kind:Dep.RAW ~sink:(payload 2) ~src:(payload 1) ~race:false;
+  Dep_store.clear s;
+  Alcotest.(check int) "empty" 0 (Dep_store.distinct s);
+  Alcotest.(check int) "occurrences reset" 0 (Dep_store.total_occurrences s)
+
+let test_dep_accessors () =
+  let d =
+    {
+      Dep.kind = Dep.RAW;
+      sink = Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:4 ~line:58) ~var:7 ~thread:2;
+      src = Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:4 ~line:77) ~var:7 ~thread:3;
+      race = false;
+    }
+  in
+  Alcotest.(check int) "sink thread" 2 (Dep.sink_thread d);
+  Alcotest.(check int) "src thread" 3 (Dep.src_thread d);
+  Alcotest.(check bool) "cross thread" true (Dep.is_cross_thread d);
+  Alcotest.(check int) "var" 7 (Dep.var d);
+  Alcotest.(check string) "MT format" "{RAW 4:77|3|x}"
+    (Dep.to_string ~show_threads:true ~var_name:(fun _ -> "x") d);
+  Alcotest.(check string) "seq format" "{RAW 4:77|x}"
+    (Dep.to_string ~var_name:(fun _ -> "x") d)
+
+let test_init_format () =
+  let d = { Dep.kind = Dep.INIT; sink = payload 5; src = 0; race = false } in
+  Alcotest.(check string) "INIT star" "{INIT *}" (Dep.to_string ~var_name:(fun _ -> "x") d);
+  Alcotest.(check bool) "src loc none" true (Ddp_minir.Loc.is_none (Dep.src_loc d))
+
+let test_race_format () =
+  let d = { Dep.kind = Dep.WAW; sink = payload 5; src = payload 3; race = true } in
+  Alcotest.(check string) "race marker" "{WAW? 1:3|x}" (Dep.to_string ~var_name:(fun _ -> "x") d)
+
+(* Property: merge_into never loses occurrences. *)
+let prop_merge_preserves_counts =
+  QCheck.Test.make ~name:"merge preserves total occurrences" ~count:200
+    QCheck.(pair (list (pair (int_range 1 5) (int_range 1 5))) (list (pair (int_range 1 5) (int_range 1 5))))
+    (fun (la, lb) ->
+      let mk l =
+        let s = Dep_store.create () in
+        List.iter
+          (fun (sink, src) ->
+            Dep_store.add s ~kind:Dep.RAW ~sink:(payload sink) ~src:(payload src) ~race:false)
+          l;
+        s
+      in
+      let a = mk la and b = mk lb in
+      let total = Dep_store.total_occurrences a + Dep_store.total_occurrences b in
+      Dep_store.merge_into ~src:a ~dst:b;
+      Dep_store.total_occurrences b = total)
+
+let suite =
+  [
+    Alcotest.test_case "merging" `Quick test_merging;
+    Alcotest.test_case "distinct keys" `Quick test_distinct_keys;
+    Alcotest.test_case "merge_into" `Quick test_merge_into;
+    Alcotest.test_case "key_set no race" `Quick test_key_set_no_race;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "dep accessors + formats" `Quick test_dep_accessors;
+    Alcotest.test_case "INIT format" `Quick test_init_format;
+    Alcotest.test_case "race format" `Quick test_race_format;
+    QCheck_alcotest.to_alcotest prop_merge_preserves_counts;
+  ]

@@ -1,0 +1,134 @@
+(* Tests for the derived-representation framework: dependence graph and
+   loop table (the paper's announced analysis framework, Sec. VIII). *)
+
+module B = Ddp_minir.Builder
+module DG = Ddp_analyses.Dep_graph
+module Loc = Ddp_minir.Loc
+
+let payload ~line ~thread =
+  Ddp_core.Payload.pack ~loc:(Loc.make ~file:1 ~line) ~var:0 ~thread
+
+let store_with entries =
+  let s = Ddp_core.Dep_store.create () in
+  List.iter
+    (fun (kind, src_line, sink_line, count) ->
+      Ddp_core.Dep_store.add_key s
+        {
+          Ddp_core.Dep.kind;
+          sink = payload ~line:sink_line ~thread:0;
+          src = (if src_line = 0 then 0 else payload ~line:src_line ~thread:0);
+          race = false;
+        }
+        ~occurrences:count)
+    entries;
+  s
+
+let test_graph_basics () =
+  let s =
+    store_with
+      [
+        (Ddp_core.Dep.RAW, 1, 2, 10);
+        (Ddp_core.Dep.WAR, 1, 2, 3);
+        (Ddp_core.Dep.RAW, 2, 3, 5);
+        (Ddp_core.Dep.INIT, 0, 1, 1);
+      ]
+  in
+  let g = DG.of_store s in
+  Alcotest.(check int) "nodes" 3 (DG.node_count g);
+  Alcotest.(check int) "edges" 2 (DG.edge_count g);
+  match DG.edges g with
+  | [ e12; e23 ] ->
+    Alcotest.(check int) "RAW+WAR merged edge raw" 1 e12.DG.raw;
+    Alcotest.(check int) "war" 1 e12.DG.war;
+    Alcotest.(check int) "occurrences" 13 e12.DG.occurrences;
+    Alcotest.(check int) "second edge occurrences" 5 e23.DG.occurrences
+  | l -> Alcotest.failf "expected 2 edges, got %d" (List.length l)
+
+let test_graph_queries () =
+  let s = store_with [ (Ddp_core.Dep.RAW, 1, 2, 1); (Ddp_core.Dep.RAW, 1, 3, 1) ] in
+  let g = DG.of_store s in
+  let l n = Loc.make ~file:1 ~line:n in
+  Alcotest.(check (list int)) "successors of 1" [ l 2; l 3 ] (DG.successors g (l 1));
+  Alcotest.(check (list int)) "predecessors of 3" [ l 1 ] (DG.predecessors g (l 3));
+  Alcotest.(check (list int)) "no successors of 3" [] (DG.successors g (l 3))
+
+let test_graph_dot () =
+  let s = store_with [ (Ddp_core.Dep.RAW, 1, 2, 7) ] in
+  let dot = DG.to_dot (DG.of_store s) in
+  let contains needle =
+    let nl = String.length needle and hl = String.length dot in
+    let rec go i = i + nl <= hl && (String.sub dot i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "edge present" true (contains "\"1:1\" -> \"1:2\"");
+  Alcotest.(check bool) "label" true (contains "RAW x7")
+
+let test_collapse_to_regions () =
+  (* Loop at lines 2..4 encloses lines 3 (body); deps 3->3 become
+     intra-section (dropped), 1->3 becomes 1 -> loop-header 2. *)
+  let regions = Ddp_core.Region.create () in
+  let l n = Loc.make ~file:1 ~line:n in
+  Ddp_core.Region.on_enter regions ~loc:(l 2) ~thread:0 ~time:0;
+  Ddp_core.Region.on_exit regions ~loc:(l 2) ~end_loc:(l 4) ~iterations:5 ~thread:0;
+  let s =
+    store_with
+      [ (Ddp_core.Dep.RAW, 3, 3, 9); (Ddp_core.Dep.RAW, 1, 3, 2); (Ddp_core.Dep.RAW, 3, 5, 4) ]
+  in
+  let g = DG.collapse_to_regions ~regions (DG.of_store s) in
+  (match DG.edges g with
+  | edges ->
+    Alcotest.(check int) "two cross-section edges" 2 (List.length edges);
+    let has src sink =
+      List.exists (fun e -> e.DG.e_src = l src && e.DG.e_sink = l sink) edges
+    in
+    Alcotest.(check bool) "1 -> region(2)" true (has 1 2);
+    Alcotest.(check bool) "region(2) -> 5" true (has 2 5));
+  Alcotest.(check bool) "intra-section edge dropped" true
+    (not (List.exists (fun e -> e.DG.e_src = e.DG.e_sink) (DG.edges g)))
+
+let test_loop_table () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 8);
+        B.for_ ~parallel:true "i" (B.i 0) (B.i 8) (fun iv -> [ B.store "a" iv iv ]);
+        B.for_ "j" (B.i 1) (B.i 8) (fun jv ->
+            [ B.store "a" jv B.(idx "a" (jv -: i 1)) ]);
+      ]
+  in
+  let summary = Ddp_analyses.Loop_parallelism.analyze ~perfect:true prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let table = Ddp_analyses.Loop_table.of_regions ~summary outcome.regions in
+  Alcotest.(check int) "two loops" 2 (List.length table);
+  let by_line line =
+    List.find (fun (e : Ddp_analyses.Loop_table.entry) -> Loc.line e.header = line) table
+  in
+  (* lines: arr=1, for=2 (end=4), for=5 (end=7) *)
+  let first = by_line 2 and second = by_line 5 in
+  Alcotest.(check int) "iterations" 8 first.total_iterations;
+  Alcotest.(check int) "iterations second" 7 second.total_iterations;
+  Alcotest.(check (option bool)) "first parallel" (Some true) first.parallelizable;
+  Alcotest.(check (option bool)) "second serial" (Some false) second.parallelizable;
+  let hottest = Ddp_analyses.Loop_table.hottest ~n:1 table in
+  Alcotest.(check int) "hottest is the 8-iteration loop" 2
+    (Loc.line (List.hd hottest).header)
+
+let test_loop_table_render () =
+  let prog =
+    B.program ~name:"t" [ B.for_ "i" (B.i 0) (B.i 3) (fun _ -> [ B.nop ]) ]
+  in
+  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let table = Ddp_analyses.Loop_table.of_regions outcome.regions in
+  let s = Ddp_analyses.Loop_table.render table in
+  Alcotest.(check bool) "renders rows" true (String.length s > 40)
+
+let suite =
+  [
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph queries" `Quick test_graph_queries;
+    Alcotest.test_case "graph dot export" `Quick test_graph_dot;
+    Alcotest.test_case "collapse to regions" `Quick test_collapse_to_regions;
+    Alcotest.test_case "loop table" `Quick test_loop_table;
+    Alcotest.test_case "loop table render" `Quick test_loop_table_render;
+  ]

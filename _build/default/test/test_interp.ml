@@ -1,0 +1,327 @@
+(* Tests for the MiniIR interpreter: semantics, instrumentation events,
+   scoping/lifetime, loops and regions, simulated threads and locks. *)
+
+open Ddp_minir
+module B = Builder
+
+let run prog = Interp.run prog
+let trace prog = fst (Interp.trace prog)
+
+let writes tr = List.filter (function Event.Write _ -> true | _ -> false) tr
+let reads tr = List.filter (function Event.Read _ -> true | _ -> false) tr
+
+(* -- semantics via assertions ------------------------------------------- *)
+
+let test_arith_semantics () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "x" B.(i 3 +: (i 4 *: i 5));
+        B.assert_ B.(v "x" =: i 23);
+        B.local "y" B.((i 17 %: i 5) +: (i 1 <<: i 4));
+        B.assert_ B.(v "y" =: i 18);
+        B.assert_ B.(f 1.5 +: f 2.5 =: f 4.0);
+        B.assert_ B.(min_ (i 3) (i 9) =: i 3);
+      ]
+  in
+  ignore (run prog)
+
+let test_assert_fails () =
+  let prog = B.program ~name:"t" [ B.assert_ B.(i 1 =: i 2) ] in
+  Alcotest.check_raises "assertion raises"
+    (Interp.Runtime_error "assertion failed in target program") (fun () -> ignore (run prog))
+
+let test_array_semantics () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 10);
+        B.for_ "i" (B.i 0) (B.i 10) (fun iv -> [ B.store "a" iv B.(iv *: i 2) ]);
+        B.assert_ B.(idx "a" (i 7) =: i 14);
+        B.assert_ B.(idx "a" (i 0) =: i 0);
+      ]
+  in
+  ignore (run prog)
+
+let test_if_branches () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "x" (B.i 0);
+        B.if_ B.(i 3 >: i 2) [ B.assign "x" (B.i 1) ] [ B.assign "x" (B.i 2) ];
+        B.assert_ B.(v "x" =: i 1);
+        B.if_ B.(i 3 <: i 2) [ B.assign "x" (B.i 1) ] [ B.assign "x" (B.i 2) ];
+        B.assert_ B.(v "x" =: i 2);
+      ]
+  in
+  ignore (run prog)
+
+let test_while_loop () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "n" (B.i 0);
+        B.local "s" (B.i 0);
+        B.while_ B.(v "n" <: i 5)
+          [ B.assign "s" B.(v "s" +: v "n"); B.assign "n" B.(v "n" +: i 1) ];
+        B.assert_ B.(v "s" =: i 10);
+      ]
+  in
+  ignore (run prog)
+
+let test_for_step () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "s" (B.i 0);
+        B.for_ ~step:(B.i 3) "i" (B.i 0) (B.i 10) (fun iv -> [ B.assign "s" B.(v "s" +: iv) ]);
+        (* 0 + 3 + 6 + 9 *)
+        B.assert_ B.(v "s" =: i 18);
+      ]
+  in
+  ignore (run prog)
+
+(* -- errors --------------------------------------------------------------- *)
+
+let expect_error name prog =
+  match Interp.run prog with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Runtime_error")
+
+let test_undefined_var () =
+  expect_error "undefined" (B.program ~name:"t" [ B.assign "nope" (B.i 1) ])
+
+let test_out_of_bounds () =
+  expect_error "oob"
+    (B.program ~name:"t" [ B.arr "a" (B.i 4); B.store "a" (B.i 4) (B.i 0) ])
+
+let test_use_after_free () =
+  expect_error "uaf"
+    (B.program ~name:"t" [ B.arr "a" (B.i 4); B.free "a"; B.store "a" (B.i 0) (B.i 0) ])
+
+let test_scalar_array_confusion () =
+  expect_error "kind" (B.program ~name:"t" [ B.local "x" (B.i 0); B.store "x" (B.i 0) (B.i 1) ])
+
+let test_unlock_not_held () =
+  expect_error "unlock" (B.program ~name:"t" [ B.unlock 3 ])
+
+let test_nested_par_rejected () =
+  expect_error "nested par"
+    (B.program ~name:"t" [ B.par [ [ B.par [ [ B.nop ] ] ] ] ])
+
+(* -- instrumentation events ---------------------------------------------- *)
+
+let test_event_counts () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 4);
+        B.store "a" (B.i 0) (B.i 1);  (* 1 write *)
+        B.local "x" (B.idx "a" (B.i 0));  (* 1 read + 1 write *)
+      ]
+  in
+  let stats = run prog in
+  Alcotest.(check int) "writes" 2 stats.writes;
+  Alcotest.(check int) "reads" 1 stats.reads
+
+let test_trace_order_and_timestamps () =
+  let prog =
+    B.program ~name:"t" [ B.local "x" (B.i 1); B.local "y" (B.v "x"); B.assign "x" (B.v "y") ]
+  in
+  let tr = trace prog in
+  let times =
+    List.filter_map
+      (function Event.Read { time; _ } | Event.Write { time; _ } -> Some time | _ -> None)
+      tr
+  in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing timestamps" true (increasing times);
+  Alcotest.(check int) "3 writes 2 reads" 5 (List.length times)
+
+let test_region_events () =
+  let prog =
+    B.program ~name:"t"
+      [ B.arr "a" (B.i 8); B.for_ "i" (B.i 0) (B.i 8) (fun iv -> [ B.store "a" iv (B.i 0) ]) ]
+  in
+  let tr = trace prog in
+  let enters = List.filter (function Event.Region_enter _ -> true | _ -> false) tr in
+  let iters = List.filter (function Event.Region_iter _ -> true | _ -> false) tr in
+  (match
+     List.filter_map
+       (function
+         | Event.Region_exit { iterations; loc; end_loc; _ } -> Some (iterations, loc, end_loc)
+         | _ -> None)
+       tr
+   with
+  | [ (iterations, loc, end_loc) ] ->
+    Alcotest.(check int) "iterations" 8 iterations;
+    Alcotest.(check bool) "end line after begin" true (Loc.line end_loc > Loc.line loc)
+  | l -> Alcotest.failf "expected 1 exit, got %d" (List.length l));
+  Alcotest.(check int) "one enter" 1 (List.length enters);
+  Alcotest.(check int) "8 iter marks" 8 (List.length iters)
+
+let test_alloc_free_events () =
+  let prog = B.program ~name:"t" [ B.arr "a" (B.i 4); B.free "a" ] in
+  let tr = trace prog in
+  let allocs = List.filter (function Event.Alloc _ -> true | _ -> false) tr in
+  let frees = List.filter (function Event.Free _ -> true | _ -> false) tr in
+  Alcotest.(check int) "one alloc" 1 (List.length allocs);
+  Alcotest.(check int) "one free" 1 (List.length frees)
+
+let test_scope_exit_frees () =
+  (* Locals declared in an if-branch are freed at branch exit. *)
+  let prog =
+    B.program ~name:"t"
+      [ B.if_ (B.i 1) [ B.local "tmp" (B.i 1); B.local "tmp2" (B.i 2) ] [] ]
+  in
+  let tr = trace prog in
+  let frees = List.filter (function Event.Free _ -> true | _ -> false) tr in
+  Alcotest.(check int) "branch locals freed" 2 (List.length frees)
+
+let test_loop_index_self_deps_shape () =
+  (* The for header must read and write its index each iteration,
+     producing Fig.-1-style self-dependences at the header line. *)
+  let prog =
+    B.program ~name:"t" [ B.for_ "i" (B.i 0) (B.i 3) (fun _ -> [ B.nop ]) ]
+  in
+  let tr = trace prog in
+  let header_writes =
+    List.filter_map (function Event.Write { loc; _ } -> Some (Loc.line loc) | _ -> None) tr
+  in
+  (* init + 3 increments *)
+  Alcotest.(check int) "index writes" 4 (List.length header_writes);
+  Alcotest.(check bool) "all at header line" true (List.for_all (fun l -> l = 1) header_writes)
+
+(* -- determinism and threads --------------------------------------------- *)
+
+let par_counter_prog =
+  B.program ~name:"t"
+    [
+      B.arr "slots" (B.i 4);
+      B.par
+        (List.init 4 (fun t ->
+             [
+               B.for_ (Printf.sprintf "i%d" t) (B.i 0) (B.i 10) (fun _ ->
+                   [ B.store "slots" (B.i t) B.(idx "slots" (i t) +: i 1) ]);
+             ]));
+      B.assert_ B.(idx "slots" (i 0) =: i 10);
+      B.assert_ B.(idx "slots" (i 3) =: i 10);
+    ]
+
+let test_par_executes_all_threads () = ignore (run par_counter_prog)
+
+let test_par_thread_ids () =
+  let tr = trace par_counter_prog in
+  let tids =
+    List.filter_map (function Event.Write { thread; _ } -> Some thread | _ -> None) tr
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "main + 4 workers" [ 0; 1; 2; 3; 4 ] tids;
+  let ends = List.filter (function Event.Thread_end _ -> true | _ -> false) tr in
+  Alcotest.(check int) "thread_end for workers + main" 5 (List.length ends)
+
+let test_schedule_determinism () =
+  let t1 = Interp.trace ~sched_seed:11 par_counter_prog |> fst in
+  let t2 = Interp.trace ~sched_seed:11 par_counter_prog |> fst in
+  let t3 = Interp.trace ~sched_seed:12 par_counter_prog |> fst in
+  Alcotest.(check bool) "same seed same trace" true (t1 = t2);
+  Alcotest.(check bool) "different seed different interleaving" true (t1 <> t3)
+
+let test_interleaving_actually_happens () =
+  let tr = trace par_counter_prog in
+  (* Find a thread id change between consecutive access events: threads
+     must not simply run to completion one after another. *)
+  let tids =
+    List.filter_map
+      (function
+        | Event.Write { thread; _ } | Event.Read { thread; _ } when thread > 0 -> Some thread
+        | _ -> None)
+      tr
+  in
+  let changes = ref 0 in
+  let rec count = function
+    | a :: (b :: _ as rest) ->
+      if a <> b then incr changes;
+      count rest
+    | _ -> ()
+  in
+  count tids;
+  Alcotest.(check bool) "threads interleave" true (!changes > 4)
+
+let test_locks_mutual_exclusion () =
+  (* With locks, the final counter equals the sum of increments even
+     though threads interleave: read-modify-write is atomic. *)
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "c" (B.i 0);
+        B.par
+          (List.init 3 (fun t ->
+               [
+                 B.for_ (Printf.sprintf "i%d" t) (B.i 0) (B.i 20) (fun _ ->
+                     [ B.lock 1; B.assign "c" B.(v "c" +: i 1); B.unlock 1 ]);
+               ]));
+        B.assert_ B.(v "c" =: i 60);
+      ]
+  in
+  ignore (run prog)
+
+let test_locked_flag_in_events () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "c" (B.i 0);
+        B.par [ [ B.lock 1; B.assign "c" (B.i 1); B.unlock 1; B.assign "c" (B.i 2) ] ];
+      ]
+  in
+  let tr = trace prog in
+  let flags =
+    List.filter_map
+      (function Event.Write { locked; thread = 1; _ } -> Some locked | _ -> None)
+      tr
+  in
+  Alcotest.(check (list bool)) "locked then unlocked" [ true; false ] flags
+
+let test_lines_numbered_in_order () =
+  let prog =
+    B.program ~name:"t"
+      [ B.local "a" (B.i 0); B.for_ "i" (B.i 0) (B.i 2) (fun _ -> [ B.nop ]); B.local "b" (B.i 0) ]
+  in
+  (* local a = line 1, for = 2, nop = 3, end = 4, local b = 5 *)
+  let stats = run prog in
+  Alcotest.(check int) "line count" 5 stats.lines
+
+let suite =
+  [
+    Alcotest.test_case "arith semantics" `Quick test_arith_semantics;
+    Alcotest.test_case "assert fails" `Quick test_assert_fails;
+    Alcotest.test_case "array semantics" `Quick test_array_semantics;
+    Alcotest.test_case "if branches" `Quick test_if_branches;
+    Alcotest.test_case "while loop" `Quick test_while_loop;
+    Alcotest.test_case "for step" `Quick test_for_step;
+    Alcotest.test_case "undefined var" `Quick test_undefined_var;
+    Alcotest.test_case "array out of bounds" `Quick test_out_of_bounds;
+    Alcotest.test_case "use after free" `Quick test_use_after_free;
+    Alcotest.test_case "scalar/array confusion" `Quick test_scalar_array_confusion;
+    Alcotest.test_case "unlock not held" `Quick test_unlock_not_held;
+    Alcotest.test_case "nested par rejected" `Quick test_nested_par_rejected;
+    Alcotest.test_case "event counts" `Quick test_event_counts;
+    Alcotest.test_case "trace order and timestamps" `Quick test_trace_order_and_timestamps;
+    Alcotest.test_case "region events" `Quick test_region_events;
+    Alcotest.test_case "alloc/free events" `Quick test_alloc_free_events;
+    Alcotest.test_case "scope exit frees" `Quick test_scope_exit_frees;
+    Alcotest.test_case "loop index self-deps" `Quick test_loop_index_self_deps_shape;
+    Alcotest.test_case "par executes all threads" `Quick test_par_executes_all_threads;
+    Alcotest.test_case "par thread ids" `Quick test_par_thread_ids;
+    Alcotest.test_case "schedule determinism" `Quick test_schedule_determinism;
+    Alcotest.test_case "interleaving happens" `Quick test_interleaving_actually_happens;
+    Alcotest.test_case "locks mutual exclusion" `Quick test_locks_mutual_exclusion;
+    Alcotest.test_case "locked flag in events" `Quick test_locked_flag_in_events;
+    Alcotest.test_case "lines numbered" `Quick test_lines_numbered_in_order;
+  ]
+
+(* silence unused warnings for helpers used in some configs *)
+let _ = (writes, reads)

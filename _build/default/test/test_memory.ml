@@ -1,0 +1,90 @@
+(* Tests for the MiniIR address space: allocation, free-list reuse,
+   bounds. *)
+
+open Ddp_minir
+
+let test_alloc_distinct () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 4 in
+  let b = Memory.alloc m 4 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 4);
+  Alcotest.(check int) "high water" 8 (Memory.high_water m)
+
+let test_free_reuse_same_size () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 8 in
+  Memory.free m ~base:a ~len:8;
+  let b = Memory.alloc m 8 in
+  Alcotest.(check int) "same-size block reused" a b;
+  Alcotest.(check int) "no growth" 8 (Memory.high_water m)
+
+let test_free_no_reuse_other_size () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 8 in
+  Memory.free m ~base:a ~len:8;
+  let b = Memory.alloc m 4 in
+  Alcotest.(check bool) "different size not reused" true (b >= 8)
+
+let test_reuse_zeroes () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 2 in
+  Memory.set m a (Value.I 42);
+  Memory.free m ~base:a ~len:2;
+  let b = Memory.alloc m 2 in
+  Alcotest.(check bool) "reused block zeroed" true (Memory.get m b = Value.zero)
+
+let test_reuse_disabled () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 8 in
+  Memory.free m ~base:a ~len:8;
+  let b = Memory.alloc ~reuse:false m 8 in
+  Alcotest.(check bool) "fresh block" true (b >= 8)
+
+let test_get_set () =
+  let m = Memory.create ~capacity:1 () in
+  let a = Memory.alloc m 100 in
+  Memory.set m (a + 99) (Value.F 1.5);
+  Alcotest.(check bool) "roundtrip" true (Memory.get m (a + 99) = Value.F 1.5)
+
+let test_bounds () =
+  let m = Memory.create () in
+  let _ = Memory.alloc m 4 in
+  Alcotest.check_raises "get oob" (Invalid_argument "Memory.get: address out of range")
+    (fun () -> ignore (Memory.get m 4));
+  Alcotest.check_raises "set oob" (Invalid_argument "Memory.set: address out of range")
+    (fun () -> Memory.set m (-1) Value.zero)
+
+let test_live_blocks () =
+  let m = Memory.create () in
+  let a = Memory.alloc m 4 in
+  let _ = Memory.alloc m 4 in
+  Alcotest.(check int) "two live" 2 (Memory.live_blocks m);
+  Memory.free m ~base:a ~len:4;
+  Alcotest.(check int) "one live" 1 (Memory.live_blocks m)
+
+(* Property: a sequence of allocs yields pairwise-disjoint live blocks. *)
+let prop_disjoint_blocks =
+  QCheck.Test.make ~name:"live blocks pairwise disjoint" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (int_range 1 16))
+    (fun sizes ->
+      let m = Memory.create () in
+      let blocks = List.map (fun s -> (Memory.alloc m s, s)) sizes in
+      let overlaps (b1, s1) (b2, s2) = b1 < b2 + s2 && b2 < b1 + s1 in
+      let rec pairwise = function
+        | [] -> true
+        | x :: rest -> (not (List.exists (overlaps x) rest)) && pairwise rest
+      in
+      pairwise blocks)
+
+let suite =
+  [
+    Alcotest.test_case "alloc distinct" `Quick test_alloc_distinct;
+    Alcotest.test_case "free reuse same size" `Quick test_free_reuse_same_size;
+    Alcotest.test_case "free no reuse other size" `Quick test_free_no_reuse_other_size;
+    Alcotest.test_case "reuse zeroes" `Quick test_reuse_zeroes;
+    Alcotest.test_case "reuse disabled" `Quick test_reuse_disabled;
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "live blocks" `Quick test_live_blocks;
+    QCheck_alcotest.to_alcotest prop_disjoint_blocks;
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the multi-threaded-target machinery (paper Sec. V): the
+   reorder-window push layer and the timestamp-based race flagging. *)
+
+module B = Ddp_minir.Builder
+module Event = Ddp_minir.Event
+
+(* Collect what comes out of the frontend. *)
+let collect_through_frontend ~window ~seed events =
+  let out = ref [] in
+  let inner =
+    {
+      Event.null with
+      Event.on_read =
+        (fun ~addr ~loc:_ ~var:_ ~thread ~time ~locked:_ -> out := (`R, addr, thread, time) :: !out);
+      on_write =
+        (fun ~addr ~loc:_ ~var:_ ~thread ~time ~locked:_ -> out := (`W, addr, thread, time) :: !out);
+    }
+  in
+  let front = Ddp_core.Mt_frontend.create ~window ~seed inner in
+  Event.replay (Ddp_core.Mt_frontend.hooks front) events;
+  Ddp_core.Mt_frontend.finish front;
+  List.rev !out
+
+let mk_event ?(locked = false) ~thread ~time kind addr =
+  let loc = Ddp_minir.Loc.make ~file:1 ~line:1 in
+  match kind with
+  | `R -> Event.Read { addr; loc; var = 0; thread; time; locked }
+  | `W -> Event.Write { addr; loc; var = 0; thread; time; locked }
+
+let test_no_loss_no_duplication () =
+  let events = List.init 40 (fun i -> mk_event ~thread:(1 + (i mod 3)) ~time:i `W (i mod 5)) in
+  let out = collect_through_frontend ~window:4 ~seed:1 events in
+  Alcotest.(check int) "same cardinality" 40 (List.length out);
+  let times_out = List.map (fun (_, _, _, t) -> t) out |> List.sort compare in
+  Alcotest.(check (list int)) "same multiset of times" (List.init 40 Fun.id) times_out
+
+let test_per_thread_fifo () =
+  let events = List.init 60 (fun i -> mk_event ~thread:(1 + (i mod 2)) ~time:i `W 0) in
+  let out = collect_through_frontend ~window:6 ~seed:3 events in
+  List.iter
+    (fun tid ->
+      let times = List.filter_map (fun (_, _, t, time) -> if t = tid then Some time else None) out in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "thread %d FIFO" tid)
+        true (increasing times))
+    [ 1; 2 ]
+
+let test_cross_thread_reorder_occurs () =
+  let events = List.init 200 (fun i -> mk_event ~thread:(1 + (i mod 2)) ~time:i `W 0) in
+  let out = collect_through_frontend ~window:8 ~seed:7 events in
+  let times = List.map (fun (_, _, _, t) -> t) out in
+  let rec sorted = function a :: (b :: _ as r) -> a < b && sorted r | _ -> true in
+  Alcotest.(check bool) "global order is perturbed" false (sorted times)
+
+let test_locked_pushes_in_order () =
+  let events =
+    List.init 100 (fun i -> mk_event ~locked:true ~thread:(1 + (i mod 3)) ~time:i `W 0)
+  in
+  let out = collect_through_frontend ~window:8 ~seed:7 events in
+  let times = List.map (fun (_, _, _, t) -> t) out in
+  let rec sorted = function a :: (b :: _ as r) -> a < b && sorted r | _ -> true in
+  Alcotest.(check bool) "lock regions preserve global push order" true (sorted times)
+
+let test_deterministic_given_seed () =
+  let events = List.init 80 (fun i -> mk_event ~thread:(1 + (i mod 2)) ~time:i `W (i mod 3)) in
+  let a = collect_through_frontend ~window:5 ~seed:11 events in
+  let b = collect_through_frontend ~window:5 ~seed:11 events in
+  Alcotest.(check bool) "same seed, same order" true (a = b)
+
+(* -- end-to-end race detection ------------------------------------------- *)
+
+let counter_program ~locked =
+  let body t =
+    let guard stmts = if locked then (B.lock 1 :: stmts) @ [ B.unlock 1 ] else stmts in
+    [
+      B.for_ (Printf.sprintf "i%d" t) (B.i 0) (B.i 150) (fun _ ->
+          guard [ B.assign "c" B.(v "c" +: i 1) ]);
+    ]
+  in
+  B.program ~name:"ctr" [ B.local "c" (B.i 0); B.par (List.init 3 body) ]
+
+let races_of ~locked =
+  let outcome =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked)
+  in
+  Ddp_analyses.Race_report.count outcome.deps
+
+let test_racy_program_flagged () =
+  Alcotest.(check bool) "unlocked counter flagged" true (races_of ~locked:false > 0)
+
+let test_locked_program_clean () =
+  Alcotest.(check int) "locked counter clean" 0 (races_of ~locked:true)
+
+let test_mt_parallel_profiler_races () =
+  (* The worker-side timestamp check also works under the parallel
+     profiler. *)
+  let config = { Ddp_core.Config.default with workers = 3; slots = 1 lsl 16; chunk_size = 16 } in
+  let outcome =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config ~mt:true
+      (counter_program ~locked:false)
+  in
+  Alcotest.(check bool) "parallel profiler flags too" true
+    (Ddp_analyses.Race_report.count outcome.deps > 0)
+
+let test_mt_dep_thread_ids () =
+  let outcome =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked:true)
+  in
+  let cross =
+    Ddp_core.Dep_store.fold outcome.deps
+      (fun d _ acc -> acc || Ddp_core.Dep.is_cross_thread d)
+      false
+  in
+  Alcotest.(check bool) "cross-thread deps recorded" true cross
+
+let test_mt_delayed_counter () =
+  let outcome =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked:false)
+  in
+  Alcotest.(check bool) "unlocked accesses were delayed" true (outcome.mt_delayed > 0)
+
+(* Property: the frontend is a permutation (no loss/duplication) for any
+   mix of locked and unlocked accesses. *)
+let prop_frontend_permutation =
+  QCheck.Test.make ~name:"mt frontend is a permutation" ~count:200
+    QCheck.(
+      pair small_int
+        (list_of_size Gen.(int_range 1 120) (triple (int_range 1 4) bool (int_range 0 6))))
+    (fun (seed, ops) ->
+      let events =
+        List.mapi (fun i (thread, locked, addr) -> mk_event ~locked ~thread ~time:i `W addr) ops
+      in
+      let out = collect_through_frontend ~window:5 ~seed events in
+      List.length out = List.length events
+      && List.sort compare (List.map (fun (_, _, _, t) -> t) out) = List.init (List.length events) Fun.id)
+
+let suite =
+  [
+    Alcotest.test_case "no loss no duplication" `Quick test_no_loss_no_duplication;
+    Alcotest.test_case "per-thread FIFO" `Quick test_per_thread_fifo;
+    Alcotest.test_case "cross-thread reorder occurs" `Quick test_cross_thread_reorder_occurs;
+    Alcotest.test_case "locked pushes in order" `Quick test_locked_pushes_in_order;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "racy program flagged" `Quick test_racy_program_flagged;
+    Alcotest.test_case "locked program clean" `Quick test_locked_program_clean;
+    Alcotest.test_case "parallel profiler flags races" `Slow test_mt_parallel_profiler_races;
+    Alcotest.test_case "cross-thread dep thread ids" `Quick test_mt_dep_thread_ids;
+    Alcotest.test_case "delayed counter" `Quick test_mt_delayed_counter;
+    QCheck_alcotest.to_alcotest prop_frontend_permutation;
+  ]

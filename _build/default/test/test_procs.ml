@@ -1,0 +1,268 @@
+(* Tests for MiniIR procedures, the execution/call tree, and the
+   dependence-distance analysis. *)
+
+module B = Ddp_minir.Builder
+module Event = Ddp_minir.Event
+module ET = Ddp_analyses.Exec_tree
+
+(* -- procedures ----------------------------------------------------------- *)
+
+let saxpy_prog () =
+  (* axpy(k, a): y[k] = a*x[k] + y[k] *)
+  B.program ~name:"t"
+    ~funcs:
+      [
+        B.proc "axpy" [ "k"; "a" ]
+          [ B.store "y" (B.v "k") B.((v "a" *: idx "x" (v "k")) +: idx "y" (v "k")) ];
+      ]
+    [
+      B.arr "x" (B.i 8);
+      B.arr "y" (B.i 8);
+      B.for_ "i" (B.i 0) (B.i 8) (fun iv ->
+          [ B.store "x" iv B.(iv +: i 1); B.store "y" iv (B.i 10) ]);
+      B.for_ "j" (B.i 0) (B.i 8) (fun jv -> [ B.call_proc "axpy" [ jv; B.i 2 ] ]);
+      B.assert_ B.(idx "y" (i 3) =: i 18);
+      B.assert_ B.(idx "y" (i 0) =: i 12);
+    ]
+
+let test_proc_semantics () = ignore (Ddp_minir.Interp.run (saxpy_prog ()))
+
+let test_proc_sees_globals_not_caller_locals () =
+  let prog =
+    B.program ~name:"t"
+      ~funcs:[ B.proc "peek" [] [ B.assert_ B.(v "g" =: i 7) ] ]
+      [
+        B.local "g" (B.i 7);
+        B.if_ (B.i 1) [ B.local "hidden" (B.i 1); B.call_proc "peek" [] ] [];
+      ]
+  in
+  ignore (Ddp_minir.Interp.run prog);
+  (* and a procedure referencing a caller-local must fail *)
+  let bad =
+    B.program ~name:"t"
+      ~funcs:[ B.proc "peek" [] [ B.assert_ B.(v "hidden" =: i 1) ] ]
+      [ B.if_ (B.i 1) [ B.local "hidden" (B.i 1); B.call_proc "peek" [] ] [] ]
+  in
+  match Ddp_minir.Interp.run bad with
+  | exception Ddp_minir.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "caller locals must not leak into procedures"
+
+let test_proc_recursion () =
+  (* sum(n): acc = acc + n; if n > 0 then sum(n-1) *)
+  let prog =
+    B.program ~name:"t"
+      ~funcs:
+        [
+          B.proc "sum" [ "n" ]
+            [
+              B.assign "acc" B.(v "acc" +: v "n");
+              B.if_ B.(v "n" >: i 0) [ B.call_proc "sum" [ B.(v "n" -: i 1) ] ] [];
+            ];
+        ]
+      [ B.local "acc" (B.i 0); B.call_proc "sum" [ B.i 10 ]; B.assert_ B.(v "acc" =: i 55) ]
+  in
+  ignore (Ddp_minir.Interp.run prog)
+
+let test_proc_infinite_recursion_guarded () =
+  let prog =
+    B.program ~name:"t"
+      ~funcs:[ B.proc "loop" [] [ B.call_proc "loop" [] ] ]
+      [ B.call_proc "loop" [] ]
+  in
+  match Ddp_minir.Interp.run prog with
+  | exception Ddp_minir.Interp.Runtime_error msg ->
+    Alcotest.(check bool) "depth message" true
+      (String.length msg > 0 && String.sub msg 0 10 = "call depth")
+  | _ -> Alcotest.fail "expected depth guard"
+
+let test_proc_errors () =
+  let undef = B.program ~name:"t" [ B.call_proc "nope" [] ] in
+  (match Ddp_minir.Interp.run undef with
+  | exception Ddp_minir.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "undefined procedure");
+  let arity =
+    B.program ~name:"t" ~funcs:[ B.proc "f" [ "x" ] [ B.nop ] ] [ B.call_proc "f" [] ]
+  in
+  match Ddp_minir.Interp.run arity with
+  | exception Ddp_minir.Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "arity mismatch"
+
+let test_call_events_emitted () =
+  let tr, _ = Ddp_minir.Interp.trace (saxpy_prog ()) in
+  let calls = List.filter (function Event.Call _ -> true | _ -> false) tr in
+  let returns = List.filter (function Event.Return _ -> true | _ -> false) tr in
+  Alcotest.(check int) "8 calls" 8 (List.length calls);
+  Alcotest.(check int) "8 returns" 8 (List.length returns)
+
+let test_param_lifetime () =
+  (* Parameters are freed at return: alloc/free counts balance. *)
+  let tr, _ = Ddp_minir.Interp.trace (saxpy_prog ()) in
+  let allocs = List.length (List.filter (function Event.Alloc _ -> true | _ -> false) tr) in
+  let frees = List.length (List.filter (function Event.Free _ -> true | _ -> false) tr) in
+  Alcotest.(check int) "alloc/free balance" allocs frees
+
+let test_proc_deps_attributed () =
+  (* The carried dependence through a procedure must surface: acc written
+     by sum() in one call, read by the next (recursive) call. *)
+  let prog =
+    B.program ~name:"t"
+      ~funcs:[ B.proc "bump" [] [ B.assign "acc" B.(v "acc" +: i 1) ] ]
+      [
+        B.local "acc" (B.i 0);
+        B.for_ "i" (B.i 0) (B.i 5) (fun _ -> [ B.call_proc "bump" [] ]);
+      ]
+  in
+  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let raw, _, _, _, _ = Ddp_core.Report.kind_counts o.deps in
+  Alcotest.(check bool) "RAW through procedure" true (raw > 0)
+
+(* -- execution / call tree ------------------------------------------------ *)
+
+let test_exec_tree_shape () =
+  let t, symtab = ET.build (saxpy_prog ()) in
+  let root = ET.root t in
+  (* root -> thread 0 -> two loops; second loop -> axpy *)
+  let func_name = Ddp_minir.Symtab.var_name symtab in
+  let rendered = ET.render ~func_name root in
+  Alcotest.(check bool) "contains axpy" true
+    (let needle = "axpy()" in
+     let nl = String.length needle and hl = String.length rendered in
+     let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+     go 0);
+  let axpy_id = Ddp_util.Intern.find_opt symtab.Ddp_minir.Symtab.vars "axpy" in
+  match axpy_id with
+  | None -> Alcotest.fail "axpy not interned"
+  | Some fid -> (
+    match ET.find_proc root fid with
+    | Some node ->
+      Alcotest.(check int) "8 activations, context-compressed" 8 node.ET.count;
+      Alcotest.(check bool) "accesses attributed" true (node.ET.accesses > 0)
+    | None -> Alcotest.fail "axpy node missing")
+
+let test_call_tree_splices_loops () =
+  let t, symtab = ET.build (saxpy_prog ()) in
+  let ct = ET.call_tree t in
+  let has_loop node =
+    let rec go n =
+      (match n.ET.kind with ET.Loop _ -> true | _ -> false) || List.exists go n.ET.children
+    in
+    go node
+  in
+  Alcotest.(check bool) "no loop nodes in call tree" false (has_loop ct);
+  let fid = Option.get (Ddp_util.Intern.find_opt symtab.Ddp_minir.Symtab.vars "axpy") in
+  Alcotest.(check bool) "axpy still present" true (ET.find_proc ct fid <> None)
+
+let test_exec_tree_recursion_depth () =
+  let prog =
+    B.program ~name:"t"
+      ~funcs:
+        [
+          B.proc "down" [ "n" ]
+            [ B.if_ B.(v "n" >: i 0) [ B.call_proc "down" [ B.(v "n" -: i 1) ] ] [] ];
+        ]
+      [ B.call_proc "down" [ B.i 4 ] ]
+  in
+  let t, _ = ET.build prog in
+  (* 5 nested activations: root + thread + 5 proc levels *)
+  Alcotest.(check bool) "tree has nested proc chain" true (ET.size (ET.root t) >= 7)
+
+let test_exec_tree_threads () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.local "x" (B.i 0);
+        B.par [ [ B.assign "x" (B.i 1) ]; [ B.assign "x" (B.i 2) ] ];
+      ]
+  in
+  let t, _ = ET.build prog in
+  let threads =
+    List.filter (fun c -> match c.ET.kind with ET.Thread _ -> true | _ -> false)
+      (ET.root t).ET.children
+  in
+  (* main thread (0) and two workers *)
+  Alcotest.(check int) "three thread subtrees" 3 (List.length threads)
+
+(* -- dependence distance -------------------------------------------------- *)
+
+let test_distance_one () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 32);
+        B.store "a" (B.i 0) (B.i 1);
+        B.for_ "i" (B.i 1) (B.i 32) (fun iv ->
+            [ B.store "a" iv B.(idx "a" (iv -: i 1) +: i 1) ]);
+      ]
+  in
+  let s = Ddp_analyses.Dep_distance.analyze prog in
+  match List.filter (fun (l : Ddp_analyses.Dep_distance.loop_stats) -> l.carried_deps > 0) s with
+  | [ l ] ->
+    Alcotest.(check int) "min distance 1" 1 l.min_distance;
+    Alcotest.(check int) "max distance 1" 1 l.max_distance;
+    Alcotest.(check bool) "all at d=1" true (l.d1 = l.carried_deps)
+  | other -> Alcotest.failf "expected exactly one carried loop, got %d" (List.length other)
+
+let test_distance_k () =
+  (* a[i] = a[i-4]: distance 4 allows 4-way concurrency. *)
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 32);
+        Ddp_workloads.Wl.zero_loop "a" 32;
+        B.for_ "i" (B.i 4) (B.i 32) (fun iv ->
+            [ B.store "a" iv B.(idx "a" (iv -: i 4) +: i 1) ]);
+      ]
+  in
+  let s = Ddp_analyses.Dep_distance.analyze prog in
+  let carried =
+    List.filter (fun (l : Ddp_analyses.Dep_distance.loop_stats) -> l.carried_deps > 0) s
+  in
+  match carried with
+  | [ l ] ->
+    Alcotest.(check int) "min distance 4" 4 l.min_distance;
+    Alcotest.(check bool) "bucketed as small" true (l.d_small > 0 && l.d1 = 0)
+  | _ -> Alcotest.failf "expected one carried loop, got %d" (List.length carried)
+
+let test_distance_parallel_loop_empty () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 16);
+        B.for_ ~parallel:true "i" (B.i 0) (B.i 16) (fun iv -> [ B.store "a" iv iv ]);
+      ]
+  in
+  let s = Ddp_analyses.Dep_distance.analyze prog in
+  Alcotest.(check bool) "no carried distances" true
+    (List.for_all (fun (l : Ddp_analyses.Dep_distance.loop_stats) -> l.carried_deps = 0) s)
+
+let test_distance_render () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 8);
+        B.store "a" (B.i 0) (B.i 1);
+        B.for_ "i" (B.i 1) (B.i 8) (fun iv -> [ B.store "a" iv (B.idx "a" B.(iv -: i 1)) ]);
+      ]
+  in
+  let s = Ddp_analyses.Dep_distance.analyze prog in
+  Alcotest.(check bool) "renders" true (String.length (Ddp_analyses.Dep_distance.render s) > 40)
+
+let suite =
+  [
+    Alcotest.test_case "proc semantics" `Quick test_proc_semantics;
+    Alcotest.test_case "proc scoping" `Quick test_proc_sees_globals_not_caller_locals;
+    Alcotest.test_case "proc recursion" `Quick test_proc_recursion;
+    Alcotest.test_case "recursion depth guard" `Quick test_proc_infinite_recursion_guarded;
+    Alcotest.test_case "proc errors" `Quick test_proc_errors;
+    Alcotest.test_case "call events emitted" `Quick test_call_events_emitted;
+    Alcotest.test_case "param lifetime" `Quick test_param_lifetime;
+    Alcotest.test_case "deps attributed through procs" `Quick test_proc_deps_attributed;
+    Alcotest.test_case "exec tree shape" `Quick test_exec_tree_shape;
+    Alcotest.test_case "call tree splices loops" `Quick test_call_tree_splices_loops;
+    Alcotest.test_case "exec tree recursion depth" `Quick test_exec_tree_recursion_depth;
+    Alcotest.test_case "exec tree threads" `Quick test_exec_tree_threads;
+    Alcotest.test_case "distance one" `Quick test_distance_one;
+    Alcotest.test_case "distance k" `Quick test_distance_k;
+    Alcotest.test_case "distance parallel loop empty" `Quick test_distance_parallel_loop_empty;
+    Alcotest.test_case "distance render" `Quick test_distance_render;
+  ]

@@ -1,0 +1,91 @@
+(* Tests for the Profiler façade: mode selection, MT flag, accounting,
+   and a golden-output regression of the Fig.-1-style report (everything
+   is deterministic, so the exact rendering is stable). *)
+
+module B = Ddp_minir.Builder
+
+let small_prog () =
+  B.program ~name:"golden"
+    [
+      B.local "temp" (B.f 0.0);
+      B.for_ "i" (B.i 0) (B.i 4) (fun iv ->
+          [ B.assign "temp" B.(v "temp" +: call "float" [ iv ]) ]);
+    ]
+
+let test_modes_agree_when_collision_free () =
+  let config = { Ddp_core.Config.default with slots = 1 lsl 16 } in
+  let serial = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (small_prog ()) in
+  let perfect = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config (small_prog ()) in
+  Alcotest.(check bool) "serial == perfect on tiny program" true
+    (Ddp_core.Dep_store.Key_set.equal
+       (Ddp_core.Dep_store.key_set serial.deps)
+       (Ddp_core.Dep_store.key_set perfect.deps))
+
+let test_parallel_outcome_fields () =
+  let config = { Ddp_core.Config.default with workers = 2; slots = 1 lsl 12 } in
+  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config (small_prog ()) in
+  (match o.parallel with
+  | Some r ->
+    Alcotest.(check int) "2 workers" 2 (Array.length r.Ddp_core.Parallel_profiler.per_worker_events)
+  | None -> Alcotest.fail "parallel result expected");
+  Alcotest.(check int) "no mt buffer" 0 o.mt_delayed;
+  Alcotest.(check bool) "elapsed measured" true (o.elapsed >= 0.0)
+
+let test_mt_flag_enables_machinery () =
+  let prog () =
+    B.program ~name:"t"
+      [ B.local "x" (B.i 0); B.par [ [ B.assign "x" (B.i 1) ]; [ B.assign "x" (B.i 2) ] ] ]
+  in
+  let off = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (prog ()) in
+  let on = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (prog ()) in
+  Alcotest.(check int) "no delays without mt" 0 off.mt_delayed;
+  Alcotest.(check bool) "delays with mt" true (on.mt_delayed > 0)
+
+let test_accounting_populated () =
+  let acct = Ddp_util.Mem_account.create () in
+  let config = { Ddp_core.Config.default with slots = 1 lsl 12 } in
+  let (_ : Ddp_core.Profiler.outcome) =
+    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config ~account:(acct, "deps")
+      (small_prog ())
+  in
+  Alcotest.(check bool) "signatures charged" true
+    (Ddp_util.Mem_account.current acct "signatures" > 0)
+
+let golden_report =
+  String.concat "\n"
+    [
+      "1:1 NOM {INIT *}";
+      "1:2 BGN loop";
+      "1:2 NOM {RAW 1:2|i} {WAR 1:2|i} {WAW 1:2|i} {INIT *}";
+      "1:3 NOM {RAW 1:1|temp} {RAW 1:3|temp} {WAR 1:3|temp} {WAW 1:1|temp}";
+      "        {WAW 1:3|temp} {RAW 1:2|i}";
+      "1:4 END loop 4";
+      "";
+    ]
+
+let test_golden_report () =
+  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect (small_prog ()) in
+  Alcotest.(check string) "exact Fig.-1-style rendering" golden_report
+    (Ddp_core.Profiler.report o)
+
+let test_report_deterministic () =
+  let r1 = Ddp_core.Profiler.report (Ddp_core.Profiler.profile (small_prog ())) in
+  let r2 = Ddp_core.Profiler.report (Ddp_core.Profiler.profile (small_prog ())) in
+  Alcotest.(check string) "stable across runs" r1 r2
+
+let test_config_slots_per_worker () =
+  let c = { Ddp_core.Config.default with slots = 1024; workers = 8 } in
+  Alcotest.(check int) "divides" 128 (Ddp_core.Config.slots_per_worker c);
+  let tiny = { c with slots = 8; workers = 16 } in
+  Alcotest.(check bool) "floor" true (Ddp_core.Config.slots_per_worker tiny >= 16)
+
+let suite =
+  [
+    Alcotest.test_case "modes agree when collision-free" `Quick test_modes_agree_when_collision_free;
+    Alcotest.test_case "parallel outcome fields" `Quick test_parallel_outcome_fields;
+    Alcotest.test_case "mt flag enables machinery" `Quick test_mt_flag_enables_machinery;
+    Alcotest.test_case "accounting populated" `Quick test_accounting_populated;
+    Alcotest.test_case "golden report" `Quick test_golden_report;
+    Alcotest.test_case "report deterministic" `Quick test_report_deterministic;
+    Alcotest.test_case "config slots per worker" `Quick test_config_slots_per_worker;
+  ]

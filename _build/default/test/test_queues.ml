@@ -1,0 +1,105 @@
+(* Tests for the lock-free SPSC queue and the lock-based variant,
+   including a real producer/consumer domain pair. *)
+
+let test_spsc_fifo () =
+  let q = Ddp_core.Spsc_queue.create ~capacity:8 ~dummy:(-1) in
+  for v = 1 to 5 do
+    Alcotest.(check bool) "push" true (Ddp_core.Spsc_queue.try_push q v)
+  done;
+  for v = 1 to 5 do
+    Alcotest.(check (option int)) "fifo" (Some v) (Ddp_core.Spsc_queue.try_pop q)
+  done;
+  Alcotest.(check (option int)) "empty" None (Ddp_core.Spsc_queue.try_pop q)
+
+let test_spsc_capacity () =
+  let q = Ddp_core.Spsc_queue.create ~capacity:4 ~dummy:(-1) in
+  Alcotest.(check int) "pow2 capacity" 4 (Ddp_core.Spsc_queue.capacity q);
+  for v = 1 to 4 do
+    Alcotest.(check bool) "fills" true (Ddp_core.Spsc_queue.try_push q v)
+  done;
+  Alcotest.(check bool) "full rejects" false (Ddp_core.Spsc_queue.try_push q 5);
+  ignore (Ddp_core.Spsc_queue.try_pop q);
+  Alcotest.(check bool) "room after pop" true (Ddp_core.Spsc_queue.try_push q 5)
+
+let test_spsc_rounds_capacity () =
+  let q = Ddp_core.Spsc_queue.create ~capacity:5 ~dummy:0 in
+  Alcotest.(check int) "rounded to 8" 8 (Ddp_core.Spsc_queue.capacity q)
+
+let test_spsc_wraparound () =
+  let q = Ddp_core.Spsc_queue.create ~capacity:4 ~dummy:(-1) in
+  (* Cycle more elements than the capacity to cross the ring boundary. *)
+  for round = 0 to 20 do
+    Alcotest.(check bool) "push" true (Ddp_core.Spsc_queue.try_push q round);
+    Alcotest.(check (option int)) "pop" (Some round) (Ddp_core.Spsc_queue.try_pop q)
+  done
+
+(* Real two-domain stress: every pushed value arrives exactly once, in
+   order.  This exercises the atomics under true parallel execution. *)
+let spsc_two_domain_stress () =
+  let n = 50_000 in
+  let q = Ddp_core.Spsc_queue.create ~capacity:64 ~dummy:(-1) in
+  let consumer =
+    Domain.spawn (fun () ->
+        let received = ref 0 and ok = ref true in
+        while !received < n do
+          match Ddp_core.Spsc_queue.try_pop q with
+          | Some v ->
+            if v <> !received then ok := false;
+            incr received
+          | None -> Domain.cpu_relax ()
+        done;
+        !ok)
+  in
+  for v = 0 to n - 1 do
+    Ddp_core.Spsc_queue.push_blocking q v
+  done;
+  Alcotest.(check bool) "order and completeness across domains" true (Domain.join consumer)
+
+let test_locked_queue_fifo () =
+  let q = Ddp_core.Locked_queue.create ~capacity:4 ~dummy:(-1) in
+  Alcotest.(check bool) "push" true (Ddp_core.Locked_queue.try_push q 1);
+  Alcotest.(check bool) "push" true (Ddp_core.Locked_queue.try_push q 2);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Ddp_core.Locked_queue.try_pop q);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Ddp_core.Locked_queue.try_pop q);
+  Alcotest.(check (option int)) "empty" None (Ddp_core.Locked_queue.try_pop q)
+
+let test_locked_queue_capacity () =
+  let q = Ddp_core.Locked_queue.create ~capacity:2 ~dummy:(-1) in
+  ignore (Ddp_core.Locked_queue.try_push q 1);
+  ignore (Ddp_core.Locked_queue.try_push q 2);
+  Alcotest.(check bool) "full rejects" false (Ddp_core.Locked_queue.try_push q 3)
+
+(* Property: any interleaving of pushes and pops on one thread behaves
+   like a model FIFO. *)
+let prop_spsc_model =
+  QCheck.Test.make ~name:"spsc behaves like a bounded FIFO" ~count:300
+    QCheck.(list (pair bool (int_range 0 1000)))
+    (fun ops ->
+      let q = Ddp_core.Spsc_queue.create ~capacity:8 ~dummy:(-1) in
+      let model = Queue.create () in
+      List.for_all
+        (fun (is_push, v) ->
+          if is_push then begin
+            let pushed = Ddp_core.Spsc_queue.try_push q v in
+            let model_ok = Queue.length model < 8 in
+            if model_ok then Queue.push v model;
+            pushed = model_ok
+          end
+          else begin
+            let popped = Ddp_core.Spsc_queue.try_pop q in
+            let expected = Queue.take_opt model in
+            popped = expected
+          end)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "spsc fifo" `Quick test_spsc_fifo;
+    Alcotest.test_case "spsc capacity" `Quick test_spsc_capacity;
+    Alcotest.test_case "spsc rounds capacity" `Quick test_spsc_rounds_capacity;
+    Alcotest.test_case "spsc wraparound" `Quick test_spsc_wraparound;
+    Alcotest.test_case "spsc two-domain stress" `Slow spsc_two_domain_stress;
+    Alcotest.test_case "locked queue fifo" `Quick test_locked_queue_fifo;
+    Alcotest.test_case "locked queue capacity" `Quick test_locked_queue_capacity;
+    QCheck_alcotest.to_alcotest prop_spsc_model;
+  ]

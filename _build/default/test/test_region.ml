@@ -1,0 +1,86 @@
+(* Tests for control-region tracking and loop-carried classification
+   support. *)
+
+module Region = Ddp_core.Region
+
+let loc line = Ddp_minir.Loc.make ~file:1 ~line
+
+let test_registry_counts () =
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 5) ~thread:0 ~time:0;
+  Region.on_iter r ~loc:(loc 5) ~thread:0 ~time:1;
+  Region.on_iter r ~loc:(loc 5) ~thread:0 ~time:2;
+  Region.on_exit r ~loc:(loc 5) ~end_loc:(loc 9) ~iterations:2 ~thread:0;
+  Region.on_enter r ~loc:(loc 5) ~thread:0 ~time:10;
+  Region.on_iter r ~loc:(loc 5) ~thread:0 ~time:11;
+  Region.on_exit r ~loc:(loc 5) ~end_loc:(loc 9) ~iterations:1 ~thread:0;
+  match Region.find r (loc 5) with
+  | Some info ->
+    Alcotest.(check int) "entries" 2 info.Region.entries;
+    Alcotest.(check int) "iterations summed" 3 info.Region.iterations;
+    Alcotest.(check int) "end loc" (loc 9) info.Region.end_loc
+  | None -> Alcotest.fail "region not registered"
+
+let test_nested_stack () =
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 1) ~thread:0 ~time:0;
+  Region.on_enter r ~loc:(loc 2) ~thread:0 ~time:1;
+  (match Region.active_stack r ~thread:0 with
+  | [ inner; outer ] ->
+    Alcotest.(check int) "innermost first" (loc 2) inner.Region.a_loc;
+    Alcotest.(check int) "outer second" (loc 1) outer.Region.a_loc
+  | l -> Alcotest.failf "expected 2 active, got %d" (List.length l));
+  Region.on_exit r ~loc:(loc 2) ~end_loc:(loc 3) ~iterations:0 ~thread:0;
+  Alcotest.(check int) "one left" 1 (List.length (Region.active_stack r ~thread:0))
+
+let test_per_thread_stacks () =
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 1) ~thread:1 ~time:0;
+  Region.on_enter r ~loc:(loc 2) ~thread:2 ~time:1;
+  Alcotest.(check int) "thread 1 sees own" 1 (List.length (Region.active_stack r ~thread:1));
+  Alcotest.(check int) "thread 2 sees own" 1 (List.length (Region.active_stack r ~thread:2));
+  Alcotest.(check int) "thread 3 empty" 0 (List.length (Region.active_stack r ~thread:3))
+
+let test_carrying_regions () =
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 1) ~thread:0 ~time:10;
+  Region.on_iter r ~loc:(loc 1) ~thread:0 ~time:10;
+  (* iteration 1: time 10..19; iteration 2 starts at 20 *)
+  Region.on_iter r ~loc:(loc 1) ~thread:0 ~time:20;
+  (* src in iteration 1 -> carried *)
+  Alcotest.(check int) "earlier iteration carries" 1
+    (List.length (Region.carrying_regions r ~thread:0 ~src_time:15));
+  (* src in current iteration -> not carried *)
+  Alcotest.(check int) "current iteration does not carry" 0
+    (List.length (Region.carrying_regions r ~thread:0 ~src_time:25));
+  (* src before the loop started -> not carried *)
+  Alcotest.(check int) "pre-loop source does not carry" 0
+    (List.length (Region.carrying_regions r ~thread:0 ~src_time:5))
+
+let test_mismatched_events_rejected () =
+  let r = Region.create () in
+  Alcotest.check_raises "iter without enter"
+    (Invalid_argument "Region.on_iter: iteration event without matching active region")
+    (fun () -> Region.on_iter r ~loc:(loc 1) ~thread:0 ~time:0);
+  Alcotest.check_raises "exit without enter"
+    (Invalid_argument "Region.on_exit: exit event without matching active region")
+    (fun () -> Region.on_exit r ~loc:(loc 1) ~end_loc:(loc 2) ~iterations:0 ~thread:0)
+
+let test_sorted_list () =
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 9) ~thread:0 ~time:0;
+  Region.on_exit r ~loc:(loc 9) ~end_loc:(loc 10) ~iterations:1 ~thread:0;
+  Region.on_enter r ~loc:(loc 2) ~thread:0 ~time:2;
+  Region.on_exit r ~loc:(loc 2) ~end_loc:(loc 3) ~iterations:1 ~thread:0;
+  let locs = List.map fst (Region.to_sorted_list r) in
+  Alcotest.(check (list int)) "sorted" [ loc 2; loc 9 ] locs
+
+let suite =
+  [
+    Alcotest.test_case "registry counts" `Quick test_registry_counts;
+    Alcotest.test_case "nested stack" `Quick test_nested_stack;
+    Alcotest.test_case "per-thread stacks" `Quick test_per_thread_stacks;
+    Alcotest.test_case "carrying regions" `Quick test_carrying_regions;
+    Alcotest.test_case "mismatched events rejected" `Quick test_mismatched_events_rejected;
+    Alcotest.test_case "sorted list" `Quick test_sorted_list;
+  ]

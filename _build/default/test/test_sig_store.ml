@@ -1,0 +1,128 @@
+(* Tests for the signature store and the perfect signature. *)
+
+let mk_payload line =
+  Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line) ~var:0 ~thread:0
+
+let test_empty_probe () =
+  let s = Ddp_core.Sig_store.create ~slots:64 () in
+  Alcotest.(check int) "empty" 0 (Ddp_core.Sig_store.probe s ~addr:123)
+
+let test_set_probe () =
+  let s = Ddp_core.Sig_store.create ~slots:64 () in
+  let p = mk_payload 5 in
+  Ddp_core.Sig_store.set s ~addr:42 ~payload:p ~time:7;
+  Alcotest.(check int) "payload" p (Ddp_core.Sig_store.probe s ~addr:42);
+  Alcotest.(check int) "time" 7 (Ddp_core.Sig_store.probe_time s ~addr:42);
+  Alcotest.(check int) "occupied" 1 (Ddp_core.Sig_store.occupied s)
+
+let test_overwrite_same_addr () =
+  let s = Ddp_core.Sig_store.create ~slots:64 () in
+  Ddp_core.Sig_store.set s ~addr:1 ~payload:(mk_payload 1) ~time:1;
+  Ddp_core.Sig_store.set s ~addr:1 ~payload:(mk_payload 2) ~time:2;
+  Alcotest.(check int) "latest wins" (mk_payload 2) (Ddp_core.Sig_store.probe s ~addr:1);
+  Alcotest.(check int) "occupancy stable" 1 (Ddp_core.Sig_store.occupied s)
+
+let test_remove () =
+  let s = Ddp_core.Sig_store.create ~slots:64 () in
+  Ddp_core.Sig_store.set s ~addr:9 ~payload:(mk_payload 3) ~time:1;
+  Ddp_core.Sig_store.remove s ~addr:9;
+  Alcotest.(check int) "removed" 0 (Ddp_core.Sig_store.probe s ~addr:9);
+  Alcotest.(check int) "occupancy back" 0 (Ddp_core.Sig_store.occupied s)
+
+let test_collision_overwrites () =
+  (* With one slot, every address collides: the second insert evicts the
+     first — the signature's deliberate approximation. *)
+  let s = Ddp_core.Sig_store.create ~slots:1 () in
+  Ddp_core.Sig_store.set s ~addr:1 ~payload:(mk_payload 1) ~time:1;
+  Ddp_core.Sig_store.set s ~addr:2 ~payload:(mk_payload 2) ~time:2;
+  Alcotest.(check int) "addr 1 now reports addr 2's payload" (mk_payload 2)
+    (Ddp_core.Sig_store.probe s ~addr:1)
+
+let test_clear () =
+  let s = Ddp_core.Sig_store.create ~slots:8 () in
+  Ddp_core.Sig_store.set s ~addr:1 ~payload:(mk_payload 1) ~time:1;
+  Ddp_core.Sig_store.clear s;
+  Alcotest.(check int) "cleared" 0 (Ddp_core.Sig_store.probe s ~addr:1);
+  Alcotest.(check int) "occupancy zero" 0 (Ddp_core.Sig_store.occupied s)
+
+let test_accounting () =
+  let acct = Ddp_util.Mem_account.create () in
+  let s = Ddp_core.Sig_store.create ~account:(acct, "sig") ~slots:1000 () in
+  Alcotest.(check int) "charged" (1000 * Ddp_core.Sig_store.bytes_per_slot)
+    (Ddp_util.Mem_account.current acct "sig");
+  Ddp_core.Sig_store.release s;
+  Alcotest.(check int) "released" 0 (Ddp_util.Mem_account.current acct "sig")
+
+let test_invalid_size () =
+  Alcotest.check_raises "zero slots" (Invalid_argument "Sig_store.create: slots must be positive")
+    (fun () -> ignore (Ddp_core.Sig_store.create ~slots:0 ()))
+
+(* Property: with a table far larger than the address set, the signature
+   behaves exactly (no false answers) as long as no two addresses share a
+   slot — verified against a model map. *)
+let prop_exact_when_no_collisions =
+  QCheck.Test.make ~name:"signature exact modulo collisions" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (pair (int_range 0 10_000) (int_range 1 1000)))
+    (fun ops ->
+      let s = Ddp_core.Sig_store.create ~slots:65536 () in
+      let model = Hashtbl.create 16 in
+      let slot_owner = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iteri
+        (fun i (addr, line) ->
+          let payload = mk_payload line in
+          let slot = Ddp_core.Sig_store.index s addr in
+          let collided =
+            match Hashtbl.find_opt slot_owner slot with
+            | Some owner -> owner <> addr
+            | None -> false
+          in
+          Hashtbl.replace slot_owner slot addr;
+          Ddp_core.Sig_store.set s ~addr ~payload ~time:i;
+          Hashtbl.replace model addr payload;
+          if not collided then begin
+            let expected = Hashtbl.find model addr in
+            if Ddp_core.Sig_store.probe s ~addr <> expected then ok := false
+          end)
+        ops;
+      !ok)
+
+(* Property: perfect signature is a faithful map whatever the collisions. *)
+let prop_perfect_is_exact =
+  QCheck.Test.make ~name:"perfect signature faithful" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 80) (pair (int_range 0 50) (int_range 1 1000)))
+    (fun ops ->
+      let s = Ddp_core.Perfect_sig.create () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i (addr, line) ->
+          let payload = mk_payload line in
+          Ddp_core.Perfect_sig.set s ~addr ~payload ~time:i;
+          Hashtbl.replace model addr payload)
+        ops;
+      Hashtbl.fold
+        (fun addr payload acc -> acc && Ddp_core.Perfect_sig.probe s ~addr = payload)
+        model true)
+
+let test_perfect_remove () =
+  let s = Ddp_core.Perfect_sig.create () in
+  Ddp_core.Perfect_sig.set s ~addr:5 ~payload:(mk_payload 1) ~time:0;
+  Alcotest.(check int) "entries" 1 (Ddp_core.Perfect_sig.entries s);
+  Ddp_core.Perfect_sig.remove s ~addr:5;
+  Alcotest.(check int) "gone" 0 (Ddp_core.Perfect_sig.probe s ~addr:5);
+  Alcotest.(check int) "entries 0" 0 (Ddp_core.Perfect_sig.entries s)
+
+let suite =
+  [
+    Alcotest.test_case "empty probe" `Quick test_empty_probe;
+    Alcotest.test_case "set/probe" `Quick test_set_probe;
+    Alcotest.test_case "overwrite same addr" `Quick test_overwrite_same_addr;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "collision overwrites" `Quick test_collision_overwrites;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "accounting" `Quick test_accounting;
+    Alcotest.test_case "invalid size" `Quick test_invalid_size;
+    Alcotest.test_case "perfect remove" `Quick test_perfect_remove;
+    QCheck_alcotest.to_alcotest prop_exact_when_no_collisions;
+    QCheck_alcotest.to_alcotest prop_perfect_is_exact;
+  ]

@@ -1,0 +1,92 @@
+(* Tests for trace recording and replay. *)
+
+module B = Ddp_minir.Builder
+module TF = Ddp_minir.Trace_file
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("ddp_test_" ^ name)
+
+let sample_prog () =
+  B.program ~name:"rec"
+    ~funcs:[ B.proc "inc" [ "k" ] [ B.store "a" (B.v "k") B.(idx "a" (v "k") +: i 1) ] ]
+    [
+      B.arr "a" (B.i 8);
+      B.for_ "i" (B.i 0) (B.i 8) (fun iv -> [ B.store "a" iv iv ]);
+      B.for_ "j" (B.i 0) (B.i 8) (fun jv -> [ B.call_proc "inc" [ jv ] ]);
+      B.local "s" (B.idx "a" (B.i 3));
+    ]
+
+let test_roundtrip_events () =
+  let path = tmp "roundtrip.trace" in
+  TF.record ~path (sample_prog ());
+  let live, _ = Ddp_minir.Interp.trace (sample_prog ()) in
+  let loaded, _ = TF.load ~path in
+  Alcotest.(check int) "same length" (List.length live) (List.length loaded);
+  Alcotest.(check bool) "identical events" true (live = loaded);
+  Sys.remove path
+
+let test_roundtrip_symtab () =
+  let path = tmp "symtab.trace" in
+  TF.record ~path (sample_prog ());
+  let _, symtab = TF.load ~path in
+  Alcotest.(check bool) "var names recovered" true
+    (Ddp_util.Intern.mem symtab.Ddp_minir.Symtab.vars "a"
+    && Ddp_util.Intern.mem symtab.Ddp_minir.Symtab.vars "inc");
+  Alcotest.(check string) "file name recovered" "rec"
+    (Ddp_minir.Symtab.file_name symtab 1);
+  Sys.remove path
+
+let test_replay_into_profiler_matches_live () =
+  let path = tmp "replay.trace" in
+  TF.record ~path (sample_prog ());
+  let events, _ = TF.load ~path in
+  let live = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect (sample_prog ()) in
+  let replayed = Ddp_core.Serial_profiler.create_perfect Ddp_core.Config.default in
+  Ddp_minir.Event.replay replayed.Ddp_core.Serial_profiler.hooks events;
+  Alcotest.(check bool) "same dependences from trace replay" true
+    (Ddp_core.Dep_store.Key_set.equal
+       (Ddp_core.Dep_store.key_set live.deps)
+       (Ddp_core.Dep_store.key_set replayed.Ddp_core.Serial_profiler.deps));
+  Sys.remove path
+
+let test_load_errors () =
+  let path = tmp "bad.trace" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "not a trace\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad magic accepted");
+  write "ddp-trace 1\nZ 1 2 3\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "bad tag accepted");
+  write "ddp-trace 1\nR 1 2\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "short line accepted");
+  Sys.remove path
+
+let test_escaped_names () =
+  (* Variable names with spaces/backslashes survive the symtab encoding.
+     MiniIR names are free-form strings, so the escaping must hold. *)
+  let prog =
+    B.program ~name:"odd name \\ here" [ B.local "x y\\z" (B.i 1); B.assert_ B.(v "x y\\z" =: i 1) ]
+  in
+  let path = tmp "escape.trace" in
+  TF.record ~path prog;
+  let _, symtab = TF.load ~path in
+  Alcotest.(check bool) "escaped var recovered" true
+    (Ddp_util.Intern.mem symtab.Ddp_minir.Symtab.vars "x y\\z");
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip events" `Quick test_roundtrip_events;
+    Alcotest.test_case "roundtrip symtab" `Quick test_roundtrip_symtab;
+    Alcotest.test_case "replay into profiler" `Quick test_replay_into_profiler_matches_live;
+    Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "escaped names" `Quick test_escaped_names;
+  ]

@@ -1,0 +1,156 @@
+(* Tests for Ddp_util: interner, RNG, statistics, matrices, accounting. *)
+
+open Ddp_util
+
+let test_intern_roundtrip () =
+  let t = Intern.create () in
+  let a = Intern.intern t "alpha" in
+  let b = Intern.intern t "beta" in
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check int) "stable id" a (Intern.intern t "alpha");
+  Alcotest.(check string) "name back" "alpha" (Intern.name t a);
+  Alcotest.(check string) "name back 2" "beta" (Intern.name t b);
+  Alcotest.(check int) "size" 2 (Intern.size t)
+
+let test_intern_dense_ids () =
+  let t = Intern.create ~capacity:2 () in
+  for i = 0 to 99 do
+    let id = Intern.intern t (Printf.sprintf "v%d" i) in
+    Alcotest.(check int) "dense" i id
+  done;
+  Alcotest.(check int) "size" 100 (Intern.size t)
+
+let test_intern_find_opt () =
+  let t = Intern.create () in
+  Alcotest.(check (option int)) "absent" None (Intern.find_opt t "x");
+  let id = Intern.intern t "x" in
+  Alcotest.(check (option int)) "present" (Some id) (Intern.find_opt t "x")
+
+let test_intern_bad_id () =
+  let t = Intern.create () in
+  Alcotest.check_raises "out of range" (Invalid_argument "Intern.name: id out of range")
+    (fun () -> ignore (Intern.name t 0))
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is permutation" (Array.init 50 Fun.id) sorted
+
+let test_stats_basics () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean a);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.percentile a 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 4.0 (Stats.percentile a 100.0);
+  Alcotest.(check (float 1e-9)) "p50" 2.5 (Stats.percentile a 50.0);
+  let lo, hi = Stats.min_max a in
+  Alcotest.(check (float 1e-9)) "min" 1.0 lo;
+  Alcotest.(check (float 1e-9)) "max" 4.0 hi
+
+let test_stats_imbalance () =
+  Alcotest.(check (float 1e-9)) "even" 1.0 (Stats.imbalance [| 2.0; 2.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "skewed" 2.0 (Stats.imbalance [| 0.0; 2.0; 1.0 |])
+
+let test_matrix_ops () =
+  let m = Matrix.create ~rows:3 ~cols:2 in
+  Matrix.set m 0 0 1.0;
+  Matrix.add m 0 0 2.0;
+  Matrix.add m 2 1 5.0;
+  Alcotest.(check (float 1e-9)) "get" 3.0 (Matrix.get m 0 0);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Matrix.max_value m);
+  let n = Matrix.normalize m in
+  Alcotest.(check (float 1e-9)) "normalized" 0.6 (Matrix.get n 0 0);
+  Alcotest.check_raises "bounds" (Invalid_argument "Matrix: index out of range") (fun () ->
+      ignore (Matrix.get m 3 0))
+
+let test_matrix_shades () =
+  Alcotest.(check char) "zero" ' ' (Matrix.shade_of_intensity 0.0);
+  Alcotest.(check char) "one" '@' (Matrix.shade_of_intensity 1.0);
+  Alcotest.(check char) "clamped hi" '@' (Matrix.shade_of_intensity 3.0);
+  Alcotest.(check char) "clamped lo" ' ' (Matrix.shade_of_intensity (-1.0))
+
+let test_matrix_frobenius () =
+  let a = Matrix.create ~rows:2 ~cols:2 and b = Matrix.create ~rows:2 ~cols:2 in
+  Matrix.set a 0 0 3.0;
+  Matrix.set b 0 0 0.0;
+  Alcotest.(check (float 1e-9)) "distance" 3.0 (Matrix.frobenius_distance a b)
+
+let test_mem_account () =
+  let t = Mem_account.create () in
+  Mem_account.add t "sig" 100;
+  Mem_account.add t "sig" 50;
+  Mem_account.sub t "sig" 120;
+  Mem_account.add t "deps" 10;
+  Alcotest.(check int) "current" 30 (Mem_account.current t "sig");
+  Alcotest.(check int) "peak" 150 (Mem_account.peak t "sig");
+  Alcotest.(check int) "total current" 40 (Mem_account.total_current t);
+  Alcotest.(check int) "total peak" 160 (Mem_account.total_peak t);
+  Alcotest.(check int) "unknown" 0 (Mem_account.current t "nope")
+
+let test_mem_account_concurrent () =
+  let t = Mem_account.create () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Mem_account.add t "x" 1
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "atomic adds" 4000 (Mem_account.current t "x");
+  Alcotest.(check int) "peak = current" 4000 (Mem_account.peak t "x")
+
+(* Property: Rng.int is always within bounds. *)
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng int within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let x = Rng.int rng bound in
+      x >= 0 && x < bound)
+
+(* Property: percentile is bounded by min/max. *)
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min/max" ~count:300
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (float_bound_inclusive 100.0)) (float_bound_inclusive 100.0))
+    (fun (l, p) ->
+      let a = Array.of_list l in
+      let v = Stats.percentile a p in
+      let lo, hi = Stats.min_max a in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "intern roundtrip" `Quick test_intern_roundtrip;
+    Alcotest.test_case "intern dense ids" `Quick test_intern_dense_ids;
+    Alcotest.test_case "intern find_opt" `Quick test_intern_find_opt;
+    Alcotest.test_case "intern bad id" `Quick test_intern_bad_id;
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "stats basics" `Quick test_stats_basics;
+    Alcotest.test_case "stats imbalance" `Quick test_stats_imbalance;
+    Alcotest.test_case "matrix ops" `Quick test_matrix_ops;
+    Alcotest.test_case "matrix shades" `Quick test_matrix_shades;
+    Alcotest.test_case "matrix frobenius" `Quick test_matrix_frobenius;
+    Alcotest.test_case "mem account" `Quick test_mem_account;
+    Alcotest.test_case "mem account concurrent" `Quick test_mem_account_concurrent;
+    QCheck_alcotest.to_alcotest prop_rng_bounds;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+  ]

@@ -1,0 +1,88 @@
+(* Tests for MiniIR values: promotion rules, comparisons, error cases. *)
+
+open Ddp_minir
+
+let vi n = Value.I n
+let vf x = Value.F x
+
+let check_int msg expected v =
+  match v with
+  | Value.I n -> Alcotest.(check int) msg expected n
+  | Value.F _ -> Alcotest.fail (msg ^ ": expected int result")
+
+let check_float msg expected v =
+  match v with
+  | Value.F x -> Alcotest.(check (float 1e-9)) msg expected x
+  | Value.I _ -> Alcotest.fail (msg ^ ": expected float result")
+
+let test_int_arith () =
+  check_int "add" 7 (Value.binop Value.Add (vi 3) (vi 4));
+  check_int "sub" (-1) (Value.binop Value.Sub (vi 3) (vi 4));
+  check_int "mul" 12 (Value.binop Value.Mul (vi 3) (vi 4));
+  check_int "div" 2 (Value.binop Value.Div (vi 9) (vi 4));
+  check_int "mod" 1 (Value.binop Value.Mod (vi 9) (vi 4))
+
+let test_float_promotion () =
+  check_float "int+float" 4.5 (Value.binop Value.Add (vi 3) (vf 1.5));
+  check_float "float+int" 4.5 (Value.binop Value.Add (vf 1.5) (vi 3));
+  check_float "float div" 2.25 (Value.binop Value.Div (vf 9.0) (vi 4))
+
+let test_bitwise () =
+  check_int "and" 0b100 (Value.binop Value.Band (vi 0b110) (vi 0b101));
+  check_int "or" 0b111 (Value.binop Value.Bor (vi 0b110) (vi 0b101));
+  check_int "xor" 0b011 (Value.binop Value.Bxor (vi 0b110) (vi 0b101));
+  check_int "shl" 24 (Value.binop Value.Shl (vi 3) (vi 3));
+  check_int "shr" 3 (Value.binop Value.Shr (vi 24) (vi 3));
+  check_int "bnot" (-1) (Value.unop Value.Bnot (vi 0))
+
+let test_comparisons () =
+  check_int "lt true" 1 (Value.binop Value.Lt (vi 1) (vi 2));
+  check_int "lt false" 0 (Value.binop Value.Lt (vi 2) (vi 1));
+  check_int "mixed le" 1 (Value.binop Value.Le (vi 1) (vf 1.0));
+  check_int "eq mixed" 1 (Value.binop Value.Eq (vi 1) (vf 1.0));
+  check_int "ne" 1 (Value.binop Value.Ne (vi 1) (vi 2))
+
+let test_min_max () =
+  check_int "min int" 1 (Value.binop Value.Min (vi 1) (vi 2));
+  check_int "max int" 2 (Value.binop Value.Max (vi 1) (vi 2));
+  check_float "min mixed" 1.0 (Value.binop Value.Min (vi 1) (vf 2.0))
+
+let test_unops () =
+  check_int "neg" (-3) (Value.unop Value.Neg (vi 3));
+  check_float "neg float" (-3.5) (Value.unop Value.Neg (vf 3.5));
+  check_int "not of zero" 1 (Value.unop Value.Not (vi 0));
+  check_int "not of nonzero" 0 (Value.unop Value.Not (vi 42))
+
+let test_errors () =
+  Alcotest.check_raises "div by zero" (Invalid_argument "Value: division by zero") (fun () ->
+      ignore (Value.binop Value.Div (vi 1) (vi 0)));
+  Alcotest.check_raises "float bitand"
+    (Invalid_argument "Value: operator land requires integer operands") (fun () ->
+      ignore (Value.binop Value.Band (vf 1.0) (vi 1)))
+
+let test_truth () =
+  Alcotest.(check bool) "zero false" false (Value.truth (vi 0));
+  Alcotest.(check bool) "nonzero true" true (Value.truth (vi (-2)));
+  Alcotest.(check bool) "0.0 false" false (Value.truth (vf 0.0))
+
+(* Property: integer Add/Sub/Mul agree with OCaml's ints. *)
+let prop_int_ops =
+  QCheck.Test.make ~name:"int arith agrees with ocaml" ~count:500
+    QCheck.(pair (int_range (-10000) 10000) (int_range (-10000) 10000))
+    (fun (a, b) ->
+      Value.binop Value.Add (vi a) (vi b) = vi (a + b)
+      && Value.binop Value.Sub (vi a) (vi b) = vi (a - b)
+      && Value.binop Value.Mul (vi a) (vi b) = vi (a * b))
+
+let suite =
+  [
+    Alcotest.test_case "int arithmetic" `Quick test_int_arith;
+    Alcotest.test_case "float promotion" `Quick test_float_promotion;
+    Alcotest.test_case "bitwise" `Quick test_bitwise;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "unops" `Quick test_unops;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "truthiness" `Quick test_truth;
+    QCheck_alcotest.to_alcotest prop_int_ops;
+  ]

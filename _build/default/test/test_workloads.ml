@@ -1,0 +1,110 @@
+(* Integration tests over the workload suite: every kernel runs under
+   every relevant profiling mode without runtime errors, ground-truth
+   annotations are consistent, and the suite covers the dependence
+   phenomena the paper's evaluation relies on. *)
+
+let all_names = Ddp_workloads.Registry.names
+
+let test_registry_complete () =
+  Alcotest.(check int) "8 NAS" 8 (List.length Ddp_workloads.Registry.nas);
+  Alcotest.(check int) "11 Starbench" 11 (List.length Ddp_workloads.Registry.starbench);
+  Alcotest.(check bool) "water-spatial present" true
+    (List.mem "water-spatial" all_names)
+
+let test_find_unknown () =
+  match Ddp_workloads.Registry.find "nope" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* Every sequential workload runs and produces a sane event stream. *)
+let seq_run_cases =
+  List.map
+    (fun (w : Ddp_workloads.Wl.t) ->
+      Alcotest.test_case ("seq runs: " ^ w.name) `Quick (fun () ->
+          let stats = Ddp_minir.Interp.run (w.seq ~scale:1) in
+          Alcotest.(check bool) "accesses > 10k" true (stats.accesses > 10_000);
+          Alcotest.(check bool) "addresses > 0" true (stats.addresses > 0);
+          Alcotest.(check bool) "reads and writes both occur" true
+            (stats.reads > 0 && stats.writes > 0)))
+    Ddp_workloads.Registry.all
+
+(* Every pthread-style variant runs with 2 and 4 threads and uses more
+   than one thread id. *)
+let par_run_cases =
+  List.filter_map
+    (fun (w : Ddp_workloads.Wl.t) ->
+      Option.map
+        (fun par ->
+          Alcotest.test_case ("par runs: " ^ w.name) `Quick (fun () ->
+              List.iter
+                (fun threads ->
+                  let prog = par ~threads ~scale:1 in
+                  Alcotest.(check bool) "declares threads" true
+                    (Ddp_minir.Ast.max_threads prog > threads);
+                  let stats = Ddp_minir.Interp.run prog in
+                  Alcotest.(check bool) "runs" true (stats.accesses > 0))
+                [ 2; 4 ]))
+        w.par)
+    Ddp_workloads.Registry.all
+
+(* Profiling determinism: profiling the same workload twice gives the
+   same dependence set. *)
+let test_profiling_deterministic () =
+  let w = Ddp_workloads.Registry.find "is" in
+  let o1 = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (w.seq ~scale:1) in
+  let o2 = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (w.seq ~scale:1) in
+  Alcotest.(check bool) "same deps" true
+    (Ddp_core.Dep_store.Key_set.equal
+       (Ddp_core.Dep_store.key_set o1.deps)
+       (Ddp_core.Dep_store.key_set o2.deps))
+
+(* The ground-truth annotations must be self-consistent: every loop the
+   perfect-signature analysis identifies as parallelizable-and-annotated
+   must indeed have no carried RAW. *)
+let annotation_cases =
+  List.map
+    (fun (w : Ddp_workloads.Wl.t) ->
+      Alcotest.test_case ("annotations: " ^ w.name) `Slow (fun () ->
+          let s = Ddp_analyses.Loop_parallelism.analyze ~perfect:true (w.seq ~scale:1) in
+          Alcotest.(check bool) "has annotated loops" true (s.annotated_total > 0);
+          List.iter
+            (fun (l : Ddp_analyses.Loop_parallelism.loop_result) ->
+              if l.parallelizable then
+                Alcotest.(check (list (of_pp (fun _ _ -> ()))))
+                  "parallelizable implies no offenders" [] l.carried_raw)
+            s.loops))
+    Ddp_workloads.Registry.nas
+
+(* Scale knob actually scales. *)
+let test_scale_monotonic () =
+  let w = Ddp_workloads.Registry.find "rotate" in
+  let s1 = Ddp_minir.Interp.run (w.seq ~scale:1) in
+  let s2 = Ddp_minir.Interp.run (w.seq ~scale:2) in
+  Alcotest.(check bool) "scale 2 > scale 1" true (s2.accesses > s1.accesses)
+
+(* Table-I-relevant spread: the suite must contain both large-footprint
+   (rgbyuv-class) and tiny-footprint (streamcluster-class) kernels. *)
+let test_footprint_spread () =
+  let addresses name =
+    (Ddp_minir.Interp.run ((Ddp_workloads.Registry.find name).seq ~scale:1)).addresses
+  in
+  Alcotest.(check bool) "rgbyuv large" true (addresses "rgbyuv" > 100_000);
+  Alcotest.(check bool) "streamcluster small" true (addresses "streamcluster" < 5_000)
+
+(* md5-class skew: one address (the state scalars) accessed very many
+   times relative to the footprint — the load-balancing stressor. *)
+let test_md5_skew () =
+  let stats = Ddp_minir.Interp.run ((Ddp_workloads.Registry.find "md5").seq ~scale:1) in
+  Alcotest.(check bool) "accesses >> addresses" true
+    (stats.accesses > 50 * stats.addresses)
+
+let suite =
+  [
+    Alcotest.test_case "registry complete" `Quick test_registry_complete;
+    Alcotest.test_case "find unknown" `Quick test_find_unknown;
+    Alcotest.test_case "profiling deterministic" `Quick test_profiling_deterministic;
+    Alcotest.test_case "scale monotonic" `Quick test_scale_monotonic;
+    Alcotest.test_case "footprint spread" `Quick test_footprint_spread;
+    Alcotest.test_case "md5 skew" `Quick test_md5_skew;
+  ]
+  @ seq_run_cases @ par_run_cases @ annotation_cases
