@@ -1,0 +1,32 @@
+# Convenience targets; `make check` is the tier-1 gate CI runs.
+
+DDPROF = dune exec --no-print-directory bin/ddprof.exe --
+MODES  = serial perfect parallel mt shadow hashtable
+
+.PHONY: all build check test smoke bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check:
+	dune build && dune runtest
+
+# One workload through every registered CLI engine: proves the whole
+# Engine/Source/Sink stack end to end, not just the unit suites.
+smoke: build
+	$(DDPROF) list-modes
+	@for mode in $(MODES); do \
+	  echo "== kmeans --mode $$mode =="; \
+	  $(DDPROF) run kmeans --mode $$mode || exit 1; \
+	done
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -19,6 +19,10 @@ module Wl = Ddp_workloads.Wl
 
 let fprintf = Printf.printf
 
+(* Baseline engines register themselves on load; the explicit call forces
+   linkage so "shadow"/"hashtable"/"stride" resolve in the registry. *)
+let () = Ddp_baselines.Baseline_engines.register ()
+
 let bench_config =
   {
     Config.default with
@@ -49,47 +53,70 @@ let table1_slot_sizes = [ 1 lsl 12; 1 lsl 15; 1 lsl 19 ]
 let table1 () =
   H.header
     "Table I: false positive / false negative rates of profiled dependences (Starbench)";
-  fprintf "%-14s %5s %9s %10s %6s" "program" "LOC" "#addr" "#accesses" "#deps";
+  (* Every approximate engine in the registry is measured against the
+     exact "perfect" oracle: adding an engine adds rows, not wiring. *)
+  let engines =
+    List.filter (fun (e : Ddp_core.Engine.t) -> not e.exact) (Ddp_core.Engine.all ())
+  in
+  fprintf "%-16s %5s %9s %10s %6s" "program/engine" "LOC" "#addr" "#accesses" "#deps";
   List.iter
     (fun slots -> fprintf " | m=2^%-2d FPR%%  FNR%%" (int_of_float (log (float_of_int slots) /. log 2.0)))
     table1_slot_sizes;
   fprintf "\n";
-  let sums = Array.make (2 * List.length table1_slot_sizes) 0.0 in
+  let sums = Hashtbl.create 8 in
+  let sums_of (e : Ddp_core.Engine.t) =
+    match Hashtbl.find_opt sums e.name with
+    | Some a -> a
+    | None ->
+      let a = Array.make (2 * List.length table1_slot_sizes) 0.0 in
+      Hashtbl.add sums e.name a;
+      a
+  in
   let count = ref 0 in
   List.iter
     (fun name ->
       let perfect =
-        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config:bench_config
-          (seq_prog name ())
+        Ddp_core.Profiler.profile ~mode:"perfect" ~config:bench_config (seq_prog name ())
       in
-      fprintf "%-14s %5d %9d %10d %6d" name perfect.run_stats.lines perfect.run_stats.addresses
-        perfect.run_stats.accesses
+      fprintf "%-16s %5d %9d %10d %6d\n" name perfect.run_stats.lines
+        perfect.run_stats.addresses perfect.run_stats.accesses
         (Ddp_core.Dep_store.distinct perfect.deps);
       incr count;
-      List.iteri
-        (fun i slots ->
-          let o =
-            Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
-              ~config:{ bench_config with slots }
-              (seq_prog name ())
-          in
-          let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
-          sums.(2 * i) <- sums.(2 * i) +. acc.fpr;
-          sums.((2 * i) + 1) <- sums.((2 * i) + 1) +. acc.fnr;
-          fprintf " | %11.2f %5.2f" (100.0 *. acc.fpr) (100.0 *. acc.fnr))
-        table1_slot_sizes;
-      fprintf "\n%!")
+      List.iter
+        (fun (engine : Ddp_core.Engine.t) ->
+          let a = sums_of engine in
+          fprintf "  %-14s %5s %9s %10s %6s" engine.name "" "" "" "";
+          List.iteri
+            (fun i slots ->
+              let o =
+                Ddp_core.Profiler.profile ~mode:engine.name
+                  ~config:{ bench_config with slots }
+                  (seq_prog name ())
+              in
+              let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
+              a.(2 * i) <- a.(2 * i) +. acc.fpr;
+              a.((2 * i) + 1) <- a.((2 * i) + 1) +. acc.fnr;
+              fprintf " | %11.2f %5.2f" (100.0 *. acc.fpr) (100.0 *. acc.fnr))
+            table1_slot_sizes;
+          fprintf "\n%!")
+        engines)
     star_names;
-  fprintf "%-14s %5s %9s %10s %6s" "average" "" "" "" "";
-  List.iteri
-    (fun i _ ->
-      fprintf " | %11.2f %5.2f"
-        (100.0 *. sums.(2 * i) /. float_of_int !count)
-        (100.0 *. sums.((2 * i) + 1) /. float_of_int !count))
-    table1_slot_sizes;
-  fprintf "\n";
+  List.iter
+    (fun (engine : Ddp_core.Engine.t) ->
+      let a = sums_of engine in
+      fprintf "%-16s %5s %9s %10s %6s" ("avg:" ^ engine.name) "" "" "" "";
+      List.iteri
+        (fun i _ ->
+          fprintf " | %11.2f %5.2f"
+            (100.0 *. a.(2 * i) /. float_of_int !count)
+            (100.0 *. a.((2 * i) + 1) /. float_of_int !count))
+        table1_slot_sizes;
+      fprintf "\n")
+    engines;
   fprintf
-    "shape check (paper: 24.5/5.4 -> 4.7/0.7 -> 0.35/0.04): rates fall steeply with slots.\n"
+    "shape check (paper: 24.5/5.4 -> 4.7/0.7 -> 0.35/0.04): signature-engine rates fall\n\
+     steeply with slots; mt/parallel must match serial (same stores behind other\n\
+     plumbing); stride is slot-independent (range compression, not hashing).\n"
 
 (* ==== Fig. 5 + Fig. 7: sequential slowdown and memory =================== *)
 
@@ -397,7 +424,7 @@ let table2 () =
 let fig9 () =
   H.header "Fig. 9: communication pattern of water-spatial (4 worker threads)";
   let prog = Ddp_workloads.Water_spatial.par ~threads:4 ~scale:2 in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true prog in
   let m = Ddp_analyses.Comm_pattern.workers_only (Ddp_analyses.Comm_pattern.of_deps outcome.deps) in
   print_string (Ddp_analyses.Comm_pattern.render m);
   let total = Ddp_analyses.Comm_pattern.total_volume m in
@@ -423,16 +450,14 @@ let eq2 () =
       let prog_fn = seq_prog name in
       let native = H.run_native prog_fn in
       let perfect =
-        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config:bench_config
-          (prog_fn ())
+        Ddp_core.Profiler.profile ~mode:"perfect" ~config:bench_config (prog_fn ())
       in
       fprintf "%s (%d addresses):\n" name native.H.addresses;
       List.iter
         (fun slots ->
           let predicted = Ddp_core.Fpr_model.p_fp ~slots ~addresses:native.H.addresses in
           let o =
-            Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
-              ~config:{ bench_config with slots }
+            Ddp_core.Profiler.profile ~mode:"serial" ~config:{ bench_config with slots }
               (prog_fn ())
           in
           let acc = Ddp_core.Accuracy.compare_stores ~profiled:o.deps ~perfect:perfect.deps in
@@ -453,8 +478,7 @@ let merge () =
   List.iter
     (fun name ->
       let o =
-        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config:bench_config
-          (seq_prog name ())
+        Ddp_core.Profiler.profile ~mode:"serial" ~config:bench_config (seq_prog name ())
       in
       (* ~40 bytes per textual dependence record, the paper's 6.1 GB -> 53 KB
          comparison in miniature *)
@@ -470,60 +494,49 @@ let merge () =
 
 let ablate_baselines () =
   H.header "Ablation: signature vs hash table vs shadow memory (paper Sec. III-B)";
-  (* The comparison is made on a pre-recorded access trace (flat int
-     arrays), so the measured time is purely the store's: this mirrors
+  (* The comparison is made on a synthetic access stream (flat int
+     arrays), so the measured time is purely the engine's: this mirrors
      the paper's setting, where instrumentation is cheap native code and
-     the access-record bookkeeping dominates. *)
+     the access-record bookkeeping dominates.  Every store-style engine
+     in the registry gets a row ("parallel"/"mt" are pipeline plumbing
+     around the serial store, not stores, so they are skipped); the same
+     Source feeds each one. *)
   let n = 3_000_000 in
   let distinct = 200_000 in
   let rng = Ddp_util.Rng.create 17 in
   let addrs = Array.init n (fun _ -> Ddp_util.Rng.int rng distinct) in
   let is_write = Array.init n (fun _ -> Ddp_util.Rng.bool rng) in
-  let payload = Ddp_core.Payload.pack ~loc:(Ddp_minir.Loc.make ~file:1 ~line:1) ~var:0 ~thread:0 in
-  let replay (type a) (module A : Ddp_core.Algo.S with type t = a) (algo : a) =
-    let t0 = Ddp_util.Clock.now () in
-    for i = 0 to n - 1 do
-      if is_write.(i) then A.on_write algo ~addr:addrs.(i) ~payload ~time:i
-      else A.on_read algo ~addr:addrs.(i) ~payload ~time:i
-    done;
-    Ddp_util.Clock.now () -. t0
+  let loc = Ddp_minir.Loc.make ~file:1 ~line:1 in
+  let source =
+    Ddp_core.Source.of_fn ~name:"synthetic-trace" (fun hooks ->
+        for i = 0 to n - 1 do
+          if is_write.(i) then
+            hooks.Ddp_minir.Event.on_write ~addr:addrs.(i) ~loc ~var:0 ~thread:0 ~time:i
+              ~locked:false
+          else
+            hooks.Ddp_minir.Event.on_read ~addr:addrs.(i) ~loc ~var:0 ~thread:0 ~time:i
+              ~locked:false
+        done;
+        n)
   in
-  (* signature *)
-  let deps = Ddp_core.Dep_store.create () in
-  let sig_r = Ddp_core.Sig_store.create ~slots:bench_config.Config.slots () in
-  let sig_w = Ddp_core.Sig_store.create ~slots:bench_config.Config.slots () in
-  let algo_sig = Ddp_core.Algo.Over_signature.create ~reads:sig_r ~writes:sig_w ~deps () in
-  let t_sig = replay (module Ddp_core.Algo.Over_signature) algo_sig in
-  let m_sig = Ddp_core.Sig_store.bytes sig_r + Ddp_core.Sig_store.bytes sig_w in
-  (* chained hash table *)
-  let deps2 = Ddp_core.Dep_store.create () in
-  let h_r = Ddp_baselines.Hash_profiler.create () in
-  let h_w = Ddp_baselines.Hash_profiler.create () in
-  let algo_h = Ddp_baselines.Hash_profiler.Algo.create ~reads:h_r ~writes:h_w ~deps:deps2 () in
-  let t_hash = replay (module Ddp_baselines.Hash_profiler.Algo) algo_h in
-  let m_hash = Ddp_baselines.Hash_profiler.bytes h_r + Ddp_baselines.Hash_profiler.bytes h_w in
-  (* paged shadow *)
-  let deps3 = Ddp_core.Dep_store.create () in
-  let p_r = Ddp_baselines.Shadow_memory.Paged.create () in
-  let p_w = Ddp_baselines.Shadow_memory.Paged.create () in
-  let algo_p =
-    Ddp_baselines.Shadow_memory.Algo_paged.create ~reads:p_r ~writes:p_w ~deps:deps3 ()
-  in
-  let t_paged = replay (module Ddp_baselines.Shadow_memory.Algo_paged) algo_p in
-  let m_paged =
-    Ddp_baselines.Shadow_memory.Paged.bytes p_r + Ddp_baselines.Shadow_memory.Paged.bytes p_w
+  let engines =
+    List.filter
+      (fun (e : Ddp_core.Engine.t) -> e.name <> "parallel" && e.name <> "mt")
+      (Ddp_core.Engine.all ())
   in
   fprintf "trace: %d accesses over %d distinct addresses\n" n distinct;
-  fprintf "%-22s %10s %12s %12s\n" "store" "time(s)" "ns/access" "memory(MiB)";
-  fprintf "%-22s %10.3f %12.1f %12.2f\n" "signature" t_sig
-    (1e9 *. t_sig /. float_of_int n)
-    (H.mib m_sig);
-  fprintf "%-22s %10.3f %12.1f %12.2f   (%.2fx vs signature)\n" "chained hash table" t_hash
-    (1e9 *. t_hash /. float_of_int n)
-    (H.mib m_hash) (t_hash /. t_sig);
-  fprintf "%-22s %10.3f %12.1f %12.2f   (%.2fx vs signature)\n" "paged shadow memory" t_paged
-    (1e9 *. t_paged /. float_of_int n)
-    (H.mib m_paged) (t_paged /. t_sig);
+  fprintf "%-22s %10s %12s %12s\n" "engine" "time(s)" "ns/access" "memory(MiB)";
+  let t_sig = ref 0.0 in
+  List.iter
+    (fun (engine : Ddp_core.Engine.t) ->
+      let o = Ddp_core.Profiler.run ~mode:engine.name ~config:bench_config source in
+      if engine.name = "serial" then t_sig := o.elapsed;
+      fprintf "%-22s %10.3f %12.1f %12.2f%s\n" engine.name o.elapsed
+        (1e9 *. o.elapsed /. float_of_int n)
+        (H.mib o.store_bytes)
+        (if engine.name = "serial" || !t_sig = 0.0 then ""
+         else Printf.sprintf "   (%.2fx vs signature)" (o.elapsed /. !t_sig)))
+    engines;
   (* flat shadow under realistic (sparse) pointer spread *)
   (* Flat shadow memory pays for the whole address range.  Under a
      realistic 4096x pointer spread the table for this trace would need
@@ -559,7 +572,7 @@ let ablate_war () =
   List.iter
     (fun name ->
       let war_count config =
-        let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (seq_prog name ()) in
+        let o = Ddp_core.Profiler.profile ~mode:"serial" ~config (seq_prog name ()) in
         let _, war, _, _, _ = Ddp_core.Report.kind_counts o.deps in
         war
       in
@@ -583,7 +596,7 @@ let ablate_war () =
       ]
   in
   let war_of config =
-    let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (inplace ()) in
+    let o = Ddp_core.Profiler.profile ~mode:"serial" ~config (inplace ()) in
     let _, war, _, _, _ = Ddp_core.Report.kind_counts o.deps in
     war
   in
@@ -665,7 +678,7 @@ let ablate_sections () =
       let run section_level =
         let config = { bench_config with section_level } in
         let t0 = Ddp_util.Clock.now () in
-        let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (seq_prog name ()) in
+        let o = Ddp_core.Profiler.profile ~mode:"serial" ~config (seq_prog name ()) in
         (Ddp_core.Dep_store.distinct o.deps, Ddp_util.Clock.now () -. t0)
       in
       let stmt_deps, stmt_time = run false in

@@ -1,13 +1,20 @@
 (* ddprof — command-line front end to the data-dependence profiler.
 
      ddprof list
+     ddprof list-modes
      ddprof run kmeans --mode parallel --workers 8 --report
+     ddprof run kmeans --mode shadow --record /tmp/kmeans.trace
      ddprof run water-spatial --variant par --mt --report --show-threads
+     ddprof replay --trace /tmp/kmeans.trace --mode hashtable
      ddprof loops cg
      ddprof comm water-spatial --target-threads 4
      ddprof races streamcluster *)
 
 open Cmdliner
+
+(* Baseline engines (shadow/hashtable/stride) live in a separate library;
+   registration must be forced before mode names resolve. *)
+let () = Ddp_baselines.Baseline_engines.register ()
 
 let get_program ~variant ~target_threads ~scale name =
   let w = Ddp_workloads.Registry.find name in
@@ -42,13 +49,46 @@ let slots_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Scheduler seed.")
 
+let mode_arg =
+  let doc = "Profiler engine (see `ddprof list-modes')." in
+  Arg.(value & opt string "serial" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let check_mode mode =
+  match Ddp_core.Engine.find mode with
+  | Some _ -> ()
+  | None ->
+    Printf.eprintf "unknown mode %s; registered modes:\n" mode;
+    List.iter (fun (name, _) -> Printf.eprintf "  %s\n" name) (Ddp_core.Profiler.modes ());
+    exit 1
+
+(* -- shared outcome summary ----------------------------------------------- *)
+
+let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
+  let raw, war, waw, init, races = Ddp_core.Report.kind_counts outcome.deps in
+  Printf.printf "dependences: %d distinct (RAW %d, WAR %d, WAW %d, INIT %d), %d race-flagged\n"
+    (Ddp_core.Dep_store.distinct outcome.deps) raw war waw init races;
+  Printf.printf "merge factor: %.1fx (%d occurrences folded)\n"
+    (Ddp_core.Dep_store.merge_factor outcome.deps)
+    (Ddp_core.Dep_store.total_occurrences outcome.deps);
+  Printf.printf "engine %s: %.2f MiB access-store footprint\n" outcome.engine
+    (float_of_int outcome.store_bytes /. 1048576.0);
+  if outcome.mt_delayed > 0 then
+    Printf.printf "mt push layer: %d accesses delayed\n" outcome.mt_delayed;
+  Printf.printf "instrumented wall time: %.3fs\n" outcome.elapsed;
+  (match outcome.parallel with
+  | Some r ->
+    Printf.printf "parallel: %d chunks, %d redistributions, worker events: [%s]\n" r.chunks
+      r.redistributions
+      (String.concat "; " (Array.to_list (Array.map string_of_int r.per_worker_events)))
+  | None -> ());
+  match account with
+  | Some acct ->
+    Format.printf "memory (accounted):@.%a" (fun ppf () -> Ddp_util.Mem_account.report ppf acct) ()
+  | None -> ()
+
 (* -- run ------------------------------------------------------------------ *)
 
 let run_cmd =
-  let mode_arg =
-    let m = Arg.enum [ ("serial", `Serial); ("parallel", `Parallel); ("perfect", `Perfect) ] in
-    Arg.(value & opt m `Serial & info [ "mode" ] ~docv:"MODE" ~doc:"Profiler mode.")
-  in
   let mt_arg =
     Arg.(value & flag & info [ "mt" ] ~doc:"Enable multi-threaded-target machinery (Sec. V).")
   in
@@ -59,39 +99,36 @@ let run_cmd =
   let lock_based_arg =
     Arg.(value & flag & info [ "lock-based" ] ~doc:"Use mutex queues instead of lock-free SPSC.")
   in
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE"
+          ~doc:"Record the instrumentation stream to FILE while profiling (one pass).")
+  in
   let run name scale variant target_threads mode mt workers slots seed report show_threads
-      lock_based =
+      lock_based record =
+    check_mode mode;
     let prog = get_program ~variant ~target_threads ~scale name in
     let config =
       { Ddp_core.Config.default with workers; slots; seed; lock_free = not lock_based }
     in
-    let mode =
-      match mode with
-      | `Serial -> Ddp_core.Profiler.Serial
-      | `Parallel -> Ddp_core.Profiler.Parallel
-      | `Perfect -> Ddp_core.Profiler.Perfect
-    in
     let account = Ddp_util.Mem_account.create () in
+    let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
+    let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
     let outcome =
-      Ddp_core.Profiler.profile ~mode ~config ~mt ~account:(account, "deps") ~sched_seed:seed prog
+      Ddp_core.Profiler.run ~mode ~config ~mt ~account:(account, "deps") ?tee
+        (Ddp_core.Source.live ~sched_seed:seed prog)
     in
-    let raw, war, waw, init, races = Ddp_core.Report.kind_counts outcome.deps in
+    (match (recording, record) with
+    | Some r, Some path ->
+      Ddp_minir.Trace_file.finish_recording r outcome.symtab;
+      Printf.printf "trace written to %s\n" path
+    | _ -> ());
     Printf.printf "workload %s (%s): %d accesses over %d addresses, %d lines\n" name
       (match variant with `Seq -> "seq" | `Par -> "par")
       outcome.run_stats.accesses outcome.run_stats.addresses outcome.run_stats.lines;
-    Printf.printf "dependences: %d distinct (RAW %d, WAR %d, WAW %d, INIT %d), %d race-flagged\n"
-      (Ddp_core.Dep_store.distinct outcome.deps) raw war waw init races;
-    Printf.printf "merge factor: %.1fx (%d occurrences folded)\n"
-      (Ddp_core.Dep_store.merge_factor outcome.deps)
-      (Ddp_core.Dep_store.total_occurrences outcome.deps);
-    Printf.printf "instrumented wall time: %.3fs\n" outcome.elapsed;
-    (match outcome.parallel with
-    | Some r ->
-      Printf.printf "parallel: %d chunks, %d redistributions, worker events: [%s]\n" r.chunks
-        r.redistributions
-        (String.concat "; " (Array.to_list (Array.map string_of_int r.per_worker_events)))
-    | None -> ());
-    Format.printf "memory (accounted):@.%a" (fun ppf () -> Ddp_util.Mem_account.report ppf account) ();
+    summarize ~account outcome;
     if report then begin
       print_newline ();
       print_string (Ddp_core.Profiler.report ~show_threads outcome)
@@ -100,7 +137,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg $ mt_arg
-      $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg)
+      $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg
+      $ record_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile a workload and summarize its dependences.") term
 
@@ -117,6 +155,19 @@ let list_cmd =
       Ddp_workloads.Registry.all
   in
   Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const run $ const ())
+
+(* -- list-modes ------------------------------------------------------------ *)
+
+let list_modes_cmd =
+  let run () =
+    List.iter
+      (fun (e : Ddp_core.Engine.t) ->
+        Printf.printf "%-10s %s%s\n" e.name e.description (if e.exact then "  [exact]" else ""))
+      (Ddp_core.Engine.all ())
+  in
+  Cmd.v
+    (Cmd.info "list-modes" ~doc:"List registered profiling engines (the --mode values).")
+    Term.(const run $ const ())
 
 (* -- loops ---------------------------------------------------------------- *)
 
@@ -138,7 +189,7 @@ let loops_cmd =
 let comm_cmd =
   let run name scale target_threads seed =
     let prog = get_program ~variant:`Par ~target_threads ~scale name in
-    let outcome = Ddp_core.Profiler.profile ~mode:Serial ~mt:true ~sched_seed:seed prog in
+    let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true ~sched_seed:seed prog in
     let m = Ddp_analyses.Comm_pattern.of_deps outcome.deps in
     print_string
       (Ddp_analyses.Comm_pattern.render (Ddp_analyses.Comm_pattern.workers_only m));
@@ -166,25 +217,22 @@ let record_cmd =
 
 let replay_cmd =
   let report_arg = Arg.(value & flag & info [ "report" ] ~doc:"Print the dependence report.") in
-  let run path slots report =
-    let events, symtab = Ddp_minir.Trace_file.load ~path in
-    let profiler =
-      Ddp_core.Serial_profiler.create_signature { Ddp_core.Config.default with slots }
-    in
-    Ddp_minir.Event.replay profiler.Ddp_core.Serial_profiler.hooks events;
-    let deps = profiler.Ddp_core.Serial_profiler.deps in
-    let raw, war, waw, init, races = Ddp_core.Report.kind_counts deps in
-    Printf.printf "replayed %d events: %d distinct deps (RAW %d, WAR %d, WAW %d, INIT %d), %d race-flagged\n"
-      (List.length events) (Ddp_core.Dep_store.distinct deps) raw war waw init races;
-    if report then
-      print_string
-        (Ddp_core.Report.render
-           ~var_name:(Ddp_minir.Symtab.var_name symtab)
-           ~deps ~regions:profiler.Ddp_core.Serial_profiler.regions ())
+  let run path mode slots report =
+    check_mode mode;
+    let config = { Ddp_core.Config.default with slots } in
+    let outcome = Ddp_core.Profiler.run ~mode ~config (Ddp_core.Source.of_trace ~path) in
+    Printf.printf "replayed %s through engine %s: %d accesses over %d addresses\n" path mode
+      outcome.run_stats.accesses outcome.run_stats.addresses;
+    summarize outcome;
+    if report then begin
+      print_newline ();
+      print_string (Ddp_core.Profiler.report outcome)
+    end
   in
   Cmd.v
-    (Cmd.info "replay" ~doc:"Profile a previously recorded trace (collect once, analyze many).")
-    Term.(const run $ path_arg $ slots_arg $ report_arg)
+    (Cmd.info "replay"
+       ~doc:"Profile a previously recorded trace under any engine (collect once, analyze many).")
+    Term.(const run $ path_arg $ mode_arg $ slots_arg $ report_arg)
 
 (* -- distance -------------------------------------------------------------- *)
 
@@ -230,7 +278,7 @@ let graph_cmd =
     let w = Ddp_workloads.Registry.find name in
     let prog = w.Ddp_workloads.Wl.seq ~scale in
     let summary = Ddp_analyses.Loop_parallelism.analyze ~perfect:true prog in
-    let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog in
+    let outcome = Ddp_core.Profiler.profile ~mode:"serial" prog in
     let g = Ddp_analyses.Dep_graph.of_store outcome.deps in
     let g =
       if sections then Ddp_analyses.Dep_graph.collapse_to_regions ~regions:outcome.regions g
@@ -257,7 +305,7 @@ let graph_cmd =
 let races_cmd =
   let run name scale target_threads seed =
     let prog = get_program ~variant:`Par ~target_threads ~scale name in
-    let outcome = Ddp_core.Profiler.profile ~mode:Serial ~mt:true ~sched_seed:seed prog in
+    let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true ~sched_seed:seed prog in
     print_string
       (Ddp_analyses.Race_report.render
          ~var_name:(Ddp_minir.Symtab.var_name outcome.symtab)
@@ -273,6 +321,7 @@ let main =
     [
       run_cmd;
       list_cmd;
+      list_modes_cmd;
       loops_cmd;
       comm_cmd;
       races_cmd;

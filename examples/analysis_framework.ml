@@ -10,7 +10,7 @@ let () =
   let w = Ddp_workloads.Registry.find name in
   let prog = w.Ddp_workloads.Wl.seq ~scale:1 in
   let summary = Ddp_analyses.Loop_parallelism.analyze ~perfect:true prog in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" prog in
   Printf.printf "=== %s: derived representations ===\n\n" name;
 
   (* Loop table with parallelizability verdicts. *)

@@ -7,7 +7,7 @@
 let () =
   let threads = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 4 in
   let prog = Ddp_workloads.Water_spatial.par ~threads ~scale:2 in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true prog in
   Printf.printf "=== water-spatial with %d threads ===\n" threads;
   Printf.printf "%d accesses, %d distinct dependences\n" outcome.run_stats.accesses
     (Ddp_core.Dep_store.distinct outcome.deps);

@@ -24,7 +24,7 @@ let () =
             [ B.assign "total" B.(v "total" +: idx "a" k) ]);
       ]
   in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" prog in
   print_endline "=== dependence report (paper Fig. 1 format) ===";
   print_string (Ddp_core.Profiler.report outcome);
   let raw, war, waw, init, _ = Ddp_core.Report.kind_counts outcome.deps in
@@ -37,7 +37,7 @@ let () =
   (* The same program under the parallel profiler produces the same
      dependences — the paper's Sec. IV correctness claim. *)
   let par =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel
+    Ddp_core.Profiler.profile ~mode:"parallel"
       ~config:{ Ddp_core.Config.default with workers = 4 }
       prog
   in

@@ -28,7 +28,7 @@ let counter_program ~locked ~iters =
 
 let run ~locked =
   let prog = counter_program ~locked ~iters:400 in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true prog in
   let flagged = Ddp_analyses.Race_report.count outcome.deps in
   Printf.printf "%-16s: %d dependences, %d race-flagged\n"
     (if locked then "with lock" else "without lock")

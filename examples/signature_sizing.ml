@@ -12,12 +12,12 @@ let () =
      from an estimate of the address count). *)
   let stats = Ddp_minir.Interp.run prog in
   Printf.printf "=== %s: %d distinct addresses ===\n" name stats.addresses;
-  let perfect = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let perfect = Ddp_core.Profiler.profile ~mode:"perfect" prog in
   List.iter
     (fun slots ->
       let predicted = Ddp_core.Fpr_model.p_fp ~slots ~addresses:stats.addresses in
       let o =
-        Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial
+        Ddp_core.Profiler.profile ~mode:"serial"
           ~config:{ Ddp_core.Config.default with slots }
           prog
       in

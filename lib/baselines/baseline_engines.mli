@@ -1,0 +1,15 @@
+(** Engine adapters for the baseline profilers, registered under
+    "shadow", "hashtable" and "stride". *)
+
+type Ddp_core.Engine.extra += Stride of { records : int }
+
+val shadow : Ddp_core.Engine.t
+val hashtable : Ddp_core.Engine.t
+val stride : Ddp_core.Engine.t
+
+val engines : Ddp_core.Engine.t list
+
+val register : unit -> unit
+(** Idempotent.  Call before resolving baseline mode names through the
+    registry (also runs on module load, but executables that never
+    otherwise touch this library must call it to force linkage). *)

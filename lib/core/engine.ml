@@ -1,0 +1,99 @@
+(* The Engine abstraction: one uniform interface over every profiling
+   backend in the repo — serial signature, perfect-signature oracle,
+   parallel pipeline, MT-wrapped variants, and the Sec. III-B baseline
+   stores (shadow memory, chained hash table, SD3 strides).
+
+   An engine is a value: [create] opens a [session] whose [hooks] consume
+   an instrumentation stream (from any {!Source}) and whose [finish]
+   returns a uniform [outcome].  Engine-specific statistics travel in the
+   extensible [extra] variant, so adding a backend never changes the
+   outcome type: a new engine is a ~50-line adapter plus one [register]
+   call.
+
+   The registry maps mode names ("serial", "shadow", ...) to engines;
+   the {!Profiler} façade, the ddprof CLI and the comparative benches all
+   key off it instead of hard-coding per-backend wiring. *)
+
+module Event = Ddp_minir.Event
+
+type extra = ..
+type extra += No_extra
+
+(* The MT push layer wraps any engine, so its stats nest around the
+   wrapped engine's own. *)
+type extra += Mt of { delayed : int; peak_bytes : int; inner : extra }
+
+type outcome = {
+  deps : Dep_store.t;
+  regions : Region.t;
+  store_bytes : int;  (* access-store footprint at end of run *)
+  extra : extra;
+}
+
+type session = {
+  hooks : Event.hooks;
+  finish : unit -> outcome;
+}
+
+type t = {
+  name : string;
+  description : string;
+  exact : bool;  (* no false positives/negatives: oracle-comparable *)
+  create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> session;
+}
+
+let make ~name ~description ?(exact = false) create = { name; description; exact; create }
+
+let with_mt ?name ?description engine =
+  {
+    name = Option.value name ~default:(engine.name ^ "+mt");
+    description =
+      Option.value description
+        ~default:(engine.description ^ "; MT push layer (reorder window + race flags, Sec. V)");
+    exact = false;  (* cross-thread reordering can change observed orders *)
+    create =
+      (fun ?account config ->
+        let config = { config with check_timestamps = true } in
+        let inner = engine.create ?account config in
+        let front =
+          Mt_frontend.create ~window:config.reorder_window ~seed:config.seed inner.hooks
+        in
+        {
+          hooks = Mt_frontend.hooks front;
+          finish =
+            (fun () ->
+              Mt_frontend.finish front;
+              let o = inner.finish () in
+              {
+                o with
+                extra =
+                  Mt
+                    {
+                      delayed = Mt_frontend.delayed front;
+                      peak_bytes = Mt_frontend.peak_bytes front;
+                      inner = o.extra;
+                    };
+              });
+        });
+  }
+
+(* -- registry ------------------------------------------------------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let register e =
+  if not (Hashtbl.mem registry e.name) then order := !order @ [ e.name ];
+  Hashtbl.replace registry e.name e
+
+let find name = Hashtbl.find_opt registry name
+let all () = List.filter_map (fun n -> Hashtbl.find_opt registry n) !order
+let names () = List.map (fun e -> e.name) (all ())
+
+let get name =
+  match find name with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine.get: unknown mode %S (registered: %s)" name
+         (String.concat ", " (names ())))

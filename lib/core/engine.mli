@@ -1,0 +1,62 @@
+(** The Engine abstraction: one uniform interface over every profiling
+    backend (serial, perfect, parallel, MT-wrapped, and the Sec. III-B
+    baseline stores), plus the mode-name registry that the {!Profiler}
+    façade, the CLI and the comparative benches key off.
+
+    A new backend is a small adapter: build a [t] whose [create] opens a
+    [session], then {!register} it under a mode name. *)
+
+type extra = ..
+(** Engine-specific end-of-run statistics.  Each adapter may declare its
+    own constructor (e.g. the parallel engine carries its
+    {!Parallel_profiler.result}); consumers pattern-match what they know
+    and ignore the rest. *)
+
+type extra += No_extra
+
+type extra += Mt of { delayed : int; peak_bytes : int; inner : extra }
+(** Added by {!with_mt} around the wrapped engine's own [extra]. *)
+
+type outcome = {
+  deps : Dep_store.t;
+  regions : Region.t;
+  store_bytes : int;  (** access-store footprint at end of run *)
+  extra : extra;
+}
+
+type session = {
+  hooks : Ddp_minir.Event.hooks;  (** feed any {!Source} into these *)
+  finish : unit -> outcome;  (** call once, after the stream ends *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  exact : bool;  (** no false positives/negatives: oracle-comparable *)
+  create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> session;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  ?exact:bool ->
+  (?account:Ddp_util.Mem_account.t * string -> Config.t -> session) ->
+  t
+
+val with_mt : ?name:string -> ?description:string -> t -> t
+(** Wrap an engine with the Sec. V multi-threaded-target machinery: the
+    reorder-window push emulation in front of its hooks, and
+    [check_timestamps] forced on in its config. *)
+
+(** {2 Registry} *)
+
+val register : t -> unit
+(** Idempotent; re-registering a name replaces the engine. *)
+
+val find : string -> t option
+val get : string -> t  (** @raise Invalid_argument on unknown names. *)
+
+val all : unit -> t list
+(** In registration order. *)
+
+val names : unit -> string list

@@ -1,0 +1,61 @@
+(* Built-in engine adapters: the four core modes, registered under the
+   names the CLI and DESIGN.md advertise.  The Sec. III-B baseline
+   engines (shadow, hashtable, stride) live in Ddp_baselines.
+   Baseline_engines, since core cannot depend on baselines. *)
+
+(* Serial profilers (signature and perfect) share the Serial_profiler
+   record shape, so one adapter covers both. *)
+let of_serial ~name ~description ~exact make_profiler =
+  Engine.make ~name ~description ~exact (fun ?account config ->
+      let p : Serial_profiler.t = make_profiler ?account config in
+      {
+        Engine.hooks = p.Serial_profiler.hooks;
+        finish =
+          (fun () ->
+            {
+              Engine.deps = p.Serial_profiler.deps;
+              regions = p.Serial_profiler.regions;
+              store_bytes = p.Serial_profiler.store_bytes ();
+              extra = Engine.No_extra;
+            });
+      })
+
+let serial =
+  of_serial ~name:"serial" ~exact:false
+    ~description:"signature store, inline Algorithm 1 (paper Sec. III)"
+    Serial_profiler.create_signature
+
+let perfect =
+  of_serial ~name:"perfect" ~exact:true
+    ~description:"perfect signature: the accuracy oracle (Sec. VI-A)"
+    Serial_profiler.create_perfect
+
+type Engine.extra += Parallel_result of Parallel_profiler.result
+
+let parallel =
+  Engine.make ~name:"parallel"
+    ~description:"producer/worker pipeline over domains (Sec. IV)" ~exact:false
+    (fun ?account config ->
+      let t = Parallel_profiler.create ?account config in
+      Parallel_profiler.start t;
+      {
+        Engine.hooks = Parallel_profiler.hooks t;
+        finish =
+          (fun () ->
+            let r = Parallel_profiler.finish t in
+            {
+              Engine.deps = r.Parallel_profiler.deps;
+              regions = r.Parallel_profiler.regions;
+              store_bytes = r.Parallel_profiler.signature_bytes;
+              extra = Parallel_result r;
+            });
+      })
+
+let mt =
+  Engine.with_mt ~name:"mt"
+    ~description:
+      "serial signature engine behind the MT push layer (reorder window + race flags, Sec. V)"
+    serial
+
+let builtin = [ serial; perfect; parallel; mt ]
+let () = List.iter Engine.register builtin

@@ -1,0 +1,13 @@
+(** Built-in engines, registered under "serial", "perfect", "parallel"
+    and "mt".  Referencing this module (e.g. [Engines.builtin]) forces
+    registration; the {!Profiler} façade does so for you. *)
+
+type Engine.extra += Parallel_result of Parallel_profiler.result
+(** Full pipeline statistics of the "parallel" engine. *)
+
+val serial : Engine.t
+val perfect : Engine.t
+val parallel : Engine.t
+val mt : Engine.t
+
+val builtin : Engine.t list

@@ -81,6 +81,7 @@ type t = {
   stop : bool Atomic.t;
   mutable domains : unit Domain.t array;
   mutable chunks_pushed : int;
+  mutable last_redistribution_check : int;  (* chunks_pushed at the last check *)
   mutable extra_chunks : int;  (* allocated beyond the initial pool *)
   account : (Ddp_util.Mem_account.t * string) option;
 }
@@ -198,9 +199,17 @@ let flush_chunk t w_id =
     t.chunks_pushed <- t.chunks_pushed + 1
   end
 
+(* One check per [interval] pushed chunks.  The trigger compares against
+   the count at the last check rather than testing [chunks_pushed mod
+   interval = 0]: several chunks can flush in one call path (full-chunk
+   flush plus the flush-all inside a redistribution barrier), so the
+   counter may step over a multiple — or sit exactly on one across
+   several calls — making the modulo test skip intervals or fire twice
+   at the same count. *)
 let maybe_redistribute t =
   let interval = t.config.redistribution_interval in
-  if interval > 0 && t.chunks_pushed mod interval = 0 then begin
+  if interval > 0 && t.chunks_pushed - t.last_redistribution_check >= interval then begin
+    t.last_redistribution_check <- t.chunks_pushed;
     let moves_needed = Dispatch.rebalance t.dispatch in
     match moves_needed with
     | [] -> ()
@@ -271,6 +280,7 @@ let create ?account (config : Config.t) =
     stop = Atomic.make false;
     domains = [||];
     chunks_pushed = 0;
+    last_redistribution_check = 0;
     extra_chunks = 0;
     account;
   }

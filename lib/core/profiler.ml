@@ -1,79 +1,70 @@
-(* Unified façade: pick a mode, profile a program, get dependences,
-   regions and a paper-style report.  This is the public entry point the
-   examples and the CLI use; benches drive the individual profilers
-   directly when they need finer control. *)
+(* Unified façade: a thin registry-driven wrapper tying an {!Engine}
+   (picked by mode name) to a {!Source} (live run or recorded trace),
+   optionally tee-ing the stream into extra sinks, and flattening the
+   engine's outcome into one record with the common fields the CLI,
+   examples and benches consume.  Benches still drive the individual
+   profilers directly when they need finer control. *)
 
 module Interp = Ddp_minir.Interp
 module Symtab = Ddp_minir.Symtab
 
-type mode =
-  | Serial  (* signature store, inline Algorithm 1 (paper Sec. III) *)
-  | Perfect  (* perfect signature: the accuracy oracle (Sec. VI-A) *)
-  | Parallel  (* worker pipeline over domains (Sec. IV) *)
+(* Referencing Engines forces the built-in registrations; baseline
+   engines register via Ddp_baselines.Baseline_engines.register. *)
+let _builtin = Engines.builtin
 
 type outcome = {
+  engine : string;
   deps : Dep_store.t;
   regions : Region.t;
   symtab : Symtab.t;
   run_stats : Interp.stats;
+  store_bytes : int;
+  extra : Engine.extra;
   parallel : Parallel_profiler.result option;
   mt_delayed : int;  (* accesses that went through the MT reorder buffer *)
   elapsed : float;  (* wall-clock of the instrumented run, seconds *)
 }
+
+let modes () = List.map (fun (e : Engine.t) -> (e.Engine.name, e.Engine.description)) (Engine.all ())
+
+let rec parallel_of = function
+  | Engines.Parallel_result r -> Some r
+  | Engine.Mt { inner; _ } -> parallel_of inner
+  | _ -> None
+
+let mt_delayed_of = function Engine.Mt { delayed; _ } -> delayed | _ -> 0
 
 let report ?show_threads outcome =
   Report.render ?show_threads
     ~var_name:(Symtab.var_name outcome.symtab)
     ~deps:outcome.deps ~regions:outcome.regions ()
 
-(* [mt] enables the Sec. V machinery for multi-threaded targets: the
-   non-atomic push emulation plus worker-side timestamp race checks. *)
-let profile ?(mode = Serial) ?(config = Config.default) ?(mt = false) ?account ?sched_seed
-    ?input_seed prog =
-  let config = if mt then { config with check_timestamps = true } else config in
-  let symtab = Symtab.create () in
-  let wrap hooks =
-    if mt then begin
-      let front = Mt_frontend.create ~window:config.reorder_window ~seed:config.seed hooks in
-      (Mt_frontend.hooks front, Some front)
-    end
-    else (hooks, None)
+(* [mt] wraps the chosen engine with the Sec. V machinery (no-op when the
+   mode is already MT-wrapped, i.e. "mt"). *)
+let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?account ?tee
+    (source : Source.t) =
+  let engine = Engine.get mode in
+  let engine = if mt && mode <> "mt" then Engine.with_mt engine else engine in
+  let session = engine.Engine.create ?account config in
+  let hooks =
+    match tee with None -> session.Engine.hooks | Some h -> Sink.tee session.Engine.hooks h
   in
-  match mode with
-  | Serial | Perfect ->
-    let p =
-      if mode = Perfect then Serial_profiler.create_perfect ?account config
-      else Serial_profiler.create_signature ?account config
-    in
-    let hooks, front = wrap p.Serial_profiler.hooks in
-    let t0 = Ddp_util.Clock.now () in
-    let run_stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
-    Option.iter Mt_frontend.finish front;
-    let elapsed = Ddp_util.Clock.now () -. t0 in
-    {
-      deps = p.Serial_profiler.deps;
-      regions = p.Serial_profiler.regions;
-      symtab;
-      run_stats;
-      parallel = None;
-      mt_delayed = (match front with Some f -> Mt_frontend.delayed f | None -> 0);
-      elapsed;
-    }
-  | Parallel ->
-    let t = Parallel_profiler.create ?account config in
-    Parallel_profiler.start t;
-    let hooks, front = wrap (Parallel_profiler.hooks t) in
-    let t0 = Ddp_util.Clock.now () in
-    let run_stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
-    Option.iter Mt_frontend.finish front;
-    let result = Parallel_profiler.finish t in
-    let elapsed = Ddp_util.Clock.now () -. t0 in
-    {
-      deps = result.Parallel_profiler.deps;
-      regions = result.Parallel_profiler.regions;
-      symtab;
-      run_stats;
-      parallel = Some result;
-      mt_delayed = (match front with Some f -> Mt_frontend.delayed f | None -> 0);
-      elapsed;
-    }
+  let t0 = Ddp_util.Clock.now () in
+  let sr = source.Source.run hooks in
+  let eo = session.Engine.finish () in
+  let elapsed = Ddp_util.Clock.now () -. t0 in
+  {
+    engine = mode;
+    deps = eo.Engine.deps;
+    regions = eo.Engine.regions;
+    symtab = sr.Source.symtab;
+    run_stats = sr.Source.stats;
+    store_bytes = eo.Engine.store_bytes;
+    extra = eo.Engine.extra;
+    parallel = parallel_of eo.Engine.extra;
+    mt_delayed = mt_delayed_of eo.Engine.extra;
+    elapsed;
+  }
+
+let profile ?mode ?config ?mt ?account ?sched_seed ?input_seed prog =
+  run ?mode ?config ?mt ?account (Source.live ?sched_seed ?input_seed prog)

@@ -1,23 +1,46 @@
-(** Unified profiling façade: the public entry point for examples and the
-    CLI. *)
+(** Unified profiling façade: a thin registry-driven wrapper tying an
+    {!Engine} (picked by mode name) to a {!Source} (live run or recorded
+    trace).  The public entry point for examples and the CLI.
 
-type mode =
-  | Serial  (** signature store, inline Algorithm 1 *)
-  | Perfect  (** perfect signature — the accuracy oracle *)
-  | Parallel  (** producer/worker pipeline over domains *)
+    Built-in modes are "serial", "perfect", "parallel" and "mt"; the
+    baseline stores register "shadow", "hashtable" and "stride" via
+    [Ddp_baselines.Baseline_engines.register].  {!Engine.register} adds
+    custom engines. *)
 
 type outcome = {
+  engine : string;  (** mode name the run used *)
   deps : Dep_store.t;
   regions : Region.t;
   symtab : Ddp_minir.Symtab.t;
   run_stats : Ddp_minir.Interp.stats;
+      (** synthesized from the events when the source is a trace *)
+  store_bytes : int;  (** access-store footprint at end of run *)
+  extra : Engine.extra;  (** engine-specific stats *)
   parallel : Parallel_profiler.result option;
-  mt_delayed : int;
+      (** convenience projection of [extra] for the "parallel" engine *)
+  mt_delayed : int;  (** accesses that went through the MT reorder buffer *)
   elapsed : float;
 }
 
+val modes : unit -> (string * string) list
+(** Registered (mode, description) pairs, in registration order. *)
+
+val run :
+  ?mode:string ->
+  ?config:Config.t ->
+  ?mt:bool ->
+  ?account:Ddp_util.Mem_account.t * string ->
+  ?tee:Ddp_minir.Event.hooks ->
+  Source.t ->
+  outcome
+(** Feed [source] through the engine registered under [mode] (default
+    "serial").  [mt] wraps the engine with the Sec. V machinery (no-op
+    for mode "mt", which is already wrapped); [tee] additionally streams
+    every event into the given sink (e.g. a trace recorder) in the same
+    pass.  @raise Invalid_argument on unknown modes. *)
+
 val profile :
-  ?mode:mode ->
+  ?mode:string ->
   ?config:Config.t ->
   ?mt:bool ->
   ?account:Ddp_util.Mem_account.t * string ->
@@ -25,8 +48,7 @@ val profile :
   ?input_seed:int ->
   Ddp_minir.Ast.program ->
   outcome
-(** [mt] enables the multi-threaded-target machinery (Sec. V):
-    reorder-window push emulation and timestamp race flags. *)
+(** [run] over a live interpretation of the program. *)
 
 val report : ?show_threads:bool -> outcome -> string
 (** Paper-style (Fig. 1 / Fig. 3) textual report. *)

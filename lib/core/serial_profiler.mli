@@ -14,6 +14,18 @@ type t = {
 val create_signature : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
 val create_perfect : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
 
+val make_hooks :
+  (module Algo.S with type t = 'a) ->
+  'a ->
+  Region.t ->
+  lifetime:bool ->
+  section_level:bool ->
+  Ddp_minir.Event.hooks
+(** Build the standard serial hook wiring (payload packing, region
+    tracking, optional lifetime frees and set-based attribution) around
+    any Algorithm-1 instance — the building block for engine adapters
+    over alternative stores (see {!Engine}). *)
+
 val profile :
   ?account:Ddp_util.Mem_account.t * string ->
   ?config:Config.t ->

@@ -1,0 +1,118 @@
+(* Sink combinators over Event.hooks: compose what one pass over the
+   instrumentation stream feeds.  [tee] lets a single run drive an
+   engine, a trace recorder and any number of streaming analyses at
+   once; [filter_thread] narrows a stream to selected threads before it
+   reaches a consumer; [observe] adapts a per-event callback.
+
+   Hooks are plain labelled closures, so combinators cost one indirect
+   call per layer and allocate nothing on the hot path (except
+   [observe], which materializes concrete events for its callback). *)
+
+module Event = Ddp_minir.Event
+
+let null = Event.null
+
+let tee a b =
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        a.Event.on_read ~addr ~loc ~var ~thread ~time ~locked;
+        b.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        a.Event.on_write ~addr ~loc ~var ~thread ~time ~locked;
+        b.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+    on_region_enter =
+      (fun ~loc ~kind ~thread ~time ->
+        a.Event.on_region_enter ~loc ~kind ~thread ~time;
+        b.Event.on_region_enter ~loc ~kind ~thread ~time);
+    on_region_iter =
+      (fun ~loc ~thread ~time ->
+        a.Event.on_region_iter ~loc ~thread ~time;
+        b.Event.on_region_iter ~loc ~thread ~time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
+        a.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time;
+        b.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
+    on_alloc =
+      (fun ~base ~len ~var ->
+        a.Event.on_alloc ~base ~len ~var;
+        b.Event.on_alloc ~base ~len ~var);
+    on_free =
+      (fun ~base ~len ~var ->
+        a.Event.on_free ~base ~len ~var;
+        b.Event.on_free ~base ~len ~var);
+    on_call =
+      (fun ~loc ~func ~thread ~time ->
+        a.Event.on_call ~loc ~func ~thread ~time;
+        b.Event.on_call ~loc ~func ~thread ~time);
+    on_return =
+      (fun ~func ~thread ~time ->
+        a.Event.on_return ~func ~thread ~time;
+        b.Event.on_return ~func ~thread ~time);
+    on_thread_end =
+      (fun ~thread ->
+        a.Event.on_thread_end ~thread;
+        b.Event.on_thread_end ~thread);
+  }
+
+let tee_all = function
+  | [] -> null
+  | first :: rest -> List.fold_left tee first rest
+
+(* Allocation events carry no thread id and describe shared state, so
+   they always pass through. *)
+let filter_thread keep h =
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        if keep thread then h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        if keep thread then h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+    on_region_enter =
+      (fun ~loc ~kind ~thread ~time ->
+        if keep thread then h.Event.on_region_enter ~loc ~kind ~thread ~time);
+    on_region_iter =
+      (fun ~loc ~thread ~time -> if keep thread then h.Event.on_region_iter ~loc ~thread ~time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
+        if keep thread then h.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
+    on_alloc = (fun ~base ~len ~var -> h.Event.on_alloc ~base ~len ~var);
+    on_free = (fun ~base ~len ~var -> h.Event.on_free ~base ~len ~var);
+    on_call =
+      (fun ~loc ~func ~thread ~time -> if keep thread then h.Event.on_call ~loc ~func ~thread ~time);
+    on_return = (fun ~func ~thread ~time -> if keep thread then h.Event.on_return ~func ~thread ~time);
+    on_thread_end = (fun ~thread -> if keep thread then h.Event.on_thread_end ~thread);
+  }
+
+let observe f =
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        f (Event.Read { addr; loc; var; thread; time; locked }));
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        f (Event.Write { addr; loc; var; thread; time; locked }));
+    on_region_enter =
+      (fun ~loc ~kind:Event.Loop ~thread ~time -> f (Event.Region_enter { loc; thread; time }));
+    on_region_iter = (fun ~loc ~thread ~time -> f (Event.Region_iter { loc; thread; time }));
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
+        f (Event.Region_exit { loc; end_loc; iterations; thread; time }));
+    on_alloc = (fun ~base ~len ~var -> f (Event.Alloc { base; len; var }));
+    on_free = (fun ~base ~len ~var -> f (Event.Free { base; len; var }));
+    on_call = (fun ~loc ~func ~thread ~time -> f (Event.Call { loc; func; thread; time }));
+    on_return = (fun ~func ~thread ~time -> f (Event.Return { func; thread; time }));
+    on_thread_end = (fun ~thread -> f (Event.Thread_end { thread }));
+  }
+
+let counter () =
+  let n = ref 0 in
+  let bump () = incr n in
+  ( {
+      Event.null with
+      Event.on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
+      on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
+    },
+    fun () -> !n )

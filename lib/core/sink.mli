@@ -1,0 +1,21 @@
+(** Sink combinators over {!Ddp_minir.Event.hooks}: compose what one pass
+    over the instrumentation stream feeds — an engine, a trace recorder
+    and streaming analyses simultaneously. *)
+
+val null : Ddp_minir.Event.hooks
+
+val tee : Ddp_minir.Event.hooks -> Ddp_minir.Event.hooks -> Ddp_minir.Event.hooks
+(** Deliver every event to both sinks, left first. *)
+
+val tee_all : Ddp_minir.Event.hooks list -> Ddp_minir.Event.hooks
+
+val filter_thread : (int -> bool) -> Ddp_minir.Event.hooks -> Ddp_minir.Event.hooks
+(** Forward only events whose thread satisfies the predicate.
+    Allocation events carry no thread and always pass through. *)
+
+val observe : (Ddp_minir.Event.t -> unit) -> Ddp_minir.Event.hooks
+(** Adapt a per-event callback into a sink (materializes concrete
+    events; use for analyses, not hot paths). *)
+
+val counter : unit -> Ddp_minir.Event.hooks * (unit -> int)
+(** A sink counting read/write accesses, and its reader. *)

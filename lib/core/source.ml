@@ -1,0 +1,108 @@
+(* The Source abstraction: where an instrumentation stream comes from.
+
+   The paper's reuse story is "collect once, analyze many": the same
+   dependence analysis must run over a live instrumented execution or
+   over a previously recorded trace.  A source is a value that pushes one
+   full stream into a hooks record and reports what it delivered, so any
+   {!Engine} can consume either interchangeably. *)
+
+module Event = Ddp_minir.Event
+module Interp = Ddp_minir.Interp
+module Symtab = Ddp_minir.Symtab
+module Trace_file = Ddp_minir.Trace_file
+
+type result = {
+  symtab : Symtab.t;
+  stats : Interp.stats;
+  events : int;  (* instrumentation events delivered (accesses for live runs) *)
+}
+
+type t = {
+  name : string;
+  run : Event.hooks -> result;
+}
+
+let live ?sched_seed ?input_seed prog =
+  {
+    name = "live";
+    run =
+      (fun hooks ->
+        let symtab = Symtab.create () in
+        let stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
+        { symtab; stats; events = stats.Interp.accesses });
+  }
+
+(* Replayed traces carry no interpreter statistics, so synthesize the
+   Table-I quantities from the events themselves: #addresses from the
+   allocation events, "lines" as distinct source locations seen. *)
+let stats_of_events events =
+  let reads = ref 0 and writes = ref 0 and final_time = ref 0 in
+  let addrs = Hashtbl.create 256 and lines = Hashtbl.create 64 in
+  let loc_time loc time =
+    Hashtbl.replace lines loc ();
+    if time > !final_time then final_time := time
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Read { loc; time; _ } ->
+        incr reads;
+        loc_time loc time
+      | Event.Write { loc; time; _ } ->
+        incr writes;
+        loc_time loc time
+      | Event.Alloc { base; len; _ } ->
+        for a = base to base + len - 1 do
+          Hashtbl.replace addrs a ()
+        done
+      | _ -> ())
+    events;
+  {
+    Interp.reads = !reads;
+    writes = !writes;
+    accesses = !reads + !writes;
+    addresses = Hashtbl.length addrs;
+    final_time = !final_time;
+    lines = Hashtbl.length lines;
+  }
+
+let of_events ?(name = "events") ?symtab events =
+  {
+    name;
+    run =
+      (fun hooks ->
+        Event.replay hooks events;
+        let symtab = match symtab with Some s -> s | None -> Symtab.create () in
+        { symtab; stats = stats_of_events events; events = List.length events });
+  }
+
+let of_trace ~path =
+  {
+    name = "trace:" ^ path;
+    run =
+      (fun hooks ->
+        let events, symtab = Trace_file.load ~path in
+        Event.replay hooks events;
+        { symtab; stats = stats_of_events events; events = List.length events });
+  }
+
+(* Synthetic streams (benches): the generator drives the hooks itself and
+   returns the number of accesses it issued. *)
+let of_fn ?(name = "generated") f =
+  {
+    name;
+    run =
+      (fun hooks ->
+        let accesses = f hooks in
+        let stats =
+          {
+            Interp.reads = 0;
+            writes = 0;
+            accesses;
+            addresses = 0;
+            final_time = 0;
+            lines = 0;
+          }
+        in
+        { symtab = Symtab.create (); stats; events = accesses });
+  }

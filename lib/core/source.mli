@@ -1,0 +1,32 @@
+(** The Source abstraction: one full instrumentation stream, from a live
+    MiniIR interpretation or a recorded trace, delivered into any hooks
+    record — so every {!Engine} consumes either interchangeably
+    ("collect once, analyze many"). *)
+
+type result = {
+  symtab : Ddp_minir.Symtab.t;
+  stats : Ddp_minir.Interp.stats;
+      (** Interpreter stats for live runs; synthesized from the events for
+          replayed traces (addresses from allocations, lines as distinct
+          locations seen). *)
+  events : int;  (** events delivered (accesses for live runs) *)
+}
+
+type t = {
+  name : string;
+  run : Ddp_minir.Event.hooks -> result;
+}
+
+val live : ?sched_seed:int -> ?input_seed:int -> Ddp_minir.Ast.program -> t
+(** Instrumented interpretation of [prog]. *)
+
+val of_events : ?name:string -> ?symtab:Ddp_minir.Symtab.t -> Ddp_minir.Event.t list -> t
+(** Replay a concrete event list. *)
+
+val of_trace : path:string -> t
+(** Load and replay a {!Ddp_minir.Trace_file}.  Loading happens when the
+    source runs, so errors surface at replay time. *)
+
+val of_fn : ?name:string -> (Ddp_minir.Event.hooks -> int) -> t
+(** Synthetic stream: the callback drives the hooks itself and returns
+    the number of accesses it issued (used by the comparative benches). *)

@@ -53,22 +53,47 @@ let write_symtab oc (symtab : Symtab.t) =
   Ddp_util.Intern.iter symtab.Symtab.files (fun id name ->
       Printf.fprintf oc "%%file %d %s\n" id (String.escaped name))
 
-(* Record a program run to [path]; returns the run's stats. *)
-let record ?sched_seed ?input_seed ~path prog =
+(* Streaming recording handle: lets a caller tee an arbitrary event
+   stream (live run or replay) into a trace file while it also feeds a
+   profiler, then seal the file with the run's symbol table. *)
+type recording = {
+  oc : out_channel;
+  rec_hooks : Event.hooks;
+  mutable closed : bool;
+}
+
+let start_recording ~path =
   let oc = open_out path in
-  let symtab = Symtab.create () in
   output_string oc magic;
   output_char oc '\n';
-  let finish () = close_out oc in
+  { oc; rec_hooks = recorder oc; closed = false }
+
+let recording_hooks r = r.rec_hooks
+
+let abort_recording r =
+  if not r.closed then begin
+    r.closed <- true;
+    close_out r.oc
+  end
+
+let finish_recording r symtab =
+  if r.closed then invalid_arg "Trace_file.finish_recording: already closed";
+  write_symtab r.oc symtab;
+  abort_recording r
+
+(* Record a program run to [path]; returns the run's stats. *)
+let record ?sched_seed ?input_seed ~path prog =
+  let r = start_recording ~path in
+  let symtab = Symtab.create () in
   (try
      let (_ : Interp.stats) =
-       Interp.run ~hooks:(recorder oc) ?sched_seed ?input_seed ~symtab prog
+       Interp.run ~hooks:r.rec_hooks ?sched_seed ?input_seed ~symtab prog
      in
-     write_symtab oc symtab
+     ()
    with e ->
-     finish ();
+     abort_recording r;
      raise e);
-  finish ()
+  finish_recording r symtab
 
 (* -- loading --------------------------------------------------------------- *)
 

@@ -8,6 +8,19 @@ val recorder : out_channel -> Event.hooks
 
 val write_symtab : out_channel -> Symtab.t -> unit
 
+type recording
+(** A trace file being written: tee {!recording_hooks} into any event
+    stream, then seal with {!finish_recording}. *)
+
+val start_recording : path:string -> recording
+val recording_hooks : recording -> Event.hooks
+
+val finish_recording : recording -> Symtab.t -> unit
+(** Append the symbol table and close the file. *)
+
+val abort_recording : recording -> unit
+(** Close without the symbol table (error paths); idempotent. *)
+
 val record : ?sched_seed:int -> ?input_seed:int -> path:string -> Ast.program -> unit
 (** Run the program and record its full trace (with symbol table) to
     [path]. *)

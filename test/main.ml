@@ -21,6 +21,7 @@ let () =
       ("accuracy", Test_accuracy.suite);
       ("report", Test_report.suite);
       ("profiler", Test_profiler.suite);
+      ("engine", Test_engine.suite);
       ("baselines", Test_baselines.suite);
       ("analyses", Test_analyses.suite);
       ("framework", Test_framework.suite);

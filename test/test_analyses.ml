@@ -208,7 +208,7 @@ let test_comm_workers_only () =
 
 let test_water_spatial_banded () =
   let prog = Ddp_workloads.Water_spatial.par ~threads:4 ~scale:1 in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true prog in
   let m = Ddp_analyses.Comm_pattern.workers_only (Ddp_analyses.Comm_pattern.of_deps outcome.deps) in
   let total = Ddp_analyses.Comm_pattern.total_volume m in
   Alcotest.(check bool) "communication exists" true (total > 0.0);

@@ -1,0 +1,223 @@
+(* The Engine/Source/Sink layer: registry contents, sink combinators, and
+   the registry-driven equivalence properties the refactor promises —
+   every exact engine agrees with the perfect oracle, and every engine
+   gives the same answer live and under trace replay (collect once,
+   analyze many). *)
+
+module Engine = Ddp_core.Engine
+module Source = Ddp_core.Source
+module Sink = Ddp_core.Sink
+module Event = Ddp_minir.Event
+
+(* Force the baselines into the registry (explicit: the linker drops
+   unreferenced library modules, so load-time registration alone is not
+   enough in this executable). *)
+let () = Ddp_baselines.Baseline_engines.register ()
+
+let cli_modes = [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable" ]
+
+let key_set (o : Ddp_core.Profiler.outcome) = Ddp_core.Dep_store.key_set o.deps
+
+let check_same_deps what a b =
+  Alcotest.(check bool) what true (Ddp_core.Dep_store.Key_set.equal a b)
+
+(* -- registry ------------------------------------------------------------- *)
+
+let test_registry_contents () =
+  let names = Engine.names () in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) (m ^ " registered") true (List.mem m names);
+      let e = Engine.get m in
+      Alcotest.(check string) "get finds by name" m e.Engine.name)
+    cli_modes;
+  (* and the façade lists the same engines, in registration order *)
+  Alcotest.(check (list string)) "modes () = names ()" names
+    (List.map fst (Ddp_core.Profiler.modes ()))
+
+let test_registry_unknown () =
+  Alcotest.(check bool) "find on unknown" true (Engine.find "no-such-engine" = None);
+  Alcotest.check_raises "get on unknown raises"
+    (Invalid_argument
+       ("Engine.get: unknown mode \"no-such-engine\" (registered: "
+       ^ String.concat ", " (Engine.names ())
+       ^ ")"))
+    (fun () -> ignore (Engine.get "no-such-engine"))
+
+let test_registry_idempotent () =
+  let before = Engine.names () in
+  Ddp_baselines.Baseline_engines.register ();
+  Engine.register Ddp_core.Engines.serial;
+  Alcotest.(check (list string)) "re-registration changes nothing" before (Engine.names ())
+
+let test_exact_flags () =
+  List.iter
+    (fun (name, exact) ->
+      Alcotest.(check bool) (name ^ " exactness") exact (Engine.get name).Engine.exact)
+    [
+      ("serial", false);
+      ("perfect", true);
+      ("parallel", false);
+      ("mt", false);
+      ("shadow", true);
+      ("hashtable", true);
+      ("stride", false);
+    ]
+
+(* -- sinks ---------------------------------------------------------------- *)
+
+let sample_prog () = (Ddp_workloads.Registry.find "is").Ddp_workloads.Wl.seq ~scale:1
+
+let test_sink_tee_and_counter () =
+  let c1, n1 = Sink.counter () in
+  let c2, n2 = Sink.counter () in
+  let r = (Source.live (sample_prog ())).Source.run (Sink.tee c1 c2) in
+  Alcotest.(check bool) "saw events" true (n1 () > 0);
+  Alcotest.(check int) "tee duplicates the stream" (n1 ()) (n2 ());
+  Alcotest.(check bool) "counter >= accesses" true (n1 () >= r.Source.events)
+
+let test_sink_observe_matches_collector () =
+  let hooks, collected = Event.collector () in
+  let observed = ref [] in
+  let r =
+    (Source.live (sample_prog ())).Source.run
+      (Sink.tee hooks (Sink.observe (fun e -> observed := e :: !observed)))
+  in
+  Alcotest.(check bool) "nonempty" true (r.Source.events > 0);
+  Alcotest.(check bool) "observe reconstructs the event stream" true
+    (List.rev !observed = collected ())
+
+let test_sink_filter_thread () =
+  let keep0, n0 = Sink.counter () in
+  let all, nall = Sink.counter () in
+  let prog = Ddp_workloads.Water_spatial.par ~threads:3 ~scale:1 in
+  let (_ : Source.result) =
+    (Source.live prog).Source.run (Sink.tee (Sink.filter_thread (fun t -> t = 0) keep0) all)
+  in
+  Alcotest.(check bool) "filter drops other threads" true (n0 () < nall ());
+  Alcotest.(check bool) "thread 0 still present" true (n0 () > 0)
+
+(* -- equivalence (a): every exact engine == the perfect oracle ------------ *)
+
+(* Exact stores admit no collisions, so dep sets must agree bit-for-bit
+   with the perfect-signature engine on arbitrary (single-threaded)
+   programs. *)
+let prop_exact_engines_match_oracle =
+  QCheck.Test.make ~name:"exact engines == perfect oracle on random programs" ~count:40
+    Gen_prog.arbitrary_program (fun prog ->
+      let oracle = key_set (Ddp_core.Profiler.profile ~mode:"perfect" prog) in
+      List.for_all
+        (fun (e : Engine.t) ->
+          Ddp_core.Dep_store.Key_set.equal oracle
+            (key_set (Ddp_core.Profiler.profile ~mode:e.Engine.name prog)))
+        (List.filter
+           (fun (e : Engine.t) -> e.Engine.exact && e.Engine.name <> "perfect")
+           (Engine.all ())))
+
+(* -- equivalence (b): live == trace replay, per engine -------------------- *)
+
+(* Replaying the identical event stream must reproduce the identical dep
+   set for EVERY engine, approximate ones included: hash collisions are a
+   function of the stream, and the stream is the same. *)
+let replay_config =
+  {
+    Ddp_core.Config.default with
+    workers = 3;
+    chunk_size = 64;
+    queue_capacity = 8;
+    stats_sample = 4;
+  }
+
+let prop_live_equals_replay =
+  QCheck.Test.make ~name:"every engine: live run == trace replay" ~count:15
+    Gen_prog.arbitrary_program (fun prog ->
+      let hooks, collected = Event.collector () in
+      let live_by_name =
+        List.map
+          (fun (e : Engine.t) ->
+            let tee = if e.Engine.name = "serial" then Some hooks else None in
+            ( e.Engine.name,
+              key_set (Ddp_core.Profiler.run ~mode:e.Engine.name ~config:replay_config ?tee
+                         (Source.live prog)) ))
+          (Engine.all ())
+      in
+      let events = collected () in
+      List.for_all
+        (fun (name, live) ->
+          let replayed =
+            key_set
+              (Ddp_core.Profiler.run ~mode:name ~config:replay_config
+                 (Source.of_events events))
+          in
+          Ddp_core.Dep_store.Key_set.equal live replayed)
+        live_by_name)
+
+(* And through an actual on-disk trace file, the CLI's replay path. *)
+let test_trace_file_round_trip () =
+  let path = Filename.temp_file "ddp-engine" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r = Ddp_minir.Trace_file.start_recording ~path in
+      let live =
+        Ddp_core.Profiler.run ~mode:"serial"
+          ~tee:(Ddp_minir.Trace_file.recording_hooks r)
+          (Source.live (sample_prog ()))
+      in
+      Ddp_minir.Trace_file.finish_recording r live.symtab;
+      List.iter
+        (fun mode ->
+          let replayed = Ddp_core.Profiler.run ~mode (Source.of_trace ~path) in
+          if mode = "serial" then
+            check_same_deps "file replay == recorded live run" (key_set live) (key_set replayed);
+          Alcotest.(check int) (mode ^ ": replay sees all accesses")
+            live.run_stats.accesses replayed.run_stats.accesses)
+        cli_modes)
+
+(* -- deterministic six-mode sweep ---------------------------------------- *)
+
+(* Fixed seeds + oversized signatures: serial, mt and parallel agree with
+   the oracle on these particular programs (deterministically — no
+   collision luck across CI runs). *)
+let test_signature_engines_match_oracle_fixed_seeds () =
+  let config = { replay_config with slots = 3 lsl 20 } in
+  List.iter
+    (fun seed ->
+      let rand = Random.State.make [| seed; 0xddb |] in
+      let prog = QCheck.Gen.generate1 ~rand Gen_prog.gen_program in
+      let oracle = key_set (Ddp_core.Profiler.profile ~mode:"perfect" ~config prog) in
+      List.iter
+        (fun mode ->
+          check_same_deps
+            (Printf.sprintf "%s == perfect (seed %d)" mode seed)
+            oracle
+            (key_set (Ddp_core.Profiler.profile ~mode ~config prog)))
+        [ "serial"; "mt"; "parallel" ])
+    [ 7; 21; 1015 ]
+
+(* -- mt wrapper ----------------------------------------------------------- *)
+
+let test_with_mt_nests_extra () =
+  let o = Ddp_core.Profiler.profile ~mode:"mt" (sample_prog ()) in
+  match o.extra with
+  | Engine.Mt { inner = Engine.No_extra; delayed; peak_bytes } ->
+    Alcotest.(check bool) "delayed >= 0" true (delayed >= 0);
+    Alcotest.(check bool) "window accounted" true (peak_bytes >= 0)
+  | _ -> Alcotest.fail "mt engine must wrap its inner engine's extra"
+
+let suite =
+  [
+    Alcotest.test_case "registry: all six CLI modes resolve" `Quick test_registry_contents;
+    Alcotest.test_case "registry: unknown names" `Quick test_registry_unknown;
+    Alcotest.test_case "registry: registration is idempotent" `Quick test_registry_idempotent;
+    Alcotest.test_case "registry: exactness flags" `Quick test_exact_flags;
+    Alcotest.test_case "sink: tee + counter" `Quick test_sink_tee_and_counter;
+    Alcotest.test_case "sink: observe reconstructs events" `Quick test_sink_observe_matches_collector;
+    Alcotest.test_case "sink: filter_thread" `Quick test_sink_filter_thread;
+    QCheck_alcotest.to_alcotest prop_exact_engines_match_oracle;
+    QCheck_alcotest.to_alcotest prop_live_equals_replay;
+    Alcotest.test_case "trace file round trip, all modes" `Slow test_trace_file_round_trip;
+    Alcotest.test_case "signature engines == oracle (fixed seeds)" `Slow
+      test_signature_engines_match_oracle_fixed_seeds;
+    Alcotest.test_case "mt wrapper nests engine extras" `Quick test_with_mt_nests_extra;
+  ]

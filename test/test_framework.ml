@@ -98,7 +98,7 @@ let test_loop_table () =
       ]
   in
   let summary = Ddp_analyses.Loop_parallelism.analyze ~perfect:true prog in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"perfect" prog in
   let table = Ddp_analyses.Loop_table.of_regions ~summary outcome.regions in
   Alcotest.(check int) "two loops" 2 (List.length table);
   let by_line line =
@@ -118,7 +118,7 @@ let test_loop_table_render () =
   let prog =
     B.program ~name:"t" [ B.for_ "i" (B.i 0) (B.i 3) (fun _ -> [ B.nop ]) ]
   in
-  let outcome = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let outcome = Ddp_core.Profiler.profile ~mode:"perfect" prog in
   let table = Ddp_analyses.Loop_table.of_regions outcome.regions in
   let s = Ddp_analyses.Loop_table.render table in
   Alcotest.(check bool) "renders rows" true (String.length s > 40)

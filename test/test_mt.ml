@@ -85,7 +85,7 @@ let counter_program ~locked =
 
 let races_of ~locked =
   let outcome =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked)
+    Ddp_core.Profiler.profile ~mode:"serial" ~mt:true (counter_program ~locked)
   in
   Ddp_analyses.Race_report.count outcome.deps
 
@@ -100,7 +100,7 @@ let test_mt_parallel_profiler_races () =
      profiler. *)
   let config = { Ddp_core.Config.default with workers = 3; slots = 1 lsl 16; chunk_size = 16 } in
   let outcome =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config ~mt:true
+    Ddp_core.Profiler.profile ~mode:"parallel" ~config ~mt:true
       (counter_program ~locked:false)
   in
   Alcotest.(check bool) "parallel profiler flags too" true
@@ -108,7 +108,7 @@ let test_mt_parallel_profiler_races () =
 
 let test_mt_dep_thread_ids () =
   let outcome =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked:true)
+    Ddp_core.Profiler.profile ~mode:"serial" ~mt:true (counter_program ~locked:true)
   in
   let cross =
     Ddp_core.Dep_store.fold outcome.deps
@@ -119,7 +119,7 @@ let test_mt_dep_thread_ids () =
 
 let test_mt_delayed_counter () =
   let outcome =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (counter_program ~locked:false)
+    Ddp_core.Profiler.profile ~mode:"serial" ~mt:true (counter_program ~locked:false)
   in
   Alcotest.(check bool) "unlocked accesses were delayed" true (outcome.mt_delayed > 0)
 

@@ -177,7 +177,7 @@ let workload_equivalence name =
   in
   let reference = sharded_serial_reference ~config (w.Ddp_workloads.Wl.seq ~scale:1) in
   let par =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config
+    Ddp_core.Profiler.profile ~mode:"parallel" ~config
       (w.Ddp_workloads.Wl.seq ~scale:1)
   in
   Alcotest.(check bool)

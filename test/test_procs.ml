@@ -112,7 +112,7 @@ let test_proc_deps_attributed () =
         B.for_ "i" (B.i 0) (B.i 5) (fun _ -> [ B.call_proc "bump" [] ]);
       ]
   in
-  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+  let o = Ddp_core.Profiler.profile ~mode:"perfect" prog in
   let raw, _, _, _, _ = Ddp_core.Report.kind_counts o.deps in
   Alcotest.(check bool) "RAW through procedure" true (raw > 0)
 

@@ -14,8 +14,8 @@ let small_prog () =
 
 let test_modes_agree_when_collision_free () =
   let config = { Ddp_core.Config.default with slots = 1 lsl 16 } in
-  let serial = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config (small_prog ()) in
-  let perfect = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect ~config (small_prog ()) in
+  let serial = Ddp_core.Profiler.profile ~mode:"serial" ~config (small_prog ()) in
+  let perfect = Ddp_core.Profiler.profile ~mode:"perfect" ~config (small_prog ()) in
   Alcotest.(check bool) "serial == perfect on tiny program" true
     (Ddp_core.Dep_store.Key_set.equal
        (Ddp_core.Dep_store.key_set serial.deps)
@@ -23,7 +23,7 @@ let test_modes_agree_when_collision_free () =
 
 let test_parallel_outcome_fields () =
   let config = { Ddp_core.Config.default with workers = 2; slots = 1 lsl 12 } in
-  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config (small_prog ()) in
+  let o = Ddp_core.Profiler.profile ~mode:"parallel" ~config (small_prog ()) in
   (match o.parallel with
   | Some r ->
     Alcotest.(check int) "2 workers" 2 (Array.length r.Ddp_core.Parallel_profiler.per_worker_events)
@@ -36,8 +36,8 @@ let test_mt_flag_enables_machinery () =
     B.program ~name:"t"
       [ B.local "x" (B.i 0); B.par [ [ B.assign "x" (B.i 1) ]; [ B.assign "x" (B.i 2) ] ] ]
   in
-  let off = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (prog ()) in
-  let on = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true (prog ()) in
+  let off = Ddp_core.Profiler.profile ~mode:"serial" (prog ()) in
+  let on = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true (prog ()) in
   Alcotest.(check int) "no delays without mt" 0 off.mt_delayed;
   Alcotest.(check bool) "delays with mt" true (on.mt_delayed > 0)
 
@@ -45,7 +45,7 @@ let test_accounting_populated () =
   let acct = Ddp_util.Mem_account.create () in
   let config = { Ddp_core.Config.default with slots = 1 lsl 12 } in
   let (_ : Ddp_core.Profiler.outcome) =
-    Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~config ~account:(acct, "deps")
+    Ddp_core.Profiler.profile ~mode:"serial" ~config ~account:(acct, "deps")
       (small_prog ())
   in
   Alcotest.(check bool) "signatures charged" true
@@ -64,7 +64,7 @@ let golden_report =
     ]
 
 let test_golden_report () =
-  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect (small_prog ()) in
+  let o = Ddp_core.Profiler.profile ~mode:"perfect" (small_prog ()) in
   Alcotest.(check string) "exact Fig.-1-style rendering" golden_report
     (Ddp_core.Profiler.report o)
 

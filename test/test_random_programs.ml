@@ -111,7 +111,7 @@ let prop_perfect_matches_oracle_end_to_end =
             done
           | _ -> ())
         tr;
-      let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+      let o = Ddp_core.Profiler.profile ~mode:"perfect" prog in
       Ddp_core.Dep_store.Key_set.equal (Ddp_core.Dep_store.key_set o.deps) !expected)
 
 (* The full parallel pipeline agrees with the sharded serial reference on
@@ -162,7 +162,7 @@ let prop_parallel_matches_sharded_end_to_end =
         }
       in
       let (_ : Ddp_minir.Interp.stats) = Ddp_minir.Interp.run ~hooks prog in
-      let par = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Parallel ~config prog in
+      let par = Ddp_core.Profiler.profile ~mode:"parallel" ~config prog in
       Ddp_core.Dep_store.Key_set.equal
         (Ddp_core.Dep_store.key_set reference)
         (Ddp_core.Dep_store.key_set par.deps))
@@ -171,7 +171,7 @@ let prop_parallel_matches_sharded_end_to_end =
 let prop_report_total =
   QCheck.Test.make ~name:"report renders and covers executed loops" ~count:60
     Gen_prog.arbitrary_program (fun prog ->
-      let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect prog in
+      let o = Ddp_core.Profiler.profile ~mode:"perfect" prog in
       let report = Ddp_core.Profiler.report o in
       let begins = Ddp_core.Region.fold o.regions (fun _ _ acc -> acc + 1) 0 in
       let count_sub needle =

@@ -2,7 +2,7 @@
 
 module B = Ddp_minir.Builder
 
-let outcome_of prog = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial prog
+let outcome_of prog = Ddp_core.Profiler.profile ~mode:"serial" prog
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -39,7 +39,7 @@ let test_thread_format () =
         B.par [ [ B.assign "x" (B.i 1) ]; [ B.assign "x" (B.i 2) ] ];
       ]
   in
-  let o = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial ~mt:true prog in
+  let o = Ddp_core.Profiler.profile ~mode:"serial" ~mt:true prog in
   let s = Ddp_core.Profiler.report ~show_threads:true o in
   (* sinks look like "1:3|1", sources like "{WAW 1:1|0|x}" *)
   check_contains "sink with thread id" "|" s;

@@ -39,7 +39,7 @@ let test_replay_into_profiler_matches_live () =
   let path = tmp "replay.trace" in
   TF.record ~path (sample_prog ());
   let events, _ = TF.load ~path in
-  let live = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Perfect (sample_prog ()) in
+  let live = Ddp_core.Profiler.profile ~mode:"perfect" (sample_prog ()) in
   let replayed = Ddp_core.Serial_profiler.create_perfect Ddp_core.Config.default in
   Ddp_minir.Event.replay replayed.Ddp_core.Serial_profiler.hooks events;
   Alcotest.(check bool) "same dependences from trace replay" true

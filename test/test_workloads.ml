@@ -51,8 +51,8 @@ let par_run_cases =
    same dependence set. *)
 let test_profiling_deterministic () =
   let w = Ddp_workloads.Registry.find "is" in
-  let o1 = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (w.seq ~scale:1) in
-  let o2 = Ddp_core.Profiler.profile ~mode:Ddp_core.Profiler.Serial (w.seq ~scale:1) in
+  let o1 = Ddp_core.Profiler.profile ~mode:"serial" (w.seq ~scale:1) in
+  let o2 = Ddp_core.Profiler.profile ~mode:"serial" (w.seq ~scale:1) in
   Alcotest.(check bool) "same deps" true
     (Ddp_core.Dep_store.Key_set.equal
        (Ddp_core.Dep_store.key_set o1.deps)
