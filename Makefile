@@ -1,9 +1,13 @@
 # Convenience targets; `make check` is the tier-1 gate CI runs.
 
-DDPROF = dune exec --no-print-directory bin/ddprof.exe --
-MODES  = serial perfect parallel mt shadow hashtable
+DDPROF   = dune exec --no-print-directory bin/ddprof.exe --
+DDPCHECK = dune exec --no-print-directory bin/ddpcheck.exe --
+MODES    = serial perfect parallel mt shadow hashtable
 
-.PHONY: all build check test smoke bench clean
+# Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
+DDP_SEED ?= 421
+
+.PHONY: all build check test smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
 
@@ -24,6 +28,18 @@ smoke: build
 	  echo "== kmeans --mode $$mode =="; \
 	  $(DDPROF) run kmeans --mode $$mode || exit 1; \
 	done
+
+# Differential fuzzing + schedule exploration, small fixed-seed budget
+# (~30s): every engine diffed against the perfect oracle, the virtual
+# scheduler swept for queue-full / drain-barrier interleavings, and the
+# mutation fire drill.  Reproduce any failure with the printed seed pair:
+#   dune exec bin/ddpcheck.exe -- diff --seed <prog_seed>
+fuzz-smoke: build
+	$(DDPCHECK) all --seed $(DDP_SEED) --count 40 --par --out _fuzz
+
+# The long-haul nightly budget.  Shrunk counterexamples land in _fuzz/.
+fuzz-nightly: build
+	$(DDPCHECK) all --seed $(DDP_SEED) --count 400 --par --out _fuzz
 
 bench:
 	dune exec bench/main.exe

@@ -1,0 +1,283 @@
+(* ddpcheck — differential fuzzing and deterministic schedule exploration
+   for the profiler pipeline.
+
+     ddpcheck all                       # fixed-seed smoke sweep (CI)
+     ddpcheck diff --seed 7 --count 200 # engine-vs-oracle differential fuzz
+     ddpcheck sched --count 50          # virtual-scheduler interleavings
+     ddpcheck mutants                   # the harness catches broken engines
+     DDP_SEED=1234 ddpcheck all         # env-var seed plumbing
+
+   Every failure prints (and, with --out DIR, writes) the shrunk
+   counterexample program together with the exact seed pair that replays
+   it.  Exit status 1 on any genuine discrepancy. *)
+
+open Cmdliner
+module TK = Ddp_testkit
+module Config = Ddp_core.Config
+module Accuracy = Ddp_core.Accuracy
+
+let () = Ddp_baselines.Baseline_engines.register ()
+let () = TK.Vsched.register_engine ()
+
+(* -- common args ---------------------------------------------------------- *)
+
+let seed_arg =
+  let doc = "Master seed (default: $(b,DDP_SEED) from the environment, else 421)." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"S" ~doc)
+
+let count_arg =
+  Arg.(value & opt int 25 & info [ "count" ] ~docv:"N" ~doc:"Programs per sweep.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Write shrunk counterexamples under DIR.")
+
+let par_arg =
+  Arg.(value & flag & info [ "par" ] ~doc:"Generate multi-threaded (Par) programs too.")
+
+let resolve_seed = function Some s -> s | None -> TK.Seed.resolve ()
+
+let save_counterexample ~out ~tag ~seed ~body =
+  match out with
+  | None -> ()
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let path = Filename.concat dir (Printf.sprintf "%s-seed%d.txt" tag seed) in
+    Out_channel.with_open_text path (fun oc -> output_string oc body);
+    Printf.printf "  counterexample written to %s\n%!" path
+
+(* -- diff ----------------------------------------------------------------- *)
+
+(* One seed: generate, run every engine against the oracle, shrink on
+   genuine discrepancy.  Returns true on success. *)
+let diff_one ~out ~shape ~master k =
+  let prog_seed = TK.Seed.derive master (2 * k) in
+  let sched_seed = TK.Seed.derive master ((2 * k) + 1) in
+  let prog = TK.Prog_gen.generate ~shape ~seed:prog_seed () in
+  let outcome = TK.Diff.run ~sched_seed prog in
+  if outcome.TK.Diff.ok then true
+  else begin
+    let shrunk = TK.Diff.shrink ~sched_seed outcome in
+    let body =
+      Printf.sprintf
+        "ddpcheck diff: genuine engine/oracle discrepancy\n\
+         master seed: %d (program #%d; prog_seed=%d sched_seed=%d)\n\
+         repro: DDP_SEED=%d ddpcheck diff --count %d\n\n\
+         shrunk program (%d statements):\n%s\n%s"
+        master k prog_seed sched_seed master (k + 1)
+        (TK.Prog_gen.stmt_count shrunk.TK.Diff.prog)
+        (TK.Prog_gen.print shrunk.TK.Diff.prog)
+        (TK.Diff.report_to_string shrunk)
+    in
+    Printf.printf "FAIL [diff] seed %d program %d %s\n%s%!" master k
+      (TK.Seed.describe master) body;
+    save_counterexample ~out ~tag:"diff" ~seed:prog_seed ~body;
+    false
+  end
+
+let run_diff seed count out par =
+  let master = resolve_seed seed in
+  let shapes =
+    TK.Prog_gen.default_shape :: (if par then [ TK.Prog_gen.par_shape ] else [])
+  in
+  Printf.printf "ddpcheck diff: %d programs x %d engines, master seed %d\n%!" count
+    (List.length (TK.Diff.engines_under_test ()))
+    master;
+  let failures = ref 0 in
+  List.iter
+    (fun shape ->
+      for k = 0 to count - 1 do
+        if not (diff_one ~out ~shape ~master k) then incr failures
+      done)
+    shapes;
+  if !failures = 0 then begin
+    Printf.printf "diff: ok (%d programs)\n%!" (count * List.length shapes);
+    0
+  end
+  else begin
+    Printf.printf "diff: %d genuine discrepancies\n%!" !failures;
+    1
+  end
+
+(* -- sched ---------------------------------------------------------------- *)
+
+(* Small queues and tight redistribution make the interesting stalls
+   (queue-full, drain-barrier) common instead of rare. *)
+let stress_config =
+  {
+    Config.default with
+    workers = 3;
+    chunk_size = 4;
+    queue_capacity = 2;
+    redistribution_interval = 8;
+    hot_set_size = 2;
+    stats_sample = 1;  (* sample every access so the hot set is populated *)
+  }
+
+let sched_one ~out ~master k =
+  let prog_seed = TK.Seed.derive master (3 * k) in
+  let vseed = TK.Seed.derive master ((3 * k) + 1) in
+  let prog = TK.Prog_gen.generate ~shape:TK.Prog_gen.par_shape ~seed:prog_seed () in
+  let run () = TK.Vsched.profile ~config:stress_config ~sched_seed:vseed prog in
+  let a = run () in
+  let b = run () in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        ok := false;
+        let body =
+          Printf.sprintf
+            "ddpcheck sched: %s\nmaster seed %d program #%d (prog_seed=%d vsched_seed=%d)\n\
+             repro: DDP_SEED=%d ddpcheck sched --count %d\n\n%s"
+            msg master k prog_seed vseed master (k + 1) (TK.Prog_gen.print prog)
+        in
+        Printf.printf "FAIL [sched] %s\n%!" body;
+        save_counterexample ~out ~tag:"sched" ~seed:prog_seed ~body)
+      fmt
+  in
+  (* Replay determinism: same (program, schedule) seed pair, identical
+     interleaving and identical output. *)
+  if a.TK.Vsched.trace.TK.Vsched.fingerprint <> b.TK.Vsched.trace.TK.Vsched.fingerprint then
+    fail "same seed pair produced different interleavings (fingerprint mismatch)";
+  let keys r = Ddp_core.Dep_store.key_set_no_race r.TK.Vsched.result.Ddp_core.Parallel_profiler.deps in
+  if not (Ddp_core.Dep_store.Key_set.equal (keys a) (keys b)) then
+    fail "same seed pair produced different dependence sets";
+  (* Accuracy under the explored interleaving: signature-modeled bound
+     against the perfect oracle. *)
+  let oracle = Ddp_core.Profiler.profile ~mode:"perfect" ~sched_seed:42 prog in
+  let acc =
+    Accuracy.compare_stores
+      ~profiled:a.TK.Vsched.result.Ddp_core.Parallel_profiler.deps
+      ~perfect:oracle.Ddp_core.Profiler.deps
+  in
+  let addresses = max 1 oracle.Ddp_core.Profiler.run_stats.Ddp_minir.Interp.addresses in
+  let allow n =
+    TK.Diff.allowance ~slack:1.0 ~slots:stress_config.Config.slots ~addresses n
+  in
+  if
+    acc.Accuracy.false_positives > allow (max acc.Accuracy.reported acc.Accuracy.ground_truth)
+    || acc.Accuracy.false_negatives > allow acc.Accuracy.ground_truth
+  then
+    fail "virtual-schedule run diverged from oracle beyond the signature model (FP %d FN %d)"
+      acc.Accuracy.false_positives acc.Accuracy.false_negatives;
+  (* Fault storms (semantics-preserving classes only: back-pressure,
+     forced redistribution, worker stalls) must not change the output. *)
+  let faults = Ddp_core.Fault.create ~queue_full:5 ~redistributions:2 ~stalls:6 () in
+  let f =
+    TK.Vsched.profile
+      ~config:{ stress_config with Config.faults = Some faults }
+      ~sched_seed:vseed prog
+  in
+  if not (Ddp_core.Dep_store.Key_set.equal (keys a) (keys f)) then
+    fail "semantics-preserving fault injection changed the dependence set";
+  (a.TK.Vsched.trace, !ok)
+
+let run_sched seed count out =
+  let master = resolve_seed seed in
+  Printf.printf "ddpcheck sched: %d programs under the virtual scheduler, master seed %d\n%!"
+    count master;
+  let failures = ref 0 in
+  let qf = ref 0 and dr = ref 0 in
+  for k = 0 to count - 1 do
+    let tr, ok = sched_one ~out ~master k in
+    qf := !qf + tr.TK.Vsched.queue_full_stalls;
+    dr := !dr + tr.TK.Vsched.drain_stalls;
+    if not ok then incr failures
+  done;
+  Printf.printf "sched: %d queue-full stalls, %d drain-barrier waits explored\n%!" !qf !dr;
+  (* The sweep must actually reach the interesting blocking points —
+     a silent zero here means the stress config stopped stressing. *)
+  if !qf = 0 || !dr = 0 then begin
+    Printf.printf "sched: FAIL — sweep never hit %s\n%!"
+      (if !qf = 0 then "a queue-full stall" else "a drain barrier");
+    incr failures
+  end;
+  if !failures = 0 then begin
+    Printf.printf "sched: ok (%d programs, deterministic and within model)\n%!" count;
+    0
+  end
+  else begin
+    Printf.printf "sched: %d failures\n%!" !failures;
+    1
+  end
+
+(* -- mutants -------------------------------------------------------------- *)
+
+let run_mutants seed count out =
+  let master = resolve_seed seed in
+  let names = TK.Mutant.register () in
+  Printf.printf "ddpcheck mutants: %d mutants x %d programs, master seed %d\n%!"
+    (List.length names) count master;
+  let code = ref 0 in
+  List.iter
+    (fun name ->
+      let witness = ref None in
+      let k = ref 0 in
+      while !witness = None && !k < count do
+        let prog_seed = TK.Seed.derive master (100 + !k) in
+        let sched_seed = TK.Seed.derive master (500 + !k) in
+        let prog = TK.Prog_gen.generate ~seed:prog_seed () in
+        let outcome = TK.Diff.run ~engines:[ name ] ~sched_seed prog in
+        if not outcome.TK.Diff.ok then witness := Some (TK.Diff.shrink ~sched_seed outcome);
+        incr k
+      done;
+      match !witness with
+      | None ->
+        Printf.printf "FAIL [mutants] %s survived %d programs — harness lost its teeth\n%!"
+          name count;
+        code := 1
+      | Some shrunk ->
+        let n = TK.Prog_gen.stmt_count shrunk.TK.Diff.prog in
+        Printf.printf "  %s caught (program %d, shrunk witness: %d statements)\n%!" name !k n;
+        save_counterexample ~out ~tag:("mutant-" ^ name) ~seed:master
+          ~body:
+            (Printf.sprintf "mutant %s witness (%d statements):\n%s\n%s" name n
+               (TK.Prog_gen.print shrunk.TK.Diff.prog)
+               (TK.Diff.report_to_string shrunk)))
+    names;
+  if !code = 0 then Printf.printf "mutants: ok (all caught)\n%!";
+  !code
+
+(* -- commands ------------------------------------------------------------- *)
+
+let diff_cmd =
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Differential fuzz: every engine vs. the perfect oracle.")
+    Term.(const (fun s c o p -> Stdlib.exit (run_diff s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg)
+
+let sched_cmd =
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:"Explore producer/worker interleavings with the deterministic virtual scheduler.")
+    Term.(const (fun s c o -> Stdlib.exit (run_sched s c o)) $ seed_arg $ count_arg $ out_arg)
+
+let mutants_cmd =
+  Cmd.v
+    (Cmd.info "mutants" ~doc:"Check the harness catches deliberately broken engines.")
+    Term.(const (fun s c o -> Stdlib.exit (run_mutants s c o)) $ seed_arg $ count_arg $ out_arg)
+
+let run_all seed count out par =
+  let d = run_diff seed count out par in
+  let s = run_sched seed (max 10 (count / 2)) out in
+  let m = run_mutants seed count out in
+  if d + s + m = 0 then begin
+    Printf.printf "ddpcheck: all sweeps green\n%!";
+    0
+  end
+  else 1
+
+let all_cmd =
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run diff, sched and mutants sweeps (the CI smoke entry point).")
+    Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg)
+
+let () =
+  let info =
+    Cmd.info "ddpcheck" ~version:"1.0"
+      ~doc:"Differential fuzzing and schedule exploration for the dependence profiler."
+  in
+  let default = Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg) in
+  exit (Cmd.eval' (Cmd.group ~default info [ all_cmd; diff_cmd; sched_cmd; mutants_cmd ]))

@@ -32,6 +32,11 @@ let is_full t = t.len >= t.capacity
 let length t = t.len
 let clear t = t.len <- 0
 
+(* Drop events past [len] (fault injection: simulated chunk corruption). *)
+let truncate t len =
+  if len < 0 || len > t.len then invalid_arg "Chunk.truncate: bad length";
+  t.len <- len
+
 let push t ~addr ~op ~payload ~time =
   let i = t.len in
   t.addrs.(i) <- addr;

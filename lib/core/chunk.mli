@@ -13,6 +13,9 @@ val is_full : t -> bool
 val length : t -> int
 val clear : t -> unit
 
+val truncate : t -> int -> unit
+(** Drop events past the given length (fault injection only). *)
+
 val push : t -> addr:int -> op:int -> payload:int -> time:int -> unit
 (** Precondition: [not (is_full t)]. *)
 

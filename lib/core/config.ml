@@ -24,6 +24,10 @@ type t = {
      merging work, at the price of statement precision.  Serial profiler
      only. *)
   seed : int;
+  faults : Fault.t option;
+  (* Fault-injection plan for the parallel pipeline (testkit only).
+     [None] — the default — compiles the checks down to one [match] per
+     chunk operation; the per-access hot path never consults it. *)
 }
 
 let default =
@@ -43,6 +47,7 @@ let default =
     section_level = false;
     seed = 1;
     reorder_window = 6;
+    faults = None;
   }
 
 (* Slot budget per worker: the paper splits the global signature evenly

@@ -19,6 +19,9 @@ type t = {
       (** Sec. VI-B set-based profiling: loop-region granularity instead
           of statements (serial profiler only). *)
   seed : int;
+  faults : Fault.t option;
+      (** Fault-injection plan (testkit only); [None] — the default —
+          leaves the pipeline untouched. *)
 }
 
 val default : t

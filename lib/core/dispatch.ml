@@ -83,6 +83,27 @@ let rebalance t =
     end
   end
 
+(* Forced redistribution (fault injection): rotate the hot set across
+   workers unconditionally, even when the distribution is balanced.  The
+   rotation offset advances with the redistribution count so repeated
+   forcing keeps producing fresh migrations. *)
+let force_rebalance t =
+  match hot_addresses t with
+  | [] -> []
+  | hot ->
+    t.redistributions <- t.redistributions + 1;
+    let moves = ref [] in
+    List.iteri
+      (fun i addr ->
+        let target = (i + t.redistributions) mod t.workers in
+        let current = worker_of t addr in
+        if current <> target then begin
+          Hashtbl.replace t.overrides addr target;
+          moves := (addr, current, target) :: !moves
+        end)
+      hot;
+    List.rev !moves
+
 let redistributions t = t.redistributions
 let override_count t = Hashtbl.length t.overrides
 let stats_entries t = Hashtbl.length t.stats

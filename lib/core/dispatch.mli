@@ -19,6 +19,11 @@ val rebalance : t -> (int * int * int) list
 (** Check the hot-set balance; returns [(addr, old, new)] moves performed
     (empty when already balanced).  Caller must migrate signature state. *)
 
+val force_rebalance : t -> (int * int * int) list
+(** Unconditionally rotate the hot set across workers (fault injection);
+    same contract as {!rebalance}.  Empty only when no statistics have
+    been sampled yet or a move-free rotation comes up. *)
+
 val redistributions : t -> int
 val override_count : t -> int
 val stats_entries : t -> int

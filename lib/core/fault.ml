@@ -1,0 +1,97 @@
+(* Fault injection for the parallel pipeline (testkit infrastructure).
+
+   A fault plan is a small mutable budget record threaded through
+   {!Config}: [Config.faults = None] in production, so the pipeline pays
+   exactly one [match] per *chunk*-granularity operation (flush, worker
+   pop, redistribution check) and nothing on the per-access hot path.
+   When a plan is present, the profiler consumes budgets at well-defined
+   points:
+
+   - [queue_full]: the next pushes behave as if the bounded queue were
+     full [burst] extra times before the real attempt — a back-pressure
+     storm that drives the producer through its stall path;
+   - [redistributions]: the next redistribution checks fire regardless
+     of the interval and force the dispatcher to move the hot set even
+     when it is balanced, exercising the drain barrier + migration;
+   - [truncations]: the next flushed chunks silently lose their last
+     event — a deliberate corruption that a differential harness must
+     detect (used to guard the guard);
+   - [stalls]: workers in [stall_mask] refuse scheduling opportunities
+     under the virtual scheduler while budget remains.
+
+   Budgets make every fault finite, so injected stalls can never
+   livelock a deterministic schedule.  Counters record what was actually
+   injected, so tests can assert the fault fired. *)
+
+type t = {
+  mutable queue_full_budget : int;
+  mutable queue_full_burst : int;  (* simulated failures per affected push *)
+  mutable redistribution_budget : int;
+  mutable truncation_budget : int;
+  mutable stall_budget : int;
+  mutable stall_mask : int;  (* bit w set: worker w may stall *)
+  (* observability: what actually fired *)
+  mutable queue_full_injected : int;
+  mutable redistributions_forced : int;
+  mutable truncations_injected : int;
+  mutable stalls_injected : int;
+}
+
+let create ?(queue_full = 0) ?(queue_full_burst = 3) ?(redistributions = 0) ?(truncations = 0)
+    ?(stalls = 0) ?(stall_mask = -1) () =
+  {
+    queue_full_budget = queue_full;
+    queue_full_burst = max 1 queue_full_burst;
+    redistribution_budget = redistributions;
+    truncation_budget = truncations;
+    stall_budget = stalls;
+    stall_mask;
+    queue_full_injected = 0;
+    redistributions_forced = 0;
+    truncations_injected = 0;
+    stalls_injected = 0;
+  }
+
+(* Number of simulated queue-full failures to inject before this push
+   (0 when the budget is spent). *)
+let take_queue_full t =
+  if t.queue_full_budget <= 0 then 0
+  else begin
+    let n = min t.queue_full_burst t.queue_full_budget in
+    t.queue_full_budget <- t.queue_full_budget - n;
+    t.queue_full_injected <- t.queue_full_injected + n;
+    n
+  end
+
+let take_forced_redistribution t =
+  t.redistribution_budget > 0
+  && begin
+       t.redistribution_budget <- t.redistribution_budget - 1;
+       t.redistributions_forced <- t.redistributions_forced + 1;
+       true
+     end
+
+let take_truncation t =
+  t.truncation_budget > 0
+  && begin
+       t.truncation_budget <- t.truncation_budget - 1;
+       t.truncations_injected <- t.truncations_injected + 1;
+       true
+     end
+
+let take_stall t ~worker =
+  t.stall_budget > 0
+  && t.stall_mask land (1 lsl worker) <> 0
+  && begin
+       t.stall_budget <- t.stall_budget - 1;
+       t.stalls_injected <- t.stalls_injected + 1;
+       true
+     end
+
+let exhausted t =
+  t.queue_full_budget <= 0 && t.redistribution_budget <= 0 && t.truncation_budget <= 0
+  && t.stall_budget <= 0
+
+let pp ppf t =
+  Format.fprintf ppf "queue-full %d, forced-redistributions %d, truncations %d, stalls %d"
+    t.queue_full_injected t.redistributions_forced t.truncations_injected t.stalls_injected

@@ -1,0 +1,46 @@
+(** Fault injection plans for the parallel pipeline.
+
+    A plan is a record of finite budgets consumed by the profiler at
+    chunk-granularity points (never the per-access hot path); with
+    [Config.faults = None] — the default — the pipeline is unchanged.
+    Counters record what actually fired so tests can assert injection
+    happened.  See the implementation header for the exact semantics of
+    each fault class. *)
+
+type t = {
+  mutable queue_full_budget : int;
+  mutable queue_full_burst : int;
+  mutable redistribution_budget : int;
+  mutable truncation_budget : int;
+  mutable stall_budget : int;
+  mutable stall_mask : int;
+  mutable queue_full_injected : int;
+  mutable redistributions_forced : int;
+  mutable truncations_injected : int;
+  mutable stalls_injected : int;
+}
+
+val create :
+  ?queue_full:int ->
+  ?queue_full_burst:int ->
+  ?redistributions:int ->
+  ?truncations:int ->
+  ?stalls:int ->
+  ?stall_mask:int ->
+  unit ->
+  t
+(** All budgets default to 0 (no injection); [stall_mask] defaults to
+    every worker; [queue_full_burst] (simulated failures per affected
+    push) defaults to 3. *)
+
+val take_queue_full : t -> int
+(** Simulated queue-full failures to inject before the next push. *)
+
+val take_forced_redistribution : t -> bool
+val take_truncation : t -> bool
+
+val take_stall : t -> worker:int -> bool
+(** Should [worker] decline this (virtual) scheduling opportunity? *)
+
+val exhausted : t -> bool
+val pp : Format.formatter -> t -> unit

@@ -57,6 +57,21 @@ let make_queue ~lock_free ~capacity =
 let backoff spins =
   if spins < 64 then Domain.cpu_relax () else Unix.sleepf 0.000_05
 
+(* Producer-side blocking points, exposed to the virtual scheduler. *)
+type stall =
+  | Queue_full of int  (* worker id whose queue rejected a push *)
+  | Drain_wait of int  (* worker id the drain barrier is waiting on *)
+
+(* Virtual-scheduler callbacks (single-domain deterministic mode).
+   [on_chunk w] fires before each chunk push to worker [w] — a plain
+   interleaving opportunity; [on_stall] fires when the producer cannot
+   make progress and MUST advance the named worker (via {!worker_step})
+   or the run livelocks. *)
+type vsched = {
+  on_chunk : int -> unit;
+  on_stall : stall -> unit;
+}
+
 type worker = {
   id : int;
   work_q : queue;
@@ -79,6 +94,8 @@ type t = {
   regions : Region.t;
   global_deps : Dep_store.t;
   stop : bool Atomic.t;
+  virtual_mode : bool;  (* no domains; workers advance via worker_step *)
+  mutable vsched : vsched option;
   mutable domains : unit Domain.t array;
   mutable chunks_pushed : int;
   mutable last_redistribution_check : int;  (* chunks_pushed at the last check *)
@@ -116,6 +133,18 @@ let process_chunk w chunk =
   done;
   w.events <- w.events + n
 
+(* Consume one popped chunk: the worker's unit of progress, shared by the
+   domain loop and the virtual scheduler's worker_step. *)
+let consume w chunk =
+  let t0 = Clock.now () in
+  process_chunk w chunk;
+  w.busy <- w.busy +. (Clock.now () -. t0);
+  Chunk.clear chunk;
+  Atomic.incr w.processed;
+  (* Recycle; if the return queue is full the chunk is dropped and the
+     producer will allocate a fresh one. *)
+  ignore (w.recycle_q.try_push chunk : bool)
+
 let worker_loop stop w =
   let spins = ref 0 in
   let running = ref true in
@@ -123,14 +152,7 @@ let worker_loop stop w =
     match w.work_q.pop () with
     | Some chunk ->
       spins := 0;
-      let t0 = Clock.now () in
-      process_chunk w chunk;
-      w.busy <- w.busy +. (Clock.now () -. t0);
-      Chunk.clear chunk;
-      Atomic.incr w.processed;
-      (* Recycle; if the return queue is full the chunk is dropped and the
-         producer will allocate a fresh one. *)
-      ignore (w.recycle_q.try_push chunk : bool)
+      consume w chunk
     | None ->
       if Atomic.get stop && Atomic.get w.pushed = Atomic.get w.processed then running := false
       else begin
@@ -157,6 +179,42 @@ let acquire_chunk t w =
     charge t (Chunk.bytes c);
     c
 
+(* Virtual mode: advance worker [w_id] by one chunk.  Returns false when
+   its queue is empty.  Only meaningful without domains — with real
+   workers running this would violate SPSC single-consumer ownership. *)
+let worker_step t w_id =
+  let w = t.workers.(w_id) in
+  match t.config.faults with
+  | Some f when Fault.take_stall f ~worker:w_id ->
+    false (* injected stall: the worker declines this opportunity *)
+  | _ -> (
+    match w.work_q.pop () with
+    | Some chunk ->
+      consume w chunk;
+      true
+    | None -> false)
+
+(* One blocked-producer beat: under the virtual scheduler, hand control
+   to the schedule chooser (which must advance the named worker); in
+   virtual mode without a chooser, advance the blocked-on worker
+   directly (a plain sequential schedule); with real domains, back off
+   and retry. *)
+let stall t reason spins =
+  match t.vsched with
+  | Some vs -> vs.on_stall reason
+  | None ->
+    if t.virtual_mode then (
+      match reason with
+      | Queue_full w | Drain_wait w -> ignore (worker_step t w : bool))
+    else begin
+      incr spins;
+      backoff !spins
+    end
+
+let queue_depth t w_id =
+  let w = t.workers.(w_id) in
+  Atomic.get w.pushed - Atomic.get w.processed
+
 (* Drain barrier: wait until every worker has consumed everything pushed
    to it.  Used by redistribution and at shutdown. *)
 let drain t =
@@ -164,8 +222,7 @@ let drain t =
     (fun w ->
       let spins = ref 0 in
       while Atomic.get w.pushed <> Atomic.get w.processed do
-        incr spins;
-        backoff !spins
+        stall t (Drain_wait w.id) spins
       done)
     t.workers
 
@@ -189,11 +246,22 @@ let flush_chunk t w_id =
   let chunk = t.open_chunks.(w_id) in
   if Chunk.length chunk > 0 then begin
     let w = t.workers.(w_id) in
+    (* Fault injection (chunk granularity, compiled to one match when
+       off): simulated corruption and back-pressure storms. *)
+    (match t.config.faults with
+    | Some f ->
+      if Fault.take_truncation f then Chunk.truncate chunk (Chunk.length chunk - 1);
+      let storm = Fault.take_queue_full f in
+      let spins = ref 0 in
+      for _ = 1 to storm do
+        stall t (Queue_full w_id) spins
+      done
+    | None -> ());
+    (match t.vsched with Some vs -> vs.on_chunk w_id | None -> ());
     Atomic.incr w.pushed;
     let spins = ref 0 in
     while not (w.work_q.try_push chunk) do
-      incr spins;
-      backoff !spins
+      stall t (Queue_full w_id) spins
     done;
     t.open_chunks.(w_id) <- acquire_chunk t w;
     t.chunks_pushed <- t.chunks_pushed + 1
@@ -208,9 +276,17 @@ let flush_chunk t w_id =
    at the same count. *)
 let maybe_redistribute t =
   let interval = t.config.redistribution_interval in
-  if interval > 0 && t.chunks_pushed - t.last_redistribution_check >= interval then begin
+  let forced =
+    match t.config.faults with
+    | Some f -> Fault.take_forced_redistribution f
+    | None -> false
+  in
+  if forced || (interval > 0 && t.chunks_pushed - t.last_redistribution_check >= interval)
+  then begin
     t.last_redistribution_check <- t.chunks_pushed;
-    let moves_needed = Dispatch.rebalance t.dispatch in
+    let moves_needed =
+      if forced then Dispatch.force_rebalance t.dispatch else Dispatch.rebalance t.dispatch
+    in
     match moves_needed with
     | [] -> ()
     | moves ->
@@ -237,7 +313,7 @@ let route t ~addr ~op ~payload ~time =
 
 (* -- construction -------------------------------------------------------- *)
 
-let create ?account (config : Config.t) =
+let create ?account ?(virtual_mode = false) (config : Config.t) =
   let nw = max 1 config.workers in
   let sig_account = Option.map (fun (a, _) -> (a, "signatures")) account in
   let slots = Config.slots_per_worker { config with workers = nw } in
@@ -278,6 +354,8 @@ let create ?account (config : Config.t) =
     regions;
     global_deps;
     stop = Atomic.make false;
+    virtual_mode;
+    vsched = None;
     domains = [||];
     chunks_pushed = 0;
     last_redistribution_check = 0;
@@ -285,11 +363,19 @@ let create ?account (config : Config.t) =
     account;
   }
 
+let set_vsched t vs =
+  if not t.virtual_mode then
+    invalid_arg "Parallel_profiler.set_vsched: profiler was not created with ~virtual_mode";
+  t.vsched <- Some vs
+
 let start t =
   (* Charge the fixed pools once: open chunks and queues. *)
   Array.iter (fun c -> charge t (Chunk.bytes c)) t.open_chunks;
   Array.iter (fun w -> charge t (w.work_q.q_bytes + w.recycle_q.q_bytes)) t.workers;
-  t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop w)) t.workers
+  (* Virtual mode runs everything on the calling domain: workers advance
+     only through worker_step, driven by the vsched callbacks. *)
+  if not t.virtual_mode then
+    t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop w)) t.workers
 
 let hooks t =
   let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =

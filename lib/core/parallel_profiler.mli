@@ -6,6 +6,21 @@
 
 type t
 
+(** Producer-side blocking points, visible to the virtual scheduler. *)
+type stall =
+  | Queue_full of int  (** worker id whose bounded queue rejected a push *)
+  | Drain_wait of int  (** worker id the drain barrier is waiting on *)
+
+(** Deterministic single-domain scheduling callbacks.  [on_chunk w] is an
+    interleaving opportunity before each push to worker [w]; [on_stall]
+    fires when the producer is blocked and must advance the named worker
+    via {!worker_step} (injected worker stalls excepted — budgets keep
+    them finite). *)
+type vsched = {
+  on_chunk : int -> unit;
+  on_stall : stall -> unit;
+}
+
 type result = {
   deps : Dep_store.t;  (** merged global dependence map *)
   regions : Region.t;
@@ -19,10 +34,26 @@ type result = {
   dispatch_bytes : int;
 }
 
-val create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
+val create : ?account:Ddp_util.Mem_account.t * string -> ?virtual_mode:bool -> Config.t -> t
+(** [virtual_mode] (default false) builds the full pipeline — chunks,
+    bounded queues, dispatch, redistribution — but spawns no domains:
+    workers advance only through {!worker_step}, so every interleaving
+    of producer and worker progress is chosen explicitly (and
+    deterministically) by the {!vsched} callbacks. *)
+
+val set_vsched : t -> vsched -> unit
+(** Install the schedule chooser (virtual mode only; call before any
+    event reaches {!hooks}). *)
+
+val worker_step : t -> int -> bool
+(** Virtual mode: pop and process one chunk on the given worker.
+    [false] when its queue is empty. *)
+
+val queue_depth : t -> int -> int
+(** Chunks pushed to but not yet processed by the given worker. *)
 
 val start : t -> unit
-(** Spawn the worker domains. *)
+(** Spawn the worker domains (no-op in virtual mode). *)
 
 val hooks : t -> Ddp_minir.Event.hooks
 (** Producer-side instrumentation hooks; attach to an interpreter run

@@ -50,7 +50,15 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?account ?te
     match tee with None -> session.Engine.hooks | Some h -> Sink.tee session.Engine.hooks h
   in
   let t0 = Ddp_util.Clock.now () in
-  let sr = source.Source.run hooks in
+  let sr =
+    try source.Source.run hooks
+    with e ->
+      (* A failing source (e.g. a truncated trace file) must not leak the
+         engine's resources — the parallel engine spawns domains in
+         [create], and only [finish] stops and joins them. *)
+      (try ignore (session.Engine.finish () : Engine.outcome) with _ -> ());
+      raise e
+  in
   let eo = session.Engine.finish () in
   let elapsed = Ddp_util.Clock.now () -. t0 in
   {

@@ -122,8 +122,17 @@ let load ~path =
         match String.index_opt rest ' ' with
         | None -> fail "bad symtab line %S" line
         | Some sp2 ->
-          let id = int_of_string (String.sub rest 0 sp2) in
-          let name = Scanf.unescaped (String.sub rest (sp2 + 1) (String.length rest - sp2 - 1)) in
+          let id =
+            match int_of_string_opt (String.sub rest 0 sp2) with
+            | Some id -> id
+            | None -> fail "bad symtab id in line %S" line
+          in
+          let name =
+            let raw = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+            try Scanf.unescaped raw
+            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+              fail "bad escaped name %S in line %S" raw line
+          in
           if kind = "var" then pending_vars := (id, name) :: !pending_vars
           else if kind = "file" then pending_files := (id, name) :: !pending_files
           else fail "unknown symtab kind %S" kind)

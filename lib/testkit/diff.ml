@@ -1,0 +1,178 @@
+(* Differential harness: one generated program, every registered engine,
+   diffed against the perfect-signature oracle.
+
+   Each engine's dependence set is compared with {!Ddp_core.Accuracy};
+   the discrepancy is then *classified* rather than blindly failed:
+
+   - exact engines (perfect, shadow, hashtable) get [Strict] — any FP or
+     FN is a genuine bug;
+   - signature engines (serial, parallel, vpar, mt) get [Modeled]: hash
+     collisions legitimately produce a few false positives/negatives, so
+     the allowance is derived from the paper's Eq. (2) collision model
+     ([Fpr_model.p_fp] at the configured slot count and the run's
+     distinct-address count), with a small absolute floor;
+   - approximate-by-design baselines (stride's lossy merging) and the MT
+     frontend on multi-threaded programs (its reorder window legitimately
+     re-orders the stream) are [Skip]ped with a note.
+
+   Anything outside its allowance is a genuine discrepancy; the caller
+   shrinks the program to a minimal reproducer with {!shrink}. *)
+
+module Ast = Ddp_minir.Ast
+module Engine = Ddp_core.Engine
+module Profiler = Ddp_core.Profiler
+module Accuracy = Ddp_core.Accuracy
+module Fpr_model = Ddp_core.Fpr_model
+module Config = Ddp_core.Config
+
+type tolerance =
+  | Strict  (** exact engine: zero FPs, zero FNs *)
+  | Modeled of float  (** signature engine: Eq.-(2)-bounded, given slack *)
+  | Skip of string  (** not oracle-comparable; reason *)
+
+type verdict = {
+  engine : string;
+  tolerance : tolerance;
+  acc : Accuracy.t option;  (** [None] iff skipped *)
+  allowed_fp : int;
+  allowed_fn : int;
+  genuine : bool;  (** discrepancy beyond the model: a real bug *)
+  note : string;
+}
+
+type outcome = {
+  prog : Ast.program;
+  verdicts : verdict list;
+  ok : bool;
+}
+
+let has_par prog =
+  let rec stmt (s : Ast.stmt) =
+    match s.Ast.kind with
+    | Ast.Par _ -> true
+    | Ast.If (_, t, e) -> block t || block e
+    | Ast.For { body; _ } | Ast.While (_, body) -> block body
+    | _ -> false
+  and block b = List.exists stmt b in
+  block prog.Ast.body || List.exists (fun f -> block f.Ast.fbody) prog.Ast.funcs
+
+(* The default engine set: everything registered, minus test-only
+   mutants (they are the harness's own fire drill — see {!Mutant}). *)
+let engines_under_test () =
+  List.filter
+    (fun name -> not (String.length name >= 7 && String.sub name 0 7 = "mutant-"))
+    (Engine.names ())
+
+let tolerance_for ~(engine : Engine.t) ~par =
+  match engine.Engine.name with
+  | "perfect" -> Skip "the oracle itself"
+  | "stride" -> Skip "stride merging is lossy by design"
+  | "mt" when par ->
+    Skip "reorder window legitimately re-orders multi-threaded streams"
+  | _ when engine.Engine.exact -> Strict
+  | _ -> Modeled 1.0
+
+(* Eq.-(2) allowance: collisions hit each membership probe independently,
+   so the expected spurious count scales with the compared set size; keep
+   a small absolute floor so tiny programs aren't flaky. *)
+let allowance ~slack ~slots ~addresses n =
+  let p = Fpr_model.p_fp ~slots ~addresses in
+  max 2 (int_of_float (ceil (slack *. p *. float_of_int n *. 8.0)))
+
+let check ?(config = Config.default) ?engines ?(sched_seed = 42) ?(input_seed = 7)
+    (prog : Ast.program) =
+  let engines = match engines with Some l -> l | None -> engines_under_test () in
+  let par = has_par prog in
+  let oracle = Profiler.profile ~mode:"perfect" ~config ~sched_seed ~input_seed prog in
+  let perfect = oracle.Profiler.deps in
+  let addresses = max 1 oracle.Profiler.run_stats.Ddp_minir.Interp.addresses in
+  List.map
+    (fun name ->
+      let engine = Engine.get name in
+      let tolerance = tolerance_for ~engine ~par in
+      match tolerance with
+      | Skip note ->
+        { engine = name; tolerance; acc = None; allowed_fp = 0; allowed_fn = 0;
+          genuine = false; note }
+      | Strict | Modeled _ ->
+        let out = Profiler.run ~mode:name ~config (Ddp_core.Source.live ~sched_seed ~input_seed prog) in
+        let acc = Accuracy.compare_stores ~profiled:out.Profiler.deps ~perfect in
+        let allowed_fp, allowed_fn =
+          match tolerance with
+          | Strict -> (0, 0)
+          | Modeled slack ->
+            ( allowance ~slack ~slots:config.Config.slots ~addresses
+                (max acc.Accuracy.reported acc.Accuracy.ground_truth),
+              allowance ~slack ~slots:config.Config.slots ~addresses
+                acc.Accuracy.ground_truth )
+          | Skip _ -> assert false
+        in
+        let genuine =
+          acc.Accuracy.false_positives > allowed_fp
+          || acc.Accuracy.false_negatives > allowed_fn
+        in
+        let note =
+          if genuine then
+            Printf.sprintf "FP %d > %d or FN %d > %d" acc.Accuracy.false_positives
+              allowed_fp acc.Accuracy.false_negatives allowed_fn
+          else "within model"
+        in
+        { engine = name; tolerance; acc = Some acc; allowed_fp; allowed_fn; genuine;
+          note })
+    engines
+
+let run ?config ?engines ?sched_seed ?input_seed prog =
+  let verdicts = check ?config ?engines ?sched_seed ?input_seed prog in
+  { prog; verdicts; ok = not (List.exists (fun v -> v.genuine) verdicts) }
+
+let failures outcome = List.filter (fun v -> v.genuine) outcome.verdicts
+
+(* -- shrinking ------------------------------------------------------------ *)
+
+(* Greedy descent: take the first shrink candidate that still fails,
+   repeat until none does (or the evaluation budget runs out — each
+   probe re-runs the failing engines, so the budget bounds wall-clock). *)
+let shrink ?config ?sched_seed ?input_seed ?(max_evals = 400) (outcome : outcome) =
+  let failing_engines = List.map (fun v -> v.engine) (failures outcome) in
+  let evals = ref 0 in
+  let still_fails prog =
+    incr evals;
+    try
+      let o = run ?config ~engines:failing_engines ?sched_seed ?input_seed prog in
+      not o.ok
+    with _ -> false (* a shrink that crashes the pipeline is a different bug *)
+  in
+  let exception Found of Ast.program in
+  let first_failing prog =
+    try
+      Prog_gen.shrink prog (fun cand ->
+          if !evals < max_evals && still_fails cand then raise (Found cand));
+      None
+    with Found cand -> Some cand
+  in
+  let rec descend prog =
+    if !evals >= max_evals then prog
+    else match first_failing prog with None -> prog | Some cand -> descend cand
+  in
+  if failing_engines = [] then outcome
+  else run ?config ~engines:failing_engines ?sched_seed ?input_seed
+      (descend outcome.prog)
+
+(* -- reporting ------------------------------------------------------------ *)
+
+let pp_verdict ppf v =
+  match v.acc with
+  | None -> Format.fprintf ppf "%-10s skipped (%s)" v.engine v.note
+  | Some acc ->
+    Format.fprintf ppf "%-10s %s  FP %d/%d  FN %d/%d  (reported %d, truth %d)"
+      v.engine
+      (if v.genuine then "GENUINE-DIFF" else "ok")
+      acc.Accuracy.false_positives v.allowed_fp acc.Accuracy.false_negatives
+      v.allowed_fn acc.Accuracy.reported acc.Accuracy.ground_truth
+
+let report_to_string outcome =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter (fun v -> Format.fprintf ppf "%a@." pp_verdict v) outcome.verdicts;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,80 @@
+(* Deliberately broken engines — the harness's fire drill.
+
+   Each mutant wraps a real engine and corrupts its output in a way a
+   real implementation bug plausibly would.  They register under
+   "mutant-*" names (test binaries only; {!Diff.engines_under_test}
+   excludes the prefix from production sweeps), and the mutation smoke
+   test asserts that the differential harness flags every one of them on
+   a small corpus and shrinks the witness to a handful of statements —
+   if a mutant ever survives, the harness itself has lost its teeth. *)
+
+module Engine = Ddp_core.Engine
+module Dep = Ddp_core.Dep
+module Dep_store = Ddp_core.Dep_store
+
+(* Rebuild a store with each dependence key rewritten. *)
+let map_store f store =
+  let out = Dep_store.create () in
+  Dep_store.iter store (fun d occ -> Dep_store.add_key out (f d) ~occurrences:occ);
+  out
+
+(* Wrap [base], post-processing its dependence output. *)
+let wrap ~name ~description ~f (base : Engine.t) =
+  Engine.make ~name ~description ~exact:base.Engine.exact (fun ?account config ->
+      let session = base.Engine.create ?account config in
+      {
+        Engine.hooks = session.Engine.hooks;
+        finish =
+          (fun () ->
+            let o = session.Engine.finish () in
+            { o with Engine.deps = f o.Engine.deps });
+      })
+
+(* RAW/WAR swapped: the classic "which access came first" inversion. *)
+let swap_raw_war =
+  map_store (fun d ->
+      match d.Dep.kind with
+      | Dep.RAW -> { d with Dep.kind = Dep.WAR }
+      | Dep.WAR -> { d with Dep.kind = Dep.RAW }
+      | Dep.WAW | Dep.INIT -> d)
+
+(* Dropped dependences: every other RAW goes missing (false negatives). *)
+let drop_alternate_raw store =
+  let out = Dep_store.create () in
+  let n = ref 0 in
+  Dep_store.iter store (fun d occ ->
+      let keep =
+        match d.Dep.kind with
+        | Dep.RAW ->
+          incr n;
+          !n land 1 = 1
+        | _ -> true
+      in
+      if keep then Dep_store.add_key out d ~occurrences:occ);
+  out
+
+(* Phantom dependences: sink and source swapped on WAW (false positives
+   at locations that never depend in that direction). *)
+let reverse_waw =
+  map_store (fun d ->
+      match d.Dep.kind with
+      | Dep.WAW when d.Dep.src <> 0 -> { d with Dep.sink = d.Dep.src; src = d.Dep.sink }
+      | _ -> d)
+
+let all () =
+  Ddp_baselines.Baseline_engines.register ();
+  let base = Engine.get "shadow" in
+  [
+    wrap ~name:"mutant-rawwar" ~f:swap_raw_war base
+      ~description:"exact engine with RAW and WAR swapped (testkit mutant)";
+    wrap ~name:"mutant-droppedraw" ~f:drop_alternate_raw base
+      ~description:"exact engine dropping every other RAW (testkit mutant)";
+    wrap ~name:"mutant-revwaw" ~f:reverse_waw base
+      ~description:"exact engine reversing WAW direction (testkit mutant)";
+  ]
+
+(* Register every mutant (idempotent).  Returns their names. *)
+let register () =
+  let ms = all () in
+  List.iter Engine.register ms;
+  List.map (fun (m : Engine.t) -> m.Engine.name) ms

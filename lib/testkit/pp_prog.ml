@@ -1,0 +1,116 @@
+(* Pretty-printer for MiniIR programs.
+
+   Counterexamples from the fuzzing harnesses are whole programs; QCheck
+   prints whatever string we give it, so this renders MiniIR in the
+   C-like surface syntax the workloads are written in — compact enough
+   to read a 10-statement shrunk program at a glance, faithful enough to
+   retype it with the Builder DSL. *)
+
+open Ddp_minir.Ast
+module Value = Ddp_minir.Value
+
+let binop_str : Value.binop -> string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Min -> "`min`"
+  | Max -> "`max`"
+
+let unop_str : Value.unop -> string = function Neg -> "-" | Not -> "!" | Bnot -> "~"
+
+let rec expr_str = function
+  | Int n -> string_of_int n
+  | Float x -> Printf.sprintf "%g" x
+  | Var v -> v
+  | Load (a, ix) -> Printf.sprintf "%s[%s]" a (expr_str ix)
+  | Binop (op, l, r) -> Printf.sprintf "(%s %s %s)" (expr_str l) (binop_str op) (expr_str r)
+  | Unop (op, e) -> Printf.sprintf "%s%s" (unop_str op) (expr_str e)
+  | Intrinsic (name, args) ->
+    Printf.sprintf "%s(%s)" name (String.concat ", " (List.map expr_str args))
+
+let bpf = Printf.bprintf
+
+let rec pp_stmt buf indent s =
+  let pad = String.make (2 * indent) ' ' in
+  match s.kind with
+  | Local (v, e) -> bpf buf "%slet %s = %s;\n" pad v (expr_str e)
+  | Assign (v, e) -> bpf buf "%s%s = %s;\n" pad v (expr_str e)
+  | Store (a, ix, e) -> bpf buf "%s%s[%s] = %s;\n" pad a (expr_str ix) (expr_str e)
+  | Array_decl (a, size) -> bpf buf "%sarray %s[%s];\n" pad a (expr_str size)
+  | Free a -> bpf buf "%sfree(%s);\n" pad a
+  | If (c, t, e) ->
+    bpf buf "%sif %s {\n" pad (expr_str c);
+    pp_block buf (indent + 1) t;
+    if e <> [] then begin
+      bpf buf "%s} else {\n" pad;
+      pp_block buf (indent + 1) e
+    end;
+    bpf buf "%s}\n" pad
+  | For { index; lo; hi; step; parallel; reduction; body } ->
+    bpf buf "%sfor%s %s = %s .. %s%s%s {\n" pad
+      (if parallel then " /*parallel*/" else "")
+      index (expr_str lo) (expr_str hi)
+      (match step with Int 1 -> "" | e -> " step " ^ expr_str e)
+      (match reduction with [] -> "" | vs -> " reduction(" ^ String.concat "," vs ^ ")");
+    pp_block buf (indent + 1) body;
+    bpf buf "%s}\n" pad
+  | While (c, body) ->
+    bpf buf "%swhile %s {\n" pad (expr_str c);
+    pp_block buf (indent + 1) body;
+    bpf buf "%s}\n" pad
+  | Par blocks ->
+    bpf buf "%spar {\n" pad;
+    List.iteri
+      (fun i b ->
+        if i > 0 then bpf buf "%s} and {\n" pad;
+        pp_block buf (indent + 1) b)
+      blocks;
+    bpf buf "%s}\n" pad
+  | Lock id -> bpf buf "%slock(%d);\n" pad id
+  | Unlock id -> bpf buf "%sunlock(%d);\n" pad id
+  | Call_proc (f, args) ->
+    bpf buf "%s%s(%s);\n" pad f (String.concat ", " (List.map expr_str args))
+  | Nop -> bpf buf "%snop;\n" pad
+
+and pp_block buf indent b = List.iter (pp_stmt buf indent) b
+
+let to_string (prog : program) =
+  let buf = Buffer.create 512 in
+  bpf buf "program %S {\n" prog.name;
+  List.iter
+    (fun f ->
+      bpf buf "  proc %s(%s) {\n" f.fname (String.concat ", " f.params);
+      pp_block buf 2 f.fbody;
+      bpf buf "  }\n")
+    prog.funcs;
+  pp_block buf 1 prog.body;
+  bpf buf "}\n";
+  Buffer.contents buf
+
+(* Statement census (the "size" of a counterexample): every statement
+   node, nested ones included. *)
+let stmt_count (prog : program) =
+  let rec stmt s =
+    1
+    +
+    match s.kind with
+    | If (_, t, e) -> block t + block e
+    | For { body; _ } | While (_, body) -> block body
+    | Par blocks -> List.fold_left (fun acc b -> acc + block b) 0 blocks
+    | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+    | Call_proc _ -> 0
+  and block b = List.fold_left (fun acc s -> acc + stmt s) 0 b in
+  block prog.body + List.fold_left (fun acc f -> acc + block f.fbody) 0 prog.funcs

@@ -1,0 +1,324 @@
+(* Reusable random MiniIR program generator with shrinking.
+
+   Promoted from the old test/gen_prog.ml: the same safe-by-construction
+   generation discipline (in-range indices, terminating loops, every
+   name declared before use), now parameterized by a [shape] — array
+   count and extent, nesting depth, block length, and optional [Par]
+   blocks for multi-threaded targets — and paired with a structural
+   shrinker, so any harness failure reduces to a minimal program instead
+   of an unreadable 100-statement dump.
+
+   Shrink moves preserve validity: declarations are never dropped
+   (references stay bound), loop index variables never escape their
+   loop, and array indices only ever shrink to the always-in-range
+   constant 0.  Candidates are deep-copied and renumbered before being
+   yielded, because statement records carry mutable line numbers that
+   feed dependence payloads. *)
+
+module Ast = Ddp_minir.Ast
+module B = Ddp_minir.Builder
+module Gen = QCheck.Gen
+module Iter = QCheck.Iter
+
+type shape = {
+  arrays : int;  (* global arrays a0..a(n-1) *)
+  arr_size : int;  (* cells per array *)
+  scalars : int;  (* global scalars s0..s(n-1) *)
+  max_depth : int;  (* loop/if nesting bound *)
+  max_block : int;  (* statements per generated block *)
+  loop_max : int;  (* loop trip counts drawn from [2, loop_max] *)
+  allow_par : bool;  (* generate Par blocks (simulated threads) *)
+  par_arms : int;  (* max arms per Par block *)
+}
+
+let default_shape =
+  {
+    arrays = 3;
+    arr_size = 16;
+    scalars = 3;
+    max_depth = 3;
+    max_block = 8;
+    loop_max = 7;
+    allow_par = false;
+    par_arms = 3;
+  }
+
+(* Smaller bodies but simulated threads: the shape the scheduler and MT
+   harnesses fuzz with. *)
+let par_shape = { default_shape with allow_par = true; max_depth = 2; max_block = 5 }
+
+(* -- generation ----------------------------------------------------------- *)
+
+let array_name i = Printf.sprintf "a%d" i
+let scalar_name i = Printf.sprintf "s%d" i
+
+let gen_array shape = Gen.map (fun i -> array_name (i mod shape.arrays)) Gen.small_nat
+let gen_scalar shape = Gen.map (fun i -> scalar_name (i mod shape.scalars)) Gen.small_nat
+
+(* Expressions: depth-bounded; [idx_vars] are in-scope loop variables,
+   always in [0, arr_size). *)
+let rec gen_expr shape ~idx_vars depth =
+  let open Gen in
+  let leaf =
+    oneof
+      ([
+         map (fun n -> B.i (n mod 64)) small_nat;
+         map (fun x -> B.f (Float.of_int (x mod 100) /. 7.0)) small_nat;
+         map B.v (gen_scalar shape);
+       ]
+      @ (if idx_vars = [] then [] else [ map B.v (oneofl idx_vars) ]))
+  in
+  if depth <= 0 then leaf
+  else
+    frequency
+      [
+        (3, leaf);
+        (2, map2 (fun a e -> B.idx a e) (gen_array shape) (gen_index shape ~idx_vars));
+        ( 3,
+          map3
+            (fun op l r -> Ast.Binop (op, l, r))
+            (oneofl [ Ddp_minir.Value.Add; Sub; Mul; Min; Max ])
+            (gen_expr shape ~idx_vars (depth - 1))
+            (gen_expr shape ~idx_vars (depth - 1)) );
+      ]
+
+(* Indices stay in range: a loop variable, a constant, or (var + c)
+   clamped into [0, arr_size). *)
+and gen_index shape ~idx_vars =
+  let open Gen in
+  oneof
+    ([ map (fun n -> B.i (n mod shape.arr_size)) small_nat ]
+    @
+    if idx_vars = [] then []
+    else
+      [
+        map B.v (oneofl idx_vars);
+        map2
+          (fun name c ->
+            B.(min_ (max_ (v name +: i (c mod 3)) (i 0)) (i (shape.arr_size - 1))))
+          (oneofl idx_vars) small_nat;
+      ])
+
+let gen_cond shape ~idx_vars =
+  let open Gen in
+  map3
+    (fun op l r -> Ast.Binop (op, l, r))
+    (oneofl [ Ddp_minir.Value.Lt; Le; Gt; Ge; Eq; Ne ])
+    (gen_expr shape ~idx_vars 1) (gen_expr shape ~idx_vars 1)
+
+(* Statements; [depth] bounds loop/if nesting.  [allow_par] is cleared
+   inside Par arms and nested blocks so simulated threads never fork
+   further and thread counts stay bounded by [par_arms]. *)
+let rec gen_stmt shape ~idx_vars ~allow_par ~depth =
+  let open Gen in
+  let simple =
+    [
+      (3, map2 (fun s e -> B.assign s e) (gen_scalar shape) (gen_expr shape ~idx_vars 2));
+      ( 3,
+        map3
+          (fun a ix e -> B.store a ix e)
+          (gen_array shape) (gen_index shape ~idx_vars)
+          (gen_expr shape ~idx_vars 2) );
+    ]
+  in
+  let nested =
+    if depth <= 0 then []
+    else
+      [
+        ( 1,
+          (* fresh loop variable name derived from depth to avoid capture *)
+          let lv = Printf.sprintf "i%d" depth in
+          map2
+            (fun bound body ->
+              B.for_ lv (B.i 0)
+                (B.i (2 + (bound mod (max 1 (shape.loop_max - 1)))))
+                (fun _ -> body))
+            small_nat
+            (gen_block shape ~idx_vars:(lv :: idx_vars) ~allow_par:false
+               ~depth:(depth - 1) ~len:2) );
+        ( 1,
+          map3
+            (fun c t e -> B.if_ c t e)
+            (gen_cond shape ~idx_vars)
+            (gen_block shape ~idx_vars ~allow_par:false ~depth:(depth - 1) ~len:2)
+            (gen_block shape ~idx_vars ~allow_par:false ~depth:(depth - 1) ~len:1) );
+      ]
+  in
+  let par =
+    if not allow_par then []
+    else
+      [
+        ( 1,
+          let arm rank =
+            map
+              (fun body -> B.local "tid" (B.i rank) :: body)
+              (gen_block shape ~idx_vars ~allow_par:false
+                 ~depth:(max 0 (depth - 1)) ~len:3)
+          in
+          int_range 2 (max 2 shape.par_arms) >>= fun arms ->
+          map B.par (flatten_l (List.init arms arm)) );
+      ]
+  in
+  frequency (simple @ nested @ par)
+
+and gen_block shape ~idx_vars ~allow_par ~depth ~len =
+  Gen.list_size (Gen.int_range 1 len) (gen_stmt shape ~idx_vars ~allow_par ~depth)
+
+let decls shape =
+  List.init shape.arrays (fun k -> B.arr (array_name k) (B.i shape.arr_size))
+  @ List.init shape.scalars (fun k ->
+        B.local (scalar_name k)
+          (match k with 0 -> B.i 1 | 1 -> B.f 2.0 | k -> B.i (k + 1)))
+
+let gen ?(shape = default_shape) () =
+  Gen.map
+    (fun body -> B.program ~name:"rand" (decls shape @ body))
+    (gen_block shape ~idx_vars:[] ~allow_par:shape.allow_par ~depth:shape.max_depth
+       ~len:shape.max_block)
+
+(* Deterministic single-program generation: the corpus member for a seed. *)
+let generate ?(shape = default_shape) ~seed () =
+  Gen.generate1 ~rand:(Random.State.make [| 0x9e37; seed |]) (gen ~shape ())
+
+(* -- shrinking ------------------------------------------------------------ *)
+
+(* Statement records carry mutable line numbers (assigned by [number],
+   consumed by dependence payloads), so every candidate must be a fresh
+   deep copy, renumbered, sharing no statement with the original. *)
+let rec copy_stmt (s : Ast.stmt) = { s with Ast.kind = copy_kind s.Ast.kind }
+
+and copy_kind : Ast.kind -> Ast.kind = function
+  | If (c, t, e) -> If (c, copy_block t, copy_block e)
+  | For { index; lo; hi; step; parallel; reduction; body } ->
+    For { index; lo; hi; step; parallel; reduction; body = copy_block body }
+  | While (c, b) -> While (c, copy_block b)
+  | Par blocks -> Par (List.map copy_block blocks)
+  | (Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+    | Call_proc _) as k -> k
+
+and copy_block b = List.map copy_stmt b
+
+let renumbered (prog : Ast.program) =
+  let p =
+    {
+      prog with
+      Ast.body = copy_block prog.Ast.body;
+      funcs =
+        List.map
+          (fun f -> { f with Ast.fbody = copy_block f.Ast.fbody })
+          prog.Ast.funcs;
+    }
+  in
+  let (_ : int) = Ast.number p in
+  p
+
+(* Dropping a declaration would unbind later references; everything else
+   may go. *)
+let droppable (s : Ast.stmt) =
+  match s.Ast.kind with Ast.Array_decl _ | Ast.Local _ -> false | _ -> true
+
+let shrink_int n =
+  if n <= 1 then Iter.empty
+  else if n = 2 then Iter.return 1
+  else Iter.of_list [ 1; n / 2 ]
+
+(* Value-position expressions shrink toward [Int 0]; index positions only
+   ever shrink to the always-in-range 0 (callers handle that case). *)
+let rec shrink_expr (e : Ast.expr) : Ast.expr Iter.t =
+  match e with
+  | Ast.Int 0 -> Iter.empty
+  | Ast.Int _ | Ast.Float _ | Ast.Var _ -> Iter.return (Ast.Int 0)
+  | Ast.Load (a, ix) ->
+    Iter.append (Iter.return (Ast.Int 0))
+      (if ix = Ast.Int 0 then Iter.empty else Iter.return (Ast.Load (a, Ast.Int 0)))
+  | Ast.Binop (op, l, r) ->
+    Iter.append
+      (Iter.of_list [ l; r; Ast.Int 0 ])
+      (Iter.append
+         (Iter.map (fun l' -> Ast.Binop (op, l', r)) (shrink_expr l))
+         (Iter.map (fun r' -> Ast.Binop (op, l, r')) (shrink_expr r)))
+  | Ast.Unop (_, inner) -> Iter.of_list [ inner; Ast.Int 0 ]
+  | Ast.Intrinsic _ -> Iter.return (Ast.Int 0)
+
+(* All ways to replace position [i] of list [l] by a (possibly empty)
+   list of elements. *)
+let splice l i replacements =
+  List.concat (List.mapi (fun j x -> if i = j then replacements else [ x ]) l)
+
+let rec shrink_block (b : Ast.block) : Ast.block Iter.t =
+  let at i s : Ast.block Iter.t =
+    let replace_kind k = splice b i [ { s with Ast.kind = k } ] in
+    let drops = if droppable s then Iter.return (splice b i []) else Iter.empty in
+    let structural =
+      match s.Ast.kind with
+      | Ast.If (c, t, e) ->
+        Iter.append
+          (Iter.of_list [ splice b i t; splice b i e ])
+          (Iter.append
+             (Iter.map (fun t' -> replace_kind (Ast.If (c, t', e))) (shrink_block t))
+             (Iter.map (fun e' -> replace_kind (Ast.If (c, t, e'))) (shrink_block e)))
+      | Ast.For { index; lo; hi; step; parallel; reduction; body } ->
+        let remake ~hi ~body =
+          replace_kind (Ast.For { index; lo; hi; step; parallel; reduction; body })
+        in
+        let bound =
+          match hi with
+          | Ast.Int n -> Iter.map (fun n' -> remake ~hi:(Ast.Int n') ~body) (shrink_int n)
+          | _ -> Iter.empty
+        in
+        Iter.append bound
+          (Iter.map (fun body' -> remake ~hi ~body:body') (shrink_block body))
+      | Ast.While (c, body) ->
+        Iter.map (fun body' -> replace_kind (Ast.While (c, body'))) (shrink_block body)
+      | Ast.Par arms ->
+        let seq = Iter.return (splice b i (List.concat arms)) in
+        let drop_arm =
+          if List.length arms <= 1 then Iter.empty
+          else
+            Iter.of_list
+              (List.mapi (fun k _ -> replace_kind (Ast.Par (splice arms k []))) arms)
+        in
+        let shrink_arm k arm =
+          Iter.map
+            (fun arm' -> replace_kind (Ast.Par (splice arms k [ arm' ])))
+            (shrink_block arm)
+        in
+        let arm_shrinks =
+          List.fold_left
+            (fun acc (k, arm) -> Iter.append acc (shrink_arm k arm))
+            Iter.empty
+            (List.mapi (fun k arm -> (k, arm)) arms)
+        in
+        Iter.append seq (Iter.append drop_arm arm_shrinks)
+      | Ast.Assign (v, e) ->
+        Iter.map (fun e' -> replace_kind (Ast.Assign (v, e'))) (shrink_expr e)
+      | Ast.Store (a, ix, e) ->
+        Iter.append
+          (if ix = Ast.Int 0 then Iter.empty
+           else Iter.return (replace_kind (Ast.Store (a, Ast.Int 0, e))))
+          (Iter.map (fun e' -> replace_kind (Ast.Store (a, ix, e'))) (shrink_expr e))
+      | Ast.Local (v, e) ->
+        Iter.map (fun e' -> replace_kind (Ast.Local (v, e'))) (shrink_expr e)
+      | Ast.Array_decl _ | Ast.Free _ | Ast.Lock _ | Ast.Unlock _ | Ast.Nop
+      | Ast.Call_proc _ -> Iter.empty
+    in
+    Iter.append drops structural
+  in
+  let rec positions i = function
+    | [] -> Iter.empty
+    | s :: rest -> Iter.append (at i s) (positions (i + 1) rest)
+  in
+  positions 0 b
+
+let shrink (prog : Ast.program) : Ast.program Iter.t =
+  Iter.map
+    (fun body -> renumbered { prog with Ast.body = body })
+    (shrink_block prog.Ast.body)
+
+(* -- QCheck packaging ----------------------------------------------------- *)
+
+let print = Pp_prog.to_string
+let stmt_count = Pp_prog.stmt_count
+
+let arbitrary ?(shape = default_shape) () =
+  QCheck.make ~print ~shrink ~small:stmt_count (gen ~shape ())

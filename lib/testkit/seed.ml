@@ -1,0 +1,27 @@
+(* Seed plumbing: one environment variable, [DDP_SEED], controls every
+   randomized harness — QCheck suites, the ddpcheck corpus sweep, the
+   virtual-scheduler exploration — and every failure message carries the
+   seed, so any red run is reproducible with
+
+     DDP_SEED=<n> dune runtest        (or: ddpcheck all --seed <n>)
+*)
+
+let env_var = "DDP_SEED"
+let default = 421
+
+(* Invalid or missing DDP_SEED falls back to [default]; the value used is
+   the single source of truth callers stamp into test names. *)
+let resolve ?(default = default) () =
+  match Sys.getenv_opt env_var with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some n -> n | None -> default)
+
+(* Stable per-purpose sub-seeds (program generation vs. schedule choice
+   vs. interpreter interleaving) derived from the master seed: splitmix64
+   streams keyed by a salt. *)
+let derive master salt =
+  let rng = Ddp_util.Rng.create ((master * 0x1000193) lxor salt) in
+  Ddp_util.Rng.bits rng
+
+let describe seed = Printf.sprintf "[%s=%d]" env_var seed

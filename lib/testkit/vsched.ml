@@ -1,0 +1,129 @@
+(* Deterministic schedule exploration for the parallel pipeline.
+
+   A {!Ddp_core.Parallel_profiler} created with [~virtual_mode:true]
+   spawns no domains: workers only advance when the producer-side
+   callbacks say so.  This module provides the seeded schedule chooser —
+   at every chunk boundary and every blocking point it flips a splitmix64
+   coin to decide which workers advance and by how much — so queue-full
+   back-pressure, drain barriers and redistribution races are explored
+   *deterministically*: the pair (program seed, schedule seed) replays
+   the exact interleaving, and a FNV-1a fingerprint of the choice
+   sequence pins an interleaving in regression tests. *)
+
+module PP = Ddp_core.Parallel_profiler
+module Engine = Ddp_core.Engine
+module Config = Ddp_core.Config
+module Rng = Ddp_util.Rng
+
+(* What the chooser did, for assertions and replay checks.  The
+   fingerprint folds (tag, worker) pairs of every scheduling event in
+   order, so two runs agree iff they made the same choices at the same
+   points. *)
+type trace = {
+  mutable fingerprint : int;
+  mutable chunk_points : int;  (* on_chunk opportunities seen *)
+  mutable queue_full_stalls : int;
+  mutable drain_stalls : int;
+  mutable worker_steps : int;  (* successful chunk consumptions *)
+}
+
+let fnv_offset = 0x3bf29ce484222325 (* FNV-1a offset basis, truncated to 62 bits *)
+let mix h x = (h lxor x) * 0x100000001b3 land max_int
+
+let record tr tag v = tr.fingerprint <- mix (mix tr.fingerprint tag) v
+
+(* Install a seeded chooser on a virtual-mode profiler.  On every
+   opportunity it advances 0..[max_extra_steps] randomly chosen workers;
+   on a stall it additionally steps the blocked-on worker, which
+   guarantees producer progress (injected worker-stall faults can
+   decline finitely many of those steps — budgets bound them). *)
+let attach ?(max_extra_steps = 3) ~seed ~workers t =
+  let rng = Rng.create (mix (mix fnv_offset seed) 0x5eed) in
+  let tr =
+    {
+      fingerprint = fnv_offset;
+      chunk_points = 0;
+      queue_full_stalls = 0;
+      drain_stalls = 0;
+      worker_steps = 0;
+    }
+  in
+  let step w =
+    if PP.worker_step t w then begin
+      tr.worker_steps <- tr.worker_steps + 1;
+      record tr 3 w
+    end
+  in
+  let random_steps () =
+    let n = Rng.int rng (max_extra_steps + 1) in
+    for _ = 1 to n do
+      step (Rng.int rng workers)
+    done
+  in
+  let on_chunk w =
+    tr.chunk_points <- tr.chunk_points + 1;
+    record tr 1 w;
+    random_steps ()
+  in
+  let on_stall = function
+    | PP.Queue_full w ->
+      tr.queue_full_stalls <- tr.queue_full_stalls + 1;
+      record tr 2 w;
+      random_steps ();
+      step w
+    | PP.Drain_wait w ->
+      tr.drain_stalls <- tr.drain_stalls + 1;
+      record tr 4 w;
+      random_steps ();
+      step w
+  in
+  PP.set_vsched t { PP.on_chunk; on_stall };
+  tr
+
+type run = {
+  result : PP.result;
+  stats : Ddp_minir.Interp.stats;
+  trace : trace;
+}
+
+(* Profile [prog] single-domain under the seeded virtual schedule.
+   [sched_seed] drives the *schedule chooser*; [prog_sched_seed] drives
+   the interpreter's simulated-thread interleaving (the usual seed) — the
+   (prog seed, schedule seed) pair replays the run exactly. *)
+let profile ?(config = Config.default) ?(max_extra_steps = 3) ~sched_seed
+    ?(prog_sched_seed = 42) ?input_seed ?symtab prog =
+  let t = PP.create ~virtual_mode:true config in
+  let trace = attach ~max_extra_steps ~seed:sched_seed ~workers:(max 1 config.Config.workers) t in
+  PP.start t;
+  let stats = Ddp_minir.Interp.run ~hooks:(PP.hooks t) ~sched_seed:prog_sched_seed ?input_seed ?symtab prog in
+  let result = PP.finish t in
+  { result; stats; trace }
+
+(* The "vpar" engine: the parallel pipeline driven by the virtual
+   scheduler, seeded from [config.seed].  Registered on demand (testkit
+   binaries only) so production mode listings are unchanged. *)
+let engine =
+  Engine.make ~name:"vpar"
+    ~description:
+      "parallel pipeline under the deterministic single-domain virtual scheduler (testkit)"
+    ~exact:false
+    (fun ?account config ->
+      let t = PP.create ?account ~virtual_mode:true config in
+      let (_ : trace) =
+        attach ~seed:config.Config.seed ~workers:(max 1 config.Config.workers) t
+      in
+      PP.start t;
+      {
+        Engine.hooks = PP.hooks t;
+        finish =
+          (fun () ->
+            let r = PP.finish t in
+            {
+              Engine.deps = r.PP.deps;
+              regions = r.PP.regions;
+              store_bytes = r.PP.signature_bytes;
+              extra = Ddp_core.Engines.Parallel_result r;
+            });
+      })
+
+let register_engine () = Engine.register engine

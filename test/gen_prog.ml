@@ -1,121 +1,9 @@
-(* Random MiniIR program generator for end-to-end property tests.
+(* Compatibility shim: the random-program generator was promoted into
+   the reusable testkit library (lib/testkit/prog_gen.ml), gaining shape
+   parameters, a pretty-printer and a validity-preserving shrinker.
+   Existing suites keep their [Gen_prog.*] spellings. *)
 
-   Generated programs are safe by construction: array indices are loop
-   variables or in-range constants, loop bounds are small constants,
-   conditions only read declared variables, and there are no while loops
-   (termination) and no Par blocks (those are exercised by dedicated MT
-   tests).  A generated program always declares three global arrays
-   (a0..a2, 16 cells) and three global scalars (s0..s2) before the random
-   body, so every name reference is valid. *)
-
-module B = Ddp_minir.Builder
-module Gen = QCheck.Gen
-
-let arr_size = 16
-let arrays = [| "a0"; "a1"; "a2" |]
-let scalars = [| "s0"; "s1"; "s2" |]
-
-let gen_array = Gen.map (fun i -> arrays.(i mod Array.length arrays)) Gen.small_nat
-let gen_scalar = Gen.map (fun i -> scalars.(i mod Array.length scalars)) Gen.small_nat
-
-(* Expressions: depth-bounded; [idx_vars] are in-scope loop variables,
-   always in [0, arr_size). *)
-let rec gen_expr ~idx_vars depth =
-  let open Gen in
-  let leaf =
-    oneof
-      ([
-         map (fun n -> B.i (n mod 64)) small_nat;
-         map (fun x -> B.f (Float.of_int (x mod 100) /. 7.0)) small_nat;
-         map B.v gen_scalar;
-       ]
-      @ (if idx_vars = [] then [] else [ map B.v (oneofl idx_vars) ]))
-  in
-  if depth <= 0 then leaf
-  else
-    frequency
-      [
-        (3, leaf);
-        (2, map2 (fun a e -> B.idx a e) gen_array (gen_index ~idx_vars));
-        ( 3,
-          map3
-            (fun op l r -> Ddp_minir.Ast.Binop (op, l, r))
-            (oneofl [ Ddp_minir.Value.Add; Sub; Mul; Min; Max ])
-            (gen_expr ~idx_vars (depth - 1))
-            (gen_expr ~idx_vars (depth - 1)) );
-      ]
-
-(* Indices stay in range: a loop variable, a constant, or (var + c) mod
-   size via min/max clamping. *)
-and gen_index ~idx_vars =
-  let open Gen in
-  oneof
-    ([ map (fun n -> B.i (n mod arr_size)) small_nat ]
-    @
-    if idx_vars = [] then []
-    else
-      [
-        map B.v (oneofl idx_vars);
-        map2
-          (fun name c -> B.(min_ (max_ (v name +: i (c mod 3)) (i 0)) (i (arr_size - 1))))
-          (oneofl idx_vars) small_nat;
-      ])
-
-let gen_cond ~idx_vars =
-  let open Gen in
-  map3
-    (fun op l r -> Ddp_minir.Ast.Binop (op, l, r))
-    (oneofl [ Ddp_minir.Value.Lt; Le; Gt; Ge; Eq; Ne ])
-    (gen_expr ~idx_vars 1) (gen_expr ~idx_vars 1)
-
-(* Statements; [depth] bounds loop/if nesting, [fuel] total statements. *)
-let rec gen_stmt ~idx_vars ~depth =
-  let open Gen in
-  let simple =
-    [
-      (3, map2 (fun s e -> B.assign s e) gen_scalar (gen_expr ~idx_vars 2));
-      ( 3,
-        map3 (fun a ix e -> B.store a ix e) gen_array (gen_index ~idx_vars)
-          (gen_expr ~idx_vars 2) );
-    ]
-  in
-  let nested =
-    if depth <= 0 then []
-    else
-      [
-        ( 1,
-          (* fresh loop variable name derived from depth to avoid capture *)
-          let lv = Printf.sprintf "i%d" depth in
-          map2
-            (fun bound body -> B.for_ lv (B.i 0) (B.i (2 + (bound mod 6))) (fun _ -> body))
-            small_nat
-            (gen_block ~idx_vars:(lv :: idx_vars) ~depth:(depth - 1) ~len:2) );
-        ( 1,
-          map3
-            (fun c t e -> B.if_ c t e)
-            (gen_cond ~idx_vars)
-            (gen_block ~idx_vars ~depth:(depth - 1) ~len:2)
-            (gen_block ~idx_vars ~depth:(depth - 1) ~len:1) );
-      ]
-  in
-  frequency (simple @ nested)
-
-and gen_block ~idx_vars ~depth ~len =
-  Gen.list_size (Gen.int_range 1 len) (gen_stmt ~idx_vars ~depth)
-
-let gen_program =
-  Gen.map
-    (fun body ->
-      B.program ~name:"rand"
-        ([
-           B.arr "a0" (B.i arr_size);
-           B.arr "a1" (B.i arr_size);
-           B.arr "a2" (B.i arr_size);
-           B.local "s0" (B.i 1);
-           B.local "s1" (B.f 2.0);
-           B.local "s2" (B.i 3);
-         ]
-        @ body))
-    (gen_block ~idx_vars:[] ~depth:3 ~len:8)
-
-let arbitrary_program = QCheck.make gen_program
+let default_shape = Ddp_testkit.Prog_gen.default_shape
+let arr_size = default_shape.Ddp_testkit.Prog_gen.arr_size
+let gen_program = Ddp_testkit.Prog_gen.gen ()
+let arbitrary_program = Ddp_testkit.Prog_gen.arbitrary ()

@@ -1,7 +1,10 @@
 (* Test entry point: all suites.  `dune runtest` runs everything;
-   ALCOTEST_QUICK_ONLY=1 skips the slow integration cases. *)
+   ALCOTEST_QUICK_ONLY=1 skips the slow integration cases.
+   DDP_SEED=<n> seeds every randomized property (the seed is stamped
+   into each QCheck test's name — see test_seed.ml). *)
 
 let () =
+  Printf.printf "randomized suites seeded with DDP_SEED=%d\n%!" Test_seed.seed;
   Alcotest.run "ddp"
     [
       ("util", Test_util.suite);
@@ -28,5 +31,6 @@ let () =
       ("procs", Test_procs.suite);
       ("random-programs", Test_random_programs.suite);
       ("trace-file", Test_trace_file.suite);
+      ("testkit", Test_testkit.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -109,6 +109,6 @@ let suite =
     Alcotest.test_case "fpr model errors" `Quick test_fpr_model_errors;
     Alcotest.test_case "slots_for inverts" `Quick test_slots_for_inverts;
     Alcotest.test_case "expected occupancy matches" `Quick test_expected_occupancy_matches;
-    QCheck_alcotest.to_alcotest prop_fpr_monotonic_in_slots;
-    QCheck_alcotest.to_alcotest prop_fpr_monotonic_in_addresses;
+    Test_seed.to_alcotest prop_fpr_monotonic_in_slots;
+    Test_seed.to_alcotest prop_fpr_monotonic_in_addresses;
   ]

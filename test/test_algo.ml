@@ -185,6 +185,6 @@ let suite =
     Alcotest.test_case "free breaks history" `Quick test_free_breaks_history;
     Alcotest.test_case "dep observer" `Quick test_dep_observer_called;
     Alcotest.test_case "race flag on reversed time" `Quick test_race_flag_on_reversed_time;
-    QCheck_alcotest.to_alcotest prop_algo_matches_oracle;
-    QCheck_alcotest.to_alcotest prop_signature_matches_perfect_when_big;
+    Test_seed.to_alcotest prop_algo_matches_oracle;
+    Test_seed.to_alcotest prop_signature_matches_perfect_when_big;
   ]

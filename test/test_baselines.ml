@@ -171,7 +171,7 @@ let suite =
     Alcotest.test_case "stride compresses walk" `Quick test_stride_compresses_walk;
     Alcotest.test_case "stride detects RAW" `Quick test_stride_detects_raw;
     Alcotest.test_case "stride point accesses" `Quick test_stride_point_accesses;
-    QCheck_alcotest.to_alcotest prop_flat_shadow_exact;
-    QCheck_alcotest.to_alcotest prop_paged_shadow_exact;
-    QCheck_alcotest.to_alcotest prop_hash_profiler_exact;
+    Test_seed.to_alcotest prop_flat_shadow_exact;
+    Test_seed.to_alcotest prop_paged_shadow_exact;
+    Test_seed.to_alcotest prop_hash_profiler_exact;
   ]

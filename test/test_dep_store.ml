@@ -105,5 +105,5 @@ let suite =
     Alcotest.test_case "dep accessors + formats" `Quick test_dep_accessors;
     Alcotest.test_case "INIT format" `Quick test_init_format;
     Alcotest.test_case "race format" `Quick test_race_format;
-    QCheck_alcotest.to_alcotest prop_merge_preserves_counts;
+    Test_seed.to_alcotest prop_merge_preserves_counts;
   ]

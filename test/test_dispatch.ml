@@ -92,6 +92,80 @@ let prop_single_ownership_stable =
         (fun a -> Ddp_core.Dispatch.worker_of d a = Ddp_core.Dispatch.worker_of d a)
         addrs)
 
+(* Property: a forced rotation (the fault-injection entry point) keeps
+   unique ownership — every address still maps to exactly one in-range
+   worker, every reported move is honored by the subsequent lookup, and
+   untouched addresses keep their modulo owner. *)
+let prop_force_rebalance_ownership =
+  QCheck.Test.make ~name:"force_rebalance keeps unique, honored ownership" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 200)))
+    (fun (workers, addrs) ->
+      let d = Ddp_core.Dispatch.create ~workers ~sample:1 ~hot_set_size:4 in
+      List.iter (fun a -> Ddp_core.Dispatch.note_access d a) addrs;
+      let moves = Ddp_core.Dispatch.force_rebalance d in
+      let moved = List.map (fun (a, _, _) -> a) moves in
+      List.for_all
+        (fun (addr, old_w, new_w) ->
+          Ddp_core.Dispatch.worker_of d addr = new_w
+          && new_w >= 0 && new_w < workers && old_w <> new_w)
+        moves
+      && List.for_all
+           (fun a ->
+             let w = Ddp_core.Dispatch.worker_of d a in
+             w >= 0 && w < workers
+             && (List.mem a moved
+                || Ddp_core.Dispatch.override_count d = 0 || w = a mod workers
+                || List.mem a (Ddp_core.Dispatch.hot_addresses d)))
+           addrs)
+
+(* Forced redistribution end-to-end: migrating signature slots must move
+   each hot address's recorded state to its new owner and leave the old
+   owner's slot empty — the drain-barrier + migrate path the parallel
+   profiler runs under fault injection. *)
+let test_force_rebalance_migration_agrees () =
+  let workers = 3 in
+  let slots = 1 lsl 12 in
+  let d = Ddp_core.Dispatch.create ~workers ~sample:1 ~hot_set_size:4 in
+  let stores = Array.init workers (fun _ -> Ddp_core.Sig_store.create ~slots ()) in
+  let addrs = [ 0; 3; 6; 9 ] in
+  (* seed per-owner signature state, then heat the addresses *)
+  List.iteri
+    (fun i addr ->
+      let w = Ddp_core.Dispatch.worker_of d addr in
+      Ddp_core.Sig_store.set stores.(w) ~addr ~payload:(1000 + i) ~time:(50 + i);
+      for _ = 1 to 10 - i do
+        Ddp_core.Dispatch.note_access d addr
+      done)
+    addrs;
+  let moves = Ddp_core.Dispatch.force_rebalance d in
+  Alcotest.(check bool) "forced rotation moved something" true (moves <> []);
+  List.iter
+    (fun (addr, from_w, to_w) ->
+      let payload = Ddp_core.Sig_store.probe stores.(from_w) ~addr in
+      if payload <> 0 then begin
+        Ddp_core.Sig_store.set stores.(to_w) ~addr ~payload
+          ~time:(Ddp_core.Sig_store.probe_time stores.(from_w) ~addr);
+        Ddp_core.Sig_store.remove stores.(from_w) ~addr
+      end)
+    moves;
+  (* after migration: state lives exactly at the current owner *)
+  List.iteri
+    (fun i addr ->
+      let owner = Ddp_core.Dispatch.worker_of d addr in
+      Alcotest.(check int)
+        (Printf.sprintf "addr %d state at owner" addr)
+        (1000 + i)
+        (Ddp_core.Sig_store.probe stores.(owner) ~addr);
+      Array.iteri
+        (fun w store ->
+          if w <> owner then
+            Alcotest.(check int)
+              (Printf.sprintf "addr %d absent from worker %d" addr w)
+              0
+              (Ddp_core.Sig_store.probe store ~addr))
+        stores)
+    addrs
+
 let suite =
   [
     Alcotest.test_case "modulo rule" `Quick test_modulo_rule;
@@ -100,6 +174,9 @@ let suite =
     Alcotest.test_case "rebalance moves skewed hot set" `Quick test_rebalance_moves_skewed_hot_set;
     Alcotest.test_case "rebalance noop when even" `Quick test_rebalance_noop_when_even;
     Alcotest.test_case "override priority" `Quick test_override_priority;
-    QCheck_alcotest.to_alcotest prop_worker_in_range;
-    QCheck_alcotest.to_alcotest prop_single_ownership_stable;
+    Alcotest.test_case "forced rebalance + slot migration" `Quick
+      test_force_rebalance_migration_agrees;
+    Test_seed.to_alcotest prop_worker_in_range;
+    Test_seed.to_alcotest prop_single_ownership_stable;
+    Test_seed.to_alcotest prop_force_rebalance_ownership;
   ]

@@ -59,5 +59,5 @@ let suite =
     Alcotest.test_case "loc order" `Quick test_loc_order;
     Alcotest.test_case "payload roundtrip" `Quick test_payload_roundtrip;
     Alcotest.test_case "payload ranges" `Quick test_payload_ranges;
-    QCheck_alcotest.to_alcotest prop_payload_roundtrip;
+    Test_seed.to_alcotest prop_payload_roundtrip;
   ]

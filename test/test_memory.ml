@@ -86,5 +86,5 @@ let suite =
     Alcotest.test_case "get/set" `Quick test_get_set;
     Alcotest.test_case "bounds" `Quick test_bounds;
     Alcotest.test_case "live blocks" `Quick test_live_blocks;
-    QCheck_alcotest.to_alcotest prop_disjoint_blocks;
+    Test_seed.to_alcotest prop_disjoint_blocks;
   ]

@@ -150,5 +150,5 @@ let suite =
     Alcotest.test_case "parallel profiler flags races" `Slow test_mt_parallel_profiler_races;
     Alcotest.test_case "cross-thread dep thread ids" `Quick test_mt_dep_thread_ids;
     Alcotest.test_case "delayed counter" `Quick test_mt_delayed_counter;
-    QCheck_alcotest.to_alcotest prop_frontend_permutation;
+    Test_seed.to_alcotest prop_frontend_permutation;
   ]

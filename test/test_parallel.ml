@@ -200,7 +200,7 @@ let suite =
     Alcotest.test_case "free routed" `Quick test_free_routed;
     Alcotest.test_case "redistribution equivalence" `Quick test_redistribution_equivalence;
     Alcotest.test_case "redistribution off" `Quick test_redistribution_off;
-    QCheck_alcotest.to_alcotest prop_trace_equivalence;
-    QCheck_alcotest.to_alcotest prop_trace_equivalence_lock_based;
+    Test_seed.to_alcotest prop_trace_equivalence;
+    Test_seed.to_alcotest prop_trace_equivalence_lock_based;
   ]
   @ workload_cases

@@ -101,5 +101,5 @@ let suite =
     Alcotest.test_case "spsc two-domain stress" `Slow spsc_two_domain_stress;
     Alcotest.test_case "locked queue fifo" `Quick test_locked_queue_fifo;
     Alcotest.test_case "locked queue capacity" `Quick test_locked_queue_capacity;
-    QCheck_alcotest.to_alcotest prop_spsc_model;
+    Test_seed.to_alcotest prop_spsc_model;
   ]

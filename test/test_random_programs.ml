@@ -186,11 +186,11 @@ let prop_report_total =
 
 let suite =
   [
-    QCheck_alcotest.to_alcotest prop_trace_deterministic;
-    QCheck_alcotest.to_alcotest prop_regions_balanced;
-    QCheck_alcotest.to_alcotest prop_alloc_free_balanced;
-    QCheck_alcotest.to_alcotest prop_accesses_within_allocations;
-    QCheck_alcotest.to_alcotest prop_perfect_matches_oracle_end_to_end;
-    QCheck_alcotest.to_alcotest prop_parallel_matches_sharded_end_to_end;
-    QCheck_alcotest.to_alcotest prop_report_total;
+    Test_seed.to_alcotest prop_trace_deterministic;
+    Test_seed.to_alcotest prop_regions_balanced;
+    Test_seed.to_alcotest prop_alloc_free_balanced;
+    Test_seed.to_alcotest prop_accesses_within_allocations;
+    Test_seed.to_alcotest prop_perfect_matches_oracle_end_to_end;
+    Test_seed.to_alcotest prop_parallel_matches_sharded_end_to_end;
+    Test_seed.to_alcotest prop_report_total;
   ]

@@ -1,0 +1,19 @@
+(* DDP_SEED plumbing for the QCheck suites.
+
+   One environment variable seeds every randomized property in the test
+   binary, and each test's name carries the seed it ran with, so any
+   QCheck failure in CI is reproducible locally with
+
+     DDP_SEED=<n> dune runtest
+
+   (QCheck's own QCHECK_SEED still works; DDP_SEED is the repo-wide
+   convention shared with the ddpcheck fuzzer.) *)
+
+let seed = Ddp_testkit.Seed.resolve ()
+
+(* Drop-in replacement for QCheck_alcotest.to_alcotest: stamps the seed
+   into the test name and fixes the generator's random state to it. *)
+let to_alcotest (QCheck2.Test.Test cell as t : QCheck2.Test.t) =
+  QCheck2.Test.set_name cell
+    (QCheck2.Test.get_name cell ^ " " ^ Ddp_testkit.Seed.describe seed);
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) t

@@ -123,6 +123,6 @@ let suite =
     Alcotest.test_case "accounting" `Quick test_accounting;
     Alcotest.test_case "invalid size" `Quick test_invalid_size;
     Alcotest.test_case "perfect remove" `Quick test_perfect_remove;
-    QCheck_alcotest.to_alcotest prop_exact_when_no_collisions;
-    QCheck_alcotest.to_alcotest prop_perfect_is_exact;
+    Test_seed.to_alcotest prop_exact_when_no_collisions;
+    Test_seed.to_alcotest prop_perfect_is_exact;
   ]

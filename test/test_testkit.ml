@@ -1,0 +1,287 @@
+(* The testkit itself under test: generator determinism, shrinker
+   validity, the differential harness on a clean corpus, the mutation
+   smoke test (a deliberately broken engine must be caught and shrunk
+   small), and the virtual scheduler's determinism — including one
+   pinned-interleaving regression test. *)
+
+module TK = Ddp_testkit
+module B = Ddp_minir.Builder
+module Interp = Ddp_minir.Interp
+module Config = Ddp_core.Config
+module Fault = Ddp_core.Fault
+module PP = Ddp_core.Parallel_profiler
+
+(* -- seed plumbing -------------------------------------------------------- *)
+
+let test_seed_resolve () =
+  (* resolve falls back on garbage; derive is stable and salt-sensitive *)
+  Alcotest.(check int) "derive deterministic" (TK.Seed.derive 5 1) (TK.Seed.derive 5 1);
+  Alcotest.(check bool) "derive salt-sensitive" true
+    (TK.Seed.derive 5 1 <> TK.Seed.derive 5 2);
+  Alcotest.(check bool) "derive seed-sensitive" true
+    (TK.Seed.derive 5 1 <> TK.Seed.derive 6 1)
+
+(* -- generator ------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  let p1 = TK.Prog_gen.generate ~seed:17 () in
+  let p2 = TK.Prog_gen.generate ~seed:17 () in
+  Alcotest.(check string) "same seed, same program" (TK.Prog_gen.print p1)
+    (TK.Prog_gen.print p2);
+  let p3 = TK.Prog_gen.generate ~seed:18 () in
+  Alcotest.(check bool) "different seed, different program" true
+    (TK.Prog_gen.print p1 <> TK.Prog_gen.print p3)
+
+let test_par_shape_generates_par () =
+  (* some seed in a small window must produce a Par block *)
+  let rec has_par (s : Ddp_minir.Ast.stmt) =
+    match s.Ddp_minir.Ast.kind with
+    | Ddp_minir.Ast.Par _ -> true
+    | Ddp_minir.Ast.If (_, t, e) -> List.exists has_par t || List.exists has_par e
+    | Ddp_minir.Ast.For { body; _ } | Ddp_minir.Ast.While (_, body) ->
+      List.exists has_par body
+    | _ -> false
+  in
+  let found = ref false in
+  for seed = 0 to 19 do
+    let p = TK.Prog_gen.generate ~shape:TK.Prog_gen.par_shape ~seed () in
+    if List.exists has_par p.Ddp_minir.Ast.body then found := true
+  done;
+  Alcotest.(check bool) "par blocks generated" true !found
+
+(* Every shrink candidate must stay a valid program: it interprets
+   without a runtime error and is no larger than its parent. *)
+let test_shrink_candidates_valid () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun shape ->
+          let prog = TK.Prog_gen.generate ~shape ~seed () in
+          let size = TK.Prog_gen.stmt_count prog in
+          let checked = ref 0 in
+          TK.Prog_gen.shrink prog (fun cand ->
+              if !checked < 60 then begin
+                incr checked;
+                (match Interp.run ~sched_seed:1 cand with
+                | (_ : Interp.stats) -> ()
+                | exception e ->
+                  Alcotest.failf "shrink candidate crashed (%s):\n%s"
+                    (Printexc.to_string e) (TK.Prog_gen.print cand));
+                Alcotest.(check bool) "candidate not larger" true
+                  (TK.Prog_gen.stmt_count cand <= size)
+              end);
+          Alcotest.(check bool) "shrinker produced candidates" true (!checked > 0))
+        [ TK.Prog_gen.default_shape; TK.Prog_gen.par_shape ])
+    [ 3; 11; 29 ]
+
+(* Shrinking must not mutate the original program (candidates are deep
+   copies; the original's line numbers survive). *)
+let test_shrink_preserves_original () =
+  let prog = TK.Prog_gen.generate ~seed:23 () in
+  let before = TK.Prog_gen.print prog in
+  TK.Prog_gen.shrink prog (fun cand -> ignore (TK.Prog_gen.stmt_count cand : int));
+  Alcotest.(check string) "original untouched" before (TK.Prog_gen.print prog)
+
+(* -- differential harness ------------------------------------------------- *)
+
+let test_diff_clean_corpus () =
+  for k = 0 to 4 do
+    let prog = TK.Prog_gen.generate ~seed:(1000 + k) () in
+    let o = TK.Diff.run prog in
+    if not o.TK.Diff.ok then
+      Alcotest.failf "clean corpus flagged (seed %d):\n%s" (1000 + k)
+        (TK.Diff.report_to_string o)
+  done
+
+(* The fire drill: a deliberately broken engine (RAW/WAR swapped) must be
+   flagged by the harness and the witness must shrink small. *)
+let test_mutant_caught_and_shrunk () =
+  let names = TK.Mutant.register () in
+  Alcotest.(check bool) "mutants registered" true (List.length names >= 3);
+  List.iter
+    (fun name ->
+      let witness = ref None in
+      let k = ref 0 in
+      while !witness = None && !k < 15 do
+        let prog = TK.Prog_gen.generate ~seed:(2000 + !k) () in
+        let o = TK.Diff.run ~engines:[ name ] prog in
+        if not o.TK.Diff.ok then witness := Some o;
+        incr k
+      done;
+      match !witness with
+      | None -> Alcotest.failf "%s survived the corpus — harness lost its teeth" name
+      | Some o ->
+        let shrunk = TK.Diff.shrink o in
+        Alcotest.(check bool) "shrunk witness still failing" true (not shrunk.TK.Diff.ok);
+        let n = TK.Prog_gen.stmt_count shrunk.TK.Diff.prog in
+        if n > 20 then
+          Alcotest.failf "%s witness did not shrink: %d statements:\n%s" name n
+            (TK.Prog_gen.print shrunk.TK.Diff.prog))
+    names
+
+(* Diff classification: stride and the oracle itself are skipped, exact
+   engines strict, signature engines modeled. *)
+let test_diff_tolerances () =
+  let prog = TK.Prog_gen.generate ~seed:4 () in
+  let verdicts = TK.Diff.check prog in
+  let by_name n = List.find (fun v -> v.TK.Diff.engine = n) verdicts in
+  (match (by_name "perfect").TK.Diff.tolerance with
+  | TK.Diff.Skip _ -> ()
+  | _ -> Alcotest.fail "oracle must be skipped");
+  (match (by_name "stride").TK.Diff.tolerance with
+  | TK.Diff.Skip _ -> ()
+  | _ -> Alcotest.fail "stride must be skipped (lossy)");
+  (match (by_name "shadow").TK.Diff.tolerance with
+  | TK.Diff.Strict -> ()
+  | _ -> Alcotest.fail "shadow must be strict");
+  match (by_name "serial").TK.Diff.tolerance with
+  | TK.Diff.Modeled _ -> ()
+  | _ -> Alcotest.fail "serial must be signature-modeled"
+
+(* -- virtual scheduler ---------------------------------------------------- *)
+
+let stress_config =
+  {
+    Config.default with
+    workers = 3;
+    chunk_size = 4;
+    queue_capacity = 2;
+    redistribution_interval = 8;
+    hot_set_size = 2;
+    stats_sample = 1;  (* sample every access so the hot set is populated *)
+  }
+
+let keys (r : TK.Vsched.run) = Ddp_core.Dep_store.key_set_no_race r.TK.Vsched.result.PP.deps
+
+let test_vsched_replay_deterministic () =
+  let prog = TK.Prog_gen.generate ~shape:TK.Prog_gen.par_shape ~seed:77 () in
+  let run () = TK.Vsched.profile ~config:stress_config ~sched_seed:5 prog in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same fingerprint" true
+    (a.TK.Vsched.trace.TK.Vsched.fingerprint = b.TK.Vsched.trace.TK.Vsched.fingerprint);
+  Alcotest.(check bool) "same dependence set" true
+    (Ddp_core.Dep_store.Key_set.equal (keys a) (keys b));
+  (* a different schedule seed explores a different interleaving *)
+  let c = TK.Vsched.profile ~config:stress_config ~sched_seed:6 prog in
+  Alcotest.(check bool) "different schedule, different fingerprint" true
+    (a.TK.Vsched.trace.TK.Vsched.fingerprint <> c.TK.Vsched.trace.TK.Vsched.fingerprint)
+
+(* A fixed program under a fixed (prog_seed, sched_seed) pair: the exact
+   interleaving — fingerprint and stall counts — is pinned.  If the
+   chooser, the stall points or the chunk pipeline change shape, this
+   fails and the constants below must be re-pinned consciously. *)
+let pinned_prog () =
+  B.program ~name:"pinned"
+    [
+      B.arr "a" (B.i 8);
+      B.for_ "i" (B.i 0) (B.i 8) (fun iv -> [ B.store "a" iv iv ]);
+      B.for_ "j" (B.i 0) (B.i 8) (fun jv -> [ B.store "a" jv B.(idx "a" jv +: i 1) ]);
+    ]
+
+let pinned_fingerprint = 2839545367747828943
+let pinned_queue_full = 3
+let pinned_drain = 5
+
+let test_vsched_pinned_interleaving () =
+  let r = TK.Vsched.profile ~config:stress_config ~sched_seed:2026 (pinned_prog ()) in
+  let tr = r.TK.Vsched.trace in
+  Alcotest.(check bool) "explored a queue-full stall" true (tr.TK.Vsched.queue_full_stalls > 0);
+  Alcotest.(check bool) "explored a drain barrier" true (tr.TK.Vsched.drain_stalls > 0);
+  Alcotest.(check int) "pinned queue-full stalls" pinned_queue_full tr.TK.Vsched.queue_full_stalls;
+  Alcotest.(check int) "pinned drain waits" pinned_drain tr.TK.Vsched.drain_stalls;
+  Alcotest.(check int) "pinned schedule fingerprint" pinned_fingerprint
+    tr.TK.Vsched.fingerprint
+
+(* Virtual run == real-domain run on the same stream (deps are schedule-
+   independent for a deterministic single-threaded target). *)
+let test_vsched_matches_domains () =
+  let prog = TK.Prog_gen.generate ~seed:91 () in
+  let v = TK.Vsched.profile ~config:stress_config ~sched_seed:3 prog in
+  let real, _ = PP.profile ~config:stress_config ~sched_seed:42 prog in
+  Alcotest.(check bool) "virtual == domains" true
+    (Ddp_core.Dep_store.Key_set.equal (keys v)
+       (Ddp_core.Dep_store.key_set_no_race real.PP.deps))
+
+(* -- fault injection ------------------------------------------------------ *)
+
+let test_faults_fire_and_preserve_semantics () =
+  let prog = TK.Prog_gen.generate ~shape:TK.Prog_gen.par_shape ~seed:55 () in
+  let base = TK.Vsched.profile ~config:stress_config ~sched_seed:9 prog in
+  let faults = Fault.create ~queue_full:4 ~redistributions:2 ~stalls:5 () in
+  let f =
+    TK.Vsched.profile
+      ~config:{ stress_config with Config.faults = Some faults }
+      ~sched_seed:9 prog
+  in
+  Alcotest.(check bool) "queue-full storms fired" true (faults.Fault.queue_full_injected > 0);
+  Alcotest.(check bool) "forced redistributions fired" true
+    (faults.Fault.redistributions_forced > 0);
+  Alcotest.(check bool) "worker stalls fired" true (faults.Fault.stalls_injected > 0);
+  Alcotest.(check bool) "forced redistribution counted" true
+    (f.TK.Vsched.result.PP.redistributions >= faults.Fault.redistributions_forced);
+  (* back-pressure, stalls and redistribution are semantics-preserving *)
+  Alcotest.(check bool) "fault run matches fault-free run" true
+    (Ddp_core.Dep_store.Key_set.equal (keys base) (keys f))
+
+let test_truncation_drops_events () =
+  let prog = TK.Prog_gen.generate ~seed:12 () in
+  let base = TK.Vsched.profile ~config:stress_config ~sched_seed:1 prog in
+  let faults = Fault.create ~truncations:1000 () in
+  let f =
+    TK.Vsched.profile
+      ~config:{ stress_config with Config.faults = Some faults }
+      ~sched_seed:1 prog
+  in
+  Alcotest.(check bool) "truncations fired" true (faults.Fault.truncations_injected > 0);
+  let ev r = Array.fold_left ( + ) 0 r.TK.Vsched.result.PP.per_worker_events in
+  Alcotest.(check bool) "truncated run saw fewer events" true (ev f < ev base)
+
+let test_fault_budgets_finite () =
+  let faults = Fault.create ~queue_full:5 ~queue_full_burst:2 ~truncations:1 ~stalls:3 () in
+  let n = ref 0 in
+  for _ = 1 to 10 do
+    n := !n + Fault.take_queue_full faults
+  done;
+  (* the budget counts total simulated failures; the burst caps per push *)
+  Alcotest.(check int) "queue-full budget exhausted at total budget" 5 !n;
+  Alcotest.(check bool) "truncation budget finite" true
+    (Fault.take_truncation faults && not (Fault.take_truncation faults));
+  let stalls = ref 0 in
+  for _ = 1 to 10 do
+    if Fault.take_stall faults ~worker:1 then incr stalls
+  done;
+  Alcotest.(check int) "stall budget exhausted" 3 !stalls;
+  Alcotest.(check bool) "exhausted" true (Fault.exhausted faults)
+
+(* The vpar engine: registered on demand, resolves and profiles. *)
+let test_vpar_engine () =
+  TK.Vsched.register_engine ();
+  let prog = TK.Prog_gen.generate ~seed:8 () in
+  let o = Ddp_core.Profiler.profile ~mode:"vpar" prog in
+  let oracle = Ddp_core.Profiler.profile ~mode:"perfect" prog in
+  let acc =
+    Ddp_core.Accuracy.compare_stores ~profiled:o.Ddp_core.Profiler.deps
+      ~perfect:oracle.Ddp_core.Profiler.deps
+  in
+  Alcotest.(check bool) "vpar within signature model" true
+    (acc.Ddp_core.Accuracy.false_positives <= 2 && acc.Ddp_core.Accuracy.false_negatives <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "seed derive" `Quick test_seed_resolve;
+    Alcotest.test_case "generator deterministic per seed" `Quick test_generate_deterministic;
+    Alcotest.test_case "par shape generates Par blocks" `Quick test_par_shape_generates_par;
+    Alcotest.test_case "shrink candidates valid" `Quick test_shrink_candidates_valid;
+    Alcotest.test_case "shrink preserves original" `Quick test_shrink_preserves_original;
+    Alcotest.test_case "diff: clean corpus" `Slow test_diff_clean_corpus;
+    Alcotest.test_case "diff: tolerance classes" `Quick test_diff_tolerances;
+    Alcotest.test_case "mutants caught and shrunk" `Slow test_mutant_caught_and_shrunk;
+    Alcotest.test_case "vsched: replay deterministic" `Quick test_vsched_replay_deterministic;
+    Alcotest.test_case "vsched: pinned interleaving" `Quick test_vsched_pinned_interleaving;
+    Alcotest.test_case "vsched: matches real domains" `Quick test_vsched_matches_domains;
+    Alcotest.test_case "faults: fire and preserve semantics" `Quick
+      test_faults_fire_and_preserve_semantics;
+    Alcotest.test_case "faults: truncation drops events" `Quick test_truncation_drops_events;
+    Alcotest.test_case "faults: budgets finite" `Quick test_fault_budgets_finite;
+    Alcotest.test_case "vpar engine registers and runs" `Quick test_vpar_engine;
+  ]

@@ -69,6 +69,75 @@ let test_load_errors () =
   | _ -> Alcotest.fail "short line accepted");
   Sys.remove path
 
+(* Error paths must surface as Parse_error — never as an uncaught
+   Failure/Scanf crash from the guts of the parser. *)
+let test_garbage_symtab () =
+  let path = tmp "garbage_symtab.trace" in
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "ddp-trace 1\n%var notanint foo\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "non-integer symtab id accepted");
+  write "ddp-trace 1\n%var 0 bad\\qescape\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "invalid escape sequence accepted");
+  write "ddp-trace 1\n%var 5 foo\n";
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "non-dense symtab ids accepted");
+  Sys.remove path
+
+(* Chop a recorded trace mid-line: loading must raise Parse_error, not
+   return a silently short event list or crash. *)
+let truncated_trace () =
+  let path = tmp "truncated.trace" in
+  TF.record ~path (sample_prog ());
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let cut = String.length full - (String.length full / 3) in
+  (* land inside a line, not on a boundary *)
+  let cut = if full.[cut] = '\n' then cut - 1 else cut in
+  Out_channel.with_open_bin path (fun oc -> output_string oc (String.sub full 0 cut));
+  path
+
+let test_truncated_file () =
+  let path = truncated_trace () in
+  (match TF.load ~path with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "truncated trace accepted");
+  Sys.remove path
+
+(* The same truncated file through the replay path of EVERY registered
+   engine: the Parse_error must propagate cleanly (no hang, no leaked
+   worker domains — the parallel engine spawns domains in create). *)
+let test_truncated_replay_all_engines () =
+  let path = truncated_trace () in
+  List.iter
+    (fun mode ->
+      match
+        Ddp_core.Profiler.run ~mode ~config:Ddp_core.Config.default
+          (Ddp_core.Source.of_trace ~path)
+      with
+      | exception TF.Parse_error _ -> ()
+      | _ -> Alcotest.fail (mode ^ ": truncated trace accepted"))
+    [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable"; "stride" ];
+  Sys.remove path
+
+let test_abort_recording_idempotent () =
+  let path = tmp "abort.trace" in
+  let r = TF.start_recording ~path in
+  TF.abort_recording r;
+  TF.abort_recording r;
+  (* closing twice is fine; finishing after closing is a caller bug *)
+  (match TF.finish_recording r (Ddp_minir.Symtab.create ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "finish after abort accepted");
+  Sys.remove path
+
 let test_escaped_names () =
   (* Variable names with spaces/backslashes survive the symtab encoding.
      MiniIR names are free-form strings, so the escaping must hold. *)
@@ -88,5 +157,10 @@ let suite =
     Alcotest.test_case "roundtrip symtab" `Quick test_roundtrip_symtab;
     Alcotest.test_case "replay into profiler" `Quick test_replay_into_profiler_matches_live;
     Alcotest.test_case "load errors" `Quick test_load_errors;
+    Alcotest.test_case "garbage symtab lines" `Quick test_garbage_symtab;
+    Alcotest.test_case "truncated file" `Quick test_truncated_file;
+    Alcotest.test_case "truncated replay fails cleanly, all engines" `Quick
+      test_truncated_replay_all_engines;
+    Alcotest.test_case "abort_recording is idempotent" `Quick test_abort_recording_idempotent;
     Alcotest.test_case "escaped names" `Quick test_escaped_names;
   ]

@@ -151,6 +151,6 @@ let suite =
     Alcotest.test_case "matrix frobenius" `Quick test_matrix_frobenius;
     Alcotest.test_case "mem account" `Quick test_mem_account;
     Alcotest.test_case "mem account concurrent" `Quick test_mem_account_concurrent;
-    QCheck_alcotest.to_alcotest prop_rng_bounds;
-    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    Test_seed.to_alcotest prop_rng_bounds;
+    Test_seed.to_alcotest prop_percentile_bounds;
   ]

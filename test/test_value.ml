@@ -84,5 +84,5 @@ let suite =
     Alcotest.test_case "unops" `Quick test_unops;
     Alcotest.test_case "errors" `Quick test_errors;
     Alcotest.test_case "truthiness" `Quick test_truth;
-    QCheck_alcotest.to_alcotest prop_int_ops;
+    Test_seed.to_alcotest prop_int_ops;
   ]
