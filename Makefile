@@ -7,7 +7,7 @@ MODES    = serial perfect parallel mt shadow hashtable
 # Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
 DDP_SEED ?= 421
 
-.PHONY: all build check test smoke fuzz-smoke fuzz-nightly bench clean
+.PHONY: all build check test smoke obs-smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
 
@@ -28,6 +28,17 @@ smoke: build
 	  echo "== kmeans --mode $$mode =="; \
 	  $(DDPROF) run kmeans --mode $$mode || exit 1; \
 	done
+
+# Telemetry end to end: profile a real workload with the tracer on,
+# check the Chrome-trace JSON parses and carries >= 1 span per worker
+# track, and print the pipeline summary.  Artifacts land in _obs/ (load
+# the trace in Perfetto / chrome://tracing).
+obs-smoke: build
+	@mkdir -p _obs
+	$(DDPROF) run kmeans --mode parallel --workers 4 \
+	  --trace-out _obs/trace.json --metrics-out _obs/metrics.json
+	$(DDPROF) check-trace _obs/trace.json --workers 4
+	$(DDPROF) stats kmeans --workers 4
 
 # Differential fuzzing + schedule exploration, small fixed-seed budget
 # (~30s): every engine diffed against the perfect oracle, the virtual

@@ -695,6 +695,147 @@ let ablate_sections () =
      This supports the paper's choice to stay statement-level for generality\n\
      (Sec. VI-B); the offline equivalent is Dep_graph.collapse_to_regions.\n"
 
+(* ==== telemetry overhead ================================================= *)
+
+(* The always-on contract of lib/obs: with no hub configured every call
+   site is one untaken branch, so the pipeline must run at baseline
+   speed; an enabled hub adds chunk-granularity work only (never on the
+   per-access path).  Best-of-N wall times bound the 1-core scheduler
+   noise. *)
+type obs_overhead_row = {
+  oo_baseline : float;  (* config.obs = None *)
+  oo_disabled : float;  (* config.obs = Some Obs.disabled — same branch *)
+  oo_enabled : float;  (* live hub, monotonic clock *)
+}
+
+let measure_obs_overhead ?(repeats = 3) ?(workload = "kmeans") () =
+  let prog_fn = seq_prog workload in
+  let config = seq_config ~workers:4 ~lock_free:true in
+  (* warm up allocators / code paths so the first measured column doesn't
+     absorb one-time costs *)
+  ignore (H.run_parallel ~config prog_fn);
+  let best_of obs_of =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let config = { config with Config.obs = obs_of () } in
+      let time, _, _, _ = H.run_parallel ~config prog_fn in
+      if time < !best then best := time
+    done;
+    !best
+  in
+  {
+    oo_baseline = best_of (fun () -> None);
+    oo_disabled = best_of (fun () -> Some Ddp_obs.Obs.disabled);
+    oo_enabled = best_of (fun () -> Some (Ddp_obs.Obs.create ~domains:5 ()));
+  }
+
+let obs_overhead () =
+  H.header "Telemetry overhead: parallel pipeline, disabled vs enabled hub (best of 3)";
+  let r = measure_obs_overhead () in
+  let pct t = 100.0 *. ((t /. r.oo_baseline) -. 1.0) in
+  fprintf "%-28s %10.3fs\n" "no hub (obs = None)" r.oo_baseline;
+  fprintf "%-28s %10.3fs  (%+.2f%%)\n" "disabled hub" r.oo_disabled (pct r.oo_disabled);
+  fprintf "%-28s %10.3fs  (%+.2f%%)\n" "enabled hub" r.oo_enabled (pct r.oo_enabled);
+  fprintf
+    "contract: the disabled hub is the same one-branch call sites as no hub, so its\n\
+     column must sit within noise (<= 2%%); the enabled hub pays per *chunk*, never\n\
+     per access, so even live telemetry stays within a few percent.\n"
+
+(* ==== machine-readable bench snapshot ==================================== *)
+
+let geomean l =
+  match List.filter (fun x -> x > 0.0) l with
+  | [] -> 0.0
+  | l -> exp (Ddp_util.Stats.mean (Array.of_list (List.map log l)))
+
+(* BENCH_profiler.json: the headline profiler numbers in one parseable
+   file (geomean slowdowns vs native and vs serial, accounted peak bytes
+   by category, telemetry overhead) for CI trend lines and EXPERIMENTS.md
+   tables. *)
+let bench_json () =
+  H.header "BENCH_profiler.json: machine-readable profiler overhead snapshot";
+  let module J = Ddp_obs.Json in
+  let workloads = [ "c-ray"; "kmeans"; "md5"; "rgbyuv" ] in
+  let config = seq_config ~workers:8 ~lock_free:true in
+  let account = Ddp_util.Mem_account.create () in
+  let rows =
+    List.map
+      (fun name ->
+        let native = H.run_native (seq_prog name) in
+        let serial =
+          Ddp_core.Profiler.profile ~mode:"serial" ~config:bench_config (seq_prog name ())
+        in
+        let par =
+          Ddp_core.Profiler.profile ~mode:"parallel" ~config ~account:(account, "deps")
+            (seq_prog name ())
+        in
+        let s_slow = serial.elapsed /. native.H.native_time in
+        let p_slow = par.elapsed /. native.H.native_time in
+        fprintf "%-14s native %6.3fs  serial %6.2fx  parallel(8T wall) %6.2fx\n" name
+          native.H.native_time s_slow p_slow;
+        ( name,
+          J.Obj
+            [
+              ("accesses", J.Int native.H.events);
+              ("native_s", J.Float native.H.native_time);
+              ("serial_slowdown", J.Float s_slow);
+              ("parallel_slowdown", J.Float p_slow);
+            ],
+          (s_slow, p_slow) ))
+      workloads
+  in
+  let s_slows = List.map (fun (_, _, (s, _)) -> s) rows in
+  let p_slows = List.map (fun (_, _, (_, p)) -> p) rows in
+  let overhead = measure_obs_overhead ~repeats:2 () in
+  let peaks =
+    Ddp_util.Mem_account.fold account
+      (fun cat ~current:_ ~peak acc -> (cat, J.Int peak) :: acc)
+      []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let json =
+    J.Obj
+      [
+        ("schema", J.Str "ddp-bench/1");
+        ( "config",
+          J.Obj
+            [
+              ("workers", J.Int config.Config.workers);
+              ("chunk_size", J.Int config.Config.chunk_size);
+              ("slots", J.Int config.Config.slots);
+            ] );
+        ("workloads", J.Obj (List.map (fun (n, j, _) -> (n, j)) rows));
+        ( "geomean",
+          J.Obj
+            [
+              ("serial_slowdown", J.Float (geomean s_slows));
+              ("parallel_slowdown", J.Float (geomean p_slows));
+              ( "parallel_vs_serial",
+                J.Float (geomean (List.map2 (fun p s -> p /. s) p_slows s_slows)) );
+            ] );
+        ( "peak_bytes",
+          J.Obj (peaks @ [ ("total", J.Int (Ddp_util.Mem_account.total_peak account)) ]) );
+        ( "obs_overhead",
+          J.Obj
+            [
+              ("baseline_s", J.Float overhead.oo_baseline);
+              ("disabled_s", J.Float overhead.oo_disabled);
+              ("enabled_s", J.Float overhead.oo_enabled);
+              ( "disabled_pct",
+                J.Float (100.0 *. ((overhead.oo_disabled /. overhead.oo_baseline) -. 1.0)) );
+              ( "enabled_pct",
+                J.Float (100.0 *. ((overhead.oo_enabled /. overhead.oo_baseline) -. 1.0)) );
+            ] );
+      ]
+  in
+  let path = "BENCH_profiler.json" in
+  J.to_file path json;
+  fprintf "geomean: serial %.2fx, parallel(wall) %.2fx; telemetry disabled %+.2f%%, enabled %+.2f%%\n"
+    (geomean s_slows) (geomean p_slows)
+    (100.0 *. ((overhead.oo_disabled /. overhead.oo_baseline) -. 1.0))
+    (100.0 *. ((overhead.oo_enabled /. overhead.oo_baseline) -. 1.0));
+  fprintf "written to %s\n" path
+
 (* ==== bechamel micro-benchmarks ========================================== *)
 
 let micro () =
@@ -712,6 +853,7 @@ let micro () =
     incr counter;
     !counter land 0xFFFF
   in
+  let obs_hub = Ddp_obs.Obs.create ~domains:1 () in
   let tests =
     [
       Test.make ~name:"sig_store set+probe"
@@ -742,6 +884,19 @@ let micro () =
         (Staged.stage (fun () ->
              ignore (Ddp_core.Locked_queue.try_push locked chunk : bool);
              Ddp_core.Locked_queue.try_pop locked));
+      Test.make ~name:"obs span disabled"
+        (Staged.stage (fun () ->
+             let module O = Ddp_obs.Obs in
+             let t0 = O.now O.disabled in
+             ignore (O.span O.disabled ~dom:0 O.Tag.Process ~arg:1 ~t0 : int)));
+      Test.make ~name:"obs span enabled"
+        (Staged.stage (fun () ->
+             let module O = Ddp_obs.Obs in
+             let t0 = O.now obs_hub in
+             ignore (O.span obs_hub ~dom:0 O.Tag.Process ~arg:1 ~t0 : int)));
+      Test.make ~name:"obs counter enabled"
+        (Staged.stage (fun () ->
+             Ddp_obs.Obs.incr obs_hub ~dom:0 Ddp_obs.Obs.C.events_processed));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~stabilize:true () in
@@ -780,6 +935,8 @@ let experiments =
     ("ablate-war", ablate_war);
     ("ablate-redist", ablate_redist);
     ("ablate-sections", ablate_sections);
+    ("obs-overhead", obs_overhead);
+    ("json", bench_json);
     ("micro", micro);
   ]
 

@@ -86,6 +86,45 @@ let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
     Format.printf "memory (accounted):@.%a" (fun ppf () -> Ddp_util.Mem_account.report ppf acct) ()
   | None -> ()
 
+(* -- telemetry helpers ----------------------------------------------------- *)
+
+(* The hub needs one cell per pipeline domain: producer + workers for the
+   parallel engine, a single domain for everything else. *)
+let obs_domains ~mode ~workers = if mode = "parallel" then workers + 1 else 1
+
+let make_obs ~mode ~workers ~trace_out ~metrics_out =
+  if trace_out = None && metrics_out = None then None
+  else Some (Ddp_obs.Obs.create ~domains:(obs_domains ~mode ~workers) ())
+
+let export_obs ~account ~trace_out ~metrics_out ~extra obs =
+  match obs with
+  | None -> ()
+  | Some obs ->
+    let snap = Ddp_obs.Obs.snapshot obs in
+    (match trace_out with
+    | Some path ->
+      Ddp_obs.Json.to_file path (Ddp_obs.Export.chrome_trace snap);
+      Printf.printf "chrome trace written to %s (load in ui.perfetto.dev)\n" path
+    | None -> ());
+    (match metrics_out with
+    | Some path ->
+      Ddp_obs.Json.to_file path (Ddp_obs.Export.metrics_json ?account ~extra snap);
+      Printf.printf "metrics written to %s\n" path
+    | None -> ())
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace-event JSON of the profiling pipeline to FILE.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write a flat metrics JSON snapshot to FILE.")
+
 (* -- run ------------------------------------------------------------------ *)
 
 let run_cmd =
@@ -107,7 +146,7 @@ let run_cmd =
           ~doc:"Record the instrumentation stream to FILE while profiling (one pass).")
   in
   let run name scale variant target_threads mode mt workers slots seed report show_threads
-      lock_based record =
+      lock_based record trace_out metrics_out =
     check_mode mode;
     let prog = get_program ~variant ~target_threads ~scale name in
     let config =
@@ -116,8 +155,9 @@ let run_cmd =
     let account = Ddp_util.Mem_account.create () in
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
+    let obs = make_obs ~mode ~workers ~trace_out ~metrics_out in
     let outcome =
-      Ddp_core.Profiler.run ~mode ~config ~mt ~account:(account, "deps") ?tee
+      Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee
         (Ddp_core.Source.live ~sched_seed:seed prog)
     in
     (match (recording, record) with
@@ -129,6 +169,14 @@ let run_cmd =
       (match variant with `Seq -> "seq" | `Par -> "par")
       outcome.run_stats.accesses outcome.run_stats.addresses outcome.run_stats.lines;
     summarize ~account outcome;
+    export_obs ~account:(Some account) ~trace_out ~metrics_out
+      ~extra:
+        [
+          ("engine", Ddp_obs.Json.Str mode);
+          ("workload", Ddp_obs.Json.Str name);
+          ("seed", Ddp_obs.Json.Int seed);
+        ]
+      obs;
     if report then begin
       print_newline ();
       print_string (Ddp_core.Profiler.report ~show_threads outcome)
@@ -138,7 +186,7 @@ let run_cmd =
     Term.(
       const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg $ mt_arg
       $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg
-      $ record_arg)
+      $ record_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile a workload and summarize its dependences.") term
 
@@ -300,6 +348,104 @@ let graph_cmd =
     (Cmd.info "graph" ~doc:"Dependence graph + loop table (the framework representations).")
     Term.(const run $ name_arg $ scale_arg $ sections_arg $ out_arg)
 
+(* -- stats ----------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run name scale variant target_threads mode workers slots seed trace_out metrics_out =
+    check_mode mode;
+    let prog = get_program ~variant ~target_threads ~scale name in
+    let config = { Ddp_core.Config.default with workers; slots; seed } in
+    let account = Ddp_util.Mem_account.create () in
+    let obs = Ddp_obs.Obs.create ~domains:(obs_domains ~mode ~workers) () in
+    let outcome =
+      Ddp_core.Profiler.run ~mode ~config ~obs ~account:(account, "deps")
+        (Ddp_core.Source.live ~sched_seed:seed prog)
+    in
+    Printf.printf "workload %s, engine %s: %d accesses, %d distinct dependences\n" name mode
+      outcome.run_stats.accesses
+      (Ddp_core.Dep_store.distinct outcome.deps);
+    let snap = Ddp_obs.Obs.snapshot obs in
+    Ddp_obs.Export.pp_summary Format.std_formatter snap;
+    export_obs ~account:(Some account) ~trace_out ~metrics_out
+      ~extra:
+        [
+          ("engine", Ddp_obs.Json.Str mode);
+          ("workload", Ddp_obs.Json.Str name);
+          ("seed", Ddp_obs.Json.Int seed);
+        ]
+      (Some obs)
+  in
+  let mode_arg =
+    Arg.(value & opt string "parallel" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Profiler engine (default parallel: pipeline telemetry).")
+  in
+  let term =
+    Term.(
+      const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg
+      $ workers_arg $ slots_arg $ seed_arg $ trace_out_arg $ metrics_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Profile a workload with telemetry on and print the pipeline summary (stalls, load \
+          imbalance, redistribution timeline).")
+    term
+
+(* -- check-trace ------------------------------------------------------------ *)
+
+(* Validate a Chrome trace-event file: parses, has events, and (with
+   --workers) every worker track carries at least one complete span.
+   Used by the CI smoke job. *)
+let check_trace_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Chrome trace JSON file.")
+  in
+  let check_workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"W"
+          ~doc:"Require at least one complete span on each worker track 1..W.")
+  in
+  let run file workers =
+    let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "check-trace: %s\n" s; exit 1) fmt in
+    let j =
+      try Ddp_obs.Json.of_file file with
+      | Ddp_obs.Json.Parse_error msg -> fail "%s: JSON parse error: %s" file msg
+      | Sys_error msg -> fail "%s" msg
+    in
+    let events =
+      match Option.bind (Ddp_obs.Json.member "traceEvents" j) Ddp_obs.Json.to_list with
+      | Some l -> l
+      | None -> fail "%s: no traceEvents array" file
+    in
+    let span_tids = Hashtbl.create 8 in
+    let n_spans = ref 0 in
+    List.iter
+      (fun e ->
+        match Option.bind (Ddp_obs.Json.member "ph" e) Ddp_obs.Json.to_str with
+        | Some "X" ->
+          incr n_spans;
+          (match Option.bind (Ddp_obs.Json.member "tid" e) Ddp_obs.Json.to_int with
+          | Some tid -> Hashtbl.replace span_tids tid ()
+          | None -> fail "%s: span without tid" file)
+        | _ -> ())
+      events;
+    if !n_spans = 0 then fail "%s: no complete spans" file;
+    (match workers with
+    | Some w ->
+      for tid = 1 to w do
+        if not (Hashtbl.mem span_tids tid) then
+          fail "%s: worker track %d has no spans" file tid
+      done
+    | None -> ());
+    Printf.printf "%s: OK (%d events, %d spans, %d tracks with spans)\n" file
+      (List.length events) !n_spans (Hashtbl.length span_tids)
+  in
+  Cmd.v
+    (Cmd.info "check-trace" ~doc:"Validate a --trace-out Chrome trace JSON file.")
+    Term.(const run $ file_arg $ check_workers_arg)
+
 (* -- races ---------------------------------------------------------------- *)
 
 let races_cmd =
@@ -320,6 +466,8 @@ let main =
   Cmd.group (Cmd.info "ddprof" ~doc)
     [
       run_cmd;
+      stats_cmd;
+      check_trace_cmd;
       list_cmd;
       list_modes_cmd;
       loops_cmd;

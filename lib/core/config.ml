@@ -28,6 +28,10 @@ type t = {
   (* Fault-injection plan for the parallel pipeline (testkit only).
      [None] — the default — compiles the checks down to one [match] per
      chunk operation; the per-access hot path never consults it. *)
+  obs : Ddp_obs.Obs.t option;
+  (* Telemetry hub (metrics + trace rings).  [None] — the default —
+     makes every engine fall back to Obs.disabled, whose call sites
+     cost one branch each; the per-access hot path has none. *)
 }
 
 let default =
@@ -48,6 +52,7 @@ let default =
     seed = 1;
     reorder_window = 6;
     faults = None;
+    obs = None;
   }
 
 (* Slot budget per worker: the paper splits the global signature evenly

@@ -22,6 +22,9 @@ type t = {
   faults : Fault.t option;
       (** Fault-injection plan (testkit only); [None] — the default —
           leaves the pipeline untouched. *)
+  obs : Ddp_obs.Obs.t option;
+      (** Telemetry hub; [None] — the default — costs one branch per
+          telemetry call site (chunk granularity, never per access). *)
 }
 
 val default : t

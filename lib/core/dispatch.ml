@@ -18,6 +18,7 @@ type t = {
   hot_set_size : int;
   mutable clock : int;  (* accesses seen, for sampling *)
   mutable redistributions : int;
+  mutable moved : int;  (* total addresses migrated across all rebalances *)
 }
 
 let create ~workers ~sample ~hot_set_size =
@@ -30,6 +31,7 @@ let create ~workers ~sample ~hot_set_size =
     hot_set_size;
     clock = 0;
     redistributions = 0;
+    moved = 0;
   }
 
 let worker_of t addr =
@@ -79,7 +81,9 @@ let rebalance t =
             moves := (addr, current, target) :: !moves
           end)
         hot;
-      List.rev !moves
+      let moves = List.rev !moves in
+      t.moved <- t.moved + List.length moves;
+      moves
     end
   end
 
@@ -102,9 +106,12 @@ let force_rebalance t =
           moves := (addr, current, target) :: !moves
         end)
       hot;
-    List.rev !moves
+    let moves = List.rev !moves in
+    t.moved <- t.moved + List.length moves;
+    moves
 
 let redistributions t = t.redistributions
+let moved_addresses t = t.moved
 let override_count t = Hashtbl.length t.overrides
 let stats_entries t = Hashtbl.length t.stats
 

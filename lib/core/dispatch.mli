@@ -25,6 +25,10 @@ val force_rebalance : t -> (int * int * int) list
     been sampled yet or a move-free rotation comes up. *)
 
 val redistributions : t -> int
+
+val moved_addresses : t -> int
+(** Total addresses migrated across all rebalances (telemetry). *)
+
 val override_count : t -> int
 val stats_entries : t -> int
 val bytes : t -> int

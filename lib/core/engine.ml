@@ -77,6 +77,34 @@ let with_mt ?name ?description engine =
         });
   }
 
+(* Telemetry wrapper: inject the hub into the engine's config (so the
+   parallel pipeline and the serial stores pick it up), tee an
+   access-counting sink in front of the hooks, and wrap the whole
+   session in a Run span.  Identity on a disabled hub: a run without
+   telemetry pays nothing at this layer. *)
+let with_obs obs engine =
+  let module Obs = Ddp_obs.Obs in
+  if not (Obs.enabled obs) then engine
+  else
+    {
+      engine with
+      create =
+        (fun ?account config ->
+          let config = { config with Config.obs = Some obs } in
+          let inner = engine.create ?account config in
+          let t0 = Obs.now obs in
+          {
+            hooks = Sink.tee (Sink.obs_events obs) inner.hooks;
+            finish =
+              (fun () ->
+                let o = inner.finish () in
+                let d = Obs.span obs ~dom:0 Obs.Tag.Run ~arg:0 ~t0 in
+                Obs.add obs ~dom:0 Obs.C.run_ns d;
+                Obs.add obs ~dom:0 Obs.C.store_bytes o.store_bytes;
+                o);
+          });
+    }
+
 (* -- registry ------------------------------------------------------------- *)
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16

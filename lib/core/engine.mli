@@ -48,6 +48,12 @@ val with_mt : ?name:string -> ?description:string -> t -> t
     reorder-window push emulation in front of its hooks, and
     [check_timestamps] forced on in its config. *)
 
+val with_obs : Ddp_obs.Obs.t -> t -> t
+(** Wrap an engine with the telemetry hub: injects it into the config
+    (picked up by the parallel pipeline and the serial stores), counts
+    accesses into the hub, and wraps the session in a [Run] span.
+    Identity when the hub is disabled. *)
+
 (** {2 Registry} *)
 
 val register : t -> unit

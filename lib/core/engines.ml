@@ -12,6 +12,9 @@ let of_serial ~name ~description ~exact make_profiler =
         Engine.hooks = p.Serial_profiler.hooks;
         finish =
           (fun () ->
+            (match config.Config.obs with
+            | Some obs -> p.Serial_profiler.fold_obs obs
+            | None -> ());
             {
               Engine.deps = p.Serial_profiler.deps;
               regions = p.Serial_profiler.regions;

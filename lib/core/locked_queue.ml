@@ -10,11 +10,24 @@ type 'a t = {
   q : 'a Queue.t;
   capacity : int;
   mutex : Mutex.t;
+  (* Telemetry op counters, updated under the mutex. *)
+  mutable pushes : int;
+  mutable push_failures : int;
+  mutable pops : int;
+  mutable pop_empties : int;
 }
 
 let create ~capacity ~dummy:_ =
   if capacity <= 0 then invalid_arg "Locked_queue.create: capacity must be positive";
-  { q = Queue.create (); capacity; mutex = Mutex.create () }
+  {
+    q = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    pushes = 0;
+    push_failures = 0;
+    pops = 0;
+    pop_empties = 0;
+  }
 
 let capacity t = t.capacity
 
@@ -29,7 +42,11 @@ let is_empty t = length t = 0
 let try_push t x =
   Mutex.lock t.mutex;
   let ok = Queue.length t.q < t.capacity in
-  if ok then Queue.push x t.q;
+  if ok then begin
+    Queue.push x t.q;
+    t.pushes <- t.pushes + 1
+  end
+  else t.push_failures <- t.push_failures + 1;
   Mutex.unlock t.mutex;
   ok
 
@@ -41,7 +58,16 @@ let push_blocking t x =
 let try_pop t =
   Mutex.lock t.mutex;
   let r = Queue.take_opt t.q in
+  (match r with
+  | Some _ -> t.pops <- t.pops + 1
+  | None -> t.pop_empties <- t.pop_empties + 1);
   Mutex.unlock t.mutex;
   r
 
 let bytes t = (t.capacity + 8) * 8
+
+let op_counts t =
+  Mutex.lock t.mutex;
+  let r = (t.pushes, t.push_failures, t.pops, t.pop_empties) in
+  Mutex.unlock t.mutex;
+  r

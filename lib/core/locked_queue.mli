@@ -11,3 +11,6 @@ val try_push : 'a t -> 'a -> bool
 val push_blocking : 'a t -> 'a -> unit
 val try_pop : 'a t -> 'a option
 val bytes : 'a t -> int
+
+val op_counts : 'a t -> int * int * int * int
+(** [(pushes, push_failures, pops, pop_empties)] — telemetry counters. *)

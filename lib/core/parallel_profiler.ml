@@ -25,11 +25,13 @@
 
 module Clock = Ddp_util.Clock
 module Event = Ddp_minir.Event
+module Obs = Ddp_obs.Obs
 
 type queue = {
   try_push : Chunk.t -> bool;
   pop : unit -> Chunk.t option;
   q_bytes : int;
+  op_counts : unit -> int * int * int * int;  (* pushes, push fails, pops, pop empties *)
 }
 
 let dummy_chunk = Chunk.create ~capacity:1
@@ -41,6 +43,7 @@ let make_queue ~lock_free ~capacity =
       try_push = (fun c -> Spsc_queue.try_push q c);
       pop = (fun () -> Spsc_queue.try_pop q);
       q_bytes = Spsc_queue.bytes q;
+      op_counts = (fun () -> Spsc_queue.op_counts q);
     }
   end
   else begin
@@ -49,6 +52,7 @@ let make_queue ~lock_free ~capacity =
       try_push = (fun c -> Locked_queue.try_push q c);
       pop = (fun () -> Locked_queue.try_pop q);
       q_bytes = Locked_queue.bytes q;
+      op_counts = (fun () -> Locked_queue.op_counts q);
     }
   end
 
@@ -84,6 +88,7 @@ type worker = {
   processed : int Atomic.t;  (* chunks fully consumed *)
   mutable events : int;
   mutable busy : float;
+  obs : Obs.t;  (* worker [id] writes telemetry domain [id + 1] *)
 }
 
 type t = {
@@ -95,6 +100,7 @@ type t = {
   global_deps : Dep_store.t;
   stop : bool Atomic.t;
   virtual_mode : bool;  (* no domains; workers advance via worker_step *)
+  obs : Obs.t;  (* producer writes telemetry domain 0 *)
   mutable vsched : vsched option;
   mutable domains : unit Domain.t array;
   mutable chunks_pushed : int;
@@ -135,7 +141,11 @@ let process_chunk w chunk =
 
 (* Consume one popped chunk: the worker's unit of progress, shared by the
    domain loop and the virtual scheduler's worker_step. *)
-let consume w chunk =
+let consume (w : worker) chunk =
+  let on = Obs.enabled w.obs in
+  let dom = w.id + 1 in
+  let o0 = if on then Obs.now w.obs else 0 in
+  let n = Chunk.length chunk in
   let t0 = Clock.now () in
   process_chunk w chunk;
   w.busy <- w.busy +. (Clock.now () -. t0);
@@ -143,7 +153,14 @@ let consume w chunk =
   Atomic.incr w.processed;
   (* Recycle; if the return queue is full the chunk is dropped and the
      producer will allocate a fresh one. *)
-  ignore (w.recycle_q.try_push chunk : bool)
+  let recycled = w.recycle_q.try_push chunk in
+  if on then begin
+    let d = Obs.span w.obs ~dom Obs.Tag.Process ~arg:n ~t0:o0 in
+    Obs.observe w.obs ~dom Obs.H.process_ns d;
+    Obs.add w.obs ~dom Obs.C.busy_ns d;
+    Obs.add w.obs ~dom Obs.C.events_processed n;
+    if not recycled then Obs.incr w.obs ~dom Obs.C.recycle_drops
+  end
 
 let worker_loop stop w =
   let spins = ref 0 in
@@ -175,6 +192,7 @@ let acquire_chunk t w =
   | Some c -> c
   | None ->
     t.extra_chunks <- t.extra_chunks + 1;
+    if Obs.enabled t.obs then Obs.incr t.obs ~dom:0 Obs.C.extra_chunks;
     let c = Chunk.create ~capacity:t.config.chunk_size in
     charge t (Chunk.bytes c);
     c
@@ -218,13 +236,27 @@ let queue_depth t w_id =
 (* Drain barrier: wait until every worker has consumed everything pushed
    to it.  Used by redistribution and at shutdown. *)
 let drain t =
+  let on = Obs.enabled t.obs in
+  let b0 = if on then Obs.now t.obs else 0 in
+  let waited = ref 0 in
   Array.iter
     (fun w ->
-      let spins = ref 0 in
-      while Atomic.get w.pushed <> Atomic.get w.processed do
-        stall t (Drain_wait w.id) spins
-      done)
-    t.workers
+      if Atomic.get w.pushed <> Atomic.get w.processed then begin
+        incr waited;
+        let s0 = if on then Obs.now t.obs else 0 in
+        let spins = ref 0 in
+        while Atomic.get w.pushed <> Atomic.get w.processed do
+          stall t (Drain_wait w.id) spins
+        done;
+        if on then begin
+          let d = Obs.span t.obs ~dom:0 Obs.Tag.Drain_wait ~arg:w.id ~t0:s0 in
+          Obs.incr t.obs ~dom:0 Obs.C.drain_stalls;
+          Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
+          Obs.observe t.obs ~dom:0 Obs.H.stall_ns d
+        end
+      end)
+    t.workers;
+  if on then ignore (Obs.span t.obs ~dom:0 Obs.Tag.Drain ~arg:!waited ~t0:b0 : int)
 
 (* Move the signature state of a redistributed address (Sec. IV-A).
    Safe only while drained. *)
@@ -246,6 +278,8 @@ let flush_chunk t w_id =
   let chunk = t.open_chunks.(w_id) in
   if Chunk.length chunk > 0 then begin
     let w = t.workers.(w_id) in
+    let on = Obs.enabled t.obs in
+    let f0 = if on then Obs.now t.obs else 0 in
     (* Fault injection (chunk granularity, compiled to one match when
        off): simulated corruption and back-pressure storms. *)
     (match t.config.faults with
@@ -258,13 +292,40 @@ let flush_chunk t w_id =
       done
     | None -> ());
     (match t.vsched with Some vs -> vs.on_chunk w_id | None -> ());
+    (* The occupancy must be read before the push: once the chunk is in
+       the queue the consumer may clear it concurrently. *)
+    let occupancy = Chunk.length chunk in
     Atomic.incr w.pushed;
-    let spins = ref 0 in
-    while not (w.work_q.try_push chunk) do
-      stall t (Queue_full w_id) spins
-    done;
+    if not (w.work_q.try_push chunk) then begin
+      (* Blocked on a full queue: one span for the whole wait (never one
+         event per spin — that would flood the ring), with the retry
+         count as a counter. *)
+      let s0 = if on then Obs.now t.obs else 0 in
+      let retries = ref 0 in
+      let spins = ref 0 in
+      while
+        incr retries;
+        stall t (Queue_full w_id) spins;
+        not (w.work_q.try_push chunk)
+      do
+        ()
+      done;
+      if on then begin
+        let d = Obs.span t.obs ~dom:0 Obs.Tag.Queue_full ~arg:w_id ~t0:s0 in
+        Obs.incr t.obs ~dom:0 Obs.C.queue_full_stalls;
+        Obs.add t.obs ~dom:0 Obs.C.queue_push_retries !retries;
+        Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
+        Obs.observe t.obs ~dom:0 Obs.H.stall_ns d
+      end
+    end;
     t.open_chunks.(w_id) <- acquire_chunk t w;
-    t.chunks_pushed <- t.chunks_pushed + 1
+    t.chunks_pushed <- t.chunks_pushed + 1;
+    if on then begin
+      ignore (Obs.span t.obs ~dom:0 Obs.Tag.Flush ~arg:w_id ~t0:f0 : int);
+      Obs.incr t.obs ~dom:0 Obs.C.chunks_pushed;
+      Obs.add t.obs ~dom:0 Obs.C.chunk_events occupancy;
+      Obs.observe t.obs ~dom:0 Obs.H.chunk_occupancy occupancy
+    end
   end
 
 (* One check per [interval] pushed chunks.  The trigger compares against
@@ -290,6 +351,8 @@ let maybe_redistribute t =
     match moves_needed with
     | [] -> ()
     | moves ->
+      let on = Obs.enabled t.obs in
+      let r0 = if on then Obs.now t.obs else 0 in
       (* Accesses to a moved address may still sit in open chunks routed
          under the old assignment: flush everything, let the old owners
          consume it, and only then migrate signature state.  Without this
@@ -297,7 +360,14 @@ let maybe_redistribute t =
          signature whose slots were just migrated away. *)
       Array.iteri (fun w_id _ -> flush_chunk t w_id) t.open_chunks;
       drain t;
-      List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves
+      List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves;
+      if on then begin
+        let n = List.length moves in
+        ignore (Obs.span t.obs ~dom:0 Obs.Tag.Redistribute ~arg:n ~t0:r0 : int);
+        Obs.incr t.obs ~dom:0 Obs.C.redistributions;
+        Obs.add t.obs ~dom:0 Obs.C.migrated_addrs n;
+        Obs.observe t.obs ~dom:0 Obs.H.redistribute_moves n
+      end
   end
 
 let flush t w_id =
@@ -315,6 +385,7 @@ let route t ~addr ~op ~payload ~time =
 
 let create ?account ?(virtual_mode = false) (config : Config.t) =
   let nw = max 1 config.workers in
+  let obs = match config.obs with Some o -> o | None -> Obs.disabled in
   let sig_account = Option.map (fun (a, _) -> (a, "signatures")) account in
   let slots = Config.slots_per_worker { config with workers = nw } in
   let workers =
@@ -339,6 +410,7 @@ let create ?account ?(virtual_mode = false) (config : Config.t) =
           processed = Atomic.make 0;
           events = 0;
           busy = 0.0;
+          obs;
         })
   in
   let regions = Region.create () in
@@ -355,6 +427,7 @@ let create ?account ?(virtual_mode = false) (config : Config.t) =
     global_deps;
     stop = Atomic.make false;
     virtual_mode;
+    obs;
     vsched = None;
     domains = [||];
     chunks_pushed = 0;
@@ -411,7 +484,44 @@ let finish t =
   drain t;
   Atomic.set t.stop true;
   Array.iter Domain.join t.domains;
+  let on = Obs.enabled t.obs in
+  let m0 = if on then Obs.now t.obs else 0 in
   Array.iter (fun (w : worker) -> Dep_store.merge_into ~src:w.deps ~dst:t.global_deps) t.workers;
+  if on then begin
+    let d = Obs.span t.obs ~dom:0 Obs.Tag.Merge ~arg:(Array.length t.workers) ~t0:m0 in
+    Obs.add t.obs ~dom:0 Obs.C.merge_ns d;
+    (* Domains have joined: folding per-access-structure statistics into
+       the worker cells is now race-free. *)
+    Array.iter
+      (fun (w : worker) ->
+        let dom = w.id + 1 in
+        Obs.add t.obs ~dom Obs.C.sig_occupied
+          (Sig_store.occupied w.reads + Sig_store.occupied w.writes);
+        Obs.add t.obs ~dom Obs.C.sig_overwrites
+          (Sig_store.overwrites w.reads + Sig_store.overwrites w.writes);
+        let add_ops (pushes, fails, pops, empties) =
+          Obs.add t.obs ~dom:0 Obs.C.queue_pushes pushes;
+          Obs.add t.obs ~dom:0 Obs.C.queue_push_failures fails;
+          Obs.add t.obs ~dom:0 Obs.C.queue_pops pops;
+          Obs.add t.obs ~dom:0 Obs.C.queue_pop_empties empties
+        in
+        add_ops (w.work_q.op_counts ());
+        add_ops (w.recycle_q.op_counts ()))
+      t.workers;
+    Obs.add t.obs ~dom:0 Obs.C.bytes_signatures
+      (Array.fold_left
+         (fun acc (w : worker) -> acc + Sig_store.bytes w.reads + Sig_store.bytes w.writes)
+         0 t.workers);
+    Obs.add t.obs ~dom:0 Obs.C.bytes_queues
+      (Array.fold_left
+         (fun acc (w : worker) -> acc + w.work_q.q_bytes + w.recycle_q.q_bytes)
+         0 t.workers);
+    Obs.add t.obs ~dom:0 Obs.C.bytes_chunks
+      ((Array.length t.open_chunks + t.extra_chunks) * Chunk.bytes t.open_chunks.(0));
+    Obs.add t.obs ~dom:0 Obs.C.bytes_dispatch (Dispatch.bytes t.dispatch);
+    Obs.add t.obs ~dom:0 Obs.C.dispatch_overrides (Dispatch.override_count t.dispatch);
+    Obs.add t.obs ~dom:0 Obs.C.dispatch_stats_entries (Dispatch.stats_entries t.dispatch)
+  end;
   charge t (Dispatch.bytes t.dispatch);
   {
     deps = t.global_deps;

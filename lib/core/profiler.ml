@@ -40,11 +40,13 @@ let report ?show_threads outcome =
     ~deps:outcome.deps ~regions:outcome.regions ()
 
 (* [mt] wraps the chosen engine with the Sec. V machinery (no-op when the
-   mode is already MT-wrapped, i.e. "mt"). *)
-let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?account ?tee
+   mode is already MT-wrapped, i.e. "mt"); [obs] wraps it with the
+   telemetry hub. *)
+let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?account ?tee
     (source : Source.t) =
   let engine = Engine.get mode in
   let engine = if mt && mode <> "mt" then Engine.with_mt engine else engine in
+  let engine = match obs with Some o -> Engine.with_obs o engine | None -> engine in
   let session = engine.Engine.create ?account config in
   let hooks =
     match tee with None -> session.Engine.hooks | Some h -> Sink.tee session.Engine.hooks h
@@ -74,5 +76,5 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?account ?te
     elapsed;
   }
 
-let profile ?mode ?config ?mt ?account ?sched_seed ?input_seed prog =
-  run ?mode ?config ?mt ?account (Source.live ?sched_seed ?input_seed prog)
+let profile ?mode ?config ?mt ?obs ?account ?sched_seed ?input_seed prog =
+  run ?mode ?config ?mt ?obs ?account (Source.live ?sched_seed ?input_seed prog)

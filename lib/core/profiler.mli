@@ -29,13 +29,15 @@ val run :
   ?mode:string ->
   ?config:Config.t ->
   ?mt:bool ->
+  ?obs:Ddp_obs.Obs.t ->
   ?account:Ddp_util.Mem_account.t * string ->
   ?tee:Ddp_minir.Event.hooks ->
   Source.t ->
   outcome
 (** Feed [source] through the engine registered under [mode] (default
     "serial").  [mt] wraps the engine with the Sec. V machinery (no-op
-    for mode "mt", which is already wrapped); [tee] additionally streams
+    for mode "mt", which is already wrapped); [obs] wraps it with the
+    telemetry hub ({!Engine.with_obs}); [tee] additionally streams
     every event into the given sink (e.g. a trace recorder) in the same
     pass.  @raise Invalid_argument on unknown modes. *)
 
@@ -43,6 +45,7 @@ val profile :
   ?mode:string ->
   ?config:Config.t ->
   ?mt:bool ->
+  ?obs:Ddp_obs.Obs.t ->
   ?account:Ddp_util.Mem_account.t * string ->
   ?sched_seed:int ->
   ?input_seed:int ->

@@ -16,6 +16,8 @@ type t = {
   set_observer : Algo.dep_observer -> unit;
   store_bytes : unit -> int;
   release : unit -> unit;
+  fold_obs : Ddp_obs.Obs.t -> unit;
+      (* fold end-of-run store statistics into telemetry domain 0 *)
 }
 
 let region_hooks regions =
@@ -90,6 +92,17 @@ let create_signature ?account (config : Config.t) =
       (fun () ->
         Sig_store.release reads;
         Sig_store.release writes);
+    fold_obs =
+      (fun obs ->
+        let module Obs = Ddp_obs.Obs in
+        if Obs.enabled obs then begin
+          Obs.add obs ~dom:0 Obs.C.sig_occupied
+            (Sig_store.occupied reads + Sig_store.occupied writes);
+          Obs.add obs ~dom:0 Obs.C.sig_overwrites
+            (Sig_store.overwrites reads + Sig_store.overwrites writes);
+          Obs.add obs ~dom:0 Obs.C.bytes_signatures
+            (Sig_store.bytes reads + Sig_store.bytes writes)
+        end);
   }
 
 let create_perfect ?account (config : Config.t) =
@@ -114,6 +127,7 @@ let create_perfect ?account (config : Config.t) =
     set_observer = Algo.Over_perfect.set_observer algo;
     store_bytes = (fun () -> Perfect_sig.bytes reads + Perfect_sig.bytes writes);
     release = (fun () -> ());
+    fold_obs = (fun _ -> () (* the perfect store has no slot statistics *));
   }
 
 (* Convenience: profile one program end to end. *)

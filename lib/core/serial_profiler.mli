@@ -9,6 +9,10 @@ type t = {
   set_observer : Algo.dep_observer -> unit;
   store_bytes : unit -> int;
   release : unit -> unit;  (** return accounted signature bytes *)
+  fold_obs : Ddp_obs.Obs.t -> unit;
+      (** Fold end-of-run store statistics (signature occupancy,
+          overwrite counts, bytes) into telemetry domain 0; no-op for
+          the perfect store and on a disabled hub. *)
 }
 
 val create_signature : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t

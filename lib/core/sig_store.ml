@@ -16,6 +16,7 @@ type t = {
   times : int array;
   size : int;
   mutable occupied : int;
+  mutable overwrites : int;  (* sets that landed on an occupied slot *)
   account : (Ddp_util.Mem_account.t * string) option;
 }
 
@@ -26,7 +27,14 @@ let create ?account ~slots () =
   (match account with
   | Some (acct, cat) -> Ddp_util.Mem_account.add acct cat (slots * bytes_per_slot)
   | None -> ());
-  { slots = Array.make slots 0; times = Array.make slots 0; size = slots; occupied = 0; account }
+  {
+    slots = Array.make slots 0;
+    times = Array.make slots 0;
+    size = slots;
+    occupied = 0;
+    overwrites = 0;
+    account;
+  }
 
 let release t =
   match t.account with
@@ -35,6 +43,7 @@ let release t =
 
 let size t = t.size
 let occupied t = t.occupied
+let overwrites t = t.overwrites
 
 (* Fibonacci (multiplicative) hashing spreads consecutive addresses —
    the common case for array walks — across the table. *)
@@ -46,7 +55,10 @@ let probe_time t ~addr = t.times.(index t addr)
 
 let set t ~addr ~payload ~time =
   let i = index t addr in
-  if t.slots.(i) = 0 && payload <> 0 then t.occupied <- t.occupied + 1;
+  if t.slots.(i) = 0 then begin
+    if payload <> 0 then t.occupied <- t.occupied + 1
+  end
+  else t.overwrites <- t.overwrites + 1;
   t.slots.(i) <- payload;
   t.times.(i) <- time
 

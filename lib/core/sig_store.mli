@@ -11,6 +11,12 @@ val release : t -> unit
 
 val size : t -> int
 val occupied : t -> int
+
+val overwrites : t -> int
+(** Sets that landed on an already-occupied slot: the same-address
+    update / hash-collision rate the telemetry layer reports (a cheap
+    proxy for Eq. (2)'s collision behaviour). *)
+
 val index : t -> int -> int
 (** The slot an address hashes to. *)
 

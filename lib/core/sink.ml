@@ -107,6 +107,22 @@ let observe f =
     on_thread_end = (fun ~thread -> f (Event.Thread_end { thread }));
   }
 
+(* Telemetry event counting for Engine.with_obs: one branchless counter
+   bump per access into the producer's cell (domain 0).  Non-access
+   events pass through uncounted — the metrics track Fig. 2's access
+   stream, not the region/call bookkeeping. *)
+let obs_events obs =
+  let module Obs = Ddp_obs.Obs in
+  {
+    Event.null with
+    Event.on_read =
+      (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
+        Obs.incr obs ~dom:0 Obs.C.events_read);
+    on_write =
+      (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
+        Obs.incr obs ~dom:0 Obs.C.events_write);
+  }
+
 let counter () =
   let n = ref 0 in
   let bump () = incr n in

@@ -19,3 +19,7 @@ val observe : (Ddp_minir.Event.t -> unit) -> Ddp_minir.Event.hooks
 
 val counter : unit -> Ddp_minir.Event.hooks * (unit -> int)
 (** A sink counting read/write accesses, and its reader. *)
+
+val obs_events : Ddp_obs.Obs.t -> Ddp_minir.Event.hooks
+(** A sink bumping the telemetry hub's [events_read]/[events_write]
+    counters (domain 0) per access; used by {!Engine.with_obs}. *)

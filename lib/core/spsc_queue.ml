@@ -14,6 +14,13 @@ type 'a t = {
   dummy : 'a;
   head : int Atomic.t;  (* next index to pop; advanced by the consumer *)
   tail : int Atomic.t;  (* next index to push; advanced by the producer *)
+  (* Plain op counters for telemetry.  Single-writer each: the producer
+     owns pushes/push_failures, the consumer owns pops/pop_empties.
+     They are read only after the domains have joined (op_counts). *)
+  mutable pushes : int;
+  mutable push_failures : int;
+  mutable pops : int;
+  mutable pop_empties : int;
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
@@ -27,6 +34,10 @@ let create ~capacity ~dummy =
     dummy;
     head = Atomic.make 0;
     tail = Atomic.make 0;
+    pushes = 0;
+    push_failures = 0;
+    pops = 0;
+    pop_empties = 0;
   }
 
 let capacity t = t.mask + 1
@@ -36,22 +47,30 @@ let length t = Atomic.get t.tail - Atomic.get t.head
 let try_push t x =
   let tail = Atomic.get t.tail in
   let head = Atomic.get t.head in
-  if tail - head > t.mask then false
+  if tail - head > t.mask then begin
+    t.push_failures <- t.push_failures + 1;
+    false
+  end
   else begin
     t.buf.(tail land t.mask) <- x;
     (* SC store: publishes the element write above. *)
     Atomic.set t.tail (tail + 1);
+    t.pushes <- t.pushes + 1;
     true
   end
 
 let try_pop t =
   let head = Atomic.get t.head in
   let tail = Atomic.get t.tail in
-  if tail = head then None
+  if tail = head then begin
+    t.pop_empties <- t.pop_empties + 1;
+    None
+  end
   else begin
     let x = t.buf.(head land t.mask) in
     t.buf.(head land t.mask) <- t.dummy;
     Atomic.set t.head (head + 1);
+    t.pops <- t.pops + 1;
     Some x
   end
 
@@ -65,3 +84,5 @@ let push_blocking t x =
   done
 
 let bytes t = (capacity t + 8) * 8
+
+let op_counts t = (t.pushes, t.push_failures, t.pops, t.pop_empties)

@@ -20,3 +20,7 @@ val try_pop : 'a t -> 'a option
 (** Consumer side only. *)
 
 val bytes : 'a t -> int
+
+val op_counts : 'a t -> int * int * int * int
+(** [(pushes, push_failures, pops, pop_empties)] — telemetry counters.
+    Only meaningful once producer and consumer have quiesced. *)

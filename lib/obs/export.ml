@@ -1,0 +1,204 @@
+(* Exporters over an {!Obs.snapshot}:
+
+   - [chrome_trace]: the Chrome trace-event JSON format (loadable in
+     Perfetto / chrome://tracing) with one track (tid) per pipeline
+     domain — producer plus workers — complete spans ("X") for
+     process/stall/redistribution phases and instants ("i") for
+     zero-duration marks;
+   - [metrics_json]: a flat machine-readable snapshot — merged counters,
+     per-domain breakdowns, histograms, Mem_account high-water marks —
+     that subsumes the ad-hoc per_worker_events/per_worker_busy/*_bytes
+     reporting;
+   - [pp_summary]: the human-readable run summary behind `ddprof stats`
+     (imbalance, per-worker stall time, redistribution timeline).
+
+   All iteration orders are fixed (registry order, sorted categories),
+   so identical snapshots serialize byte-identically — the property the
+   deterministic vpar golden tests pin. *)
+
+module Stats = Ddp_util.Stats
+module Hist = Stats.Histogram
+
+let track_name dom = if dom = 0 then "producer" else Printf.sprintf "worker %d" (dom - 1)
+
+(* Chrome wants microseconds; both real (ns) and virtual (tick) clocks
+   divide by 1000 so nesting survives the unit change. *)
+let usec ts = float_of_int ts /. 1000.0
+
+let chrome_trace (snap : Obs.snapshot) =
+  let meta =
+    List.concat_map
+      (fun dom ->
+        [
+          Json.Obj
+            [
+              ("name", Json.Str "thread_name");
+              ("ph", Json.Str "M");
+              ("pid", Json.Int 0);
+              ("tid", Json.Int dom);
+              ("args", Json.Obj [ ("name", Json.Str (track_name dom)) ]);
+            ];
+        ])
+      (List.init snap.Obs.n_domains Fun.id)
+  in
+  let event (e : Obs.event) =
+    let common =
+      [
+        ("name", Json.Str (Obs.Tag.name e.tag));
+        ("cat", Json.Str (if e.dom = 0 then "producer" else "worker"));
+        ("pid", Json.Int 0);
+        ("tid", Json.Int e.dom);
+        ("ts", Json.Float (usec e.ts));
+      ]
+    in
+    let phase =
+      if e.is_span then [ ("ph", Json.Str "X"); ("dur", Json.Float (usec e.dur)) ]
+      else [ ("ph", Json.Str "i"); ("s", Json.Str "t") ]
+    in
+    Json.Obj (common @ phase @ [ ("args", Json.Obj [ ("arg", Json.Int e.arg) ]) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map event snap.Obs.events));
+      ("displayTimeUnit", Json.Str "ns");
+      ("otherData", Json.Obj [ ("dropped_events", Json.Int snap.Obs.dropped) ]);
+    ]
+
+let hist_json h =
+  let buckets =
+    List.rev
+      (Hist.fold h
+         (fun k ~count acc ->
+           Json.List [ Json.Int (Hist.lower_bound k); Json.Int (Hist.upper_bound k); Json.Int count ]
+           :: acc)
+         [])
+  in
+  let percentiles =
+    if Hist.count h = 0 then []
+    else
+      [
+        ("p50", Json.Float (Hist.percentile h 50.0));
+        ("p90", Json.Float (Hist.percentile h 90.0));
+        ("p99", Json.Float (Hist.percentile h 99.0));
+      ]
+  in
+  Json.Obj ([ ("count", Json.Int (Hist.count h)); ("buckets", Json.List buckets) ] @ percentiles)
+
+let metrics_json ?account ?(extra = []) (snap : Obs.snapshot) =
+  let counters =
+    Array.to_list (Array.mapi (fun i name -> (name, Json.Int snap.Obs.counters.(i))) Obs.C.names)
+  in
+  let per_domain =
+    (* Only the per-domain breakdowns a load-balance analysis needs; the
+       rest are producer-only and already covered by the merged view. *)
+    List.map
+      (fun id ->
+        ( Obs.C.names.(id),
+          Json.List
+            (Array.to_list (Array.map (fun v -> Json.Int v) (Obs.counter_per_domain snap id))) ))
+      [ Obs.C.events_processed; Obs.C.busy_ns; Obs.C.sig_occupied; Obs.C.sig_overwrites ]
+  in
+  let hists =
+    Array.to_list (Array.mapi (fun i name -> (name, hist_json snap.Obs.hists.(i))) Obs.H.names)
+  in
+  let mem =
+    match account with
+    | None -> []
+    | Some acct ->
+      let rows =
+        Ddp_util.Mem_account.fold acct
+          (fun cat ~current ~peak acc ->
+            (cat, Json.Obj [ ("current", Json.Int current); ("peak", Json.Int peak) ]) :: acc)
+          []
+      in
+      [
+        ( "mem_account",
+          Json.Obj
+            (List.sort (fun (a, _) (b, _) -> String.compare a b) rows
+            @ [ ("total_peak", Json.Int (Ddp_util.Mem_account.total_peak acct)) ]) );
+      ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Str "ddp-metrics/1");
+       ("domains", Json.Int snap.Obs.n_domains);
+       ("virtual_clock", Json.Bool snap.Obs.virtual_clock);
+       ("dropped_events", Json.Int snap.Obs.dropped);
+       ("counters", Json.Obj counters);
+       ("per_domain", Json.Obj per_domain);
+       ("histograms", Json.Obj hists);
+     ]
+    @ mem @ extra)
+
+(* -- run summary ---------------------------------------------------------- *)
+
+let pp_ns ppf ns =
+  let f = float_of_int ns in
+  if ns >= 1_000_000_000 then Format.fprintf ppf "%.2fs" (f /. 1e9)
+  else if ns >= 1_000_000 then Format.fprintf ppf "%.2fms" (f /. 1e6)
+  else if ns >= 1_000 then Format.fprintf ppf "%.1fus" (f /. 1e3)
+  else Format.fprintf ppf "%dns" ns
+
+(* Per-worker stall attribution comes from the trace ring (producer-side
+   stall spans carry the worker id in [arg]); with a saturated ring the
+   oldest spans are gone, so these are lower bounds — the merged
+   [stall_ns] counter is exact. *)
+let pp_summary ppf (snap : Obs.snapshot) =
+  let nd = snap.Obs.n_domains in
+  let workers = max 0 (nd - 1) in
+  let events = Obs.counter_per_domain snap Obs.C.events_processed in
+  let busy = Obs.counter_per_domain snap Obs.C.busy_ns in
+  let stall_by_worker = Array.make (max 1 workers) 0 in
+  let redistributions = ref [] in
+  List.iter
+    (fun (e : Obs.event) ->
+      match e.tag with
+      | Obs.Tag.Queue_full | Obs.Tag.Drain_wait ->
+        if e.arg >= 0 && e.arg < workers then
+          stall_by_worker.(e.arg) <- stall_by_worker.(e.arg) + e.dur
+      | Obs.Tag.Redistribute -> redistributions := e :: !redistributions
+      | _ -> ())
+    snap.Obs.events;
+  let unit_name = if snap.Obs.virtual_clock then "ticks" else "ns" in
+  Format.fprintf ppf "pipeline summary (%d worker%s, timestamps in %s)@." workers
+    (if workers = 1 then "" else "s")
+    unit_name;
+  Format.fprintf ppf "  chunks pushed        %d (%d events routed, %d extra chunks allocated)@."
+    (Obs.counter snap Obs.C.chunks_pushed)
+    (Obs.counter snap Obs.C.chunk_events)
+    (Obs.counter snap Obs.C.extra_chunks);
+  Format.fprintf ppf "  stalls               %d queue-full, %d drain (%a stalled, %d push retries)@."
+    (Obs.counter snap Obs.C.queue_full_stalls)
+    (Obs.counter snap Obs.C.drain_stalls)
+    pp_ns
+    (Obs.counter snap Obs.C.stall_ns)
+    (Obs.counter snap Obs.C.queue_push_retries);
+  Format.fprintf ppf "  redistributions      %d (%d addresses migrated)@."
+    (Obs.counter snap Obs.C.redistributions)
+    (Obs.counter snap Obs.C.migrated_addrs);
+  if snap.Obs.dropped > 0 then
+    Format.fprintf ppf "  trace ring           %d events dropped (oldest overwritten)@."
+      snap.Obs.dropped;
+  if workers > 0 then begin
+    let loads = Array.sub events 1 workers in
+    Format.fprintf ppf "  load imbalance       %.2f (max/mean worker events)@."
+      (Stats.imbalance (Array.map float_of_int loads));
+    Format.fprintf ppf "  %-8s %12s %12s %12s@." "worker" "events" "busy" "stall(seen)";
+    for w = 0 to workers - 1 do
+      Format.fprintf ppf "  %-8d %12d %12s %12s@." w events.(w + 1)
+        (Format.asprintf "%a" pp_ns busy.(w + 1))
+        (Format.asprintf "%a" pp_ns stall_by_worker.(w))
+    done
+  end;
+  match List.rev !redistributions with
+  | [] -> ()
+  | rs ->
+    Format.fprintf ppf "  redistribution timeline:@.";
+    List.iter
+      (fun (e : Obs.event) ->
+        Format.fprintf ppf "    t=%-12s dur=%-10s migrated %d address%s@."
+          (Format.asprintf "%a" pp_ns e.ts)
+          (Format.asprintf "%a" pp_ns e.dur)
+          e.arg
+          (if e.arg = 1 then "" else "es"))
+      rs

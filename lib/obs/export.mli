@@ -1,0 +1,24 @@
+(** Exporters over telemetry snapshots: Chrome trace-event JSON (one
+    track per pipeline domain, loadable in Perfetto), a flat metrics
+    JSON snapshot, and the human-readable summary behind
+    [ddprof stats].  Iteration orders are fixed, so identical snapshots
+    serialize byte-identically. *)
+
+val chrome_trace : Obs.snapshot -> Json.t
+(** Spans become complete events ("X"), zero-duration marks instants
+    ("i"); pid is always 0, tid is the domain index, and thread_name
+    metadata labels producer/worker tracks. *)
+
+val metrics_json :
+  ?account:Ddp_util.Mem_account.t -> ?extra:(string * Json.t) list -> Obs.snapshot -> Json.t
+(** Merged counters, selected per-domain breakdowns, histograms (bucket
+    triples [lo, hi, count] plus p50/p90/p99), and — when [account] is
+    given — Mem_account categories with high-water marks.  [extra]
+    appends caller context (engine, workload, ...) at the top level. *)
+
+val pp_summary : Format.formatter -> Obs.snapshot -> unit
+(** Run summary: stall totals, load imbalance (max/mean worker events),
+    per-worker busy and stall time, redistribution timeline. *)
+
+val pp_ns : Format.formatter -> int -> unit
+(** Human-readable nanoseconds. *)

@@ -1,0 +1,32 @@
+(** Minimal JSON reader/writer for the telemetry exporters (no external
+    dependency).  Integers are exact, so deterministic runs serialize
+    byte-identically. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact serialization. *)
+
+val to_file : string -> t -> unit
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val of_file : string -> t
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects or missing keys. *)
+
+val to_list : t -> t list option
+val to_int : t -> int option
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,325 @@
+(* The telemetry hub: per-domain metric cells and bounded trace rings.
+
+   Design constraints (ISSUE 3 / paper Sec. VI methodology):
+   - multicore-safe without locks: every domain of the pipeline (the
+     producer plus each worker) owns one [cell] and is its only writer;
+     snapshots merge after the domains have joined;
+   - a *disabled* hub costs one branch per telemetry call site — every
+     emitting function starts with [if t.on] and takes no closure, so
+     the hot path of an un-observed run is unchanged;
+   - the trace rings are bounded and drop-oldest (overwrite) with a drop
+     counter, so a bursty run can never block or grow without bound;
+   - timestamps come from [Clock.monotonic_ns] (wall clock steps would
+     corrupt span durations), or from a virtual tick counter so the
+     deterministic single-domain scheduler (testkit vpar) produces
+     byte-identical traces for identical seeds. *)
+
+module Stats = Ddp_util.Stats
+module Clock = Ddp_util.Clock
+
+(* -- event taxonomy ------------------------------------------------------- *)
+
+module Tag = struct
+  type t =
+    | Flush  (* producer: one chunk handed to a worker; arg = worker id *)
+    | Process  (* worker: pop->process of one chunk; arg = events in chunk *)
+    | Queue_full  (* producer stalled on a full worker queue; arg = worker id *)
+    | Drain_wait  (* producer waiting on one worker at a drain barrier; arg = worker id *)
+    | Drain  (* full drain barrier; arg = workers waited on *)
+    | Redistribute  (* hot-address redistribution; arg = migrated addresses *)
+    | Merge  (* end-of-run merge of worker dependence maps; arg = workers *)
+    | Run  (* whole instrumented run; arg = 0 *)
+
+  let all = [| Flush; Process; Queue_full; Drain_wait; Drain; Redistribute; Merge; Run |]
+
+  let to_int = function
+    | Flush -> 0
+    | Process -> 1
+    | Queue_full -> 2
+    | Drain_wait -> 3
+    | Drain -> 4
+    | Redistribute -> 5
+    | Merge -> 6
+    | Run -> 7
+
+  let of_int i = all.(i)
+
+  let name = function
+    | Flush -> "flush"
+    | Process -> "process"
+    | Queue_full -> "stall:queue-full"
+    | Drain_wait -> "stall:drain"
+    | Drain -> "drain-barrier"
+    | Redistribute -> "redistribute"
+    | Merge -> "merge"
+    | Run -> "run"
+end
+
+(* -- metric registry ------------------------------------------------------ *)
+
+(* Fixed id spaces: counters and histograms are dense array indices, so
+   an update is one array store.  Names drive the JSON export; keep the
+   two lists in sync. *)
+
+module C = struct
+  let chunks_pushed = 0
+  let chunk_events = 1
+  let queue_push_retries = 2
+  let queue_full_stalls = 3
+  let drain_stalls = 4
+  let redistributions = 5
+  let migrated_addrs = 6
+  let extra_chunks = 7
+  let recycle_drops = 8
+  let events_processed = 9
+  let busy_ns = 10
+  let stall_ns = 11
+  let merge_ns = 12
+  let run_ns = 13
+  let events_read = 14
+  let events_write = 15
+  let sig_occupied = 16
+  let sig_overwrites = 17
+  let queue_pushes = 18
+  let queue_push_failures = 19
+  let queue_pops = 20
+  let queue_pop_empties = 21
+  let store_bytes = 22
+  let bytes_signatures = 23
+  let bytes_queues = 24
+  let bytes_chunks = 25
+  let bytes_dispatch = 26
+  let dispatch_overrides = 27
+  let dispatch_stats_entries = 28
+
+  let names =
+    [|
+      "chunks_pushed";
+      "chunk_events";
+      "queue_push_retries";
+      "queue_full_stalls";
+      "drain_stalls";
+      "redistributions";
+      "migrated_addrs";
+      "extra_chunks";
+      "recycle_drops";
+      "events_processed";
+      "busy_ns";
+      "stall_ns";
+      "merge_ns";
+      "run_ns";
+      "events_read";
+      "events_write";
+      "sig_occupied";
+      "sig_overwrites";
+      "queue_pushes";
+      "queue_push_failures";
+      "queue_pops";
+      "queue_pop_empties";
+      "store_bytes";
+      "bytes_signatures";
+      "bytes_queues";
+      "bytes_chunks";
+      "bytes_dispatch";
+      "dispatch_overrides";
+      "dispatch_stats_entries";
+    |]
+
+  let n = Array.length names
+end
+
+module H = struct
+  let chunk_occupancy = 0
+  let flush_ns = 1
+  let process_ns = 2
+  let stall_ns = 3
+  let redistribute_moves = 4
+
+  let names = [| "chunk_occupancy"; "flush_ns"; "process_ns"; "stall_ns"; "redistribute_moves" |]
+  let n = Array.length names
+end
+
+(* -- the hub -------------------------------------------------------------- *)
+
+type clock_kind =
+  | Monotonic
+  | Virtual
+
+type cell = {
+  counters : int array;
+  hists : Stats.Histogram.t array;
+  (* Trace ring: four parallel int lanes, overwrite-oldest.  ring_tag
+     packs (Tag.to_int * 2 + span?1:0); ring_n counts every emit ever,
+     so dropped = max 0 (ring_n - capacity). *)
+  ring_ts : int array;
+  ring_dur : int array;
+  ring_tag : int array;
+  ring_arg : int array;
+  ring_mask : int;
+  mutable ring_n : int;
+}
+
+type t = {
+  on : bool;
+  clock : clock_kind;
+  vtick : int Atomic.t;
+  cells : cell array;
+  t0 : int;  (* clock at creation: export subtracts it from timestamps *)
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let make_cell ~ring_capacity =
+  let cap = next_pow2 (max 2 ring_capacity) 2 in
+  {
+    counters = Array.make C.n 0;
+    hists = Array.init H.n (fun _ -> Stats.Histogram.create ());
+    ring_ts = Array.make cap 0;
+    ring_dur = Array.make cap 0;
+    ring_tag = Array.make cap 0;
+    ring_arg = Array.make cap 0;
+    ring_mask = cap - 1;
+    ring_n = 0;
+  }
+
+let disabled =
+  {
+    on = false;
+    clock = Monotonic;
+    vtick = Atomic.make 0;
+    cells = [||];
+    t0 = 0;
+  }
+
+let create ?(ring_capacity = 1 lsl 14) ?(clock = Monotonic) ~domains () =
+  if domains <= 0 then invalid_arg "Obs.create: domains must be positive";
+  let t =
+    {
+      on = true;
+      clock;
+      vtick = Atomic.make 0;
+      cells = Array.init domains (fun _ -> make_cell ~ring_capacity);
+      t0 = 0;
+    }
+  in
+  match clock with Monotonic -> { t with t0 = Clock.monotonic_ns () } | Virtual -> t
+
+let enabled t = t.on
+let domains t = Array.length t.cells
+let clock_kind t = t.clock
+
+(* Raw clock read; only meaningful on an enabled hub. *)
+let now_raw t =
+  match t.clock with
+  | Monotonic -> Clock.monotonic_ns ()
+  | Virtual -> Atomic.fetch_and_add t.vtick 1 + 1
+
+let[@inline] now t = if t.on then now_raw t else 0
+
+(* Out-of-range domain indices (an obs sized for fewer workers than the
+   config asks for) alias to domain 0 rather than raising: telemetry
+   must never take the pipeline down. *)
+let[@inline] cell t dom = t.cells.(if dom >= 0 && dom < Array.length t.cells then dom else 0)
+
+let[@inline] add t ~dom id v =
+  if t.on then begin
+    let c = cell t dom in
+    c.counters.(id) <- c.counters.(id) + v
+  end
+
+let[@inline] incr t ~dom id = add t ~dom id 1
+
+let[@inline] observe t ~dom id v = if t.on then Stats.Histogram.add (cell t dom).hists.(id) v
+
+let emit c ~ts ~dur ~tag ~arg =
+  let i = c.ring_n land c.ring_mask in
+  c.ring_ts.(i) <- ts;
+  c.ring_dur.(i) <- dur;
+  c.ring_tag.(i) <- tag;
+  c.ring_arg.(i) <- arg;
+  c.ring_n <- c.ring_n + 1
+
+let[@inline] instant t ~dom tag ~arg =
+  if t.on then emit (cell t dom) ~ts:(now_raw t) ~dur:0 ~tag:(Tag.to_int tag * 2) ~arg
+
+let[@inline] span t ~dom tag ~arg ~t0 =
+  if not t.on then 0
+  else begin
+    let ts1 = now_raw t in
+    let dur = if ts1 > t0 then ts1 - t0 else 0 in
+    emit (cell t dom) ~ts:t0 ~dur ~tag:((Tag.to_int tag * 2) + 1) ~arg;
+    dur
+  end
+
+(* -- snapshot ------------------------------------------------------------- *)
+
+type event = {
+  dom : int;
+  tag : Tag.t;
+  is_span : bool;
+  ts : int;  (* relative to the hub's creation *)
+  dur : int;
+  arg : int;
+}
+
+type snapshot = {
+  n_domains : int;
+  counters : int array;  (* merged over domains; indexed by C ids *)
+  per_domain : int array array;  (* per_domain.(dom).(counter id) *)
+  hists : Stats.Histogram.t array;  (* merged; indexed by H ids *)
+  events : event list;  (* all domains, sorted by (ts, dom) *)
+  dropped : int;
+  virtual_clock : bool;
+}
+
+let snapshot t =
+  let nd = Array.length t.cells in
+  let counters = Array.make C.n 0 in
+  let per_domain = Array.init nd (fun d -> Array.copy t.cells.(d).counters) in
+  Array.iter (fun pd -> Array.iteri (fun i v -> counters.(i) <- counters.(i) + v) pd) per_domain;
+  let hists = Array.init H.n (fun _ -> Stats.Histogram.create ()) in
+  Array.iter
+    (fun (c : cell) ->
+      Array.iteri (fun i h -> Stats.Histogram.merge_into ~src:h ~dst:hists.(i)) c.hists)
+    t.cells;
+  let dropped = ref 0 in
+  let events = ref [] in
+  Array.iteri
+    (fun dom (c : cell) ->
+      let cap = c.ring_mask + 1 in
+      dropped := !dropped + max 0 (c.ring_n - cap);
+      let first = max 0 (c.ring_n - cap) in
+      for k = c.ring_n - 1 downto first do
+        let i = k land c.ring_mask in
+        events :=
+          {
+            dom;
+            tag = Tag.of_int (c.ring_tag.(i) / 2);
+            is_span = c.ring_tag.(i) land 1 = 1;
+            ts = c.ring_ts.(i) - t.t0;
+            dur = c.ring_dur.(i);
+            arg = c.ring_arg.(i);
+          }
+          :: !events
+      done)
+    t.cells;
+  let events =
+    List.stable_sort
+      (fun a b ->
+        let c = compare a.ts b.ts in
+        if c <> 0 then c else compare a.dom b.dom)
+      !events
+  in
+  {
+    n_domains = nd;
+    counters;
+    per_domain;
+    hists;
+    events;
+    dropped = !dropped;
+    virtual_clock = (t.clock = Virtual);
+  }
+
+let counter snap id = snap.counters.(id)
+
+let counter_per_domain snap id = Array.map (fun pd -> pd.(id)) snap.per_domain

@@ -1,0 +1,136 @@
+(** The telemetry hub: lock-free per-domain metric cells (counters +
+    log2 histograms) and bounded drop-oldest trace rings, merged at
+    snapshot time.
+
+    Every domain of the profiling pipeline (producer = domain 0, worker
+    [w] = domain [w+1]) is the single writer of its own cell, so the hot
+    path needs no synchronization.  A disabled hub ({!disabled}) costs
+    one branch per call site. *)
+
+(** Event taxonomy of the trace rings. *)
+module Tag : sig
+  type t =
+    | Flush  (** producer: one chunk handed to a worker; arg = worker id *)
+    | Process  (** worker: pop->process of one chunk; arg = events in chunk *)
+    | Queue_full  (** producer stalled on a full worker queue; arg = worker id *)
+    | Drain_wait  (** producer waiting on one worker at a drain barrier *)
+    | Drain  (** full drain barrier; arg = workers waited on *)
+    | Redistribute  (** hot-address redistribution; arg = migrated addresses *)
+    | Merge  (** end-of-run merge of worker dependence maps *)
+    | Run  (** whole instrumented run *)
+
+  val to_int : t -> int
+  val of_int : int -> t
+  val name : t -> string
+end
+
+(** Counter ids (dense array indices; see [names]). *)
+module C : sig
+  val chunks_pushed : int
+  val chunk_events : int
+  val queue_push_retries : int
+  val queue_full_stalls : int
+  val drain_stalls : int
+  val redistributions : int
+  val migrated_addrs : int
+  val extra_chunks : int
+  val recycle_drops : int
+  val events_processed : int
+  val busy_ns : int
+  val stall_ns : int
+  val merge_ns : int
+  val run_ns : int
+  val events_read : int
+  val events_write : int
+  val sig_occupied : int
+  val sig_overwrites : int
+  val queue_pushes : int
+  val queue_push_failures : int
+  val queue_pops : int
+  val queue_pop_empties : int
+  val store_bytes : int
+  val bytes_signatures : int
+  val bytes_queues : int
+  val bytes_chunks : int
+  val bytes_dispatch : int
+  val dispatch_overrides : int
+  val dispatch_stats_entries : int
+  val names : string array
+  val n : int
+end
+
+(** Histogram ids. *)
+module H : sig
+  val chunk_occupancy : int
+  val flush_ns : int
+  val process_ns : int
+  val stall_ns : int
+  val redistribute_moves : int
+  val names : string array
+  val n : int
+end
+
+type clock_kind =
+  | Monotonic  (** [Clock.monotonic_ns]; real profiling runs *)
+  | Virtual
+      (** deterministic tick counter: the vpar virtual scheduler produces
+          byte-identical traces for identical seeds *)
+
+type t
+
+val disabled : t
+(** The always-off hub: every operation is one branch and a return. *)
+
+val create : ?ring_capacity:int -> ?clock:clock_kind -> domains:int -> unit -> t
+(** [domains] = producer + workers (so [workers + 1] for the parallel
+    pipeline, 1 for serial engines).  [ring_capacity] (default 2^14)
+    is per-domain and rounded up to a power of two. *)
+
+val enabled : t -> bool
+val domains : t -> int
+val clock_kind : t -> clock_kind
+
+val now : t -> int
+(** Current timestamp (ns, or virtual ticks); 0 on a disabled hub. *)
+
+val add : t -> dom:int -> int -> int -> unit
+(** [add t ~dom id v] bumps counter [id] in [dom]'s cell.  Only the
+    owning domain may call this for a given [dom]. *)
+
+val incr : t -> dom:int -> int -> unit
+
+val observe : t -> dom:int -> int -> int -> unit
+(** Add a sample to histogram [id]. *)
+
+val instant : t -> dom:int -> Tag.t -> arg:int -> unit
+(** Emit a zero-duration event into [dom]'s trace ring. *)
+
+val span : t -> dom:int -> Tag.t -> arg:int -> t0:int -> int
+(** Emit a span that started at [t0] (a prior {!now}) and ends now.
+    Returns the duration (0 on a disabled hub). *)
+
+type event = {
+  dom : int;
+  tag : Tag.t;
+  is_span : bool;
+  ts : int;  (** relative to hub creation *)
+  dur : int;
+  arg : int;
+}
+
+type snapshot = {
+  n_domains : int;
+  counters : int array;  (** merged over domains; indexed by {!C} ids *)
+  per_domain : int array array;
+  hists : Ddp_util.Stats.Histogram.t array;  (** merged; indexed by {!H} ids *)
+  events : event list;  (** sorted by (ts, dom) *)
+  dropped : int;  (** ring overwrites across all domains *)
+  virtual_clock : bool;
+}
+
+val snapshot : t -> snapshot
+(** Merge all cells.  Call only after worker domains have joined (the
+    rings are single-writer, not torn-read-safe mid-run). *)
+
+val counter : snapshot -> int -> int
+val counter_per_domain : snapshot -> int -> int array

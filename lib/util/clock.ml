@@ -1,8 +1,14 @@
-(* Wall-clock timing.  [Unix.gettimeofday] is adequate for the
-   millisecond-scale intervals measured here; benches that need finer
-   resolution use bechamel's monotonic clock directly. *)
+(* Timing sources.
+
+   [now] is the wall clock ([Unix.gettimeofday]): adequate for run-level
+   elapsed time, but it can step (NTP, manual adjustment) mid-run.
+   [monotonic_ns] is CLOCK_MONOTONIC via a C stub and is the required
+   source for telemetry timestamps (Ddp_obs) and interval measurements:
+   it never goes backwards and has nanosecond granularity. *)
 
 let now () = Unix.gettimeofday ()
+
+external monotonic_ns : unit -> int = "ddp_clock_monotonic_ns" [@@noalloc]
 
 let time f =
   let t0 = now () in
@@ -13,3 +19,8 @@ let time_unit f =
   let t0 = now () in
   f ();
   now () -. t0
+
+let time_ns f =
+  let t0 = monotonic_ns () in
+  let r = f () in
+  (r, monotonic_ns () - t0)

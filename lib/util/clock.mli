@@ -1,10 +1,19 @@
-(** Wall-clock timing helpers. *)
+(** Timing sources: wall clock for run-level elapsed time, monotonic
+    nanoseconds for telemetry timestamps and intervals. *)
 
 val now : unit -> float
-(** Seconds since the epoch (wall clock). *)
+(** Seconds since the epoch (wall clock).  May step mid-run; use only
+    for run-level wall time. *)
+
+val monotonic_ns : unit -> int
+(** CLOCK_MONOTONIC nanoseconds since an arbitrary epoch.  Never goes
+    backwards; the timestamp source for all tracer events. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** Result and elapsed seconds. *)
+(** Result and elapsed wall-clock seconds. *)
 
 val time_unit : (unit -> unit) -> float
-(** Elapsed seconds of a unit computation. *)
+(** Elapsed wall-clock seconds of a unit computation. *)
+
+val time_ns : (unit -> 'a) -> 'a * int
+(** Result and elapsed monotonic nanoseconds. *)

@@ -1,0 +1,15 @@
+/* Monotonic clock source for Ddp_util.Clock.
+
+   CLOCK_MONOTONIC nanoseconds since an arbitrary epoch (boot), returned
+   as a tagged OCaml int: 62 bits of nanoseconds cover ~146 years, so no
+   boxing is needed and the external can be [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ddp_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -51,3 +51,97 @@ let percentile a p =
 let imbalance loads =
   let m = mean loads in
   if m = 0.0 then 1.0 else snd (min_max loads) /. m
+
+(* Fixed-bucket log2 histogram, shared by the telemetry layer (Ddp_obs)
+   and the benches.  Bucket 0 collects non-positive samples; bucket k >= 1
+   covers [2^(k-1), 2^k - 1].  The top bucket absorbs everything beyond —
+   its upper bound is max_int, so no sample is ever out of range.
+   Adding a sample is two array operations and allocates nothing, cheap
+   enough for per-chunk hot paths. *)
+module Histogram = struct
+  let nbuckets = 63
+
+  type t = {
+    mutable total : int;
+    buckets : int array;
+  }
+
+  let create () = { total = 0; buckets = Array.make nbuckets 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else begin
+      let b = ref 0 and n = ref v in
+      while !n > 0 do
+        incr b;
+        n := !n lsr 1
+      done;
+      min !b (nbuckets - 1)
+    end
+
+  let lower_bound k =
+    if k <= 0 then 0 else if k >= nbuckets then invalid_arg "Histogram.lower_bound" else 1 lsl (k - 1)
+
+  let upper_bound k =
+    if k < 0 || k >= nbuckets then invalid_arg "Histogram.upper_bound"
+    else if k = 0 then 0
+    else if k = nbuckets - 1 then max_int
+    else (1 lsl k) - 1
+
+  let add h v =
+    h.total <- h.total + 1;
+    let k = bucket_of v in
+    h.buckets.(k) <- h.buckets.(k) + 1
+
+  let count h = h.total
+
+  let merge_into ~src ~dst =
+    dst.total <- dst.total + src.total;
+    for k = 0 to nbuckets - 1 do
+      dst.buckets.(k) <- dst.buckets.(k) + src.buckets.(k)
+    done
+
+  let merge a b =
+    let h = create () in
+    merge_into ~src:a ~dst:h;
+    merge_into ~src:b ~dst:h;
+    h
+
+  let bucket_count h k =
+    if k < 0 || k >= nbuckets then invalid_arg "Histogram.bucket_count" else h.buckets.(k)
+
+  let fold h f init =
+    let acc = ref init in
+    for k = 0 to nbuckets - 1 do
+      if h.buckets.(k) > 0 then acc := f k ~count:h.buckets.(k) !acc
+    done;
+    !acc
+
+  (* Linearly interpolated percentile over bucket boundaries: the rank is
+     located in the cumulative counts and mapped to a position within its
+     bucket's [lower, upper] value range.  Exact for single-bucket data
+     only up to bucket width — the deliberate log2 approximation. *)
+  let percentile h p =
+    if h.total = 0 then invalid_arg "Histogram.percentile: empty";
+    let rank = p /. 100.0 *. float_of_int (h.total - 1) in
+    let k = ref 0 and cum = ref 0 in
+    while !cum + h.buckets.(!k) <= int_of_float (floor rank) && !k < nbuckets - 1 do
+      cum := !cum + h.buckets.(!k);
+      incr k
+    done;
+    let in_bucket = h.buckets.(!k) in
+    if in_bucket = 0 then float_of_int (lower_bound !k)
+    else begin
+      let frac = (rank -. float_of_int !cum) /. float_of_int in_bucket in
+      let lo = float_of_int (lower_bound !k) in
+      let hi = float_of_int (if !k = nbuckets - 1 then lower_bound !k * 2 else upper_bound !k) in
+      lo +. (frac *. (hi -. lo))
+    end
+
+  let max_observed_bound h =
+    let top = ref (-1) in
+    for k = 0 to nbuckets - 1 do
+      if h.buckets.(k) > 0 then top := k
+    done;
+    if !top < 0 then 0 else upper_bound !top
+end

@@ -13,3 +13,47 @@ val percentile : float array -> float -> float
 
 val imbalance : float array -> float
 (** Max-over-mean of a load vector; 1.0 is perfectly balanced. *)
+
+(** Fixed-bucket log2 histogram shared by the telemetry layer and the
+    benches.  Bucket 0 collects non-positive samples; bucket [k >= 1]
+    covers [[2^(k-1), 2^k - 1]]; the top bucket absorbs everything
+    larger.  Adding a sample allocates nothing. *)
+module Histogram : sig
+  type t
+
+  val nbuckets : int
+
+  val create : unit -> t
+
+  val add : t -> int -> unit
+
+  val count : t -> int
+  (** Total samples added. *)
+
+  val bucket_of : int -> int
+  (** Bucket index a value falls into. *)
+
+  val lower_bound : int -> int
+  (** Smallest value of a bucket (0 for bucket 0). *)
+
+  val upper_bound : int -> int
+  (** Largest value of a bucket ([max_int] for the top bucket).
+      Raises [Invalid_argument] out of range. *)
+
+  val bucket_count : t -> int -> int
+
+  val fold : t -> (int -> count:int -> 'a -> 'a) -> 'a -> 'a
+  (** Fold over non-empty buckets in index order. *)
+
+  val merge_into : src:t -> dst:t -> unit
+
+  val merge : t -> t -> t
+  (** Fresh histogram with the summed counts of both arguments. *)
+
+  val percentile : t -> float -> float
+  (** Linearly interpolated percentile (approximate: log2 bucket
+      resolution).  Raises [Invalid_argument] on an empty histogram. *)
+
+  val max_observed_bound : t -> int
+  (** Upper bound of the highest non-empty bucket; 0 when empty. *)
+end

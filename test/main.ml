@@ -32,5 +32,6 @@ let () =
       ("random-programs", Test_random_programs.suite);
       ("trace-file", Test_trace_file.suite);
       ("testkit", Test_testkit.suite);
+      ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
     ]

@@ -1,0 +1,265 @@
+(* Tests for the telemetry layer (lib/obs): JSON reader/writer, the
+   per-domain hub (counters, histograms, drop-oldest trace rings), the
+   Chrome-trace/metrics exporters, and — the load-bearing property for
+   vpar runs — byte-identical exports for identical seeds under the
+   virtual clock. *)
+
+module Obs = Ddp_obs.Obs
+module Json = Ddp_obs.Json
+module Export = Ddp_obs.Export
+module Config = Ddp_core.Config
+module Vsched = Ddp_testkit.Vsched
+
+(* -- JSON ------------------------------------------------------------------ *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("t", Json.Bool true);
+        ("f", Json.Bool false);
+        ("i", Json.Int (-42));
+        ("big", Json.Int max_int);
+        ("x", Json.Float 1.5);
+        ("s", Json.Str "a \"quoted\"\n\tstring \\ with escapes");
+        ("l", Json.List [ Json.Int 1; Json.Str "two"; Json.List [] ]);
+        ("o", Json.Obj [ ("nested", Json.Obj []) ]);
+      ]
+  in
+  let s = Json.to_string v in
+  let v' = Json.parse s in
+  Alcotest.(check string) "stable through reparse" s (Json.to_string v');
+  Alcotest.(check (option int)) "member int" (Some (-42))
+    (Option.bind (Json.member "i" v') Json.to_int);
+  Alcotest.(check (option string)) "member str escapes"
+    (Some "a \"quoted\"\n\tstring \\ with escapes")
+    (Option.bind (Json.member "s" v') Json.to_str);
+  Alcotest.(check (option int)) "exact max_int" (Some max_int)
+    (Option.bind (Json.member "big" v') Json.to_int)
+
+let test_json_parse_errors () =
+  let bad = [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "[1 2]"; "{\"a\" 1}"; "nul" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "parse accepted malformed input %S" s)
+    bad;
+  (* Trailing garbage is also an error. *)
+  (match Json.parse "{} x" with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "trailing garbage accepted")
+
+let test_json_accessors () =
+  let j = Json.parse "{\"a\": [1, 2.5, \"x\"], \"b\": null}" in
+  let l = Option.get (Option.bind (Json.member "a" j) Json.to_list) in
+  Alcotest.(check int) "list length" 3 (List.length l);
+  Alcotest.(check bool) "non-object member" true (Json.member "a" (Json.Int 3) = None);
+  Alcotest.(check bool) "missing member" true (Json.member "zzz" j = None);
+  Alcotest.(check (option (float 1e-9))) "float" (Some 2.5) (Json.to_float (List.nth l 1));
+  Alcotest.(check (option (float 1e-9))) "int as float" (Some 1.0) (Json.to_float (List.nth l 0))
+
+(* -- hub ------------------------------------------------------------------- *)
+
+let test_disabled_hub () =
+  let t = Obs.disabled in
+  Alcotest.(check bool) "disabled" false (Obs.enabled t);
+  Alcotest.(check int) "now is 0" 0 (Obs.now t);
+  (* All operations are silent no-ops. *)
+  Obs.incr t ~dom:0 Obs.C.chunks_pushed;
+  Obs.add t ~dom:3 Obs.C.busy_ns 100;
+  Obs.observe t ~dom:0 Obs.H.flush_ns 5;
+  Obs.instant t ~dom:0 Obs.Tag.Drain ~arg:0;
+  Alcotest.(check int) "span duration 0" 0 (Obs.span t ~dom:0 Obs.Tag.Run ~arg:0 ~t0:0)
+
+let test_counter_merge () =
+  let t = Obs.create ~clock:Obs.Virtual ~domains:3 () in
+  Obs.add t ~dom:0 Obs.C.events_processed 5;
+  Obs.add t ~dom:1 Obs.C.events_processed 7;
+  Obs.add t ~dom:2 Obs.C.events_processed 11;
+  Obs.incr t ~dom:1 Obs.C.chunks_pushed;
+  let snap = Obs.snapshot t in
+  Alcotest.(check int) "domains" 3 snap.Obs.n_domains;
+  Alcotest.(check int) "merged" 23 (Obs.counter snap Obs.C.events_processed);
+  Alcotest.(check (array int)) "per-domain" [| 5; 7; 11 |]
+    (Obs.counter_per_domain snap Obs.C.events_processed);
+  Alcotest.(check int) "incr" 1 (Obs.counter snap Obs.C.chunks_pushed);
+  (* Out-of-range domains alias to 0 rather than crashing. *)
+  Obs.add t ~dom:99 Obs.C.events_processed 1;
+  let snap = Obs.snapshot t in
+  Alcotest.(check int) "aliased to dom 0" 6 (Obs.counter_per_domain snap Obs.C.events_processed).(0)
+
+let test_hist_merge_across_domains () =
+  let t = Obs.create ~clock:Obs.Virtual ~domains:2 () in
+  Obs.observe t ~dom:0 Obs.H.process_ns 4;
+  Obs.observe t ~dom:1 Obs.H.process_ns 4;
+  Obs.observe t ~dom:1 Obs.H.process_ns 100;
+  let snap = Obs.snapshot t in
+  let h = snap.Obs.hists.(Obs.H.process_ns) in
+  Alcotest.(check int) "merged samples" 3 (Ddp_util.Stats.Histogram.count h)
+
+let test_ring_drop_oldest () =
+  (* Capacity rounds up to a power of two; 8 emits beyond it must drop
+     the *oldest* 8 and count them. *)
+  let cap = 8 in
+  let t = Obs.create ~ring_capacity:cap ~clock:Obs.Virtual ~domains:1 () in
+  for i = 1 to cap + 8 do
+    Obs.instant t ~dom:0 Obs.Tag.Flush ~arg:i
+  done;
+  let snap = Obs.snapshot t in
+  Alcotest.(check int) "ring keeps capacity" cap (List.length snap.Obs.events);
+  Alcotest.(check int) "dropped count" 8 snap.Obs.dropped;
+  let args = List.map (fun (e : Obs.event) -> e.Obs.arg) snap.Obs.events in
+  Alcotest.(check (list int)) "newest survive, in order"
+    (List.init cap (fun i -> 9 + i))
+    args
+
+let test_span_timestamps () =
+  let t = Obs.create ~clock:Obs.Virtual ~domains:1 () in
+  let t0 = Obs.now t in
+  let t1 = Obs.now t in
+  Alcotest.(check bool) "virtual clock advances" true (t1 > t0);
+  let d = Obs.span t ~dom:0 Obs.Tag.Process ~arg:3 ~t0 in
+  Alcotest.(check bool) "positive duration" true (d > 0);
+  let snap = Obs.snapshot t in
+  match snap.Obs.events with
+  | [ e ] ->
+    Alcotest.(check bool) "is span" true e.Obs.is_span;
+    Alcotest.(check int) "duration recorded" d e.Obs.dur;
+    Alcotest.(check int) "arg" 3 e.Obs.arg
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+(* -- exporters over a real vpar run ---------------------------------------- *)
+
+let vpar_cfg workers obs =
+  {
+    Config.default with
+    slots = 1 lsl 12;
+    workers;
+    chunk_size = 16;
+    queue_capacity = 4;
+    redistribution_interval = 20;
+    stats_sample = 1;
+    obs = Some obs;
+  }
+
+let vpar_snapshot ~sched_seed ~prog_seed =
+  let workers = 3 in
+  let obs = Obs.create ~clock:Obs.Virtual ~domains:(workers + 1) () in
+  let prog = Ddp_testkit.Prog_gen.generate ~seed:prog_seed () in
+  let (_ : Vsched.run) =
+    Vsched.profile ~config:(vpar_cfg workers obs) ~sched_seed prog
+  in
+  (Obs.snapshot obs, workers)
+
+let test_chrome_trace_export () =
+  let snap, workers = vpar_snapshot ~sched_seed:5 ~prog_seed:1234 in
+  let j = Json.parse (Json.to_string (Export.chrome_trace snap)) in
+  let events = Option.get (Option.bind (Json.member "traceEvents" j) Json.to_list) in
+  Alcotest.(check bool) "has events" true (List.length events > 0);
+  let get k e = Json.member k e in
+  let str k e = Option.bind (get k e) Json.to_str in
+  let int k e = Option.bind (get k e) Json.to_int in
+  (* Every pipeline domain is labelled with thread_name metadata. *)
+  let meta_tids =
+    List.filter_map
+      (fun e -> if str "ph" e = Some "M" && str "name" e = Some "thread_name" then int "tid" e else None)
+      events
+  in
+  Alcotest.(check (list int)) "metadata per domain"
+    (List.init (workers + 1) Fun.id)
+    (List.sort compare meta_tids);
+  (* Every worker track carries at least one "process" span. *)
+  for w = 1 to workers do
+    let spans =
+      List.filter
+        (fun e -> str "ph" e = Some "X" && int "tid" e = Some w && str "name" e = Some "process")
+        events
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "worker %d has process spans" w)
+      true (List.length spans > 0)
+  done;
+  (* The producer track carries flush spans. *)
+  let flushes =
+    List.filter (fun e -> str "ph" e = Some "X" && int "tid" e = Some 0 && str "name" e = Some "flush") events
+  in
+  Alcotest.(check bool) "producer has flush spans" true (List.length flushes > 0)
+
+let test_metrics_export_counters () =
+  let snap, _ = vpar_snapshot ~sched_seed:5 ~prog_seed:1234 in
+  let j = Json.parse (Json.to_string (Export.metrics_json snap)) in
+  let counters = Option.get (Json.member "counters" j) in
+  let c name = Option.get (Option.bind (Json.member name counters) Json.to_int) in
+  Alcotest.(check bool) "chunks pushed" true (c "chunks_pushed" > 0);
+  Alcotest.(check int) "events balance" (c "chunk_events") (c "events_processed");
+  Alcotest.(check bool) "virtual clock flagged" true
+    (Option.bind (Json.member "virtual_clock" j) (fun v ->
+         match v with Json.Bool b -> Some b | _ -> None)
+    = Some true);
+  let per_domain = Option.get (Json.member "per_domain" j) in
+  (match Option.bind (Json.member "events_processed" per_domain) Json.to_list with
+  | Some l -> Alcotest.(check int) "per-domain rows = domains" 4 (List.length l)
+  | None -> Alcotest.fail "no per-domain events_processed")
+
+let test_vpar_deterministic_exports () =
+  (* Same (program seed, schedule seed) => byte-identical metrics and
+     trace JSON, the replay guarantee ddpcheck relies on. *)
+  let snap_a, _ = vpar_snapshot ~sched_seed:7 ~prog_seed:99 in
+  let snap_b, _ = vpar_snapshot ~sched_seed:7 ~prog_seed:99 in
+  Alcotest.(check string) "metrics byte-identical"
+    (Json.to_string (Export.metrics_json snap_a))
+    (Json.to_string (Export.metrics_json snap_b));
+  Alcotest.(check string) "chrome trace byte-identical"
+    (Json.to_string (Export.chrome_trace snap_a))
+    (Json.to_string (Export.chrome_trace snap_b));
+  (* A different schedule seed must actually change the run. *)
+  let snap_c, _ = vpar_snapshot ~sched_seed:8 ~prog_seed:99 in
+  Alcotest.(check bool) "different schedule differs" true
+    (Json.to_string (Export.chrome_trace snap_a)
+    <> Json.to_string (Export.chrome_trace snap_c))
+
+(* -- engine wrapper -------------------------------------------------------- *)
+
+let test_with_obs_serial () =
+  let obs = Obs.create ~clock:Obs.Virtual ~domains:1 () in
+  let prog = Ddp_testkit.Prog_gen.generate ~seed:77 () in
+  let outcome =
+    Ddp_core.Profiler.profile ~mode:"serial"
+      ~config:{ Config.default with slots = 1 lsl 12 }
+      ~obs prog
+  in
+  let snap = Obs.snapshot obs in
+  Alcotest.(check int) "events_read counted" outcome.Ddp_core.Profiler.run_stats.reads
+    (Obs.counter snap Obs.C.events_read);
+  Alcotest.(check int) "events_write counted" outcome.Ddp_core.Profiler.run_stats.writes
+    (Obs.counter snap Obs.C.events_write);
+  Alcotest.(check bool) "run span recorded" true (Obs.counter snap Obs.C.run_ns > 0);
+  Alcotest.(check int) "store bytes folded" outcome.Ddp_core.Profiler.store_bytes
+    (Obs.counter snap Obs.C.store_bytes);
+  Alcotest.(check bool) "signature stats folded" true
+    (Obs.counter snap Obs.C.bytes_signatures > 0)
+
+let test_with_obs_disabled_identity () =
+  (* with_obs over a disabled hub must hand back the engine unchanged. *)
+  let e = Ddp_core.Engine.get "serial" in
+  let e' = Ddp_core.Engine.with_obs Obs.disabled e in
+  Alcotest.(check bool) "identity" true (e == e')
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+    Alcotest.test_case "json accessors" `Quick test_json_accessors;
+    Alcotest.test_case "disabled hub" `Quick test_disabled_hub;
+    Alcotest.test_case "counter merge" `Quick test_counter_merge;
+    Alcotest.test_case "hist merge across domains" `Quick test_hist_merge_across_domains;
+    Alcotest.test_case "ring drop-oldest" `Quick test_ring_drop_oldest;
+    Alcotest.test_case "span timestamps" `Quick test_span_timestamps;
+    Alcotest.test_case "chrome trace export" `Quick test_chrome_trace_export;
+    Alcotest.test_case "metrics export counters" `Quick test_metrics_export_counters;
+    Alcotest.test_case "vpar deterministic exports" `Quick test_vpar_deterministic_exports;
+    Alcotest.test_case "with_obs serial engine" `Quick test_with_obs_serial;
+    Alcotest.test_case "with_obs disabled identity" `Quick test_with_obs_disabled_identity;
+  ]

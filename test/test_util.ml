@@ -103,6 +103,97 @@ let test_mem_account () =
   Alcotest.(check int) "total peak" 160 (Mem_account.total_peak t);
   Alcotest.(check int) "unknown" 0 (Mem_account.current t "nope")
 
+(* Domains race add/sub on one category: the lock-free peak update
+   (compare-and-swap raise loop) must never lose a high-water mark below
+   a single domain's footprint nor invent one above the theoretical
+   maximum of all domains resident at once. *)
+let test_mem_account_peak_race () =
+  let t = Mem_account.create () in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 1000 do
+              Mem_account.add t "x" 10;
+              Mem_account.sub t "x" 10
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all released" 0 (Mem_account.current t "x");
+  let peak = Mem_account.peak t "x" in
+  Alcotest.(check bool) "peak >= one domain's footprint" true (peak >= 10);
+  Alcotest.(check bool) "peak <= all domains resident" true (peak <= 40);
+  Alcotest.(check int) "total peak matches" peak (Mem_account.total_peak t)
+
+let test_histogram_buckets () =
+  let module H = Stats.Histogram in
+  (* Bucket 0 holds v <= 0; bucket k >= 1 holds [2^(k-1), 2^k - 1]. *)
+  Alcotest.(check int) "zero" 0 (H.bucket_of 0);
+  Alcotest.(check int) "negative" 0 (H.bucket_of (-5));
+  Alcotest.(check int) "one" 1 (H.bucket_of 1);
+  Alcotest.(check int) "two" 2 (H.bucket_of 2);
+  Alcotest.(check int) "three" 2 (H.bucket_of 3);
+  Alcotest.(check int) "four" 3 (H.bucket_of 4);
+  Alcotest.(check int) "seven" 3 (H.bucket_of 7);
+  Alcotest.(check int) "max_int clamps" (H.nbuckets - 1) (H.bucket_of max_int);
+  (* Bounds are consistent with bucket_of on every boundary. *)
+  for k = 1 to 20 do
+    Alcotest.(check int) "lower bound in bucket" k (H.bucket_of (H.lower_bound k));
+    Alcotest.(check int) "upper bound in bucket" k (H.bucket_of (H.upper_bound k))
+  done;
+  Alcotest.(check int) "top bucket upper" max_int (H.upper_bound (H.nbuckets - 1));
+  Alcotest.check_raises "upper_bound out of range"
+    (Invalid_argument "Histogram.upper_bound") (fun () ->
+      ignore (H.upper_bound H.nbuckets : int))
+
+let test_histogram_add_fold () =
+  let module H = Stats.Histogram in
+  let h = H.create () in
+  List.iter (H.add h) [ 1; 1; 3; 100; 0 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  Alcotest.(check int) "bucket 0" 1 (H.bucket_count h 0);
+  Alcotest.(check int) "bucket 1" 2 (H.bucket_count h 1);
+  Alcotest.(check int) "bucket of 3" 1 (H.bucket_count h (H.bucket_of 3));
+  let nonempty = H.fold h (fun k ~count acc -> (k, count) :: acc) [] in
+  Alcotest.(check int) "non-empty buckets" 4 (List.length nonempty);
+  Alcotest.(check bool) "max bound covers 100" true (H.max_observed_bound h >= 100)
+
+let test_histogram_merge () =
+  let module H = Stats.Histogram in
+  let a = H.create () and b = H.create () in
+  List.iter (H.add a) [ 1; 2; 4 ];
+  List.iter (H.add b) [ 2; 8 ];
+  let m = H.merge a b in
+  Alcotest.(check int) "merged count" 5 (H.count m);
+  Alcotest.(check int) "merged bucket 2" 2 (H.bucket_count m 2);
+  (* merge leaves its arguments untouched; merge_into accumulates. *)
+  Alcotest.(check int) "a untouched" 3 (H.count a);
+  H.merge_into ~src:b ~dst:a;
+  Alcotest.(check int) "merge_into" 5 (H.count a)
+
+let test_histogram_percentile () =
+  let module H = Stats.Histogram in
+  let h = H.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (H.percentile h 50.0 : float));
+  Alcotest.(check int) "empty max bound" 0 (H.max_observed_bound h);
+  for _ = 1 to 100 do
+    H.add h 4 (* all samples in bucket 3 = [4, 7] *)
+  done;
+  let p50 = H.percentile h 50.0 in
+  Alcotest.(check bool) "p50 within bucket" true (p50 >= 4.0 && p50 <= 7.0);
+  let p0 = H.percentile h 0.0 and p100 = H.percentile h 100.0 in
+  Alcotest.(check bool) "p0 <= p100" true (p0 <= p100);
+  (* Spread samples: percentiles must be monotone in p. *)
+  let h2 = H.create () in
+  List.iter (fun v -> H.add h2 v) [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ];
+  let prev = ref (H.percentile h2 0.0) in
+  List.iter
+    (fun p ->
+      let v = H.percentile h2 p in
+      Alcotest.(check bool) "monotone" true (v >= !prev);
+      prev := v)
+    [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ]
+
 let test_mem_account_concurrent () =
   let t = Mem_account.create () in
   let domains =
@@ -151,6 +242,11 @@ let suite =
     Alcotest.test_case "matrix frobenius" `Quick test_matrix_frobenius;
     Alcotest.test_case "mem account" `Quick test_mem_account;
     Alcotest.test_case "mem account concurrent" `Quick test_mem_account_concurrent;
+    Alcotest.test_case "mem account peak race" `Quick test_mem_account_peak_race;
+    Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+    Alcotest.test_case "histogram add/fold" `Quick test_histogram_add_fold;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Test_seed.to_alcotest prop_rng_bounds;
     Test_seed.to_alcotest prop_percentile_bounds;
   ]
