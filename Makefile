@@ -7,6 +7,11 @@ MODES    = serial perfect parallel mt shadow hashtable
 # Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
 DDP_SEED ?= 421
 
+# A hung test or fuzz run must fail the gate, not stall it: every
+# long-running target runs under a wall-clock cap (timeout(1) exits 124).
+# Override or disable: make test TIMEOUT=
+TIMEOUT ?= timeout 1200
+
 .PHONY: all build check test smoke obs-smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
@@ -15,10 +20,10 @@ build:
 	dune build
 
 test:
-	dune runtest
+	$(TIMEOUT) dune runtest
 
 check:
-	dune build && dune runtest
+	dune build && $(TIMEOUT) dune runtest
 
 # One workload through every registered CLI engine: proves the whole
 # Engine/Source/Sink stack end to end, not just the unit suites.
@@ -46,11 +51,11 @@ obs-smoke: build
 # mutation fire drill.  Reproduce any failure with the printed seed pair:
 #   dune exec bin/ddpcheck.exe -- diff --seed <prog_seed>
 fuzz-smoke: build
-	$(DDPCHECK) all --seed $(DDP_SEED) --count 40 --par --out _fuzz
+	$(TIMEOUT) $(DDPCHECK) all --seed $(DDP_SEED) --count 40 --par --out _fuzz
 
 # The long-haul nightly budget.  Shrunk counterexamples land in _fuzz/.
 fuzz-nightly: build
-	$(DDPCHECK) all --seed $(DDP_SEED) --count 400 --par --out _fuzz
+	$(TIMEOUT) $(DDPCHECK) all --seed $(DDP_SEED) --count 400 --par --out _fuzz
 
 bench:
 	dune exec bench/main.exe

@@ -44,6 +44,15 @@ let target_threads_arg =
 let workers_arg =
   Arg.(value & opt int 8 & info [ "workers" ] ~docv:"W" ~doc:"Profiling worker threads (parallel mode).")
 
+let queue_capacity_arg =
+  Arg.(
+    value
+    & opt int Ddp_core.Config.default.Ddp_core.Config.queue_capacity
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:
+          "Bounded chunk-queue capacity per worker.  Small values congest the pipeline — useful \
+           with the lossy --backpressure policies.")
+
 let slots_arg =
   Arg.(value & opt int (1 lsl 20) & info [ "slots" ] ~docv:"M" ~doc:"Total signature slots per direction.")
 
@@ -52,6 +61,68 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Schedul
 let mode_arg =
   let doc = "Profiler engine (see `ddprof list-modes')." in
   Arg.(value & opt string "serial" & info [ "mode" ] ~docv:"MODE" ~doc)
+
+(* Queue-full policy: block | drop-new | drop-oldest | sample:<p>. *)
+let backpressure_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "block" -> Ok Ddp_core.Config.Block
+    | "drop-new" -> Ok Ddp_core.Config.Drop_new
+    | "drop-oldest" -> Ok Ddp_core.Config.Drop_oldest
+    | s when String.length s > 7 && String.sub s 0 7 = "sample:" -> (
+      let p = String.sub s 7 (String.length s - 7) in
+      match float_of_string_opt p with
+      | Some p when p >= 0.0 && p <= 1.0 -> Ok (Ddp_core.Config.Sample p)
+      | _ -> Error (`Msg (Printf.sprintf "bad sample probability %S (want sample:<p> with 0<=p<=1)" p)))
+    | _ ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown backpressure policy %S (block|drop-new|drop-oldest|sample:<p>)" s))
+  in
+  let print ppf = function
+    | Ddp_core.Config.Block -> Format.pp_print_string ppf "block"
+    | Ddp_core.Config.Drop_new -> Format.pp_print_string ppf "drop-new"
+    | Ddp_core.Config.Drop_oldest -> Format.pp_print_string ppf "drop-oldest"
+    | Ddp_core.Config.Sample p -> Format.fprintf ppf "sample:%g" p
+  in
+  Arg.conv ~docv:"POLICY" (parse, print)
+
+let backpressure_arg =
+  Arg.(
+    value
+    & opt backpressure_conv Ddp_core.Config.Block
+    & info [ "backpressure" ] ~docv:"POLICY"
+        ~doc:
+          "Queue-full policy for the parallel pipeline: $(b,block) (wait, lossless), \
+           $(b,drop-new), $(b,drop-oldest) (needs --lock-based) or $(b,sample:)$(i,P) (shed each \
+           overflowing chunk with probability P).  Anything but block degrades the run to a \
+           partial result with exact loss accounting.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:
+          "Abort profiling after SECS seconds and salvage whatever the workers completed (the \
+           result is marked partial).")
+
+let check_backpressure (config : Ddp_core.Config.t) =
+  match config.backpressure with
+  | Ddp_core.Config.Drop_oldest when config.lock_free ->
+    Printf.eprintf "--backpressure drop-oldest requires --lock-based queues\n";
+    exit 1
+  | _ -> ()
+
+(* Partial results are still printed in full (that is the point of the
+   salvage path), but the process exits 3 so scripts can tell a degraded
+   run from a complete one. *)
+let conclude (outcome : Ddp_core.Profiler.outcome) =
+  if Ddp_core.Health.is_partial outcome.health then begin
+    print_newline ();
+    print_endline (Ddp_core.Health.to_string outcome.health);
+    exit 3
+  end
 
 let check_mode mode =
   match Ddp_core.Engine.find mode with
@@ -146,19 +217,36 @@ let run_cmd =
           ~doc:"Record the instrumentation stream to FILE while profiling (one pass).")
   in
   let run name scale variant target_threads mode mt workers slots seed report show_threads
-      lock_based record trace_out metrics_out =
+      lock_based record backpressure deadline queue_capacity trace_out metrics_out =
     check_mode mode;
     let prog = get_program ~variant ~target_threads ~scale name in
     let config =
-      { Ddp_core.Config.default with workers; slots; seed; lock_free = not lock_based }
+      {
+        Ddp_core.Config.default with
+        workers;
+        slots;
+        seed;
+        lock_free = not lock_based;
+        backpressure;
+        deadline;
+        queue_capacity;
+      }
     in
+    check_backpressure config;
     let account = Ddp_util.Mem_account.create () in
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
     let obs = make_obs ~mode ~workers ~trace_out ~metrics_out in
     let outcome =
-      Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee
-        (Ddp_core.Source.live ~sched_seed:seed prog)
+      try
+        Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee
+          (Ddp_core.Source.live ~sched_seed:seed prog)
+      with e ->
+        (* A crashed run must not publish a truncated trace: the recording
+           stays in its .tmp file and is deleted here. *)
+        let bt = Printexc.get_raw_backtrace () in
+        Option.iter Ddp_minir.Trace_file.abort_recording recording;
+        Printexc.raise_with_backtrace e bt
     in
     (match (recording, record) with
     | Some r, Some path ->
@@ -180,13 +268,15 @@ let run_cmd =
     if report then begin
       print_newline ();
       print_string (Ddp_core.Profiler.report ~show_threads outcome)
-    end
+    end;
+    conclude outcome
   in
   let term =
     Term.(
       const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg $ mt_arg
       $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg
-      $ record_arg $ trace_out_arg $ metrics_out_arg)
+      $ record_arg $ backpressure_arg $ deadline_arg $ queue_capacity_arg $ trace_out_arg
+      $ metrics_out_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile a workload and summarize its dependences.") term
 
@@ -265,9 +355,10 @@ let record_cmd =
 
 let replay_cmd =
   let report_arg = Arg.(value & flag & info [ "report" ] ~doc:"Print the dependence report.") in
-  let run path mode slots report =
+  let run path mode slots backpressure deadline report =
     check_mode mode;
-    let config = { Ddp_core.Config.default with slots } in
+    let config = { Ddp_core.Config.default with slots; backpressure; deadline } in
+    check_backpressure config;
     let outcome = Ddp_core.Profiler.run ~mode ~config (Ddp_core.Source.of_trace ~path) in
     Printf.printf "replayed %s through engine %s: %d accesses over %d addresses\n" path mode
       outcome.run_stats.accesses outcome.run_stats.addresses;
@@ -275,12 +366,13 @@ let replay_cmd =
     if report then begin
       print_newline ();
       print_string (Ddp_core.Profiler.report outcome)
-    end
+    end;
+    conclude outcome
   in
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Profile a previously recorded trace under any engine (collect once, analyze many).")
-    Term.(const run $ path_arg $ mode_arg $ slots_arg $ report_arg)
+    Term.(const run $ path_arg $ mode_arg $ slots_arg $ backpressure_arg $ deadline_arg $ report_arg)
 
 (* -- distance -------------------------------------------------------------- *)
 

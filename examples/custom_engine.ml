@@ -18,7 +18,7 @@ let heatmap =
       let hooks = { Ddp_minir.Event.null with on_read = bump; on_write = bump } in
       let finish () =
         { Ddp_core.Engine.deps = Ddp_core.Dep_store.create (); regions = Ddp_core.Region.create ();
-          store_bytes = 0; extra = Heat heat }
+          health = Ddp_core.Health.Complete; store_bytes = 0; extra = Heat heat }
       in
       { Ddp_core.Engine.hooks; finish })
 

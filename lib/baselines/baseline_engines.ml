@@ -39,6 +39,7 @@ let of_store (type s a) ~name ~description ~category
             {
               Engine.deps;
               regions;
+              health = Engine.health_of_regions regions;
               store_bytes = store_bytes reads + store_bytes writes;
               extra = Engine.No_extra;
             });
@@ -98,6 +99,7 @@ let stride =
             {
               Engine.deps = Stride_sd3.deps t;
               regions;
+              health = Engine.health_of_regions regions;
               store_bytes = Stride_sd3.bytes t;
               extra = Stride { records = Stride_sd3.records t };
             });

@@ -3,6 +3,19 @@
    every 50,000 chunks on billion-access runs; our runs are ~1e6-1e8
    accesses, so intervals scale down accordingly). *)
 
+(* What the producer does when a worker queue stays full after the
+   normal stall path.  [Block] is the paper's behavior (spin until space
+   frees up); the lossy policies trade dependence recall for bounded
+   producer latency, with every dropped chunk accounted in the run's
+   {!Health.t}. *)
+type backpressure =
+  | Block  (* spin-wait until the queue drains (lossless, default) *)
+  | Drop_new  (* discard the chunk being pushed *)
+  | Drop_oldest  (* steal + discard the consumer's oldest queued chunk;
+                    requires lock-based queues (lock_free = false) *)
+  | Sample of float  (* drop the new chunk with probability p at each
+                        queue-full event (deterministic seeded RNG) *)
+
 type t = {
   slots : int;  (* total signature slots per direction (read/write) *)
   track_init : bool;
@@ -24,6 +37,13 @@ type t = {
      merging work, at the price of statement precision.  Serial profiler
      only. *)
   seed : int;
+  backpressure : backpressure;
+  (* Queue-full policy; [Block] — the default — keeps today's lossless
+     spin-wait and makes the lossy machinery cost one match per storm. *)
+  deadline : float option;
+  (* Wall-clock run budget in seconds.  When it expires the supervisor
+     aborts the run: workers stop, [finish] salvages whatever was
+     processed and the result is marked partial.  [None] = no watchdog. *)
   faults : Fault.t option;
   (* Fault-injection plan for the parallel pipeline (testkit only).
      [None] — the default — compiles the checks down to one [match] per
@@ -51,6 +71,8 @@ let default =
     section_level = false;
     seed = 1;
     reorder_window = 6;
+    backpressure = Block;
+    deadline = None;
     faults = None;
     obs = None;
   }

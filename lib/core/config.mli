@@ -1,6 +1,16 @@
 (** Profiler configuration (see DESIGN.md for the mapping to the paper's
     parameters). *)
 
+type backpressure =
+  | Block  (** lossless spin-wait at queue-full (the default) *)
+  | Drop_new  (** discard the chunk being pushed *)
+  | Drop_oldest
+      (** steal + discard the consumer's oldest queued chunk; requires
+          lock-based queues ([lock_free = false]) *)
+  | Sample of float
+      (** drop the new chunk with probability [p] per queue-full event
+          (seeded, deterministic) *)
+
 type t = {
   slots : int;
   track_init : bool;
@@ -19,6 +29,12 @@ type t = {
       (** Sec. VI-B set-based profiling: loop-region granularity instead
           of statements (serial profiler only). *)
   seed : int;
+  backpressure : backpressure;
+      (** Queue-full policy; lossy policies account every drop in the
+          run's {!Health.t}. *)
+  deadline : float option;
+      (** Wall-clock run budget (seconds); expiry aborts the run and
+          salvages a partial result.  [None] — the default — no watchdog. *)
   faults : Fault.t option;
       (** Fault-injection plan (testkit only); [None] — the default —
           leaves the pipeline untouched. *)

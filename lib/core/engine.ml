@@ -26,9 +26,17 @@ type extra += Mt of { delayed : int; peak_bytes : int; inner : extra }
 type outcome = {
   deps : Dep_store.t;
   regions : Region.t;
+  health : Health.t;  (* Complete, or Partial with exact loss accounting *)
   store_bytes : int;  (* access-store footprint at end of run *)
   extra : extra;
 }
+
+(* Health for engines with no pipeline of their own (serial, baselines):
+   the only degradation they can see is a corrupt region stream. *)
+let health_of_regions regions =
+  match Region.corruption regions with
+  | None -> Health.Complete
+  | Some msg -> Health.degraded ~reasons:[ Health.Stream_corrupt msg ] Health.no_loss
 
 type session = {
   hooks : Event.hooks;

@@ -20,9 +20,16 @@ type extra += Mt of { delayed : int; peak_bytes : int; inner : extra }
 type outcome = {
   deps : Dep_store.t;
   regions : Region.t;
+  health : Health.t;
+      (** [Complete], or [Partial] with abort reasons and exact loss
+          accounting; {!finish} never raises on degradation *)
   store_bytes : int;  (** access-store footprint at end of run *)
   extra : extra;
 }
+
+val health_of_regions : Region.t -> Health.t
+(** Health for engines with no pipeline of their own: [Complete] unless
+    the region stream was corrupt. *)
 
 type session = {
   hooks : Ddp_minir.Event.hooks;  (** feed any {!Source} into these *)

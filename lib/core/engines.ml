@@ -18,6 +18,7 @@ let of_serial ~name ~description ~exact make_profiler =
             {
               Engine.deps = p.Serial_profiler.deps;
               regions = p.Serial_profiler.regions;
+              health = Engine.health_of_regions p.Serial_profiler.regions;
               store_bytes = p.Serial_profiler.store_bytes ();
               extra = Engine.No_extra;
             });
@@ -49,6 +50,7 @@ let parallel =
             {
               Engine.deps = r.Parallel_profiler.deps;
               regions = r.Parallel_profiler.regions;
+              health = r.Parallel_profiler.health;
               store_bytes = r.Parallel_profiler.signature_bytes;
               extra = Parallel_result r;
             });

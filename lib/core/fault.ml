@@ -19,9 +19,16 @@
    - [stalls]: workers in [stall_mask] refuse scheduling opportunities
      under the virtual scheduler while budget remains.
 
+   - [crashes]: workers in [crash_mask] raise {!Injected_crash} at the
+     top of their next chunk consumption — the supervised pipeline must
+     contain the death, unblock the drain barrier and salvage a partial
+     result (the crash-containment tests and mutant fire drills).
+
    Budgets make every fault finite, so injected stalls can never
    livelock a deterministic schedule.  Counters record what was actually
    injected, so tests can assert the fault fired. *)
+
+exception Injected_crash of int  (* worker id *)
 
 type t = {
   mutable queue_full_budget : int;
@@ -30,15 +37,18 @@ type t = {
   mutable truncation_budget : int;
   mutable stall_budget : int;
   mutable stall_mask : int;  (* bit w set: worker w may stall *)
+  mutable crash_budget : int;
+  mutable crash_mask : int;  (* bit w set: worker w may crash *)
   (* observability: what actually fired *)
   mutable queue_full_injected : int;
   mutable redistributions_forced : int;
   mutable truncations_injected : int;
   mutable stalls_injected : int;
+  mutable crashes_injected : int;
 }
 
 let create ?(queue_full = 0) ?(queue_full_burst = 3) ?(redistributions = 0) ?(truncations = 0)
-    ?(stalls = 0) ?(stall_mask = -1) () =
+    ?(stalls = 0) ?(stall_mask = -1) ?(crashes = 0) ?(crash_mask = -1) () =
   {
     queue_full_budget = queue_full;
     queue_full_burst = max 1 queue_full_burst;
@@ -46,10 +56,13 @@ let create ?(queue_full = 0) ?(queue_full_burst = 3) ?(redistributions = 0) ?(tr
     truncation_budget = truncations;
     stall_budget = stalls;
     stall_mask;
+    crash_budget = crashes;
+    crash_mask;
     queue_full_injected = 0;
     redistributions_forced = 0;
     truncations_injected = 0;
     stalls_injected = 0;
+    crashes_injected = 0;
   }
 
 (* Number of simulated queue-full failures to inject before this push
@@ -88,10 +101,29 @@ let take_stall t ~worker =
        true
      end
 
+(* Consumed from the worker's own domain at the top of chunk
+   consumption.  Give each worker its own mask bit when testing with
+   several crashing workers — the budget fields are plain mutable (the
+   usual testkit single-writer discipline). *)
+let take_crash t ~worker =
+  t.crash_budget > 0
+  && t.crash_mask land (1 lsl worker) <> 0
+  && begin
+       t.crash_budget <- t.crash_budget - 1;
+       t.crashes_injected <- t.crashes_injected + 1;
+       true
+     end
+
 let exhausted t =
   t.queue_full_budget <= 0 && t.redistribution_budget <= 0 && t.truncation_budget <= 0
-  && t.stall_budget <= 0
+  && t.stall_budget <= 0 && t.crash_budget <= 0
 
 let pp ppf t =
-  Format.fprintf ppf "queue-full %d, forced-redistributions %d, truncations %d, stalls %d"
+  Format.fprintf ppf "queue-full %d, forced-redistributions %d, truncations %d, stalls %d, crashes %d"
     t.queue_full_injected t.redistributions_forced t.truncations_injected t.stalls_injected
+    t.crashes_injected
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash w -> Some (Printf.sprintf "Fault.Injected_crash(worker %d)" w)
+    | _ -> None)

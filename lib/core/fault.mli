@@ -7,6 +7,10 @@
     happened.  See the implementation header for the exact semantics of
     each fault class. *)
 
+exception Injected_crash of int
+(** Raised inside a worker when its crash budget fires (payload: worker
+    id).  The supervised pipeline must contain it and salvage. *)
+
 type t = {
   mutable queue_full_budget : int;
   mutable queue_full_burst : int;
@@ -14,10 +18,13 @@ type t = {
   mutable truncation_budget : int;
   mutable stall_budget : int;
   mutable stall_mask : int;
+  mutable crash_budget : int;
+  mutable crash_mask : int;
   mutable queue_full_injected : int;
   mutable redistributions_forced : int;
   mutable truncations_injected : int;
   mutable stalls_injected : int;
+  mutable crashes_injected : int;
 }
 
 val create :
@@ -27,6 +34,8 @@ val create :
   ?truncations:int ->
   ?stalls:int ->
   ?stall_mask:int ->
+  ?crashes:int ->
+  ?crash_mask:int ->
   unit ->
   t
 (** All budgets default to 0 (no injection); [stall_mask] defaults to
@@ -41,6 +50,9 @@ val take_truncation : t -> bool
 
 val take_stall : t -> worker:int -> bool
 (** Should [worker] decline this (virtual) scheduling opportunity? *)
+
+val take_crash : t -> worker:int -> bool
+(** Should [worker] raise {!Injected_crash} before its next chunk? *)
 
 val exhausted : t -> bool
 val pp : Format.formatter -> t -> unit

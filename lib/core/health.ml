@@ -1,0 +1,110 @@
+(* Run health: the structured answer to "can I trust this dependence
+   report?".
+
+   The supervised pipeline (Parallel_profiler) degrades gracefully
+   instead of hanging or crashing: a worker that dies mid-run, an
+   expired run deadline, or a lossy backpressure policy all leave the
+   run *finishable*, but the merged dependence set is then a subset of
+   the truth.  This module is the accounting for that degradation — a
+   run is either [Complete] (every routed event reached Algorithm 1) or
+   [Partial] with an itemized loss summary, so accuracy claims stay
+   honest downstream (reports carry a PARTIAL banner, the CLI exits
+   non-zero, Obs counters mirror the same numbers).
+
+   The type is deliberately engine-agnostic: serial engines use it too
+   (a corrupt region stream makes a serial run partial), so it lives
+   below {!Engine} with no dependencies of its own. *)
+
+type worker_fault = {
+  worker : int;
+  exn_text : string;  (* Printexc.to_string of the captured exception *)
+  backtrace : string;  (* may be empty when backtrace recording is off *)
+}
+
+type abort_reason =
+  | Worker_crash  (* >= 1 worker died; per-worker detail in [faults] *)
+  | Deadline of float  (* the configured deadline (seconds) expired *)
+  | Stream_corrupt of string  (* unmatched region events; first anomaly *)
+
+type loss = {
+  dropped_chunks : int;  (* chunks discarded by backpressure or abort *)
+  dropped_events : int;  (* accesses inside those chunks *)
+  dead_partitions : int;  (* workers whose dependence maps were lost *)
+  unprocessed_chunks : int;  (* queue depth left behind at shutdown *)
+}
+
+let no_loss =
+  { dropped_chunks = 0; dropped_events = 0; dead_partitions = 0; unprocessed_chunks = 0 }
+
+type degradation = {
+  reasons : abort_reason list;  (* in detection order; empty for pure loss *)
+  faults : worker_fault list;
+  loss : loss;
+}
+
+type t =
+  | Complete
+  | Partial of degradation
+
+(* Raised by callers that want fail-fast semantics ({!of_result}-style
+   strict wrappers, the CLI's --strict mode); the supervised pipeline
+   itself never throws it — salvage is the default. *)
+exception Run_error of degradation
+
+let is_partial = function Complete -> false | Partial _ -> true
+
+let degraded ?(reasons = []) ?(faults = []) loss =
+  if reasons = [] && faults = [] && loss = no_loss then Complete
+  else Partial { reasons; faults; loss }
+
+(* Combine two health values (e.g. the pipeline's own verdict with the
+   region stream's): reasons and faults concatenate, losses add. *)
+let merge a b =
+  match (a, b) with
+  | Complete, h | h, Complete -> h
+  | Partial x, Partial y ->
+    Partial
+      {
+        reasons = x.reasons @ y.reasons;
+        faults = x.faults @ y.faults;
+        loss =
+          {
+            dropped_chunks = x.loss.dropped_chunks + y.loss.dropped_chunks;
+            dropped_events = x.loss.dropped_events + y.loss.dropped_events;
+            dead_partitions = x.loss.dead_partitions + y.loss.dead_partitions;
+            unprocessed_chunks = x.loss.unprocessed_chunks + y.loss.unprocessed_chunks;
+          };
+      }
+
+let reason_to_string = function
+  | Worker_crash -> "worker crash"
+  | Deadline d -> Printf.sprintf "deadline %.3fs exceeded" d
+  | Stream_corrupt msg -> Printf.sprintf "region stream corrupt (%s)" msg
+
+let loss_to_string l =
+  Printf.sprintf "%d chunks dropped (%d events), %d dead partitions, %d chunks unprocessed"
+    l.dropped_chunks l.dropped_events l.dead_partitions l.unprocessed_chunks
+
+let pp ppf = function
+  | Complete -> Format.fprintf ppf "complete"
+  | Partial d ->
+    Format.fprintf ppf "PARTIAL";
+    if d.reasons <> [] then
+      Format.fprintf ppf " [%s]"
+        (String.concat "; " (List.map reason_to_string d.reasons));
+    Format.fprintf ppf ": %s" (loss_to_string d.loss);
+    List.iter
+      (fun f -> Format.fprintf ppf "@.  worker %d crashed: %s" f.worker f.exn_text)
+      d.faults
+
+let to_string h = Format.asprintf "%a" pp h
+
+(* Fail-fast adapter: identity on Complete, Run_error on Partial. *)
+let strict = function
+  | Complete -> ()
+  | Partial d -> raise (Run_error d)
+
+let () =
+  Printexc.register_printer (function
+    | Run_error d -> Some (Printf.sprintf "Health.Run_error (%s)" (to_string (Partial d)))
+    | _ -> None)

@@ -1,0 +1,54 @@
+(** Run health: [Complete], or [Partial] with an itemized loss summary
+    (dropped chunks, dead worker partitions, unprocessed queue depth)
+    and the abort reasons / per-worker faults behind it.  Produced by
+    every engine; the supervised parallel pipeline is the main source. *)
+
+type worker_fault = {
+  worker : int;
+  exn_text : string;  (** [Printexc.to_string] of the captured exception *)
+  backtrace : string;  (** empty when backtrace recording is off *)
+}
+
+type abort_reason =
+  | Worker_crash  (** >= 1 worker died; detail in the [faults] list *)
+  | Deadline of float  (** the configured run deadline (seconds) expired *)
+  | Stream_corrupt of string  (** unmatched region events; first anomaly *)
+
+type loss = {
+  dropped_chunks : int;
+  dropped_events : int;
+  dead_partitions : int;
+  unprocessed_chunks : int;
+}
+
+val no_loss : loss
+
+type degradation = {
+  reasons : abort_reason list;  (** detection order; empty for pure loss *)
+  faults : worker_fault list;
+  loss : loss;
+}
+
+type t =
+  | Complete
+  | Partial of degradation
+
+exception Run_error of degradation
+(** Raised only by {!strict} (and callers that opt in): the supervised
+    pipeline itself always salvages instead of throwing. *)
+
+val is_partial : t -> bool
+
+val degraded : ?reasons:abort_reason list -> ?faults:worker_fault list -> loss -> t
+(** [Complete] when everything is empty/zero, [Partial] otherwise. *)
+
+val merge : t -> t -> t
+(** Combine two verdicts: reasons/faults concatenate, losses add. *)
+
+val strict : t -> unit
+(** Identity on [Complete]; raises {!Run_error} on [Partial]. *)
+
+val reason_to_string : abort_reason -> string
+val loss_to_string : loss -> string
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -64,6 +64,12 @@ let try_pop t =
   Mutex.unlock t.mutex;
   r
 
+(* Producer-side steal of the consumer's oldest queued element — the
+   mutex makes this safe from any domain, which is exactly why the
+   Drop_oldest backpressure policy requires the lock-based queue (an
+   SPSC ring's head is consumer-owned). *)
+let steal = try_pop
+
 let bytes t = (t.capacity + 8) * 8
 
 let op_counts t =

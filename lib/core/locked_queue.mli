@@ -10,6 +10,12 @@ val is_empty : 'a t -> bool
 val try_push : 'a t -> 'a -> bool
 val push_blocking : 'a t -> 'a -> unit
 val try_pop : 'a t -> 'a option
+
+val steal : 'a t -> 'a option
+(** Remove the oldest queued element from any domain (the mutex makes
+    this producer-safe, unlike an SPSC ring).  Used by the
+    [Drop_oldest] backpressure policy. *)
+
 val bytes : 'a t -> int
 
 val op_counts : 'a t -> int * int * int * int

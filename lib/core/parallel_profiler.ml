@@ -21,15 +21,33 @@
    idle loops therefore back off to the OS scheduler after a bounded spin
    so the producer is not starved.  Per-worker event counts and busy
    times are recorded for the multicore makespan model described in
-   DESIGN.md. *)
+   DESIGN.md.
+
+   Supervision (ISSUE 4): the pipeline degrades gracefully instead of
+   hanging.  Every worker runs inside an exception boundary that records
+   the exception + backtrace in a per-worker status cell; the producer
+   plays supervisor at its chunk-granularity blocking points (flush,
+   queue-full retries, drain waits), where it notices dead workers and
+   an expired [Config.deadline], releases the drain barrier, and routes
+   the run to a salvage path: [finish] always returns, merging the
+   surviving workers' dependence maps and reporting the damage as a
+   {!Health.t} with exact loss accounting.  Queue-full handling is
+   policy-driven ([Config.backpressure]): [Block] is the paper's
+   lossless spin-wait; [Drop_new]/[Drop_oldest]/[Sample] trade recall
+   for bounded producer latency, with every dropped chunk counted. *)
 
 module Clock = Ddp_util.Clock
+module Rng = Ddp_util.Rng
 module Event = Ddp_minir.Event
 module Obs = Ddp_obs.Obs
 
 type queue = {
   try_push : Chunk.t -> bool;
   pop : unit -> Chunk.t option;
+  steal : unit -> Chunk.t option;
+      (* producer-side removal of the oldest queued chunk; always [None]
+         on SPSC rings (the head is consumer-owned), so the Drop_oldest
+         policy is gated to lock-based queues at [create] *)
   q_bytes : int;
   op_counts : unit -> int * int * int * int;  (* pushes, push fails, pops, pop empties *)
 }
@@ -42,6 +60,7 @@ let make_queue ~lock_free ~capacity =
     {
       try_push = (fun c -> Spsc_queue.try_push q c);
       pop = (fun () -> Spsc_queue.try_pop q);
+      steal = (fun () -> None);
       q_bytes = Spsc_queue.bytes q;
       op_counts = (fun () -> Spsc_queue.op_counts q);
     }
@@ -51,6 +70,7 @@ let make_queue ~lock_free ~capacity =
     {
       try_push = (fun c -> Locked_queue.try_push q c);
       pop = (fun () -> Locked_queue.try_pop q);
+      steal = (fun () -> Locked_queue.steal q);
       q_bytes = Locked_queue.bytes q;
       op_counts = (fun () -> Locked_queue.op_counts q);
     }
@@ -76,6 +96,12 @@ type vsched = {
   on_stall : stall -> unit;
 }
 
+(* Per-worker status cell: the exception boundary's single write, the
+   supervisor's single read. *)
+type worker_status =
+  | Alive
+  | Crashed of Health.worker_fault
+
 type worker = {
   id : int;
   work_q : queue;
@@ -86,6 +112,8 @@ type worker = {
   deps : Dep_store.t;
   pushed : int Atomic.t;  (* chunks handed to this worker *)
   processed : int Atomic.t;  (* chunks fully consumed *)
+  status : worker_status Atomic.t;
+  faults : Fault.t option;  (* crash injection, read on the worker's own domain *)
   mutable events : int;
   mutable busy : float;
   obs : Obs.t;  (* worker [id] writes telemetry domain [id + 1] *)
@@ -99,8 +127,18 @@ type t = {
   regions : Region.t;
   global_deps : Dep_store.t;
   stop : bool Atomic.t;
+  kill : bool Atomic.t;
+  (* Hard abort (deadline expiry): workers exit at their next pop even
+     with chunks still queued.  A worker crash does NOT set this —
+     survivors keep processing so the salvage merge is as complete as
+     possible. *)
   virtual_mode : bool;  (* no domains; workers advance via worker_step *)
   obs : Obs.t;  (* producer writes telemetry domain 0 *)
+  bp_rng : Rng.t;  (* Sample backpressure coin, seeded from Config.seed *)
+  mutable deadline_at : float;  (* absolute wall clock; infinity = no watchdog *)
+  mutable abort_reasons : Health.abort_reason list;  (* detection order *)
+  mutable dropped_chunks : int;
+  mutable dropped_events : int;
   mutable vsched : vsched option;
   mutable domains : unit Domain.t array;
   mutable chunks_pushed : int;
@@ -112,6 +150,7 @@ type t = {
 type result = {
   deps : Dep_store.t;
   regions : Region.t;
+  health : Health.t;
   chunks : int;
   redistributions : int;
   per_worker_events : int array;
@@ -162,14 +201,36 @@ let consume (w : worker) chunk =
     if not recycled then Obs.incr w.obs ~dom Obs.C.recycle_drops
   end
 
-let worker_loop stop w =
+let is_dead w = match Atomic.get w.status with Alive -> false | Crashed _ -> true
+
+(* The worker-side exception boundary: any exception (including an
+   injected {!Fault.Injected_crash}) is captured — text + backtrace —
+   into the worker's status cell, and the worker retires instead of
+   taking the whole process down.  Returns false on death.  A chunk
+   popped but not processed stays counted in [pushed - processed], so
+   the salvage accounting sees it as unprocessed. *)
+let guarded_consume (w : worker) chunk =
+  match
+    match w.faults with
+    | Some f when Fault.take_crash f ~worker:w.id -> raise (Fault.Injected_crash w.id)
+    | _ -> consume w chunk
+  with
+  | () -> true
+  | exception e ->
+    let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
+    Atomic.set w.status
+      (Crashed { Health.worker = w.id; exn_text = Printexc.to_string e; backtrace = bt });
+    if Obs.enabled w.obs then Obs.incr w.obs ~dom:(w.id + 1) Obs.C.worker_crashes;
+    false
+
+let worker_loop stop kill w =
   let spins = ref 0 in
   let running = ref true in
-  while !running do
+  while !running && not (Atomic.get kill) do
     match w.work_q.pop () with
     | Some chunk ->
       spins := 0;
-      consume w chunk
+      if not (guarded_consume w chunk) then running := false
     | None ->
       if Atomic.get stop && Atomic.get w.pushed = Atomic.get w.processed then running := false
       else begin
@@ -197,20 +258,72 @@ let acquire_chunk t w =
     charge t (Chunk.bytes c);
     c
 
+(* -- supervisor ----------------------------------------------------------- *)
+
+(* The supervisor is not a separate thread: the producer runs these
+   checks at its chunk-granularity blocking points (flush, queue-full
+   retries, drain waits).  Pure atomic reads when healthy; the
+   per-access hot path never sees any of it. *)
+
+let abort_code = function
+  | Health.Worker_crash -> 0
+  | Health.Deadline _ -> 1
+  | Health.Stream_corrupt _ -> 2
+
+(* Record an abort reason once per constructor; a deadline abort also
+   sets [kill] so workers exit at their next pop. *)
+let note_abort t reason =
+  let same a b =
+    match (a, b) with
+    | Health.Worker_crash, Health.Worker_crash -> true
+    | Health.Deadline _, Health.Deadline _ -> true
+    | Health.Stream_corrupt _, Health.Stream_corrupt _ -> true
+    | _ -> false
+  in
+  if not (List.exists (same reason) t.abort_reasons) then begin
+    t.abort_reasons <- t.abort_reasons @ [ reason ];
+    (match reason with Health.Deadline _ -> Atomic.set t.kill true | _ -> ());
+    if Obs.enabled t.obs then begin
+      Obs.incr t.obs ~dom:0 Obs.C.aborts;
+      Obs.instant t.obs ~dom:0 Obs.Tag.Abort ~arg:(abort_code reason)
+    end
+  end
+
+let aborted t = t.abort_reasons <> []
+
+let deadline_passed t = t.deadline_at < infinity && Clock.now () >= t.deadline_at
+
+(* One supervisor beat: notice dead workers and an expired deadline. *)
+let supervise t =
+  Array.iter (fun w -> if is_dead w then note_abort t Health.Worker_crash) t.workers;
+  if deadline_passed t then
+    note_abort t (Health.Deadline (match t.config.deadline with Some d -> d | None -> 0.0))
+
+(* Exact drop accounting, mirrored into Obs so the two can be compared
+   in tests. *)
+let account_drop t ~events =
+  t.dropped_chunks <- t.dropped_chunks + 1;
+  t.dropped_events <- t.dropped_events + events;
+  if Obs.enabled t.obs then begin
+    Obs.incr t.obs ~dom:0 Obs.C.bp_dropped_chunks;
+    Obs.add t.obs ~dom:0 Obs.C.bp_dropped_events events
+  end
+
 (* Virtual mode: advance worker [w_id] by one chunk.  Returns false when
-   its queue is empty.  Only meaningful without domains — with real
-   workers running this would violate SPSC single-consumer ownership. *)
+   its queue is empty (or the worker has crashed).  Only meaningful
+   without domains — with real workers running this would violate SPSC
+   single-consumer ownership. *)
 let worker_step t w_id =
   let w = t.workers.(w_id) in
-  match t.config.faults with
-  | Some f when Fault.take_stall f ~worker:w_id ->
-    false (* injected stall: the worker declines this opportunity *)
-  | _ -> (
-    match w.work_q.pop () with
-    | Some chunk ->
-      consume w chunk;
-      true
-    | None -> false)
+  if is_dead w then false
+  else
+    match t.config.faults with
+    | Some f when Fault.take_stall f ~worker:w_id ->
+      false (* injected stall: the worker declines this opportunity *)
+    | _ -> (
+      match w.work_q.pop () with
+      | Some chunk -> guarded_consume w chunk
+      | None -> false)
 
 (* One blocked-producer beat: under the virtual scheduler, hand control
    to the schedule chooser (which must advance the named worker); in
@@ -234,19 +347,29 @@ let queue_depth t w_id =
   Atomic.get w.pushed - Atomic.get w.processed
 
 (* Drain barrier: wait until every worker has consumed everything pushed
-   to it.  Used by redistribution and at shutdown. *)
+   to it.  Used by redistribution and at shutdown.  Supervised: a dead
+   worker (or an expired deadline) releases the wait on that worker
+   instead of spinning forever on a [processed] count that can no longer
+   advance.  Returns true iff every worker fully drained. *)
 let drain t =
   let on = Obs.enabled t.obs in
   let b0 = if on then Obs.now t.obs else 0 in
   let waited = ref 0 in
+  let complete = ref true in
   Array.iter
     (fun w ->
       if Atomic.get w.pushed <> Atomic.get w.processed then begin
         incr waited;
         let s0 = if on then Obs.now t.obs else 0 in
         let spins = ref 0 in
-        while Atomic.get w.pushed <> Atomic.get w.processed do
-          stall t (Drain_wait w.id) spins
+        let give_up = ref false in
+        while (not !give_up) && Atomic.get w.pushed <> Atomic.get w.processed do
+          supervise t;
+          if is_dead w || Atomic.get t.kill then begin
+            give_up := true;
+            complete := false
+          end
+          else stall t (Drain_wait w.id) spins
         done;
         if on then begin
           let d = Obs.span t.obs ~dom:0 Obs.Tag.Drain_wait ~arg:w.id ~t0:s0 in
@@ -256,7 +379,8 @@ let drain t =
         end
       end)
     t.workers;
-  if on then ignore (Obs.span t.obs ~dom:0 Obs.Tag.Drain ~arg:!waited ~t0:b0 : int)
+  if on then ignore (Obs.span t.obs ~dom:0 Obs.Tag.Drain ~arg:!waited ~t0:b0 : int);
+  !complete
 
 (* Move the signature state of a redistributed address (Sec. IV-A).
    Safe only while drained. *)
@@ -272,59 +396,109 @@ let migrate t ~addr ~from_w ~to_w =
   move src.reads dst.reads;
   move src.writes dst.writes
 
+(* Drop_oldest victim: remove the consumer's oldest queued chunk to make
+   room.  The victim was counted in [pushed] and will never be
+   processed, so the count is rolled back to keep the drain barrier
+   invariant (pushed = processed once idle). *)
+let steal_oldest t (w : worker) =
+  match w.work_q.steal () with
+  | None -> ()  (* the worker emptied its queue concurrently *)
+  | Some victim ->
+    Atomic.decr w.pushed;
+    account_drop t ~events:(Chunk.length victim);
+    Chunk.clear victim;
+    ignore (w.recycle_q.try_push victim : bool)
+
 (* Push one worker's open chunk (if non-empty) without triggering a
    redistribution check. *)
 let flush_chunk t w_id =
   let chunk = t.open_chunks.(w_id) in
   if Chunk.length chunk > 0 then begin
     let w = t.workers.(w_id) in
-    let on = Obs.enabled t.obs in
-    let f0 = if on then Obs.now t.obs else 0 in
-    (* Fault injection (chunk granularity, compiled to one match when
-       off): simulated corruption and back-pressure storms. *)
-    (match t.config.faults with
-    | Some f ->
-      if Fault.take_truncation f then Chunk.truncate chunk (Chunk.length chunk - 1);
-      let storm = Fault.take_queue_full f in
-      let spins = ref 0 in
-      for _ = 1 to storm do
-        stall t (Queue_full w_id) spins
-      done
-    | None -> ());
-    (match t.vsched with Some vs -> vs.on_chunk w_id | None -> ());
-    (* The occupancy must be read before the push: once the chunk is in
-       the queue the consumer may clear it concurrently. *)
-    let occupancy = Chunk.length chunk in
-    Atomic.incr w.pushed;
-    if not (w.work_q.try_push chunk) then begin
-      (* Blocked on a full queue: one span for the whole wait (never one
-         event per spin — that would flood the ring), with the retry
-         count as a counter. *)
-      let s0 = if on then Obs.now t.obs else 0 in
-      let retries = ref 0 in
-      let spins = ref 0 in
-      while
-        incr retries;
-        stall t (Queue_full w_id) spins;
-        not (w.work_q.try_push chunk)
-      do
-        ()
-      done;
-      if on then begin
-        let d = Obs.span t.obs ~dom:0 Obs.Tag.Queue_full ~arg:w_id ~t0:s0 in
-        Obs.incr t.obs ~dom:0 Obs.C.queue_full_stalls;
-        Obs.add t.obs ~dom:0 Obs.C.queue_push_retries !retries;
-        Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
-        Obs.observe t.obs ~dom:0 Obs.H.stall_ns d
+    supervise t;
+    if is_dead w || Atomic.get t.kill then begin
+      (* The destination can no longer absorb work (dead partition, or a
+         hard deadline abort): drop with exact accounting rather than
+         block on a queue nobody will ever empty. *)
+      account_drop t ~events:(Chunk.length chunk);
+      Chunk.clear chunk
+    end
+    else begin
+      let on = Obs.enabled t.obs in
+      let f0 = if on then Obs.now t.obs else 0 in
+      (* Fault injection (chunk granularity, compiled to one match when
+         off): simulated corruption and back-pressure storms. *)
+      (match t.config.faults with
+      | Some f ->
+        if Fault.take_truncation f then Chunk.truncate chunk (Chunk.length chunk - 1);
+        let storm = Fault.take_queue_full f in
+        let spins = ref 0 in
+        for _ = 1 to storm do
+          stall t (Queue_full w_id) spins
+        done
+      | None -> ());
+      (match t.vsched with Some vs -> vs.on_chunk w_id | None -> ());
+      (* The occupancy must be read before the push: once the chunk is in
+         the queue the consumer may clear it concurrently. *)
+      let occupancy = Chunk.length chunk in
+      Atomic.incr w.pushed;
+      let delivered = ref (w.work_q.try_push chunk) in
+      let dropped = ref false in
+      if not !delivered then begin
+        (* Blocked on a full queue: the backpressure policy decides, per
+           queue-full event, between waiting and shedding.  One span for
+           the whole wait (never one event per spin — that would flood
+           the ring), with the retry count as a counter. *)
+        let s0 = if on then Obs.now t.obs else 0 in
+        let retries = ref 0 in
+        let spins = ref 0 in
+        let abandon () =
+          Atomic.decr w.pushed;
+          account_drop t ~events:occupancy;
+          Chunk.clear chunk;
+          dropped := true
+        in
+        let shed =
+          match t.config.backpressure with
+          | Config.Block | Config.Drop_oldest -> fun () -> false
+          | Config.Drop_new -> fun () -> true
+          | Config.Sample p -> fun () -> Rng.float t.bp_rng 1.0 < p
+        in
+        let oldest = t.config.backpressure = Config.Drop_oldest in
+        while (not !delivered) && not !dropped do
+          if shed () then abandon ()
+          else begin
+            supervise t;
+            if is_dead w || Atomic.get t.kill then abandon ()
+            else begin
+              if oldest then steal_oldest t w
+              else begin
+                incr retries;
+                stall t (Queue_full w_id) spins
+              end;
+              if w.work_q.try_push chunk then delivered := true
+            end
+          end
+        done;
+        if on then begin
+          let d = Obs.span t.obs ~dom:0 Obs.Tag.Queue_full ~arg:w_id ~t0:s0 in
+          Obs.incr t.obs ~dom:0 Obs.C.queue_full_stalls;
+          Obs.add t.obs ~dom:0 Obs.C.queue_push_retries !retries;
+          Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
+          Obs.observe t.obs ~dom:0 Obs.H.stall_ns d
+        end
+      end;
+      if !delivered then begin
+        t.open_chunks.(w_id) <- acquire_chunk t w;
+        t.chunks_pushed <- t.chunks_pushed + 1;
+        if on then begin
+          ignore (Obs.span t.obs ~dom:0 Obs.Tag.Flush ~arg:w_id ~t0:f0 : int);
+          Obs.incr t.obs ~dom:0 Obs.C.chunks_pushed;
+          Obs.add t.obs ~dom:0 Obs.C.chunk_events occupancy;
+          Obs.observe t.obs ~dom:0 Obs.H.chunk_occupancy occupancy
+        end
       end
-    end;
-    t.open_chunks.(w_id) <- acquire_chunk t w;
-    t.chunks_pushed <- t.chunks_pushed + 1;
-    if on then begin
-      ignore (Obs.span t.obs ~dom:0 Obs.Tag.Flush ~arg:w_id ~t0:f0 : int);
-      Obs.incr t.obs ~dom:0 Obs.C.chunks_pushed;
-      Obs.add t.obs ~dom:0 Obs.C.chunk_events occupancy;
-      Obs.observe t.obs ~dom:0 Obs.H.chunk_occupancy occupancy
+      (* On a drop the cleared chunk simply stays open for refilling. *)
     end
   end
 
@@ -336,38 +510,46 @@ let flush_chunk t w_id =
    several calls — making the modulo test skip intervals or fire twice
    at the same count. *)
 let maybe_redistribute t =
-  let interval = t.config.redistribution_interval in
-  let forced =
-    match t.config.faults with
-    | Some f -> Fault.take_forced_redistribution f
-    | None -> false
-  in
-  if forced || (interval > 0 && t.chunks_pushed - t.last_redistribution_check >= interval)
-  then begin
-    t.last_redistribution_check <- t.chunks_pushed;
-    let moves_needed =
-      if forced then Dispatch.force_rebalance t.dispatch else Dispatch.rebalance t.dispatch
+  if aborted t then ()
+    (* Redistribution is pointless (and migration unsafe without a full
+       drain) once the run is degraded; the salvage path skips it. *)
+  else begin
+    let interval = t.config.redistribution_interval in
+    let forced =
+      match t.config.faults with
+      | Some f -> Fault.take_forced_redistribution f
+      | None -> false
     in
-    match moves_needed with
-    | [] -> ()
-    | moves ->
-      let on = Obs.enabled t.obs in
-      let r0 = if on then Obs.now t.obs else 0 in
-      (* Accesses to a moved address may still sit in open chunks routed
-         under the old assignment: flush everything, let the old owners
-         consume it, and only then migrate signature state.  Without this
-         barrier the old owner would process in-flight accesses against a
-         signature whose slots were just migrated away. *)
-      Array.iteri (fun w_id _ -> flush_chunk t w_id) t.open_chunks;
-      drain t;
-      List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves;
-      if on then begin
-        let n = List.length moves in
-        ignore (Obs.span t.obs ~dom:0 Obs.Tag.Redistribute ~arg:n ~t0:r0 : int);
-        Obs.incr t.obs ~dom:0 Obs.C.redistributions;
-        Obs.add t.obs ~dom:0 Obs.C.migrated_addrs n;
-        Obs.observe t.obs ~dom:0 Obs.H.redistribute_moves n
-      end
+    if forced || (interval > 0 && t.chunks_pushed - t.last_redistribution_check >= interval)
+    then begin
+      t.last_redistribution_check <- t.chunks_pushed;
+      let moves_needed =
+        if forced then Dispatch.force_rebalance t.dispatch else Dispatch.rebalance t.dispatch
+      in
+      match moves_needed with
+      | [] -> ()
+      | moves ->
+        let on = Obs.enabled t.obs in
+        let r0 = if on then Obs.now t.obs else 0 in
+        (* Accesses to a moved address may still sit in open chunks routed
+           under the old assignment: flush everything, let the old owners
+           consume it, and only then migrate signature state.  Without this
+           barrier the old owner would process in-flight accesses against a
+           signature whose slots were just migrated away. *)
+        Array.iteri (fun w_id _ -> flush_chunk t w_id) t.open_chunks;
+        (* Migrate only after a complete drain: a partial drain (worker
+           death / deadline mid-barrier) leaves in-flight accesses that
+           must not cross a signature migration. *)
+        if drain t then
+          List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves;
+        if on then begin
+          let n = List.length moves in
+          ignore (Obs.span t.obs ~dom:0 Obs.Tag.Redistribute ~arg:n ~t0:r0 : int);
+          Obs.incr t.obs ~dom:0 Obs.C.redistributions;
+          Obs.add t.obs ~dom:0 Obs.C.migrated_addrs n;
+          Obs.observe t.obs ~dom:0 Obs.H.redistribute_moves n
+        end
+    end
   end
 
 let flush t w_id =
@@ -384,6 +566,14 @@ let route t ~addr ~op ~payload ~time =
 (* -- construction -------------------------------------------------------- *)
 
 let create ?account ?(virtual_mode = false) (config : Config.t) =
+  (match config.backpressure with
+  | Config.Drop_oldest when config.lock_free ->
+    invalid_arg
+      "Parallel_profiler.create: Drop_oldest backpressure requires lock-based queues \
+       (lock_free = false) — a producer cannot pop an SPSC ring"
+  | Config.Sample p when not (p >= 0.0 && p <= 1.0) ->
+    invalid_arg "Parallel_profiler.create: Sample backpressure probability must be in [0,1]"
+  | _ -> ());
   let nw = max 1 config.workers in
   let obs = match config.obs with Some o -> o | None -> Obs.disabled in
   let sig_account = Option.map (fun (a, _) -> (a, "signatures")) account in
@@ -408,6 +598,8 @@ let create ?account ?(virtual_mode = false) (config : Config.t) =
           deps;
           pushed = Atomic.make 0;
           processed = Atomic.make 0;
+          status = Atomic.make Alive;
+          faults = config.faults;
           events = 0;
           busy = 0.0;
           obs;
@@ -426,8 +618,14 @@ let create ?account ?(virtual_mode = false) (config : Config.t) =
     regions;
     global_deps;
     stop = Atomic.make false;
+    kill = Atomic.make false;
     virtual_mode;
     obs;
+    bp_rng = Rng.create config.seed;
+    deadline_at = (match config.deadline with Some d -> Clock.now () +. d | None -> infinity);
+    abort_reasons = [];
+    dropped_chunks = 0;
+    dropped_events = 0;
     vsched = None;
     domains = [||];
     chunks_pushed = 0;
@@ -445,10 +643,15 @@ let start t =
   (* Charge the fixed pools once: open chunks and queues. *)
   Array.iter (fun c -> charge t (Chunk.bytes c)) t.open_chunks;
   Array.iter (fun w -> charge t (w.work_q.q_bytes + w.recycle_q.q_bytes)) t.workers;
+  (* The deadline clock runs from here, not from create. *)
+  (match t.config.deadline with
+  | Some d -> t.deadline_at <- Clock.now () +. d
+  | None -> ());
   (* Virtual mode runs everything on the calling domain: workers advance
      only through worker_step, driven by the vsched callbacks. *)
   if not t.virtual_mode then
-    t.domains <- Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop w)) t.workers
+    t.domains <-
+      Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop t.kill w)) t.workers
 
 let hooks t =
   let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =
@@ -481,12 +684,49 @@ let hooks t =
 
 let finish t =
   Array.iteri (fun w_id _ -> flush t w_id) t.open_chunks;
-  drain t;
+  let _fully_drained = drain t in
   Atomic.set t.stop true;
   Array.iter Domain.join t.domains;
+  (* Domains have joined: worker status cells are final.  A crash on the
+     very last chunk is caught here even if no producer blocking point
+     observed it mid-run. *)
+  supervise t;
+  let faults =
+    Array.to_list t.workers
+    |> List.filter_map (fun w ->
+           match Atomic.get w.status with Alive -> None | Crashed f -> Some f)
+  in
+  let unprocessed =
+    Array.fold_left
+      (fun acc (w : worker) -> acc + max 0 (Atomic.get w.pushed - Atomic.get w.processed))
+      0 t.workers
+  in
+  let reasons =
+    t.abort_reasons
+    @
+    match Region.corruption t.regions with
+    | Some msg -> [ Health.Stream_corrupt msg ]
+    | None -> []
+  in
+  let health =
+    Health.degraded ~reasons ~faults
+      {
+        Health.dropped_chunks = t.dropped_chunks;
+        dropped_events = t.dropped_events;
+        dead_partitions = List.length faults;
+        unprocessed_chunks = unprocessed;
+      }
+  in
   let on = Obs.enabled t.obs in
+  if on && unprocessed > 0 then Obs.add t.obs ~dom:0 Obs.C.unprocessed_chunks unprocessed;
   let m0 = if on then Obs.now t.obs else 0 in
-  Array.iter (fun (w : worker) -> Dep_store.merge_into ~src:w.deps ~dst:t.global_deps) t.workers;
+  (* Salvage merge: every *surviving* worker's partition.  A crashed
+     worker's signature pair is suspect mid-chunk, so its partition is
+     counted lost rather than merged. *)
+  Array.iter
+    (fun (w : worker) ->
+      if not (is_dead w) then Dep_store.merge_into ~src:w.deps ~dst:t.global_deps)
+    t.workers;
   if on then begin
     let d = Obs.span t.obs ~dom:0 Obs.Tag.Merge ~arg:(Array.length t.workers) ~t0:m0 in
     Obs.add t.obs ~dom:0 Obs.C.merge_ns d;
@@ -526,6 +766,7 @@ let finish t =
   {
     deps = t.global_deps;
     regions = t.regions;
+    health;
     chunks = t.chunks_pushed;
     redistributions = Dispatch.redistributions t.dispatch;
     per_worker_events = Array.map (fun (w : worker) -> w.events) t.workers;

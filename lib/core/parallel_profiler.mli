@@ -2,7 +2,14 @@
     pipeline over OCaml 5 domains with per-worker lock-free SPSC chunk
     queues (or the lock-based variant), modulo address distribution,
     hot-address redistribution and end-of-run merge of thread-local
-    dependence maps. *)
+    dependence maps.
+
+    The pipeline is supervised: worker exceptions are contained in
+    per-worker status cells, a configurable deadline
+    ([Config.deadline]) aborts stuck runs, queue-full handling follows
+    [Config.backpressure], and {!finish} always returns — salvaging the
+    surviving workers' partitions and reporting any degradation as the
+    result's {!Health.t} with exact loss accounting. *)
 
 type t
 
@@ -22,8 +29,11 @@ type vsched = {
 }
 
 type result = {
-  deps : Dep_store.t;  (** merged global dependence map *)
+  deps : Dep_store.t;  (** merged global dependence map (survivors only) *)
   regions : Region.t;
+  health : Health.t;
+      (** [Complete], or [Partial] with abort reasons, per-worker crash
+          diagnostics and the exact loss summary *)
   chunks : int;
   redistributions : int;
   per_worker_events : int array;  (** feeds the makespan model *)
@@ -47,7 +57,8 @@ val set_vsched : t -> vsched -> unit
 
 val worker_step : t -> int -> bool
 (** Virtual mode: pop and process one chunk on the given worker.
-    [false] when its queue is empty. *)
+    [false] when its queue is empty, the worker declined (injected
+    stall), or the worker crashed (contained; see the result health). *)
 
 val queue_depth : t -> int -> int
 (** Chunks pushed to but not yet processed by the given worker. *)
@@ -60,7 +71,10 @@ val hooks : t -> Ddp_minir.Event.hooks
     between {!start} and {!finish}. *)
 
 val finish : t -> result
-(** Flush, stop workers, join domains, merge local dependence maps. *)
+(** Flush, stop workers, join domains, merge local dependence maps.
+    Never raises on degradation: crashes, deadline expiry and dropped
+    chunks are salvaged into a [Partial] result health (use
+    {!Health.strict} for fail-fast semantics). *)
 
 val profile :
   ?account:Ddp_util.Mem_account.t * string ->

@@ -16,6 +16,7 @@ type outcome = {
   engine : string;
   deps : Dep_store.t;
   regions : Region.t;
+  health : Health.t;
   symtab : Symtab.t;
   run_stats : Interp.stats;
   store_bytes : int;
@@ -35,7 +36,7 @@ let rec parallel_of = function
 let mt_delayed_of = function Engine.Mt { delayed; _ } -> delayed | _ -> 0
 
 let report ?show_threads outcome =
-  Report.render ?show_threads
+  Report.render ?show_threads ~health:outcome.health
     ~var_name:(Symtab.var_name outcome.symtab)
     ~deps:outcome.deps ~regions:outcome.regions ()
 
@@ -57,9 +58,11 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
     with e ->
       (* A failing source (e.g. a truncated trace file) must not leak the
          engine's resources — the parallel engine spawns domains in
-         [create], and only [finish] stops and joins them. *)
+         [create], and only [finish] stops and joins them.  The original
+         backtrace is preserved across the cleanup. *)
+      let bt = Printexc.get_raw_backtrace () in
       (try ignore (session.Engine.finish () : Engine.outcome) with _ -> ());
-      raise e
+      Printexc.raise_with_backtrace e bt
   in
   let eo = session.Engine.finish () in
   let elapsed = Ddp_util.Clock.now () -. t0 in
@@ -67,6 +70,7 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
     engine = mode;
     deps = eo.Engine.deps;
     regions = eo.Engine.regions;
+    health = eo.Engine.health;
     symtab = sr.Source.symtab;
     run_stats = sr.Source.stats;
     store_bytes = eo.Engine.store_bytes;

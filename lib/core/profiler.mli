@@ -11,6 +11,9 @@ type outcome = {
   engine : string;  (** mode name the run used *)
   deps : Dep_store.t;
   regions : Region.t;
+  health : Health.t;
+      (** [Complete], or [Partial] with loss accounting; engines salvage
+          instead of raising (use {!Health.strict} to fail fast) *)
   symtab : Ddp_minir.Symtab.t;
   run_stats : Ddp_minir.Interp.stats;
       (** synthesized from the events when the source is a trace *)

@@ -27,9 +27,23 @@ type active = {
 type t = {
   registry : (Loc.t, info) Hashtbl.t;
   stacks : (int, active list ref) Hashtbl.t;  (* thread -> innermost-first *)
+  (* Unmatched iteration/exit events mark the stream corrupt instead of
+     aborting the run: the anomalous event is dropped (or the stack
+     unwound to the nearest matching frame), counted here, and the run
+     finishes with a partial-health verdict carrying [first_anomaly]. *)
+  mutable anomalies : int;
+  mutable first_anomaly : string option;
 }
 
-let create () = { registry = Hashtbl.create 64; stacks = Hashtbl.create 8 }
+let create () =
+  { registry = Hashtbl.create 64; stacks = Hashtbl.create 8; anomalies = 0; first_anomaly = None }
+
+let note_anomaly t msg =
+  t.anomalies <- t.anomalies + 1;
+  if t.first_anomaly = None then t.first_anomaly <- Some msg
+
+let anomalies t = t.anomalies
+let corruption t = t.first_anomaly
 
 let stack t thread =
   match Hashtbl.find_opt t.stacks thread with
@@ -48,12 +62,30 @@ let on_iter t ~loc ~thread ~time =
   | a :: _ when a.a_loc = loc ->
     a.cur_iter_time <- time;
     a.iters_seen <- a.iters_seen + 1
-  | _ -> invalid_arg "Region.on_iter: iteration event without matching active region"
+  | _ ->
+    (* Stray iteration: ignore it — timestamps of the (absent or
+       mismatched) region are unaffected, only the stream is flagged. *)
+    note_anomaly t
+      (Printf.sprintf "iteration event for %s on thread %d without matching active region"
+         (Loc.to_string loc) thread)
 
 let on_exit t ~loc ~end_loc ~iterations ~thread =
-  (match !(stack t thread) with
-  | a :: rest when a.a_loc = loc -> (stack t thread) := rest
-  | _ -> invalid_arg "Region.on_exit: exit event without matching active region");
+  let s = stack t thread in
+  (match !s with
+  | a :: rest when a.a_loc = loc -> s := rest
+  | frames ->
+    (* Mismatched exit.  If the frame exists deeper in the stack (some
+       inner enter/exit pairs were lost), unwind through it so later
+       well-formed events keep matching; otherwise drop the event. *)
+    note_anomaly t
+      (Printf.sprintf "exit event for %s on thread %d without matching active region"
+         (Loc.to_string loc) thread);
+    let rec unwind = function
+      | [] -> None
+      | a :: rest when a.a_loc = loc -> Some rest
+      | _ :: rest -> unwind rest
+    in
+    (match unwind frames with Some rest -> s := rest | None -> ()));
   match Hashtbl.find_opt t.registry loc with
   | Some info ->
     info.entries <- info.entries + 1;

@@ -21,8 +21,21 @@ type t
 
 val create : unit -> t
 val on_enter : t -> loc:Loc.t -> thread:int -> time:int -> unit
+
 val on_iter : t -> loc:Loc.t -> thread:int -> time:int -> unit
+(** An iteration event with no matching active region is dropped and
+    counted as an anomaly (see {!corruption}) instead of raising. *)
+
 val on_exit : t -> loc:Loc.t -> end_loc:Loc.t -> iterations:int -> thread:int -> unit
+(** A mismatched exit unwinds to the nearest matching frame (or drops
+    the event) and counts an anomaly instead of raising. *)
+
+val anomalies : t -> int
+(** Unmatched iteration/exit events absorbed so far. *)
+
+val corruption : t -> string option
+(** [Some msg] (the first anomaly) when the region stream was corrupt;
+    engines fold this into the run's partial-health verdict. *)
 
 val active_stack : t -> thread:int -> active list
 (** Innermost first. *)

@@ -29,8 +29,24 @@ let deps_per_line = 4
 let sink_to_string ~show_threads (loc, thread) =
   if show_threads then Printf.sprintf "%s|%d" (Loc.to_string loc) thread else Loc.to_string loc
 
-let render ?(show_threads = false) ~var_name ~(deps : Dep_store.t) ~(regions : Region.t) () =
+let render ?(show_threads = false) ?(health = Health.Complete) ~var_name ~(deps : Dep_store.t)
+    ~(regions : Region.t) () =
   let buf = Buffer.create 4096 in
+  (* A degraded run leads with a banner so the report can never be
+     mistaken for a complete dependence set. *)
+  (match health with
+  | Health.Complete -> ()
+  | Health.Partial d ->
+    Buffer.add_string buf "# PARTIAL RESULT — dependence set is a subset of the truth\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string buf (Printf.sprintf "# reason: %s\n" (Health.reason_to_string r)))
+      d.Health.reasons;
+    List.iter
+      (fun (f : Health.worker_fault) ->
+        Buffer.add_string buf (Printf.sprintf "# worker %d crashed: %s\n" f.worker f.exn_text))
+      d.Health.faults;
+    Buffer.add_string buf (Printf.sprintf "# loss: %s\n" (Health.loss_to_string d.Health.loss)));
   (* Group dependences by sink. *)
   let groups =
     Dep_store.fold deps

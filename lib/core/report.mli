@@ -2,11 +2,14 @@
 
 val render :
   ?show_threads:bool ->
+  ?health:Health.t ->
   var_name:(int -> string) ->
   deps:Dep_store.t ->
   regions:Region.t ->
   unit ->
   string
+(** [health] (default [Complete]) prepends a [# PARTIAL RESULT] banner
+    with reasons and loss accounting when the run was degraded. *)
 
 val kind_counts : Dep_store.t -> int * int * int * int * int
 (** (RAW, WAR, WAW, INIT, race-flagged) distinct dependence counts. *)

@@ -55,31 +55,43 @@ let write_symtab oc (symtab : Symtab.t) =
 
 (* Streaming recording handle: lets a caller tee an arbitrary event
    stream (live run or replay) into a trace file while it also feeds a
-   profiler, then seal the file with the run's symbol table. *)
+   profiler, then seal the file with the run's symbol table.
+
+   Crash-safe: events stream into [path ^ ".tmp"], and only a successful
+   [finish_recording] renames it into place (atomic on POSIX).  An
+   interrupted or aborted recording therefore never leaves a truncated
+   file at [path] for a later [load] to reject — at worst it leaves a
+   [.tmp] that the next recording overwrites. *)
 type recording = {
   oc : out_channel;
+  path : string;
+  tmp_path : string;
   rec_hooks : Event.hooks;
   mutable closed : bool;
 }
 
 let start_recording ~path =
-  let oc = open_out path in
+  let tmp_path = path ^ ".tmp" in
+  let oc = open_out tmp_path in
   output_string oc magic;
   output_char oc '\n';
-  { oc; rec_hooks = recorder oc; closed = false }
+  { oc; path; tmp_path; rec_hooks = recorder oc; closed = false }
 
 let recording_hooks r = r.rec_hooks
 
 let abort_recording r =
   if not r.closed then begin
     r.closed <- true;
-    close_out r.oc
+    close_out r.oc;
+    try Sys.remove r.tmp_path with Sys_error _ -> ()
   end
 
 let finish_recording r symtab =
   if r.closed then invalid_arg "Trace_file.finish_recording: already closed";
   write_symtab r.oc symtab;
-  abort_recording r
+  r.closed <- true;
+  close_out r.oc;
+  Sys.rename r.tmp_path r.path
 
 (* Record a program run to [path]; returns the run's stats. *)
 let record ?sched_seed ?input_seed ~path prog =
@@ -91,8 +103,9 @@ let record ?sched_seed ?input_seed ~path prog =
      in
      ()
    with e ->
+     let bt = Printexc.get_raw_backtrace () in
      abort_recording r;
-     raise e);
+     Printexc.raise_with_backtrace e bt);
   finish_recording r symtab
 
 (* -- loading --------------------------------------------------------------- *)
@@ -171,8 +184,9 @@ let load ~path =
        done
      with End_of_file -> ()
    with e ->
+     let bt = Printexc.get_raw_backtrace () in
      close_in ic;
-     raise e);
+     Printexc.raise_with_backtrace e bt);
   close_in ic;
   let insert intern pending =
     List.sort compare !pending

@@ -13,13 +13,18 @@ type recording
     stream, then seal with {!finish_recording}. *)
 
 val start_recording : path:string -> recording
+(** Opens [path ^ ".tmp"]; the trace appears at [path] only on a
+    successful {!finish_recording} (atomic rename), so interrupted runs
+    never leave truncated traces behind. *)
+
 val recording_hooks : recording -> Event.hooks
 
 val finish_recording : recording -> Symtab.t -> unit
-(** Append the symbol table and close the file. *)
+(** Append the symbol table, close, and atomically rename into place. *)
 
 val abort_recording : recording -> unit
-(** Close without the symbol table (error paths); idempotent. *)
+(** Close and delete the temp file without publishing (error paths);
+    idempotent. *)
 
 val record : ?sched_seed:int -> ?input_seed:int -> path:string -> Ast.program -> unit
 (** Run the program and record its full trace (with symbol table) to

@@ -29,8 +29,9 @@ module Tag = struct
     | Redistribute  (* hot-address redistribution; arg = migrated addresses *)
     | Merge  (* end-of-run merge of worker dependence maps; arg = workers *)
     | Run  (* whole instrumented run; arg = 0 *)
+    | Abort  (* supervisor aborted the run; arg = reason code *)
 
-  let all = [| Flush; Process; Queue_full; Drain_wait; Drain; Redistribute; Merge; Run |]
+  let all = [| Flush; Process; Queue_full; Drain_wait; Drain; Redistribute; Merge; Run; Abort |]
 
   let to_int = function
     | Flush -> 0
@@ -41,6 +42,7 @@ module Tag = struct
     | Redistribute -> 5
     | Merge -> 6
     | Run -> 7
+    | Abort -> 8
 
   let of_int i = all.(i)
 
@@ -53,6 +55,7 @@ module Tag = struct
     | Redistribute -> "redistribute"
     | Merge -> "merge"
     | Run -> "run"
+    | Abort -> "abort"
 end
 
 (* -- metric registry ------------------------------------------------------ *)
@@ -91,6 +94,12 @@ module C = struct
   let bytes_dispatch = 26
   let dispatch_overrides = 27
   let dispatch_stats_entries = 28
+  (* Supervision / graceful degradation (ISSUE 4). *)
+  let bp_dropped_chunks = 29
+  let bp_dropped_events = 30
+  let worker_crashes = 31
+  let unprocessed_chunks = 32
+  let aborts = 33
 
   let names =
     [|
@@ -123,6 +132,11 @@ module C = struct
       "bytes_dispatch";
       "dispatch_overrides";
       "dispatch_stats_entries";
+      "bp_dropped_chunks";
+      "bp_dropped_events";
+      "worker_crashes";
+      "unprocessed_chunks";
+      "aborts";
     |]
 
   let n = Array.length names

@@ -18,6 +18,7 @@ module Tag : sig
     | Redistribute  (** hot-address redistribution; arg = migrated addresses *)
     | Merge  (** end-of-run merge of worker dependence maps *)
     | Run  (** whole instrumented run *)
+    | Abort  (** supervisor aborted the run; arg = reason code *)
 
   val to_int : t -> int
   val of_int : int -> t
@@ -55,6 +56,11 @@ module C : sig
   val bytes_dispatch : int
   val dispatch_overrides : int
   val dispatch_stats_entries : int
+  val bp_dropped_chunks : int
+  val bp_dropped_events : int
+  val worker_crashes : int
+  val unprocessed_chunks : int
+  val aborts : int
   val names : string array
   val n : int
 end

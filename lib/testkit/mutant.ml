@@ -61,6 +61,21 @@ let reverse_waw =
       | Dep.WAW when d.Dep.src <> 0 -> { d with Dep.sink = d.Dep.src; src = d.Dep.sink }
       | _ -> d)
 
+(* Crash-fault mutant: the virtual-scheduled parallel pipeline with
+   worker 0 killed by an injected crash on its first chunk.  The
+   supervisor must contain the death (no hang) and the salvage merge
+   then misses that partition — a dependence subset the differential
+   harness is expected to flag as beyond the signature model.  The fault
+   budget is created per session, so every program of a sweep crashes
+   afresh. *)
+let crashed =
+  Engine.make ~name:"mutant-crash" ~exact:false
+    ~description:"vpar pipeline losing worker 0 to an injected crash (testkit mutant)"
+    (fun ?account (config : Ddp_core.Config.t) ->
+      let faults = Ddp_core.Fault.create ~crashes:1 ~crash_mask:1 () in
+      let config = { config with Ddp_core.Config.workers = 3; faults = Some faults } in
+      Vsched.engine.Engine.create ?account config)
+
 let all () =
   Ddp_baselines.Baseline_engines.register ();
   let base = Engine.get "shadow" in
@@ -71,6 +86,7 @@ let all () =
       ~description:"exact engine dropping every other RAW (testkit mutant)";
     wrap ~name:"mutant-revwaw" ~f:reverse_waw base
       ~description:"exact engine reversing WAW direction (testkit mutant)";
+    crashed;
   ]
 
 (* Register every mutant (idempotent).  Returns their names. *)

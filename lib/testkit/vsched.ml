@@ -121,6 +121,7 @@ let engine =
             {
               Engine.deps = r.PP.deps;
               regions = r.PP.regions;
+              health = r.PP.health;
               store_bytes = r.PP.signature_bytes;
               extra = Ddp_core.Engines.Parallel_result r;
             });

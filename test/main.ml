@@ -20,6 +20,7 @@ let () =
       ("queues", Test_queues.suite);
       ("dispatch", Test_dispatch.suite);
       ("parallel", Test_parallel.suite);
+      ("supervision", Test_supervision.suite);
       ("mt", Test_mt.suite);
       ("accuracy", Test_accuracy.suite);
       ("report", Test_report.suite);

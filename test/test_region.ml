@@ -57,14 +57,44 @@ let test_carrying_regions () =
   Alcotest.(check int) "pre-loop source does not carry" 0
     (List.length (Region.carrying_regions r ~thread:0 ~src_time:5))
 
-let test_mismatched_events_rejected () =
+let test_mismatched_events_recovered () =
+  (* Unmatched iteration/exit events are absorbed (dropped or unwound)
+     and counted as anomalies rather than raising — a corrupt region
+     stream degrades the run to a partial result instead of killing it. *)
   let r = Region.create () in
-  Alcotest.check_raises "iter without enter"
-    (Invalid_argument "Region.on_iter: iteration event without matching active region")
-    (fun () -> Region.on_iter r ~loc:(loc 1) ~thread:0 ~time:0);
-  Alcotest.check_raises "exit without enter"
-    (Invalid_argument "Region.on_exit: exit event without matching active region")
-    (fun () -> Region.on_exit r ~loc:(loc 1) ~end_loc:(loc 2) ~iterations:0 ~thread:0)
+  Alcotest.(check int) "clean stream has no anomalies" 0 (Region.anomalies r);
+  Alcotest.(check (option string)) "clean stream not corrupt" None (Region.corruption r);
+  Region.on_iter r ~loc:(loc 1) ~thread:0 ~time:0;
+  Alcotest.(check int) "iter without enter counted" 1 (Region.anomalies r);
+  Region.on_exit r ~loc:(loc 1) ~end_loc:(loc 2) ~iterations:0 ~thread:0;
+  Alcotest.(check int) "exit without enter counted" 2 (Region.anomalies r);
+  Alcotest.(check bool) "corruption flagged" true (Region.corruption r <> None);
+  (* The exit's self-contained registry data is still salvaged even
+     though the stack event was dropped. *)
+  (match Region.find r (loc 1) with
+  | Some info -> Alcotest.(check int) "salvaged end loc" (loc 2) info.Region.end_loc
+  | None -> Alcotest.fail "exit registry data lost")
+
+let test_mismatched_exit_unwinds () =
+  (* An exit naming an outer region unwinds through the inner frame: the
+     stack recovers to the state an honest stream would have left. *)
+  let r = Region.create () in
+  Region.on_enter r ~loc:(loc 1) ~thread:0 ~time:0;
+  Region.on_enter r ~loc:(loc 2) ~thread:0 ~time:1;
+  (* inner exit (loc 2) lost; exit for the outer region arrives first *)
+  Region.on_exit r ~loc:(loc 1) ~end_loc:(loc 9) ~iterations:1 ~thread:0;
+  Alcotest.(check int) "one anomaly for the skipped frame" 1 (Region.anomalies r);
+  Alcotest.(check int) "stack fully unwound" 0 (List.length (Region.active_stack r ~thread:0));
+  (* The matching frame's exit was still applied to the registry. *)
+  (match Region.find r (loc 1) with
+  | Some info -> Alcotest.(check int) "outer exit registered" (loc 9) info.Region.end_loc
+  | None -> Alcotest.fail "outer region lost during unwind");
+  (* An exit with no matching frame anywhere is dropped entirely. *)
+  Region.on_enter r ~loc:(loc 3) ~thread:0 ~time:5;
+  Region.on_exit r ~loc:(loc 4) ~end_loc:(loc 8) ~iterations:0 ~thread:0;
+  Alcotest.(check int) "unmatched exit counted" 2 (Region.anomalies r);
+  Alcotest.(check int) "stack untouched by dropped exit" 1
+    (List.length (Region.active_stack r ~thread:0))
 
 let test_sorted_list () =
   let r = Region.create () in
@@ -81,6 +111,7 @@ let suite =
     Alcotest.test_case "nested stack" `Quick test_nested_stack;
     Alcotest.test_case "per-thread stacks" `Quick test_per_thread_stacks;
     Alcotest.test_case "carrying regions" `Quick test_carrying_regions;
-    Alcotest.test_case "mismatched events rejected" `Quick test_mismatched_events_rejected;
+    Alcotest.test_case "mismatched events recovered" `Quick test_mismatched_events_recovered;
+    Alcotest.test_case "mismatched exit unwinds" `Quick test_mismatched_exit_unwinds;
     Alcotest.test_case "sorted list" `Quick test_sorted_list;
   ]

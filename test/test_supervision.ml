@@ -1,0 +1,301 @@
+(* Tests for pipeline supervision: worker crash containment, run
+   deadlines, lossy backpressure policies and partial-result salvage.
+
+   The acceptance bar: a fault-injected crash and a deadline expiry each
+   end cleanly in bounded wall-clock with a [Partial]-marked result whose
+   loss accounting (dropped chunks + dead partitions) matches the Obs
+   counters exactly; with [Block] backpressure and no faults nothing
+   changes. *)
+
+module Config = Ddp_core.Config
+module Dep_store = Ddp_core.Dep_store
+module Fault = Ddp_core.Fault
+module Health = Ddp_core.Health
+module PP = Ddp_core.Parallel_profiler
+module Obs = Ddp_obs.Obs
+
+let small_cfg =
+  {
+    Config.default with
+    slots = 1 lsl 16;
+    workers = 4;
+    chunk_size = 8;
+    queue_capacity = 4;
+    redistribution_interval = 0;
+    stats_sample = 1;
+  }
+
+let mk_trace ops =
+  List.mapi
+    (fun i (is_write, addr, line) ->
+      let loc = Ddp_minir.Loc.make ~file:1 ~line in
+      if is_write then
+        Ddp_minir.Event.Write { addr; loc; var = 0; thread = 0; time = i; locked = false }
+      else Ddp_minir.Event.Read { addr; loc; var = 0; thread = 0; time = i; locked = false })
+    ops
+
+(* A spread of addresses so every worker owns a share. *)
+let spread_trace n = mk_trace (List.init n (fun i -> (i mod 3 = 0, i mod 16, 1 + (i mod 7))))
+
+let degradation = function
+  | Health.Complete -> Alcotest.fail "expected a partial result, got Complete"
+  | Health.Partial d -> d
+
+(* Loss accounting must mirror the telemetry counters exactly. *)
+let check_loss_matches_obs (d : Health.degradation) obs =
+  let snap = Obs.snapshot obs in
+  let c id = Obs.counter snap id in
+  Alcotest.(check int) "dropped chunks == obs" (c Obs.C.bp_dropped_chunks) d.loss.dropped_chunks;
+  Alcotest.(check int) "dropped events == obs" (c Obs.C.bp_dropped_events) d.loss.dropped_events;
+  Alcotest.(check int) "dead partitions == obs" (c Obs.C.worker_crashes) d.loss.dead_partitions;
+  Alcotest.(check int) "unprocessed == obs" (c Obs.C.unprocessed_chunks)
+    d.loss.unprocessed_chunks
+
+let run_real ~config trace =
+  let t = PP.create config in
+  PP.start t;
+  Ddp_minir.Event.replay (PP.hooks t) trace;
+  PP.finish t
+
+(* Virtual pipeline: single-domain, deterministic.  Workers advance only
+   when the producer blocks (queue-full or drain). *)
+let run_virtual ~config trace =
+  let t = PP.create ~virtual_mode:true config in
+  PP.set_vsched t
+    {
+      PP.on_chunk = (fun _ -> ());
+      on_stall = (fun (PP.Queue_full w | PP.Drain_wait w) -> ignore (PP.worker_step t w : bool));
+    };
+  PP.start t;
+  Ddp_minir.Event.replay (PP.hooks t) trace;
+  PP.finish t
+
+(* -- worker crash containment (real domains) ------------------------------ *)
+
+let test_crash_contained_real () =
+  let t0 = Ddp_util.Clock.now () in
+  let obs = Obs.create ~domains:(small_cfg.Config.workers + 1) () in
+  let config =
+    {
+      small_cfg with
+      Config.faults = Some (Fault.create ~crashes:1 ~crash_mask:1 ());
+      obs = Some obs;
+    }
+  in
+  let result = run_real ~config (spread_trace 4000) in
+  let elapsed = Ddp_util.Clock.now () -. t0 in
+  Alcotest.(check bool) "bounded wall-clock" true (elapsed < 60.0);
+  let d = degradation result.PP.health in
+  Alcotest.(check bool) "worker-crash reason" true (List.mem Health.Worker_crash d.reasons);
+  Alcotest.(check int) "one dead partition" 1 d.loss.dead_partitions;
+  (match d.faults with
+  | [ f ] ->
+    Alcotest.(check int) "worker 0 died" 0 f.Health.worker;
+    Alcotest.(check bool) "exception captured" true
+      (f.Health.exn_text <> "" && String.length f.Health.exn_text > 0)
+  | l -> Alcotest.failf "expected 1 fault, got %d" (List.length l));
+  check_loss_matches_obs d obs;
+  (* Survivors kept working: the salvage merge holds their partitions. *)
+  let survivors =
+    Array.to_list result.PP.per_worker_events
+    |> List.filteri (fun i e -> i > 0 && e > 0)
+    |> List.length
+  in
+  Alcotest.(check int) "survivors processed their share" 3 survivors;
+  Alcotest.(check bool) "salvaged dependences" true (Dep_store.distinct result.PP.deps > 0)
+
+(* -- deadline expiry (real domains) --------------------------------------- *)
+
+let test_deadline_expiry_real () =
+  let t0 = Ddp_util.Clock.now () in
+  let obs = Obs.create ~domains:(small_cfg.Config.workers + 1) () in
+  let config = { small_cfg with Config.deadline = Some 0.0; obs = Some obs } in
+  let result = run_real ~config (spread_trace 4000) in
+  let elapsed = Ddp_util.Clock.now () -. t0 in
+  Alcotest.(check bool) "bounded wall-clock" true (elapsed < 60.0);
+  let d = degradation result.PP.health in
+  Alcotest.(check bool) "deadline reason" true
+    (List.exists (function Health.Deadline _ -> true | _ -> false) d.reasons);
+  Alcotest.(check bool) "chunks were shed" true (d.loss.dropped_chunks > 0);
+  check_loss_matches_obs d obs
+
+(* -- crash containment in the virtual pipeline ---------------------------- *)
+
+let test_crash_contained_virtual () =
+  let obs = Obs.create ~domains:(small_cfg.Config.workers + 1) () in
+  let config =
+    {
+      small_cfg with
+      Config.faults = Some (Fault.create ~crashes:1 ~crash_mask:1 ());
+      obs = Some obs;
+    }
+  in
+  (* One source line per address: dependences on worker 0's addresses
+     have keys no other partition produces, so losing that partition must
+     shrink the distinct-dependence set. *)
+  let trace = mk_trace (List.init 2000 (fun i -> (i mod 2 = 0, i mod 16, 1 + (i mod 16)))) in
+  let crashed = run_virtual ~config trace in
+  let d = degradation crashed.PP.health in
+  Alcotest.(check int) "one dead partition" 1 d.loss.dead_partitions;
+  check_loss_matches_obs d obs;
+  (* The salvaged dependence set is a subset of the healthy run's. *)
+  let healthy = run_virtual ~config:small_cfg trace in
+  Alcotest.(check bool) "healthy run complete" false (Health.is_partial healthy.PP.health);
+  Alcotest.(check bool) "salvage is a subset" true
+    (Dep_store.Key_set.subset (Dep_store.key_set crashed.PP.deps)
+       (Dep_store.key_set healthy.PP.deps));
+  Alcotest.(check bool) "salvage is a strict subset" true
+    (Dep_store.distinct crashed.PP.deps < Dep_store.distinct healthy.PP.deps)
+
+(* -- backpressure policies ------------------------------------------------- *)
+
+(* A virtual scheduler that refuses to advance workers at queue-full:
+   queues actually fill, so lossy policies must shed. *)
+let run_virtual_congested ~config trace =
+  let t = PP.create ~virtual_mode:true config in
+  PP.set_vsched t
+    {
+      PP.on_chunk = (fun _ -> ());
+      on_stall =
+        (function
+        | PP.Queue_full _ -> ()
+        | PP.Drain_wait w -> ignore (PP.worker_step t w : bool));
+    };
+  PP.start t;
+  Ddp_minir.Event.replay (PP.hooks t) trace;
+  PP.finish t
+
+let congested_cfg = { small_cfg with Config.workers = 2; queue_capacity = 2; chunk_size = 4 }
+
+let events_conserved ~total (result : PP.result) (d : Health.degradation) =
+  let processed = Array.fold_left ( + ) 0 result.PP.per_worker_events in
+  Alcotest.(check int) "processed + dropped == total" total (processed + d.loss.dropped_events)
+
+let test_drop_new_exact_accounting () =
+  let obs = Obs.create ~domains:3 () in
+  let config = { congested_cfg with Config.backpressure = Config.Drop_new; obs = Some obs } in
+  let n = 1000 in
+  let result = run_virtual_congested ~config (spread_trace n) in
+  let d = degradation result.PP.health in
+  Alcotest.(check bool) "chunks dropped" true (d.loss.dropped_chunks > 0);
+  Alcotest.(check int) "no dead partitions" 0 d.loss.dead_partitions;
+  check_loss_matches_obs d obs;
+  events_conserved ~total:n result d
+
+let test_drop_oldest_exact_accounting () =
+  let obs = Obs.create ~domains:3 () in
+  let config =
+    {
+      congested_cfg with
+      Config.backpressure = Config.Drop_oldest;
+      lock_free = false;
+      obs = Some obs;
+    }
+  in
+  let n = 1000 in
+  let result = run_virtual_congested ~config (spread_trace n) in
+  let d = degradation result.PP.health in
+  Alcotest.(check bool) "chunks dropped" true (d.loss.dropped_chunks > 0);
+  check_loss_matches_obs d obs;
+  events_conserved ~total:n result d
+
+let test_drop_oldest_requires_lock_based () =
+  let config = { small_cfg with Config.backpressure = Config.Drop_oldest; lock_free = true } in
+  match PP.create config with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Drop_oldest over SPSC rings accepted"
+
+let test_sample_one_sheds () =
+  let obs = Obs.create ~domains:3 () in
+  let config = { congested_cfg with Config.backpressure = Config.Sample 1.0; obs = Some obs } in
+  let n = 1000 in
+  let result = run_virtual_congested ~config (spread_trace n) in
+  let d = degradation result.PP.health in
+  Alcotest.(check bool) "chunks dropped" true (d.loss.dropped_chunks > 0);
+  check_loss_matches_obs d obs;
+  events_conserved ~total:n result d
+
+let test_sample_probability_validated () =
+  let config = { small_cfg with Config.backpressure = Config.Sample 1.5 } in
+  match PP.create config with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range sample probability accepted"
+
+(* Zero shed probability is indistinguishable from Block: same result,
+   complete health — the engines-equivalent-when-nothing-dropped bar. *)
+let test_sample_zero_is_block () =
+  let trace = spread_trace 1500 in
+  let block = run_virtual ~config:small_cfg trace in
+  let sampled =
+    run_virtual ~config:{ small_cfg with Config.backpressure = Config.Sample 0.0 } trace
+  in
+  Alcotest.(check bool) "block complete" false (Health.is_partial block.PP.health);
+  Alcotest.(check bool) "sample 0.0 complete" false (Health.is_partial sampled.PP.health);
+  Alcotest.(check bool) "identical dependences" true
+    (Dep_store.Key_set.equal (Dep_store.key_set block.PP.deps)
+       (Dep_store.key_set sampled.PP.deps))
+
+(* -- health plumbing through the façade ------------------------------------ *)
+
+let test_partial_report_via_profiler () =
+  let faults = Fault.create ~crashes:1 ~crash_mask:1 () in
+  let config = { small_cfg with Config.faults = Some faults } in
+  let prog =
+    Ddp_minir.Builder.(
+      program ~name:"sup"
+        [
+          arr "a" (i 64);
+          for_ "i" (i 0) (i 64) (fun iv -> [ store "a" iv iv ]);
+          for_ "j" (i 0) (i 64) (fun jv -> [ local "x" (idx "a" jv) ]);
+        ])
+  in
+  let outcome = Ddp_core.Profiler.profile ~mode:"parallel" ~config prog in
+  Alcotest.(check bool) "outcome marked partial" true (Health.is_partial outcome.health);
+  let report = Ddp_core.Profiler.report outcome in
+  Alcotest.(check bool) "report flags partial" true
+    (String.length report >= 16 && String.sub report 0 16 = "# PARTIAL RESULT");
+  match Health.strict outcome.health with
+  | exception Health.Run_error _ -> ()
+  | () -> Alcotest.fail "strict accepted a partial result"
+
+let test_corrupt_region_stream_partial () =
+  (* A stray region event degrades even the serial engine to partial. *)
+  let loc = Ddp_minir.Loc.make ~file:1 ~line:3 in
+  let events =
+    [
+      Ddp_minir.Event.Write { addr = 1; loc; var = 0; thread = 0; time = 0; locked = false };
+      Ddp_minir.Event.Region_iter { loc; thread = 0; time = 1 };
+      Ddp_minir.Event.Read { addr = 1; loc; var = 0; thread = 0; time = 2; locked = false };
+    ]
+  in
+  let outcome = Ddp_core.Profiler.run ~mode:"serial" (Ddp_core.Source.of_events events) in
+  let d = degradation outcome.health in
+  Alcotest.(check bool) "stream-corrupt reason" true
+    (List.exists (function Health.Stream_corrupt _ -> true | _ -> false) d.reasons);
+  (* The access stream itself was still profiled. *)
+  Alcotest.(check bool) "dependences still found" true (Dep_store.distinct outcome.deps > 0)
+
+let test_block_no_faults_stays_complete () =
+  let result = run_real ~config:small_cfg (spread_trace 3000) in
+  Alcotest.(check bool) "complete" false (Health.is_partial result.PP.health);
+  (match result.PP.health with
+  | Health.Complete -> ()
+  | Health.Partial _ -> Alcotest.fail "unexpected degradation");
+  Alcotest.(check int) "all events processed" 3000
+    (Array.fold_left ( + ) 0 result.PP.per_worker_events)
+
+let suite =
+  [
+    Alcotest.test_case "crash contained (domains)" `Quick test_crash_contained_real;
+    Alcotest.test_case "deadline expiry (domains)" `Quick test_deadline_expiry_real;
+    Alcotest.test_case "crash contained (virtual)" `Quick test_crash_contained_virtual;
+    Alcotest.test_case "drop-new exact accounting" `Quick test_drop_new_exact_accounting;
+    Alcotest.test_case "drop-oldest exact accounting" `Quick test_drop_oldest_exact_accounting;
+    Alcotest.test_case "drop-oldest requires lock-based" `Quick test_drop_oldest_requires_lock_based;
+    Alcotest.test_case "sample 1.0 sheds" `Quick test_sample_one_sheds;
+    Alcotest.test_case "sample probability validated" `Quick test_sample_probability_validated;
+    Alcotest.test_case "sample 0.0 == block" `Quick test_sample_zero_is_block;
+    Alcotest.test_case "partial report via profiler" `Quick test_partial_report_via_profiler;
+    Alcotest.test_case "corrupt region stream partial" `Quick test_corrupt_region_stream_partial;
+    Alcotest.test_case "block + no faults complete" `Quick test_block_no_faults_stays_complete;
+  ]

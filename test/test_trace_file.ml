@@ -129,13 +129,37 @@ let test_truncated_replay_all_engines () =
 
 let test_abort_recording_idempotent () =
   let path = tmp "abort.trace" in
+  if Sys.file_exists path then Sys.remove path;
   let r = TF.start_recording ~path in
+  Alcotest.(check bool) "tmp file opened" true (Sys.file_exists (path ^ ".tmp"));
   TF.abort_recording r;
   TF.abort_recording r;
   (* closing twice is fine; finishing after closing is a caller bug *)
   (match TF.finish_recording r (Ddp_minir.Symtab.create ()) with
   | exception Invalid_argument _ -> ()
   | () -> Alcotest.fail "finish after abort accepted");
+  (* an aborted recording publishes nothing and cleans up its temp file *)
+  Alcotest.(check bool) "nothing published" false (Sys.file_exists path);
+  Alcotest.(check bool) "temp file removed" false (Sys.file_exists (path ^ ".tmp"))
+
+let test_recording_published_atomically () =
+  (* The trace appears at [path] only on a successful finish: while the
+     recording is in flight the data lives in [path ^ ".tmp"], so a crash
+     mid-run never leaves a truncated file for a later load to reject. *)
+  let path = tmp "atomic.trace" in
+  if Sys.file_exists path then Sys.remove path;
+  let r = TF.start_recording ~path in
+  let symtab = Ddp_minir.Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks:(TF.recording_hooks r) ~symtab (sample_prog ())
+  in
+  Alcotest.(check bool) "not visible before finish" false (Sys.file_exists path);
+  TF.finish_recording r symtab;
+  Alcotest.(check bool) "visible after finish" true (Sys.file_exists path);
+  Alcotest.(check bool) "temp file renamed away" false (Sys.file_exists (path ^ ".tmp"));
+  let live, _ = Ddp_minir.Interp.trace (sample_prog ()) in
+  let loaded, _ = TF.load ~path in
+  Alcotest.(check bool) "published trace replays" true (live = loaded);
   Sys.remove path
 
 let test_escaped_names () =
@@ -162,5 +186,7 @@ let suite =
     Alcotest.test_case "truncated replay fails cleanly, all engines" `Quick
       test_truncated_replay_all_engines;
     Alcotest.test_case "abort_recording is idempotent" `Quick test_abort_recording_idempotent;
+    Alcotest.test_case "recording published atomically" `Quick
+      test_recording_published_atomically;
     Alcotest.test_case "escaped names" `Quick test_escaped_names;
   ]
