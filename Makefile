@@ -2,7 +2,7 @@
 
 DDPROF   = dune exec --no-print-directory bin/ddprof.exe --
 DDPCHECK = dune exec --no-print-directory bin/ddpcheck.exe --
-MODES    = serial perfect parallel mt shadow hashtable
+MODES    = serial perfect parallel mt shadow hashtable hybrid
 
 # Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
 DDP_SEED ?= 421
@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke fuzz-smoke fuzz-nightly bench clean
+.PHONY: all build check test smoke obs-smoke static-smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
 
@@ -44,6 +44,21 @@ obs-smoke: build
 	  --trace-out _obs/trace.json --metrics-out _obs/metrics.json
 	$(DDPROF) check-trace _obs/trace.json --workers 4
 	$(DDPROF) stats kmeans --workers 4
+
+# The static analyzer end to end: lint every registered workload
+# (Serial verdict against a parallel annotation fails the gate), check
+# static-vs-dynamic verdict agreement on three representative workloads,
+# and push a small fuzz budget through the may ⊇ dynamic soundness gate
+# (plus its mutant-static fire drill).  The lint report lands in
+# _static/lint.json for the CI artifact.
+static-smoke: build
+	@mkdir -p _static
+	$(DDPROF) static --lint-workloads --json-out _static/lint.json
+	@for w in rgbyuv cg kmeans; do \
+	  echo "== static $$w --compare perfect =="; \
+	  $(DDPROF) static $$w --compare perfect || exit 1; \
+	done
+	$(TIMEOUT) $(DDPCHECK) soundness --seed $(DDP_SEED) --count 25 --out _static
 
 # Differential fuzzing + schedule exploration, small fixed-seed budget
 # (~30s): every engine diffed against the perfect oracle, the virtual

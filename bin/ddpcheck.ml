@@ -241,6 +241,49 @@ let run_mutants seed count out =
   if !code = 0 then Printf.printf "mutants: ok (all caught)\n%!";
   !code
 
+(* -- soundness ------------------------------------------------------------ *)
+
+(* The static analyzer's contract: its may set over-approximates every
+   dynamic run, its must set under-approximates every complete run.
+   Sweep generated programs for violations (shrinking any witness), then
+   fire-drill the gate itself: a deliberately unsound mutant analyzer
+   (loop-carried edges dropped) must be caught. *)
+let run_soundness seed count out =
+  let master = resolve_seed seed in
+  Printf.printf
+    "ddpcheck soundness: static may/must vs dynamic over %d generated programs, master seed %d\n%!"
+    count master;
+  let code = ref 0 in
+  (match TK.Soundness.sweep ~count ~base_seed:master () with
+  | None, checked ->
+    Printf.printf "soundness: ok (%d programs, zero violations)\n%!" checked
+  | Some o, checked ->
+    let body =
+      Printf.sprintf
+        "ddpcheck soundness: static analysis violated its contract\n\
+         master seed: %d (program #%d of sweep)\n\
+         repro: DDP_SEED=%d ddpcheck soundness --count %d\n\n\
+         shrunk witness (%d statements):\n%s"
+        master checked master count
+        (TK.Prog_gen.stmt_count o.TK.Soundness.prog)
+        (TK.Soundness.report_to_string o)
+    in
+    Printf.printf "FAIL [soundness] %s\n%!" body;
+    save_counterexample ~out ~tag:"soundness" ~seed:master ~body;
+    code := 1);
+  (* fire drill *)
+  let drill = max 50 count in
+  (match TK.Soundness.sweep ~mutant:true ~count:drill ~base_seed:master () with
+  | Some o, k ->
+    Printf.printf "  mutant-static caught (program %d, shrunk witness: %d statements)\n%!" k
+      (TK.Prog_gen.stmt_count o.TK.Soundness.prog)
+  | None, k ->
+    Printf.printf
+      "FAIL [soundness] mutant-static survived %d programs — the gate lost its teeth\n%!" k;
+    code := 1);
+  if !code = 0 then Printf.printf "soundness: gate armed and green\n%!";
+  !code
+
 (* -- commands ------------------------------------------------------------- *)
 
 let diff_cmd =
@@ -263,11 +306,21 @@ let run_all seed count out par =
   let d = run_diff seed count out par in
   let s = run_sched seed (max 10 (count / 2)) out in
   let m = run_mutants seed count out in
-  if d + s + m = 0 then begin
+  (* ISSUE 5 acceptance: >= 200 programs through the soundness gate. *)
+  let z = run_soundness seed (max 200 count) out in
+  if d + s + m + z = 0 then begin
     Printf.printf "ddpcheck: all sweeps green\n%!";
     0
   end
   else 1
+
+let soundness_cmd =
+  Cmd.v
+    (Cmd.info "soundness"
+       ~doc:
+         "Check the static analyzer's soundness contract (static may-deps over-approximate every \
+          dynamic run) on generated programs, then fire-drill the gate with a mutant analyzer.")
+    Term.(const (fun s c o -> Stdlib.exit (run_soundness s c o)) $ seed_arg $ count_arg $ out_arg)
 
 let all_cmd =
   Cmd.v
@@ -280,4 +333,6 @@ let () =
       ~doc:"Differential fuzzing and schedule exploration for the dependence profiler."
   in
   let default = Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg) in
-  exit (Cmd.eval' (Cmd.group ~default info [ all_cmd; diff_cmd; sched_cmd; mutants_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd ]))

@@ -152,6 +152,11 @@ let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
       r.redistributions
       (String.concat "; " (Array.to_list (Array.map string_of_int r.per_worker_events)))
   | None -> ());
+  (match outcome.extra with
+  | Ddp_core.Engines.Hybrid { pruned_events; pruned_sites } ->
+    Printf.printf "hybrid: %d access events skipped at %d statically pruned sites\n"
+      pruned_events pruned_sites
+  | _ -> ());
   match account with
   | Some acct ->
     Format.printf "memory (accounted):@.%a" (fun ppf () -> Ddp_util.Mem_account.report ppf acct) ()
@@ -220,6 +225,10 @@ let run_cmd =
       lock_based record backpressure deadline queue_capacity trace_out metrics_out =
     check_mode mode;
     let prog = get_program ~variant ~target_threads ~scale name in
+    (* The hybrid engine needs its pruning plan up front: the static
+       analysis decides which variables are dependence-free, and their
+       pre-interned ids ride in on the config. *)
+    let plan = if mode = "hybrid" then Some (Ddp_static.Hybrid.plan prog) else None in
     let config =
       {
         Ddp_core.Config.default with
@@ -230,9 +239,17 @@ let run_cmd =
         backpressure;
         deadline;
         queue_capacity;
+        static_prune =
+          (match plan with Some p -> p.Ddp_static.Hybrid.prune_ids | None -> []);
       }
     in
     check_backpressure config;
+    (match plan with
+    | Some p when p.Ddp_static.Hybrid.prune_names <> [] ->
+      Printf.printf "static prune plan: %s\n"
+        (String.concat " " p.Ddp_static.Hybrid.prune_names)
+    | Some _ -> print_endline "static prune plan: (no variable proved dependence-free)"
+    | None -> ());
     let account = Ddp_util.Mem_account.create () in
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
@@ -240,7 +257,9 @@ let run_cmd =
     let outcome =
       try
         Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee
-          (Ddp_core.Source.live ~sched_seed:seed prog)
+          (Ddp_core.Source.live ~sched_seed:seed
+             ?symtab:(Option.map (fun p -> p.Ddp_static.Hybrid.symtab) plan)
+             prog)
       with e ->
         (* A crashed run must not publish a truncated trace: the recording
            stays in its .tmp file and is deleted here. *)
@@ -538,6 +557,174 @@ let check_trace_cmd =
     (Cmd.info "check-trace" ~doc:"Validate a --trace-out Chrome trace JSON file.")
     Term.(const run $ file_arg $ check_workers_arg)
 
+(* -- static ---------------------------------------------------------------- *)
+
+module Static_dep = Ddp_static.Static_dep
+
+(* Analyze every registered workload and cross-check loop verdicts
+   against the ground-truth annotations.  A Serial verdict on a loop
+   annotated parallel would mean the analyzer proved a carried RAW that
+   cannot exist — a hard (exit-1) contradiction.  Parallel on a loop
+   annotated serial is reported but tolerated: annotations are
+   conservative for some workloads and the proof may simply be sharper. *)
+let static_lint ~json_out () =
+  let hard = ref 0 and soft = ref 0 and loops = ref 0 in
+  let per_workload =
+    List.map
+      (fun (w : Ddp_workloads.Wl.t) ->
+        let prog = w.Ddp_workloads.Wl.seq ~scale:1 in
+        let report = Ddp_static.Analyze.analyze prog in
+        let entries =
+          List.map
+            (fun (v : Static_dep.loop_verdict) ->
+              incr loops;
+              let contradiction =
+                match v.Static_dep.v_verdict with
+                | Static_dep.Serial when v.Static_dep.v_annotated ->
+                  incr hard;
+                  Some "serial-verdict-on-annotated-parallel"
+                | Static_dep.Parallel when not v.Static_dep.v_annotated ->
+                  incr soft;
+                  Some "proved-parallel-on-annotated-serial"
+                | _ -> None
+              in
+              (match contradiction with
+              | Some c ->
+                Printf.printf "  %-16s line %d: %s (static %s)\n" w.name
+                  v.Static_dep.v_header c
+                  (Static_dep.verdict_to_string v.Static_dep.v_verdict)
+              | None -> ());
+              (v, contradiction))
+            report.Static_dep.loops
+        in
+        (w.Ddp_workloads.Wl.name, report, entries))
+      Ddp_workloads.Registry.all
+  in
+  Printf.printf
+    "lint: %d workloads, %d loops — %d hard contradiction(s), %d sharper-than-annotation\n"
+    (List.length per_workload) !loops !hard !soft;
+  (match json_out with
+  | Some path ->
+    let j =
+      Ddp_obs.Json.Obj
+        [
+          ("hard_contradictions", Ddp_obs.Json.Int !hard);
+          ("sharper_than_annotation", Ddp_obs.Json.Int !soft);
+          ("loops", Ddp_obs.Json.Int !loops);
+          ( "workloads",
+            Ddp_obs.Json.List
+              (List.map
+                 (fun (name, report, entries) ->
+                   Ddp_obs.Json.Obj
+                     [
+                       ("name", Ddp_obs.Json.Str name);
+                       ( "prunable",
+                         Ddp_obs.Json.List
+                           (List.map
+                              (fun v -> Ddp_obs.Json.Str v)
+                              report.Static_dep.prunable) );
+                       ( "loops",
+                         Ddp_obs.Json.List
+                           (List.map
+                              (fun ((v : Static_dep.loop_verdict), contradiction) ->
+                                Ddp_obs.Json.Obj
+                                  [
+                                    ("line", Ddp_obs.Json.Int v.Static_dep.v_header);
+                                    ( "verdict",
+                                      Ddp_obs.Json.Str
+                                        (Static_dep.verdict_to_string
+                                           v.Static_dep.v_verdict) );
+                                    ( "annotated_parallel",
+                                      Ddp_obs.Json.Bool v.Static_dep.v_annotated );
+                                    ( "contradiction",
+                                      match contradiction with
+                                      | Some c -> Ddp_obs.Json.Str c
+                                      | None -> Ddp_obs.Json.Null );
+                                  ])
+                              entries) );
+                     ])
+                 per_workload) );
+        ]
+    in
+    Ddp_obs.Json.to_file path j;
+    Printf.printf "lint report written to %s\n" path
+  | None -> ());
+  if !hard > 0 then exit 1
+
+let static_cmd =
+  let opt_name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (omit with --lint-workloads).")
+  in
+  let json_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE" ~doc:"Write the full static report (JSON) to FILE.")
+  in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"MODE"
+          ~doc:
+            "Also profile dynamically under engine MODE and print the per-kind static-vs-dynamic \
+             confusion matrix plus the loop-verdict agreement table.")
+  in
+  let lint_arg =
+    Arg.(
+      value & flag
+      & info [ "lint-workloads" ]
+          ~doc:
+            "Analyze every registered workload and report loop verdicts that contradict the \
+             ground-truth annotations (exit 1 on a Serial verdict for an annotated-parallel \
+             loop).")
+  in
+  let run name scale seed json_out compare_mode lint =
+    if lint then static_lint ~json_out ()
+    else
+      match name with
+      | None ->
+        Printf.eprintf "ddprof static: WORKLOAD required (or pass --lint-workloads)\n";
+        exit 2
+      | Some name ->
+        let w = Ddp_workloads.Registry.find name in
+        let prog = w.Ddp_workloads.Wl.seq ~scale in
+        let report = Ddp_static.Analyze.analyze prog in
+        print_string (Static_dep.render report);
+        (match compare_mode with
+        | Some mode ->
+          check_mode mode;
+          let outcome = Ddp_core.Profiler.profile ~mode ~sched_seed:seed prog in
+          let dyn =
+            Ddp_core.Accuracy.project
+              ~var_name:(Ddp_minir.Symtab.var_name outcome.symtab)
+              outcome.deps
+          in
+          print_newline ();
+          Format.printf "%a@."
+            Ddp_core.Accuracy.pp_confusion
+            (Ddp_core.Accuracy.confusion ~may:(Static_dep.may_set report)
+               ~must:(Static_dep.must_set report) ~dynamic:dyn);
+          Format.printf "@.@[<v>%a@]@." Ddp_analyses.Static_dynamic.pp_summary
+            (Ddp_analyses.Static_dynamic.compare ~sched_seed:seed prog)
+        | None -> ());
+        (match json_out with
+        | Some path ->
+          Ddp_obs.Json.to_file path (Static_dep.to_json report);
+          Printf.printf "static report written to %s\n" path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "static"
+       ~doc:
+         "Static whole-program dependence analysis: must/may edges, affine loop verdicts, and \
+          the hybrid engine's pruning candidates — no execution involved.")
+    Term.(
+      const run $ opt_name_arg $ scale_arg $ seed_arg $ json_out_arg $ compare_arg $ lint_arg)
+
 (* -- races ---------------------------------------------------------------- *)
 
 let races_cmd =
@@ -570,6 +757,7 @@ let main =
       replay_cmd;
       distance_cmd;
       calltree_cmd;
+      static_cmd;
     ]
 
 let () = exit (Cmd.eval main)

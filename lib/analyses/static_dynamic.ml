@@ -1,0 +1,64 @@
+module Static_dep = Ddp_static.Static_dep
+
+type row = {
+  header_line : int;
+  annotated : bool;
+  static_verdict : Static_dep.verdict;
+  dynamic_parallelizable : bool;
+  agree : bool;
+}
+
+type summary = { rows : row list; agreements : int; conflicts : int; unknowns : int }
+
+let compare ?config ?sched_seed ?input_seed prog =
+  let report = Ddp_static.Analyze.analyze prog in
+  let dyn = Loop_parallelism.analyze ?config ~perfect:true ?sched_seed ?input_seed prog in
+  let dyn_by_line = Hashtbl.create 16 in
+  List.iter
+    (fun (l : Loop_parallelism.loop_result) ->
+      Hashtbl.replace dyn_by_line l.header_line l.parallelizable)
+    dyn.Loop_parallelism.loops;
+  let rows =
+    List.filter_map
+      (fun (v : Static_dep.loop_verdict) ->
+        match Hashtbl.find_opt dyn_by_line v.Static_dep.v_header with
+        | None -> None (* loop never reached dynamically *)
+        | Some par ->
+            let agree =
+              match v.Static_dep.v_verdict with
+              | Static_dep.Parallel -> par
+              | Static_dep.Serial -> not par
+              (* A reduction loop is serial as written and parallel after
+                 the transformation: consistent with either dynamic
+                 outcome, like Unknown it never conflicts. *)
+              | Static_dep.Reduction | Static_dep.Unknown -> true
+            in
+            Some
+              {
+                header_line = v.Static_dep.v_header;
+                annotated = v.Static_dep.v_annotated;
+                static_verdict = v.Static_dep.v_verdict;
+                dynamic_parallelizable = par;
+                agree;
+              })
+      report.Static_dep.loops
+  in
+  let unknowns =
+    List.length
+      (List.filter (fun r -> r.static_verdict = Static_dep.Unknown) rows)
+  in
+  let agreements = List.length (List.filter (fun r -> r.agree) rows) in
+  { rows; agreements; conflicts = List.length rows - agreements; unknowns }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "static-vs-dynamic loop verdicts: %d agree, %d conflict, %d unknown@,"
+    s.agreements s.conflicts s.unknowns;
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  line %d: static %-9s dynamic %-12s annotated %-8s %s@,"
+        r.header_line
+        (Static_dep.verdict_to_string r.static_verdict)
+        (if r.dynamic_parallelizable then "parallel" else "serial")
+        (if r.annotated then "parallel" else "serial")
+        (if r.agree then "" else "<== CONFLICT"))
+    s.rows

@@ -1,0 +1,34 @@
+(** Static-vs-dynamic loop-verdict agreement: lines up the static
+    analyzer's per-loop verdicts with the dynamic profiler's
+    {!Loop_parallelism} classification of the same loops. *)
+
+type row = {
+  header_line : int;
+  annotated : bool;
+  static_verdict : Ddp_static.Static_dep.verdict;
+  dynamic_parallelizable : bool;
+  agree : bool;
+      (** static Parallel ⇔ dynamic parallelizable, Serial ⇔ not;
+          Reduction and Unknown agree with either (a reduction loop is
+          serial as written, parallel once transformed) *)
+}
+
+type summary = {
+  rows : row list;
+  agreements : int;
+  conflicts : int;
+      (** static Parallel but dynamic found a carried RAW, or static
+          Serial but the dynamic run saw none *)
+  unknowns : int;
+}
+
+val compare :
+  ?config:Ddp_core.Config.t ->
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  Ddp_minir.Ast.program ->
+  summary
+(** Runs {!Ddp_static.Analyze.analyze} and a perfect-oracle dynamic
+    profile, then joins loop verdicts by header line. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -39,3 +39,96 @@ let compare_stores ~profiled ~perfect =
 let pp ppf t =
   Format.fprintf ppf "reported %d, truth %d, FP %d (%.2f%%), FN %d (%.2f%%)" t.reported
     t.ground_truth t.false_positives (100.0 *. t.fpr) t.false_negatives (100.0 *. t.fnr)
+
+(* ------------------------------------------------------------------ *)
+(* Static-vs-dynamic comparison space.
+
+   Static results name variables and lines, not addresses and threads,
+   so both sides are projected to (kind, src line, sink line, var name)
+   edges: INIT entries are dropped (a static pass has no notion of
+   first-touch) and race flags are ignored. *)
+
+module Edge = struct
+  type t = { kind : Dep.kind; src_line : int; sink_line : int; var : string }
+
+  let compare = compare
+
+  let to_string e =
+    Printf.sprintf "%s %s: %d -> %d" (Dep.kind_to_string e.kind) e.var e.src_line
+      e.sink_line
+end
+
+module Edge_set = Set.Make (Edge)
+
+let project ~var_name store =
+  Dep_store.fold store
+    (fun (d : Dep.t) _count acc ->
+      match d.kind with
+      | Dep.INIT -> acc
+      | kind ->
+          Edge_set.add
+            {
+              Edge.kind;
+              src_line = Ddp_minir.Loc.line (Dep.src_loc d);
+              sink_line = Ddp_minir.Loc.line (Dep.sink_loc d);
+              var = var_name (Dep.var d);
+            }
+            acc)
+    Edge_set.empty
+
+type confusion_row = {
+  c_kind : Dep.kind;
+  c_static_may : int;  (* static may-edges of this kind *)
+  c_dynamic : int;  (* dynamic edges of this kind *)
+  c_both : int;  (* intersection: observed and predicted *)
+  c_static_only : int;  (* predicted, never observed (conservatism) *)
+  c_dynamic_only : int;  (* observed, not predicted: soundness violations *)
+  c_must : int;  (* static must-edges of this kind *)
+  c_must_confirmed : int;  (* must-edges the dynamic run observed *)
+}
+
+type confusion = {
+  rows : confusion_row list;  (* RAW, WAR, WAW *)
+  precision : float;  (* both / static_may, over all kinds *)
+  coverage : float;  (* both / dynamic, over all kinds *)
+  sound : bool;  (* no dynamic edge outside the static may set *)
+  must_sound : bool;  (* every must edge observed dynamically *)
+}
+
+let confusion ~may ~must ~dynamic =
+  let of_kind k s = Edge_set.filter (fun (e : Edge.t) -> e.kind = k) s in
+  let row k =
+    let sm = of_kind k may and dy = of_kind k dynamic and mu = of_kind k must in
+    {
+      c_kind = k;
+      c_static_may = Edge_set.cardinal sm;
+      c_dynamic = Edge_set.cardinal dy;
+      c_both = Edge_set.cardinal (Edge_set.inter sm dy);
+      c_static_only = Edge_set.cardinal (Edge_set.diff sm dy);
+      c_dynamic_only = Edge_set.cardinal (Edge_set.diff dy sm);
+      c_must = Edge_set.cardinal mu;
+      c_must_confirmed = Edge_set.cardinal (Edge_set.inter mu dy);
+    }
+  in
+  let rows = List.map row [ Dep.RAW; Dep.WAR; Dep.WAW ] in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  {
+    rows;
+    precision = ratio (sum (fun r -> r.c_both)) (sum (fun r -> r.c_static_may));
+    coverage = ratio (sum (fun r -> r.c_both)) (sum (fun r -> r.c_dynamic));
+    sound = sum (fun r -> r.c_dynamic_only) = 0;
+    must_sound = sum (fun r -> r.c_must) = sum (fun r -> r.c_must_confirmed);
+  }
+
+let pp_confusion ppf c =
+  Format.fprintf ppf "%-5s %11s %8s %6s %12s %13s %11s@." "kind" "static-may"
+    "dynamic" "both" "static-only" "dynamic-only" "must-hit";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-5s %11d %8d %6d %12d %13d %6d/%d@."
+        (Dep.kind_to_string r.c_kind) r.c_static_may r.c_dynamic r.c_both
+        r.c_static_only r.c_dynamic_only r.c_must_confirmed r.c_must)
+    c.rows;
+  Format.fprintf ppf
+    "precision %.2f%%, coverage %.2f%%, sound=%b, must-confirmed=%b"
+    (100.0 *. c.precision) (100.0 *. c.coverage) c.sound c.must_sound

@@ -17,3 +17,50 @@ val compare_stores : profiled:Dep_store.t -> perfect:Dep_store.t -> t
 (** Race flags are ignored in the comparison. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Static-vs-dynamic comparison}
+
+    Static analysis names variables and source lines, not addresses and
+    threads, so both sides are projected into [(kind, src line, sink
+    line, var name)] edges.  INIT pseudo-dependences are dropped and race
+    flags ignored. *)
+
+module Edge : sig
+  type t = { kind : Dep.kind; src_line : int; sink_line : int; var : string }
+
+  val compare : t -> t -> int
+  val to_string : t -> string
+end
+
+module Edge_set : Set.S with type elt = Edge.t
+
+val project : var_name:(int -> string) -> Dep_store.t -> Edge_set.t
+(** Project a dynamic dependence store into the edge space; [var_name]
+    maps profiler variable ids back to source names (usually
+    [Symtab.var_name]). *)
+
+type confusion_row = {
+  c_kind : Dep.kind;
+  c_static_may : int;
+  c_dynamic : int;
+  c_both : int;
+  c_static_only : int;  (** predicted, never observed: conservatism *)
+  c_dynamic_only : int;  (** observed, not predicted: soundness violations *)
+  c_must : int;
+  c_must_confirmed : int;
+}
+
+type confusion = {
+  rows : confusion_row list;  (** one row each for RAW, WAR, WAW *)
+  precision : float;  (** both / static-may, across kinds *)
+  coverage : float;  (** both / dynamic, across kinds *)
+  sound : bool;  (** no dynamic edge outside the static may set *)
+  must_sound : bool;  (** every static must edge observed dynamically *)
+}
+
+val confusion :
+  may:Edge_set.t -> must:Edge_set.t -> dynamic:Edge_set.t -> confusion
+(** Per-kind confusion matrix of a static result against a dynamic
+    reference (conventionally the perfect-signature oracle). *)
+
+val pp_confusion : Format.formatter -> confusion -> unit

@@ -52,6 +52,10 @@ type t = {
   (* Telemetry hub (metrics + trace rings).  [None] — the default —
      makes every engine fall back to Obs.disabled, whose call sites
      cost one branch each; the per-access hot path has none. *)
+  static_prune : int list;
+  (* Variable ids (in the run's pre-interned symtab) a static analysis
+     proved dependence-free: the hybrid engine drops their accesses
+     before detection.  [] — the default — disables pruning. *)
 }
 
 let default =
@@ -75,6 +79,7 @@ let default =
     deadline = None;
     faults = None;
     obs = None;
+    static_prune = [];
   }
 
 (* Slot budget per worker: the paper splits the global signature evenly

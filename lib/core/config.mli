@@ -41,6 +41,10 @@ type t = {
   obs : Ddp_obs.Obs.t option;
       (** Telemetry hub; [None] — the default — costs one branch per
           telemetry call site (chunk granularity, never per access). *)
+  static_prune : int list;
+      (** Variable ids (in the run's pre-interned symtab) proved
+          dependence-free statically; the hybrid engine skips their
+          accesses.  [[]] — the default — disables pruning. *)
 }
 
 val default : t

@@ -62,5 +62,74 @@ let mt =
       "serial signature engine behind the MT push layer (reorder window + race flags, Sec. V)"
     serial
 
-let builtin = [ serial; perfect; parallel; mt ]
+type Engine.extra += Hybrid of { pruned_events : int; pruned_sites : int }
+
+(* The hybrid static/dynamic engine: the serial signature engine behind a
+   filter that drops accesses to variables a static pass proved
+   dependence-free ([Config.static_prune], ids in the run's pre-interned
+   symtab).  The ids arrive through the config so the engine still fits
+   the registry's [Config.t -> session] shape; with the default empty
+   list it is the serial engine plus one closure indirection. *)
+module Event = Ddp_minir.Event
+module Obs = Ddp_obs.Obs
+
+let hybrid =
+  Engine.make ~name:"hybrid"
+    ~description:
+      "serial signature engine skipping statically-proved independent accesses (Config.static_prune)"
+    ~exact:false
+    (fun ?account config ->
+      let inner = serial.Engine.create ?account config in
+      match config.Config.static_prune with
+      | [] ->
+          {
+            inner with
+            Engine.finish =
+              (fun () ->
+                let o = inner.Engine.finish () in
+                { o with Engine.extra = Hybrid { pruned_events = 0; pruned_sites = 0 } });
+          }
+      | ids ->
+          let max_id = List.fold_left max 0 ids in
+          let mask = Bytes.make (max_id + 1) '\000' in
+          List.iter (fun i -> if i >= 0 then Bytes.set mask i '\001') ids;
+          let pruned v = v >= 0 && v <= max_id && Bytes.unsafe_get mask v = '\001' in
+          let events = ref 0 in
+          let sites = Hashtbl.create 32 in
+          let h = inner.Engine.hooks in
+          let skip ~loc ~var ~write =
+            incr events;
+            Hashtbl.replace sites (loc, var, write) ()
+          in
+          let hooks =
+            {
+              h with
+              Event.on_read =
+                (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                  if pruned var then skip ~loc ~var ~write:false
+                  else h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+              on_write =
+                (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                  if pruned var then skip ~loc ~var ~write:true
+                  else h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+            }
+          in
+          {
+            Engine.hooks;
+            finish =
+              (fun () ->
+                let o = inner.Engine.finish () in
+                (match config.Config.obs with
+                | Some obs when Obs.enabled obs ->
+                    Obs.add obs ~dom:0 Obs.C.static_pruned_events !events;
+                    Obs.add obs ~dom:0 Obs.C.static_pruned_deps (Hashtbl.length sites)
+                | _ -> ());
+                {
+                  o with
+                  Engine.extra =
+                    Hybrid { pruned_events = !events; pruned_sites = Hashtbl.length sites };
+                });
+          })
+
+let builtin = [ serial; perfect; parallel; mt; hybrid ]
 let () = List.iter Engine.register builtin

@@ -1,13 +1,25 @@
-(** Built-in engines, registered under "serial", "perfect", "parallel"
-    and "mt".  Referencing this module (e.g. [Engines.builtin]) forces
-    registration; the {!Profiler} façade does so for you. *)
+(** Built-in engines, registered under "serial", "perfect", "parallel",
+    "mt" and "hybrid".  Referencing this module (e.g. [Engines.builtin])
+    forces registration; the {!Profiler} façade does so for you. *)
 
 type Engine.extra += Parallel_result of Parallel_profiler.result
 (** Full pipeline statistics of the "parallel" engine. *)
+
+type Engine.extra += Hybrid of { pruned_events : int; pruned_sites : int }
+(** Pruning volume of the "hybrid" engine: accesses dropped on static
+    independence proof, and the distinct (location, var, is-write) sites
+    they came from.  Mirrored into the Obs counters
+    [static_pruned_events] / [static_pruned_deps] when a hub is wired. *)
 
 val serial : Engine.t
 val perfect : Engine.t
 val parallel : Engine.t
 val mt : Engine.t
+
+val hybrid : Engine.t
+(** The serial signature engine behind an access filter driven by
+    [Config.static_prune] (variable ids in the run's pre-interned symtab,
+    as produced by the static analyzer's pruning plan).  With the default
+    empty list it behaves exactly like "serial". *)
 
 val builtin : Engine.t list

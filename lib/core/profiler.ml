@@ -80,5 +80,5 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
     elapsed;
   }
 
-let profile ?mode ?config ?mt ?obs ?account ?sched_seed ?input_seed prog =
-  run ?mode ?config ?mt ?obs ?account (Source.live ?sched_seed ?input_seed prog)
+let profile ?mode ?config ?mt ?obs ?account ?sched_seed ?input_seed ?symtab prog =
+  run ?mode ?config ?mt ?obs ?account (Source.live ?sched_seed ?input_seed ?symtab prog)

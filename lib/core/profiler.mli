@@ -52,9 +52,11 @@ val profile :
   ?account:Ddp_util.Mem_account.t * string ->
   ?sched_seed:int ->
   ?input_seed:int ->
+  ?symtab:Ddp_minir.Symtab.t ->
   Ddp_minir.Ast.program ->
   outcome
-(** [run] over a live interpretation of the program. *)
+(** [run] over a live interpretation of the program.  [symtab] pre-interns
+    variable ids (for static pruning plans); see {!Source.live}. *)
 
 val report : ?show_threads:bool -> outcome -> string
 (** Paper-style (Fig. 1 / Fig. 3) textual report. *)

@@ -22,12 +22,15 @@ type t = {
   run : Event.hooks -> result;
 }
 
-let live ?sched_seed ?input_seed prog =
+let live ?sched_seed ?input_seed ?symtab prog =
   {
     name = "live";
     run =
       (fun hooks ->
-        let symtab = Symtab.create () in
+        (* A caller-provided symtab lets ids be interned ahead of the run
+           (interning is idempotent), so a static plan can name variables
+           by id before any event exists. *)
+        let symtab = match symtab with Some s -> s | None -> Symtab.create () in
         let stats = Interp.run ~hooks ?sched_seed ?input_seed ~symtab prog in
         { symtab; stats; events = stats.Interp.accesses });
   }

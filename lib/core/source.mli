@@ -17,8 +17,15 @@ type t = {
   run : Ddp_minir.Event.hooks -> result;
 }
 
-val live : ?sched_seed:int -> ?input_seed:int -> Ddp_minir.Ast.program -> t
-(** Instrumented interpretation of [prog]. *)
+val live :
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  ?symtab:Ddp_minir.Symtab.t ->
+  Ddp_minir.Ast.program ->
+  t
+(** Instrumented interpretation of [prog].  Pass [symtab] to pre-intern
+    variable ids (interning is idempotent), e.g. for a static pruning
+    plan that must name variables by id before the run. *)
 
 val of_events : ?name:string -> ?symtab:Ddp_minir.Symtab.t -> Ddp_minir.Event.t list -> t
 (** Replay a concrete event list. *)

@@ -100,6 +100,9 @@ module C = struct
   let worker_crashes = 31
   let unprocessed_chunks = 32
   let aborts = 33
+  (* Hybrid static/dynamic engine (ISSUE 5). *)
+  let static_pruned_events = 34
+  let static_pruned_deps = 35
 
   let names =
     [|
@@ -137,6 +140,8 @@ module C = struct
       "worker_crashes";
       "unprocessed_chunks";
       "aborts";
+      "static_pruned_events";
+      "static_pruned_deps";
     |]
 
   let n = Array.length names

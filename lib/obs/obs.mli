@@ -61,6 +61,13 @@ module C : sig
   val worker_crashes : int
   val unprocessed_chunks : int
   val aborts : int
+
+  val static_pruned_events : int
+  (** accesses the hybrid engine dropped on static independence proof *)
+
+  val static_pruned_deps : int
+  (** distinct (location, var, is-write) access sites pruning silenced *)
+
   val names : string array
   val n : int
 end

@@ -1,0 +1,111 @@
+(* Affine subscript arithmetic and the ZIV / strong-SIV / GCD dependence
+   tests.  Everything here errs toward [true] ("may alias"): a [false]
+   answer is a proof of independence, used by the analyzer to *omit* an
+   edge, so only the refutations need to be airtight. *)
+
+type form = {
+  c : int;
+  terms : (int * int) list; (* (loop uid, coeff), sorted by uid, coeff <> 0 *)
+}
+
+type t = Affine of form | Top
+
+let const c = Affine { c; terms = [] }
+let var uid = Affine { c = 0; terms = [ (uid, 1) ] }
+let is_top = function Top -> true | Affine _ -> false
+
+let norm terms =
+  terms
+  |> List.filter (fun (_, k) -> k <> 0)
+  |> List.sort (fun (u, _) (v, _) -> compare u v)
+
+(* Merge two uid-sorted term lists with [op] on coefficients. *)
+let merge op a b =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (u, k) -> Hashtbl.replace tbl u k) a;
+  List.iter
+    (fun (u, k) ->
+      let prev = try Hashtbl.find tbl u with Not_found -> 0 in
+      Hashtbl.replace tbl u (op prev k))
+    b;
+  Hashtbl.fold (fun u k acc -> (u, k) :: acc) tbl [] |> norm
+
+let add a b =
+  match (a, b) with
+  | Affine x, Affine y -> Affine { c = x.c + y.c; terms = merge ( + ) x.terms y.terms }
+  | _ -> Top
+
+let neg = function
+  | Affine x -> Affine { c = -x.c; terms = List.map (fun (u, k) -> (u, -k)) x.terms }
+  | Top -> Top
+
+let sub a b = add a (neg b)
+
+let scale k = function
+  | Affine x ->
+      Affine { c = k * x.c; terms = norm (List.map (fun (u, q) -> (u, k * q)) x.terms) }
+  | Top -> Top
+
+let mul a b =
+  match (a, b) with
+  | Affine { c = k; terms = [] }, other | other, Affine { c = k; terms = [] } ->
+      scale k other
+  | _ -> Top
+
+let to_string = function
+  | Top -> "<non-affine>"
+  | Affine { c; terms } ->
+      let ts = List.map (fun (u, k) -> Printf.sprintf "%+d*i%d" k u) terms in
+      String.concat "" (string_of_int c :: ts)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let gcd_list = List.fold_left gcd 0
+
+(* Does [c + sum(k_i * x_i) = 0] have an integer solution with every x_i
+   ranging over Z?  (Linear Diophantine: solvable iff the gcd of the
+   coefficients divides c; no coefficients means the equation is [c = 0].) *)
+let solvable ~coeffs ~c = match gcd_list coeffs with 0 -> c = 0 | g -> c mod g = 0
+
+let same_iter_alias a b =
+  match sub a b with
+  | Top -> true (* non-affine: assume alias *)
+  | Affine { c; terms } -> solvable ~coeffs:(List.map snd terms) ~c
+
+let carried_alias ~carrier ?trip ?step a b =
+  match (a, b) with
+  | Top, _ | _, Top -> true
+  | Affine fa, Affine fb -> (
+      let coeff f = try List.assoc carrier f.terms with Not_found -> 0 in
+      let ka = coeff fa and kb = coeff fb in
+      let strip f = { f with terms = List.remove_assoc carrier f.terms } in
+      (* The two iterations bind the carrier index to distinct symbols i
+         and j (i <> j); everything else subtracts as usual. *)
+      match sub (Affine (strip fa)) (Affine (strip fb)) with
+      | Top -> true
+      | Affine { c; terms } -> (
+          let free = List.map snd terms in
+          (* Equation: ka*i - kb*j + sum(free) + c = 0, with i <> j. *)
+          match () with
+          | _ when ka = 0 && kb = 0 ->
+              (* Neither subscript moves with the carrier: any same-cell
+                 solution works across iterations too. *)
+              solvable ~coeffs:free ~c
+          | _ when ka = kb && free = [] ->
+              (* Strong SIV: the index-value distance d = c / ka must be
+                 integral and nonzero; with a literal step it must also be
+                 a whole number of iterations, fewer than the trip count
+                 when that is known too. *)
+              c <> 0 && c mod ka = 0
+              &&
+              let d = c / ka in
+              (match step with
+              | Some st when st <> 0 ->
+                  d mod st = 0
+                  && (match trip with Some t -> abs (d / st) < t | None -> true)
+              | _ -> true)
+          | _ ->
+              (* GCD test over ka*i - kb*j + free.  Whenever it is
+                 solvable, a solution with i <> j also exists: shifting
+                 along the lattice moves i - j by a nonzero amount (by
+                 ka <> kb, or through any free coefficient). *)
+              solvable ~coeffs:(ka :: -kb :: free) ~c))

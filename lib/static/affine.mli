@@ -1,0 +1,47 @@
+(** Affine subscript forms and the classic dependence tests (ZIV, strong
+    SIV, GCD) the static analyzer applies to array accesses inside [For]
+    loops.
+
+    A form is [c + sum(coeff_i * loop_i)] over *valid* loop indices: a
+    [For] index with literal [lo] and [step] that the body never
+    reassigns.  Anything else degrades to {!Top}, which aliases
+    everything — conservatism, never unsoundness.
+
+    Any loop uid appearing in both of two subscripts necessarily encloses
+    both accesses, so equal coefficients cancel under subtraction; every
+    residual coefficient is treated as ranging over all of Z, which only
+    ever adds solutions.  A [false] from either alias test is therefore a
+    proof of independence. *)
+
+type form = {
+  c : int;
+  terms : (int * int) list;  (** (loop uid, coefficient), uid-sorted, coeff <> 0 *)
+}
+
+type t =
+  | Affine of form
+  | Top  (** non-affine: may alias any cell of the region *)
+
+val const : int -> t
+val var : int -> t  (** a loop index, by uid *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t  (** affine only when one side is constant *)
+
+val is_top : t -> bool
+val to_string : t -> string
+
+val same_iter_alias : t -> t -> bool
+(** May the two subscripts address the same cell within the same
+    activation of every shared enclosing loop?  ZIV when no variables
+    remain after subtraction, GCD otherwise. *)
+
+val carried_alias : carrier:int -> ?trip:int -> ?step:int -> t -> t -> bool
+(** May the subscripts address the same cell in two {e different}
+    iterations of loop [carrier]?  The carrier's index is split into two
+    symbols with nonzero difference: strong SIV when the carrier
+    coefficients agree, GCD otherwise.  When the loop's literal [step]
+    (and trip count [trip]) are known, the SIV distance must additionally
+    be a multiple of the step (shorter than the trip). *)

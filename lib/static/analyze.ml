@@ -1,0 +1,747 @@
+(* The whole-program static dependence analyzer.
+
+   Model: every access site (one read or write leaf of one statement) is
+   placed on an execution-tree path — a list of steps from the program
+   root.  [Seq k] is the k-th sequencing slot of a block-like context,
+   [Loop u] enters one activation of loop [u], [Alt k] the k-th branch
+   of an [If], [Par k] the k-th arm of a [Par].  Comparing two paths at
+   their first divergence yields the pair's ordering relation
+   (ordered / mutually-exclusive / concurrent), and the [Loop] steps in
+   the shared prefix below the region's declaration scope are the loops
+   that can carry a dependence between them.
+
+   Calls: a non-recursive callee is inlined at each call site (its
+   leaves get the call site's path as prefix, its env is the caller's
+   globals snapshot plus fresh param regions, exactly the interpreter's
+   scoping).  Call components that can recurse are flattened — "souped"
+   — under a synthetic Loop step with Top subscripts, making every pair
+   inside the component conservatively dependent in both directions.
+
+   Soundness stance: everything here may over-approximate, never
+   under-approximate, the dependences the dynamic profiler reports
+   under its default configuration (INIT edges excluded).  The only
+   two refinements that remove candidate edges — affine disproof and
+   clearance-based carried-RAW refutation — are individually proven
+   sound (see Affine and Reach); the [mutant] flag exists to break
+   this on purpose for the fire drill. *)
+
+module Ast = Ddp_minir.Ast
+module Value = Ddp_minir.Value
+module Dep = Ddp_core.Dep
+module Names = Dataflow.Names
+module SMap = Map.Make (String)
+module ISet = Set.Make (Int)
+
+type step = Seq of int | Loop of int | Alt of int | Par of int
+
+type access = { a_write : bool; a_line : int; a_sub : Affine.t; a_path : step list }
+
+type region = {
+  r_name : string;
+  r_scalar : bool;
+  r_refinable : bool;  (* CFG facts for r_name apply to these accesses *)
+  r_scope : int;  (* path-prefix length at declaration *)
+  mutable r_accs : access list;
+}
+
+(* One meta per syntactic loop statement (keyed by header line); several
+   loop uids (one per inlined instantiation) may map to the same meta. *)
+type loop_meta = {
+  lm_header : int;
+  lm_end : int;
+  lm_is_for : bool;
+  lm_annotated : bool;
+  lm_reduction : string list;
+  lm_trip : int option;  (* literal trip count, if bounds are literals *)
+  lm_step : int option;  (* literal step *)
+  lm_straight : (int * string * Ast.expr) list;  (* direct-body Assigns *)
+  mutable lm_names : Names.t;  (* scalars accessed within the loop *)
+}
+
+type emut = { mutable must : bool; mutable carr : ISet.t (* carrier header lines *) }
+
+type st = {
+  mutable next_uid : int;
+  mutable regions : region list;
+  mutable n_acc : int;
+  meta_by_header : (int, loop_meta) Hashtbl.t;
+  meta_by_uid : (int, loop_meta) Hashtbl.t;
+  mutable metas : loop_meta list;  (* creation order *)
+  assigns : (int, string * Ast.expr) Hashtbl.t;  (* line -> Assign *)
+  funcs : (string, Ast.func) Hashtbl.t;
+  recursive : (string, bool) Hashtbl.t;
+  mutable active : loop_meta list;  (* enclosing loops, innermost first *)
+  mutable globals : binding SMap.t;  (* env before current top-level stmt *)
+  edges : (Dep.kind * int * int * string, emut) Hashtbl.t;
+  mutant : bool;
+}
+
+and binding = { b_reg : region; b_idx : int option (* loop uid when a valid index *) }
+
+(* ------------------------------------------------------------------ *)
+(* Cursors and paths                                                   *)
+
+type cursor = { cpre : step list; mutable cpos : int }
+
+let slot cu =
+  let p = cu.cpos in
+  cu.cpos <- p + 1;
+  cu.cpre @ [ Seq p ]
+
+let fresh st =
+  let u = st.next_uid in
+  st.next_uid <- u + 1;
+  u
+
+let new_region st ~name ~scalar ~refinable ~scope =
+  let r = { r_name = name; r_scalar = scalar; r_refinable = refinable; r_scope = scope; r_accs = [] } in
+  st.regions <- r :: st.regions;
+  r
+
+let emit st (r : region) ~write ~line ~sub ~path =
+  r.r_accs <- { a_write = write; a_line = line; a_sub = sub; a_path = path } :: r.r_accs;
+  st.n_acc <- st.n_acc + 1;
+  if r.r_scalar then
+    List.iter (fun m -> m.lm_names <- Names.add r.r_name m.lm_names) st.active
+
+(* ------------------------------------------------------------------ *)
+(* Affine view of a subscript under an environment                     *)
+
+let rec aff env (e : Ast.expr) : Affine.t =
+  match e with
+  | Ast.Int k -> Affine.const k
+  | Ast.Var x -> (
+      match SMap.find_opt x env with
+      | Some { b_idx = Some u; _ } -> Affine.var u
+      | _ -> Affine.Top)
+  | Ast.Binop (Value.Add, a, b) -> Affine.add (aff env a) (aff env b)
+  | Ast.Binop (Value.Sub, a, b) -> Affine.sub (aff env a) (aff env b)
+  | Ast.Binop (Value.Mul, a, b) -> Affine.mul (aff env a) (aff env b)
+  | Ast.Unop (Value.Neg, a) -> Affine.neg (aff env a)
+  | _ -> Affine.Top
+
+(* Emit the scalar reads of an expression; array loads inside emit both
+   the index reads and the array-element read. *)
+let rec expr_reads st cu env ~line (e : Ast.expr) =
+  match e with
+  | Ast.Int _ | Ast.Float _ -> ()
+  | Ast.Var x -> (
+      match SMap.find_opt x env with
+      | Some b -> emit st b.b_reg ~write:false ~line ~sub:(Affine.const 0) ~path:(slot cu)
+      | None -> ())
+  | Ast.Load (x, ix) -> (
+      expr_reads st cu env ~line ix;
+      match SMap.find_opt x env with
+      | Some b -> emit st b.b_reg ~write:false ~line ~sub:(aff env ix) ~path:(slot cu)
+      | None -> ())
+  | Ast.Binop (_, l, r) ->
+      expr_reads st cu env ~line l;
+      expr_reads st cu env ~line r
+  | Ast.Unop (_, e) -> expr_reads st cu env ~line e
+  | Ast.Intrinsic (_, args) -> List.iter (expr_reads st cu env ~line) args
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                          *)
+
+let rec block_callees acc (b : Ast.block) = List.fold_left stmt_callees acc b
+
+and stmt_callees acc (s : Ast.stmt) =
+  match s.kind with
+  | Ast.Call_proc (g, _) -> g :: acc
+  | Ast.If (_, t, e) -> block_callees (block_callees acc t) e
+  | Ast.For { body; _ } -> block_callees acc body
+  | Ast.While (_, b) -> block_callees acc b
+  | Ast.Par bs -> List.fold_left block_callees acc bs
+  | _ -> acc
+
+let reachable_funcs funcs seeds =
+  let seen = Hashtbl.create 8 in
+  let rec go g =
+    if (not (Hashtbl.mem seen g)) && Hashtbl.mem funcs g then begin
+      Hashtbl.replace seen g ();
+      let f : Ast.func = Hashtbl.find funcs g in
+      List.iter go (block_callees [] f.fbody)
+    end
+  in
+  List.iter go seeds;
+  seen
+
+let compute_recursive st (prog : Ast.program) =
+  List.iter
+    (fun (f : Ast.func) ->
+      let from_callees = reachable_funcs st.funcs (block_callees [] f.fbody) in
+      Hashtbl.replace st.recursive f.fname (Hashtbl.mem from_callees f.fname))
+    prog.funcs
+
+let is_recursive st g = try Hashtbl.find st.recursive g with Not_found -> false
+
+(* ------------------------------------------------------------------ *)
+(* Loop metas                                                          *)
+
+let get_meta st ~header ~end_ ~is_for ~annotated ~reduction ~trip ~step ~straight =
+  match Hashtbl.find_opt st.meta_by_header header with
+  | Some m -> m
+  | None ->
+      let m =
+        {
+          lm_header = header;
+          lm_end = end_;
+          lm_is_for = is_for;
+          lm_annotated = annotated;
+          lm_reduction = reduction;
+          lm_trip = trip;
+          lm_step = step;
+          lm_straight = straight;
+          lm_names = Names.empty;
+        }
+      in
+      Hashtbl.replace st.meta_by_header header m;
+      st.metas <- m :: st.metas;
+      m
+
+let assigns_index index (b : Ast.block) =
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Assign (x, _) | Ast.Local (x, _) -> x = index
+    | Ast.If (_, t, e) -> List.exists stmt t || List.exists stmt e
+    | Ast.For f -> f.index = index || List.exists stmt f.body
+    | Ast.While (_, b) -> List.exists stmt b
+    | Ast.Par bs -> List.exists (List.exists stmt) bs
+    | Ast.Call_proc _ ->
+        (* Callees write globals; if the index name is also a global the
+           summary-level may-write could hit it.  Be conservative. *)
+        true
+    | _ -> false
+  in
+  List.exists stmt b
+
+(* ------------------------------------------------------------------ *)
+(* Extraction walk                                                     *)
+
+let rec do_block st cu env (b : Ast.block) = ignore (List.fold_left (do_stmt st cu) env b)
+
+and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
+  match s.kind with
+  | Ast.Nop | Ast.Lock _ | Ast.Unlock _ | Ast.Free _ -> env
+  | Ast.Local (x, e) ->
+      expr_reads st cu env ~line:s.line e;
+      let r = new_region st ~name:x ~scalar:true ~refinable:true ~scope:(List.length cu.cpre) in
+      emit st r ~write:true ~line:s.line ~sub:(Affine.const 0) ~path:(slot cu);
+      SMap.add x { b_reg = r; b_idx = None } env
+  | Ast.Assign (x, e) ->
+      expr_reads st cu env ~line:s.line e;
+      (match SMap.find_opt x env with
+      | Some b -> emit st b.b_reg ~write:true ~line:s.line ~sub:(Affine.const 0) ~path:(slot cu)
+      | None -> ());
+      env
+  | Ast.Store (x, ix, e) ->
+      expr_reads st cu env ~line:s.line ix;
+      expr_reads st cu env ~line:s.line e;
+      (match SMap.find_opt x env with
+      | Some b -> emit st b.b_reg ~write:true ~line:s.line ~sub:(aff env ix) ~path:(slot cu)
+      | None -> ());
+      env
+  | Ast.Array_decl (x, sz) ->
+      expr_reads st cu env ~line:s.line sz;
+      let r = new_region st ~name:x ~scalar:false ~refinable:false ~scope:(List.length cu.cpre) in
+      SMap.add x { b_reg = r; b_idx = None } env
+  | Ast.If (c, t, e) ->
+      expr_reads st cu env ~line:s.line c;
+      let pa = slot cu in
+      do_block st { cpre = pa @ [ Alt 0 ]; cpos = 0 } env t;
+      do_block st { cpre = pa @ [ Alt 1 ]; cpos = 0 } env e;
+      env
+  | Ast.While (c, b) ->
+      let uid = fresh st in
+      let m =
+        get_meta st ~header:s.line ~end_:s.end_line ~is_for:false ~annotated:false
+          ~reduction:[] ~trip:None ~step:None ~straight:[]
+      in
+      Hashtbl.replace st.meta_by_uid uid m;
+      let pw = slot cu in
+      let cyc = { cpre = pw @ [ Loop uid ]; cpos = 0 } in
+      st.active <- m :: st.active;
+      expr_reads st cyc env ~line:s.line c;
+      ignore (List.fold_left (do_stmt st cyc) env b);
+      st.active <- List.tl st.active;
+      (* The final, failing condition evaluation happens after the last
+         activation — model its reads outside the cycle. *)
+      expr_reads st cu env ~line:s.line c;
+      env
+  | Ast.For f ->
+      expr_reads st cu env ~line:s.line f.lo;
+      let trip = Cfg.trip_literal f.lo f.hi f.step in
+      let stepl = match f.step with Ast.Int k when k <> 0 -> Some k | _ -> None in
+      let uid = fresh st in
+      let straight =
+        List.filter_map
+          (fun (b : Ast.stmt) ->
+            match b.kind with Ast.Assign (x, e) -> Some (b.line, x, e) | _ -> None)
+          f.body
+      in
+      let m =
+        get_meta st ~header:s.line ~end_:s.end_line ~is_for:true ~annotated:f.parallel
+          ~reduction:f.reduction ~trip ~step:stepl ~straight
+      in
+      Hashtbl.replace st.meta_by_uid uid m;
+      let ridx =
+        new_region st ~name:f.index ~scalar:true ~refinable:true
+          ~scope:(List.length cu.cpre)
+      in
+      emit st ridx ~write:true ~line:s.line ~sub:(Affine.const 0) ~path:(slot cu);
+      let valid_idx = not (assigns_index f.index f.body) in
+      let env' =
+        SMap.add f.index
+          { b_reg = ridx; b_idx = (if valid_idx then Some uid else None) }
+          env
+      in
+      let pf = slot cu in
+      let cyc = { cpre = pf @ [ Loop uid ]; cpos = 0 } in
+      st.active <- m :: st.active;
+      (* One activation: condition (hi reads + index read), body, then
+         increment (step reads + index read + index write) — all
+         attributed to the header line, as the interpreter does. *)
+      expr_reads st cyc env' ~line:s.line f.hi;
+      emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
+      ignore (List.fold_left (do_stmt st cyc) env' f.body);
+      expr_reads st cyc env' ~line:s.line f.step;
+      emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
+      emit st ridx ~write:true ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
+      st.active <- List.tl st.active;
+      (* Final failing condition evaluation, outside the cycle. *)
+      expr_reads st cu env' ~line:s.line f.hi;
+      emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cu);
+      env
+  | Ast.Par bs ->
+      let pp = slot cu in
+      List.iteri (fun k b -> do_block st { cpre = pp @ [ Par k ]; cpos = 0 } env b) bs;
+      env
+  | Ast.Call_proc (g, args) ->
+      List.iter (expr_reads st cu env ~line:s.line) args;
+      (match Hashtbl.find_opt st.funcs g with
+      | None -> ()
+      | Some fn -> if is_recursive st g then soup st cu g else inline st cu fn);
+      env
+
+(* Inline one activation of a non-recursive callee.  The callee env is
+   the caller's *globals* snapshot plus fresh param regions — matching
+   interp, which builds the callee env from ctx.globals + params. *)
+and inline st cu (fn : Ast.func) =
+  let pc = slot cu in
+  let icur = { cpre = pc; cpos = 0 } in
+  let scope = List.length pc in
+  let fenv =
+    List.fold_left
+      (fun e p ->
+        let r = new_region st ~name:p ~scalar:true ~refinable:true ~scope in
+        emit st r ~write:true ~line:fn.header_line ~sub:(Affine.const 0) ~path:(slot icur);
+        SMap.add p { b_reg = r; b_idx = None } e)
+      st.globals fn.params
+  in
+  ignore (List.fold_left (do_stmt st icur) fenv fn.fbody)
+
+(* Flatten a possibly-recursive call component under one synthetic Loop
+   step.  Every leaf of every reachable function lands in the same
+   cycle with Top subscripts; locals of the component get fresh,
+   non-refinable regions scoped outside the cycle, so all pairs inside
+   the component are conservatively dependent in both directions. *)
+and soup st cu g =
+  let pc = slot cu in
+  let uid = fresh st in
+  (* no meta for uid: trip unknown, step unknown, no refinement *)
+  let cyc = { cpre = pc @ [ Loop uid ]; cpos = 0 } in
+  let scope = List.length pc in
+  let reach = reachable_funcs st.funcs [ g ] in
+  let locals = Hashtbl.create 16 in
+  let local_region x =
+    match Hashtbl.find_opt locals x with
+    | Some r -> r
+    | None ->
+        let r = new_region st ~name:x ~scalar:false ~refinable:false ~scope in
+        Hashtbl.replace locals x r;
+        r
+  in
+  (* Emit to the component-local region and, if the name is also a
+     global, to the global region too: a soup name may denote either. *)
+  let touch ?(force_local = false) ~write ~line x =
+    let p = slot cyc in
+    emit st (local_region x) ~write ~line ~sub:Affine.Top ~path:p;
+    if not force_local then
+      match SMap.find_opt x st.globals with
+      | Some b -> emit st b.b_reg ~write ~line ~sub:Affine.Top ~path:(slot cyc)
+      | None -> ()
+  in
+  let rec expr ~line (e : Ast.expr) =
+    match e with
+    | Ast.Int _ | Ast.Float _ -> ()
+    | Ast.Var x -> touch ~write:false ~line x
+    | Ast.Load (x, ix) ->
+        expr ~line ix;
+        touch ~write:false ~line x
+    | Ast.Binop (_, l, r) ->
+        expr ~line l;
+        expr ~line r
+    | Ast.Unop (_, e) -> expr ~line e
+    | Ast.Intrinsic (_, args) -> List.iter (expr ~line) args
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Nop | Ast.Lock _ | Ast.Unlock _ | Ast.Free _ -> ()
+    | Ast.Local (x, e) | Ast.Assign (x, e) ->
+        expr ~line:s.line e;
+        touch ~write:true ~line:s.line x
+    | Ast.Store (x, ix, e) ->
+        expr ~line:s.line ix;
+        expr ~line:s.line e;
+        touch ~write:true ~line:s.line x
+    | Ast.Array_decl (_, sz) -> expr ~line:s.line sz
+    | Ast.If (c, t, e) ->
+        expr ~line:s.line c;
+        List.iter stmt t;
+        List.iter stmt e
+    | Ast.For f ->
+        expr ~line:s.line f.lo;
+        expr ~line:s.line f.hi;
+        expr ~line:s.line f.step;
+        touch ~force_local:true ~write:true ~line:s.line f.index;
+        touch ~force_local:true ~write:false ~line:s.line f.index;
+        List.iter stmt f.body
+    | Ast.While (c, b) ->
+        expr ~line:s.line c;
+        List.iter stmt b
+    | Ast.Par bs -> List.iter (List.iter stmt) bs
+    | Ast.Call_proc (h, args) ->
+        List.iter (expr ~line:s.line) args;
+        (* The callee body is flattened once below; model only the
+           per-call param writes here. *)
+        (match Hashtbl.find_opt st.funcs h with
+        | Some hf when Hashtbl.mem reach h ->
+            List.iter
+              (fun p -> touch ~force_local:true ~write:true ~line:hf.header_line p)
+              hf.params
+        | Some hf -> ignore hf
+        | None -> ())
+  in
+  Hashtbl.iter
+    (fun name () ->
+      match Hashtbl.find_opt st.funcs name with
+      | None -> ()
+      | Some (f : Ast.func) ->
+          List.iter
+            (fun p -> touch ~force_local:true ~write:true ~line:f.header_line p)
+            f.params;
+          List.iter stmt f.fbody)
+    reach
+
+(* ------------------------------------------------------------------ *)
+(* Pair analysis                                                       *)
+
+type rel = Before | After | Excl | Conc
+
+(* First divergence of two paths; collects carrier uids in the shared
+   prefix at depth >= [scope].  Defensive default is Conc (sound: it
+   yields edges in both directions). *)
+let relate scope (a : access) (b : access) =
+  let rec go i carr pa pb =
+    match (pa, pb) with
+    | x :: pa', y :: pb' when x = y ->
+        let carr = match x with Loop u when i >= scope -> u :: carr | _ -> carr in
+        go (i + 1) carr pa' pb'
+    | Seq p :: _, Seq q :: _ -> (carr, if p < q then Before else After)
+    | Alt p :: _, Alt q :: _ when p <> q -> (carr, Excl)
+    | Par p :: _, Par q :: _ when p <> q -> (carr, Conc)
+    | _ -> (carr, Conc)
+  in
+  go 0 [] a.a_path b.a_path
+
+let self_carriers scope (a : access) =
+  let rec go i acc = function
+    | [] -> acc
+    | Loop u :: tl when i >= scope -> go (i + 1) (u :: acc) tl
+    | _ :: tl -> go (i + 1) acc tl
+  in
+  go 0 [] a.a_path
+
+let kind_of ~(src : access) ~(sink : access) =
+  match (src.a_write, sink.a_write) with
+  | true, true -> Some Dep.WAW
+  | true, false -> Some Dep.RAW
+  | false, true -> Some Dep.WAR
+  | false, false -> None
+
+let note st ?(must = false) ?carrier ~kind ~src ~sink ~var () =
+  let key = (kind, src, sink, var) in
+  let e =
+    match Hashtbl.find_opt st.edges key with
+    | Some e -> e
+    | None ->
+        let e = { must = false; carr = ISet.empty } in
+        Hashtbl.replace st.edges key e;
+        e
+  in
+  if must then e.must <- true;
+  match carrier with Some h -> e.carr <- ISet.add h e.carr | None -> ()
+
+let carrier_info st u =
+  match Hashtbl.find_opt st.meta_by_uid u with
+  | Some m -> (m.lm_trip, m.lm_step, Some m.lm_header)
+  | None -> (None, None, None)
+
+(* A carried RAW into [sink_line] is refuted when the sink's loop-body
+   reads of the region's name are provably killed by a definite def on
+   every path from the loop entry (see Reach.refuted_sinks). *)
+let raw_refuted reach stable (r : region) header sink_line =
+  r.r_scalar && r.r_refinable
+  && Names.mem r.r_name stable
+  && List.mem sink_line (Reach.refuted_sinks reach ~header ~name:r.r_name)
+
+let pair st reach stable (r : region) (a : access) (b : access) =
+  let carr, rel = relate r.r_scope a b in
+  let same_iter src sink =
+    match kind_of ~src ~sink with
+    | Some kind when Affine.same_iter_alias src.a_sub sink.a_sub ->
+        note st ~kind ~src:src.a_line ~sink:sink.a_line ~var:r.r_name ()
+    | _ -> ()
+  in
+  (match rel with
+  | Before -> same_iter a b
+  | After -> same_iter b a
+  | Conc ->
+      same_iter a b;
+      same_iter b a
+  | Excl -> ());
+  if not st.mutant then
+    List.iter
+      (fun u ->
+        let trip, step, header = carrier_info st u in
+        let eligible = match trip with Some t -> t >= 2 | None -> true in
+        if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub b.a_sub then
+          let carried src sink =
+            match kind_of ~src ~sink with
+            | Some kind ->
+                let refuted =
+                  kind = Dep.RAW
+                  &&
+                  match header with
+                  | Some h -> raw_refuted reach stable r h sink.a_line
+                  | None -> false
+                in
+                if not refuted then
+                  note st
+                    ?carrier:(match header with Some h -> Some h | None -> None)
+                    ~kind ~src:src.a_line ~sink:sink.a_line ~var:r.r_name ()
+            | None -> ()
+          in
+          carried a b;
+          carried b a)
+      carr
+
+let self_pair st (r : region) (a : access) =
+  if a.a_write && not st.mutant then
+    List.iter
+      (fun u ->
+        let trip, step, header = carrier_info st u in
+        let eligible = match trip with Some t -> t >= 2 | None -> true in
+        if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub a.a_sub then
+          note st
+            ?carrier:(match header with Some h -> Some h | None -> None)
+            ~kind:Dep.WAW ~src:a.a_line ~sink:a.a_line ~var:r.r_name ())
+      (self_carriers r.r_scope a)
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+
+let is_red_op (op : Value.binop) ~left =
+  match op with
+  | Value.Add | Value.Mul | Value.Min | Value.Max -> true
+  | Value.Sub -> left (* s = s - e reduces; s = e - s does not *)
+  | _ -> false
+
+let reduction_shaped st ~var ~line =
+  match Hashtbl.find_opt st.assigns line with
+  | Some (x, Ast.Binop (op, Ast.Var y, rhs))
+    when x = var && y = var && is_red_op op ~left:true ->
+      not (Names.mem var (Cfg.scalars_of_expr rhs))
+  | Some (x, Ast.Binop (op, lhs, Ast.Var y))
+    when x = var && y = var && is_red_op op ~left:false ->
+      not (Names.mem var (Cfg.scalars_of_expr lhs))
+  | _ -> false
+
+(* Must-serial evidence: the offender is a straight-line self-assign
+   [s = f(s, ...)] in the loop body, the loop definitely runs >= 2
+   iterations, and the CFG proves that assign is the only write to [s]
+   in the loop (no may-defs).  Then iteration k's read of [s] is fed by
+   iteration k-1's write in every run: a genuine carried RAW. *)
+let serial_proof st reach stable (m : loop_meta) (e : Static_dep.edge) =
+  e.Static_dep.e_src = e.Static_dep.e_sink
+  && (match m.lm_trip with Some t -> t >= 2 | None -> false)
+  && List.exists
+       (fun (l, x, rhs) ->
+         l = e.Static_dep.e_src
+         && x = e.Static_dep.e_var
+         && Names.mem x (Cfg.scalars_of_expr rhs))
+       m.lm_straight
+  && (not (reduction_shaped st ~var:e.Static_dep.e_var ~line:e.Static_dep.e_src))
+  && Names.mem e.Static_dep.e_var stable
+  && Reach.loop_defs reach ~header:m.lm_header ~name:e.Static_dep.e_var
+     = Some ([ e.Static_dep.e_src ], false)
+
+let verdict_of st reach stable (m : loop_meta) (all_edges : Static_dep.edge list) =
+  let offenders =
+    List.filter
+      (fun (e : Static_dep.edge) ->
+        e.Static_dep.e_kind = Dep.RAW
+        && List.mem m.lm_header e.Static_dep.e_carriers
+        && e.Static_dep.e_src <> m.lm_header (* induction-variable cycle *)
+        && not
+             (e.Static_dep.e_src = e.Static_dep.e_sink
+             && List.mem e.Static_dep.e_var m.lm_reduction))
+      all_edges
+  in
+  let verdict =
+    match m.lm_trip with
+    | Some t when t <= 1 -> Static_dep.Parallel (* a single iteration carries nothing *)
+    | _ ->
+        if offenders = [] then Static_dep.Parallel
+        else if List.exists (serial_proof st reach stable m) offenders then
+          Static_dep.Serial
+        else if
+          List.for_all
+            (fun (e : Static_dep.edge) ->
+              e.Static_dep.e_src = e.Static_dep.e_sink
+              && reduction_shaped st ~var:e.Static_dep.e_var ~line:e.Static_dep.e_src)
+            offenders
+        then Static_dep.Reduction
+        else Static_dep.Unknown
+  in
+  (verdict, offenders)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let fill_assigns tbl (prog : Ast.program) =
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Assign (x, e) -> Hashtbl.replace tbl s.line (x, e)
+    | Ast.If (_, t, e) ->
+        List.iter stmt t;
+        List.iter stmt e
+    | Ast.For f -> List.iter stmt f.body
+    | Ast.While (_, b) -> List.iter stmt b
+    | Ast.Par bs -> List.iter (List.iter stmt) bs
+    | _ -> ()
+  in
+  List.iter stmt prog.body;
+  List.iter (fun (f : Ast.func) -> List.iter stmt f.fbody) prog.funcs
+
+let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
+  ignore (Ast.number prog);
+  let st =
+    {
+      next_uid = 0;
+      regions = [];
+      n_acc = 0;
+      meta_by_header = Hashtbl.create 16;
+      meta_by_uid = Hashtbl.create 16;
+      metas = [];
+      assigns = Hashtbl.create 64;
+      funcs = Hashtbl.create 8;
+      recursive = Hashtbl.create 8;
+      active = [];
+      globals = SMap.empty;
+      edges = Hashtbl.create 256;
+      mutant;
+    }
+  in
+  List.iter (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.fname f) prog.funcs;
+  compute_recursive st prog;
+  fill_assigns st.assigns prog;
+  (* Extraction: thread the env through top-level statements, keeping
+     st.globals = env *before* the current statement (interp updates
+     ctx.globals only after each top-level statement completes). *)
+  let root = { cpre = []; cpos = 0 } in
+  ignore
+    (List.fold_left
+       (fun env s ->
+         st.globals <- env;
+         do_stmt st root env s)
+       SMap.empty prog.body);
+  (* CFG dataflow facts *)
+  let reach = Reach.solve (Cfg.build prog) in
+  let stable = Cfg.stable_scalars prog in
+  (* Pairwise tests per region *)
+  List.iter
+    (fun r ->
+      let accs = Array.of_list r.r_accs in
+      let n = Array.length accs in
+      for i = 0 to n - 1 do
+        self_pair st r accs.(i);
+        for j = i + 1 to n - 1 do
+          pair st reach stable r accs.(i) accs.(j)
+        done
+      done)
+    st.regions;
+  (* Must-RAW claims from reaching definitions *)
+  List.iter
+    (fun (m : Reach.must_raw) ->
+      note st ~must:true ~kind:Dep.RAW ~src:m.m_src ~sink:m.m_sink ~var:m.m_name ())
+    (Reach.must_raws reach ~stable);
+  let edges =
+    Hashtbl.fold
+      (fun (kind, src, sink, var) (e : emut) acc ->
+        {
+          Static_dep.e_kind = kind;
+          e_src = src;
+          e_sink = sink;
+          e_var = var;
+          e_must = e.must;
+          e_carriers = ISet.elements e.carr;
+        }
+        :: acc)
+      st.edges []
+    |> List.sort (fun (a : Static_dep.edge) b ->
+           compare
+             (a.Static_dep.e_src, a.Static_dep.e_sink, a.Static_dep.e_kind, a.Static_dep.e_var)
+             (b.Static_dep.e_src, b.Static_dep.e_sink, b.Static_dep.e_kind, b.Static_dep.e_var))
+  in
+  let loops =
+    st.metas
+    |> List.filter (fun m -> m.lm_is_for)
+    |> List.sort (fun a b -> compare a.lm_header b.lm_header)
+    |> List.map (fun m ->
+           let verdict, offenders = verdict_of st reach stable m edges in
+           let live =
+             Names.inter (Reach.entry_live reach ~header:m.lm_header) m.lm_names
+           in
+           {
+             Static_dep.v_header = m.lm_header;
+             v_end = m.lm_end;
+             v_annotated = m.lm_annotated;
+             v_reduction = m.lm_reduction;
+             v_verdict = verdict;
+             v_offenders = offenders;
+             v_live = Names.elements live;
+           })
+  in
+  let touched =
+    List.fold_left
+      (fun s (e : Static_dep.edge) -> Names.add e.Static_dep.e_var s)
+      Names.empty edges
+  in
+  let declared =
+    List.fold_left (fun s (r : region) -> Names.add r.r_name s) Names.empty st.regions
+  in
+  let prunable = Names.elements (Names.diff declared touched) in
+  {
+    Static_dep.prog = prog.name;
+    edges;
+    loops;
+    prunable;
+    stats =
+      {
+        Static_dep.s_regions = List.length st.regions;
+        s_accesses = st.n_acc;
+        s_may = List.length edges;
+        s_must = List.length (List.filter (fun (e : Static_dep.edge) -> e.Static_dep.e_must) edges);
+      };
+  }

@@ -1,0 +1,23 @@
+(** The whole-program static dependence analyzer.
+
+    [analyze prog] extracts every scalar/array access site of [prog]
+    into an execution-tree path model (sequencing, loop, branch and
+    [Par] steps), runs pairwise dependence tests per storage region —
+    affine subscript tests (ZIV / strong SIV / GCD) for array accesses
+    under literal-bound [For] loops, conservative Top aliasing
+    otherwise — and refines/strengthens the result with the CFG
+    dataflow facts of {!Reach} (must-RAW claims, carried-RAW sink
+    refutation, must-serial evidence).
+
+    Soundness contract (checked by [ddpcheck soundness]): for every
+    program, the returned may-edge set is a superset of the dependences
+    any execution under the default profiler configuration reports
+    (excluding INIT), and every must edge occurs in every complete
+    run.  Non-recursive calls are inlined; recursive call components
+    are "souped" under a synthetic carrier so every intra-component
+    pair is conservatively both-directions dependent. *)
+
+val analyze : ?mutant:bool -> Ddp_minir.Ast.program -> Static_dep.t
+(** [mutant] deliberately breaks the analysis (drops all loop-carried
+    edges) — the fire-drill hook proving the soundness checker can
+    catch an unsound analyzer.  Never set it in production code. *)

@@ -1,0 +1,268 @@
+(* Statement-grained control-flow graphs for MiniIR routines.
+
+   The node layout for [For] mirrors lib/minir/interp.ml exactly: an init
+   node (lo reads + index write), a condition node (hi reads + index
+   read) that is both loop entry and exit, the body, and an increment
+   node (step reads + index read/write) closing the back edge — all
+   attributed to the header line, as the interpreter attributes them.
+   [Par] arms are modeled as alternative paths: that is sound for the
+   analyses built on top (may-defs for reaching definitions, and the
+   clearance pass only ever *refutes* along same-thread program order). *)
+
+module Ast = Ddp_minir.Ast
+module Names = Dataflow.Names
+
+type node = {
+  id : int;
+  line : int;
+  uses : Names.t;
+  defs : Names.t;
+  gen_only : Names.t;
+  is_call : bool;
+  must : bool;
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type loop = { l_header : int; l_entry : int; l_members : int list }
+
+type t = {
+  routine : string;
+  nodes : node array;
+  entry : int;
+  exits : int list;
+  loops : loop list;
+}
+
+type summary = { s_reads : Names.t; s_writes : Names.t }
+
+let rec expr_scalars acc (e : Ast.expr) =
+  match e with
+  | Int _ | Float _ -> acc
+  | Var x -> Names.add x acc
+  | Load (_, ix) -> expr_scalars acc ix
+  | Binop (_, l, r) -> expr_scalars (expr_scalars acc l) r
+  | Unop (_, e) -> expr_scalars acc e
+  | Intrinsic (_, args) -> List.fold_left expr_scalars acc args
+
+let scalars_of_expr e = expr_scalars Names.empty e
+let scalars_of_exprs es = List.fold_left expr_scalars Names.empty es
+
+let trip_literal lo hi step =
+  match (lo, hi, step) with
+  | Ast.Int l, Ast.Int h, Ast.Int s ->
+      if s > 0 then Some (max 0 ((h - l + s - 1) / s))
+      else if l >= h then Some 0
+      else None (* nonpositive step on a nonempty range: diverges *)
+  | _ -> None
+
+let empty_summary = { s_reads = Names.empty; s_writes = Names.empty }
+
+let summaries (prog : Ast.program) =
+  let tbl = Hashtbl.create 8 in
+  let find g = try Hashtbl.find tbl g with Not_found -> empty_summary in
+  let effect_of (f : Ast.func) =
+    let reads = ref Names.empty and writes = ref Names.empty in
+    let note locals e =
+      Names.iter
+        (fun x -> if not (Names.mem x locals) then reads := Names.add x !reads)
+        (scalars_of_expr e)
+    in
+    let rec stmt locals (s : Ast.stmt) =
+      match s.kind with
+      | Local (x, e) ->
+          note locals e;
+          Names.add x locals
+      | Assign (x, e) ->
+          note locals e;
+          if not (Names.mem x locals) then writes := Names.add x !writes;
+          locals
+      | Store (_, ix, e) ->
+          note locals ix;
+          note locals e;
+          locals
+      | Array_decl (x, sz) ->
+          note locals sz;
+          Names.add x locals
+      | Free _ | Lock _ | Unlock _ | Nop -> locals
+      | If (c, t, e) ->
+          note locals c;
+          ignore (block locals t);
+          ignore (block locals e);
+          locals
+      | For f ->
+          note locals f.lo;
+          let inner = Names.add f.index locals in
+          note inner f.hi;
+          note inner f.step;
+          ignore (block inner f.body);
+          locals
+      | While (c, b) ->
+          note locals c;
+          ignore (block locals b);
+          locals
+      | Par bs ->
+          List.iter (fun b -> ignore (block locals b)) bs;
+          locals
+      | Call_proc (g, args) ->
+          List.iter (note locals) args;
+          (* Callee effects hit top-level globals regardless of our
+             locals (MiniIR calls see ctx.globals + params only). *)
+          let sg = find g in
+          reads := Names.union !reads sg.s_reads;
+          writes := Names.union !writes sg.s_writes;
+          locals
+    and block locals b = List.fold_left stmt locals b in
+    ignore (block (Names.of_list f.params) f.fbody);
+    { s_reads = !reads; s_writes = !writes }
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ast.func) ->
+        let s = effect_of f in
+        let old = find f.fname in
+        if not (Names.equal s.s_reads old.s_reads && Names.equal s.s_writes old.s_writes)
+        then begin
+          Hashtbl.replace tbl f.fname s;
+          changed := true
+        end)
+      prog.funcs
+  done;
+  tbl
+
+let stable_scalars (prog : Ast.program) =
+  let count = Hashtbl.create 32 and freed = ref Names.empty in
+  let decl x = Hashtbl.replace count x (1 + try Hashtbl.find count x with Not_found -> 0) in
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Local (x, _) | Array_decl (x, _) -> decl x
+    | Free x -> freed := Names.add x !freed
+    | If (_, t, e) ->
+        block t;
+        block e
+    | For f ->
+        decl f.index;
+        block f.body
+    | While (_, b) -> block b
+    | Par bs -> List.iter block bs
+    | Assign _ | Store _ | Lock _ | Unlock _ | Nop | Call_proc _ -> ()
+  and block b = List.iter stmt b in
+  block prog.body;
+  List.iter
+    (fun (f : Ast.func) ->
+      List.iter decl f.params;
+      block f.fbody)
+    prog.funcs;
+  Hashtbl.fold
+    (fun x n acc -> if n = 1 && not (Names.mem x !freed) then Names.add x acc else acc)
+    count Names.empty
+
+let build (prog : Ast.program) =
+  let sums = summaries prog in
+  let summary g = try Hashtbl.find sums g with Not_found -> empty_summary in
+  let routine name formals body =
+    let nodes_tbl = Hashtbl.create 64 in
+    let counter = ref 0 in
+    let loops = ref [] in
+    let add ~line ~uses ~defs ?(gen = Names.empty) ?(call = false) ~must () =
+      let id = !counter in
+      incr counter;
+      Hashtbl.replace nodes_tbl id
+        { id; line; uses; defs; gen_only = gen; is_call = call; must; succs = []; preds = [] };
+      id
+    in
+    let node id = Hashtbl.find nodes_tbl id in
+    let connect preds id =
+      List.iter
+        (fun p ->
+          let pn = node p in
+          pn.succs <- id :: pn.succs;
+          (node id).preds <- p :: (node id).preds)
+        preds
+    in
+    let members lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
+    let rec stmt ~must preds (s : Ast.stmt) : int list =
+      match s.kind with
+      | Lock _ | Unlock _ | Nop | Free _ -> preds
+      | Local (x, e) | Assign (x, e) ->
+          let id =
+            add ~line:s.line ~uses:(scalars_of_expr e) ~defs:(Names.singleton x) ~must ()
+          in
+          connect preds id;
+          [ id ]
+      | Store (x, ix, e) ->
+          (* The store hits the region named [x]; if [x] is in fact a
+             scalar (Store s[0] is legal MiniIR), that is an address
+             write reaching definitions must not see through — model it
+             as a may-def so it widens facts without killing them. *)
+          let uses = Names.union (scalars_of_expr ix) (scalars_of_expr e) in
+          let id =
+            add ~line:s.line ~uses ~defs:Names.empty ~gen:(Names.singleton x) ~must ()
+          in
+          connect preds id;
+          [ id ]
+      | Array_decl (_, sz) ->
+          let id = add ~line:s.line ~uses:(scalars_of_expr sz) ~defs:Names.empty ~must () in
+          connect preds id;
+          [ id ]
+      | If (c, t, e) ->
+          let cid = add ~line:s.line ~uses:(scalars_of_expr c) ~defs:Names.empty ~must () in
+          connect preds cid;
+          let td = block ~must:false [ cid ] t in
+          let ed = block ~must:false [ cid ] e in
+          td @ ed
+      | While (c, b) ->
+          let cid = add ~line:s.line ~uses:(scalars_of_expr c) ~defs:Names.empty ~must () in
+          connect preds cid;
+          let bd = block ~must:false [ cid ] b in
+          connect bd cid;
+          loops :=
+            { l_header = s.line; l_entry = cid; l_members = members cid (!counter - 1) }
+            :: !loops;
+          [ cid ]
+      | For f ->
+          let pre =
+            add ~line:s.line ~uses:(scalars_of_expr f.lo)
+              ~defs:(Names.singleton f.index) ~must ()
+          in
+          connect preds pre;
+          let cid =
+            add ~line:s.line
+              ~uses:(Names.add f.index (scalars_of_expr f.hi))
+              ~defs:Names.empty ~must ()
+          in
+          connect [ pre ] cid;
+          let trip = trip_literal f.lo f.hi f.step in
+          let body_must = must && (match trip with Some t -> t >= 1 | None -> false) in
+          let bd = block ~must:body_must [ cid ] f.body in
+          let inc =
+            add ~line:s.line
+              ~uses:(Names.add f.index (scalars_of_expr f.step))
+              ~defs:(Names.singleton f.index) ~must:body_must ()
+          in
+          connect bd inc;
+          connect [ inc ] cid;
+          loops :=
+            { l_header = s.line; l_entry = cid; l_members = members cid inc } :: !loops;
+          [ cid ]
+      | Par bs -> List.concat_map (fun b -> block ~must:false preds b) bs
+      | Call_proc (g, args) ->
+          let sg = summary g in
+          let uses = Names.union (scalars_of_exprs args) sg.s_reads in
+          let id =
+            add ~line:s.line ~uses ~defs:Names.empty ~gen:sg.s_writes ~call:true ~must ()
+          in
+          connect preds id;
+          [ id ]
+    and block ~must preds b = List.fold_left (fun p s -> stmt ~must p s) preds b in
+    let entry =
+      add ~line:0 ~uses:Names.empty ~defs:(Names.of_list formals) ~must:true ()
+    in
+    let exits = block ~must:true [ entry ] body in
+    let nodes = Array.init !counter (fun i -> node i) in
+    { routine = name; nodes; entry; exits; loops = List.rev !loops }
+  in
+  routine "main" [] prog.body
+  :: List.map (fun (f : Ast.func) -> routine f.fname f.params f.fbody) prog.funcs

@@ -1,0 +1,72 @@
+(** Control-flow graphs over MiniIR, one per routine (the top-level block
+    plus each [func]), with the scalar use/def sets the dataflow passes in
+    {!Reach} consume.
+
+    Nodes are statement-grained.  [For] loops expand into the same three
+    header nodes the interpreter's event stream exhibits (init, condition,
+    increment, all at the header line); [Par] arms become parallel
+    alternative path families; [Call_proc] collapses into one call node
+    carrying the callee's transitive global-scalar summary, whose writes
+    are {e may}-defs ([gen_only]) — they generate definitions but never
+    kill, keeping reaching-definition facts sound across calls. *)
+
+module Names = Dataflow.Names
+
+type node = {
+  id : int;
+  line : int;
+  uses : Names.t;  (** scalar names the node reads (array element reads excluded) *)
+  defs : Names.t;  (** definite scalar writes: gen + kill *)
+  gen_only : Names.t;  (** may-writes via calls: gen, never kill *)
+  is_call : bool;
+  must : bool;
+      (** node executes in every complete run of the routine: not under
+          [If]/[While]/[Par], and only under [For]s with literal trip >= 1 *)
+  mutable succs : int list;
+  mutable preds : int list;
+}
+
+type loop = {
+  l_header : int;  (** source line of the [For]/[While] statement *)
+  l_entry : int;  (** condition node id — target of the back edge *)
+  l_members : int list;  (** node ids forming the cycle body (entry..latch) *)
+}
+
+type t = {
+  routine : string;  (** ["main"] or the function name *)
+  nodes : node array;  (** indexed by node id *)
+  entry : int;
+  exits : int list;
+  loops : loop list;
+}
+
+type summary = {
+  s_reads : Names.t;  (** global scalars a call may read, transitively *)
+  s_writes : Names.t;  (** global scalars a call may write, transitively *)
+}
+
+val scalars_of_expr : Ddp_minir.Ast.expr -> Names.t
+(** Scalar names read when evaluating the expression (subscript scalars
+    included, array names excluded). *)
+
+val trip_literal :
+  Ddp_minir.Ast.expr -> Ddp_minir.Ast.expr -> Ddp_minir.Ast.expr -> int option
+(** Iteration count of [for (i = lo; i < hi; i += step)] when all three
+    bounds are integer literals; [None] when unknown (or non-terminating). *)
+
+val summaries : Ddp_minir.Ast.program -> (string, summary) Hashtbl.t
+(** Transitive global-scalar effect summary per function, by fixpoint
+    over the (possibly recursive) call graph.  Callee effects name
+    top-level globals: MiniIR callees see [ctx.globals], never the
+    caller's locals. *)
+
+val stable_scalars : Ddp_minir.Ast.program -> Names.t
+(** Names declared exactly once program-wide ([Local], [Array_decl],
+    [For] index or parameter) and never [Free]d.  Shadowing-free, so
+    name-keyed dataflow facts about them translate to address facts;
+    the must-dependence and liveness-refinement passes are gated on
+    this set. *)
+
+val build : Ddp_minir.Ast.program -> t list
+(** CFGs for the whole program: main first, then one per function, in
+    declaration order. *)

@@ -1,0 +1,49 @@
+(* Generic monotone worklist solver.  All the scalar analyses in this
+   library (reaching definitions, liveness, definition clearance) are
+   instances over small lattices, so one chaotic-iteration loop serves
+   them all. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val bottom : t
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) = struct
+  let solve ~nodes ~deps ~transfer ?(init = fun _ -> L.bottom) () =
+    let in_v = Hashtbl.create 64 and out_v = Hashtbl.create 64 in
+    let get tbl n = try Hashtbl.find tbl n with Not_found -> L.bottom in
+    List.iter
+      (fun n ->
+        Hashtbl.replace in_v n (init n);
+        Hashtbl.replace out_v n (transfer n (init n)))
+      nodes;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun n ->
+          let i =
+            List.fold_left (fun acc d -> L.join acc (get out_v d)) (init n) (deps n)
+          in
+          if not (L.equal i (get in_v n)) then begin
+            Hashtbl.replace in_v n i;
+            Hashtbl.replace out_v n (transfer n i);
+            changed := true
+          end)
+        nodes
+    done;
+    (get in_v, get out_v)
+end
+
+module Names = Set.Make (String)
+
+module Name_set_lattice = struct
+  type t = Names.t
+
+  let equal = Names.equal
+  let bottom = Names.empty
+  let join = Names.union
+end

@@ -1,0 +1,30 @@
+(** A small monotone-framework worklist solver, shared by the
+    reaching-definitions, live-variables and definition-clearance passes
+    in {!Reach}.  Direction-agnostic: pass successor edges for a forward
+    problem and predecessor edges for a backward one. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val bottom : t
+  val join : t -> t -> t
+end
+
+module Make (L : LATTICE) : sig
+  val solve :
+    nodes:int list ->
+    deps:(int -> int list) ->
+    transfer:(int -> L.t -> L.t) ->
+    ?init:(int -> L.t) ->
+    unit ->
+    (int -> L.t) * (int -> L.t)
+  (** [solve ~nodes ~deps ~transfer ~init ()] computes the least fixpoint
+      of [in(n) = init n |_| join over d in deps n of out(d)] and
+      [out(n) = transfer n (in n)].  Returns [(in_of, out_of)].  [deps]
+      must only yield members of [nodes]; [init] defaults to bottom. *)
+end
+
+module Names : Set.S with type elt = string
+
+module Name_set_lattice : LATTICE with type t = Names.t

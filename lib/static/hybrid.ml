@@ -1,0 +1,12 @@
+type plan = {
+  symtab : Ddp_minir.Symtab.t;
+  prune_ids : int list;
+  prune_names : string list;
+  report : Static_dep.t;
+}
+
+let plan prog =
+  let report = Analyze.analyze prog in
+  let symtab = Ddp_minir.Symtab.create () in
+  let prune_ids = List.map (Ddp_minir.Symtab.var symtab) report.Static_dep.prunable in
+  { symtab; prune_ids; prune_names = report.Static_dep.prunable; report }

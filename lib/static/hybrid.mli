@@ -1,0 +1,15 @@
+(** Glue between the static analyzer and the dynamic "hybrid" engine:
+    pre-interns the statically proved dependence-free variables into a
+    symbol table so the engine can skip their access events by id
+    (Config.static_prune). *)
+
+type plan = {
+  symtab : Ddp_minir.Symtab.t;
+      (** pass this same table to the profiler run (interning is
+          idempotent, so pre-interning never changes later ids) *)
+  prune_ids : int list;  (** var ids proved dependence-free *)
+  prune_names : string list;
+  report : Static_dep.t;  (** the full static analysis behind the plan *)
+}
+
+val plan : Ddp_minir.Ast.program -> plan

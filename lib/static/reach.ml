@@ -1,0 +1,208 @@
+(* Reaching definitions, liveness and loop clearance over Cfg routines.
+
+   Reaching definitions track, per scalar name, the set of node ids whose
+   definition may be the last one on some path; the pseudo-id [-1] is the
+   "uninitialized" bottom definition injected at routine entry.  Call
+   nodes gen their may-written names without killing, so a may-write can
+   widen a fact but never narrow one. *)
+
+module Names = Dataflow.Names
+module IS = Set.Make (Int)
+module SM = Map.Make (String)
+
+let bottom_def = -1
+
+module Def_lattice = struct
+  type t = IS.t SM.t
+
+  let equal = SM.equal IS.equal
+  let bottom = SM.empty
+
+  let join a b =
+    SM.union (fun _ x y -> Some (IS.union x y)) a b
+end
+
+module Def_flow = Dataflow.Make (Def_lattice)
+module Live_flow = Dataflow.Make (Dataflow.Name_set_lattice)
+
+type routine = {
+  cfg : Cfg.t;
+  rd_in : int -> Def_lattice.t;
+  live_in : int -> Names.t;
+}
+
+type t = {
+  routines : routine list;
+  by_header : (int, routine * Cfg.loop) Hashtbl.t;
+  clearance : (int * string, int list * int list) Hashtbl.t;
+      (* (header, name) -> (use lines, upward-exposed use lines) *)
+}
+
+let ids (cfg : Cfg.t) = List.init (Array.length cfg.nodes) Fun.id
+
+let reaching (cfg : Cfg.t) =
+  let universe =
+    Array.fold_left
+      (fun acc (n : Cfg.node) ->
+        Names.union acc (Names.union n.uses (Names.union n.defs n.gen_only)))
+      Names.empty cfg.nodes
+  in
+  let at_entry =
+    Names.fold (fun x m -> SM.add x (IS.singleton bottom_def) m) universe SM.empty
+  in
+  let transfer id m =
+    let n = cfg.nodes.(id) in
+    let m = Names.fold (fun x acc -> SM.add x (IS.singleton id) acc) n.defs m in
+    Names.fold
+      (fun x acc ->
+        SM.update x
+          (function None -> Some (IS.singleton id) | Some s -> Some (IS.add id s))
+          acc)
+      n.gen_only m
+  in
+  let init id = if id = cfg.entry then at_entry else SM.empty in
+  let in_of, _ =
+    Def_flow.solve ~nodes:(ids cfg)
+      ~deps:(fun id -> cfg.nodes.(id).preds)
+      ~transfer ~init ()
+  in
+  in_of
+
+let liveness (cfg : Cfg.t) =
+  (* Backward: feed successor live-ins as "deps"; the solver's transfer
+     output is live-in, its join input live-out. *)
+  let transfer id out =
+    let n = cfg.nodes.(id) in
+    Names.union n.uses (Names.diff out n.defs)
+  in
+  let _, live_in =
+    Live_flow.solve ~nodes:(ids cfg) ~deps:(fun id -> cfg.nodes.(id).succs) ~transfer ()
+  in
+  live_in
+
+let solve cfgs =
+  let routines =
+    List.map
+      (fun cfg -> { cfg; rd_in = reaching cfg; live_in = liveness cfg })
+      cfgs
+  in
+  let by_header = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (l : Cfg.loop) ->
+          if not (Hashtbl.mem by_header l.l_header) then
+            Hashtbl.add by_header l.l_header (r, l))
+        r.cfg.loops)
+    routines;
+  { routines; by_header; clearance = Hashtbl.create 32 }
+
+type must_raw = { m_src : int; m_sink : int; m_name : string }
+
+let must_raws t ~stable =
+  match t.routines with
+  | [] -> []
+  | main :: _ ->
+      let cfg = main.cfg in
+      let seen = Hashtbl.create 32 in
+      let out = ref [] in
+      Array.iter
+        (fun (n : Cfg.node) ->
+          if n.must && not n.is_call then
+            Names.iter
+              (fun x ->
+                if Names.mem x stable then
+                  let rd =
+                    try SM.find x (main.rd_in n.id) with Not_found -> IS.empty
+                  in
+                  (* Claim only when every possibly-last write is a
+                     definite def at one single source line. *)
+                  if
+                    (not (IS.is_empty rd))
+                    && (not (IS.mem bottom_def rd))
+                    && IS.for_all
+                         (fun d ->
+                           d <> n.id && Names.mem x cfg.nodes.(d).defs)
+                         rd
+                  then
+                    let lines = IS.map (fun d -> cfg.nodes.(d).line) rd in
+                    match IS.elements lines with
+                    | [ src ] when src > 0 ->
+                        let key = (src, n.line, x) in
+                        if not (Hashtbl.mem seen key) then begin
+                          Hashtbl.add seen key ();
+                          out := { m_src = src; m_sink = n.line; m_name = x } :: !out
+                        end
+                    | _ -> ())
+              n.uses)
+        cfg.nodes;
+      List.rev !out
+
+let find_loop t ~header = Hashtbl.find_opt t.by_header header
+
+let entry_live t ~header =
+  match find_loop t ~header with
+  | None -> Names.empty
+  | Some (r, l) -> r.live_in l.l_entry
+
+(* Forward boolean "still clear of a definite def" pass over the loop's
+   induced cycle subgraph: true at the entry (the back edge just
+   arrived), killed by definite defs, unaffected by may-defs.  Returns
+   (use lines, upward-exposed use lines), memoized per (loop, name). *)
+let clearance t ~header ~name =
+  match find_loop t ~header with
+  | None -> None
+  | Some (r, l) -> (
+      match Hashtbl.find_opt t.clearance (header, name) with
+      | Some res -> Some res
+      | None ->
+          let cfg = r.cfg in
+          let members = IS.of_list l.l_members in
+          let module B = Dataflow.Make (struct
+            type t = bool
+
+            let equal = Bool.equal
+            let bottom = false
+            let join = ( || )
+          end) in
+          let clear_in, _ =
+            B.solve ~nodes:l.l_members
+              ~deps:(fun id ->
+                List.filter (fun p -> IS.mem p members) cfg.nodes.(id).preds)
+              ~transfer:(fun id c -> c && not (Names.mem name cfg.nodes.(id).defs))
+              ~init:(fun id -> id = l.l_entry)
+              ()
+          in
+          let pick keep =
+            List.filter_map
+              (fun id ->
+                let n = cfg.nodes.(id) in
+                if Names.mem name n.uses && keep id then Some n.line else None)
+              l.l_members
+            |> List.sort_uniq compare
+          in
+          let res = (pick (fun _ -> true), pick clear_in) in
+          Hashtbl.replace t.clearance (header, name) res;
+          Some res)
+
+let exposed_lines t ~header ~name =
+  Option.map snd (clearance t ~header ~name)
+
+let refuted_sinks t ~header ~name =
+  match clearance t ~header ~name with
+  | None -> []
+  | Some (uses, exposed) -> List.filter (fun l -> not (List.mem l exposed)) uses
+
+let loop_defs t ~header ~name =
+  match find_loop t ~header with
+  | None -> None
+  | Some (r, l) ->
+      let cfg = r.cfg in
+      let defs = ref [] and gen = ref false in
+      List.iter
+        (fun id ->
+          let n = cfg.nodes.(id) in
+          if Names.mem name n.defs then defs := n.line :: !defs;
+          if Names.mem name n.gen_only then gen := true)
+        l.l_members;
+      Some (List.sort_uniq compare !defs, !gen)

@@ -1,0 +1,49 @@
+(** Solved dataflow facts over a program's CFGs: reaching definitions
+    (for must-RAW edges), live variables (loop-entry liveness), and the
+    per-loop definition-clearance pass that decides whether a use is
+    upward-exposed to the loop's back edge.
+
+    All facts are name-keyed; callers gate them on
+    {!Cfg.stable_scalars} so that a name identifies one address
+    lineage. *)
+
+type t
+
+val solve : Cfg.t list -> t
+(** Solve reaching definitions and liveness on every routine (list as
+    returned by {!Cfg.build}, main first).  Clearance is computed lazily
+    per (loop, name) query and memoized. *)
+
+type must_raw = { m_src : int; m_sink : int; m_name : string }
+(** A RAW edge that occurs in {e every} complete run: the sink line
+    executes unconditionally and every path to it has its last definite
+    write of [m_name] at [m_src]. *)
+
+val must_raws : t -> stable:Dataflow.Names.t -> must_raw list
+(** Must-RAW edges of the main routine, deduplicated.  Restricted to
+    [stable] names, to non-call uses, and to nodes outside [Par] arms;
+    sound provided the program runs to completion. *)
+
+val entry_live : t -> header:int -> Dataflow.Names.t
+(** Scalars live at the entry (condition node) of the loop whose
+    statement line is [header]; empty when the loop is unknown. *)
+
+val exposed_lines : t -> header:int -> name:string -> int list option
+(** Lines inside the loop at [header] where a use of [name] is reachable
+    from the loop entry without passing a definite definition — i.e. the
+    reads a previous iteration's write could still feed.  [None] when no
+    loop with that header line exists. *)
+
+val refuted_sinks : t -> header:int -> name:string -> int list
+(** Member-node use lines of [name] that are {e not} upward-exposed:
+    every path from the loop entry to such a use kills [name] with a
+    definite definition first, so no previous-iteration write can be the
+    read's immediate source.  Sound refutation set for carried RAW sinks;
+    lines the loop's CFG does not model (e.g. inside callees) are never
+    returned.  Empty when the loop is unknown. *)
+
+val loop_defs : t -> header:int -> name:string -> (int list * bool) option
+(** [(definite-def lines among the loop's members, any-may-def?)] for
+    [name] in the loop at [header] — the evidence the must-serial verdict
+    needs ("the only write in the loop is the self-assignment, and no
+    call may touch it").  [None] when the loop is unknown. *)

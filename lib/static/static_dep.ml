@@ -1,0 +1,132 @@
+(* Result representation for the static dependence analyzer.  The edge
+   space deliberately matches Accuracy.Edge — (kind, src line, sink line,
+   variable name) — so static and dynamic sets compare with ordinary set
+   operations. *)
+
+module Dep = Ddp_core.Dep
+module Accuracy = Ddp_core.Accuracy
+module Json = Ddp_obs.Json
+
+type edge = {
+  e_kind : Dep.kind;
+  e_src : int;
+  e_sink : int;
+  e_var : string;
+  e_must : bool;
+  e_carriers : int list;
+}
+
+type verdict = Parallel | Reduction | Serial | Unknown
+
+type loop_verdict = {
+  v_header : int;
+  v_end : int;
+  v_annotated : bool;
+  v_reduction : string list;
+  v_verdict : verdict;
+  v_offenders : edge list;
+  v_live : string list;
+}
+
+type stats = { s_regions : int; s_accesses : int; s_may : int; s_must : int }
+
+type t = {
+  prog : string;
+  edges : edge list;
+  loops : loop_verdict list;
+  prunable : string list;
+  stats : stats;
+}
+
+let verdict_to_string = function
+  | Parallel -> "parallel"
+  | Reduction -> "reduction"
+  | Serial -> "serial"
+  | Unknown -> "unknown"
+
+let to_acc (e : edge) =
+  { Accuracy.Edge.kind = e.e_kind; src_line = e.e_src; sink_line = e.e_sink; var = e.e_var }
+
+let may_set t =
+  List.fold_left (fun s e -> Accuracy.Edge_set.add (to_acc e) s) Accuracy.Edge_set.empty
+    t.edges
+
+let must_set t =
+  List.fold_left
+    (fun s e -> if e.e_must then Accuracy.Edge_set.add (to_acc e) s else s)
+    Accuracy.Edge_set.empty t.edges
+
+let edge_to_string e =
+  Printf.sprintf "%s %s %s: %d -> %d%s"
+    (if e.e_must then "must" else "may ")
+    (Dep.kind_to_string e.e_kind) e.e_var e.e_src e.e_sink
+    (match e.e_carriers with
+    | [] -> ""
+    | ls -> " carried@" ^ String.concat "," (List.map string_of_int ls))
+
+let render t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "static dependences for %s\n" t.prog;
+  Printf.bprintf b "regions %d, access sites %d, may edges %d (must %d)\n"
+    t.stats.s_regions t.stats.s_accesses t.stats.s_may t.stats.s_must;
+  List.iter (fun e -> Printf.bprintf b "  %s\n" (edge_to_string e)) t.edges;
+  Printf.bprintf b "loops:\n";
+  List.iter
+    (fun v ->
+      Printf.bprintf b "  line %d-%d: %-9s (annotated %s)%s%s\n" v.v_header v.v_end
+        (verdict_to_string v.v_verdict)
+        (if v.v_annotated then "parallel" else "serial")
+        (match v.v_live with
+        | [] -> ""
+        | ls -> Printf.sprintf " live-in: %s" (String.concat "," ls))
+        (match v.v_offenders with
+        | [] -> ""
+        | os ->
+            Printf.sprintf " offenders: %s"
+              (String.concat "; " (List.map edge_to_string os))))
+    t.loops;
+  Printf.bprintf b "prunable: %s\n"
+    (match t.prunable with [] -> "(none)" | vs -> String.concat " " vs);
+  Buffer.contents b
+
+let edge_json e =
+  Json.Obj
+    [
+      ("kind", Json.Str (Dep.kind_to_string e.e_kind));
+      ("src", Json.Int e.e_src);
+      ("sink", Json.Int e.e_sink);
+      ("var", Json.Str e.e_var);
+      ("must", Json.Bool e.e_must);
+      ("carriers", Json.List (List.map (fun l -> Json.Int l) e.e_carriers));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("program", Json.Str t.prog);
+      ( "stats",
+        Json.Obj
+          [
+            ("regions", Json.Int t.stats.s_regions);
+            ("accesses", Json.Int t.stats.s_accesses);
+            ("may_edges", Json.Int t.stats.s_may);
+            ("must_edges", Json.Int t.stats.s_must);
+          ] );
+      ("edges", Json.List (List.map edge_json t.edges));
+      ( "loops",
+        Json.List
+          (List.map
+             (fun v ->
+               Json.Obj
+                 [
+                   ("line", Json.Int v.v_header);
+                   ("end_line", Json.Int v.v_end);
+                   ("verdict", Json.Str (verdict_to_string v.v_verdict));
+                   ("annotated_parallel", Json.Bool v.v_annotated);
+                   ("reduction", Json.List (List.map (fun r -> Json.Str r) v.v_reduction));
+                   ("offenders", Json.List (List.map edge_json v.v_offenders));
+                   ("live_in", Json.List (List.map (fun r -> Json.Str r) v.v_live));
+                 ])
+             t.loops) );
+      ("prunable", Json.List (List.map (fun v -> Json.Str v) t.prunable));
+    ]

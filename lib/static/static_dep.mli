@@ -1,0 +1,64 @@
+(** Results of the static dependence analysis: must/may dependence edges
+    over (source line, variable name) pairs, per-loop parallelizability
+    verdicts, and the list of variables proved dependence-free (the
+    hybrid engine's pruning candidates). *)
+
+module Dep = Ddp_core.Dep
+module Accuracy = Ddp_core.Accuracy
+
+type edge = {
+  e_kind : Dep.kind;  (** RAW, WAR or WAW — never INIT *)
+  e_src : int;  (** source line of the dependence source (earlier access) *)
+  e_sink : int;  (** source line of the dependence sink (later access) *)
+  e_var : string;  (** variable (region) name *)
+  e_must : bool;  (** occurs in every complete run, not merely possibly *)
+  e_carriers : int list;
+      (** header lines of loops that may carry the edge across iterations;
+          [[]] means loop-independent only *)
+}
+
+type verdict =
+  | Parallel  (** no loop-carried dependence can exist *)
+  | Reduction  (** carried scalar RAWs, all of recognized reduction shape *)
+  | Serial  (** a carried RAW provably occurs (must-serial evidence) *)
+  | Unknown  (** carried may-RAWs remain; nothing proved either way *)
+
+type loop_verdict = {
+  v_header : int;  (** [For] statement line *)
+  v_end : int;  (** loop end line *)
+  v_annotated : bool;  (** ground-truth [parallel] annotation *)
+  v_reduction : string list;  (** reduction clause on the loop *)
+  v_verdict : verdict;
+  v_offenders : edge list;  (** carried RAWs surviving the exemptions *)
+  v_live : string list;
+      (** scalars accessed in the loop that are live at its entry
+          (live-variable dataflow) — the values an iteration may inherit *)
+}
+
+type stats = {
+  s_regions : int;  (** declared scalar/array regions modeled *)
+  s_accesses : int;  (** static access sites extracted *)
+  s_may : int;
+  s_must : int;
+}
+
+type t = {
+  prog : string;
+  edges : edge list;  (** deduplicated, sorted by (src, sink, kind, var) *)
+  loops : loop_verdict list;  (** [For] loops in textual order *)
+  prunable : string list;  (** variables with no edge at all, sorted *)
+  stats : stats;
+}
+
+val verdict_to_string : verdict -> string
+
+val may_set : t -> Accuracy.Edge_set.t
+(** All edges, projected into the {!Accuracy.Edge} comparison space. *)
+
+val must_set : t -> Accuracy.Edge_set.t
+(** Only the must edges. *)
+
+val render : t -> string
+(** Human-readable report (edges, loop verdicts, prunable variables). *)
+
+val to_json : t -> Ddp_obs.Json.t

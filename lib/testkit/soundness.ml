@@ -1,0 +1,128 @@
+(* The static analyzer's soundness gate.
+
+   Contract (ISSUE 5): on every program, the static may-edge set is a
+   superset of the dependences any dynamic run reports under the
+   default configuration (INIT excluded), and every static must edge
+   occurs in every complete run.  Both halves are checked here against
+   perfect-oracle profiles under a couple of schedules; a [mutant]
+   analyzer (carried edges dropped) exists so the gate itself can be
+   fire-drilled.
+
+   Comparison space is Accuracy.Edge — (kind, src line, sink line, var
+   name) — which is schedule-insensitive for the may half; the must
+   half is only asserted against complete runs. *)
+
+module Ast = Ddp_minir.Ast
+module Symtab = Ddp_minir.Symtab
+module Profiler = Ddp_core.Profiler
+module Accuracy = Ddp_core.Accuracy
+module Health = Ddp_core.Health
+module Static_dep = Ddp_static.Static_dep
+
+type flavor = Missing_may | Bogus_must
+
+type violation = { flavor : flavor; sched_seed : int; edge : Accuracy.Edge.t }
+
+type outcome = {
+  prog : Ast.program;
+  report : Static_dep.t;
+  checked_runs : int;
+  violations : violation list;
+}
+
+let default_sched_seeds = [ 42; 1041 ]
+
+let check ?(mutant = false) ?(sched_seeds = default_sched_seeds) ?(input_seed = 7) prog =
+  let report = Ddp_static.Analyze.analyze ~mutant prog in
+  let may = Static_dep.may_set report in
+  let must = Static_dep.must_set report in
+  let viols = ref [] in
+  let seen = Hashtbl.create 16 in
+  let add flavor sched_seed edge =
+    let key = (flavor, edge) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      viols := { flavor; sched_seed; edge } :: !viols
+    end
+  in
+  List.iter
+    (fun sched_seed ->
+      let o = Profiler.profile ~mode:"perfect" ~sched_seed ~input_seed prog in
+      let dyn =
+        Accuracy.project ~var_name:(Symtab.var_name o.Profiler.symtab) o.Profiler.deps
+      in
+      Accuracy.Edge_set.iter
+        (fun e -> if not (Accuracy.Edge_set.mem e may) then add Missing_may sched_seed e)
+        dyn;
+      (* must ⊆ dynamic only holds for complete runs *)
+      if o.Profiler.health = Health.Complete then
+        Accuracy.Edge_set.iter
+          (fun e -> if not (Accuracy.Edge_set.mem e dyn) then add Bogus_must sched_seed e)
+          must)
+    sched_seeds;
+  { prog; report; checked_runs = List.length sched_seeds; violations = List.rev !viols }
+
+let violating o = o.violations <> []
+
+(* Greedy shrink, mirroring Diff.shrink: take the first candidate that
+   still violates, repeat until none does or the budget runs out. *)
+let shrink ?(mutant = false) ?sched_seeds ?input_seed ?(max_evals = 300) (o : outcome) =
+  let evals = ref 0 in
+  let still prog =
+    incr evals;
+    try violating (check ~mutant ?sched_seeds ?input_seed prog)
+    with _ -> false (* a candidate that crashes the pipeline is a different bug *)
+  in
+  let exception Found of Ast.program in
+  let first_violating prog =
+    try
+      Prog_gen.shrink prog (fun cand ->
+          if !evals < max_evals && still cand then raise (Found cand));
+      None
+    with Found cand -> Some cand
+  in
+  let rec descend prog =
+    if !evals >= max_evals then prog
+    else match first_violating prog with None -> prog | Some cand -> descend cand
+  in
+  if not (violating o) then o else check ~mutant ?sched_seeds ?input_seed (descend o.prog)
+
+(* Sweep generated programs (alternating the sequential and Par-enabled
+   shapes) until [count] are checked or a violation turns up; the first
+   violating outcome is returned shrunk. *)
+let sweep ?(mutant = false) ?sched_seeds ?input_seed ?(count = 100) ?(base_seed = 1) () =
+  let checked = ref 0 in
+  let found = ref None in
+  let shapes = [| Prog_gen.default_shape; Prog_gen.par_shape |] in
+  (try
+     for i = 0 to count - 1 do
+       let shape = shapes.(i mod 2) in
+       let prog = Prog_gen.generate ~shape ~seed:(base_seed + i) () in
+       incr checked;
+       let o = check ~mutant ?sched_seeds ?input_seed prog in
+       if violating o then begin
+         found := Some (shrink ~mutant ?sched_seeds ?input_seed o);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (!found, !checked)
+
+let flavor_to_string = function
+  | Missing_may -> "dynamic dep missing from static may set"
+  | Bogus_must -> "static must edge absent from a complete run"
+
+let report_to_string (o : outcome) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b "soundness: %d violation(s) over %d run(s), %d static may edges\n"
+    (List.length o.violations) o.checked_runs o.report.Static_dep.stats.Static_dep.s_may;
+  List.iter
+    (fun v ->
+      Printf.bprintf b "  [%s, sched %d] %s\n" (flavor_to_string v.flavor) v.sched_seed
+        (Accuracy.Edge.to_string v.edge))
+    o.violations;
+  if violating o then begin
+    Printf.bprintf b "witness program:\n%s" (Prog_gen.print o.prog);
+    Printf.bprintf b "static report:\n%s" (Static_dep.render o.report)
+  end;
+  Buffer.contents b

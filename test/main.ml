@@ -35,4 +35,5 @@ let () =
       ("testkit", Test_testkit.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
+      ("static", Test_static.suite);
     ]

@@ -14,7 +14,7 @@ module Event = Ddp_minir.Event
    enough in this executable). *)
 let () = Ddp_baselines.Baseline_engines.register ()
 
-let cli_modes = [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable" ]
+let cli_modes = [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable"; "hybrid" ]
 
 let key_set (o : Ddp_core.Profiler.outcome) = Ddp_core.Dep_store.key_set o.deps
 
@@ -62,6 +62,7 @@ let test_exact_flags () =
       ("shadow", true);
       ("hashtable", true);
       ("stride", false);
+      ("hybrid", false);
     ]
 
 (* -- sinks ---------------------------------------------------------------- *)
@@ -204,6 +205,75 @@ let test_signature_engines_match_oracle_fixed_seeds () =
         [ "serial"; "mt"; "parallel" ])
     [ 7; 21; 1015 ]
 
+(* -- hybrid static/dynamic engine ----------------------------------------- *)
+
+(* Skipping statically-proved-independent accesses must not change the
+   reported dependence set: project both runs into the (kind, src, sink,
+   var) space (which excludes INIT edges — pruned variables legitimately
+   lose those) and demand equality with the serial oracle. *)
+module Hybrid_plan = Ddp_static.Hybrid
+module Accuracy = Ddp_core.Accuracy
+
+let edge_set (o : Ddp_core.Profiler.outcome) =
+  Accuracy.project ~var_name:(Ddp_minir.Symtab.var_name o.symtab) o.deps
+
+let hybrid_vs_serial what prog =
+  let plan = Hybrid_plan.plan prog in
+  let config =
+    { Ddp_core.Config.default with slots = 3 lsl 20; static_prune = plan.Hybrid_plan.prune_ids }
+  in
+  let hybrid =
+    Ddp_core.Profiler.profile ~mode:"hybrid" ~config ~symtab:plan.Hybrid_plan.symtab prog
+  in
+  let serial = Ddp_core.Profiler.profile ~mode:"serial" ~config prog in
+  Alcotest.(check bool)
+    (what ^ ": hybrid deps == serial deps")
+    true
+    (Accuracy.Edge_set.equal (edge_set hybrid) (edge_set serial));
+  match hybrid.extra with
+  | Ddp_core.Engines.Hybrid { pruned_events; pruned_sites } -> (pruned_events, pruned_sites)
+  | _ -> Alcotest.fail (what ^ ": hybrid engine must report its pruning extra")
+
+let test_hybrid_equals_serial_workloads () =
+  let skipped_somewhere = ref false in
+  List.iter
+    (fun name ->
+      let prog = (Ddp_workloads.Registry.find name).Ddp_workloads.Wl.seq ~scale:1 in
+      let pruned_events, _ = hybrid_vs_serial name prog in
+      if pruned_events > 0 then skipped_somewhere := true)
+    [ "is"; "kmeans"; "rgbyuv" ];
+  (* ISSUE 5 acceptance: at least one workload actually exercises the filter *)
+  Alcotest.(check bool) "some workload skips events" true !skipped_somewhere
+
+let test_hybrid_equals_serial_fixed_seeds () =
+  List.iter
+    (fun seed ->
+      let rand = Random.State.make [| seed; 0xddb |] in
+      let prog = QCheck.Gen.generate1 ~rand Gen_prog.gen_program in
+      ignore (hybrid_vs_serial (Printf.sprintf "seed %d" seed) prog))
+    [ 7; 21; 1015 ]
+
+let test_hybrid_obs_counters () =
+  let prog = (Ddp_workloads.Registry.find "rgbyuv").Ddp_workloads.Wl.seq ~scale:1 in
+  let plan = Hybrid_plan.plan prog in
+  let config =
+    { Ddp_core.Config.default with static_prune = plan.Hybrid_plan.prune_ids }
+  in
+  let obs = Ddp_obs.Obs.create ~domains:1 () in
+  let o =
+    Ddp_core.Profiler.profile ~mode:"hybrid" ~obs ~config ~symtab:plan.Hybrid_plan.symtab prog
+  in
+  let snap = Ddp_obs.Obs.snapshot obs in
+  let events = Ddp_obs.Obs.counter snap Ddp_obs.Obs.C.static_pruned_events in
+  let sites = Ddp_obs.Obs.counter snap Ddp_obs.Obs.C.static_pruned_deps in
+  Alcotest.(check bool) "static_pruned_events > 0" true (events > 0);
+  Alcotest.(check bool) "static_pruned_deps > 0" true (sites > 0);
+  match o.extra with
+  | Ddp_core.Engines.Hybrid { pruned_events; pruned_sites } ->
+    Alcotest.(check int) "extra matches counter" events pruned_events;
+    Alcotest.(check int) "site count matches counter" sites pruned_sites
+  | _ -> Alcotest.fail "expected Hybrid extra"
+
 (* -- mt wrapper ----------------------------------------------------------- *)
 
 let test_with_mt_nests_extra () =
@@ -216,7 +286,7 @@ let test_with_mt_nests_extra () =
 
 let suite =
   [
-    Alcotest.test_case "registry: all six CLI modes resolve" `Quick test_registry_contents;
+    Alcotest.test_case "registry: all CLI modes resolve" `Quick test_registry_contents;
     Alcotest.test_case "registry: unknown names" `Quick test_registry_unknown;
     Alcotest.test_case "registry: registration is idempotent" `Quick test_registry_idempotent;
     Alcotest.test_case "registry: exactness flags" `Quick test_exact_flags;
@@ -229,4 +299,9 @@ let suite =
     Alcotest.test_case "signature engines == oracle (fixed seeds)" `Slow
       test_signature_engines_match_oracle_fixed_seeds;
     Alcotest.test_case "mt wrapper nests engine extras" `Quick test_with_mt_nests_extra;
+    Alcotest.test_case "hybrid == serial on pruned workloads" `Slow
+      test_hybrid_equals_serial_workloads;
+    Alcotest.test_case "hybrid == serial on generated programs (fixed seeds)" `Slow
+      test_hybrid_equals_serial_fixed_seeds;
+    Alcotest.test_case "hybrid: obs pruning counters" `Quick test_hybrid_obs_counters;
   ]

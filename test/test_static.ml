@@ -1,0 +1,336 @@
+(* lib/static: the whole-program static dependence analyzer.
+
+   Covers the AST contracts the analyzer leans on (Ast.number/Ast.loops
+   for func-nested and degenerate loops), the affine subscript tests,
+   handwritten programs with known edge sets and verdicts, the
+   soundness contract on random programs, and the pruning plan the
+   hybrid engine consumes. *)
+
+module Ast = Ddp_minir.Ast
+module B = Ddp_minir.Builder
+module Affine = Ddp_static.Affine
+module Analyze = Ddp_static.Analyze
+module Static_dep = Ddp_static.Static_dep
+module Hybrid = Ddp_static.Hybrid
+module Cfg = Ddp_static.Cfg
+module Soundness = Ddp_testkit.Soundness
+
+let find_workload name = (Ddp_workloads.Registry.find name).Ddp_workloads.Wl.seq ~scale:1
+
+let verdict = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Static_dep.verdict_to_string v))
+    ( = )
+
+let loop_verdicts report =
+  List.map (fun (v : Static_dep.loop_verdict) -> (v.Static_dep.v_header, v.Static_dep.v_verdict))
+    report.Static_dep.loops
+
+let has_edge ?must report ~kind ~src ~sink ~var =
+  List.exists
+    (fun (e : Static_dep.edge) ->
+      e.Static_dep.e_kind = kind && e.Static_dep.e_src = src && e.Static_dep.e_sink = sink
+      && e.Static_dep.e_var = var
+      && match must with None -> true | Some m -> e.Static_dep.e_must = m)
+    report.Static_dep.edges
+
+(* -- Ast.number / Ast.loops pins ------------------------------------------ *)
+
+(* Loops nested in func bodies must appear in Ast.loops (main's loops
+   first, then per-func in declaration order) with the pre-order line
+   numbering the static analyzer keys everything on. *)
+let test_ast_loops_in_funcs () =
+  let f =
+    B.proc "work" [ "n" ]
+      [ B.for_ "i" (B.i 0) (B.v "n") (fun iv -> [ B.store "a" iv iv ]) ]
+  in
+  let prog =
+    B.program ~funcs:[ f ] ~name:"func-loops"
+      [
+        B.arr "a" (B.i 8);
+        B.for_ ~parallel:true "j" (B.i 0) (B.i 4) (fun _ -> [ B.call_proc "work" [ B.i 4 ] ]);
+      ]
+  in
+  let total = Ast.number prog in
+  let loops = Ast.loops prog in
+  Alcotest.(check int) "two loops" 2 (List.length loops);
+  let main_loop = List.nth loops 0 and func_loop = List.nth loops 1 in
+  Alcotest.(check bool) "main loop first, annotated" true
+    main_loop.Ast.annotated_parallel;
+  Alcotest.(check bool) "func loop second, not annotated" false
+    func_loop.Ast.annotated_parallel;
+  Alcotest.(check bool) "func loop numbered after main body" true
+    (func_loop.Ast.loop_line > main_loop.Ast.loop_end_line);
+  Alcotest.(check bool) "end lines strictly follow headers" true
+    (List.for_all (fun (l : Ast.loop_info) -> l.loop_end_line > l.loop_line) loops);
+  Alcotest.(check bool) "numbering covers the func loop" true
+    (total >= func_loop.Ast.loop_end_line)
+
+(* Empty bodies and degenerate (trip-0 / nonpositive-step) bounds:
+   numbering stays consistent and the trip analysis is exact. *)
+let test_ast_degenerate_loops () =
+  let prog =
+    B.program ~name:"degenerate"
+      [
+        B.for_ "i" (B.i 0) (B.i 4) (fun _ -> []);
+        B.for_ ~step:(B.i (-1)) "j" (B.i 3) (B.i 0) (fun _ -> [ B.nop ]);
+        B.for_ "k" (B.i 5) (B.i 2) (fun _ -> [ B.local "x" (B.i 1) ]);
+      ]
+  in
+  ignore (Ast.number prog);
+  let loops = Ast.loops prog in
+  Alcotest.(check int) "all three listed" 3 (List.length loops);
+  let l1 = List.nth loops 0 in
+  Alcotest.(check int) "empty body: end = header + 1" (l1.Ast.loop_line + 1)
+    l1.Ast.loop_end_line;
+  Alcotest.(check (option int)) "literal trip" (Some 4)
+    (Cfg.trip_literal (B.i 0) (B.i 4) (B.i 1));
+  Alcotest.(check (option int)) "negative step, empty range: trip 0" (Some 0)
+    (Cfg.trip_literal (B.i 3) (B.i 0) (B.i (-1)));
+  Alcotest.(check (option int)) "lo > hi: trip 0" (Some 0)
+    (Cfg.trip_literal (B.i 5) (B.i 2) (B.i 1));
+  Alcotest.(check (option int)) "nonpositive step on nonempty range: unknown" None
+    (Cfg.trip_literal (B.i 0) (B.i 4) (B.i 0));
+  Alcotest.(check (option int)) "step 3 rounds up" (Some 2)
+    (Cfg.trip_literal (B.i 0) (B.i 5) (B.i 3));
+  (* degenerate loops still get (trivially parallel) verdicts *)
+  let report = Analyze.analyze prog in
+  List.iter
+    (fun (_, v) -> Alcotest.check verdict "degenerate loop parallel" Static_dep.Parallel v)
+    (loop_verdicts report)
+
+(* -- affine subscript tests ------------------------------------------------ *)
+
+let test_affine_algebra () =
+  let i = 11 in
+  let a = Affine.add (Affine.mul (Affine.const 2) (Affine.var i)) (Affine.const 3) in
+  (* 2i+3 vs 2i: no same-iteration alias (GCD: 2 does not divide 3) *)
+  Alcotest.(check bool) "2i+3 vs 2i same-iter" false
+    (Affine.same_iter_alias a (Affine.mul (Affine.const 2) (Affine.var i)));
+  (* 2i+3 vs 2j+1 across iterations: 2i - 2j = -2 is solvable *)
+  Alcotest.(check bool) "2i+3 vs 2i+1 carried" true
+    (Affine.carried_alias ~carrier:i a
+       (Affine.add (Affine.mul (Affine.const 2) (Affine.var i)) (Affine.const 1)));
+  (* 2i+3 vs 2i+2 never aliases, any iteration pair (parity argument) *)
+  Alcotest.(check bool) "2i+3 vs 2i+2 carried" false
+    (Affine.carried_alias ~carrier:i a
+       (Affine.add (Affine.mul (Affine.const 2) (Affine.var i)) (Affine.const 2)));
+  Alcotest.(check bool) "ZIV: 0 vs 1" false
+    (Affine.carried_alias ~carrier:i (Affine.const 0) (Affine.const 1));
+  Alcotest.(check bool) "same cell, same iteration" true
+    (Affine.same_iter_alias (Affine.var i) (Affine.var i));
+  Alcotest.(check bool) "i vs i carried (distinct iterations)" false
+    (Affine.carried_alias ~carrier:i (Affine.var i) (Affine.var i));
+  Alcotest.(check bool) "Top aliases everything" true
+    (Affine.carried_alias ~carrier:i Affine.Top (Affine.const 0))
+
+let test_affine_siv_bounds () =
+  let i = 4 in
+  let ix = Affine.var i in
+  let ix10 = Affine.add ix (Affine.const 10) in
+  (* strong SIV: distance 10 needs 11+ iterations to connect *)
+  Alcotest.(check bool) "trip 5 refutes distance 10" false
+    (Affine.carried_alias ~carrier:i ~trip:5 ~step:1 ix ix10);
+  Alcotest.(check bool) "trip 11 admits distance 10" true
+    (Affine.carried_alias ~carrier:i ~trip:11 ~step:1 ix ix10);
+  (* step divisibility: i goes 0,2,4,... so a distance of 3 never lands *)
+  Alcotest.(check bool) "step 2 refutes odd distance" false
+    (Affine.carried_alias ~carrier:i ~trip:100 ~step:2 ix (Affine.add ix (Affine.const 3)));
+  Alcotest.(check bool) "step 2 admits even distance" true
+    (Affine.carried_alias ~carrier:i ~trip:100 ~step:2 ix (Affine.add ix (Affine.const 4)));
+  (* non-affine expressions collapse to Top, which always may-aliases *)
+  Alcotest.(check bool) "mul of two vars is Top" true
+    (Affine.is_top (Affine.mul ix ix))
+
+(* -- handwritten programs -------------------------------------------------- *)
+
+(* Disjoint affine stores: provably parallel, array prunable. *)
+let test_verdict_parallel_prunable () =
+  let prog =
+    B.program ~name:"indep"
+      [
+        B.arr "a" (B.i 16);
+        B.for_ "i" (B.i 0) (B.i 16) (fun iv -> [ B.store "a" iv iv ]);
+      ]
+  in
+  let report = Analyze.analyze prog in
+  (match loop_verdicts report with
+  | [ (_, v) ] -> Alcotest.check verdict "parallel" Static_dep.Parallel v
+  | _ -> Alcotest.fail "expected one loop");
+  Alcotest.(check bool) "array proved dependence-free" true
+    (List.mem "a" report.Static_dep.prunable)
+
+(* Classic sum reduction: carried RAW on the accumulator, recognized shape. *)
+let test_verdict_reduction () =
+  let prog =
+    B.program ~name:"red"
+      [
+        B.arr "a" (B.i 8);
+        B.local "s" (B.i 0);
+        B.for_ "i" (B.i 0) (B.i 8) (fun iv -> [ B.assign "s" B.(v "s" +: idx "a" iv) ]);
+      ]
+  in
+  match loop_verdicts (Analyze.analyze prog) with
+  | [ (_, v) ] -> Alcotest.check verdict "reduction" Static_dep.Reduction v
+  | _ -> Alcotest.fail "expected one loop"
+
+(* Non-reduction self-recurrence with a literal trip >= 2: the carried
+   RAW provably occurs, so the loop is must-serial. *)
+let test_verdict_serial () =
+  let prog =
+    B.program ~name:"ser"
+      [
+        B.arr "a" (B.i 8);
+        B.local "s" (B.i 1);
+        B.for_ "i" (B.i 0) (B.i 8) (fun iv -> [ B.assign "s" B.(idx "a" iv -: v "s") ]);
+      ]
+  in
+  match loop_verdicts (Analyze.analyze prog) with
+  | [ (_, v) ] -> Alcotest.check verdict "serial" Static_dep.Serial v
+  | _ -> Alcotest.fail "expected one loop"
+
+(* A write under an If cannot be a must edge; straight-line flow can. *)
+let test_must_vs_may () =
+  let prog =
+    B.program ~name:"must"
+      [
+        B.local "x" (B.i 1);
+        B.local "c" (B.i 0);
+        B.if_ B.(v "c" >: i 0) [ B.assign "x" (B.i 2) ] [];
+        B.local "y" (B.v "x");
+      ]
+  in
+  ignore (Ast.number prog);
+  let report = Analyze.analyze prog in
+  (* line 1: local x; line 3: if; line 4: conditional assign; line 5: local y *)
+  Alcotest.(check bool) "conditional RAW is may" true
+    (has_edge report ~must:false ~kind:Ddp_core.Dep.RAW ~src:4 ~sink:5 ~var:"x");
+  Alcotest.(check bool) "unconditional RAW on c is must" true
+    (has_edge report ~must:true ~kind:Ddp_core.Dep.RAW ~src:2 ~sink:3 ~var:"c")
+
+(* Carried-RAW refinement: a scalar rewritten at the top of every
+   iteration before its reads cannot carry a RAW into them. *)
+let test_carried_raw_refuted () =
+  let prog =
+    B.program ~name:"privatizable"
+      [
+        B.arr "a" (B.i 8);
+        B.for_ "i" (B.i 0) (B.i 8)
+          (fun iv -> [ B.local "t" (B.idx "a" iv); B.store "a" iv B.(v "t" +: i 1) ]);
+      ]
+  in
+  let report = Analyze.analyze prog in
+  (match loop_verdicts report with
+  | [ (_, v) ] ->
+    (* a[i] -> a[i] stays within one iteration; t is iteration-private *)
+    Alcotest.check verdict "privatizable loop parallel" Static_dep.Parallel v
+  | _ -> Alcotest.fail "expected one loop");
+  Alcotest.(check bool) "no carried RAW on t" true
+    (List.for_all
+       (fun (e : Static_dep.edge) ->
+         not (e.Static_dep.e_var = "t" && e.Static_dep.e_kind = Ddp_core.Dep.RAW
+              && e.Static_dep.e_carriers <> []))
+       report.Static_dep.edges)
+
+(* Recursive procedures fall back to the conservative soup: everything
+   the component touches is dependent both ways, never pruned. *)
+let test_recursion_soup_conservative () =
+  let f =
+    B.proc "down" [ "n" ]
+      [
+        B.store "a" (B.v "n") (B.v "n");
+        B.if_ B.(v "n" >: i 0) [ B.call_proc "down" [ B.(v "n" -: i 1) ] ] [];
+      ]
+  in
+  let prog =
+    B.program ~funcs:[ f ] ~name:"rec"
+      [ B.arr "a" (B.i 8); B.call_proc "down" [ B.i 4 ] ]
+  in
+  let report = Analyze.analyze prog in
+  Alcotest.(check bool) "recursive store not pruned" false
+    (List.mem "a" report.Static_dep.prunable);
+  Alcotest.(check bool) "soup yields a WAW on the array" true
+    (List.exists
+       (fun (e : Static_dep.edge) ->
+         e.Static_dep.e_var = "a" && e.Static_dep.e_kind = Ddp_core.Dep.WAW)
+       report.Static_dep.edges)
+
+(* -- workloads ------------------------------------------------------------- *)
+
+let test_rgbyuv_prune_plan () =
+  let plan = Hybrid.plan (find_workload "rgbyuv") in
+  Alcotest.(check (list string)) "prunable vars" [ "_assert"; "u"; "w" ] plan.Hybrid.prune_names;
+  Alcotest.(check int) "ids interned" 3 (List.length plan.Hybrid.prune_ids);
+  List.iter
+    (fun (v : Static_dep.loop_verdict) ->
+      Alcotest.check verdict "all rgbyuv loops proved parallel" Static_dep.Parallel
+        v.Static_dep.v_verdict)
+    plan.Hybrid.report.Static_dep.loops
+
+(* The analyzer must never contradict a ground-truth parallel
+   annotation with a Serial proof, on any registered workload. *)
+let test_workloads_no_hard_contradiction () =
+  List.iter
+    (fun (w : Ddp_workloads.Wl.t) ->
+      let report = Analyze.analyze (w.Ddp_workloads.Wl.seq ~scale:1) in
+      List.iter
+        (fun (v : Static_dep.loop_verdict) ->
+          if v.Static_dep.v_annotated then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s line %d: Serial verdict contradicts annotation"
+                 w.Ddp_workloads.Wl.name v.Static_dep.v_header)
+              false
+              (v.Static_dep.v_verdict = Static_dep.Serial))
+        report.Static_dep.loops)
+    Ddp_workloads.Registry.all
+
+(* Soundness on a couple of real workloads (the fuzz sweep lives in
+   ddpcheck; this pins the contract in the unit suite). *)
+let test_workload_soundness () =
+  List.iter
+    (fun name ->
+      let o = Soundness.check (find_workload name) in
+      Alcotest.(check int) (name ^ ": soundness violations") 0 (List.length o.Soundness.violations))
+    [ "rgbyuv"; "is"; "kmeans"; "cg"; "md5" ]
+
+(* -- soundness property ---------------------------------------------------- *)
+
+let prop_soundness =
+  QCheck.Test.make ~name:"static may superset of dynamic deps (random programs)" ~count:30
+    Gen_prog.arbitrary_program (fun prog ->
+      (Soundness.check prog).Soundness.violations = [])
+
+let prop_soundness_par =
+  QCheck.Test.make ~name:"soundness holds on Par programs" ~count:15
+    (Ddp_testkit.Prog_gen.arbitrary ~shape:Ddp_testkit.Prog_gen.par_shape ())
+    (fun prog -> (Soundness.check prog).Soundness.violations = [])
+
+(* The mutant analyzer (carried deps dropped) must be catchable — the
+   gate's own fire drill, in miniature. *)
+let test_mutant_caught () =
+  match Soundness.sweep ~mutant:true ~count:50 ~base_seed:77 () with
+  | Some o, _ ->
+    Alcotest.(check bool) "witness shrunk to a violation" true (o.Soundness.violations <> [])
+  | None, n ->
+    Alcotest.failf "mutant-static survived %d programs" n
+
+let suite =
+  [
+    Alcotest.test_case "ast: loops nested in funcs" `Quick test_ast_loops_in_funcs;
+    Alcotest.test_case "ast: degenerate loops" `Quick test_ast_degenerate_loops;
+    Alcotest.test_case "affine: algebra + GCD/ZIV" `Quick test_affine_algebra;
+    Alcotest.test_case "affine: SIV trip/step bounds" `Quick test_affine_siv_bounds;
+    Alcotest.test_case "verdict: disjoint stores parallel + prunable" `Quick
+      test_verdict_parallel_prunable;
+    Alcotest.test_case "verdict: sum reduction" `Quick test_verdict_reduction;
+    Alcotest.test_case "verdict: must-serial recurrence" `Quick test_verdict_serial;
+    Alcotest.test_case "edges: must vs may" `Quick test_must_vs_may;
+    Alcotest.test_case "refinement: privatizable scalar" `Quick test_carried_raw_refuted;
+    Alcotest.test_case "recursion: conservative soup" `Quick test_recursion_soup_conservative;
+    Alcotest.test_case "rgbyuv: prune plan" `Quick test_rgbyuv_prune_plan;
+    Alcotest.test_case "workloads: no hard contradictions" `Slow
+      test_workloads_no_hard_contradiction;
+    Alcotest.test_case "workloads: soundness spot checks" `Slow test_workload_soundness;
+    Test_seed.to_alcotest prop_soundness;
+    Test_seed.to_alcotest prop_soundness_par;
+    Alcotest.test_case "mutant-static is caught" `Slow test_mutant_caught;
+  ]
