@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke static-smoke fuzz-smoke fuzz-nightly bench clean
+.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
 
@@ -59,6 +59,20 @@ static-smoke: build
 	  $(DDPROF) static $$w --compare perfect || exit 1; \
 	done
 	$(TIMEOUT) $(DDPCHECK) soundness --seed $(DDP_SEED) --count 25 --out _static
+
+# The foreign-trace import path end to end: export a workload's native
+# stream as a lackey-style trace, profile the import through the serial,
+# parallel and hybrid engines, and diff each dependence set against the
+# native run (foreign-diff exits 1 on any mismatch).  The trace lands in
+# _foreign/ for the CI artifact.
+foreign-smoke: build
+	@mkdir -p _foreign
+	$(DDPROF) foreign-export kmeans -o _foreign/kmeans.lackey
+	$(DDPROF) run --foreign _foreign/kmeans.lackey --mode serial
+	@for mode in serial parallel hybrid; do \
+	  echo "== foreign-diff kmeans --mode $$mode =="; \
+	  $(DDPROF) foreign-diff kmeans --trace _foreign/kmeans.lackey --mode $$mode || exit 1; \
+	done
 
 # Differential fuzzing + schedule exploration, small fixed-seed budget
 # (~30s): every engine diffed against the perfect oracle, the virtual

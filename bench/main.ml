@@ -748,10 +748,39 @@ let geomean l =
   | [] -> 0.0
   | l -> exp (Ddp_util.Stats.mean (Array.of_list (List.map log l)))
 
+(* Per-event dispatch cost through the algebra's fused hot path: one
+   memory event into (a) the shared null record, (b) a single-subscriber
+   fusion (the subscriber's closures, physically), (c) a two-subscriber
+   tee.  (b) within noise of a direct closure call is the bench-level
+   witness of the no-boxing contract surviving the Handler layer. *)
+let measure_dispatch_ns ?(events = 2_000_000) () =
+  let module E = Ddp_minir.Event in
+  let sink = ref 0 in
+  let count =
+    {
+      E.on_read = (fun ~addr ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> sink := !sink + addr);
+      on_write = (fun ~addr ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> sink := !sink + addr);
+    }
+  in
+  let loc = Ddp_minir.Loc.make ~file:1 ~line:1 in
+  let time (hooks : E.hooks) =
+    let t0 = Ddp_util.Clock.now () in
+    for i = 1 to events do
+      hooks.E.on_read ~addr:(i land 0xFFFF) ~loc ~var:0 ~thread:0 ~time:i ~locked:false
+    done;
+    ignore (Sys.opaque_identity !sink);
+    (Ddp_util.Clock.now () -. t0) *. 1e9 /. float_of_int events
+  in
+  let null_ns = time E.null in
+  let one = Ddp_minir.Handler.make ~memory:count () in
+  let fused1_ns = time (Ddp_minir.Handler.fuse [ one ]) in
+  let fused2_ns = time (Ddp_minir.Handler.fuse [ one; one ]) in
+  (null_ns, fused1_ns, fused2_ns)
+
 (* BENCH_profiler.json: the headline profiler numbers in one parseable
    file (geomean slowdowns vs native and vs serial, accounted peak bytes
-   by category, telemetry overhead) for CI trend lines and EXPERIMENTS.md
-   tables. *)
+   by category, per-event dispatch cost, telemetry overhead) for CI
+   trend lines and EXPERIMENTS.md tables. *)
 let bench_json () =
   H.header "BENCH_profiler.json: machine-readable profiler overhead snapshot";
   let module J = Ddp_obs.Json in
@@ -787,6 +816,7 @@ let bench_json () =
   let s_slows = List.map (fun (_, _, (s, _)) -> s) rows in
   let p_slows = List.map (fun (_, _, (_, p)) -> p) rows in
   let overhead = measure_obs_overhead ~repeats:2 () in
+  let null_ns, fused1_ns, fused2_ns = measure_dispatch_ns () in
   let peaks =
     Ddp_util.Mem_account.fold account
       (fun cat ~current:_ ~peak acc -> (cat, J.Int peak) :: acc)
@@ -815,6 +845,13 @@ let bench_json () =
             ] );
         ( "peak_bytes",
           J.Obj (peaks @ [ ("total", J.Int (Ddp_util.Mem_account.total_peak account)) ]) );
+        ( "dispatch_ns",
+          J.Obj
+            [
+              ("null", J.Float null_ns);
+              ("fused_1sub", J.Float fused1_ns);
+              ("fused_tee2", J.Float fused2_ns);
+            ] );
         ( "obs_overhead",
           J.Obj
             [
@@ -834,6 +871,8 @@ let bench_json () =
     (geomean s_slows) (geomean p_slows)
     (100.0 *. ((overhead.oo_disabled /. overhead.oo_baseline) -. 1.0))
     (100.0 *. ((overhead.oo_enabled /. overhead.oo_baseline) -. 1.0));
+  fprintf "dispatch: null %.1f ns/ev, fused(1 sub) %.1f ns/ev, fused(tee 2) %.1f ns/ev\n"
+    null_ns fused1_ns fused2_ns;
   fprintf "written to %s\n" path
 
 (* ==== bechamel micro-benchmarks ========================================== *)
@@ -854,6 +893,19 @@ let micro () =
     !counter land 0xFFFF
   in
   let obs_hub = Ddp_obs.Obs.create ~domains:1 () in
+  let dispatch_sink = ref 0 in
+  let count_memory =
+    {
+      Ddp_minir.Event.on_read =
+        (fun ~addr ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> dispatch_sink := !dispatch_sink + addr);
+      on_write =
+        (fun ~addr ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> dispatch_sink := !dispatch_sink + addr);
+    }
+  in
+  let count_handler = Ddp_minir.Handler.make ~memory:count_memory () in
+  let fused_one = Ddp_minir.Handler.fuse [ count_handler ] in
+  let fused_tee = Ddp_minir.Handler.fuse [ count_handler; count_handler ] in
+  let bench_loc = Ddp_minir.Loc.make ~file:1 ~line:1 in
   let tests =
     [
       Test.make ~name:"sig_store set+probe"
@@ -876,6 +928,16 @@ let micro () =
              let a = next () in
              Ddp_core.Dispatch.note_access dispatch a;
              Ddp_core.Dispatch.worker_of dispatch a));
+      Test.make ~name:"fused dispatch (1 sub)"
+        (Staged.stage (fun () ->
+             let a = next () in
+             fused_one.Ddp_minir.Event.on_read ~addr:a ~loc:bench_loc ~var:0 ~thread:0 ~time:a
+               ~locked:false));
+      Test.make ~name:"fused dispatch (tee 2)"
+        (Staged.stage (fun () ->
+             let a = next () in
+             fused_tee.Ddp_minir.Event.on_read ~addr:a ~loc:bench_loc ~var:0 ~thread:0 ~time:a
+               ~locked:false));
       Test.make ~name:"spsc push+pop"
         (Staged.stage (fun () ->
              ignore (Ddp_core.Spsc_queue.try_push spsc chunk : bool);

@@ -65,11 +65,12 @@ let diff_one ~out ~shape ~master k =
         "ddpcheck diff: genuine engine/oracle discrepancy\n\
          master seed: %d (program #%d; prog_seed=%d sched_seed=%d)\n\
          repro: DDP_SEED=%d ddpcheck diff --count %d\n\n\
-         shrunk program (%d statements):\n%s\n%s"
+         shrunk program (%d statements):\n%s\n%s\n%s"
         master k prog_seed sched_seed master (k + 1)
         (TK.Prog_gen.stmt_count shrunk.TK.Diff.prog)
         (TK.Prog_gen.print shrunk.TK.Diff.prog)
         (TK.Diff.report_to_string shrunk)
+        (TK.Diff.trace_excerpt ~sched_seed shrunk.TK.Diff.prog)
     in
     Printf.printf "FAIL [diff] seed %d program %d %s\n%s%!" master k
       (TK.Seed.describe master) body;
@@ -234,9 +235,10 @@ let run_mutants seed count out =
         Printf.printf "  %s caught (program %d, shrunk witness: %d statements)\n%!" name !k n;
         save_counterexample ~out ~tag:("mutant-" ^ name) ~seed:master
           ~body:
-            (Printf.sprintf "mutant %s witness (%d statements):\n%s\n%s" name n
+            (Printf.sprintf "mutant %s witness (%d statements):\n%s\n%s\n%s" name n
                (TK.Prog_gen.print shrunk.TK.Diff.prog)
-               (TK.Diff.report_to_string shrunk)))
+               (TK.Diff.report_to_string shrunk)
+               (TK.Diff.trace_excerpt shrunk.TK.Diff.prog)))
     names;
   if !code = 0 then Printf.printf "mutants: ok (all caught)\n%!";
   !code

@@ -204,6 +204,20 @@ let metrics_out_arg =
 (* -- run ------------------------------------------------------------------ *)
 
 let run_cmd =
+  let opt_name_arg =
+    let doc = "Workload name (see `ddprof list'); omit with --foreign." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let foreign_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "foreign" ] ~docv:"FILE"
+          ~doc:
+            "Profile a foreign lackey-style trace (L/S/M access lines, A/F allocation lines, \
+             optional attribution markers) instead of a workload.  The imported stream carries \
+             only the Memory and Alloc event classes and runs through any --mode unchanged.")
+  in
   let mt_arg =
     Arg.(value & flag & info [ "mt" ] ~doc:"Enable multi-threaded-target machinery (Sec. V).")
   in
@@ -221,14 +235,30 @@ let run_cmd =
       & info [ "record" ] ~docv:"FILE"
           ~doc:"Record the instrumentation stream to FILE while profiling (one pass).")
   in
-  let run name scale variant target_threads mode mt workers slots seed report show_threads
-      lock_based record backpressure deadline queue_capacity trace_out metrics_out =
+  let run name foreign scale variant target_threads mode mt workers slots seed report
+      show_threads lock_based record backpressure deadline queue_capacity trace_out metrics_out =
     check_mode mode;
-    let prog = get_program ~variant ~target_threads ~scale name in
+    let name, prog =
+      match (name, foreign) with
+      | Some name, None -> (name, Some (get_program ~variant ~target_threads ~scale name))
+      | None, Some path -> ("foreign:" ^ path, None)
+      | Some _, Some _ ->
+        Printf.eprintf "ddprof run: give either a WORKLOAD or --foreign FILE, not both\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "ddprof run: WORKLOAD required (or pass --foreign FILE)\n";
+        exit 2
+    in
     (* The hybrid engine needs its pruning plan up front: the static
        analysis decides which variables are dependence-free, and their
-       pre-interned ids ride in on the config. *)
-    let plan = if mode = "hybrid" then Some (Ddp_static.Hybrid.plan prog) else None in
+       pre-interned ids ride in on the config.  A foreign trace has no
+       program to analyze, so hybrid degenerates to the serial engine
+       (empty prune list). *)
+    let plan =
+      match (mode, prog) with
+      | "hybrid", Some prog -> Some (Ddp_static.Hybrid.plan prog)
+      | _ -> None
+    in
     let config =
       {
         Ddp_core.Config.default with
@@ -254,12 +284,17 @@ let run_cmd =
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
     let obs = make_obs ~mode ~workers ~trace_out ~metrics_out in
+    let source =
+      match (prog, foreign) with
+      | Some prog, _ ->
+        Ddp_core.Source.live ~sched_seed:seed
+          ?symtab:(Option.map (fun p -> p.Ddp_static.Hybrid.symtab) plan)
+          prog
+      | None, Some path -> Ddp_core.Source.of_foreign ~path
+      | None, None -> assert false
+    in
     let outcome =
-      try
-        Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee
-          (Ddp_core.Source.live ~sched_seed:seed
-             ?symtab:(Option.map (fun p -> p.Ddp_static.Hybrid.symtab) plan)
-             prog)
+      try Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee source
       with e ->
         (* A crashed run must not publish a truncated trace: the recording
            stays in its .tmp file and is deleted here. *)
@@ -273,7 +308,10 @@ let run_cmd =
       Printf.printf "trace written to %s\n" path
     | _ -> ());
     Printf.printf "workload %s (%s): %d accesses over %d addresses, %d lines\n" name
-      (match variant with `Seq -> "seq" | `Par -> "par")
+      (match (prog, variant) with
+      | None, _ -> "foreign"
+      | Some _, `Seq -> "seq"
+      | Some _, `Par -> "par")
       outcome.run_stats.accesses outcome.run_stats.addresses outcome.run_stats.lines;
     summarize ~account outcome;
     export_obs ~account:(Some account) ~trace_out ~metrics_out
@@ -292,12 +330,14 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg $ mt_arg
-      $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg $ lock_based_arg
-      $ record_arg $ backpressure_arg $ deadline_arg $ queue_capacity_arg $ trace_out_arg
-      $ metrics_out_arg)
+      const run $ opt_name_arg $ foreign_arg $ scale_arg $ variant_arg $ target_threads_arg
+      $ mode_arg $ mt_arg $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg
+      $ lock_based_arg $ record_arg $ backpressure_arg $ deadline_arg $ queue_capacity_arg
+      $ trace_out_arg $ metrics_out_arg)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Profile a workload and summarize its dependences.") term
+  Cmd.v
+    (Cmd.info "run" ~doc:"Profile a workload (or a --foreign trace) and summarize its dependences.")
+    term
 
 (* -- list ----------------------------------------------------------------- *)
 
@@ -319,11 +359,15 @@ let list_modes_cmd =
   let run () =
     List.iter
       (fun (e : Ddp_core.Engine.t) ->
-        Printf.printf "%-10s %s%s\n" e.name e.description (if e.exact then "  [exact]" else ""))
+        Printf.printf "%-10s %-24s %s%s\n" e.name
+          (Ddp_minir.Handler.pp_class_list e.consumes)
+          e.description
+          (if e.exact then "  [exact]" else ""))
       (Ddp_core.Engine.all ())
   in
   Cmd.v
-    (Cmd.info "list-modes" ~doc:"List registered profiling engines (the --mode values).")
+    (Cmd.info "list-modes"
+       ~doc:"List registered profiling engines (the --mode values) and the event classes each consumes.")
     Term.(const run $ const ())
 
 (* -- loops ---------------------------------------------------------------- *)
@@ -392,6 +436,85 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Profile a previously recorded trace under any engine (collect once, analyze many).")
     Term.(const run $ path_arg $ mode_arg $ slots_arg $ backpressure_arg $ deadline_arg $ report_arg)
+
+(* -- foreign-export / foreign-diff ---------------------------------------- *)
+
+(* Collect a workload's native stream and keep only what the lackey
+   dialect can express (Memory + Alloc classes, with attribution
+   markers).  The exported file round-trips: dependence keys carry no
+   timestamps, so re-importing reproduces the native dep set exactly. *)
+let collect_events ~variant ~target_threads ~scale ~seed name =
+  let prog = get_program ~variant ~target_threads ~scale name in
+  let hooks, get = Ddp_minir.Event.collector () in
+  let symtab = Ddp_minir.Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks ~sched_seed:seed ~symtab prog
+  in
+  (get (), symtab)
+
+let foreign_export_cmd =
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the lackey-style trace to FILE.")
+  in
+  let run name scale variant target_threads seed out =
+    let events, symtab = collect_events ~variant ~target_threads ~scale ~seed name in
+    Ddp_minir.Foreign.export ~path:out events symtab;
+    let expressible =
+      List.length
+        (List.filter
+           (fun e ->
+             match Ddp_minir.Event.class_of e with
+             | Ddp_minir.Event.Class.Memory | Ddp_minir.Event.Class.Alloc -> true
+             | _ -> false)
+           events)
+    in
+    Printf.printf "foreign trace written to %s (%d of %d events expressible in the dialect)\n"
+      out expressible (List.length events)
+  in
+  Cmd.v
+    (Cmd.info "foreign-export"
+       ~doc:
+         "Export a workload's instrumentation stream as a lackey-style foreign trace (Memory and \
+          Alloc classes only, with attribution markers).")
+    Term.(const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ seed_arg $ out_arg)
+
+let foreign_diff_cmd =
+  let run name scale variant target_threads seed mode slots path =
+    check_mode mode;
+    let config = { Ddp_core.Config.default with slots; seed } in
+    let prog = get_program ~variant ~target_threads ~scale name in
+    let native =
+      Ddp_core.Profiler.run ~mode ~config (Ddp_core.Source.live ~sched_seed:seed prog)
+    in
+    let imported =
+      Ddp_core.Profiler.run ~mode ~config (Ddp_core.Source.of_foreign ~path)
+    in
+    let native_keys = Ddp_core.Dep_store.key_set native.deps in
+    let imported_keys = Ddp_core.Dep_store.key_set imported.deps in
+    let module KS = Ddp_core.Dep_store.Key_set in
+    Printf.printf "engine %s: native %d deps, imported %d deps\n" mode
+      (KS.cardinal native_keys) (KS.cardinal imported_keys);
+    if KS.equal native_keys imported_keys then
+      print_endline "foreign-diff: dependence sets identical"
+    else begin
+      let missing = KS.diff native_keys imported_keys in
+      let spurious = KS.diff imported_keys native_keys in
+      Printf.printf "foreign-diff: MISMATCH (%d missing, %d spurious)\n" (KS.cardinal missing)
+        (KS.cardinal spurious);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "foreign-diff"
+       ~doc:
+         "Profile WORKLOAD natively and via an exported foreign trace (--trace) under the same \
+          engine, and fail unless the dependence sets are identical.")
+    Term.(
+      const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ seed_arg $ mode_arg
+      $ slots_arg $ path_arg)
 
 (* -- distance -------------------------------------------------------------- *)
 
@@ -755,6 +878,8 @@ let main =
       graph_cmd;
       record_cmd;
       replay_cmd;
+      foreign_export_cmd;
+      foreign_diff_cmd;
       distance_cmd;
       calltree_cmd;
       static_cmd;

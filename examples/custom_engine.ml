@@ -9,13 +9,23 @@
 type Ddp_core.Engine.extra += Heat of (Ddp_minir.Loc.t, int) Hashtbl.t
 
 let heatmap =
+  (* Subscribe to exactly the event classes the engine consumes — here
+     just Memory; every other class costs nothing (the fused record
+     carries the shared null closures for them). *)
   Ddp_core.Engine.make ~name:"heatmap" ~description:"per-line access counts (demo)"
-    ~exact:false (fun ?account:_ _config ->
+    ~exact:false
+    ~consumes:[ Ddp_minir.Event.Class.Memory ]
+    (fun ?account:_ _config ->
       let heat = Hashtbl.create 64 in
       let bump ~addr:_ ~loc ~var:_ ~thread:_ ~time:_ ~locked:_ =
         Hashtbl.replace heat loc (1 + Option.value ~default:0 (Hashtbl.find_opt heat loc))
       in
-      let hooks = { Ddp_minir.Event.null with on_read = bump; on_write = bump } in
+      let hooks =
+        Ddp_minir.Handler.hooks
+          (Ddp_minir.Handler.make
+             ~memory:{ Ddp_minir.Event.on_read = bump; on_write = bump }
+             ())
+      in
       let finish () =
         { Ddp_core.Engine.deps = Ddp_core.Dep_store.create (); regions = Ddp_core.Region.create ();
           health = Ddp_core.Health.Complete; store_bytes = 0; extra = Heat heat }

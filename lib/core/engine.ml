@@ -47,10 +47,20 @@ type t = {
   name : string;
   description : string;
   exact : bool;  (* no false positives/negatives: oracle-comparable *)
+  consumes : Event.Class.t list;  (* event classes this engine subscribes to *)
   create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> session;
 }
 
-let make ~name ~description ?(exact = false) create = { name; description; exact; create }
+(* Default subscription: the classes the standard serial wiring consumes
+   (Serial_profiler.consumed_classes).  Engines with a narrower or wider
+   vocabulary declare it explicitly. *)
+let make ~name ~description ?(exact = false)
+    ?(consumes = Serial_profiler.consumed_classes) create =
+  { name; description; exact; consumes; create }
+
+(* Normalize a class set to Class.all order, without duplicates. *)
+let normalize_classes classes =
+  List.filter (fun c -> List.memq c classes) Event.Class.all
 
 let with_mt ?name ?description engine =
   {
@@ -59,6 +69,8 @@ let with_mt ?name ?description engine =
       Option.value description
         ~default:(engine.description ^ "; MT push layer (reorder window + race flags, Sec. V)");
     exact = false;  (* cross-thread reordering can change observed orders *)
+    (* the push layer flushes on thread-end, so Frame joins the set *)
+    consumes = normalize_classes (Event.Class.Frame :: engine.consumes);
     create =
       (fun ?account config ->
         let config = { config with check_timestamps = true } in

@@ -40,6 +40,10 @@ type t = {
   name : string;
   description : string;
   exact : bool;  (** no false positives/negatives: oracle-comparable *)
+  consumes : Ddp_minir.Event.Class.t list;
+      (** event classes this engine subscribes to; informational (shown
+          by [ddprof list-modes]) — unsubscribed classes are dropped by
+          the fused null closures either way *)
   create : ?account:Ddp_util.Mem_account.t * string -> Config.t -> session;
 }
 
@@ -47,8 +51,11 @@ val make :
   name:string ->
   description:string ->
   ?exact:bool ->
+  ?consumes:Ddp_minir.Event.Class.t list ->
   (?account:Ddp_util.Mem_account.t * string -> Config.t -> session) ->
   t
+(** [consumes] defaults to {!Serial_profiler.consumed_classes}
+    ([Memory]+[Region]+[Alloc]), the standard serial wiring. *)
 
 val with_mt : ?name:string -> ?description:string -> t -> t
 (** Wrap an engine with the Sec. V multi-threaded-target machinery: the

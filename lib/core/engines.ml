@@ -101,18 +101,24 @@ let hybrid =
             incr events;
             Hashtbl.replace sites (loc, var, write) ()
           in
+          (* Override only the Memory class; every other class keeps the
+             inner engine's own closures (physically, via the fuse). *)
           let hooks =
-            {
-              h with
-              Event.on_read =
-                (fun ~addr ~loc ~var ~thread ~time ~locked ->
-                  if pruned var then skip ~loc ~var ~write:false
-                  else h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
-              on_write =
-                (fun ~addr ~loc ~var ~thread ~time ~locked ->
-                  if pruned var then skip ~loc ~var ~write:true
-                  else h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
-            }
+            Ddp_minir.Handler.hooks
+              (Ddp_minir.Handler.make
+                 ~memory:
+                   {
+                     Event.on_read =
+                       (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                         if pruned var then skip ~loc ~var ~write:false
+                         else h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+                     on_write =
+                       (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                         if pruned var then skip ~loc ~var ~write:true
+                         else h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+                   }
+                 ~region:(Event.region_of h) ~frame:(Event.frame_of h)
+                 ~alloc:(Event.alloc_of h) ~sync:(Event.sync_of h) ())
           in
           {
             Engine.hooks;

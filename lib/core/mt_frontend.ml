@@ -118,31 +118,46 @@ let on_access t ~is_write ~addr ~loc ~var ~thread ~time ~locked =
     if t.pending > t.peak_pending then t.peak_pending <- t.pending
   end
 
-let hooks t =
-  {
-    Event.on_read =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        on_access t ~is_write:false ~addr ~loc ~var ~thread ~time ~locked);
-    on_write =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        on_access t ~is_write:true ~addr ~loc ~var ~thread ~time ~locked);
-    on_region_enter = t.inner.Event.on_region_enter;
-    on_region_iter = t.inner.Event.on_region_iter;
-    on_region_exit = t.inner.Event.on_region_exit;
-    on_alloc = t.inner.Event.on_alloc;
-    on_free =
-      (fun ~base ~len ~var ->
-        (* A free invalidates signature state: all pending pushes must land
-           before it, whatever their thread. *)
-        flush_all t;
-        t.inner.Event.on_free ~base ~len ~var);
-    on_call = t.inner.Event.on_call;
-    on_return = t.inner.Event.on_return;
-    on_thread_end =
-      (fun ~thread ->
-        flush_thread t thread;
-        t.inner.Event.on_thread_end ~thread);
-  }
+(* The push layer intercepts the Memory class (buffering), the free half
+   of Alloc (a free invalidates signature state, so every pending push
+   must land first) and thread-end (retire the thread's buffer); every
+   other class is the inner sink's own handler, passed through
+   physically by the fuse. *)
+let handler t =
+  Ddp_minir.Handler.make
+    ~memory:
+      {
+        Event.on_read =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            on_access t ~is_write:false ~addr ~loc ~var ~thread ~time ~locked);
+        on_write =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            on_access t ~is_write:true ~addr ~loc ~var ~thread ~time ~locked);
+      }
+    ~region:(Event.region_of t.inner)
+    ~frame:
+      {
+        Event.on_call = t.inner.Event.on_call;
+        on_return = t.inner.Event.on_return;
+        on_thread_end =
+          (fun ~thread ->
+            flush_thread t thread;
+            t.inner.Event.on_thread_end ~thread);
+      }
+    ~alloc:
+      {
+        Event.on_alloc = t.inner.Event.on_alloc;
+        on_free =
+          (fun ~base ~len ~var ->
+            (* All pending pushes must land before a free, whatever
+               their thread. *)
+            flush_all t;
+            t.inner.Event.on_free ~base ~len ~var);
+      }
+    ~sync:(Event.sync_of t.inner)
+    ()
+
+let hooks t = Ddp_minir.Handler.hooks (handler t)
 
 let finish t = flush_all t
 let delayed t = t.delayed

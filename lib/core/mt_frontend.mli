@@ -10,8 +10,13 @@ val create : ?window:int -> ?seed:int -> Ddp_minir.Event.hooks -> t
 (** Wrap profiler hooks.  [window] bounds the random push delay of an
     unlocked access in push-layer steps. *)
 
+val handler : t -> Ddp_minir.Handler.t
+(** The push layer as a handler bundle: Memory buffered, free and
+    thread-end intercepted for flushing, everything else the inner
+    sink's own closures. *)
+
 val hooks : t -> Ddp_minir.Event.hooks
-(** The wrapped hooks to attach to the interpreter. *)
+(** The wrapped hooks to attach to the interpreter ([handler] fused). *)
 
 val finish : t -> unit
 (** Flush all pending pushes (call after the run). *)

@@ -653,34 +653,36 @@ let start t =
     t.domains <-
       Array.map (fun w -> Domain.spawn (fun () -> worker_loop t.stop t.kill w)) t.workers
 
-let hooks t =
-  let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =
-    route t ~addr ~op:Chunk.op_read ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+(* Same class subscriptions as the serial profiler: Memory and the free
+   half of Alloc route into chunks, Region feeds the shared tracker on
+   the producer domain; Frame/Sync stay unsubscribed. *)
+let handler t =
+  let memory : Event.memory_handler =
+    {
+      on_read =
+        (fun ~addr ~loc ~var ~thread ~time ~locked:_ ->
+          route t ~addr ~op:Chunk.op_read ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time);
+      on_write =
+        (fun ~addr ~loc ~var ~thread ~time ~locked:_ ->
+          route t ~addr ~op:Chunk.op_write ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time);
+    }
   in
-  let on_write ~addr ~loc ~var ~thread ~time ~locked:_ =
-    route t ~addr ~op:Chunk.op_write ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  let alloc : Event.alloc_handler =
+    {
+      on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+      on_free =
+        (fun ~base ~len ~var:_ ->
+          if t.config.lifetime_analysis then
+            for a = base to base + len - 1 do
+              route t ~addr:a ~op:Chunk.op_free ~payload:1 ~time:0
+            done);
+    }
   in
-  let on_free ~base ~len ~var:_ =
-    if t.config.lifetime_analysis then
-      for a = base to base + len - 1 do
-        route t ~addr:a ~op:Chunk.op_free ~payload:1 ~time:0
-      done
-  in
-  {
-    Event.on_read;
-    on_write;
-    on_region_enter =
-      (fun ~loc ~kind:Event.Loop ~thread ~time -> Region.on_enter t.regions ~loc ~thread ~time);
-    on_region_iter = (fun ~loc ~thread ~time -> Region.on_iter t.regions ~loc ~thread ~time);
-    on_region_exit =
-      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time:_ ->
-        Region.on_exit t.regions ~loc ~end_loc ~iterations ~thread);
-    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
-    on_free;
-    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
-    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
-    on_thread_end = (fun ~thread:_ -> ());
-  }
+  Ddp_minir.Handler.make ~memory
+    ~region:(Serial_profiler.region_handler t.regions)
+    ~alloc ()
+
+let hooks t = Ddp_minir.Handler.hooks (handler t)
 
 let finish t =
   Array.iteri (fun w_id _ -> flush t w_id) t.open_chunks;

@@ -8,6 +8,7 @@
    flagging of Sec. V-B. *)
 
 module Event = Ddp_minir.Event
+module Handler = Ddp_minir.Handler
 
 type t = {
   hooks : Event.hooks;
@@ -20,15 +21,21 @@ type t = {
       (* fold end-of-run store statistics into telemetry domain 0 *)
 }
 
-let region_hooks regions =
-  let on_region_enter ~loc ~kind:Event.Loop ~thread ~time = Region.on_enter regions ~loc ~thread ~time in
-  let on_region_iter ~loc ~thread ~time = Region.on_iter regions ~loc ~thread ~time in
-  let on_region_exit ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time:_ =
-    Region.on_exit regions ~loc ~end_loc ~iterations ~thread
-  in
-  (on_region_enter, on_region_iter, on_region_exit)
+(* The serial profiler subscribes to exactly these classes; frame and
+   sync events are dropped by the fused null closures. *)
+let consumed_classes = Event.Class.[ Memory; Region; Alloc ]
 
-let make_hooks (type a) (module A : Algo.S with type t = a) (algo : a) regions
+let region_handler regions : Event.region_handler =
+  {
+    on_region_enter =
+      (fun ~loc ~kind:Event.Loop ~thread ~time -> Region.on_enter regions ~loc ~thread ~time);
+    on_region_iter = (fun ~loc ~thread ~time -> Region.on_iter regions ~loc ~thread ~time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time:_ ->
+        Region.on_exit regions ~loc ~end_loc ~iterations ~thread);
+  }
+
+let make_handler (type a) (module A : Algo.S with type t = a) (algo : a) regions
     ~(lifetime : bool) ~(section_level : bool) =
   (* Set-based profiling (Sec. VI-B): attribute the access to the
      innermost active loop region instead of the statement. *)
@@ -39,33 +46,34 @@ let make_hooks (type a) (module A : Algo.S with type t = a) (algo : a) regions
       | a :: _ -> a.Region.a_loc
       | [] -> loc
   in
-  let on_read ~addr ~loc ~var ~thread ~time ~locked:_ =
-    let loc = effective_loc ~loc ~thread in
-    A.on_read algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  let memory : Event.memory_handler =
+    {
+      on_read =
+        (fun ~addr ~loc ~var ~thread ~time ~locked:_ ->
+          let loc = effective_loc ~loc ~thread in
+          A.on_read algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time);
+      on_write =
+        (fun ~addr ~loc ~var ~thread ~time ~locked:_ ->
+          let loc = effective_loc ~loc ~thread in
+          A.on_write algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time);
+    }
   in
-  let on_write ~addr ~loc ~var ~thread ~time ~locked:_ =
-    let loc = effective_loc ~loc ~thread in
-    A.on_write algo ~addr ~payload:(Payload.pack_unsafe ~loc ~var ~thread) ~time
+  let alloc : Event.alloc_handler =
+    {
+      on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+      on_free =
+        (fun ~base ~len ~var:_ ->
+          if lifetime then
+            for a = base to base + len - 1 do
+              A.on_free algo ~addr:a
+            done);
+    }
   in
-  let on_free ~base ~len ~var:_ =
-    if lifetime then
-      for a = base to base + len - 1 do
-        A.on_free algo ~addr:a
-      done
-  in
-  let on_region_enter, on_region_iter, on_region_exit = region_hooks regions in
-  {
-    Event.on_read;
-    on_write;
-    on_region_enter;
-    on_region_iter;
-    on_region_exit;
-    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
-    on_free;
-    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
-    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
-    on_thread_end = (fun ~thread:_ -> ());
-  }
+  Handler.make ~memory ~region:(region_handler regions) ~alloc ()
+
+let make_hooks (type a) (module A : Algo.S with type t = a) (algo : a) regions
+    ~(lifetime : bool) ~(section_level : bool) =
+  Handler.hooks (make_handler (module A) algo regions ~lifetime ~section_level)
 
 let create_signature ?account (config : Config.t) =
   let deps = Dep_store.create ?account () in

@@ -18,6 +18,25 @@ type t = {
 val create_signature : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
 val create_perfect : ?account:Ddp_util.Mem_account.t * string -> Config.t -> t
 
+val consumed_classes : Ddp_minir.Event.Class.t list
+(** The classes a serial profiler subscribes to:
+    [[Memory; Region; Alloc]]. *)
+
+val region_handler : Region.t -> Ddp_minir.Event.region_handler
+(** The standard region-class wiring into a {!Region} tracker. *)
+
+val make_handler :
+  (module Algo.S with type t = 'a) ->
+  'a ->
+  Region.t ->
+  lifetime:bool ->
+  section_level:bool ->
+  Ddp_minir.Handler.t
+(** Build the standard serial wiring (payload packing, region tracking,
+    optional lifetime frees and set-based attribution) around any
+    Algorithm-1 instance, as a per-class handler bundle — the building
+    block for engine adapters over alternative stores (see {!Engine}). *)
+
 val make_hooks :
   (module Algo.S with type t = 'a) ->
   'a ->
@@ -25,10 +44,7 @@ val make_hooks :
   lifetime:bool ->
   section_level:bool ->
   Ddp_minir.Event.hooks
-(** Build the standard serial hook wiring (payload packing, region
-    tracking, optional lifetime frees and set-based attribution) around
-    any Algorithm-1 instance — the building block for engine adapters
-    over alternative stores (see {!Engine}). *)
+(** [make_handler] fused into the flat hot-path record. *)
 
 val profile :
   ?account:Ddp_util.Mem_account.t * string ->

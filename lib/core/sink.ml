@@ -4,131 +4,149 @@
    once; [filter_thread] narrows a stream to selected threads before it
    reaches a consumer; [observe] adapts a per-event callback.
 
-   Hooks are plain labelled closures, so combinators cost one indirect
-   call per layer and allocate nothing on the hot path (except
-   [observe], which materializes concrete events for its callback). *)
+   All combinators are built on [Handler], the algebra's
+   compose/subscribe layer: fan-out is assembled class-by-class at
+   composition time, so a combinator costs one indirect call per layer
+   and allocates nothing on the hot path (except [observe], which
+   materializes concrete events for its callback). *)
 
 module Event = Ddp_minir.Event
+module Handler = Ddp_minir.Handler
 
 let null = Event.null
 
-let tee a b =
-  {
-    Event.on_read =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        a.Event.on_read ~addr ~loc ~var ~thread ~time ~locked;
-        b.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
-    on_write =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        a.Event.on_write ~addr ~loc ~var ~thread ~time ~locked;
-        b.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
-    on_region_enter =
-      (fun ~loc ~kind ~thread ~time ->
-        a.Event.on_region_enter ~loc ~kind ~thread ~time;
-        b.Event.on_region_enter ~loc ~kind ~thread ~time);
-    on_region_iter =
-      (fun ~loc ~thread ~time ->
-        a.Event.on_region_iter ~loc ~thread ~time;
-        b.Event.on_region_iter ~loc ~thread ~time);
-    on_region_exit =
-      (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
-        a.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time;
-        b.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
-    on_alloc =
-      (fun ~base ~len ~var ->
-        a.Event.on_alloc ~base ~len ~var;
-        b.Event.on_alloc ~base ~len ~var);
-    on_free =
-      (fun ~base ~len ~var ->
-        a.Event.on_free ~base ~len ~var;
-        b.Event.on_free ~base ~len ~var);
-    on_call =
-      (fun ~loc ~func ~thread ~time ->
-        a.Event.on_call ~loc ~func ~thread ~time;
-        b.Event.on_call ~loc ~func ~thread ~time);
-    on_return =
-      (fun ~func ~thread ~time ->
-        a.Event.on_return ~func ~thread ~time;
-        b.Event.on_return ~func ~thread ~time);
-    on_thread_end =
-      (fun ~thread ->
-        a.Event.on_thread_end ~thread;
-        b.Event.on_thread_end ~thread);
-  }
+let tee a b = Handler.fuse [ Handler.of_hooks a; Handler.of_hooks b ]
 
-let tee_all = function
-  | [] -> null
-  | first :: rest -> List.fold_left tee first rest
+(* [Handler.fuse [] == Event.null], so [tee_all [] == null] physically. *)
+let tee_all sinks = Handler.fuse (List.map Handler.of_hooks sinks)
 
-(* Allocation events carry no thread id and describe shared state, so
-   they always pass through. *)
+(* Pass-through policy, per event class:
+
+   - [Memory], [Region], [Sync]: filtered — each event carries the
+     thread that produced it.
+   - [Frame]: filtered, *including* [on_thread_end] — a consumer that
+     never saw thread t's accesses must not receive its retirement
+     either (an unmatched thread-end would flush state the consumer
+     never built, e.g. in the MT frontend's reorder window).
+   - [Alloc]: always passes.  Allocation events carry no thread id and
+     describe shared address-space state; dropping them would leave the
+     consumer's lifetime tracking blind to memory that filtered threads
+     still access. *)
 let filter_thread keep h =
-  {
-    Event.on_read =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        if keep thread then h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
-    on_write =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        if keep thread then h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
-    on_region_enter =
-      (fun ~loc ~kind ~thread ~time ->
-        if keep thread then h.Event.on_region_enter ~loc ~kind ~thread ~time);
-    on_region_iter =
-      (fun ~loc ~thread ~time -> if keep thread then h.Event.on_region_iter ~loc ~thread ~time);
-    on_region_exit =
-      (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
-        if keep thread then h.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
-    on_alloc = (fun ~base ~len ~var -> h.Event.on_alloc ~base ~len ~var);
-    on_free = (fun ~base ~len ~var -> h.Event.on_free ~base ~len ~var);
-    on_call =
-      (fun ~loc ~func ~thread ~time -> if keep thread then h.Event.on_call ~loc ~func ~thread ~time);
-    on_return = (fun ~func ~thread ~time -> if keep thread then h.Event.on_return ~func ~thread ~time);
-    on_thread_end = (fun ~thread -> if keep thread then h.Event.on_thread_end ~thread);
-  }
+  Handler.hooks
+    (Handler.make
+       ~memory:
+         {
+           Event.on_read =
+             (fun ~addr ~loc ~var ~thread ~time ~locked ->
+               if keep thread then h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+           on_write =
+             (fun ~addr ~loc ~var ~thread ~time ~locked ->
+               if keep thread then h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+         }
+       ~region:
+         {
+           Event.on_region_enter =
+             (fun ~loc ~kind ~thread ~time ->
+               if keep thread then h.Event.on_region_enter ~loc ~kind ~thread ~time);
+           on_region_iter =
+             (fun ~loc ~thread ~time ->
+               if keep thread then h.Event.on_region_iter ~loc ~thread ~time);
+           on_region_exit =
+             (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
+               if keep thread then
+                 h.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
+         }
+       ~frame:
+         {
+           Event.on_call =
+             (fun ~loc ~func ~thread ~time ->
+               if keep thread then h.Event.on_call ~loc ~func ~thread ~time);
+           on_return =
+             (fun ~func ~thread ~time ->
+               if keep thread then h.Event.on_return ~func ~thread ~time);
+           on_thread_end = (fun ~thread -> if keep thread then h.Event.on_thread_end ~thread);
+         }
+       ~alloc:(Event.alloc_of h)
+       ~sync:
+         {
+           Event.on_sync =
+             (fun ~kind ~obj ~thread ~time ->
+               if keep thread then h.Event.on_sync ~kind ~obj ~thread ~time);
+         }
+       ())
 
-let observe f =
-  {
-    Event.on_read =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        f (Event.Read { addr; loc; var; thread; time; locked }));
-    on_write =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        f (Event.Write { addr; loc; var; thread; time; locked }));
-    on_region_enter =
-      (fun ~loc ~kind:Event.Loop ~thread ~time -> f (Event.Region_enter { loc; thread; time }));
-    on_region_iter = (fun ~loc ~thread ~time -> f (Event.Region_iter { loc; thread; time }));
-    on_region_exit =
-      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
-        f (Event.Region_exit { loc; end_loc; iterations; thread; time }));
-    on_alloc = (fun ~base ~len ~var -> f (Event.Alloc { base; len; var }));
-    on_free = (fun ~base ~len ~var -> f (Event.Free { base; len; var }));
-    on_call = (fun ~loc ~func ~thread ~time -> f (Event.Call { loc; func; thread; time }));
-    on_return = (fun ~func ~thread ~time -> f (Event.Return { func; thread; time }));
-    on_thread_end = (fun ~thread -> f (Event.Thread_end { thread }));
-  }
+(* The callback adapter as a full-subscription handler: every class is
+   materialized, including Sync, so [observe] over a collector stays a
+   faithful identity on any event stream. *)
+let observe_handler f =
+  Handler.make
+    ~memory:
+      {
+        Event.on_read =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            f (Event.Read { addr; loc; var; thread; time; locked }));
+        on_write =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            f (Event.Write { addr; loc; var; thread; time; locked }));
+      }
+    ~region:
+      {
+        Event.on_region_enter =
+          (fun ~loc ~kind:Event.Loop ~thread ~time -> f (Event.Region_enter { loc; thread; time }));
+        on_region_iter = (fun ~loc ~thread ~time -> f (Event.Region_iter { loc; thread; time }));
+        on_region_exit =
+          (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
+            f (Event.Region_exit { loc; end_loc; iterations; thread; time }));
+      }
+    ~frame:
+      {
+        Event.on_call = (fun ~loc ~func ~thread ~time -> f (Event.Call { loc; func; thread; time }));
+        on_return = (fun ~func ~thread ~time -> f (Event.Return { func; thread; time }));
+        on_thread_end = (fun ~thread -> f (Event.Thread_end { thread }));
+      }
+    ~alloc:
+      {
+        Event.on_alloc = (fun ~base ~len ~var -> f (Event.Alloc { base; len; var }));
+        on_free = (fun ~base ~len ~var -> f (Event.Free { base; len; var }));
+      }
+    ~sync:
+      {
+        Event.on_sync = (fun ~kind ~obj ~thread ~time -> f (Event.Sync { kind; obj; thread; time }));
+      }
+    ()
+
+let observe f = Handler.hooks (observe_handler f)
 
 (* Telemetry event counting for Engine.with_obs: one branchless counter
-   bump per access into the producer's cell (domain 0).  Non-access
-   events pass through uncounted — the metrics track Fig. 2's access
-   stream, not the region/call bookkeeping. *)
+   bump per access into the producer's cell (domain 0).  Subscribes to
+   the Memory class only — the metrics track Fig. 2's access stream,
+   not the region/call bookkeeping, and unsubscribed classes cost a
+   null call. *)
 let obs_events obs =
   let module Obs = Ddp_obs.Obs in
-  {
-    Event.null with
-    Event.on_read =
-      (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
-        Obs.incr obs ~dom:0 Obs.C.events_read);
-    on_write =
-      (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
-        Obs.incr obs ~dom:0 Obs.C.events_write);
-  }
+  Handler.hooks
+    (Handler.make
+       ~memory:
+         {
+           Event.on_read =
+             (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
+               Obs.incr obs ~dom:0 Obs.C.events_read);
+           on_write =
+             (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ ->
+               Obs.incr obs ~dom:0 Obs.C.events_write);
+         }
+       ())
 
 let counter () =
   let n = ref 0 in
   let bump () = incr n in
-  ( {
-      Event.null with
-      Event.on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
-      on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
-    },
+  ( Handler.hooks
+      (Handler.make
+         ~memory:
+           {
+             Event.on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
+             on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> bump ());
+           }
+         ()),
     fun () -> !n )

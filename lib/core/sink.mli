@@ -1,6 +1,7 @@
 (** Sink combinators over {!Ddp_minir.Event.hooks}: compose what one pass
     over the instrumentation stream feeds — an engine, a trace recorder
-    and streaming analyses simultaneously. *)
+    and streaming analyses simultaneously.  Built on
+    {!Ddp_minir.Handler}, the algebra's compose/subscribe layer. *)
 
 val null : Ddp_minir.Event.hooks
 
@@ -8,18 +9,29 @@ val tee : Ddp_minir.Event.hooks -> Ddp_minir.Event.hooks -> Ddp_minir.Event.hook
 (** Deliver every event to both sinks, left first. *)
 
 val tee_all : Ddp_minir.Event.hooks list -> Ddp_minir.Event.hooks
+(** Fan out to every sink in order.  [tee_all [] == null] (physically:
+    the empty composition is {!Ddp_minir.Event.null} itself). *)
 
 val filter_thread : (int -> bool) -> Ddp_minir.Event.hooks -> Ddp_minir.Event.hooks
 (** Forward only events whose thread satisfies the predicate.
-    Allocation events carry no thread and always pass through. *)
+    Per-class policy: [Memory], [Region], [Frame] (including
+    thread-end) and [Sync] events are filtered by the thread that
+    produced them; [Alloc] events carry no thread id, describe shared
+    address-space state, and always pass through. *)
 
 val observe : (Ddp_minir.Event.t -> unit) -> Ddp_minir.Event.hooks
 (** Adapt a per-event callback into a sink (materializes concrete
-    events; use for analyses, not hot paths). *)
+    events for every class; use for analyses, not hot paths). *)
+
+val observe_handler : (Ddp_minir.Event.t -> unit) -> Ddp_minir.Handler.t
+(** The same adapter as a handler bundle, for composition with
+    {!Ddp_minir.Handler.fuse}. *)
 
 val counter : unit -> Ddp_minir.Event.hooks * (unit -> int)
-(** A sink counting read/write accesses, and its reader. *)
+(** A sink counting read/write accesses (Memory class only), and its
+    reader. *)
 
 val obs_events : Ddp_obs.Obs.t -> Ddp_minir.Event.hooks
 (** A sink bumping the telemetry hub's [events_read]/[events_write]
-    counters (domain 0) per access; used by {!Engine.with_obs}. *)
+    counters (domain 0) per access; used by {!Engine.with_obs}.
+    Subscribes to the Memory class only. *)

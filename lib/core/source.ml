@@ -37,34 +37,56 @@ let live ?sched_seed ?input_seed ?symtab prog =
 
 (* Replayed traces carry no interpreter statistics, so synthesize the
    Table-I quantities from the events themselves: #addresses from the
-   allocation events, "lines" as distinct source locations seen. *)
+   allocation events, "lines" as distinct source locations seen.
+
+   The synthesis must be total over class-sparse streams: a foreign
+   trace carries only Memory (and possibly Alloc) events, so every
+   quantity needs a well-defined value when its primary class is
+   absent.  In particular, a stream with no allocation events derives
+   #addresses from the distinct addresses actually accessed instead of
+   reporting zero — downstream consumers (the Eq.-(2) collision model,
+   reports) divide by it. *)
 let stats_of_events events =
   let reads = ref 0 and writes = ref 0 and final_time = ref 0 in
-  let addrs = Hashtbl.create 256 and lines = Hashtbl.create 64 in
+  let allocated = ref false in
+  let addrs = Hashtbl.create 256
+  and accessed = Hashtbl.create 256
+  and lines = Hashtbl.create 64 in
+  let tick time = if time > !final_time then final_time := time in
   let loc_time loc time =
     Hashtbl.replace lines loc ();
-    if time > !final_time then final_time := time
+    tick time
   in
   List.iter
     (fun e ->
       match e with
-      | Event.Read { loc; time; _ } ->
+      | Event.Read { addr; loc; time; _ } ->
         incr reads;
+        Hashtbl.replace accessed addr ();
         loc_time loc time
-      | Event.Write { loc; time; _ } ->
+      | Event.Write { addr; loc; time; _ } ->
         incr writes;
+        Hashtbl.replace accessed addr ();
         loc_time loc time
       | Event.Alloc { base; len; _ } ->
+        allocated := true;
         for a = base to base + len - 1 do
           Hashtbl.replace addrs a ()
         done
-      | _ -> ())
+      | Event.Region_enter { time; _ }
+      | Event.Region_iter { time; _ }
+      | Event.Region_exit { time; _ }
+      | Event.Call { time; _ }
+      | Event.Return { time; _ }
+      | Event.Sync { time; _ } ->
+        tick time
+      | Event.Free _ | Event.Thread_end _ -> ())
     events;
   {
     Interp.reads = !reads;
     writes = !writes;
     accesses = !reads + !writes;
-    addresses = Hashtbl.length addrs;
+    addresses = (if !allocated then Hashtbl.length addrs else Hashtbl.length accessed);
     final_time = !final_time;
     lines = Hashtbl.length lines;
   }
@@ -85,6 +107,19 @@ let of_trace ~path =
     run =
       (fun hooks ->
         let events, symtab = Trace_file.load ~path in
+        Event.replay hooks events;
+        { symtab; stats = stats_of_events events; events = List.length events });
+  }
+
+(* Foreign traces (lackey dialect): the algebra's proof of modularity —
+   a stream carrying only the Memory+Alloc classes, produced outside
+   MiniIR entirely, running through any registered engine unchanged. *)
+let of_foreign ~path =
+  {
+    name = "foreign:" ^ path;
+    run =
+      (fun hooks ->
+        let events, symtab = Ddp_minir.Foreign.load ~path in
         Event.replay hooks events;
         { symtab; stats = stats_of_events events; events = List.length events });
   }

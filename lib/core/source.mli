@@ -34,6 +34,16 @@ val of_trace : path:string -> t
 (** Load and replay a {!Ddp_minir.Trace_file}.  Loading happens when the
     source runs, so errors surface at replay time. *)
 
+val of_foreign : path:string -> t
+(** Load and replay a {!Ddp_minir.Foreign} lackey-style trace: a
+    class-sparse stream (Memory+Alloc only) consumable by any engine.
+    Stats are synthesized totally — no region or allocation events
+    still yields well-defined (zero or derived) quantities. *)
+
+val stats_of_events : Ddp_minir.Event.t list -> Ddp_minir.Interp.stats
+(** The Table-I quantities synthesized from a concrete event stream;
+    total over class-sparse streams (see {!of_foreign}). *)
+
 val of_fn : ?name:string -> (Ddp_minir.Event.hooks -> int) -> t
 (** Synthetic stream: the callback drives the hooks itself and returns
     the number of accesses it issued (used by the comparative benches). *)

@@ -1,11 +1,101 @@
-(* Instrumentation events.
+(* Instrumentation events, structured as a typed algebra.
 
    The interpreter plays the role of the paper's LLVM instrumentation
-   pass: every load/store, loop-region boundary and allocation event is
-   delivered through a [hooks] record.  Hooks are plain labelled functions
-   (not a variant) so the hot path allocates nothing. *)
+   pass.  Events are grouped into five *classes* — [Memory], [Region],
+   [Frame], [Alloc] and [Sync] — and each class has its own small record
+   of labelled callbacks (a per-class handler).  The fused [hooks]
+   record the interpreter actually calls is the flat product of all
+   five: hooks are plain labelled functions (not a variant) so the hot
+   path allocates nothing.  See [Handler] for the compose/subscribe
+   layer that builds a fused record from per-class subscriptions. *)
 
 type region_kind = Loop
+type sync_kind = Task_spawn | Task_join | Lock_acquire | Lock_release
+
+(* -- event classes -------------------------------------------------------- *)
+
+module Class = struct
+  type t = Memory | Region | Frame | Alloc | Sync
+
+  let all = [ Memory; Region; Frame; Alloc; Sync ]
+
+  let name = function
+    | Memory -> "memory"
+    | Region -> "region"
+    | Frame -> "frame"
+    | Alloc -> "alloc"
+    | Sync -> "sync"
+
+  let of_name = function
+    | "memory" -> Some Memory
+    | "region" -> Some Region
+    | "frame" -> Some Frame
+    | "alloc" -> Some Alloc
+    | "sync" -> Some Sync
+    | _ -> None
+
+  let compare = compare
+  let equal = ( = )
+end
+
+(* -- per-class handler records -------------------------------------------- *)
+
+type memory_handler = {
+  on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_write : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+}
+
+type region_handler = {
+  on_region_enter : loc:Loc.t -> kind:region_kind -> thread:int -> time:int -> unit;
+  on_region_iter : loc:Loc.t -> thread:int -> time:int -> unit;
+  on_region_exit :
+    loc:Loc.t -> end_loc:Loc.t -> kind:region_kind -> iterations:int -> thread:int -> time:int -> unit;
+}
+
+type frame_handler = {
+  on_call : loc:Loc.t -> func:int -> thread:int -> time:int -> unit;
+  on_return : func:int -> thread:int -> time:int -> unit;
+  on_thread_end : thread:int -> unit;
+}
+
+type alloc_handler = {
+  on_alloc : base:int -> len:int -> var:int -> unit;
+  on_free : base:int -> len:int -> var:int -> unit;
+}
+
+type sync_handler = {
+  on_sync : kind:sync_kind -> obj:int -> thread:int -> time:int -> unit;
+}
+
+let null_memory =
+  {
+    on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
+    on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
+  }
+
+let null_region =
+  {
+    on_region_enter = (fun ~loc:_ ~kind:_ ~thread:_ ~time:_ -> ());
+    on_region_iter = (fun ~loc:_ ~thread:_ ~time:_ -> ());
+    on_region_exit = (fun ~loc:_ ~end_loc:_ ~kind:_ ~iterations:_ ~thread:_ ~time:_ -> ());
+  }
+
+let null_frame =
+  {
+    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
+    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
+    on_thread_end = (fun ~thread:_ -> ());
+  }
+
+let null_alloc =
+  {
+    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+    on_free = (fun ~base:_ ~len:_ ~var:_ -> ());
+  }
+
+let null_sync = { on_sync = (fun ~kind:_ ~obj:_ ~thread:_ ~time:_ -> ()) }
+
+(* -- the fused hot-path record -------------------------------------------- *)
 
 type hooks = {
   on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
@@ -20,21 +110,46 @@ type hooks = {
       (* [loc] is the call site, [func] the interned procedure name *)
   on_return : func:int -> thread:int -> time:int -> unit;
   on_thread_end : thread:int -> unit;
+  on_sync : kind:sync_kind -> obj:int -> thread:int -> time:int -> unit;
 }
 
-let null =
+let fuse ~(memory : memory_handler) ~(region : region_handler) ~(frame : frame_handler)
+    ~(alloc : alloc_handler) ~(sync : sync_handler) =
   {
-    on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
-    on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> ());
-    on_region_enter = (fun ~loc:_ ~kind:_ ~thread:_ ~time:_ -> ());
-    on_region_iter = (fun ~loc:_ ~thread:_ ~time:_ -> ());
-    on_region_exit = (fun ~loc:_ ~end_loc:_ ~kind:_ ~iterations:_ ~thread:_ ~time:_ -> ());
-    on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
-    on_free = (fun ~base:_ ~len:_ ~var:_ -> ());
-    on_call = (fun ~loc:_ ~func:_ ~thread:_ ~time:_ -> ());
-    on_return = (fun ~func:_ ~thread:_ ~time:_ -> ());
-    on_thread_end = (fun ~thread:_ -> ());
+    on_read = memory.on_read;
+    on_write = memory.on_write;
+    on_region_enter = region.on_region_enter;
+    on_region_iter = region.on_region_iter;
+    on_region_exit = region.on_region_exit;
+    on_alloc = alloc.on_alloc;
+    on_free = alloc.on_free;
+    on_call = frame.on_call;
+    on_return = frame.on_return;
+    on_thread_end = frame.on_thread_end;
+    on_sync = sync.on_sync;
   }
+
+let null =
+  fuse ~memory:null_memory ~region:null_region ~frame:null_frame ~alloc:null_alloc
+    ~sync:null_sync
+
+(* Per-class projections out of a fused record: the inverse of [fuse].
+   Used by [Handler.of_hooks] and by sinks that restructure an existing
+   hooks record class-by-class. *)
+let memory_of (h : hooks) : memory_handler = { on_read = h.on_read; on_write = h.on_write }
+
+let region_of (h : hooks) : region_handler =
+  {
+    on_region_enter = h.on_region_enter;
+    on_region_iter = h.on_region_iter;
+    on_region_exit = h.on_region_exit;
+  }
+
+let frame_of (h : hooks) : frame_handler =
+  { on_call = h.on_call; on_return = h.on_return; on_thread_end = h.on_thread_end }
+
+let alloc_of (h : hooks) : alloc_handler = { on_alloc = h.on_alloc; on_free = h.on_free }
+let sync_of (h : hooks) : sync_handler = { on_sync = h.on_sync }
 
 (* Concrete event values, used by tests and by trace-replay oracles. *)
 type t =
@@ -48,6 +163,53 @@ type t =
   | Call of { loc : Loc.t; func : int; thread : int; time : int }
   | Return of { func : int; thread : int; time : int }
   | Thread_end of { thread : int }
+  | Sync of { kind : sync_kind; obj : int; thread : int; time : int }
+
+let class_of = function
+  | Read _ | Write _ -> Class.Memory
+  | Region_enter _ | Region_iter _ | Region_exit _ -> Class.Region
+  | Call _ | Return _ | Thread_end _ -> Class.Frame
+  | Alloc _ | Free _ -> Class.Alloc
+  | Sync _ -> Class.Sync
+
+(* -- stable printer -------------------------------------------------------- *)
+
+(* One constructor per line, stable across releases: ddpcheck embeds
+   these lines in shrunk-counterexample dumps, and the format is pinned
+   by a test.  Keep field order identical to the constructor. *)
+
+let sync_kind_name = function
+  | Task_spawn -> "task_spawn"
+  | Task_join -> "task_join"
+  | Lock_acquire -> "lock_acquire"
+  | Lock_release -> "lock_release"
+
+let to_string = function
+  | Read { addr; loc; var; thread; time; locked } ->
+    Printf.sprintf "Read addr=%d loc=%s var=%d thread=%d time=%d locked=%b" addr
+      (Loc.to_string loc) var thread time locked
+  | Write { addr; loc; var; thread; time; locked } ->
+    Printf.sprintf "Write addr=%d loc=%s var=%d thread=%d time=%d locked=%b" addr
+      (Loc.to_string loc) var thread time locked
+  | Region_enter { loc; thread; time } ->
+    Printf.sprintf "Region_enter loc=%s thread=%d time=%d" (Loc.to_string loc) thread time
+  | Region_iter { loc; thread; time } ->
+    Printf.sprintf "Region_iter loc=%s thread=%d time=%d" (Loc.to_string loc) thread time
+  | Region_exit { loc; end_loc; iterations; thread; time } ->
+    Printf.sprintf "Region_exit loc=%s end_loc=%s iterations=%d thread=%d time=%d"
+      (Loc.to_string loc) (Loc.to_string end_loc) iterations thread time
+  | Alloc { base; len; var } -> Printf.sprintf "Alloc base=%d len=%d var=%d" base len var
+  | Free { base; len; var } -> Printf.sprintf "Free base=%d len=%d var=%d" base len var
+  | Call { loc; func; thread; time } ->
+    Printf.sprintf "Call loc=%s func=%d thread=%d time=%d" (Loc.to_string loc) func thread time
+  | Return { func; thread; time } ->
+    Printf.sprintf "Return func=%d thread=%d time=%d" func thread time
+  | Thread_end { thread } -> Printf.sprintf "Thread_end thread=%d" thread
+  | Sync { kind; obj; thread; time } ->
+    Printf.sprintf "Sync kind=%s obj=%d thread=%d time=%d" (sync_kind_name kind) obj thread
+      time
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
 
 let collector () =
   let acc = ref [] in
@@ -70,27 +232,28 @@ let collector () =
       on_call = (fun ~loc ~func ~thread ~time -> push (Call { loc; func; thread; time }));
       on_return = (fun ~func ~thread ~time -> push (Return { func; thread; time }));
       on_thread_end = (fun ~thread -> push (Thread_end { thread }));
+      on_sync = (fun ~kind ~obj ~thread ~time -> push (Sync { kind; obj; thread; time }));
     }
   in
   (hooks, fun () -> List.rev !acc)
 
 (* Replay a concrete event list into a hooks record: lets oracles and
    profilers consume recorded traces interchangeably with live runs. *)
-let replay hooks events =
-  List.iter
-    (fun e ->
-      match e with
-      | Read { addr; loc; var; thread; time; locked } ->
-        hooks.on_read ~addr ~loc ~var ~thread ~time ~locked
-      | Write { addr; loc; var; thread; time; locked } ->
-        hooks.on_write ~addr ~loc ~var ~thread ~time ~locked
-      | Region_enter { loc; thread; time } -> hooks.on_region_enter ~loc ~kind:Loop ~thread ~time
-      | Region_iter { loc; thread; time } -> hooks.on_region_iter ~loc ~thread ~time
-      | Region_exit { loc; end_loc; iterations; thread; time } ->
-        hooks.on_region_exit ~loc ~end_loc ~kind:Loop ~iterations ~thread ~time
-      | Alloc { base; len; var } -> hooks.on_alloc ~base ~len ~var
-      | Free { base; len; var } -> hooks.on_free ~base ~len ~var
-      | Call { loc; func; thread; time } -> hooks.on_call ~loc ~func ~thread ~time
-      | Return { func; thread; time } -> hooks.on_return ~func ~thread ~time
-      | Thread_end { thread } -> hooks.on_thread_end ~thread)
-    events
+let dispatch hooks e =
+  match e with
+  | Read { addr; loc; var; thread; time; locked } ->
+    hooks.on_read ~addr ~loc ~var ~thread ~time ~locked
+  | Write { addr; loc; var; thread; time; locked } ->
+    hooks.on_write ~addr ~loc ~var ~thread ~time ~locked
+  | Region_enter { loc; thread; time } -> hooks.on_region_enter ~loc ~kind:Loop ~thread ~time
+  | Region_iter { loc; thread; time } -> hooks.on_region_iter ~loc ~thread ~time
+  | Region_exit { loc; end_loc; iterations; thread; time } ->
+    hooks.on_region_exit ~loc ~end_loc ~kind:Loop ~iterations ~thread ~time
+  | Alloc { base; len; var } -> hooks.on_alloc ~base ~len ~var
+  | Free { base; len; var } -> hooks.on_free ~base ~len ~var
+  | Call { loc; func; thread; time } -> hooks.on_call ~loc ~func ~thread ~time
+  | Return { func; thread; time } -> hooks.on_return ~func ~thread ~time
+  | Thread_end { thread } -> hooks.on_thread_end ~thread
+  | Sync { kind; obj; thread; time } -> hooks.on_sync ~kind ~obj ~thread ~time
+
+let replay hooks events = List.iter (fun e -> dispatch hooks e) events

@@ -1,11 +1,83 @@
-(** Instrumentation events emitted by the MiniIR interpreter.
+(** Instrumentation events emitted by the MiniIR interpreter, structured
+    as a typed algebra of event {e classes}.
 
     This is the contract between the "instrumented target program" (the
     interpreter, standing in for the paper's LLVM pass) and every
-    profiler.  Hooks are plain functions so the hot path allocates
-    nothing. *)
+    profiler.  Events fall into five classes:
+
+    {ul
+    {- [Memory] — read/write accesses, the profiling hot path;}
+    {- [Region] — loop-region enter/iter/exit boundaries;}
+    {- [Frame] — call/return/thread-end control events;}
+    {- [Alloc] — allocation/free lifetime events;}
+    {- [Sync] — task/lock events, reserved for DAG race detection
+       (never emitted by the current interpreter, but first-class in
+       the vocabulary: serializable, printable, replayable).}}
+
+    Each class has a small record of labelled callbacks (a per-class
+    handler).  The fused {!hooks} record the interpreter calls is the
+    flat product of all five; hooks are plain functions so the hot path
+    allocates nothing.  Consumers should build hooks through
+    {!Handler}, which lets a profiler or sink declare exactly which
+    classes it subscribes to. *)
 
 type region_kind = Loop
+
+type sync_kind = Task_spawn | Task_join | Lock_acquire | Lock_release
+(** Reserved vocabulary for the [Sync] class: OpenMP-style task
+    spawn/join and lock acquire/release, keyed by an opaque object id. *)
+
+(** Event classes: the subscription vocabulary of the algebra. *)
+module Class : sig
+  type t = Memory | Region | Frame | Alloc | Sync
+
+  val all : t list
+  (** Every class, in declaration order. *)
+
+  val name : t -> string
+  (** Stable lower-case name, used in trace headers and [list-modes]. *)
+
+  val of_name : string -> t option
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end
+
+(** {1 Per-class handlers} *)
+
+type memory_handler = {
+  on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+  on_write : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
+}
+
+type region_handler = {
+  on_region_enter : loc:Loc.t -> kind:region_kind -> thread:int -> time:int -> unit;
+  on_region_iter : loc:Loc.t -> thread:int -> time:int -> unit;
+  on_region_exit :
+    loc:Loc.t -> end_loc:Loc.t -> kind:region_kind -> iterations:int -> thread:int -> time:int -> unit;
+}
+
+type frame_handler = {
+  on_call : loc:Loc.t -> func:int -> thread:int -> time:int -> unit;
+  on_return : func:int -> thread:int -> time:int -> unit;
+  on_thread_end : thread:int -> unit;
+}
+
+type alloc_handler = {
+  on_alloc : base:int -> len:int -> var:int -> unit;
+  on_free : base:int -> len:int -> var:int -> unit;
+}
+
+type sync_handler = {
+  on_sync : kind:sync_kind -> obj:int -> thread:int -> time:int -> unit;
+}
+
+val null_memory : memory_handler
+val null_region : region_handler
+val null_frame : frame_handler
+val null_alloc : alloc_handler
+val null_sync : sync_handler
+
+(** {1 The fused hot-path record} *)
 
 type hooks = {
   on_read : addr:int -> loc:Loc.t -> var:int -> thread:int -> time:int -> locked:bool -> unit;
@@ -20,10 +92,33 @@ type hooks = {
       (** [loc] is the call site, [func] the interned procedure name *)
   on_return : func:int -> thread:int -> time:int -> unit;
   on_thread_end : thread:int -> unit;
+  on_sync : kind:sync_kind -> obj:int -> thread:int -> time:int -> unit;
 }
 
 val null : hooks
 (** Discards everything: the "uninstrumented" baseline run. *)
+
+val fuse :
+  memory:memory_handler ->
+  region:region_handler ->
+  frame:frame_handler ->
+  alloc:alloc_handler ->
+  sync:sync_handler ->
+  hooks
+(** Flatten five per-class handlers into one fused record.  Each field
+    of the result {e is} the corresponding handler field (no wrapper
+    closure), so fused dispatch compiles to the same direct calls as a
+    hand-written record. *)
+
+val memory_of : hooks -> memory_handler
+val region_of : hooks -> region_handler
+val frame_of : hooks -> frame_handler
+val alloc_of : hooks -> alloc_handler
+val sync_of : hooks -> sync_handler
+(** Per-class projections: the inverse of {!fuse}.  Projection then
+    re-fusing yields a record with physically identical fields. *)
+
+(** {1 Concrete events} *)
 
 (** Concrete events, for tests and replay oracles. *)
 type t =
@@ -37,10 +132,27 @@ type t =
   | Call of { loc : Loc.t; func : int; thread : int; time : int }
   | Return of { func : int; thread : int; time : int }
   | Thread_end of { thread : int }
+  | Sync of { kind : sync_kind; obj : int; thread : int; time : int }
+
+val class_of : t -> Class.t
+(** The class a concrete event belongs to. *)
+
+val sync_kind_name : sync_kind -> string
+(** Stable lower-case name ([task_spawn], [lock_acquire], ...). *)
+
+val to_string : t -> string
+(** One event per line, stable format pinned by [test_event]: the
+    constructor name followed by [field=value] pairs in declaration
+    order.  Used verbatim in ddpcheck counterexample dumps. *)
+
+val pp : Format.formatter -> t -> unit
 
 val collector : unit -> hooks * (unit -> t list)
 (** A hooks record that records events, and a function returning them in
     program order. *)
+
+val dispatch : hooks -> t -> unit
+(** Deliver one concrete event to a hooks record. *)
 
 val replay : hooks -> t list -> unit
 (** Feed a recorded trace into a hooks record. *)

@@ -1,0 +1,254 @@
+(* Foreign traces: a valgrind/lackey-style line dialect, the first
+   external Source the event algebra admits.
+
+   The dialect is deliberately minimal — what a binary-instrumentation
+   tool that knows nothing about MiniIR can emit:
+
+     L <addr>[,<size>]     load
+     S <addr>[,<size>]     store
+     M <addr>[,<size>]     modify (load then store)
+     A <base>,<len>        allocation
+     F <base>,<len>        free
+
+   plus optional attribution markers that set sticky state for the
+   events that follow (a tool with debug info can emit them; a tool
+   without simply doesn't):
+
+     = file <name>         current source file (escaped, interned)
+     = line <n>            current source line
+     = var <name>          current variable (escaped, interned)
+     = thread <n>          current thread id
+
+   Lines starting with '#' or '==' (valgrind banners) and 'I' lines
+   (lackey instruction fetches) are ignored.  Addresses accept decimal
+   or 0x-prefixed hex.  Sizes are accepted and ignored: MiniIR
+   addresses are abstract cells, not bytes.
+
+   An imported stream carries only the Memory and Alloc classes of the
+   algebra.  Timestamps are synthesized monotonically (one tick per
+   access), and dependence keys contain no timestamps, so a native
+   stream exported with [export] and re-imported with [load] reproduces
+   the native dependence set exactly: markers preserve loc/var/thread,
+   the dialect preserves relative order, and that is all a dep key
+   sees. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* Attribution defaults for marker-less (genuinely foreign) traces. *)
+let default_file = "foreign"
+let default_var = "mem"
+
+type state = {
+  symtab : Symtab.t;
+  mutable file : int;
+  mutable line : int;
+  mutable var : int;
+  mutable thread : int;
+  mutable time : int;
+  mutable events : Event.t list;  (* reversed *)
+}
+
+let parse_int s =
+  match int_of_string_opt s with Some n -> n | None -> fail "bad integer %S" s
+
+(* "addr" or "addr,size"; the size is ignored. *)
+let parse_addr s =
+  match String.index_opt s ',' with
+  | None -> parse_int s
+  | Some i -> parse_int (String.sub s 0 i)
+
+let parse_pair what s =
+  match String.index_opt s ',' with
+  | None -> fail "expected <%s>,<len> in %S" what s
+  | Some i ->
+    ( parse_int (String.sub s 0 i),
+      parse_int (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let unescape raw =
+  try Scanf.unescaped raw
+  with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad escaped name %S" raw
+
+(* Line numbers are clamped into the packed-loc budget; a foreign tool's
+   line 100000 still yields a valid, stable location. *)
+let clamp_line n = max 1 (min n Loc.max_line)
+
+let set_file st name =
+  (* Symtab.file reserves id 0 for "no location", same as native locs. *)
+  let id = Symtab.file st.symtab name in
+  if id > Loc.max_file then fail "too many distinct files (max %d)" Loc.max_file;
+  st.file <- id
+
+let loc_of st = Loc.make ~file:st.file ~line:st.line
+
+let marker st rest =
+  match String.index_opt rest ' ' with
+  | None -> fail "bad marker line %S" ("= " ^ rest)
+  | Some sp ->
+    let key = String.sub rest 0 sp in
+    let value = String.sub rest (sp + 1) (String.length rest - sp - 1) in
+    (match key with
+    | "file" -> set_file st (unescape value)
+    | "line" -> st.line <- clamp_line (parse_int value)
+    | "var" -> st.var <- Ddp_util.Intern.intern st.symtab.Symtab.vars (unescape value)
+    | "thread" -> st.thread <- parse_int value
+    | _ -> fail "unknown marker %S" key)
+
+let push st e = st.events <- e :: st.events
+
+(* Defaults are interned lazily, only if an event needs them before any
+   marker set the attribute.  A fully-markered trace (as [export]
+   writes) therefore interns nothing beyond its markers, so id-order in
+   the markers pins id-order in the resulting symtab. *)
+let ensure_file st = if st.file < 0 then set_file st default_file
+
+let ensure_var st =
+  if st.var < 0 then st.var <- Ddp_util.Intern.intern st.symtab.Symtab.vars default_var
+
+let access st ~write addr =
+  ensure_file st;
+  ensure_var st;
+  st.time <- st.time + 1;
+  let loc = loc_of st in
+  let e =
+    if write then
+      Event.Write
+        { addr; loc; var = st.var; thread = st.thread; time = st.time; locked = false }
+    else
+      Event.Read { addr; loc; var = st.var; thread = st.thread; time = st.time; locked = false }
+  in
+  push st e
+
+let parse_line st line =
+  let line = String.trim line in
+  if line = "" then ()
+  else if line.[0] = '#' then ()
+  else if String.length line >= 2 && line.[0] = '=' && line.[1] = '=' then ()
+    (* valgrind "==pid==" banner *)
+  else
+    match String.index_opt line ' ' with
+    | None -> if line.[0] = 'I' then () else fail "malformed line %S" line
+    | Some sp -> (
+      let tag = String.sub line 0 sp in
+      let rest = String.trim (String.sub line (sp + 1) (String.length line - sp - 1)) in
+      match tag with
+      | "L" -> access st ~write:false (parse_addr rest)
+      | "S" -> access st ~write:true (parse_addr rest)
+      | "M" ->
+        (* modify = load then store of the same cell *)
+        let addr = parse_addr rest in
+        access st ~write:false addr;
+        access st ~write:true addr
+      | "A" ->
+        let base, len = parse_pair "base" rest in
+        ensure_var st;
+        push st (Event.Alloc { base; len; var = st.var })
+      | "F" ->
+        let base, len = parse_pair "base" rest in
+        ensure_var st;
+        push st (Event.Free { base; len; var = st.var })
+      | "=" -> marker st rest
+      | "I" -> () (* lackey instruction fetch *)
+      | _ -> fail "malformed line %S" line)
+
+let create_state () =
+  let symtab = Symtab.create () in
+  { symtab; file = -1; line = 1; var = -1; thread = 0; time = 0; events = [] }
+
+let parse_lines lines =
+  let st = create_state () in
+  List.iter (parse_line st) lines;
+  (List.rev st.events, st.symtab)
+
+let load ~path =
+  let ic = open_in path in
+  let st = create_state () in
+  (try
+     try
+       while true do
+         parse_line st (input_line ic)
+       done
+     with End_of_file -> ()
+   with e ->
+     let bt = Printexc.get_raw_backtrace () in
+     close_in ic;
+     Printexc.raise_with_backtrace e bt);
+  close_in ic;
+  (List.rev st.events, st.symtab)
+
+(* -- export ---------------------------------------------------------------- *)
+
+(* Write a native event stream in the dialect, emitting attribution
+   markers only when the state changes.  Only the Memory and Alloc
+   classes can be expressed; everything else is dropped (the dialect is
+   the intersection of what a foreign tool could have produced). *)
+let export_events oc events (symtab : Symtab.t) =
+  let cur_file = ref (-1) and cur_line = ref (-1) in
+  let cur_var = ref (-1) and cur_thread = ref (-1) in
+  let sync_attrs ~loc ~var ~thread =
+    let file = Loc.file loc and line = clamp_line (Loc.line loc) in
+    if file <> !cur_file then begin
+      cur_file := file;
+      Printf.fprintf oc "= file %s\n" (String.escaped (Symtab.file_name symtab file))
+    end;
+    if line <> !cur_line then begin
+      cur_line := line;
+      Printf.fprintf oc "= line %d\n" line
+    end;
+    if var <> !cur_var then begin
+      cur_var := var;
+      Printf.fprintf oc "= var %s\n" (String.escaped (Symtab.var_name symtab var))
+    end;
+    if thread <> !cur_thread then begin
+      cur_thread := thread;
+      Printf.fprintf oc "= thread %d\n" thread
+    end
+  in
+  let sync_var ~var =
+    if var <> !cur_var then begin
+      cur_var := var;
+      Printf.fprintf oc "= var %s\n" (String.escaped (Symtab.var_name symtab var))
+    end
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Read { addr; loc; var; thread; _ } ->
+        sync_attrs ~loc ~var ~thread;
+        Printf.fprintf oc "L %d\n" addr
+      | Event.Write { addr; loc; var; thread; _ } ->
+        sync_attrs ~loc ~var ~thread;
+        Printf.fprintf oc "S %d\n" addr
+      | Event.Alloc { base; len; var } ->
+        sync_var ~var;
+        Printf.fprintf oc "A %d,%d\n" base len
+      | Event.Free { base; len; var } ->
+        sync_var ~var;
+        Printf.fprintf oc "F %d,%d\n" base len
+      | Event.Region_enter _ | Event.Region_iter _ | Event.Region_exit _ | Event.Call _
+      | Event.Return _ | Event.Thread_end _ | Event.Sync _ ->
+        ())
+    events
+
+(* Pin the whole native symtab up front: markers intern in encounter
+   order, so replaying every name in id order reproduces the native ids
+   exactly — dep-key payloads pack those ids, so this is what makes an
+   export/import round trip key-identical, not merely name-identical. *)
+let export_preamble oc (symtab : Symtab.t) =
+  Printf.fprintf oc "# symtab preamble: pins interned ids in native order\n";
+  Ddp_util.Intern.iter symtab.Symtab.files (fun _ name ->
+      Printf.fprintf oc "= file %s\n" (String.escaped name));
+  Ddp_util.Intern.iter symtab.Symtab.vars (fun _ name ->
+      Printf.fprintf oc "= var %s\n" (String.escaped name))
+
+let export ~path events symtab =
+  let oc = open_out path in
+  (try
+     Printf.fprintf oc "# ddp foreign trace (lackey dialect)\n";
+     export_preamble oc symtab;
+     export_events oc events symtab
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc

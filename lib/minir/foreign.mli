@@ -1,0 +1,35 @@
+(** Foreign traces: import/export of a valgrind/lackey-style line
+    dialect — the first external {!Source} the event algebra admits.
+
+    Dialect: [L <addr>]/[S <addr>]/[M <addr>] accesses (optional
+    [,size] accepted and ignored), [A <base>,<len>]/[F <base>,<len>]
+    allocation events, and sticky attribution markers
+    [= file <name>], [= line <n>], [= var <name>], [= thread <n>].
+    ['#'], ["=="] and ['I'] lines are ignored.  An imported stream
+    carries only the [Memory] and [Alloc] classes; timestamps are
+    synthesized monotonically.
+
+    Dependence keys carry no timestamps, so [export] followed by
+    [load] reproduces a native run's dependence set exactly: markers
+    preserve loc/var/thread and the dialect preserves relative order. *)
+
+exception Parse_error of string
+
+val default_file : string
+(** File name attributed to marker-less traces ("foreign"). *)
+
+val default_var : string
+(** Variable name attributed to marker-less traces ("mem"). *)
+
+val load : path:string -> Event.t list * Symtab.t
+(** Parse a foreign trace.  Raises {!Parse_error} on malformed input. *)
+
+val parse_lines : string list -> Event.t list * Symtab.t
+(** [load] over in-memory lines, for tests. *)
+
+val export : path:string -> Event.t list -> Symtab.t -> unit
+(** Write a native event stream in the dialect, with attribution
+    markers emitted on change.  Only [Memory] and [Alloc] events are
+    expressible; other classes are dropped.  A marker preamble replays
+    the whole symtab in id order so an import re-interns identical ids
+    (dep-key payloads pack ids, so the round trip is key-exact). *)

@@ -1,0 +1,141 @@
+(* The compose/subscribe layer of the event algebra.
+
+   A [Handler.t] is a bundle of optional per-class handlers: [None]
+   means "not subscribed" — events of that class are dropped at fuse
+   time with a null closure, costing one indirect call and nothing
+   else.  [fuse] flattens a subscription list into the single flat
+   [Event.hooks] record the interpreter sees:
+
+   - a class with no subscribers gets the shared null closure;
+   - a class with exactly one subscriber gets that subscriber's
+     closures *physically* (no wrapper, so the no-boxing hot-path
+     contract survives composition);
+   - a class with N subscribers gets pairwise-teed closures, built
+     once at fuse time (never per event). *)
+
+type t = {
+  memory : Event.memory_handler option;
+  region : Event.region_handler option;
+  frame : Event.frame_handler option;
+  alloc : Event.alloc_handler option;
+  sync : Event.sync_handler option;
+}
+
+let none = { memory = None; region = None; frame = None; alloc = None; sync = None }
+
+let make ?memory ?region ?frame ?alloc ?sync () = { memory; region; frame; alloc; sync }
+
+let subscribes t (c : Event.Class.t) =
+  match c with
+  | Event.Class.Memory -> Option.is_some t.memory
+  | Event.Class.Region -> Option.is_some t.region
+  | Event.Class.Frame -> Option.is_some t.frame
+  | Event.Class.Alloc -> Option.is_some t.alloc
+  | Event.Class.Sync -> Option.is_some t.sync
+
+let classes t = List.filter (subscribes t) Event.Class.all
+
+(* Full subscription: every class of an existing fused record. *)
+let of_hooks (h : Event.hooks) =
+  {
+    memory = Some (Event.memory_of h);
+    region = Some (Event.region_of h);
+    frame = Some (Event.frame_of h);
+    alloc = Some (Event.alloc_of h);
+    sync = Some (Event.sync_of h);
+  }
+
+(* -- per-class tee (fan-out built once, at composition time) -------------- *)
+
+let tee_memory (a : Event.memory_handler) (b : Event.memory_handler) : Event.memory_handler =
+  {
+    Event.on_read =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        a.Event.on_read ~addr ~loc ~var ~thread ~time ~locked;
+        b.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+    on_write =
+      (fun ~addr ~loc ~var ~thread ~time ~locked ->
+        a.Event.on_write ~addr ~loc ~var ~thread ~time ~locked;
+        b.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+  }
+
+let tee_region (a : Event.region_handler) (b : Event.region_handler) : Event.region_handler =
+  {
+    Event.on_region_enter =
+      (fun ~loc ~kind ~thread ~time ->
+        a.Event.on_region_enter ~loc ~kind ~thread ~time;
+        b.Event.on_region_enter ~loc ~kind ~thread ~time);
+    on_region_iter =
+      (fun ~loc ~thread ~time ->
+        a.Event.on_region_iter ~loc ~thread ~time;
+        b.Event.on_region_iter ~loc ~thread ~time);
+    on_region_exit =
+      (fun ~loc ~end_loc ~kind ~iterations ~thread ~time ->
+        a.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time;
+        b.Event.on_region_exit ~loc ~end_loc ~kind ~iterations ~thread ~time);
+  }
+
+let tee_frame (a : Event.frame_handler) (b : Event.frame_handler) : Event.frame_handler =
+  {
+    Event.on_call =
+      (fun ~loc ~func ~thread ~time ->
+        a.Event.on_call ~loc ~func ~thread ~time;
+        b.Event.on_call ~loc ~func ~thread ~time);
+    on_return =
+      (fun ~func ~thread ~time ->
+        a.Event.on_return ~func ~thread ~time;
+        b.Event.on_return ~func ~thread ~time);
+    on_thread_end =
+      (fun ~thread ->
+        a.Event.on_thread_end ~thread;
+        b.Event.on_thread_end ~thread);
+  }
+
+let tee_alloc (a : Event.alloc_handler) (b : Event.alloc_handler) : Event.alloc_handler =
+  {
+    Event.on_alloc =
+      (fun ~base ~len ~var ->
+        a.Event.on_alloc ~base ~len ~var;
+        b.Event.on_alloc ~base ~len ~var);
+    on_free =
+      (fun ~base ~len ~var ->
+        a.Event.on_free ~base ~len ~var;
+        b.Event.on_free ~base ~len ~var);
+  }
+
+let tee_sync (a : Event.sync_handler) (b : Event.sync_handler) : Event.sync_handler =
+  {
+    Event.on_sync =
+      (fun ~kind ~obj ~thread ~time ->
+        a.Event.on_sync ~kind ~obj ~thread ~time;
+        b.Event.on_sync ~kind ~obj ~thread ~time);
+  }
+
+(* -- fusion ---------------------------------------------------------------- *)
+
+let merge tee null_h subs =
+  match subs with
+  | [] -> null_h
+  | [ h ] -> h (* single subscriber: its closures, physically *)
+  | first :: rest -> List.fold_left tee first rest
+
+let fuse handlers =
+  match handlers with
+  | [] -> Event.null (* physically: [fuse [] == Event.null] *)
+  | _ ->
+    let pick f = List.filter_map f handlers in
+    Event.fuse
+      ~memory:(merge tee_memory Event.null_memory (pick (fun h -> h.memory)))
+      ~region:(merge tee_region Event.null_region (pick (fun h -> h.region)))
+      ~frame:(merge tee_frame Event.null_frame (pick (fun h -> h.frame)))
+      ~alloc:(merge tee_alloc Event.null_alloc (pick (fun h -> h.alloc)))
+      ~sync:(merge tee_sync Event.null_sync (pick (fun h -> h.sync)))
+
+let hooks t = fuse [ t ]
+
+let pp_class_list cs =
+  match cs with
+  | [] -> "(none)"
+  | cs -> String.concat "+" (List.map Event.Class.name cs)
+
+let pp_classes ppf t = Format.pp_print_string ppf (pp_class_list (classes t))

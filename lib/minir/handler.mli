@@ -1,0 +1,63 @@
+(** Compose/subscribe layer of the event algebra.
+
+    A handler bundles optional per-class callbacks — [None] means "not
+    subscribed".  {!fuse} flattens a list of handlers into the single
+    flat {!Event.hooks} record the interpreter calls.  Composition cost
+    is paid once at fuse time, never per event:
+
+    {ul
+    {- no subscribers to a class → the shared null closure;}
+    {- exactly one subscriber → that subscriber's closures, physically
+       (no wrapper: the zero-allocation hot-path contract survives);}
+    {- N subscribers → pairwise-teed closures built at fuse time.}}
+
+    [fuse [] == Event.null] holds physically. *)
+
+type t = {
+  memory : Event.memory_handler option;
+  region : Event.region_handler option;
+  frame : Event.frame_handler option;
+  alloc : Event.alloc_handler option;
+  sync : Event.sync_handler option;
+}
+
+val none : t
+(** Subscribed to nothing. *)
+
+val make :
+  ?memory:Event.memory_handler ->
+  ?region:Event.region_handler ->
+  ?frame:Event.frame_handler ->
+  ?alloc:Event.alloc_handler ->
+  ?sync:Event.sync_handler ->
+  unit ->
+  t
+(** Subscribe to exactly the classes whose handler is given. *)
+
+val subscribes : t -> Event.Class.t -> bool
+val classes : t -> Event.Class.t list
+(** The classes this handler consumes, in {!Event.Class.all} order. *)
+
+val of_hooks : Event.hooks -> t
+(** Full subscription wrapping an existing fused record: every class,
+    each projected with {!Event.memory_of} and friends. *)
+
+val fuse : t list -> Event.hooks
+(** Flatten a subscription list into one fused hot-path record.
+    [fuse []] returns [Event.null] itself. *)
+
+val hooks : t -> Event.hooks
+(** [hooks t = fuse [t]]. *)
+
+val tee_memory : Event.memory_handler -> Event.memory_handler -> Event.memory_handler
+val tee_region : Event.region_handler -> Event.region_handler -> Event.region_handler
+val tee_frame : Event.frame_handler -> Event.frame_handler -> Event.frame_handler
+val tee_alloc : Event.alloc_handler -> Event.alloc_handler -> Event.alloc_handler
+val tee_sync : Event.sync_handler -> Event.sync_handler -> Event.sync_handler
+(** Per-class fan-out: deliver to [a] then [b]. *)
+
+val pp_class_list : Event.Class.t list -> string
+(** ["memory+region+alloc"], or ["(none)"]. *)
+
+val pp_classes : Format.formatter -> t -> unit
+(** {!pp_class_list} of {!classes}. *)

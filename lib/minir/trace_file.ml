@@ -6,52 +6,121 @@
    a persisted trace lets those analyses run without re-executing the
    (slow) instrumented program.
 
-   Format: a line-oriented text file.
-     ddp-trace 1
+   Format (version 2): a line-oriented text file.
+     ddp-trace 2
+     %class <name> <tag>...   (one per event class, self-describing)
      <event lines>
-     %var <id> <name>      (symbol table, written after the events)
+     %var <id> <name>         (symbol table, written after the events)
      %file <id> <name>
+     %end                     (seal: absent means truncated)
    Event lines are single characters plus integer fields; locations are
-   stored packed (they are plain ints).  Variable and file names may
-   contain no newlines; names are written escaped with String.escaped. *)
+   stored packed (they are plain ints).  The [%class] header maps each
+   event class of the algebra to the tags it owns, so a reader can skip
+   events of a declared-but-unknown class instead of dying on them —
+   adding a class is a header change, not a format break.  Variable and
+   file names may contain no newlines; names are written escaped with
+   String.escaped.
 
-let magic = "ddp-trace 1"
+   Version 1 (no [%class] header, no Sync events) is still read
+   bit-for-bit by [load]; [save ~version:`V1] writes it for tests. *)
+
+let magic_v1 = "ddp-trace 1"
+let magic = "ddp-trace 2"
 
 exception Parse_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
 
+(* -- the class/tag vocabulary --------------------------------------------- *)
+
+(* Tags owned by each class, in event-declaration order.  This is the
+   v2 header; v1 files implicitly use the same map minus [Sync]. *)
+let class_tags = function
+  | Event.Class.Memory -> [ 'R'; 'W' ]
+  | Event.Class.Region -> [ 'B'; 'I'; 'E' ]
+  | Event.Class.Frame -> [ 'C'; 'T'; 'X' ]
+  | Event.Class.Alloc -> [ 'A'; 'F' ]
+  | Event.Class.Sync -> [ 'Y' ]
+
+let sync_kind_int = function
+  | Event.Task_spawn -> 0
+  | Event.Task_join -> 1
+  | Event.Lock_acquire -> 2
+  | Event.Lock_release -> 3
+
+let sync_kind_of_int = function
+  | 0 -> Some Event.Task_spawn
+  | 1 -> Some Event.Task_join
+  | 2 -> Some Event.Lock_acquire
+  | 3 -> Some Event.Lock_release
+  | _ -> None
+
+let write_class_header oc =
+  List.iter
+    (fun c ->
+      Printf.fprintf oc "%%class %s" (Event.Class.name c);
+      List.iter (fun tag -> Printf.fprintf oc " %c" tag) (class_tags c);
+      output_char oc '\n')
+    Event.Class.all
+
 (* -- recording ------------------------------------------------------------ *)
 
 let bool_int b = if b then 1 else 0
 
-(* Streaming hooks: events go straight to the channel, O(1) memory. *)
-let recorder oc =
+(* Streaming hooks: events go straight to the channel, O(1) memory.
+   Built class-by-class so the writer is itself a handler composition. *)
+let recorder_handler oc =
   let p fmt = Printf.fprintf oc fmt in
-  {
-    Event.on_read =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        p "R %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
-    on_write =
-      (fun ~addr ~loc ~var ~thread ~time ~locked ->
-        p "W %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
-    on_region_enter = (fun ~loc ~kind:Event.Loop ~thread ~time -> p "B %d %d %d\n" loc thread time);
-    on_region_iter = (fun ~loc ~thread ~time -> p "I %d %d %d\n" loc thread time);
-    on_region_exit =
-      (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
-        p "E %d %d %d %d %d\n" loc end_loc iterations thread time);
-    on_alloc = (fun ~base ~len ~var -> p "A %d %d %d\n" base len var);
-    on_free = (fun ~base ~len ~var -> p "F %d %d %d\n" base len var);
-    on_call = (fun ~loc ~func ~thread ~time -> p "C %d %d %d %d\n" loc func thread time);
-    on_return = (fun ~func ~thread ~time -> p "T %d %d %d\n" func thread time);
-    on_thread_end = (fun ~thread -> p "X %d\n" thread);
-  }
+  Handler.make
+    ~memory:
+      {
+        Event.on_read =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            p "R %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
+        on_write =
+          (fun ~addr ~loc ~var ~thread ~time ~locked ->
+            p "W %d %d %d %d %d %d\n" addr loc var thread time (bool_int locked));
+      }
+    ~region:
+      {
+        Event.on_region_enter =
+          (fun ~loc ~kind:Event.Loop ~thread ~time -> p "B %d %d %d\n" loc thread time);
+        on_region_iter = (fun ~loc ~thread ~time -> p "I %d %d %d\n" loc thread time);
+        on_region_exit =
+          (fun ~loc ~end_loc ~kind:Event.Loop ~iterations ~thread ~time ->
+            p "E %d %d %d %d %d\n" loc end_loc iterations thread time);
+      }
+    ~frame:
+      {
+        Event.on_call =
+          (fun ~loc ~func ~thread ~time -> p "C %d %d %d %d\n" loc func thread time);
+        on_return = (fun ~func ~thread ~time -> p "T %d %d %d\n" func thread time);
+        on_thread_end = (fun ~thread -> p "X %d\n" thread);
+      }
+    ~alloc:
+      {
+        Event.on_alloc = (fun ~base ~len ~var -> p "A %d %d %d\n" base len var);
+        on_free = (fun ~base ~len ~var -> p "F %d %d %d\n" base len var);
+      }
+    ~sync:
+      {
+        Event.on_sync =
+          (fun ~kind ~obj ~thread ~time ->
+            p "Y %d %d %d %d\n" (sync_kind_int kind) obj thread time);
+      }
+    ()
+
+let recorder oc = Handler.hooks (recorder_handler oc)
 
 let write_symtab oc (symtab : Symtab.t) =
   Ddp_util.Intern.iter symtab.Symtab.vars (fun id name ->
       Printf.fprintf oc "%%var %d %s\n" id (String.escaped name));
   Ddp_util.Intern.iter symtab.Symtab.files (fun id name ->
       Printf.fprintf oc "%%file %d %s\n" id (String.escaped name))
+
+(* v2 files end with a sentinel, so truncation anywhere — even a cut
+   that happens to leave a parseable final line — is always detected. *)
+let end_sentinel = "%end"
 
 (* Streaming recording handle: lets a caller tee an arbitrary event
    stream (live run or replay) into a trace file while it also feeds a
@@ -75,6 +144,7 @@ let start_recording ~path =
   let oc = open_out tmp_path in
   output_string oc magic;
   output_char oc '\n';
+  write_class_header oc;
   { oc; path; tmp_path; rec_hooks = recorder oc; closed = false }
 
 let recording_hooks r = r.rec_hooks
@@ -89,6 +159,8 @@ let abort_recording r =
 let finish_recording r symtab =
   if r.closed then invalid_arg "Trace_file.finish_recording: already closed";
   write_symtab r.oc symtab;
+  output_string r.oc end_sentinel;
+  output_char r.oc '\n';
   r.closed <- true;
   close_out r.oc;
   Sys.rename r.tmp_path r.path
@@ -108,6 +180,39 @@ let record ?sched_seed ?input_seed ~path prog =
      Printexc.raise_with_backtrace e bt);
   finish_recording r symtab
 
+(* Write an explicit event list (plus symtab) to [path].  [`V1] emits
+   the legacy header-less format for compat testing; it cannot express
+   [Sync] events and rejects them. *)
+let save ?(version = `V2) ~path events symtab =
+  let oc = open_out path in
+  (try
+     (match version with
+     | `V2 ->
+       output_string oc magic;
+       output_char oc '\n';
+       write_class_header oc
+     | `V1 ->
+       List.iter
+         (fun e ->
+           match e with
+           | Event.Sync _ ->
+             invalid_arg "Trace_file.save: version 1 cannot express Sync events"
+           | _ -> ())
+         events;
+       output_string oc magic_v1;
+       output_char oc '\n');
+     Event.replay (recorder oc) events;
+     write_symtab oc symtab;
+     (match version with
+     | `V2 ->
+       output_string oc end_sentinel;
+       output_char oc '\n'
+     | `V1 -> ())
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc
+
 (* -- loading --------------------------------------------------------------- *)
 
 let parse_ints line start =
@@ -124,65 +229,101 @@ let load ~path =
   let symtab = Symtab.create () in
   (* names must land at the recorded ids: insert in id order *)
   let pending_vars = ref [] and pending_files = ref [] in
+  (* v2 only: tags declared by a [%class] header whose class this reader
+     does not know.  Events carrying such a tag are skipped — the header
+     vouches that they are well-formed event lines of a future class. *)
+  let skip_tags = ref [] in
+  let version = ref 1 in
+  let sealed = ref false in
+  let parse_class_decl line rest =
+    match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+    | [] -> fail "bad class line %S" line
+    | name :: tags ->
+      let tags =
+        List.map
+          (fun s -> if String.length s = 1 then s.[0] else fail "bad class tag %S in %S" s line)
+          tags
+      in
+      (match Event.Class.of_name name with
+      | Some c ->
+        (* a known class must own exactly the tags we expect, or the
+           writer speaks a different dialect of "version 2" *)
+        if tags <> class_tags c then fail "class %S declares unexpected tags in %S" name line
+      | None -> skip_tags := tags @ !skip_tags)
+  in
   let parse_line line =
-    if line = "" then ()
+    if !sealed then fail "content after %%end sentinel: %S" line
+    else if line = "" then ()
+    else if line = end_sentinel then
+      if !version >= 2 then sealed := true
+      else fail "end sentinel in a version-1 trace"
     else if line.[0] = '%' then begin
       match String.index_opt line ' ' with
       | None -> fail "bad symtab line %S" line
       | Some sp1 -> (
         let kind = String.sub line 1 (sp1 - 1) in
         let rest = String.sub line (sp1 + 1) (String.length line - sp1 - 1) in
-        match String.index_opt rest ' ' with
-        | None -> fail "bad symtab line %S" line
-        | Some sp2 ->
-          let id =
-            match int_of_string_opt (String.sub rest 0 sp2) with
-            | Some id -> id
-            | None -> fail "bad symtab id in line %S" line
-          in
-          let name =
-            let raw = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
-            try Scanf.unescaped raw
-            with Scanf.Scan_failure _ | Failure _ | End_of_file ->
-              fail "bad escaped name %S in line %S" raw line
-          in
-          if kind = "var" then pending_vars := (id, name) :: !pending_vars
-          else if kind = "file" then pending_files := (id, name) :: !pending_files
-          else fail "unknown symtab kind %S" kind)
+        if kind = "class" then
+          if !version >= 2 then parse_class_decl line rest
+          else fail "class header in a version-1 trace: %S" line
+        else
+          match String.index_opt rest ' ' with
+          | None -> fail "bad symtab line %S" line
+          | Some sp2 ->
+            let id =
+              match int_of_string_opt (String.sub rest 0 sp2) with
+              | Some id -> id
+              | None -> fail "bad symtab id in line %S" line
+            in
+            let name =
+              let raw = String.sub rest (sp2 + 1) (String.length rest - sp2 - 1) in
+              try Scanf.unescaped raw
+              with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+                fail "bad escaped name %S in line %S" raw line
+            in
+            if kind = "var" then pending_vars := (id, name) :: !pending_vars
+            else if kind = "file" then pending_files := (id, name) :: !pending_files
+            else fail "unknown symtab kind %S" kind)
     end
     else begin
       let tag = line.[0] in
       let ints = parse_ints line 1 in
-      let ev =
-        match (tag, ints) with
-        | 'R', [ addr; loc; var; thread; time; locked ] ->
-          Event.Read { addr; loc; var; thread; time; locked = locked <> 0 }
-        | 'W', [ addr; loc; var; thread; time; locked ] ->
-          Event.Write { addr; loc; var; thread; time; locked = locked <> 0 }
-        | 'B', [ loc; thread; time ] -> Event.Region_enter { loc; thread; time }
-        | 'I', [ loc; thread; time ] -> Event.Region_iter { loc; thread; time }
-        | 'E', [ loc; end_loc; iterations; thread; time ] ->
-          Event.Region_exit { loc; end_loc; iterations; thread; time }
-        | 'A', [ base; len; var ] -> Event.Alloc { base; len; var }
-        | 'F', [ base; len; var ] -> Event.Free { base; len; var }
-        | 'C', [ loc; func; thread; time ] -> Event.Call { loc; func; thread; time }
-        | 'T', [ func; thread; time ] -> Event.Return { func; thread; time }
-        | 'X', [ thread ] -> Event.Thread_end { thread }
-        | _ -> fail "malformed event line %S" line
-      in
-      events := ev :: !events
+      match (tag, ints) with
+      | 'R', [ addr; loc; var; thread; time; locked ] ->
+        events := Event.Read { addr; loc; var; thread; time; locked = locked <> 0 } :: !events
+      | 'W', [ addr; loc; var; thread; time; locked ] ->
+        events := Event.Write { addr; loc; var; thread; time; locked = locked <> 0 } :: !events
+      | 'B', [ loc; thread; time ] -> events := Event.Region_enter { loc; thread; time } :: !events
+      | 'I', [ loc; thread; time ] -> events := Event.Region_iter { loc; thread; time } :: !events
+      | 'E', [ loc; end_loc; iterations; thread; time ] ->
+        events := Event.Region_exit { loc; end_loc; iterations; thread; time } :: !events
+      | 'A', [ base; len; var ] -> events := Event.Alloc { base; len; var } :: !events
+      | 'F', [ base; len; var ] -> events := Event.Free { base; len; var } :: !events
+      | 'C', [ loc; func; thread; time ] -> events := Event.Call { loc; func; thread; time } :: !events
+      | 'T', [ func; thread; time ] -> events := Event.Return { func; thread; time } :: !events
+      | 'X', [ thread ] -> events := Event.Thread_end { thread } :: !events
+      | 'Y', [ kind; obj; thread; time ] when !version >= 2 -> (
+        match sync_kind_of_int kind with
+        | Some kind -> events := Event.Sync { kind; obj; thread; time } :: !events
+        | None -> fail "unknown sync kind in line %S" line)
+      | _ ->
+        if List.mem tag !skip_tags then () (* declared by an unknown class: skip *)
+        else fail "malformed event line %S" line
     end
   in
   (try
      (match input_line ic with
-     | l when l = magic -> ()
+     | l when l = magic -> version := 2
+     | l when l = magic_v1 -> version := 1
      | l -> fail "bad magic %S (expected %S)" l magic
      | exception End_of_file -> fail "empty trace file");
-     try
-       while true do
-         parse_line (input_line ic)
-       done
-     with End_of_file -> ()
+     (try
+        while true do
+          parse_line (input_line ic)
+        done
+      with End_of_file -> ());
+     if !version >= 2 && not !sealed then
+       fail "truncated trace: missing %%end sentinel"
    with e ->
      let bt = Printexc.get_raw_backtrace () in
      close_in ic;

@@ -1,10 +1,21 @@
 (** Trace files: persist one run's instrumentation stream and replay it
-    into any profiler or analysis — one collection, many analyses. *)
+    into any profiler or analysis — one collection, many analyses.
+
+    Version 2 traces are self-describing: a [%class <name> <tag>...]
+    header maps each event class of the algebra to the line tags it
+    owns, so readers can skip events of declared-but-unknown classes.
+    Version 1 traces (no header, no [Sync]) still load unchanged. *)
 
 exception Parse_error of string
 
+val class_tags : Event.Class.t -> char list
+(** The line tags owned by each event class (the v2 header contents). *)
+
 val recorder : out_channel -> Event.hooks
 (** Streaming hooks that write each event to the channel (O(1) memory). *)
+
+val recorder_handler : out_channel -> Handler.t
+(** The same writer as a per-class handler bundle, for composition. *)
 
 val write_symtab : out_channel -> Symtab.t -> unit
 
@@ -30,5 +41,11 @@ val record : ?sched_seed:int -> ?input_seed:int -> path:string -> Ast.program ->
 (** Run the program and record its full trace (with symbol table) to
     [path]. *)
 
+val save : ?version:[ `V1 | `V2 ] -> path:string -> Event.t list -> Symtab.t -> unit
+(** Write an explicit event list.  [`V1] (for compat tests) emits the
+    legacy header-less format and rejects [Sync] events with
+    [Invalid_argument]; default [`V2]. *)
+
 val load : path:string -> Event.t list * Symtab.t
-(** Parse a recorded trace.  Raises {!Parse_error} on malformed input. *)
+(** Parse a recorded trace, either version.  Raises {!Parse_error} on
+    malformed input. *)

@@ -176,3 +176,27 @@ let report_to_string outcome =
   List.iter (fun v -> Format.fprintf ppf "%a@." pp_verdict v) outcome.verdicts;
   Format.pp_print_flush ppf ();
   Buffer.contents buf
+
+(* The shrunk program's instrumentation stream, one event per line in
+   {!Ddp_minir.Event.to_string} form — what the engines actually saw,
+   so a counterexample dump is debuggable without re-running anything. *)
+let trace_excerpt ?(limit = 40) ?(sched_seed = 42) ?(input_seed = 7) prog =
+  let hooks, get = Ddp_minir.Event.collector () in
+  let symtab = Ddp_minir.Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks ~sched_seed ~input_seed ~symtab prog
+  in
+  let events = get () in
+  let total = List.length events in
+  let shown = if total > limit then List.filteri (fun i _ -> i < limit) events else events in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "event stream (%d events):\n" total);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf "  ";
+      Buffer.add_string buf (Ddp_minir.Event.to_string e);
+      Buffer.add_char buf '\n')
+    shown;
+  if total > limit then
+    Buffer.add_string buf (Printf.sprintf "  ... (%d more events elided)\n" (total - limit));
+  Buffer.contents buf

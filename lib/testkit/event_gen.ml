@@ -1,0 +1,117 @@
+(* QCheck generators for raw event streams.
+
+   Program-level generation ({!Prog_gen}) exercises the pipeline on
+   realistic traces; this module generates *arbitrary* streams — every
+   constructor of the algebra with small, symtab-consistent ids — for
+   properties that must hold of any event sequence regardless of
+   whether an interpreter could have produced it (trace-file round
+   trips, dispatch/collect identity, format compatibility). *)
+
+module Event = Ddp_minir.Event
+module Loc = Ddp_minir.Loc
+module Symtab = Ddp_minir.Symtab
+
+let n_vars = 4
+let n_files = 2
+
+(* A symtab naming every id the generators below can emit, so exports
+   and reports can always resolve names. *)
+let symtab () =
+  let st = Symtab.create () in
+  for v = 0 to n_vars - 1 do
+    ignore (Symtab.var st (Printf.sprintf "v%d" v))
+  done;
+  for f = 0 to n_files - 1 do
+    ignore (Symtab.file st (Printf.sprintf "f%d" f))
+  done;
+  st
+
+open QCheck.Gen
+
+let gen_loc = map2 (fun file line -> Loc.make ~file ~line) (int_range 1 n_files) (int_range 1 99)
+let gen_var = int_range 0 (n_vars - 1)
+let gen_thread = int_range 0 3
+let gen_addr = int_range 0 255
+
+let gen_sync_kind =
+  oneofl [ Event.Task_spawn; Event.Task_join; Event.Lock_acquire; Event.Lock_release ]
+
+(* [time] is threaded by the caller so streams stay monotonic. *)
+let gen_event ~time =
+  frequency
+    [
+      ( 4,
+        map (fun (addr, loc, var, thread, locked) ->
+            Event.Read { addr; loc; var; thread; time; locked })
+          (tup5 gen_addr gen_loc gen_var gen_thread bool) );
+      ( 4,
+        map (fun (addr, loc, var, thread, locked) ->
+            Event.Write { addr; loc; var; thread; time; locked })
+          (tup5 gen_addr gen_loc gen_var gen_thread bool) );
+      ( 1,
+        map (fun (loc, thread) -> Event.Region_enter { loc; thread; time })
+          (tup2 gen_loc gen_thread) );
+      ( 1,
+        map (fun (loc, thread) -> Event.Region_iter { loc; thread; time })
+          (tup2 gen_loc gen_thread) );
+      ( 1,
+        map (fun (loc, end_loc, iterations, thread) ->
+            Event.Region_exit { loc; end_loc; iterations; thread; time })
+          (tup4 gen_loc gen_loc (int_range 0 9) gen_thread) );
+      ( 1,
+        map (fun (base, len, var) -> Event.Alloc { base; len; var })
+          (tup3 gen_addr (int_range 1 16) gen_var) );
+      ( 1,
+        map (fun (base, len, var) -> Event.Free { base; len; var })
+          (tup3 gen_addr (int_range 1 16) gen_var) );
+      ( 1,
+        map (fun (loc, func, thread) -> Event.Call { loc; func; thread; time })
+          (tup3 gen_loc gen_var gen_thread) );
+      ( 1,
+        map (fun (func, thread) -> Event.Return { func; thread; time })
+          (tup2 gen_var gen_thread) );
+      (1, map (fun thread -> Event.Thread_end { thread }) gen_thread);
+      ( 1,
+        map (fun (kind, obj, thread) -> Event.Sync { kind; obj; thread; time })
+          (tup3 gen_sync_kind gen_addr gen_thread) );
+    ]
+
+let gen_events =
+  sized_size (int_range 0 60) (fun n ->
+      let rec go time acc k st =
+        if k = 0 then List.rev acc
+        else
+          let e = gen_event ~time st in
+          go (time + 1) (e :: acc) (k - 1) st
+      in
+      fun st -> go 0 [] n st)
+
+(* Streams a version-1 trace can hold: no [Sync] events. *)
+let gen_events_v1 =
+  map
+    (List.filter (fun e -> Event.class_of e <> Event.Class.Sync))
+    gen_events
+
+let arbitrary_events = QCheck.make ~print:(fun es -> String.concat "\n" (List.map Event.to_string es)) gen_events
+let arbitrary_events_v1 =
+  QCheck.make ~print:(fun es -> String.concat "\n" (List.map Event.to_string es)) gen_events_v1
+
+(* One of each constructor, fixed — the exhaustiveness backbone for the
+   per-constructor round-trip suite. *)
+let one_of_each =
+  let loc = Loc.make ~file:1 ~line:3 in
+  let loc2 = Loc.make ~file:2 ~line:7 in
+  [
+    Event.Alloc { base = 0; len = 8; var = 0 };
+    Event.Region_enter { loc; thread = 0; time = 0 };
+    Event.Read { addr = 1; loc; var = 0; thread = 0; time = 1; locked = false };
+    Event.Write { addr = 1; loc = loc2; var = 1; thread = 1; time = 2; locked = true };
+    Event.Region_iter { loc; thread = 0; time = 3 };
+    Event.Call { loc = loc2; func = 2; thread = 1; time = 4 };
+    Event.Return { func = 2; thread = 1; time = 5 };
+    Event.Region_exit { loc; end_loc = loc2; iterations = 2; thread = 0; time = 6 };
+    Event.Sync { kind = Event.Task_spawn; obj = 9; thread = 0; time = 7 };
+    Event.Sync { kind = Event.Lock_release; obj = 9; thread = 1; time = 8 };
+    Event.Free { base = 0; len = 8; var = 0 };
+    Event.Thread_end { thread = 0 };
+  ]

@@ -31,7 +31,9 @@ let () =
       ("framework", Test_framework.suite);
       ("procs", Test_procs.suite);
       ("random-programs", Test_random_programs.suite);
+      ("event", Test_event.suite);
       ("trace-file", Test_trace_file.suite);
+      ("foreign", Test_foreign.suite);
       ("testkit", Test_testkit.suite);
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,229 @@
+(* The event algebra itself: classes, the pinned printing format, the
+   compose/subscribe layer's physical-reuse guarantees, and trace-file
+   round trips for every constructor in both format versions. *)
+
+module Event = Ddp_minir.Event
+module Handler = Ddp_minir.Handler
+module Loc = Ddp_minir.Loc
+module TF = Ddp_minir.Trace_file
+module EG = Ddp_testkit.Event_gen
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("ddp_test_" ^ name)
+
+(* -- printing: the format is a contract (ddpcheck dumps parse-ably
+   stable counterexamples), so pin it string-for-string. -------------- *)
+
+let test_to_string_pinned () =
+  let loc = Loc.make ~file:1 ~line:3 in
+  let loc2 = Loc.make ~file:2 ~line:7 in
+  let cases =
+    [
+      ( Event.Read { addr = 5; loc; var = 1; thread = 0; time = 9; locked = false },
+        "Read addr=5 loc=1:3 var=1 thread=0 time=9 locked=false" );
+      ( Event.Write { addr = 5; loc = loc2; var = 2; thread = 1; time = 10; locked = true },
+        "Write addr=5 loc=2:7 var=2 thread=1 time=10 locked=true" );
+      ( Event.Region_enter { loc; thread = 0; time = 1 },
+        "Region_enter loc=1:3 thread=0 time=1" );
+      (Event.Region_iter { loc; thread = 0; time = 2 }, "Region_iter loc=1:3 thread=0 time=2");
+      ( Event.Region_exit { loc; end_loc = loc2; iterations = 4; thread = 0; time = 3 },
+        "Region_exit loc=1:3 end_loc=2:7 iterations=4 thread=0 time=3" );
+      (Event.Alloc { base = 16; len = 8; var = 3 }, "Alloc base=16 len=8 var=3");
+      (Event.Free { base = 16; len = 8; var = 3 }, "Free base=16 len=8 var=3");
+      (Event.Call { loc = loc2; func = 4; thread = 1; time = 5 },
+       "Call loc=2:7 func=4 thread=1 time=5");
+      (Event.Return { func = 4; thread = 1; time = 6 }, "Return func=4 thread=1 time=6");
+      (Event.Thread_end { thread = 2 }, "Thread_end thread=2");
+      ( Event.Sync { kind = Event.Task_spawn; obj = 7; thread = 0; time = 8 },
+        "Sync kind=task_spawn obj=7 thread=0 time=8" );
+      ( Event.Sync { kind = Event.Lock_acquire; obj = 7; thread = 1; time = 9 },
+        "Sync kind=lock_acquire obj=7 thread=1 time=9" );
+    ]
+  in
+  List.iter
+    (fun (e, expect) -> Alcotest.(check string) expect expect (Event.to_string e))
+    cases;
+  (* pp prints exactly the same rendering *)
+  List.iter
+    (fun (e, expect) ->
+      Alcotest.(check string) "pp = to_string" expect (Format.asprintf "%a" Event.pp e))
+    cases
+
+(* -- classes --------------------------------------------------------------- *)
+
+let test_classes () =
+  let module C = Event.Class in
+  Alcotest.(check int) "five classes" 5 (List.length C.all);
+  Alcotest.(check (list string)) "declaration order"
+    [ "memory"; "region"; "frame"; "alloc"; "sync" ]
+    (List.map C.name C.all);
+  List.iter
+    (fun c ->
+      match C.of_name (C.name c) with
+      | Some c' -> Alcotest.(check bool) (C.name c ^ " of_name") true (C.equal c c')
+      | None -> Alcotest.fail ("of_name failed for " ^ C.name c))
+    C.all;
+  Alcotest.(check bool) "of_name rejects unknown" true (C.of_name "sink" = None);
+  (* class_of covers every constructor *)
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let c = Event.class_of e in
+      Hashtbl.replace counts c (1 + Option.value ~default:0 (Hashtbl.find_opt counts c)))
+    EG.one_of_each;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (C.name c ^ " represented in one_of_each")
+        true
+        (Hashtbl.mem counts c))
+    C.all
+
+(* -- fusion: the zero-allocation hot path must survive composition -------- *)
+
+let test_fuse_empty_is_null () =
+  Alcotest.(check bool) "Handler.fuse [] == Event.null" true (Handler.fuse [] == Event.null);
+  Alcotest.(check bool) "Sink.tee_all [] == Sink.null" true
+    (Ddp_core.Sink.tee_all [] == Ddp_core.Sink.null)
+
+let test_fuse_single_subscriber_physical () =
+  (* One subscriber to a class: the fused record carries that
+     subscriber's closures themselves — no wrapper allocation, no
+     indirection on the hot path. *)
+  let hits = ref 0 in
+  let m =
+    {
+      Event.on_read = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> incr hits);
+      on_write = (fun ~addr:_ ~loc:_ ~var:_ ~thread:_ ~time:_ ~locked:_ -> incr hits);
+    }
+  in
+  let fused = Handler.fuse [ Handler.make ~memory:m () ] in
+  Alcotest.(check bool) "on_read physically reused" true (fused.Event.on_read == m.Event.on_read);
+  Alcotest.(check bool) "on_write physically reused" true
+    (fused.Event.on_write == m.Event.on_write);
+  (* unsubscribed classes get the shared null closures *)
+  Alcotest.(check bool) "unsubscribed region is null's closure" true
+    (fused.Event.on_region_enter == Event.null.Event.on_region_enter);
+  Alcotest.(check bool) "unsubscribed sync is null's closure" true
+    (fused.Event.on_sync == Event.null.Event.on_sync)
+
+let test_fuse_tee_order () =
+  let log = ref [] in
+  let obs tag = Ddp_core.Sink.observe_handler (fun e -> log := (tag, e) :: !log) in
+  let fused = Handler.fuse [ obs "a"; obs "b" ] in
+  List.iter (Event.dispatch fused) EG.one_of_each;
+  let got = List.rev !log in
+  let expect = List.concat_map (fun e -> [ ("a", e); ("b", e) ]) EG.one_of_each in
+  Alcotest.(check bool) "both observers, left first, every class" true (got = expect)
+
+let test_dispatch_collector_identity () =
+  let hooks, get = Event.collector () in
+  List.iter (Event.dispatch hooks) EG.one_of_each;
+  Alcotest.(check bool) "collector returns the dispatched stream" true
+    (get () = EG.one_of_each)
+
+(* -- filter_thread: the per-class pass-through policy (documented in
+   sink.mli) — Alloc is thread-less shared state and always passes;
+   everything else follows its thread id. ---------------------------- *)
+
+let test_filter_thread_policy () =
+  let seen = ref [] in
+  let inner = Ddp_core.Sink.observe (fun e -> seen := e :: !seen) in
+  let filtered = Ddp_core.Sink.filter_thread (fun t -> t = 0) inner in
+  List.iter (Event.dispatch filtered) EG.one_of_each;
+  let got = List.rev !seen in
+  let expect =
+    List.filter
+      (fun e ->
+        match e with
+        | Event.Alloc _ | Event.Free _ -> true (* always pass: no thread id *)
+        | Event.Read { thread; _ } | Event.Write { thread; _ }
+        | Event.Region_enter { thread; _ } | Event.Region_iter { thread; _ }
+        | Event.Region_exit { thread; _ } | Event.Call { thread; _ }
+        | Event.Return { thread; _ } | Event.Thread_end { thread }
+        | Event.Sync { thread; _ } ->
+          thread = 0)
+      EG.one_of_each
+  in
+  Alcotest.(check bool) "policy holds for every constructor" true (got = expect);
+  (* the policy is meaningful only if one_of_each actually exercises
+     both branches for the thread-carrying classes *)
+  Alcotest.(check bool) "some events dropped" true (List.length got < List.length EG.one_of_each);
+  Alcotest.(check bool) "alloc+free kept despite filter" true
+    (List.exists (function Event.Free _ -> true | _ -> false) got)
+
+(* -- trace-file round trips, both versions --------------------------------- *)
+
+let test_roundtrip_every_constructor_v2 () =
+  let path = tmp "event_v2.trace" in
+  let symtab = EG.symtab () in
+  TF.save ~path EG.one_of_each symtab;
+  let loaded, symtab' = TF.load ~path in
+  Alcotest.(check bool) "v2 round-trips every constructor" true (loaded = EG.one_of_each);
+  Alcotest.(check string) "symtab round-trips" "v1" (Ddp_minir.Symtab.var_name symtab' 1);
+  Sys.remove path
+
+let test_roundtrip_every_constructor_v1 () =
+  let path = tmp "event_v1.trace" in
+  let symtab = EG.symtab () in
+  let no_sync =
+    List.filter (fun e -> Event.class_of e <> Event.Class.Sync) EG.one_of_each
+  in
+  TF.save ~version:`V1 ~path no_sync symtab;
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check bool) "v1 magic" true
+    (String.length contents >= 11 && String.sub contents 0 11 = "ddp-trace 1");
+  let lines = String.split_on_char '\n' contents in
+  let has prefix =
+    List.exists
+      (fun l -> String.length l >= String.length prefix && String.sub l 0 (String.length prefix) = prefix)
+      lines
+  in
+  Alcotest.(check bool) "no %class header in v1 output" false (has "%class");
+  Alcotest.(check bool) "no %end sentinel in v1 output" false (has "%end");
+  let loaded, _ = TF.load ~path in
+  Alcotest.(check bool) "v1 round-trips every legacy constructor" true (loaded = no_sync);
+  (* Sync is not expressible in v1: save must refuse, not corrupt *)
+  (match TF.save ~version:`V1 ~path EG.one_of_each symtab with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "v1 save accepted a Sync event");
+  Sys.remove path
+
+(* Any generated stream survives a v2 round trip. *)
+let prop_roundtrip_v2 =
+  QCheck.Test.make ~name:"arbitrary streams round-trip through v2 traces" ~count:100
+    EG.arbitrary_events (fun events ->
+      let path = tmp "event_prop_v2.trace" in
+      TF.save ~path events (EG.symtab ());
+      let loaded, _ = TF.load ~path in
+      Sys.remove path;
+      loaded = events)
+
+(* Old-format traces keep loading exactly: a Sync-free stream written in
+   the legacy format loads to the identical event list through the same
+   reader that handles v2. *)
+let prop_v1_compat =
+  QCheck.Test.make ~name:"legacy v1 traces load identically" ~count:100
+    EG.arbitrary_events_v1 (fun events ->
+      let path = tmp "event_prop_v1.trace" in
+      TF.save ~version:`V1 ~path events (EG.symtab ());
+      let loaded, _ = TF.load ~path in
+      Sys.remove path;
+      loaded = events)
+
+let suite =
+  [
+    Alcotest.test_case "to_string format pinned" `Quick test_to_string_pinned;
+    Alcotest.test_case "classes: names, order, coverage" `Quick test_classes;
+    Alcotest.test_case "fuse [] is Event.null, physically" `Quick test_fuse_empty_is_null;
+    Alcotest.test_case "single subscriber reused physically" `Quick
+      test_fuse_single_subscriber_physical;
+    Alcotest.test_case "tee delivers in order, every class" `Quick test_fuse_tee_order;
+    Alcotest.test_case "dispatch/collector identity" `Quick test_dispatch_collector_identity;
+    Alcotest.test_case "filter_thread per-class policy" `Quick test_filter_thread_policy;
+    Alcotest.test_case "v2 round-trip, every constructor" `Quick
+      test_roundtrip_every_constructor_v2;
+    Alcotest.test_case "v1 round-trip + Sync rejection" `Quick
+      test_roundtrip_every_constructor_v1;
+    Test_seed.to_alcotest prop_roundtrip_v2;
+    Test_seed.to_alcotest prop_v1_compat;
+  ]

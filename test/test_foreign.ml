@@ -1,0 +1,245 @@
+(* Foreign (lackey-dialect) trace import/export: the event algebra's
+   proof of modularity.  Parser behavior, the export→import round trip
+   (key-exact dependence sets through real engines), and the totality
+   of stats synthesis over class-sparse streams. *)
+
+module Event = Ddp_minir.Event
+module Foreign = Ddp_minir.Foreign
+module Loc = Ddp_minir.Loc
+module Symtab = Ddp_minir.Symtab
+module B = Ddp_minir.Builder
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("ddp_test_" ^ name)
+
+(* -- parser ----------------------------------------------------------------- *)
+
+let test_parse_basic () =
+  let events, symtab =
+    Foreign.parse_lines
+      [
+        "# a comment";
+        "==12345== valgrind banner";
+        "I 4000";
+        "L 10";
+        "S 11,8";
+        "M 12";
+        "A 100,4";
+        "F 100,4";
+      ]
+  in
+  (* defaults: file "foreign", var "mem", thread 0, line 1; M = load+store *)
+  let loc = Loc.make ~file:(Symtab.file symtab Foreign.default_file) ~line:1 in
+  let var = Ddp_util.Intern.find_opt symtab.Symtab.vars Foreign.default_var in
+  Alcotest.(check bool) "default var interned" true (var = Some 0);
+  let expect =
+    [
+      Event.Read { addr = 10; loc; var = 0; thread = 0; time = 1; locked = false };
+      Event.Write { addr = 11; loc; var = 0; thread = 0; time = 2; locked = false };
+      Event.Read { addr = 12; loc; var = 0; thread = 0; time = 3; locked = false };
+      Event.Write { addr = 12; loc; var = 0; thread = 0; time = 4; locked = false };
+      Event.Alloc { base = 100; len = 4; var = 0 };
+      Event.Free { base = 100; len = 4; var = 0 };
+    ]
+  in
+  Alcotest.(check bool) "events" true (events = expect)
+
+let test_parse_markers () =
+  let events, symtab =
+    Foreign.parse_lines
+      [
+        "= file main.c";
+        "= line 42";
+        "= var counter";
+        "= thread 3";
+        "S 0x10";
+      ]
+  in
+  let file = Symtab.file symtab "main.c" in
+  Alcotest.(check int) "file ids start at 1" 1 file;
+  let var =
+    match Ddp_util.Intern.find_opt symtab.Symtab.vars "counter" with
+    | Some v -> v
+    | None -> Alcotest.fail "var not interned"
+  in
+  (match events with
+  | [ Event.Write { addr; loc; var = v; thread; _ } ] ->
+    Alcotest.(check int) "hex addr" 16 addr;
+    Alcotest.(check int) "marker file" file (Loc.file loc);
+    Alcotest.(check int) "marker line" 42 (Loc.line loc);
+    Alcotest.(check int) "marker var" var v;
+    Alcotest.(check int) "marker thread" 3 thread
+  | _ -> Alcotest.fail "expected a single write");
+  (* defaults never touched: nothing interned beyond the markers *)
+  Alcotest.(check bool) "default var not interned" true
+    (Ddp_util.Intern.find_opt symtab.Symtab.vars Foreign.default_var = None)
+
+let test_parse_errors () =
+  let bad lines =
+    match Foreign.parse_lines lines with
+    | exception Foreign.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("accepted: " ^ String.concat " | " lines)
+  in
+  bad [ "L notanumber" ];
+  bad [ "A 100" ];                 (* missing ,len *)
+  bad [ "= file" ];                (* marker without value *)
+  bad [ "= wat 3" ];               (* unknown marker *)
+  bad [ "Q 1 2 3" ];               (* unknown tag *)
+  bad [ "= line x" ]
+
+let test_line_clamped () =
+  let events, _ =
+    Foreign.parse_lines [ "= line 1000000"; "L 1"; "= line 0"; "L 2" ]
+  in
+  match events with
+  | [ Event.Read { loc = l1; _ }; Event.Read { loc = l2; _ } ] ->
+    Alcotest.(check int) "clamped high" Loc.max_line (Loc.line l1);
+    Alcotest.(check int) "clamped low" 1 (Loc.line l2)
+  | _ -> Alcotest.fail "expected two reads"
+
+(* -- export → import round trip -------------------------------------------- *)
+
+let sample_prog () =
+  B.program ~name:"foreign-rt"
+    [
+      B.arr "a" (B.i 16);
+      B.arr "b" (B.i 16);
+      B.for_ "i" (B.i 0) (B.i 16) (fun iv -> [ B.store "a" iv iv ]);
+      B.for_ "j" (B.i 1) (B.i 16) (fun jv ->
+          [ B.store "b" jv B.(idx "a" (jv -: i 1) +: idx "a" jv) ]);
+    ]
+
+let dep_keys mode source =
+  let out = Ddp_core.Profiler.run ~mode ~config:Ddp_core.Config.default source in
+  Ddp_core.Dep_store.key_set out.Ddp_core.Profiler.deps
+
+let test_export_import_key_exact () =
+  let path = tmp "roundtrip.lackey" in
+  let hooks, get = Event.collector () in
+  let symtab = Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks ~sched_seed:42 ~symtab (sample_prog ())
+  in
+  Foreign.export ~path (get ()) symtab;
+  List.iter
+    (fun mode ->
+      let native = dep_keys mode (Ddp_core.Source.live ~sched_seed:42 (sample_prog ())) in
+      let imported = dep_keys mode (Ddp_core.Source.of_foreign ~path) in
+      Alcotest.(check bool)
+        (mode ^ ": imported dep keys = native dep keys")
+        true
+        (Ddp_core.Dep_store.Key_set.equal native imported))
+    [ "serial"; "parallel"; "hybrid" ];
+  Sys.remove path
+
+(* Export pins the symtab (preamble) so ids — which dep-key payloads
+   pack — survive the round trip, not just names. *)
+let test_export_import_event_exact () =
+  let path = tmp "eventexact.lackey" in
+  let hooks, get = Event.collector () in
+  let symtab = Symtab.create () in
+  let (_ : Ddp_minir.Interp.stats) =
+    Ddp_minir.Interp.run ~hooks ~sched_seed:42 ~symtab (sample_prog ())
+  in
+  let native = get () in
+  Foreign.export ~path native symtab;
+  let imported, symtab' = Foreign.load ~path in
+  let expressible =
+    List.filter
+      (fun e ->
+        match Event.class_of e with
+        | Event.Class.Memory | Event.Class.Alloc -> true
+        | _ -> false)
+      native
+  in
+  let strip = function
+    (* timestamps are synthesized on import; everything a dep key sees
+       (addr/loc/var/thread, kind) must match exactly *)
+    | Event.Read r -> Event.Read { r with time = 0 }
+    | Event.Write w -> Event.Write { w with time = 0 }
+    | e -> e
+  in
+  Alcotest.(check bool) "expressible events round-trip modulo time" true
+    (List.map strip imported = List.map strip expressible);
+  Alcotest.(check bool) "var ids pinned" true
+    (Ddp_util.Intern.find_opt symtab'.Symtab.vars "a"
+    = Ddp_util.Intern.find_opt symtab.Symtab.vars "a");
+  Sys.remove path
+
+(* -- stats totality over class-sparse streams ------------------------------- *)
+
+let test_stats_total_without_allocs () =
+  (* A genuinely foreign stream: no Alloc, no Region — every Table-I
+     quantity must still be well-defined (the Eq.-(2) collision model
+     divides by #addresses). *)
+  let events, _ =
+    Foreign.parse_lines [ "L 10"; "S 10"; "L 20"; "= line 2"; "S 30" ]
+  in
+  let stats = Ddp_core.Source.stats_of_events events in
+  Alcotest.(check int) "reads" 2 stats.Ddp_minir.Interp.reads;
+  Alcotest.(check int) "writes" 2 stats.Ddp_minir.Interp.writes;
+  Alcotest.(check int) "accesses" 4 stats.Ddp_minir.Interp.accesses;
+  Alcotest.(check int) "addresses = distinct accessed" 3 stats.Ddp_minir.Interp.addresses;
+  Alcotest.(check int) "lines" 2 stats.Ddp_minir.Interp.lines;
+  Alcotest.(check int) "final_time" 4 stats.Ddp_minir.Interp.final_time
+
+let test_stats_empty_stream () =
+  let stats = Ddp_core.Source.stats_of_events [] in
+  Alcotest.(check int) "zero addresses" 0 stats.Ddp_minir.Interp.addresses;
+  Alcotest.(check int) "zero accesses" 0 stats.Ddp_minir.Interp.accesses;
+  Alcotest.(check int) "zero final_time" 0 stats.Ddp_minir.Interp.final_time
+
+let test_foreign_through_engine () =
+  (* a marker-less stream through a real engine end to end: loop-carried
+     RAW on addr 10 must be found *)
+  let path = tmp "minimal.lackey" in
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc "S 10\nL 10\nS 11\nL 11\n");
+  let out =
+    Ddp_core.Profiler.run ~mode:"serial" ~config:Ddp_core.Config.default
+      (Ddp_core.Source.of_foreign ~path)
+  in
+  Alcotest.(check bool) "found dependences" true
+    (Ddp_core.Dep_store.distinct out.Ddp_core.Profiler.deps > 0);
+  Sys.remove path
+
+(* Random native streams (Memory+Alloc projection) survive the dialect:
+   export, re-import, same events modulo synthesized time. *)
+let prop_export_import =
+  QCheck.Test.make ~name:"foreign export/import round-trips arbitrary streams" ~count:60
+    Ddp_testkit.Event_gen.arbitrary_events (fun events ->
+      let path = tmp "prop.lackey" in
+      let symtab = Ddp_testkit.Event_gen.symtab () in
+      Foreign.export ~path events symtab;
+      let imported, _ = Foreign.load ~path in
+      Sys.remove path;
+      let expressible =
+        List.filter
+          (fun e ->
+            match Event.class_of e with
+            | Event.Class.Memory | Event.Class.Alloc -> true
+            | _ -> false)
+          events
+      in
+      let strip = function
+        | Event.Read r -> Event.Read { r with time = 0; locked = false }
+        | Event.Write w -> Event.Write { w with time = 0; locked = false }
+        | e -> e
+      in
+      List.map strip imported = List.map strip expressible)
+
+let suite =
+  [
+    Alcotest.test_case "parse: accesses, allocs, ignored lines" `Quick test_parse_basic;
+    Alcotest.test_case "parse: attribution markers" `Quick test_parse_markers;
+    Alcotest.test_case "parse: malformed input raises" `Quick test_parse_errors;
+    Alcotest.test_case "parse: line numbers clamped" `Quick test_line_clamped;
+    Alcotest.test_case "export/import: dep keys exact, three engines" `Quick
+      test_export_import_key_exact;
+    Alcotest.test_case "export/import: events exact modulo time" `Quick
+      test_export_import_event_exact;
+    Alcotest.test_case "stats total without allocs" `Quick test_stats_total_without_allocs;
+    Alcotest.test_case "stats total on empty stream" `Quick test_stats_empty_stream;
+    Alcotest.test_case "marker-less stream through an engine" `Quick
+      test_foreign_through_engine;
+    Test_seed.to_alcotest prop_export_import;
+  ]
