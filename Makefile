@@ -2,7 +2,7 @@
 
 DDPROF   = dune exec --no-print-directory bin/ddprof.exe --
 DDPCHECK = dune exec --no-print-directory bin/ddpcheck.exe --
-MODES    = serial perfect parallel mt shadow hashtable hybrid
+MODES    = serial perfect parallel mt shadow hashtable hybrid dag
 
 # Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
 DDP_SEED ?= 421
@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke fuzz-smoke fuzz-nightly bench clean
+.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke fuzz-smoke fuzz-nightly bench clean
 
 all: build
 
@@ -73,6 +73,29 @@ foreign-smoke: build
 	  echo "== foreign-diff kmeans --mode $$mode =="; \
 	  $(DDPROF) foreign-diff kmeans --trace _foreign/kmeans.lackey --mode $$mode || exit 1; \
 	done
+
+# The SP-DAG race engine end to end: every task-family workload under
+# --mode dag must match its @race/@norace ground truth exactly (zero
+# flags on the clean variants, >= 1 on the racy ones), then a 25-program
+# exhaustive-interleaving sweep diffs the engine against the vector-clock
+# oracle on every schedule.  Counterexamples land in _dag/ for the CI
+# artifact.
+dag-smoke: build
+	@for w in fib-task msort-task scan-task; do \
+	  echo "== $$w --mode dag (@norace) =="; \
+	  out=$$($(DDPROF) run $$w --mode dag) || exit 1; \
+	  echo "$$out" | grep -q ", 0 race-flagged" \
+	    || { echo "FAIL: $$w is @norace but the dag engine flagged a race"; echo "$$out"; exit 1; }; \
+	done
+	@for w in fib-task-racy msort-task-racy scan-task-racy; do \
+	  echo "== $$w --mode dag (@race) =="; \
+	  out=$$($(DDPROF) run $$w --mode dag) || exit 1; \
+	  if echo "$$out" | grep -q ", 0 race-flagged"; then \
+	    echo "FAIL: $$w is @race but the dag engine saw nothing"; echo "$$out"; exit 1; \
+	  fi; \
+	done
+	@mkdir -p _dag
+	$(TIMEOUT) $(DDPCHECK) dag --seed $(DDP_SEED) --count 25 --out _dag
 
 # Differential fuzzing + schedule exploration, small fixed-seed budget
 # (~30s): every engine diffed against the perfect oracle, the virtual

@@ -798,10 +798,14 @@ let bench_json () =
           Ddp_core.Profiler.profile ~mode:"parallel" ~config ~account:(account, "deps")
             (seq_prog name ())
         in
+        let dag =
+          Ddp_core.Profiler.profile ~mode:"dag" ~config:bench_config (seq_prog name ())
+        in
         let s_slow = serial.elapsed /. native.H.native_time in
         let p_slow = par.elapsed /. native.H.native_time in
-        fprintf "%-14s native %6.3fs  serial %6.2fx  parallel(8T wall) %6.2fx\n" name
-          native.H.native_time s_slow p_slow;
+        let d_slow = dag.elapsed /. native.H.native_time in
+        fprintf "%-14s native %6.3fs  serial %6.2fx  parallel(8T wall) %6.2fx  dag %6.2fx\n"
+          name native.H.native_time s_slow p_slow d_slow;
         ( name,
           J.Obj
             [
@@ -809,12 +813,14 @@ let bench_json () =
               ("native_s", J.Float native.H.native_time);
               ("serial_slowdown", J.Float s_slow);
               ("parallel_slowdown", J.Float p_slow);
+              ("dag_slowdown", J.Float d_slow);
             ],
-          (s_slow, p_slow) ))
+          (s_slow, p_slow, d_slow) ))
       workloads
   in
-  let s_slows = List.map (fun (_, _, (s, _)) -> s) rows in
-  let p_slows = List.map (fun (_, _, (_, p)) -> p) rows in
+  let s_slows = List.map (fun (_, _, (s, _, _)) -> s) rows in
+  let p_slows = List.map (fun (_, _, (_, p, _)) -> p) rows in
+  let d_slows = List.map (fun (_, _, (_, _, d)) -> d) rows in
   let overhead = measure_obs_overhead ~repeats:2 () in
   let null_ns, fused1_ns, fused2_ns = measure_dispatch_ns () in
   let peaks =
@@ -840,6 +846,7 @@ let bench_json () =
             [
               ("serial_slowdown", J.Float (geomean s_slows));
               ("parallel_slowdown", J.Float (geomean p_slows));
+              ("dag_slowdown", J.Float (geomean d_slows));
               ( "parallel_vs_serial",
                 J.Float (geomean (List.map2 (fun p s -> p /. s) p_slows s_slows)) );
             ] );
@@ -867,8 +874,9 @@ let bench_json () =
   in
   let path = "BENCH_profiler.json" in
   J.to_file path json;
-  fprintf "geomean: serial %.2fx, parallel(wall) %.2fx; telemetry disabled %+.2f%%, enabled %+.2f%%\n"
-    (geomean s_slows) (geomean p_slows)
+  fprintf
+    "geomean: serial %.2fx, parallel(wall) %.2fx, dag %.2fx; telemetry disabled %+.2f%%, enabled %+.2f%%\n"
+    (geomean s_slows) (geomean p_slows) (geomean d_slows)
     (100.0 *. ((overhead.oo_disabled /. overhead.oo_baseline) -. 1.0))
     (100.0 *. ((overhead.oo_enabled /. overhead.oo_baseline) -. 1.0));
   fprintf "dispatch: null %.1f ns/ev, fused(1 sub) %.1f ns/ev, fused(tee 2) %.1f ns/ev\n"

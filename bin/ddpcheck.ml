@@ -286,6 +286,83 @@ let run_soundness seed count out =
   if !code = 0 then Printf.printf "soundness: gate armed and green\n%!";
   !code
 
+(* -- dag ------------------------------------------------------------------ *)
+
+(* Schedules enumerated per program: deep enough that every small
+   program's tree is usually exhausted, bounded so a spawn-heavy outlier
+   cannot stall the sweep. *)
+let dag_limit = 64
+
+(* One seed: generate a task-shaped program, enumerate its interleavings
+   and compare the dag engine's dependence set (race flags included)
+   against the vector-clock oracle on every one. *)
+let dag_one ~out ~master k =
+  let prog_seed = TK.Seed.derive master (7 * k) in
+  let input_seed = TK.Seed.derive master ((7 * k) + 1) land 0xffff in
+  let prog = TK.Prog_gen.generate ~shape:TK.Prog_gen.task_shape ~seed:prog_seed () in
+  let o = TK.Dag_oracle.check ~limit:dag_limit ~input_seed prog in
+  match o.TK.Dag_oracle.mismatch with
+  | None -> (o, true)
+  | Some _ ->
+    let shrunk = TK.Dag_oracle.shrink ~limit:dag_limit ~input_seed prog in
+    let symtab = Ddp_minir.Symtab.create () in
+    let so = TK.Dag_oracle.check ~limit:dag_limit ~input_seed ~symtab shrunk in
+    let report =
+      match so.TK.Dag_oracle.mismatch with
+      | Some m -> TK.Dag_oracle.report_to_string ~symtab m
+      | None -> "(mismatch did not survive shrinking; original program below)\n"
+    in
+    let body =
+      Printf.sprintf
+        "ddpcheck dag: dag engine disagrees with the exhaustive-interleaving oracle\n\
+         master seed: %d (program #%d; prog_seed=%d input_seed=%d)\n\
+         repro: DDP_SEED=%d ddpcheck dag --count %d\n\n\
+         shrunk program (%d statements):\n%s\n%s"
+        master k prog_seed input_seed master (k + 1)
+        (TK.Prog_gen.stmt_count shrunk)
+        (TK.Prog_gen.print shrunk) report
+    in
+    Printf.printf "FAIL [dag] seed %d program %d %s\n%s%!" master k (TK.Seed.describe master)
+      body;
+    save_counterexample ~out ~tag:"dag" ~seed:prog_seed ~body;
+    (o, false)
+
+let run_dag seed count out =
+  let master = resolve_seed seed in
+  Printf.printf
+    "ddpcheck dag: %d task programs, every schedule (cap %d) vs the VC oracle, master seed %d\n%!"
+    count dag_limit master;
+  let failures = ref 0 in
+  let schedules = ref 0 and exhausted = ref 0 and branched = ref 0 and stalled = ref 0 in
+  for k = 0 to count - 1 do
+    let o, ok = dag_one ~out ~master k in
+    schedules := !schedules + o.TK.Dag_oracle.schedules;
+    if o.TK.Dag_oracle.exhausted then incr exhausted;
+    if o.TK.Dag_oracle.branched then incr branched;
+    if o.TK.Dag_oracle.stalled then incr stalled;
+    if not ok then incr failures
+  done;
+  Printf.printf
+    "dag: %d schedules across %d programs (%d exhausted, %d branched, %d stalled a sync)\n%!"
+    !schedules count !exhausted !branched !stalled;
+  (* Coverage, not just absence of mismatches: the sweep must actually
+     exercise a scheduling choice and a sync that had to wait for a
+     child — all-zero counters mean the generator stopped spawning. *)
+  if !branched = 0 || !stalled = 0 then begin
+    Printf.printf "dag: FAIL — sweep never hit %s\n%!"
+      (if !branched = 0 then "a scheduling choice (no program branched)"
+       else "a stalling sync (spawn/join stall points unexercised)");
+    incr failures
+  end;
+  if !failures = 0 then begin
+    Printf.printf "dag: ok (%d programs, engine == oracle on every schedule)\n%!" count;
+    0
+  end
+  else begin
+    Printf.printf "dag: %d failures\n%!" !failures;
+    1
+  end
+
 (* -- commands ------------------------------------------------------------- *)
 
 let diff_cmd =
@@ -310,7 +387,8 @@ let run_all seed count out par =
   let m = run_mutants seed count out in
   (* ISSUE 5 acceptance: >= 200 programs through the soundness gate. *)
   let z = run_soundness seed (max 200 count) out in
-  if d + s + m + z = 0 then begin
+  let g = run_dag seed count out in
+  if d + s + m + z + g = 0 then begin
     Printf.printf "ddpcheck: all sweeps green\n%!";
     0
   end
@@ -324,9 +402,18 @@ let soundness_cmd =
           dynamic run) on generated programs, then fire-drill the gate with a mutant analyzer.")
     Term.(const (fun s c o -> Stdlib.exit (run_soundness s c o)) $ seed_arg $ count_arg $ out_arg)
 
+let dag_cmd =
+  Cmd.v
+    (Cmd.info "dag"
+       ~doc:
+         "Differentially test the SP-DAG race engine: every interleaving of generated task \
+          programs against a vector-clock happens-before oracle.")
+    Term.(const (fun s c o -> Stdlib.exit (run_dag s c o)) $ seed_arg $ count_arg $ out_arg)
+
 let all_cmd =
   Cmd.v
-    (Cmd.info "all" ~doc:"Run diff, sched and mutants sweeps (the CI smoke entry point).")
+    (Cmd.info "all"
+       ~doc:"Run diff, sched, mutants, soundness and dag sweeps (the CI smoke entry point).")
     Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg)
 
 let () =
@@ -337,4 +424,5 @@ let () =
   let default = Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg) in
   exit
     (Cmd.eval'
-       (Cmd.group ~default info [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd ]))
+       (Cmd.group ~default info
+          [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd; dag_cmd ]))

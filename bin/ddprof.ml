@@ -156,6 +156,9 @@ let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
   | Ddp_core.Engines.Hybrid { pruned_events; pruned_sites } ->
     Printf.printf "hybrid: %d access events skipped at %d statically pruned sites\n"
       pruned_events pruned_sites
+  | Ddp_core.Engines.Dag { strands; spawns; joins } ->
+    Printf.printf "sp-dag: %d strands over %d spawns / %d joins; race flags are schedule-independent\n"
+      strands spawns joins
   | _ -> ());
   match account with
   | Some acct ->

@@ -41,6 +41,7 @@ module type S = sig
     ?track_init:bool ->
     ?war_requires_prior_write:bool ->
     ?check_timestamps:bool ->
+    ?race_of:(src_time:int -> sink_time:int -> bool) ->
     reads:store ->
     writes:store ->
     deps:Dep_store.t ->
@@ -62,19 +63,35 @@ module Make (S : STORE) = struct
     track_init : bool;
     war_requires_prior_write : bool;
     check_timestamps : bool;
+    race_of : (src_time:int -> sink_time:int -> bool) option;
     mutable observer : dep_observer option;
   }
 
   let create ?(track_init = true) ?(war_requires_prior_write = false)
-      ?(check_timestamps = false) ~reads ~writes ~deps () =
-    { reads; writes; deps; track_init; war_requires_prior_write; check_timestamps; observer = None }
+      ?(check_timestamps = false) ?race_of ~reads ~writes ~deps () =
+    {
+      reads;
+      writes;
+      deps;
+      track_init;
+      war_requires_prior_write;
+      check_timestamps;
+      race_of;
+      observer = None;
+    }
 
   let set_observer t obs = t.observer <- Some obs
 
   let build t kind ~sink ~src ~src_time ~sink_time =
-    (* A source timestamp later than the sink's means the push order was
-       observed reversed: flag a potential race (Sec. V-B). *)
-    let race = t.check_timestamps && src_time > sink_time in
+    (* Default verdict: a source timestamp later than the sink's means
+       the push order was observed reversed — flag a potential race
+       (Sec. V-B).  [race_of] replaces the heuristic wholesale: the dag
+       engine passes strand stamps as times and decides by SP order. *)
+    let race =
+      match t.race_of with
+      | Some f -> f ~src_time ~sink_time
+      | None -> t.check_timestamps && src_time > sink_time
+    in
     Dep_store.add t.deps ~kind ~sink ~src ~race;
     match t.observer with
     | Some f -> f kind ~sink ~src ~src_time ~sink_time

@@ -23,6 +23,7 @@ module type S = sig
     ?track_init:bool ->
     ?war_requires_prior_write:bool ->
     ?check_timestamps:bool ->
+    ?race_of:(src_time:int -> sink_time:int -> bool) ->
     reads:store ->
     writes:store ->
     deps:Dep_store.t ->
@@ -30,7 +31,10 @@ module type S = sig
     t
   (** [war_requires_prior_write] restores the paper's literal pseudocode
       (WAR only after an earlier write); [check_timestamps] enables the
-      reversed-order race flag of Sec. V-B. *)
+      reversed-order race flag of Sec. V-B.  [race_of] replaces the race
+      verdict wholesale, receiving both endpoints' stored times — the dag
+      engine threads SP-DAG strand stamps through the time field and
+      decides by logical parallelism instead of observed order. *)
 
   val set_observer : t -> dep_observer -> unit
   val on_write : t -> addr:int -> payload:int -> time:int -> unit

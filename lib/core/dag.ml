@@ -1,0 +1,146 @@
+(* Series-parallel DAG order maintenance (see dag.mli for the model).
+
+   Representation: the spawn tree, one node per task, each carrying
+   - [spawn_step]/[join_step]: the interval of the node in its parent's
+     step counter ([join_step = max_int] while the task is running);
+   - [step]: the node's own step counter, advanced at every spawn and
+     join it performs, so a (node, step) pair — a strand — is a maximal
+     sequential run of the task;
+   - a one-entry stamp cache: the hot path (every memory access asks for
+     the current strand id) allocates one dense id per strand, not per
+     access.
+
+   Queries lift both strands to the deepest common ancestor by walking
+   parent links (the spawn tree is as deep as the task nesting;
+   divide-and-conquer programs keep it logarithmic). *)
+
+type node = {
+  parent : node option;
+  depth : int;
+  spawn_step : int;  (* parent's step when this task was spawned *)
+  mutable join_step : int;  (* parent's step after joining it; max_int if open *)
+  mutable step : int;
+  mutable cache_step : int;  (* step of [cache_sid], -1 when invalid *)
+  mutable cache_sid : int;
+}
+
+type t = {
+  mutable snodes : node array;  (* strand id -> node *)
+  mutable ssteps : int array;  (* strand id -> step within that node *)
+  mutable nstrands : int;
+  threads : (int, node) Hashtbl.t;  (* live thread id -> node *)
+  root : node;
+}
+
+let mk_node ~parent ~spawn_step =
+  let depth = match parent with None -> 0 | Some p -> p.depth + 1 in
+  { parent; depth; spawn_step; join_step = max_int; step = 0; cache_step = -1; cache_sid = -1 }
+
+let create () =
+  let root = mk_node ~parent:None ~spawn_step:0 in
+  let t =
+    { snodes = Array.make 64 root; ssteps = Array.make 64 0; nstrands = 0;
+      threads = Hashtbl.create 64; root }
+  in
+  Hashtbl.replace t.threads 0 root;
+  t
+
+(* Adopt a thread the stream never introduced (foreign/mt traces): a
+   child of the root, spawned "now", never joined — concurrent with
+   everything after its first appearance, ordered after everything the
+   root did before it. *)
+let node_of t thread =
+  match Hashtbl.find_opt t.threads thread with
+  | Some n -> n
+  | None ->
+    let n = mk_node ~parent:(Some t.root) ~spawn_step:t.root.step in
+    t.root.step <- t.root.step + 1;
+    Hashtbl.replace t.threads thread n;
+    n
+
+let on_spawn t ~parent ~child =
+  let p = node_of t parent in
+  let c = mk_node ~parent:(Some p) ~spawn_step:p.step in
+  p.step <- p.step + 1;
+  (* Rebinding deliberately orphans any previous node with this tid
+     (run_par reuses tids across sequential Par blocks); old stamps keep
+     pointing at the old node, whose interval is already closed. *)
+  Hashtbl.replace t.threads child c
+
+let on_join t ~parent ~child =
+  let p = node_of t parent in
+  match Hashtbl.find_opt t.threads child with
+  | Some c when c.join_step = max_int && c != p ->
+    p.step <- p.step + 1;
+    c.join_step <- p.step
+  | Some _ | None -> ()
+
+let stamp t ~thread =
+  let n = node_of t thread in
+  if n.cache_step = n.step then n.cache_sid
+  else begin
+    let sid = t.nstrands in
+    if sid = Array.length t.snodes then begin
+      let cap = 2 * sid in
+      let snodes = Array.make cap t.root and ssteps = Array.make cap 0 in
+      Array.blit t.snodes 0 snodes 0 sid;
+      Array.blit t.ssteps 0 ssteps 0 sid;
+      t.snodes <- snodes;
+      t.ssteps <- ssteps
+    end;
+    t.snodes.(sid) <- n;
+    t.ssteps.(sid) <- n.step;
+    t.nstrands <- sid + 1;
+    n.cache_step <- n.step;
+    n.cache_sid <- sid;
+    sid
+  end
+
+let strands t = t.nstrands
+
+(* Lift the deeper node until both sides sit at the same depth, then
+   walk both up in lockstep to the first common node.  Along the way we
+   keep, for each side, the interval of its subtree root directly under
+   the meeting node — or the strand's own step when the node itself is
+   the meeting point. *)
+let precedes t a b =
+  if a < 0 || a >= t.nstrands || b < 0 || b >= t.nstrands then
+    invalid_arg "Dag.precedes: not a stamp";
+  let na = t.snodes.(a) and nb = t.snodes.(b) in
+  let sa = t.ssteps.(a) and sb = t.ssteps.(b) in
+  if na == nb then sa <= sb
+  else begin
+    (* (node under scrutiny, spawn/join interval of the subtree carrying
+       the original strand, seen from that node's parent) *)
+    let up (n : node) = (Option.get n.parent, n.spawn_step, n.join_step) in
+    let rec lift n s j target_depth =
+      if n.depth > target_depth then
+        let n', s', j' = up n in
+        lift n' s' j' target_depth
+      else (n, s, j)
+    in
+    (* Sentinels: before any lift, the "interval" of side x under its own
+       node is the strand step itself on both bounds. *)
+    let da = na.depth and db = nb.depth in
+    let common = min da db in
+    let xa, sa_lo, sa_hi = lift na sa sa common in
+    let xb, sb_lo, sb_hi = lift nb sb sb common in
+    let rec meet (xa, sa_lo, sa_hi) (xb, sb_lo, sb_hi) =
+      if xa == xb then (xa, sa_lo, sa_hi, sb_lo, sb_hi)
+      else
+        let pa, sa', ja' = up xa and pb, sb', jb' = up xb in
+        meet (pa, sa', ja') (pb, sb', jb')
+    in
+    let _, _a_lo, a_hi, b_lo, _b_hi = meet (xa, sa_lo, sa_hi) (xb, sb_lo, sb_hi) in
+    (* At the meeting node: side a occupies [a_lo, a_hi] of its step
+       counter (a single step when the strand lives in the node itself,
+       the child interval otherwise); likewise b.  a precedes b iff a's
+       upper bound closes at or before b's lower bound opens.
+
+       - both strands in the node itself: a_hi = a_lo = step of a.
+       - a in the node, b in a child subtree: a ≺ b iff step_a <= spawn_b.
+       - a in a child subtree, b in the node: a ≺ b iff join_a <= step_b.
+       - disjoint subtrees: a ≺ b iff join_a <= spawn_b.
+       All four collapse to the same comparison. *)
+    a_hi <= b_lo
+  end

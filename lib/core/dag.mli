@@ -1,0 +1,56 @@
+(** Series-parallel DAG order maintenance for fork-join task programs.
+
+    The MT frontend flags a cross-thread dependence as a race when the
+    observed timestamps happen to be reversed — the paper's Sec. V
+    heuristic, faithfully racy.  This module decides "logically
+    parallel" {e exactly} for fork-join programs, in the style of DePa
+    (arXiv 2204.14168): each task is a node of the spawn tree carrying
+    an interval label [(spawn_step, join_step)] in its parent's step
+    counter, and each access belongs to a {e strand} — a (task, step)
+    pair delimited by the task's own spawn/join points.
+
+    Ordering rule, for strands [a = (ta, sa)] and [b = (tb, sb)]:
+    - same task: [a ≺ b] iff [sa <= sb];
+    - [ta] an ancestor of [tb] through child subtree [c]:
+      [a ≺ b] iff [sa <= spawn_step c], and [b ≺ a] iff [join_step c <= sa];
+    - disjoint subtrees [ca], [cb] under the deepest common ancestor:
+      [a ≺ b] iff [join_step ca <= spawn_step cb].
+
+    A query walks to the common ancestor — O(depth of the spawn tree),
+    O(1) on the balanced divide-and-conquer shapes the workloads use
+    (DePa's bit-packed labels would make it O(1) worst-case; we keep
+    the simple representation and document the honest bound). *)
+
+type t
+
+val create : unit -> t
+(** A DAG containing only the root task (thread id 0) at step 0. *)
+
+val on_spawn : t -> parent:int -> child:int -> unit
+(** [parent] spawned [child]: label the child with the parent's current
+    step and advance the parent to a fresh strand.  A thread id already
+    known (run_par reuses tids 1..n across sequential Par blocks) is
+    rebound to the new node. *)
+
+val on_join : t -> parent:int -> child:int -> unit
+(** [parent] joined [child]: advance the parent to a fresh strand and
+    close the child's interval there.  Joining an unknown or
+    already-joined child is a no-op. *)
+
+val stamp : t -> thread:int -> int
+(** Dense id of [thread]'s current strand, for use as a synthetic
+    timestamp in a shadow store.  Stamps are allocated lazily (one per
+    strand actually observed) and are strictly increasing per task.  A
+    thread never introduced by {!on_spawn} is adopted as a child of the
+    root, spawned at the root's current step and never joined — the
+    sound default for foreign streams with no sync events: concurrent
+    with everything that follows. *)
+
+val precedes : t -> int -> int -> bool
+(** [precedes t a b]: does strand [a] happen before (or equal) strand
+    [b] in the series-parallel order?  [a] and [b] must be stamps
+    returned by {!stamp}.  Two strands with [not (precedes a b) &&
+    not (precedes b a)] are logically parallel. *)
+
+val strands : t -> int
+(** Number of strand ids allocated so far (stamps are [0..strands-1]). *)

@@ -137,5 +137,107 @@ let hybrid =
                 });
           })
 
-let builtin = [ serial; perfect; parallel; mt; hybrid ]
+(* The SP-DAG engine: fork-join race detection done right.  The perfect
+   store and Algorithm 1, with two substitutions: each access's
+   timestamp becomes its task's current SP-DAG strand stamp (shifted
+   left one bit to carry the lock flag), and the race verdict [race_of]
+   asks the DAG whether the two strands are logically parallel instead
+   of comparing observed push times (the Sec. V-B heuristic, which only
+   sees the one interleaving that happened to run).  A dependence
+   between mutually-unordered strands is a race unless both accesses
+   held a lock; everything else is ordered by the series-parallel
+   structure under *every* schedule. *)
+type Engine.extra += Dag of { strands : int; spawns : int; joins : int }
+
+let dag =
+  Engine.make ~name:"dag"
+    ~description:
+      "perfect store + SP-DAG order maintenance: schedule-independent race verdicts for fork-join programs"
+    ~exact:true
+    ~consumes:Event.Class.[ Memory; Region; Frame; Alloc; Sync ]
+    (fun ?account config ->
+      let deps = Dep_store.create ?account () in
+      let regions = Region.create () in
+      let store_account = Option.map (fun (a, _) -> (a, "dag-store")) account in
+      let reads = Perfect_sig.create ?account:store_account () in
+      let writes = Perfect_sig.create ?account:store_account () in
+      let sp = Dag.create () in
+      let spawns = ref 0 and joins = ref 0 in
+      (* Stored times are [stamp*2 + locked]; both orders are probed so a
+         reordered stream (e.g. behind the MT push layer) cannot turn an
+         ordered pair into a race. *)
+      let race_of ~src_time ~sink_time =
+        let both_locked = src_time land 1 = 1 && sink_time land 1 = 1 in
+        let src = src_time lsr 1 and sink = sink_time lsr 1 in
+        (not both_locked)
+        && (not (Dag.precedes sp src sink))
+        && not (Dag.precedes sp sink src)
+      in
+      let algo =
+        Algo.Over_perfect.create ~track_init:config.Config.track_init
+          ~war_requires_prior_write:config.Config.war_requires_prior_write ~race_of ~reads
+          ~writes ~deps ()
+      in
+      let time_of ~thread ~locked = (Dag.stamp sp ~thread * 2) + Bool.to_int locked in
+      let memory : Event.memory_handler =
+        {
+          Event.on_read =
+            (fun ~addr ~loc ~var ~thread ~time:_ ~locked ->
+              Algo.Over_perfect.on_read algo ~addr
+                ~payload:(Payload.pack_unsafe ~loc ~var ~thread)
+                ~time:(time_of ~thread ~locked));
+          on_write =
+            (fun ~addr ~loc ~var ~thread ~time:_ ~locked ->
+              Algo.Over_perfect.on_write algo ~addr
+                ~payload:(Payload.pack_unsafe ~loc ~var ~thread)
+                ~time:(time_of ~thread ~locked));
+        }
+      in
+      let sync : Event.sync_handler =
+        {
+          Event.on_sync =
+            (fun ~kind ~obj ~thread ~time:_ ->
+              match kind with
+              | Event.Task_spawn ->
+                incr spawns;
+                Dag.on_spawn sp ~parent:thread ~child:obj
+              | Event.Task_join ->
+                incr joins;
+                Dag.on_join sp ~parent:thread ~child:obj
+              | Event.Lock_acquire | Event.Lock_release ->
+                (* mutual exclusion travels on each access's locked bit *)
+                ());
+        }
+      in
+      let alloc : Event.alloc_handler =
+        {
+          Event.on_alloc = (fun ~base:_ ~len:_ ~var:_ -> ());
+          on_free =
+            (fun ~base ~len ~var:_ ->
+              if config.Config.lifetime_analysis then
+                for a = base to base + len - 1 do
+                  Algo.Over_perfect.on_free algo ~addr:a
+                done);
+        }
+      in
+      let hooks =
+        Ddp_minir.Handler.hooks
+          (Ddp_minir.Handler.make ~memory
+             ~region:(Serial_profiler.region_handler regions)
+             ~frame:Event.null_frame ~alloc ~sync ())
+      in
+      {
+        Engine.hooks;
+        finish =
+          (fun () ->
+            {
+              Engine.deps;
+              regions;
+              health = Engine.health_of_regions regions;
+              store_bytes = Perfect_sig.bytes reads + Perfect_sig.bytes writes;
+              extra = Dag { strands = Dag.strands sp; spawns = !spawns; joins = !joins };
+            });
+      })
+
+let builtin = [ serial; perfect; parallel; mt; hybrid; dag ]
 let () = List.iter Engine.register builtin

@@ -11,6 +11,10 @@ type Engine.extra += Hybrid of { pruned_events : int; pruned_sites : int }
     they came from.  Mirrored into the Obs counters
     [static_pruned_events] / [static_pruned_deps] when a hub is wired. *)
 
+type Engine.extra += Dag of { strands : int; spawns : int; joins : int }
+(** Shape statistics of the "dag" engine's series-parallel DAG: strand
+    ids allocated, and Task_spawn/Task_join events consumed. *)
+
 val serial : Engine.t
 val perfect : Engine.t
 val parallel : Engine.t
@@ -21,5 +25,12 @@ val hybrid : Engine.t
     [Config.static_prune] (variable ids in the run's pre-interned symtab,
     as produced by the static analyzer's pruning plan).  With the default
     empty list it behaves exactly like "serial". *)
+
+val dag : Engine.t
+(** Exact dependences (perfect store) with race verdicts decided by
+    series-parallel order maintenance over the stream's Task_spawn /
+    Task_join events (see {!Dag}): a cross-strand dependence is flagged
+    iff the strands are logically parallel and not both lock-protected —
+    independent of the schedule that happened to run. *)
 
 val builtin : Engine.t list

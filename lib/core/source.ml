@@ -89,6 +89,7 @@ let stats_of_events events =
     addresses = (if !allocated then Hashtbl.length addrs else Hashtbl.length accessed);
     final_time = !final_time;
     lines = Hashtbl.length lines;
+    sync_stalls = 0;
   }
 
 let of_events ?(name = "events") ?symtab events =
@@ -140,6 +141,7 @@ let of_fn ?(name = "generated") f =
             addresses = 0;
             final_time = 0;
             lines = 0;
+            sync_stalls = 0;
           }
         in
         { symtab = Symtab.create (); stats; events = accesses });

@@ -46,6 +46,8 @@ and kind =
     }
   | While of expr * block
   | Par of block list  (* fork one simulated thread per block, join all *)
+  | Spawn of block  (* fork a child task; outstanding until the next Sync *)
+  | Sync  (* join every task spawned so far in the enclosing frame *)
   | Lock of int
   | Unlock of int
   | Call_proc of string * expr list  (* procedure call (no return value) *)
@@ -83,7 +85,7 @@ let number prog =
     s.line <- fresh ();
     match s.kind with
     | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
-    | Call_proc _ -> ()
+    | Sync | Call_proc _ -> ()
     | If (_, t, e) ->
       block t;
       block e
@@ -94,6 +96,7 @@ let number prog =
       block b;
       s.end_line <- fresh ()
     | Par blocks -> List.iter block blocks
+    | Spawn b -> block b
   and block b = List.iter stmt b in
   block prog.body;
   List.iter
@@ -130,8 +133,9 @@ let loops prog =
       block t;
       block e
     | Par blocks -> List.iter block blocks
+    | Spawn b -> block b
     | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
-    | Call_proc _ -> ()
+    | Sync | Call_proc _ -> ()
   and block b = List.iter stmt b in
   block prog.body;
   List.iter (fun f -> block f.fbody) prog.funcs;
@@ -148,10 +152,27 @@ let rec max_threads_block b =
         max acc (List.length blocks + inner)
       | If (_, t, e) -> max acc (max (max_threads_block t) (max_threads_block e))
       | For { body; _ } | While (_, body) -> max acc (max_threads_block body)
+      (* Tasks are dynamic (a loop of spawns is unbounded); this static
+         walk reports a lower bound: one child plus its body's forks. *)
+      | Spawn blk -> max acc (1 + max_threads_block blk)
       | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
-      | Call_proc _ -> acc)
+      | Sync | Call_proc _ -> acc)
     0 b
 
 (* Number of simulated threads a program can run concurrently, main thread
    included. *)
 let max_threads prog = 1 + max_threads_block prog.body
+
+(* Does the program use fork-join task constructs anywhere (body or any
+   procedure)?  Decides which interpreter runtime executes it. *)
+let has_tasks prog =
+  let rec stmt s =
+    match s.kind with
+    | Spawn _ | Sync -> true
+    | If (_, t, e) -> block t || block e
+    | For { body; _ } | While (_, body) -> block body
+    | Par blocks -> List.exists block blocks
+    | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
+    | Call_proc _ -> false
+  and block b = List.exists stmt b in
+  block prog.body || List.exists (fun f -> block f.fbody) prog.funcs

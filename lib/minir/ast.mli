@@ -34,6 +34,8 @@ and kind =
     }
   | While of expr * block
   | Par of block list
+  | Spawn of block  (** fork a child task; outstanding until the next [Sync] *)
+  | Sync  (** join every task spawned so far in the enclosing frame *)
   | Lock of int
   | Unlock of int
   | Call_proc of string * expr list
@@ -73,4 +75,11 @@ val loops : program -> loop_info list
 (** All [For] loops in textual order.  Call after {!number}. *)
 
 val max_threads : program -> int
-(** Simulated threads the program can run concurrently, main included. *)
+(** Simulated threads the program can run concurrently, main included.
+    For task programs this is a static lower bound (a loop of spawns is
+    dynamically unbounded). *)
+
+val has_tasks : program -> bool
+(** Does the program use [Spawn]/[Sync] anywhere?  Task programs run
+    under the interpreter's fork-join scheduler and cannot contain
+    [Par]. *)

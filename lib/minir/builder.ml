@@ -60,6 +60,11 @@ let for_ ?(parallel = false) ?(reduction = []) ?(step = Int 1) index lo hi body_
 
 let while_ cond body = mk (While (cond, body))
 let par blocks = mk (Par blocks)
+let spawn body = mk (Spawn body)
+
+(* Unlike [nop], a sync typically appears many times per program, and
+   [number] mutates the statement record in place — so allocate fresh. *)
+let sync () = mk Sync
 let lock id = mk (Lock id)
 let unlock id = mk (Unlock id)
 let call_proc name args = mk (Call_proc (name, args))

@@ -27,6 +27,41 @@ type thread_state = {
   mutable held : int list;  (* lock ids currently held, innermost first *)
   mutable depth : int;  (* procedure-call depth, for recursion guard *)
   scheduled : bool;  (* true inside a Par: Yield effects are meaningful *)
+  (* Task runtime only (empty otherwise): one pending-children list per
+     enclosing frame (program body / task body / procedure body),
+     innermost first.  [Spawn] pushes into the head; [Sync] — explicit or
+     the implicit one at frame exit — joins and clears the head. *)
+  mutable frames : int list ref list;
+  mutable waiting : int list;  (* child tids this task is stalled on at a Sync *)
+}
+
+(* -- effects-based cooperative threads ---------------------------------- *)
+
+type _ Effect.t += Yield : unit Effect.t
+
+type status = Finished | Paused of (unit, status) Effect.Deep.continuation
+
+(* The fork-join task scheduler ([Spawn]/[Sync] programs).  Unlike
+   [run_par]'s fixed thread array, tasks are created dynamically (a
+   recursive fib spawns hundreds), so slots grow; [choose] picks among
+   the currently runnable tasks — seeded-random by default, or an
+   injected schedule for exhaustive-interleaving oracles. *)
+type task_slot = {
+  sts : thread_state;
+  mutable st :
+    [ `Not_started of (unit -> unit)
+    | `Paused of (unit, status) Effect.Deep.continuation
+    | `Finished ];
+}
+
+type task_sched = {
+  mutable slots : task_slot array;  (* first [ntasks] entries are live *)
+  mutable ntasks : int;
+  mutable next_tid : int;
+  tdone : (int, unit) Hashtbl.t;  (* finished task tids *)
+  mutable live : int;  (* tasks not yet finished *)
+  mutable stalls : int;  (* syncs that had to wait for an unfinished child *)
+  choose : int -> int;  (* #runnable -> index of the task to step *)
 }
 
 type ctx = {
@@ -42,9 +77,11 @@ type ctx = {
   locks : (int, int) Hashtbl.t;  (* lock id -> owner tid *)
   funcs : (string, Ast.func) Hashtbl.t;
   mutable globals : binding Env.t;  (* top-level bindings, visible to procedures *)
+  mutable tasks : task_sched option;  (* Some iff running a Spawn/Sync program *)
 }
 
 let max_call_depth = 200
+let max_tasks = 200_000
 
 type stats = {
   reads : int;
@@ -53,13 +90,8 @@ type stats = {
   addresses : int;
   final_time : int;
   lines : int;
+  sync_stalls : int;
 }
-
-(* -- effects-based cooperative threads ---------------------------------- *)
-
-type _ Effect.t += Yield : unit Effect.t
-
-type status = Finished | Paused of (unit, status) Effect.Deep.continuation
 
 let yield ts = if ts.scheduled then Effect.perform Yield
 
@@ -79,6 +111,28 @@ let spawn fn =
             Some (fun (k : (a, status) Effect.Deep.continuation) -> Paused k)
           | _ -> None);
     }
+
+(* -- task scheduler bookkeeping ------------------------------------------ *)
+
+let add_task sched sts fn =
+  if sched.ntasks >= max_tasks then error "task limit (%d) exceeded" max_tasks;
+  let slot = { sts; st = `Not_started fn } in
+  if sched.ntasks = Array.length sched.slots then begin
+    let grown = Array.make (max 8 (2 * Array.length sched.slots)) slot in
+    Array.blit sched.slots 0 grown 0 sched.ntasks;
+    sched.slots <- grown
+  end;
+  sched.slots.(sched.ntasks) <- slot;
+  sched.ntasks <- sched.ntasks + 1;
+  sched.live <- sched.live + 1
+
+(* A task is runnable unless it is parked at a [Sync] whose children have
+   not all finished.  (Lock waiters poll, so they stay runnable.) *)
+let task_runnable sched slot =
+  match slot.st with
+  | `Finished -> false
+  | `Not_started _ | `Paused _ ->
+    List.for_all (Hashtbl.mem sched.tdone) slot.sts.waiting
 
 (* -- event emission ------------------------------------------------------ *)
 
@@ -180,6 +234,39 @@ let free_binding ctx = function
       Memory.free ctx.mem ~base:a.base ~len:a.len
     end
 
+(* Join every child spawned so far in [ts]'s innermost frame: park until
+   they have all finished (each wait is a [Yield] back to the scheduler,
+   which will not resume us while [waiting] has unfinished tids), then
+   emit one [Task_join] per child in spawn order.  Outside the task
+   runtime the frame stack is empty and this is a no-op. *)
+let task_sync ctx ts =
+  match ts.frames with
+  | [] -> ()
+  | pending :: _ ->
+    let sched = match ctx.tasks with Some s -> s | None -> assert false in
+    let children = List.rev !pending in
+    pending := [];
+    let unfinished () =
+      List.filter (fun tid -> not (Hashtbl.mem sched.tdone tid)) children
+    in
+    (match unfinished () with
+    | [] -> ()
+    | _ :: _ ->
+      sched.stalls <- sched.stalls + 1;
+      let rec wait () =
+        match unfinished () with
+        | [] -> ts.waiting <- []
+        | w ->
+          ts.waiting <- w;
+          Effect.perform Yield;
+          wait ()
+      in
+      wait ());
+    List.iter
+      (fun child ->
+        ctx.hooks.on_sync ~kind:Event.Task_join ~obj:child ~thread:ts.tid ~time:ctx.time)
+      children
+
 let rec exec_stmt ctx ts env scope (s : Ast.stmt) =
   yield ts;
   let line = s.line in
@@ -278,8 +365,36 @@ let rec exec_stmt ctx ts env scope (s : Ast.stmt) =
     release ctx ts id;
     env
   | Ast.Par blocks ->
+    if ctx.tasks <> None then error "Par and Spawn cannot be mixed";
     if ts.scheduled then error "nested Par is not supported";
-    run_par ctx env blocks;
+    run_par ctx ts env blocks;
+    env
+  | Ast.Spawn body -> (
+    match ctx.tasks with
+    | None -> error "Spawn outside the task runtime"
+    | Some sched ->
+      let pending =
+        match ts.frames with p :: _ -> p | [] -> error "Spawn outside the task runtime"
+      in
+      let child_tid = sched.next_tid in
+      sched.next_tid <- child_tid + 1;
+      let cts =
+        {
+          tid = child_tid;
+          held = [];
+          depth = ts.depth;  (* inherited: bounds runaway spawn-recursion too *)
+          scheduled = true;
+          frames = [ ref [] ];  (* the task body is itself a frame *)
+          waiting = [];
+        }
+      in
+      let fn () = exec_frame ctx cts env body in
+      add_task sched cts fn;
+      pending := child_tid :: !pending;
+      ctx.hooks.on_sync ~kind:Event.Task_spawn ~obj:child_tid ~thread:ts.tid ~time:ctx.time;
+      env)
+  | Ast.Sync ->
+    task_sync ctx ts;
     env
   | Ast.Call_proc (name, args) ->
     let f =
@@ -312,7 +427,15 @@ let rec exec_stmt ctx ts env scope (s : Ast.stmt) =
           env)
         ctx.globals f.Ast.params arg_vals
     in
-    exec_block ctx ts fenv f.Ast.fbody;
+    (* Task runtime: a procedure body is a frame — children spawned
+       inside it are implicitly joined before the call returns (the
+       Cilk rule), so a callee can never leak running tasks. *)
+    if ctx.tasks <> None then begin
+      ts.frames <- ref [] :: ts.frames;
+      exec_frame ctx ts fenv f.Ast.fbody;
+      ts.frames <- List.tl ts.frames
+    end
+    else exec_block ctx ts fenv f.Ast.fbody;
     List.iter (free_binding ctx) !scope;
     ts.depth <- ts.depth - 1;
     ctx.hooks.on_return ~func:fid ~thread:ts.tid ~time:ctx.time;
@@ -325,12 +448,23 @@ and exec_block ctx ts env block =
   (* Scope exit: free in reverse declaration order. *)
   List.iter (free_binding ctx) !scope
 
+(* A frame body in the task runtime: run the block, implicitly sync the
+   frame's children, and only then free the block's locals — a pending
+   child may still be reading them. *)
+and exec_frame ctx ts env block =
+  let scope = ref [] in
+  let final_env = List.fold_left (fun env s -> exec_stmt ctx ts env scope s) env block in
+  ignore final_env;
+  task_sync ctx ts;
+  List.iter (free_binding ctx) !scope
+
 and acquire ctx ts id =
   let rec try_take () =
     match Hashtbl.find_opt ctx.locks id with
     | None ->
       Hashtbl.replace ctx.locks id ts.tid;
-      ts.held <- id :: ts.held
+      ts.held <- id :: ts.held;
+      ctx.hooks.on_sync ~kind:Event.Lock_acquire ~obj:id ~thread:ts.tid ~time:ctx.time
     | Some owner when owner = ts.tid -> error "thread %d re-locking lock %d" ts.tid id
     | Some _ ->
       if not ts.scheduled then error "main thread deadlocked on lock %d" id;
@@ -343,20 +477,29 @@ and release ctx ts id =
   (match Hashtbl.find_opt ctx.locks id with
   | Some owner when owner = ts.tid -> Hashtbl.remove ctx.locks id
   | Some _ | None -> error "thread %d unlocking lock %d it does not hold" ts.tid id);
-  ts.held <- List.filter (fun l -> l <> id) ts.held
+  ts.held <- List.filter (fun l -> l <> id) ts.held;
+  ctx.hooks.on_sync ~kind:Event.Lock_release ~obj:id ~thread:ts.tid ~time:ctx.time
 
 (* Fork one simulated thread per block (tids 1..n; the main thread is 0),
    interleave them with the seeded scheduler, join all. *)
-and run_par ctx env blocks =
+and run_par ctx parent env blocks =
   let n = List.length blocks in
   let states =
     Array.of_list
       (List.mapi
          (fun i block ->
-           let ts = { tid = i + 1; held = []; depth = 0; scheduled = true } in
+           let ts =
+             { tid = i + 1; held = []; depth = 0; scheduled = true; frames = []; waiting = [] }
+           in
            `Not_started (ts, fun () -> exec_block ctx ts env block))
          blocks)
   in
+  (* Par is fork-join too: bracket the arms with the same Sync vocabulary
+     tasks use, so Sync-consuming engines see one uniform shape.  Engines
+     that don't subscribe to the class get null calls. *)
+  for i = 1 to n do
+    ctx.hooks.on_sync ~kind:Event.Task_spawn ~obj:i ~thread:parent.tid ~time:ctx.time
+  done;
   let remaining = ref n in
   let max_steps = ref 0 in
   while !remaining > 0 do
@@ -386,11 +529,83 @@ and run_par ctx env blocks =
         states.(i) <- `Finished
       | Paused k' -> states.(i) <- `Paused (ts, k'))
     | `Finished -> assert false)
+  done;
+  for i = 1 to n do
+    ctx.hooks.on_sync ~kind:Event.Task_join ~obj:i ~thread:parent.tid ~time:ctx.time
   done
 
 (* -- entry point --------------------------------------------------------- *)
 
-let run ?(hooks = Event.null) ?(sched_seed = 42) ?(input_seed = 7) ?symtab prog =
+(* The fork-join driver for [Spawn]/[Sync] programs: the whole top-level
+   body runs as the root task (tid 0) under the dynamic scheduler, so
+   spawn points interleave with their continuations exactly like any
+   other pair of tasks.  When the root finishes, its implicit sync has
+   (transitively) joined everything, so no task outlives the run. *)
+let run_tasks ctx prog choose =
+  let sched =
+    {
+      slots = [||];
+      ntasks = 0;
+      next_tid = 1;
+      tdone = Hashtbl.create 64;
+      live = 0;
+      stalls = 0;
+      choose;
+    }
+  in
+  ctx.tasks <- Some sched;
+  let root =
+    { tid = 0; held = []; depth = 0; scheduled = true; frames = [ ref [] ]; waiting = [] }
+  in
+  let top_scope = ref [] in
+  let root_fn () =
+    let (_ : binding Env.t) =
+      List.fold_left
+        (fun env s ->
+          let env' = exec_stmt ctx root env top_scope s in
+          ctx.globals <- env';
+          env')
+        Env.empty prog.Ast.body
+    in
+    task_sync ctx root;  (* implicit program-end sync *)
+    List.iter (free_binding ctx) !top_scope
+  in
+  add_task sched root root_fn;
+  let steps = ref 0 in
+  let runnable = ref [] in
+  while sched.live > 0 do
+    incr steps;
+    if !steps > 100_000_000 then error "task scheduler: livelock suspected";
+    runnable := [];
+    for i = sched.ntasks - 1 downto 0 do
+      if task_runnable sched sched.slots.(i) then runnable := i :: !runnable
+    done;
+    let n = List.length !runnable in
+    if n = 0 then error "task deadlock: %d task(s) blocked at sync" sched.live;
+    let choice = sched.choose n in
+    if choice < 0 || choice >= n then
+      error "schedule chose %d out of %d runnable task(s)" choice n;
+    let slot = sched.slots.(List.nth !runnable choice) in
+    let finish () =
+      Hashtbl.replace sched.tdone slot.sts.tid ();
+      slot.st <- `Finished;
+      sched.live <- sched.live - 1;
+      ctx.hooks.on_thread_end ~thread:slot.sts.tid
+    in
+    match slot.st with
+    | `Not_started fn -> (
+      match spawn fn with
+      | Finished -> finish ()
+      | Paused k -> slot.st <- `Paused k)
+    | `Paused k -> (
+      match Effect.Deep.continue k () with
+      | Finished -> finish ()
+      | Paused k' -> slot.st <- `Paused k')
+    | `Finished -> assert false
+  done;
+  sched.stalls
+
+let run ?(hooks = Event.null) ?(sched_seed = 42) ?(input_seed = 7) ?schedule ?symtab prog =
   let symtab = match symtab with Some s -> s | None -> Symtab.create () in
   let file = Symtab.file symtab prog.Ast.name in
   if file > Loc.max_file then error "too many distinct programs in one symtab";
@@ -416,22 +631,38 @@ let run ?(hooks = Event.null) ?(sched_seed = 42) ?(input_seed = 7) ?symtab prog 
       locks = Hashtbl.create 8;
       funcs;
       globals = Env.empty;
+      tasks = None;
     }
   in
-  let ts = { tid = 0; held = []; depth = 0; scheduled = false } in
-  (* The top-level scope is special: bindings become globals, visible to
-     procedures, and are freed only when the program ends. *)
-  let top_scope = ref [] in
-  let (_ : binding Env.t) =
-    List.fold_left
-      (fun env s ->
-        let env' = exec_stmt ctx ts env top_scope s in
-        ctx.globals <- env';
-        env')
-      Env.empty prog.Ast.body
+  let sync_stalls =
+    if Ast.has_tasks prog then begin
+      let choose =
+        match schedule with
+        | Some f -> f
+        | None -> fun n -> Ddp_util.Rng.int ctx.sched_rng n
+      in
+      run_tasks ctx prog choose
+    end
+    else begin
+      let ts =
+        { tid = 0; held = []; depth = 0; scheduled = false; frames = []; waiting = [] }
+      in
+      (* The top-level scope is special: bindings become globals, visible to
+         procedures, and are freed only when the program ends. *)
+      let top_scope = ref [] in
+      let (_ : binding Env.t) =
+        List.fold_left
+          (fun env s ->
+            let env' = exec_stmt ctx ts env top_scope s in
+            ctx.globals <- env';
+            env')
+          Env.empty prog.Ast.body
+      in
+      List.iter (free_binding ctx) !top_scope;
+      hooks.on_thread_end ~thread:0;
+      0
+    end
   in
-  List.iter (free_binding ctx) !top_scope;
-  hooks.on_thread_end ~thread:0;
   {
     reads = ctx.reads;
     writes = ctx.writes;
@@ -439,9 +670,10 @@ let run ?(hooks = Event.null) ?(sched_seed = 42) ?(input_seed = 7) ?symtab prog 
     addresses = Memory.high_water ctx.mem;
     final_time = ctx.time;
     lines;
+    sync_stalls;
   }
 
-let trace ?sched_seed ?input_seed ?symtab prog =
+let trace ?sched_seed ?input_seed ?schedule ?symtab prog =
   let hooks, get = Event.collector () in
-  let stats = run ~hooks ?sched_seed ?input_seed ?symtab prog in
+  let stats = run ~hooks ?sched_seed ?input_seed ?schedule ?symtab prog in
   (get (), stats)

@@ -13,21 +13,42 @@ type stats = {
   addresses : int;  (** distinct cells allocated: "#addresses" of Table I *)
   final_time : int;
   lines : int;  (** numbered source lines: the "LOC" analogue *)
+  sync_stalls : int;
+      (** task programs: syncs that had to wait for an unfinished child
+          (0 when every child happened to finish first, and always 0 for
+          non-task programs) *)
 }
 
 val run :
   ?hooks:Event.hooks ->
   ?sched_seed:int ->
   ?input_seed:int ->
+  ?schedule:(int -> int) ->
   ?symtab:Symtab.t ->
   Ast.program ->
   stats
 (** Execute a program, delivering instrumentation events to [hooks]
     (default: none — the "uninstrumented" baseline).  [sched_seed] drives
     the thread interleaving, [input_seed] the [rand]/[rand_int]
-    intrinsics.  Numbers the program's lines as a side effect. *)
+    intrinsics.  Numbers the program's lines as a side effect.
+
+    Programs using [Spawn]/[Sync] run under a fork-join task scheduler:
+    the top-level body is the root task (tid 0), every frame (program,
+    task body, procedure body) implicitly syncs its children on exit, and
+    [Task_spawn]/[Task_join] [Sync] events are emitted — plus
+    [Lock_acquire]/[Lock_release] from [Lock]/[Unlock] everywhere.
+    [schedule] overrides the seeded scheduler for task programs: given
+    the number of currently runnable tasks [n], it must return a pick in
+    [\[0, n)] — the hook exhaustive-interleaving oracles use to force
+    every schedule of a small program.  Mixing [Par] with tasks is a
+    runtime error. *)
 
 val trace :
-  ?sched_seed:int -> ?input_seed:int -> ?symtab:Symtab.t -> Ast.program -> Event.t list * stats
+  ?sched_seed:int ->
+  ?input_seed:int ->
+  ?schedule:(int -> int) ->
+  ?symtab:Symtab.t ->
+  Ast.program ->
+  Event.t list * stats
 (** Run and collect the full event trace (tests and oracles only — the
     trace of a real workload is large). *)

@@ -152,6 +152,7 @@ and stmt_callees acc (s : Ast.stmt) =
   | Ast.For { body; _ } -> block_callees acc body
   | Ast.While (_, b) -> block_callees acc b
   | Ast.Par bs -> List.fold_left block_callees acc bs
+  | Ast.Spawn b -> block_callees acc b
   | _ -> acc
 
 let reachable_funcs funcs seeds =
@@ -207,6 +208,7 @@ let assigns_index index (b : Ast.block) =
     | Ast.For f -> f.index = index || List.exists stmt f.body
     | Ast.While (_, b) -> List.exists stmt b
     | Ast.Par bs -> List.exists (List.exists stmt) bs
+    | Ast.Spawn b -> List.exists stmt b
     | Ast.Call_proc _ ->
         (* Callees write globals; if the index name is also a global the
            summary-level may-write could hit it.  Be conservative. *)
@@ -316,6 +318,19 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
       let pp = slot cu in
       List.iteri (fun k b -> do_block st { cpre = pp @ [ Par k ]; cpos = 0 } env b) bs;
       env
+  | Ast.Spawn b ->
+      (* The task body may run anywhere between this spawn and the
+         enclosing sync, so it must not be sequenced against anything
+         outside it: a uniquely-numbered [Par] step replacing the [Seq]
+         slot makes every (body, outside) pair diverge into [Conc] —
+         edges in both directions, an over-approximation of every
+         schedule.  (Unlike [Par] arms we deliberately do not consume a
+         [Seq] slot: that would order the body before its block's
+         continuation, which only holds after the sync.) *)
+      let u = fresh st in
+      do_block st { cpre = cu.cpre @ [ Par u ]; cpos = 0 } env b;
+      env
+  | Ast.Sync -> env
   | Ast.Call_proc (g, args) ->
       List.iter (expr_reads st cu env ~line:s.line) args;
       (match Hashtbl.find_opt st.funcs g with
@@ -410,6 +425,8 @@ and soup st cu g =
         expr ~line:s.line c;
         List.iter stmt b
     | Ast.Par bs -> List.iter (List.iter stmt) bs
+    | Ast.Spawn b -> List.iter stmt b
+    | Ast.Sync -> ()
     | Ast.Call_proc (h, args) ->
         List.iter (expr ~line:s.line) args;
         (* The callee body is flattened once below; model only the
@@ -629,6 +646,7 @@ let fill_assigns tbl (prog : Ast.program) =
     | Ast.For f -> List.iter stmt f.body
     | Ast.While (_, b) -> List.iter stmt b
     | Ast.Par bs -> List.iter (List.iter stmt) bs
+    | Ast.Spawn b -> List.iter stmt b
     | _ -> ()
   in
   List.iter stmt prog.body;

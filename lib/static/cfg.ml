@@ -104,6 +104,10 @@ let summaries (prog : Ast.program) =
       | Par bs ->
           List.iter (fun b -> ignore (block locals b)) bs;
           locals
+      | Spawn b ->
+          ignore (block locals b);
+          locals
+      | Sync -> locals
       | Call_proc (g, args) ->
           List.iter (note locals) args;
           (* Callee effects hit top-level globals regardless of our
@@ -147,7 +151,8 @@ let stable_scalars (prog : Ast.program) =
         block f.body
     | While (_, b) -> block b
     | Par bs -> List.iter block bs
-    | Assign _ | Store _ | Lock _ | Unlock _ | Nop | Call_proc _ -> ()
+    | Spawn b -> block b
+    | Assign _ | Store _ | Lock _ | Unlock _ | Nop | Sync | Call_proc _ -> ()
   and block b = List.iter stmt b in
   block prog.body;
   List.iter
@@ -248,6 +253,12 @@ let build (prog : Ast.program) =
             { l_header = s.line; l_entry = cid; l_members = members cid inc } :: !loops;
           [ cid ]
       | Par bs -> List.concat_map (fun b -> block ~must:false preds b) bs
+      (* A spawned body may run anywhere between the spawn point and the
+         enclosing sync: treat it like a may-taken branch (its defs are
+         may-defs reaching the continuation) whose exits merge with the
+         straight-line path. *)
+      | Spawn b -> block ~must:false preds b @ preds
+      | Sync -> preds
       | Call_proc (g, args) ->
           let sg = summary g in
           let uses = Names.union (scalars_of_exprs args) sg.s_reads in

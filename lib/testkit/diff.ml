@@ -49,7 +49,7 @@ type outcome = {
 let has_par prog =
   let rec stmt (s : Ast.stmt) =
     match s.Ast.kind with
-    | Ast.Par _ -> true
+    | Ast.Par _ | Ast.Spawn _ -> true
     | Ast.If (_, t, e) -> block t || block e
     | Ast.For { body; _ } | Ast.While (_, body) -> block body
     | _ -> false

@@ -79,6 +79,11 @@ let rec pp_stmt buf indent s =
         pp_block buf (indent + 1) b)
       blocks;
     bpf buf "%s}\n" pad
+  | Spawn body ->
+    bpf buf "%sspawn {\n" pad;
+    pp_block buf (indent + 1) body;
+    bpf buf "%s}\n" pad
+  | Sync -> bpf buf "%ssync;\n" pad
   | Lock id -> bpf buf "%slock(%d);\n" pad id
   | Unlock id -> bpf buf "%sunlock(%d);\n" pad id
   | Call_proc (f, args) ->
@@ -110,7 +115,8 @@ let stmt_count (prog : program) =
     | If (_, t, e) -> block t + block e
     | For { body; _ } | While (_, body) -> block body
     | Par blocks -> List.fold_left (fun acc b -> acc + block b) 0 blocks
+    | Spawn body -> block body
     | Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
-    | Call_proc _ -> 0
+    | Sync | Call_proc _ -> 0
   and block b = List.fold_left (fun acc s -> acc + stmt s) 0 b in
   block prog.body + List.fold_left (fun acc f -> acc + block f.fbody) 0 prog.funcs

@@ -29,6 +29,7 @@ type shape = {
   loop_max : int;  (* loop trip counts drawn from [2, loop_max] *)
   allow_par : bool;  (* generate Par blocks (simulated threads) *)
   par_arms : int;  (* max arms per Par block *)
+  allow_tasks : bool;  (* generate Spawn/Sync fork-join tasks (never with Par) *)
 }
 
 let default_shape =
@@ -41,11 +42,20 @@ let default_shape =
     loop_max = 7;
     allow_par = false;
     par_arms = 3;
+    allow_tasks = false;
   }
 
 (* Smaller bodies but simulated threads: the shape the scheduler and MT
    harnesses fuzz with. *)
 let par_shape = { default_shape with allow_par = true; max_depth = 2; max_block = 5 }
+
+(* Fork-join tasks for the dag engine: no Par (the runtimes refuse to
+   mix), shallow nesting, small blocks — sized so the exhaustive
+   schedule oracle stays tractable.  Spawn bodies reference globals only
+   (never an enclosing loop index): a pending task must not read a scope
+   that dies before the frame's sync. *)
+let task_shape =
+  { default_shape with allow_tasks = true; max_depth = 2; max_block = 5; arr_size = 8 }
 
 (* -- generation ----------------------------------------------------------- *)
 
@@ -108,8 +118,10 @@ let gen_cond shape ~idx_vars =
 
 (* Statements; [depth] bounds loop/if nesting.  [allow_par] is cleared
    inside Par arms and nested blocks so simulated threads never fork
-   further and thread counts stay bounded by [par_arms]. *)
-let rec gen_stmt shape ~idx_vars ~allow_par ~depth =
+   further and thread counts stay bounded by [par_arms].  [allow_tasks]
+   survives into loop/if bodies (spawn-in-loop is the interesting case)
+   and into spawn bodies (nested tasks), bounded by [depth]. *)
+let rec gen_stmt shape ~idx_vars ~allow_par ~allow_tasks ~depth =
   let open Gen in
   let simple =
     [
@@ -134,14 +146,16 @@ let rec gen_stmt shape ~idx_vars ~allow_par ~depth =
                 (B.i (2 + (bound mod (max 1 (shape.loop_max - 1)))))
                 (fun _ -> body))
             small_nat
-            (gen_block shape ~idx_vars:(lv :: idx_vars) ~allow_par:false
+            (gen_block shape ~idx_vars:(lv :: idx_vars) ~allow_par:false ~allow_tasks
                ~depth:(depth - 1) ~len:2) );
         ( 1,
           map3
             (fun c t e -> B.if_ c t e)
             (gen_cond shape ~idx_vars)
-            (gen_block shape ~idx_vars ~allow_par:false ~depth:(depth - 1) ~len:2)
-            (gen_block shape ~idx_vars ~allow_par:false ~depth:(depth - 1) ~len:1) );
+            (gen_block shape ~idx_vars ~allow_par:false ~allow_tasks ~depth:(depth - 1)
+               ~len:2)
+            (gen_block shape ~idx_vars ~allow_par:false ~allow_tasks ~depth:(depth - 1)
+               ~len:1) );
       ]
   in
   let par =
@@ -152,17 +166,31 @@ let rec gen_stmt shape ~idx_vars ~allow_par ~depth =
           let arm rank =
             map
               (fun body -> B.local "tid" (B.i rank) :: body)
-              (gen_block shape ~idx_vars ~allow_par:false
+              (gen_block shape ~idx_vars ~allow_par:false ~allow_tasks:false
                  ~depth:(max 0 (depth - 1)) ~len:3)
           in
           int_range 2 (max 2 shape.par_arms) >>= fun arms ->
           map B.par (flatten_l (List.init arms arm)) );
       ]
   in
-  frequency (simple @ nested @ par)
+  let tasks =
+    if not allow_tasks then []
+    else
+      [
+        ( 2,
+          (* Spawn bodies see globals only (idx_vars dropped): a loop
+             index dies at loop exit, possibly before the frame sync. *)
+          map B.spawn
+            (gen_block shape ~idx_vars:[] ~allow_par:false
+               ~allow_tasks:(depth > 0) ~depth:(max 0 (depth - 1)) ~len:3) );
+        (1, return (B.sync ()));
+      ]
+  in
+  frequency (simple @ nested @ par @ tasks)
 
-and gen_block shape ~idx_vars ~allow_par ~depth ~len =
-  Gen.list_size (Gen.int_range 1 len) (gen_stmt shape ~idx_vars ~allow_par ~depth)
+and gen_block shape ~idx_vars ~allow_par ~allow_tasks ~depth ~len =
+  Gen.list_size (Gen.int_range 1 len)
+    (gen_stmt shape ~idx_vars ~allow_par ~allow_tasks ~depth)
 
 let decls shape =
   List.init shape.arrays (fun k -> B.arr (array_name k) (B.i shape.arr_size))
@@ -173,8 +201,8 @@ let decls shape =
 let gen ?(shape = default_shape) () =
   Gen.map
     (fun body -> B.program ~name:"rand" (decls shape @ body))
-    (gen_block shape ~idx_vars:[] ~allow_par:shape.allow_par ~depth:shape.max_depth
-       ~len:shape.max_block)
+    (gen_block shape ~idx_vars:[] ~allow_par:shape.allow_par
+       ~allow_tasks:shape.allow_tasks ~depth:shape.max_depth ~len:shape.max_block)
 
 (* Deterministic single-program generation: the corpus member for a seed. *)
 let generate ?(shape = default_shape) ~seed () =
@@ -193,8 +221,9 @@ and copy_kind : Ast.kind -> Ast.kind = function
     For { index; lo; hi; step; parallel; reduction; body = copy_block body }
   | While (c, b) -> While (c, copy_block b)
   | Par blocks -> Par (List.map copy_block blocks)
+  | Spawn b -> Spawn (copy_block b)
   | (Local _ | Assign _ | Store _ | Array_decl _ | Free _ | Lock _ | Unlock _ | Nop
-    | Call_proc _) as k -> k
+    | Sync | Call_proc _) as k -> k
 
 and copy_block b = List.map copy_stmt b
 
@@ -299,7 +328,12 @@ let rec shrink_block (b : Ast.block) : Ast.block Iter.t =
           (Iter.map (fun e' -> replace_kind (Ast.Store (a, ix, e'))) (shrink_expr e))
       | Ast.Local (v, e) ->
         Iter.map (fun e' -> replace_kind (Ast.Local (v, e'))) (shrink_expr e)
-      | Ast.Array_decl _ | Ast.Free _ | Ast.Lock _ | Ast.Unlock _ | Ast.Nop
+      | Ast.Spawn body ->
+        (* Run the body inline instead of as a task, or shrink it. *)
+        Iter.append
+          (Iter.return (splice b i body))
+          (Iter.map (fun body' -> replace_kind (Ast.Spawn body')) (shrink_block body))
+      | Ast.Array_decl _ | Ast.Free _ | Ast.Lock _ | Ast.Unlock _ | Ast.Nop | Ast.Sync
       | Ast.Call_proc _ -> Iter.empty
     in
     Iter.append drops structural

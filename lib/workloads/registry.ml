@@ -28,8 +28,9 @@ let starbench : Wl.t list =
   ]
 
 let splash : Wl.t list = [ Water_spatial.workload ]
+let tasks : Wl.t list = Tasks.workloads
 
-let all = nas @ starbench @ splash
+let all = nas @ starbench @ splash @ tasks
 
 let find name =
   match List.find_opt (fun (w : Wl.t) -> w.name = name) all with

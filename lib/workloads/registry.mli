@@ -4,6 +4,11 @@
 val nas : Wl.t list
 val starbench : Wl.t list
 val splash : Wl.t list
+
+val tasks : Wl.t list
+(** The fork-join task family ({!Tasks.workloads}): each entry's race
+    ground truth lives in {!Tasks.ground_truth}. *)
+
 val all : Wl.t list
 
 val find : string -> Wl.t

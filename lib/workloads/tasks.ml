@@ -1,0 +1,251 @@
+(* Fork-join task kernels: the workload family for the SP-DAG engine.
+
+   Three divide-and-conquer / phased shapes (parallel fib, mergesort,
+   blocked prefix scan), each in a correct variant and a deliberately
+   racy one.  The racy variants are the correct ones minus exactly one
+   [sync] (or, for fib, with results funneled through one unprotected
+   accumulator), so each pair differs only in synchronization structure
+   — the thing the dag engine is supposed to judge.
+
+   Ground truth is machine-readable: [ground_truth] maps each workload
+   name to whether `--mode dag` must flag at least one race (@race) or
+   none at all (@norace).  `make dag-smoke` and the test suite assert
+   both directions.
+
+   Lifetime discipline: a spawned body may only read globals and the
+   enclosing *frame*'s locals (procedure parameters, task-body locals) —
+   inner-block locals are freed at block exit, possibly before the child
+   runs.  Mid-points are therefore recomputed in call arguments, and the
+   per-block loops below are unrolled at construction time instead of
+   sharing a loop index. *)
+
+module B = Wl.B
+
+(* -- parallel fib --------------------------------------------------------- *)
+
+let rec fib_val n = if n < 2 then n else fib_val (n - 1) + fib_val (n - 2)
+
+(* Tree-indexed result slots: node [s]'s children live at [2s+1]/[2s+2],
+   so sibling subtrees write disjoint cells and the parent combines them
+   after the sync.  @norace *)
+let fib_seq ~scale =
+  let n = min 12 (7 + scale) in
+  let slots = 1 lsl (n + 1) in
+  B.program ~name:"fib-task"
+    ~funcs:
+      [
+        B.proc "fib" [ "n"; "slot" ]
+          [
+            B.if_
+              B.(v "n" <: i 2)
+              [ B.store "res" (B.v "slot") (B.v "n") ]
+              [
+                B.spawn [ B.call_proc "fib" B.[ v "n" -: i 1; (v "slot" *: i 2) +: i 1 ] ];
+                B.spawn [ B.call_proc "fib" B.[ v "n" -: i 2; (v "slot" *: i 2) +: i 2 ] ];
+                B.sync ();
+                B.store "res" (B.v "slot")
+                  B.(idx "res" ((v "slot" *: i 2) +: i 1) +: idx "res" ((v "slot" *: i 2) +: i 2));
+              ];
+          ];
+      ]
+    [
+      B.arr "res" (B.i slots);
+      B.call_proc "fib" [ B.i n; B.i 0 ];
+      B.assert_ B.(idx "res" (i 0) =: i (fib_val n));
+    ]
+
+(* Same recursion, but every leaf bumps one shared accumulator with no
+   lock: leaves of sibling subtrees are logically parallel, so each
+   read-modify-write pair on [acc] is a true race.  @race *)
+let fib_racy_seq ~scale =
+  let n = min 12 (7 + scale) in
+  B.program ~name:"fib-task-racy"
+    ~funcs:
+      [
+        B.proc "fibr" [ "n" ]
+          [
+            B.if_
+              B.(v "n" <: i 2)
+              [ B.assign "acc" B.(v "acc" +: v "n") ]
+              [
+                B.spawn [ B.call_proc "fibr" B.[ v "n" -: i 1 ] ];
+                B.spawn [ B.call_proc "fibr" B.[ v "n" -: i 2 ] ];
+              ];
+          ];
+      ]
+    [ B.local "acc" (B.i 0); B.call_proc "fibr" [ B.i n ] ]
+
+(* -- divide-and-conquer mergesort ----------------------------------------- *)
+
+(* Statement records carry mutable line numbers, so each program needs
+   its own fresh records: the procedures are (re)built per call, never
+   shared between the correct and the racy variant — and the [take]
+   helper builds fresh branch bodies per use for the same reason. *)
+let msort_funcs ~racy =
+  let take src =
+    [
+      B.store "tmp" (B.v "k") (B.idx "a" (B.v src));
+      B.assign src B.(v src +: i 1);
+    ]
+  in
+  [
+    B.proc "msort" [ "lo"; "hi" ]
+      [
+        B.if_
+          B.(v "hi" -: v "lo" <: i 2)
+          []
+          ([
+             (* mid recomputed in each argument list: only frame-level
+                parameters cross the spawn boundary *)
+             B.spawn [ B.call_proc "msort" B.[ v "lo"; (v "lo" +: v "hi") /: i 2 ] ];
+             B.spawn [ B.call_proc "msort" B.[ (v "lo" +: v "hi") /: i 2; v "hi" ] ];
+           ]
+          @ (if racy then [] else [ B.sync () ])
+          @ [ B.call_proc "merge" B.[ v "lo"; (v "lo" +: v "hi") /: i 2; v "hi" ] ]);
+      ];
+    B.proc "merge" [ "lo"; "mid"; "hi" ]
+      [
+        B.local "i" (B.v "lo");
+        B.local "j" (B.v "mid");
+        B.local "k" (B.v "lo");
+        B.while_
+          B.(v "k" <: v "hi")
+          [
+            (* nested ifs: MiniIR booleans do not short-circuit, so the
+               index guards must dominate the array loads *)
+            B.if_
+              B.(v "i" >=: v "mid")
+              (take "j")
+              [
+                B.if_
+                  B.(v "j" >=: v "hi")
+                  (take "i")
+                  [ B.if_ B.(idx "a" (v "i") <=: idx "a" (v "j")) (take "i") (take "j") ];
+              ];
+            B.assign "k" B.(v "k" +: i 1);
+          ];
+        B.for_ "t" (B.v "lo") (B.v "hi") (fun t -> [ B.store "a" t (B.idx "tmp" t) ]);
+      ];
+  ]
+
+(* The sync in [msort] makes this race-free: sibling sorts touch disjoint
+   halves, and the merge reads them only after both joined.  @norace *)
+let msort_seq ~scale =
+  let n = 64 * scale in
+  B.program ~name:"msort-task" ~funcs:(msort_funcs ~racy:false)
+    [
+      B.arr "a" (B.i n);
+      B.arr "tmp" (B.i n);
+      Wl.fill_rand_loop "a" n;
+      B.call_proc "msort" [ B.i 0; B.i n ];
+      B.for_ "t" (B.i 1) (B.i n) (fun t -> [ B.assert_ B.(idx "a" (t -: i 1) <=: idx "a" t) ]);
+    ]
+
+(* Identical, minus the sync before the merge: the parent merges the two
+   halves while its children are still sorting them (they are only
+   joined by the implicit frame sync after the merge).  Every
+   merge-vs-child access pair on [a] is a race; no sortedness assert,
+   since the result is schedule-dependent.  @race *)
+let msort_racy_seq ~scale =
+  let n = 64 * scale in
+  B.program ~name:"msort-task-racy" ~funcs:(msort_funcs ~racy:true)
+    [
+      B.arr "a" (B.i n);
+      B.arr "tmp" (B.i n);
+      Wl.fill_rand_loop "a" n;
+      B.call_proc "msort" [ B.i 0; B.i n ];
+    ]
+
+(* -- blocked prefix scan --------------------------------------------------- *)
+
+(* Three phases over [blocks] fixed blocks of [bs] cells:
+   1. one task per block sums its slice into [sums];
+   2. the root turns [sums] into exclusive block offsets [offs];
+   3. one task per block rewrites its slice as an inclusive scan seeded
+      from its offset.
+   The spawns are unrolled at construction time (each body gets its
+   block bounds as literals), so no loop index crosses a task boundary. *)
+let scan_prog ~name ~racy ~scale =
+  let blocks = 4 and bs = 16 * scale in
+  let n = blocks * bs in
+  let phase1 =
+    List.init blocks (fun b ->
+        B.spawn
+          [
+            B.local "s" (B.i 0);
+            B.for_ "i" (B.i (b * bs)) (B.i ((b + 1) * bs)) (fun iv ->
+                [ B.assign "s" B.(v "s" +: idx "x" iv) ]);
+            B.store "sums" (B.i b) (B.v "s");
+          ])
+  in
+  let phase2 =
+    [
+      B.store "offs" (B.i 0) (B.i 0);
+      B.for_ "b" (B.i 1) (B.i blocks) (fun bv ->
+          [ B.store "offs" bv B.(idx "offs" (bv -: i 1) +: idx "sums" (bv -: i 1)) ]);
+    ]
+  in
+  let phase3 =
+    List.init blocks (fun b ->
+        B.spawn
+          [
+            B.local "r" (B.idx "offs" (B.i b));
+            B.for_ "j" (B.i (b * bs)) (B.i ((b + 1) * bs)) (fun jv ->
+                [ B.assign "r" B.(v "r" +: idx "x" jv); B.store "x" jv (B.v "r") ]);
+          ])
+  in
+  let check =
+    if racy then []
+    else
+      (* inclusive scan of non-negative values is non-decreasing *)
+      [ B.for_ "t" (B.i 1) (B.i n) (fun t -> [ B.assert_ B.(idx "x" (t -: i 1) <=: idx "x" t) ]) ]
+  in
+  B.program ~name
+    ([ B.arr "x" (B.i n); B.arr "sums" (B.i blocks); B.arr "offs" (B.i blocks);
+       Wl.fill_rand_int_loop "x" n 100 ]
+    @ phase1
+    @ (if racy then [] else [ B.sync () ])
+    @ phase2 @ phase3 @ [ B.sync () ] @ check)
+
+(* @norace: the sync after phase 1 orders every sums write before the
+   offset pass, and the join-then-spawn sequence orders phase-1 slice
+   reads before phase-3 slice writes. *)
+let scan_seq ~scale = scan_prog ~name:"scan-task" ~racy:false ~scale
+
+(* @race: without that sync the root reads [sums] while phase-1 tasks
+   still write it, and phase-3 writers overlap phase-1 readers on [x]
+   (nothing is joined until the final sync).  *)
+let scan_racy_seq ~scale = scan_prog ~name:"scan-task-racy" ~racy:true ~scale
+
+(* -- registry entries ------------------------------------------------------ *)
+
+let wl name description seq : Wl.t = { name; suite = Wl.Task; description; seq; par = None }
+
+let fib = wl "fib-task" "parallel fib, tree-indexed results, sync before combine [@norace]" fib_seq
+
+let fib_racy =
+  wl "fib-task-racy" "parallel fib, leaves bump one unlocked accumulator [@race]" fib_racy_seq
+
+let msort =
+  wl "msort-task" "divide-and-conquer mergesort, sync before each merge [@norace]" msort_seq
+
+let msort_racy =
+  wl "msort-task-racy" "mergesort merging while the half-sorts still run [@race]" msort_racy_seq
+
+let scan = wl "scan-task" "blocked prefix scan, sync between phases [@norace]" scan_seq
+
+let scan_racy =
+  wl "scan-task-racy" "blocked prefix scan with the phase-1/2 sync removed [@race]" scan_racy_seq
+
+let workloads = [ fib; fib_racy; msort; msort_racy; scan; scan_racy ]
+
+(* name -> must `--mode dag` flag at least one race? *)
+let ground_truth =
+  [
+    ("fib-task", false);
+    ("fib-task-racy", true);
+    ("msort-task", false);
+    ("msort-task-racy", true);
+    ("scan-task", false);
+    ("scan-task-racy", true);
+  ]

@@ -14,8 +14,13 @@ type suite =
   | Nas
   | Starbench
   | Splash
+  | Task  (* fork-join task kernels with @race/@norace ground truth *)
 
-let suite_name = function Nas -> "NAS" | Starbench -> "Starbench" | Splash -> "Splash"
+let suite_name = function
+  | Nas -> "NAS"
+  | Starbench -> "Starbench"
+  | Splash -> "Splash"
+  | Task -> "Task"
 
 type t = {
   name : string;

@@ -8,6 +8,7 @@ type suite =
   | Nas
   | Starbench
   | Splash
+  | Task  (** fork-join task kernels with @race/@norace ground truth *)
 
 val suite_name : suite -> string
 

@@ -38,4 +38,5 @@ let () =
       ("obs", Test_obs.suite);
       ("workloads", Test_workloads.suite);
       ("static", Test_static.suite);
+      ("dag", Test_dag.suite);
     ]

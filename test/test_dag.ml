@@ -1,0 +1,299 @@
+(* The SP-DAG order-maintenance structure and the dag engine built on it:
+   unit pins for spawn/join/stamp, a randomized precedes-vs-transitive-
+   closure property, the exhaustive-interleaving oracle over the task
+   workload family, workload race ground truth in both directions, and
+   the pinned case where the Sec. V-B timestamp heuristic misses a race
+   the DAG engine catches. *)
+
+module Dag = Ddp_core.Dag
+module Dep = Ddp_core.Dep
+module Dep_store = Ddp_core.Dep_store
+module B = Ddp_minir.Builder
+module Event = Ddp_minir.Event
+module TK = Ddp_testkit
+
+(* -- unit pins ------------------------------------------------------------- *)
+
+let test_root_sequential () =
+  let d = Dag.create () in
+  let a = Dag.stamp d ~thread:0 in
+  let b = Dag.stamp d ~thread:0 in
+  Alcotest.(check int) "no sync, same strand" a b;
+  Alcotest.(check bool) "reflexive" true (Dag.precedes d a a)
+
+let test_spawn_makes_parallel () =
+  let d = Dag.create () in
+  let pre = Dag.stamp d ~thread:0 in
+  Dag.on_spawn d ~parent:0 ~child:1;
+  let c = Dag.stamp d ~thread:1 in
+  let p = Dag.stamp d ~thread:0 in
+  Alcotest.(check bool) "pre-spawn precedes child" true (Dag.precedes d pre c);
+  Alcotest.(check bool) "pre-spawn precedes parent continuation" true (Dag.precedes d pre p);
+  Alcotest.(check bool) "child and continuation are parallel" true
+    ((not (Dag.precedes d c p)) && not (Dag.precedes d p c));
+  Dag.on_join d ~parent:0 ~child:1;
+  let post = Dag.stamp d ~thread:0 in
+  Alcotest.(check bool) "child precedes post-join" true (Dag.precedes d c post);
+  Alcotest.(check bool) "continuation precedes post-join" true (Dag.precedes d p post)
+
+let test_siblings_parallel () =
+  let d = Dag.create () in
+  Dag.on_spawn d ~parent:0 ~child:1;
+  Dag.on_spawn d ~parent:0 ~child:2;
+  let a = Dag.stamp d ~thread:1 and b = Dag.stamp d ~thread:2 in
+  Alcotest.(check bool) "siblings unordered" true
+    ((not (Dag.precedes d a b)) && not (Dag.precedes d b a))
+
+let test_nested_subtree () =
+  let d = Dag.create () in
+  Dag.on_spawn d ~parent:0 ~child:1;
+  Dag.on_spawn d ~parent:1 ~child:2;
+  let g = Dag.stamp d ~thread:2 in
+  let r = Dag.stamp d ~thread:0 in
+  Alcotest.(check bool) "grandchild parallel with root continuation" true
+    ((not (Dag.precedes d g r)) && not (Dag.precedes d r g));
+  Dag.on_join d ~parent:1 ~child:2;
+  Dag.on_join d ~parent:0 ~child:1;
+  let post = Dag.stamp d ~thread:0 in
+  Alcotest.(check bool) "grandchild precedes root after both joins" true
+    (Dag.precedes d g post)
+
+(* run_par reuses tids 1..n across sequential Par blocks: a re-spawned
+   tid must be a fresh node ordered after its joined previous life. *)
+let test_tid_reuse_rebinds () =
+  let d = Dag.create () in
+  Dag.on_spawn d ~parent:0 ~child:1;
+  let old = Dag.stamp d ~thread:1 in
+  Dag.on_join d ~parent:0 ~child:1;
+  Dag.on_spawn d ~parent:0 ~child:1;
+  let fresh = Dag.stamp d ~thread:1 in
+  Alcotest.(check bool) "old life precedes new life" true (Dag.precedes d old fresh);
+  Alcotest.(check bool) "not parallel" false
+    ((not (Dag.precedes d old fresh)) && not (Dag.precedes d fresh old))
+
+(* Foreign streams with no sync events: an unknown tid is adopted as an
+   unjoined root child — after everything already stamped, parallel with
+   everything that follows. *)
+let test_adoption () =
+  let d = Dag.create () in
+  let r0 = Dag.stamp d ~thread:0 in
+  let s = Dag.stamp d ~thread:5 in
+  Alcotest.(check bool) "root strand at adoption precedes adoptee" true (Dag.precedes d r0 s);
+  Dag.on_spawn d ~parent:0 ~child:1;
+  let r1 = Dag.stamp d ~thread:0 in
+  Alcotest.(check bool) "adoptee parallel with later root strands" true
+    ((not (Dag.precedes d s r1)) && not (Dag.precedes d r1 s))
+
+(* -- precedes vs naive transitive closure ---------------------------------- *)
+
+(* Drive a Dag.t and an explicit strand graph through the same random
+   (but realistic: joins are bottom-up, joined tasks retire) spawn /
+   join / stamp sequence, then compare [precedes] against graph
+   reachability on every stamped pair. *)
+let closure_agrees seed =
+  let d = Dag.create () in
+  (* naive model: strand nodes, explicit edges, DFS reachability *)
+  let edges : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge a b =
+    Hashtbl.replace edges a (b :: Option.value ~default:[] (Hashtbl.find_opt edges a))
+  in
+  let next_node = ref 0 in
+  let fresh () =
+    let n = !next_node in
+    incr next_node;
+    n
+  in
+  let cur : (int, int) Hashtbl.t = Hashtbl.create 8 (* tid -> current strand node *) in
+  Hashtbl.replace cur 0 (fresh ());
+  let children : (int, int list) Hashtbl.t = Hashtbl.create 8 (* unjoined, per parent *) in
+  let kids t = Option.value ~default:[] (Hashtbl.find_opt children t) in
+  let live = ref [ 0 ] and next_tid = ref 1 in
+  let node_of : (int, int) Hashtbl.t = Hashtbl.create 32 (* stamp sid -> node *) in
+  let stamps = ref [] in
+  let st = Random.State.make [| 0x5eed; seed |] in
+  let pick l = List.nth l (Random.State.int st (List.length l)) in
+  let ops = 10 + Random.State.int st 30 in
+  for _ = 1 to ops do
+    match Random.State.int st 4 with
+    | 0 | 1 ->
+      (* stamp a random live task *)
+      let t = pick !live in
+      let sid = Dag.stamp d ~thread:t in
+      if not (Hashtbl.mem node_of sid) then Hashtbl.replace node_of sid (Hashtbl.find cur t);
+      stamps := sid :: !stamps
+    | 2 ->
+      (* spawn a fresh child *)
+      let p = pick !live in
+      let c = !next_tid in
+      incr next_tid;
+      Dag.on_spawn d ~parent:p ~child:c;
+      let pn = Hashtbl.find cur p in
+      let pn' = fresh () and cn = fresh () in
+      add_edge pn pn';
+      add_edge pn cn;
+      Hashtbl.replace cur p pn';
+      Hashtbl.replace cur c cn;
+      Hashtbl.replace children p (c :: kids p);
+      live := c :: !live
+    | _ -> (
+      (* join bottom-up: only a child with no unjoined children of its
+         own; the joined child retires from the live set *)
+      let joinable =
+        List.concat_map (fun p -> List.filter_map (fun c -> if kids c = [] then Some (p, c) else None) (kids p)) !live
+      in
+      match joinable with
+      | [] -> ()
+      | l ->
+        let p, c = pick l in
+        Dag.on_join d ~parent:p ~child:c;
+        let pn' = fresh () in
+        add_edge (Hashtbl.find cur p) pn';
+        add_edge (Hashtbl.find cur c) pn';
+        Hashtbl.replace cur p pn';
+        Hashtbl.replace children p (List.filter (fun x -> x <> c) (kids p));
+        live := List.filter (fun x -> x <> c) !live)
+  done;
+  let reach a b =
+    let seen = Hashtbl.create 16 in
+    let rec go n =
+      n = b
+      || (not (Hashtbl.mem seen n))
+         && begin
+              Hashtbl.replace seen n ();
+              List.exists go (Option.value ~default:[] (Hashtbl.find_opt edges n))
+            end
+    in
+    go a
+  in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          Dag.precedes d a b = reach (Hashtbl.find node_of a) (Hashtbl.find node_of b))
+        !stamps)
+    !stamps
+
+let prop_precedes_vs_closure =
+  QCheck.Test.make ~name:"Dag.precedes = naive transitive closure on random SP-DAGs"
+    ~count:500 QCheck.small_nat closure_agrees
+
+(* -- the dag engine vs the exhaustive-interleaving oracle ------------------ *)
+
+(* Every schedule of every task workload: the engine's dependence set
+   (race flags included) must equal the vector-clock oracle's. *)
+let oracle_cases =
+  List.map
+    (fun (w : Ddp_workloads.Wl.t) ->
+      Alcotest.test_case ("oracle agrees: " ^ w.name) `Slow (fun () ->
+          let o = TK.Dag_oracle.check ~limit:6 (w.seq ~scale:1) in
+          Alcotest.(check bool) "several schedules explored" true (o.TK.Dag_oracle.schedules >= 2);
+          match o.TK.Dag_oracle.mismatch with
+          | None -> ()
+          | Some m ->
+            Alcotest.failf "engine/oracle mismatch on schedule #%d (%d missing, %d spurious)"
+              m.TK.Dag_oracle.schedule_index
+              (List.length m.TK.Dag_oracle.missing)
+              (List.length m.TK.Dag_oracle.spurious)))
+    Ddp_workloads.Registry.tasks
+
+(* Ground truth, both directions: @race workloads must be flagged,
+   @norace workloads must be completely clean. *)
+let ground_truth_cases =
+  List.map
+    (fun (name, racy) ->
+      Alcotest.test_case
+        (Printf.sprintf "ground truth: %s [%s]" name (if racy then "@race" else "@norace"))
+        `Quick
+        (fun () ->
+          let w = Ddp_workloads.Registry.find name in
+          let o = Ddp_core.Profiler.profile ~mode:"dag" (w.seq ~scale:1) in
+          Alcotest.(check bool) "dag verdict matches annotation" racy
+            (TK.Dag_oracle.has_race o.Ddp_core.Profiler.deps)))
+    Ddp_workloads.Tasks.ground_truth
+
+(* -- the timestamp heuristic misses what the DAG catches ------------------- *)
+
+(* A parent and its unjoined child both write a[0].  Whatever order the
+   scheduler happened to produce, the pair is observed in increasing
+   timestamp order, so the Sec. V-B reversed-timestamp heuristic (serial
+   engine + check_timestamps) reports no race — while the strands are
+   logically parallel and the dag engine flags the WAW.  Pinned: this is
+   the case that motivated replacing the heuristic. *)
+let test_heuristic_misses_dag_catches () =
+  let prog =
+    B.program ~name:"pinned-race"
+      [
+        B.arr "a" (B.i 2);
+        B.spawn [ B.store "a" (B.i 0) (B.i 1) ];
+        B.store "a" (B.i 0) (B.i 2);
+      ]
+  in
+  let events, _ = Ddp_minir.Interp.trace prog in
+  let deps_of (engine : Ddp_core.Engine.t) config =
+    let session = engine.Ddp_core.Engine.create config in
+    Event.replay session.Ddp_core.Engine.hooks events;
+    (session.Ddp_core.Engine.finish ()).Ddp_core.Engine.deps
+  in
+  let heuristic =
+    deps_of (Ddp_core.Engine.get "serial")
+      { Ddp_core.Config.default with Ddp_core.Config.check_timestamps = true }
+  in
+  let dag = deps_of (Ddp_core.Engine.get "dag") Ddp_core.Config.default in
+  let cross_waw race store =
+    Dep_store.fold store
+      (fun (dep : Dep.t) _ acc ->
+        acc || (dep.Dep.kind = Dep.WAW && Dep.is_cross_thread dep && dep.Dep.race = race))
+      false
+  in
+  (* same trace, same WAW pair: heuristic says ordered, DAG says race *)
+  Alcotest.(check bool) "heuristic misses the race" true (cross_waw false heuristic);
+  Alcotest.(check bool) "heuristic flags nothing" false
+    (TK.Dag_oracle.has_race heuristic);
+  Alcotest.(check bool) "dag flags the same pair" true (cross_waw true dag)
+
+(* -- schedule enumeration machinery ---------------------------------------- *)
+
+(* The DFS must visit distinct interleavings and know when it has seen
+   them all: one spawn with a two-statement child gives a small, exactly
+   enumerable tree; a straight-line program yields exactly one run. *)
+let test_enumerate_exhausts () =
+  let prog =
+    B.program ~name:"enum"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.store "a" (B.i 0) (B.i 1); B.store "a" (B.i 1) (B.i 2) ];
+        B.store "a" (B.i 2) (B.i 3);
+      ]
+  in
+  let runs, exhausted = TK.Dag_oracle.enumerate ~limit:256 prog in
+  Alcotest.(check bool) "exhausted" true exhausted;
+  Alcotest.(check bool) "more than one interleaving" true (List.length runs > 1);
+  let keys =
+    List.map
+      (fun (r : TK.Dag_oracle.run) ->
+        List.filter_map
+          (function
+            | Event.Write { addr; thread; _ } -> Some (addr, thread) | _ -> None)
+          r.TK.Dag_oracle.events)
+      runs
+  in
+  Alcotest.(check bool) "some schedules order the writes differently" true
+    (List.length (List.sort_uniq compare keys) > 1);
+  let seq = B.program ~name:"seq" [ B.local "x" (B.i 1); B.assign "x" B.(v "x" +: i 1) ] in
+  let runs, exhausted = TK.Dag_oracle.enumerate seq in
+  Alcotest.(check bool) "straight-line exhausts" true exhausted;
+  Alcotest.(check int) "straight-line has one schedule" 1 (List.length runs)
+
+let suite =
+  [
+    Alcotest.test_case "root is one strand" `Quick test_root_sequential;
+    Alcotest.test_case "spawn forks, join meets" `Quick test_spawn_makes_parallel;
+    Alcotest.test_case "siblings parallel" `Quick test_siblings_parallel;
+    Alcotest.test_case "nested subtree" `Quick test_nested_subtree;
+    Alcotest.test_case "tid reuse rebinds" `Quick test_tid_reuse_rebinds;
+    Alcotest.test_case "unknown tid adopted" `Quick test_adoption;
+    Test_seed.to_alcotest prop_precedes_vs_closure;
+    Alcotest.test_case "heuristic misses, dag catches" `Quick test_heuristic_misses_dag_catches;
+    Alcotest.test_case "enumerate exhausts small trees" `Quick test_enumerate_exhausts;
+  ]
+  @ oracle_cases @ ground_truth_cases

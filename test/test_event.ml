@@ -33,10 +33,15 @@ let test_to_string_pinned () =
        "Call loc=2:7 func=4 thread=1 time=5");
       (Event.Return { func = 4; thread = 1; time = 6 }, "Return func=4 thread=1 time=6");
       (Event.Thread_end { thread = 2 }, "Thread_end thread=2");
+      (* every sync_kind constructor, individually *)
       ( Event.Sync { kind = Event.Task_spawn; obj = 7; thread = 0; time = 8 },
         "Sync kind=task_spawn obj=7 thread=0 time=8" );
-      ( Event.Sync { kind = Event.Lock_acquire; obj = 7; thread = 1; time = 9 },
-        "Sync kind=lock_acquire obj=7 thread=1 time=9" );
+      ( Event.Sync { kind = Event.Task_join; obj = 7; thread = 0; time = 9 },
+        "Sync kind=task_join obj=7 thread=0 time=9" );
+      ( Event.Sync { kind = Event.Lock_acquire; obj = 7; thread = 1; time = 10 },
+        "Sync kind=lock_acquire obj=7 thread=1 time=10" );
+      ( Event.Sync { kind = Event.Lock_release; obj = 7; thread = 1; time = 11 },
+        "Sync kind=lock_release obj=7 thread=1 time=11" );
     ]
   in
   List.iter
@@ -149,7 +154,14 @@ let test_filter_thread_policy () =
      both branches for the thread-carrying classes *)
   Alcotest.(check bool) "some events dropped" true (List.length got < List.length EG.one_of_each);
   Alcotest.(check bool) "alloc+free kept despite filter" true
-    (List.exists (function Event.Free _ -> true | _ -> false) got)
+    (List.exists (function Event.Free _ -> true | _ -> false) got);
+  (* Sync follows its thread id, pinned for both branches: the dag
+     engine's spawn/join stream must narrow exactly like memory events,
+     never like the always-pass Alloc class. *)
+  Alcotest.(check bool) "sync on kept thread passes" true
+    (List.exists (function Event.Sync { thread = 0; _ } -> true | _ -> false) got);
+  Alcotest.(check bool) "sync on filtered thread dropped" false
+    (List.exists (function Event.Sync { thread; _ } -> thread <> 0 | _ -> false) got)
 
 (* -- trace-file round trips, both versions --------------------------------- *)
 
@@ -161,6 +173,21 @@ let test_roundtrip_every_constructor_v2 () =
   Alcotest.(check bool) "v2 round-trips every constructor" true (loaded = EG.one_of_each);
   Alcotest.(check string) "symtab round-trips" "v1" (Ddp_minir.Symtab.var_name symtab' 1);
   Sys.remove path
+
+(* Each sync_kind constructor round-trips on its own — a one-event file
+   per kind, so a decoder regression on any single kind cannot hide
+   behind the others in a mixed stream. *)
+let test_roundtrip_each_sync_kind_v2 () =
+  List.iter
+    (fun kind ->
+      let name = Event.sync_kind_name kind in
+      let path = tmp ("event_v2_" ^ name ^ ".trace") in
+      let events = [ Event.Sync { kind; obj = 3; thread = 1; time = 4 } ] in
+      TF.save ~path events (EG.symtab ());
+      let loaded, _ = TF.load ~path in
+      Alcotest.(check bool) (name ^ " round-trips alone") true (loaded = events);
+      Sys.remove path)
+    [ Event.Task_spawn; Event.Task_join; Event.Lock_acquire; Event.Lock_release ]
 
 let test_roundtrip_every_constructor_v1 () =
   let path = tmp "event_v1.trace" in
@@ -222,6 +249,8 @@ let suite =
     Alcotest.test_case "filter_thread per-class policy" `Quick test_filter_thread_policy;
     Alcotest.test_case "v2 round-trip, every constructor" `Quick
       test_roundtrip_every_constructor_v2;
+    Alcotest.test_case "v2 round-trip, each sync kind alone" `Quick
+      test_roundtrip_each_sync_kind_v2;
     Alcotest.test_case "v1 round-trip + Sync rejection" `Quick
       test_roundtrip_every_constructor_v1;
     Test_seed.to_alcotest prop_roundtrip_v2;

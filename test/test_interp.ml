@@ -294,6 +294,81 @@ let test_lines_numbered_in_order () =
   let stats = run prog in
   Alcotest.(check int) "line count" 5 stats.lines
 
+(* -- fork-join task runtime ---------------------------------------------- *)
+
+(* Every frame (procedure body included) implicitly syncs its children
+   before exit and before freeing its locals, so the caller sees the
+   child's effect no matter what the scheduler chose. *)
+let task_prog () =
+  (* the statement after the spawn is the preemption point: schedulers
+     that favor the child drain it there, before the implicit sync *)
+  B.program ~name:"t"
+    ~funcs:
+      [
+        B.proc "p" []
+          [ B.spawn [ B.store "a" (B.i 0) (B.i 7) ]; B.store "a" (B.i 1) (B.i 1) ];
+      ]
+    [ B.arr "a" (B.i 4); B.call_proc "p" []; B.assert_ B.(idx "a" (i 0) =: i 7) ]
+
+let test_task_implicit_frame_sync () =
+  (* both extreme policies: always the lowest-index runnable task, and
+     always the highest — the assert must hold under either *)
+  List.iter
+    (fun pick ->
+      ignore (Interp.run ~schedule:pick (task_prog ())))
+    [ (fun _ -> 0); (fun n -> n - 1) ]
+
+(* The sync_stalls stat: one extreme policy starves the child until the
+   frame sync must wait for it; the other drains the child first and
+   never stalls.  Exactly one of the two runs stalls. *)
+let test_task_sync_stalls_stat () =
+  let stalls pick = (Interp.run ~schedule:pick (task_prog ())).Interp.sync_stalls in
+  let a = stalls (fun _ -> 0) and b = stalls (fun n -> n - 1) in
+  Alcotest.(check bool) "one policy stalls, the other does not" true
+    (min a b = 0 && max a b > 0)
+
+let test_task_spawn_join_events () =
+  let tr = trace (task_prog ()) in
+  let spawns =
+    List.filter_map
+      (function Event.Sync { kind = Event.Task_spawn; obj; _ } -> Some obj | _ -> None)
+      tr
+  in
+  let joins =
+    List.filter_map
+      (function Event.Sync { kind = Event.Task_join; obj; _ } -> Some obj | _ -> None)
+      tr
+  in
+  Alcotest.(check (list int)) "every spawned child is joined" spawns (List.sort compare joins);
+  Alcotest.(check bool) "child ran between its spawn and its join" true
+    (List.for_all
+       (fun c ->
+         List.exists (function Event.Write { thread; _ } -> thread = c | _ -> false) tr)
+       spawns)
+
+let test_par_spawn_mixing_rejected () =
+  let prog =
+    B.program ~name:"t"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.store "a" (B.i 1) (B.i 1) ];
+        B.par [ [ B.store "a" (B.i 2) (B.i 2) ]; [ B.store "a" (B.i 3) (B.i 3) ] ];
+      ]
+  in
+  Alcotest.check_raises "mixing rejected"
+    (Interp.Runtime_error "Par and Spawn cannot be mixed") (fun () -> ignore (run prog))
+
+let test_task_schedule_validated () =
+  Alcotest.check_raises "out-of-range pick rejected"
+    (Interp.Runtime_error "schedule chose 5 out of 1 runnable task(s)") (fun () ->
+      ignore (Interp.run ~schedule:(fun _ -> 5) (task_prog ())))
+
+(* Seeded scheduler, no hook: same seed, identical trace — task programs
+   stay replayable like Par programs. *)
+let test_task_replay_deterministic () =
+  let tr seed = fst (Interp.trace ~sched_seed:seed (task_prog ())) in
+  Alcotest.(check bool) "same seed, same interleaving" true (tr 11 = tr 11)
+
 let suite =
   [
     Alcotest.test_case "arith semantics" `Quick test_arith_semantics;
@@ -321,6 +396,12 @@ let suite =
     Alcotest.test_case "locks mutual exclusion" `Quick test_locks_mutual_exclusion;
     Alcotest.test_case "locked flag in events" `Quick test_locked_flag_in_events;
     Alcotest.test_case "lines numbered" `Quick test_lines_numbered_in_order;
+    Alcotest.test_case "task: implicit frame sync" `Quick test_task_implicit_frame_sync;
+    Alcotest.test_case "task: sync_stalls stat" `Quick test_task_sync_stalls_stat;
+    Alcotest.test_case "task: spawn/join events" `Quick test_task_spawn_join_events;
+    Alcotest.test_case "task: Par mixing rejected" `Quick test_par_spawn_mixing_rejected;
+    Alcotest.test_case "task: schedule hook validated" `Quick test_task_schedule_validated;
+    Alcotest.test_case "task: replay deterministic" `Quick test_task_replay_deterministic;
   ]
 
 (* silence unused warnings for helpers used in some configs *)

@@ -16,13 +16,17 @@ let test_find_unknown () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected Invalid_argument"
 
-(* Every sequential workload runs and produces a sane event stream. *)
+(* Every sequential workload runs and produces a sane event stream.  The
+   benchmark analogues must be benchmark-sized; the Task family is
+   deliberately tiny (its DAGs must stay tractable for the exhaustive
+   oracle and the dag-smoke sweep), so it gets a lower floor. *)
 let seq_run_cases =
   List.map
     (fun (w : Ddp_workloads.Wl.t) ->
       Alcotest.test_case ("seq runs: " ^ w.name) `Quick (fun () ->
+          let floor = if w.suite = Ddp_workloads.Wl.Task then 200 else 10_000 in
           let stats = Ddp_minir.Interp.run (w.seq ~scale:1) in
-          Alcotest.(check bool) "accesses > 10k" true (stats.accesses > 10_000);
+          Alcotest.(check bool) "accesses above suite floor" true (stats.accesses > floor);
           Alcotest.(check bool) "addresses > 0" true (stats.addresses > 0);
           Alcotest.(check bool) "reads and writes both occur" true
             (stats.reads > 0 && stats.writes > 0)))
