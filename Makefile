@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke fuzz-smoke fuzz-nightly bench clean
+.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke fuzz-smoke fuzz-nightly bench _bench-collect bench-json bench-quick bench-baseline bench-ratchet bench-ratchet-selftest clean
 
 all: build
 
@@ -34,15 +34,21 @@ smoke: build
 	  $(DDPROF) run kmeans --mode $$mode || exit 1; \
 	done
 
-# Telemetry end to end: profile a real workload with the tracer on,
-# check the Chrome-trace JSON parses and carries >= 1 span per worker
-# track, and print the pipeline summary.  Artifacts land in _obs/ (load
-# the trace in Perfetto / chrome://tracing).
+# Telemetry end to end: profile a real workload with the tracer,
+# allocation attribution, GC runtime-events fusion and the live
+# progress meter all on; check the Chrome-trace JSON parses and carries
+# >= 1 span per worker track, the progress NDJSON is well-formed and
+# monotone, and the exported metrics pass the schema gate.  Artifacts
+# land in _obs/ (load the trace in Perfetto / chrome://tracing).
 obs-smoke: build
 	@mkdir -p _obs
 	$(DDPROF) run kmeans --mode parallel --workers 4 \
-	  --trace-out _obs/trace.json --metrics-out _obs/metrics.json
+	  --trace-out _obs/trace.json --metrics-out _obs/metrics.json \
+	  --memprof-rate 0.001 --runtime-events \
+	  --progress-out _obs/progress.ndjson --progress-interval 0.1
 	$(DDPROF) check-trace _obs/trace.json --workers 4
+	$(DDPROF) check-progress _obs/progress.ndjson --min-samples 2
+	$(DDPROF) stats --from _obs/metrics.json
 	$(DDPROF) stats kmeans --workers 4
 
 # The static analyzer end to end: lint every registered workload
@@ -111,6 +117,54 @@ fuzz-nightly: build
 
 bench:
 	dune exec bench/main.exe
+
+# Full machine-readable snapshot (every experiment; slow).
+bench-json: build
+	dune exec bench/main.exe -- json
+
+# Micro-metric subset the perf gate runs on (~12s per snapshot).
+bench-quick: build
+	dune exec bench/main.exe -- json-quick
+
+# Collect RATCHET_RUNS quick snapshots back to back into _bench/q*.json.
+# The ratchet gates on the per-key minimum: one process can be 10%+ slow
+# from scheduler/cache luck alone, but the min of a few is stable.
+RATCHET_RUNS ?= 3
+RATCHET_FLAGS ?=
+_bench-collect: build
+	@mkdir -p _bench
+	@for i in $$(seq 1 $(RATCHET_RUNS)); do \
+	  echo "== bench snapshot $$i/$(RATCHET_RUNS) =="; \
+	  dune exec bench/main.exe -- json-quick >/dev/null || exit 1; \
+	  cp _bench/BENCH_quick.json _bench/q$$i.json; \
+	done
+
+# Regenerate the checked-in baseline from fresh snapshots (run on a
+# quiet machine, then commit bench/baseline.json).
+bench-baseline: _bench-collect
+	dune exec bench/ratchet.exe -- \
+	  $$(for i in $$(seq 1 $(RATCHET_RUNS)); do echo --fresh _bench/q$$i.json; done) \
+	  --write-baseline bench/baseline.json
+
+# The CI perf gate: fresh min-of-$(RATCHET_RUNS) vs bench/baseline.json.
+# Fails (exit 1) when any gated metric regresses past its tolerance;
+# appends the outcome to BENCH_history.jsonl and writes the comparison
+# to _bench/ratchet-diff.json for the CI artifact.  CI runners pass
+# RATCHET_FLAGS="--tolerance-scale 3" for noisy-neighbour headroom.
+bench-ratchet: _bench-collect
+	dune exec bench/ratchet.exe -- \
+	  $$(for i in $$(seq 1 $(RATCHET_RUNS)); do echo --fresh _bench/q$$i.json; done) \
+	  --baseline bench/baseline.json --history BENCH_history.jsonl \
+	  --diff-out _bench/ratchet-diff.json $(RATCHET_FLAGS)
+
+# Prove the gate has teeth: a clean run must pass, then the same gate
+# with a seeded 10% worker slowdown (DDP_PERTURB_WORKER busy-spins 10%
+# of each chunk's processing time) must fail.
+bench-ratchet-selftest:
+	$(MAKE) bench-ratchet
+	@echo "== seeded 10% slowdown must fail the gate =="
+	! DDP_PERTURB_WORKER=0.10 $(MAKE) bench-ratchet
+	@echo "ratchet selftest OK: clean pass, perturbed fail"
 
 clean:
 	dune clean

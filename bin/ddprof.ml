@@ -171,18 +171,29 @@ let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
    parallel engine, a single domain for everything else. *)
 let obs_domains ~mode ~workers = if mode = "parallel" then workers + 1 else 1
 
-let make_obs ~mode ~workers ~trace_out ~metrics_out =
-  if trace_out = None && metrics_out = None then None
-  else Some (Ddp_obs.Obs.create ~domains:(obs_domains ~mode ~workers) ())
+(* Any self-profiling feature wants a hub; allocation tracking only when
+   the per-stage table was asked for (it is wall-world state and costs
+   two Gc counter reads per span boundary). *)
+let make_obs ~mode ~workers ~track_alloc ~wanted =
+  if not wanted then None
+  else Some (Ddp_obs.Obs.create ~domains:(obs_domains ~mode ~workers) ~track_alloc ())
 
-let export_obs ~account ~trace_out ~metrics_out ~extra obs =
+(* Process-global allocation so far, in bytes: the external measurement
+   the per-stage attribution table is cross-checked against. *)
+let gc_alloc_bytes () =
+  let gs = Gc.quick_stat () in
+  int_of_float
+    ((gs.Gc.minor_words +. gs.Gc.major_words -. gs.Gc.promoted_words)
+    *. float_of_int (Sys.word_size / 8))
+
+let export_obs ?(gc = []) ~account ~trace_out ~metrics_out ~extra obs =
   match obs with
   | None -> ()
   | Some obs ->
     let snap = Ddp_obs.Obs.snapshot obs in
     (match trace_out with
     | Some path ->
-      Ddp_obs.Json.to_file path (Ddp_obs.Export.chrome_trace snap);
+      Ddp_obs.Json.to_file path (Ddp_obs.Export.chrome_trace ~gc snap);
       Printf.printf "chrome trace written to %s (load in ui.perfetto.dev)\n" path
     | None -> ());
     (match metrics_out with
@@ -203,6 +214,44 @@ let metrics_out_arg =
     value
     & opt (some string) None
     & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write a flat metrics JSON snapshot to FILE.")
+
+let memprof_rate_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "memprof-rate" ] ~docv:"RATE"
+        ~doc:
+          "Enable per-stage allocation attribution and print the allocation table after the run. \
+           RATE is the statmemprof sampling rate (e.g. 0.001 = one sample per ~1000 words); the \
+           span-boundary Gc accounting runs regardless, so the table is exact even where \
+           statmemprof is unavailable (multicore runtimes).")
+
+let runtime_events_arg =
+  Arg.(
+    value & flag
+    & info [ "runtime-events" ]
+        ~doc:
+          "Subscribe to the OCaml runtime-events ring and fuse GC phase spans into the \
+           --trace-out Chrome trace (tracks gc ring N).")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Show a live status line (events/s, queue occupancy, drops, ETA) on stderr.")
+
+let progress_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "progress-out" ] ~docv:"FILE"
+        ~doc:"Append one NDJSON progress sample per interval to FILE (schema ddp-progress/1).")
+
+let progress_interval_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "progress-interval" ] ~docv:"SECONDS" ~doc:"Progress sampling interval (default 0.5s).")
 
 (* -- run ------------------------------------------------------------------ *)
 
@@ -239,7 +288,8 @@ let run_cmd =
           ~doc:"Record the instrumentation stream to FILE while profiling (one pass).")
   in
   let run name foreign scale variant target_threads mode mt workers slots seed report
-      show_threads lock_based record backpressure deadline queue_capacity trace_out metrics_out =
+      show_threads lock_based record backpressure deadline queue_capacity trace_out metrics_out
+      memprof_rate runtime_events progress progress_out progress_interval =
     check_mode mode;
     let name, prog =
       match (name, foreign) with
@@ -274,6 +324,7 @@ let run_cmd =
         queue_capacity;
         static_prune =
           (match plan with Some p -> p.Ddp_static.Hybrid.prune_ids | None -> []);
+        memprof_rate;
       }
     in
     check_backpressure config;
@@ -286,7 +337,13 @@ let run_cmd =
     let account = Ddp_util.Mem_account.create () in
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
-    let obs = make_obs ~mode ~workers ~trace_out ~metrics_out in
+    let track_alloc = memprof_rate > 0.0 in
+    let obs =
+      make_obs ~mode ~workers ~track_alloc
+        ~wanted:
+          (trace_out <> None || metrics_out <> None || track_alloc || progress
+          || progress_out <> None || runtime_events)
+    in
     let source =
       match (prog, foreign) with
       | Some prog, _ ->
@@ -296,6 +353,31 @@ let run_cmd =
       | None, Some path -> Ddp_core.Source.of_foreign ~path
       | None, None -> assert false
     in
+    (* Runtime-events consumer attaches before the run so the GC phases
+       of engine construction are captured too; degrades to a warning on
+       runtimes without the instrumented-ring support. *)
+    let rtev = if runtime_events then Ddp_obs.Runtime_ev.start () else None in
+    if runtime_events && rtev = None then
+      prerr_endline "ddprof: --runtime-events requested but unavailable on this runtime";
+    let progress_out_oc = Option.map open_out progress_out in
+    let prog_handle =
+      match obs with
+      | Some o when progress || progress_out_oc <> None ->
+        let status =
+          if progress then
+            Some
+              (fun s ->
+                output_string stderr s;
+                flush stderr)
+          else None
+        in
+        Some
+          (Ddp_obs.Progress.start ~interval:progress_interval ?status ?out:progress_out_oc o)
+      | _ -> None
+    in
+    (* Bracket the run with process-global Gc readings: the attribution
+       table's coverage is judged against this external delta. *)
+    let gc0 = gc_alloc_bytes () in
     let outcome =
       try Ddp_core.Profiler.run ~mode ~config ~mt ?obs ~account:(account, "deps") ?tee source
       with e ->
@@ -303,8 +385,35 @@ let run_cmd =
            stays in its .tmp file and is deleted here. *)
         let bt = Printexc.get_raw_backtrace () in
         Option.iter Ddp_minir.Trace_file.abort_recording recording;
+        Option.iter Ddp_obs.Progress.stop prog_handle;
+        Option.iter close_out progress_out_oc;
         Printexc.raise_with_backtrace e bt
     in
+    let gc_delta = gc_alloc_bytes () - gc0 in
+    Option.iter Ddp_obs.Progress.stop prog_handle;
+    Option.iter close_out progress_out_oc;
+    (match (progress_out, progress_out_oc) with
+    | Some path, Some _ -> Printf.printf "progress samples written to %s\n" path
+    | _ -> ());
+    let gc_phases =
+      match (rtev, obs) with
+      | Some r, Some o ->
+        (* Runtime-events timestamps share the CLOCK_MONOTONIC base with
+           the hub's clock; rebasing by the hub epoch puts the GC phases
+           on the same Chrome-trace timeline as the pipeline spans. *)
+        let epoch = Ddp_obs.Obs.epoch_ns o in
+        List.map
+          (fun (p : Ddp_obs.Runtime_ev.phase) -> { p with Ddp_obs.Runtime_ev.ts_ns = p.ts_ns - epoch })
+          (Ddp_obs.Runtime_ev.finish r)
+      | Some r, None -> ignore (Ddp_obs.Runtime_ev.finish r : Ddp_obs.Runtime_ev.phase list); []
+      | None, _ -> []
+    in
+    (match rtev with
+    | Some r ->
+      Printf.printf "runtime-events: %d gc phase spans captured%s\n" (List.length gc_phases)
+        (let l = Ddp_obs.Runtime_ev.lost r in
+         if l > 0 then Printf.sprintf " (%d events lost)" l else "")
+    | None -> ());
     (match (recording, record) with
     | Some r, Some path ->
       Ddp_minir.Trace_file.finish_recording r outcome.symtab;
@@ -317,7 +426,13 @@ let run_cmd =
       | Some _, `Par -> "par")
       outcome.run_stats.accesses outcome.run_stats.addresses outcome.run_stats.lines;
     summarize ~account outcome;
-    export_obs ~account:(Some account) ~trace_out ~metrics_out
+    List.iter (fun n -> Printf.printf "note: %s\n" n) outcome.notes;
+    (match obs with
+    | Some o when Ddp_obs.Obs.alloc_tracked o ->
+      Ddp_obs.Export.pp_alloc_table ~total_bytes:gc_delta Format.std_formatter
+        (Ddp_obs.Obs.snapshot o)
+    | _ -> ());
+    export_obs ~gc:gc_phases ~account:(Some account) ~trace_out ~metrics_out
       ~extra:
         [
           ("engine", Ddp_obs.Json.Str mode);
@@ -336,7 +451,8 @@ let run_cmd =
       const run $ opt_name_arg $ foreign_arg $ scale_arg $ variant_arg $ target_threads_arg
       $ mode_arg $ mt_arg $ workers_arg $ slots_arg $ seed_arg $ report_arg $ show_threads_arg
       $ lock_based_arg $ record_arg $ backpressure_arg $ deadline_arg $ queue_capacity_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ trace_out_arg $ metrics_out_arg $ memprof_rate_arg $ runtime_events_arg $ progress_arg
+      $ progress_out_arg $ progress_interval_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Profile a workload (or a --foreign trace) and summarize its dependences.")
@@ -588,7 +704,48 @@ let graph_cmd =
 (* -- stats ----------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run name scale variant target_threads mode workers slots seed trace_out metrics_out =
+  (* Offline mode: summarize a previously saved --metrics-out file.  The
+     schema gate is strict — a file written by an older/newer ddprof is
+     rejected with the expected/found versions, not half-parsed. *)
+  let stats_from path =
+    let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "ddprof stats: %s\n" s; exit 1) fmt in
+    let j =
+      try Ddp_obs.Json.of_file path with
+      | Ddp_obs.Json.Parse_error msg -> fail "%s: JSON parse error: %s" path msg
+      | Sys_error msg -> fail "%s" msg
+    in
+    (match Ddp_obs.Export.check_schema j with
+    | Error msg -> fail "%s: %s" path msg
+    | Ok () -> ());
+    let int_field name = Option.bind (Ddp_obs.Json.member name j) Ddp_obs.Json.to_int in
+    let counter name =
+      match Option.bind (Ddp_obs.Json.member "counters" j) (Ddp_obs.Json.member name) with
+      | Some v -> Option.value ~default:0 (Ddp_obs.Json.to_int v)
+      | None -> 0
+    in
+    Printf.printf "metrics file %s (schema %s)\n" path Ddp_obs.Export.schema_version;
+    Printf.printf "  domains              %d\n" (Option.value ~default:0 (int_field "domains"));
+    Printf.printf "  events processed     %d\n" (counter "events_processed");
+    Printf.printf "  chunks pushed        %d (%d events routed)\n" (counter "chunks_pushed")
+      (counter "chunk_events");
+    Printf.printf "  stalls               %d queue-full, %d drain (%d ns stalled)\n"
+      (counter "queue_full_stalls") (counter "drain_stalls") (counter "stall_ns");
+    Printf.printf "  redistributions      %d (%d addresses migrated)\n" (counter "redistributions")
+      (counter "migrated_addrs");
+    Printf.printf "  dropped trace events %d\n"
+      (Option.value ~default:0 (int_field "dropped_events"));
+    match Option.bind (Ddp_obs.Json.member "alloc" j) (Ddp_obs.Json.member "attributed_bytes") with
+    | Some v ->
+      Printf.printf "  attributed alloc     %d bytes\n" (Option.value ~default:0 (Ddp_obs.Json.to_int v))
+    | None -> ()
+  in
+  let run name from scale variant target_threads mode workers slots seed trace_out metrics_out =
+    match (from, name) with
+    | Some path, _ -> stats_from path
+    | None, None ->
+      Printf.eprintf "ddprof stats: WORKLOAD required (or pass --from FILE)\n";
+      exit 2
+    | None, Some name ->
     check_mode mode;
     let prog = get_program ~variant ~target_threads ~scale name in
     let config = { Ddp_core.Config.default with workers; slots; seed } in
@@ -616,16 +773,31 @@ let stats_cmd =
     Arg.(value & opt string "parallel" & info [ "mode" ] ~docv:"MODE"
            ~doc:"Profiler engine (default parallel: pipeline telemetry).")
   in
+  let opt_name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (omit with --from).")
+  in
+  let from_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"FILE"
+          ~doc:
+            "Summarize a previously saved --metrics-out FILE instead of running a workload.  \
+             Fails (exit 1) if the file's schema version does not match this ddprof.")
+  in
   let term =
     Term.(
-      const run $ name_arg $ scale_arg $ variant_arg $ target_threads_arg $ mode_arg
-      $ workers_arg $ slots_arg $ seed_arg $ trace_out_arg $ metrics_out_arg)
+      const run $ opt_name_arg $ from_arg $ scale_arg $ variant_arg $ target_threads_arg
+      $ mode_arg $ workers_arg $ slots_arg $ seed_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Profile a workload with telemetry on and print the pipeline summary (stalls, load \
-          imbalance, redistribution timeline).")
+          imbalance, redistribution timeline), or summarize a saved metrics file (--from).")
     term
 
 (* -- check-trace ------------------------------------------------------------ *)
@@ -682,6 +854,71 @@ let check_trace_cmd =
   Cmd.v
     (Cmd.info "check-trace" ~doc:"Validate a --trace-out Chrome trace JSON file.")
     Term.(const run $ file_arg $ check_workers_arg)
+
+(* -- check-progress --------------------------------------------------------- *)
+
+(* Validate a --progress-out NDJSON file: every line parses, carries the
+   ddp-progress/1 schema and the required fields, and the time/event
+   series are monotone.  Used by the CI obs-smoke job. *)
+let check_progress_cmd =
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Progress NDJSON file.")
+  in
+  let min_samples_arg =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "min-samples" ] ~docv:"N" ~doc:"Require at least N samples (default 1).")
+  in
+  let run file min_samples =
+    let fail fmt =
+      Printf.ksprintf (fun s -> Printf.eprintf "check-progress: %s\n" s; exit 1) fmt
+    in
+    let ic = try open_in file with Sys_error msg -> fail "%s" msg in
+    let n = ref 0 and lineno = ref 0 in
+    let last_t = ref neg_infinity and last_events = ref min_int in
+    (try
+       while true do
+         let line = input_line ic in
+         incr lineno;
+         if String.trim line <> "" then begin
+           let j =
+             try Ddp_obs.Json.parse line
+             with Ddp_obs.Json.Parse_error msg ->
+               fail "%s:%d: JSON parse error: %s" file !lineno msg
+           in
+           (match Option.bind (Ddp_obs.Json.member "schema" j) Ddp_obs.Json.to_str with
+           | Some s when s = Ddp_obs.Progress.schema -> ()
+           | Some s ->
+             fail "%s:%d: schema %S, expected %S" file !lineno s Ddp_obs.Progress.schema
+           | None -> fail "%s:%d: no schema field" file !lineno);
+           let num name =
+             match Option.bind (Ddp_obs.Json.member name j) Ddp_obs.Json.to_float with
+             | Some v -> v
+             | None -> fail "%s:%d: missing numeric field %S" file !lineno name
+           in
+           let t = num "t_s" in
+           let events = int_of_float (num "events") in
+           ignore (num "events_per_s");
+           ignore (num "queue_chunks");
+           ignore (num "dropped_events");
+           ignore (num "worker_crashes");
+           if t < !last_t then fail "%s:%d: t_s went backwards (%.3f after %.3f)" file !lineno t !last_t;
+           if events < !last_events then
+             fail "%s:%d: events went backwards (%d after %d)" file !lineno events !last_events;
+           last_t := t;
+           last_events := events;
+           incr n
+         end
+       done
+     with End_of_file -> close_in ic);
+    if !n < min_samples then fail "%s: only %d sample(s), need at least %d" file !n min_samples;
+    Printf.printf "%s: OK (%d samples, monotone, final events=%d)\n" file !n !last_events
+  in
+  Cmd.v
+    (Cmd.info "check-progress" ~doc:"Validate a --progress-out NDJSON progress file.")
+    Term.(const run $ file_arg $ min_samples_arg)
 
 (* -- static ---------------------------------------------------------------- *)
 
@@ -873,6 +1110,7 @@ let main =
       run_cmd;
       stats_cmd;
       check_trace_cmd;
+      check_progress_cmd;
       list_cmd;
       list_modes_cmd;
       loops_cmd;

@@ -56,6 +56,11 @@ type t = {
   (* Variable ids (in the run's pre-interned symtab) a static analysis
      proved dependence-free: the hybrid engine drops their accesses
      before detection.  [] — the default — disables pruning. *)
+  memprof_rate : float;
+  (* Gc.Memprof sampling rate (samples per allocated word) for the
+     self-profiling allocation attribution; 0.0 — the default —
+     never touches Gc.Memprof.  Requires an alloc-tracking obs hub;
+     degrades to a warning on runtimes without statmemprof (5.0-5.2). *)
 }
 
 let default =
@@ -80,6 +85,7 @@ let default =
     faults = None;
     obs = None;
     static_prune = [];
+    memprof_rate = 0.0;
   }
 
 (* Slot budget per worker: the paper splits the global signature evenly

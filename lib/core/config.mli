@@ -45,6 +45,10 @@ type t = {
       (** Variable ids (in the run's pre-interned symtab) proved
           dependence-free statically; the hybrid engine skips their
           accesses.  [[]] — the default — disables pruning. *)
+  memprof_rate : float;
+      (** Gc.Memprof sampling rate (samples per allocated word) for the
+          self-profiling allocation attribution; [0.0] — the default —
+          never touches Gc.Memprof. *)
 }
 
 val default : t

@@ -111,14 +111,20 @@ let with_obs obs engine =
       create =
         (fun ?account config ->
           let config = { config with Config.obs = Some obs } in
+          (* The Run frame opens *before* the inner create so engine
+             construction — signature store arrays, queue rings, worker
+             domain spawns — is attributed to the run, not lost: the
+             per-stage allocation table's coverage check depends on the
+             producer's whole session sitting under this frame. *)
+          Obs.bind_domain obs ~dom:0;
+          Obs.enter obs ~dom:0 Obs.Tag.Run;
           let inner = engine.create ?account config in
-          let t0 = Obs.now obs in
           {
             hooks = Sink.tee (Sink.obs_events obs) inner.hooks;
             finish =
               (fun () ->
                 let o = inner.finish () in
-                let d = Obs.span obs ~dom:0 Obs.Tag.Run ~arg:0 ~t0 in
+                let d = Obs.leave obs ~dom:0 ~arg:0 in
                 Obs.add obs ~dom:0 Obs.C.run_ns d;
                 Obs.add obs ~dom:0 Obs.C.store_bytes o.store_bytes;
                 o);

@@ -178,15 +178,35 @@ let process_chunk w chunk =
   done;
   w.events <- w.events + n
 
+(* Benchmark-only perturbation hook: busy-spin a fraction of each
+   chunk's measured process time after processing it.  Exists so the CI
+   perf ratchet can prove it catches regressions — `make
+   bench-ratchet-selftest` seeds DDP_PERTURB_WORKER=0.10 and expects the
+   worker_step_ns gate to fail.  Read once; 0.0 (unset) costs one float
+   compare per chunk. *)
+let perturb_worker =
+  lazy
+    (match Sys.getenv_opt "DDP_PERTURB_WORKER" with
+    | Some s -> ( match float_of_string_opt s with Some f when f > 0.0 -> f | _ -> 0.0)
+    | None -> 0.0)
+
 (* Consume one popped chunk: the worker's unit of progress, shared by the
    domain loop and the virtual scheduler's worker_step. *)
 let consume (w : worker) chunk =
   let on = Obs.enabled w.obs in
   let dom = w.id + 1 in
-  let o0 = if on then Obs.now w.obs else 0 in
+  if on then Obs.enter w.obs ~dom Obs.Tag.Process;
   let n = Chunk.length chunk in
   let t0 = Clock.now () in
   process_chunk w chunk;
+  let t1 = Clock.now () in
+  (let f = Lazy.force perturb_worker in
+   if f > 0.0 then begin
+     let until = t1 +. ((t1 -. t0) *. f) in
+     while Clock.now () < until do
+       ()
+     done
+   end);
   w.busy <- w.busy +. (Clock.now () -. t0);
   Chunk.clear chunk;
   Atomic.incr w.processed;
@@ -194,10 +214,11 @@ let consume (w : worker) chunk =
      producer will allocate a fresh one. *)
   let recycled = w.recycle_q.try_push chunk in
   if on then begin
-    let d = Obs.span w.obs ~dom Obs.Tag.Process ~arg:n ~t0:o0 in
+    let d = Obs.leave w.obs ~dom ~arg:n in
     Obs.observe w.obs ~dom Obs.H.process_ns d;
     Obs.add w.obs ~dom Obs.C.busy_ns d;
     Obs.add w.obs ~dom Obs.C.events_processed n;
+    Obs.incr w.obs ~dom Obs.C.chunks_processed;
     if not recycled then Obs.incr w.obs ~dom Obs.C.recycle_drops
   end
 
@@ -220,10 +241,29 @@ let guarded_consume (w : worker) chunk =
     let bt = Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ()) in
     Atomic.set w.status
       (Crashed { Health.worker = w.id; exn_text = Printexc.to_string e; backtrace = bt });
-    if Obs.enabled w.obs then Obs.incr w.obs ~dom:(w.id + 1) Obs.C.worker_crashes;
+    if Obs.enabled w.obs then begin
+      let dom = w.id + 1 in
+      (* The exception may have escaped between consume's enter and
+         leave; cancel the orphaned Process frame so the stack stays
+         balanced for the Worker root span. *)
+      if Obs.current_tag w.obs ~dom = Some Obs.Tag.Process then Obs.cancel w.obs ~dom;
+      Obs.incr w.obs ~dom Obs.C.worker_crashes
+    end;
     false
 
 let worker_loop stop kill w =
+  (* Root frame for the worker domain: everything the domain allocates
+     while looping — backoff closures, signature growth, boxing in
+     process_chunk not covered by a Process frame — is attributed to
+     Worker, so the per-stage table's total tracks the process-global
+     allocation.  bind_domain lets Gc.Memprof callbacks on this domain
+     find this cell. *)
+  let dom = w.id + 1 in
+  let on = Obs.enabled w.obs in
+  if on then begin
+    Obs.bind_domain w.obs ~dom;
+    Obs.enter w.obs ~dom Obs.Tag.Worker
+  end;
   let spins = ref 0 in
   let running = ref true in
   while !running && not (Atomic.get kill) do
@@ -237,7 +277,8 @@ let worker_loop stop kill w =
         incr spins;
         backoff !spins
       end
-  done
+  done;
+  if on then ignore (Obs.leave w.obs ~dom ~arg:w.id : int)
 
 (* -- producer side ------------------------------------------------------- *)
 
@@ -353,14 +394,14 @@ let queue_depth t w_id =
    advance.  Returns true iff every worker fully drained. *)
 let drain t =
   let on = Obs.enabled t.obs in
-  let b0 = if on then Obs.now t.obs else 0 in
+  if on then Obs.enter t.obs ~dom:0 Obs.Tag.Drain;
   let waited = ref 0 in
   let complete = ref true in
   Array.iter
     (fun w ->
       if Atomic.get w.pushed <> Atomic.get w.processed then begin
         incr waited;
-        let s0 = if on then Obs.now t.obs else 0 in
+        if on then Obs.enter t.obs ~dom:0 Obs.Tag.Drain_wait;
         let spins = ref 0 in
         let give_up = ref false in
         while (not !give_up) && Atomic.get w.pushed <> Atomic.get w.processed do
@@ -372,14 +413,14 @@ let drain t =
           else stall t (Drain_wait w.id) spins
         done;
         if on then begin
-          let d = Obs.span t.obs ~dom:0 Obs.Tag.Drain_wait ~arg:w.id ~t0:s0 in
+          let d = Obs.leave t.obs ~dom:0 ~arg:w.id in
           Obs.incr t.obs ~dom:0 Obs.C.drain_stalls;
           Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
           Obs.observe t.obs ~dom:0 Obs.H.stall_ns d
         end
       end)
     t.workers;
-  if on then ignore (Obs.span t.obs ~dom:0 Obs.Tag.Drain ~arg:!waited ~t0:b0 : int);
+  if on then ignore (Obs.leave t.obs ~dom:0 ~arg:!waited : int);
   !complete
 
 (* Move the signature state of a redistributed address (Sec. IV-A).
@@ -425,7 +466,7 @@ let flush_chunk t w_id =
     end
     else begin
       let on = Obs.enabled t.obs in
-      let f0 = if on then Obs.now t.obs else 0 in
+      if on then Obs.enter t.obs ~dom:0 Obs.Tag.Flush;
       (* Fault injection (chunk granularity, compiled to one match when
          off): simulated corruption and back-pressure storms. *)
       (match t.config.faults with
@@ -449,7 +490,7 @@ let flush_chunk t w_id =
            queue-full event, between waiting and shedding.  One span for
            the whole wait (never one event per spin — that would flood
            the ring), with the retry count as a counter. *)
-        let s0 = if on then Obs.now t.obs else 0 in
+        if on then Obs.enter t.obs ~dom:0 Obs.Tag.Queue_full;
         let retries = ref 0 in
         let spins = ref 0 in
         let abandon () =
@@ -481,7 +522,7 @@ let flush_chunk t w_id =
           end
         done;
         if on then begin
-          let d = Obs.span t.obs ~dom:0 Obs.Tag.Queue_full ~arg:w_id ~t0:s0 in
+          let d = Obs.leave t.obs ~dom:0 ~arg:w_id in
           Obs.incr t.obs ~dom:0 Obs.C.queue_full_stalls;
           Obs.add t.obs ~dom:0 Obs.C.queue_push_retries !retries;
           Obs.add t.obs ~dom:0 Obs.C.stall_ns d;
@@ -492,13 +533,17 @@ let flush_chunk t w_id =
         t.open_chunks.(w_id) <- acquire_chunk t w;
         t.chunks_pushed <- t.chunks_pushed + 1;
         if on then begin
-          ignore (Obs.span t.obs ~dom:0 Obs.Tag.Flush ~arg:w_id ~t0:f0 : int);
+          ignore (Obs.leave t.obs ~dom:0 ~arg:w_id : int);
           Obs.incr t.obs ~dom:0 Obs.C.chunks_pushed;
           Obs.add t.obs ~dom:0 Obs.C.chunk_events occupancy;
           Obs.observe t.obs ~dom:0 Obs.H.chunk_occupancy occupancy
         end
       end
-      (* On a drop the cleared chunk simply stays open for refilling. *)
+      else if on then
+        (* Dropped by backpressure: the Flush frame is accounted (its
+           allocation is real) but no span is emitted — the trace shows
+           only delivered flushes, as before. *)
+        Obs.cancel t.obs ~dom:0
     end
   end
 
@@ -530,7 +575,7 @@ let maybe_redistribute t =
       | [] -> ()
       | moves ->
         let on = Obs.enabled t.obs in
-        let r0 = if on then Obs.now t.obs else 0 in
+        if on then Obs.enter t.obs ~dom:0 Obs.Tag.Redistribute;
         (* Accesses to a moved address may still sit in open chunks routed
            under the old assignment: flush everything, let the old owners
            consume it, and only then migrate signature state.  Without this
@@ -544,7 +589,7 @@ let maybe_redistribute t =
           List.iter (fun (addr, from_w, to_w) -> migrate t ~addr ~from_w ~to_w) moves;
         if on then begin
           let n = List.length moves in
-          ignore (Obs.span t.obs ~dom:0 Obs.Tag.Redistribute ~arg:n ~t0:r0 : int);
+          ignore (Obs.leave t.obs ~dom:0 ~arg:n : int);
           Obs.incr t.obs ~dom:0 Obs.C.redistributions;
           Obs.add t.obs ~dom:0 Obs.C.migrated_addrs n;
           Obs.observe t.obs ~dom:0 Obs.H.redistribute_moves n
@@ -721,7 +766,7 @@ let finish t =
   in
   let on = Obs.enabled t.obs in
   if on && unprocessed > 0 then Obs.add t.obs ~dom:0 Obs.C.unprocessed_chunks unprocessed;
-  let m0 = if on then Obs.now t.obs else 0 in
+  if on then Obs.enter t.obs ~dom:0 Obs.Tag.Merge;
   (* Salvage merge: every *surviving* worker's partition.  A crashed
      worker's signature pair is suspect mid-chunk, so its partition is
      counted lost rather than merged. *)
@@ -730,7 +775,7 @@ let finish t =
       if not (is_dead w) then Dep_store.merge_into ~src:w.deps ~dst:t.global_deps)
     t.workers;
   if on then begin
-    let d = Obs.span t.obs ~dom:0 Obs.Tag.Merge ~arg:(Array.length t.workers) ~t0:m0 in
+    let d = Obs.leave t.obs ~dom:0 ~arg:(Array.length t.workers) in
     Obs.add t.obs ~dom:0 Obs.C.merge_ns d;
     (* Domains have joined: folding per-access-structure statistics into
        the worker cells is now race-free. *)

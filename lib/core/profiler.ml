@@ -24,6 +24,7 @@ type outcome = {
   parallel : Parallel_profiler.result option;
   mt_delayed : int;  (* accesses that went through the MT reorder buffer *)
   elapsed : float;  (* wall-clock of the instrumented run, seconds *)
+  notes : string list;  (* degradations worth surfacing (e.g. memprof unavailable) *)
 }
 
 let modes () = List.map (fun (e : Engine.t) -> (e.Engine.name, e.Engine.description)) (Engine.all ())
@@ -48,6 +49,15 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
   let engine = Engine.get mode in
   let engine = if mt && mode <> "mt" then Engine.with_mt engine else engine in
   let engine = match obs with Some o -> Engine.with_obs o engine | None -> engine in
+  (* Memprof sampling brackets the whole session (engine construction
+     included) and degrades to a note on runtimes without statmemprof:
+     the span-boundary attribution still fills the per-stage table. *)
+  let memprof =
+    match obs with
+    | Some o when config.Config.memprof_rate > 0.0 ->
+      Ddp_obs.Memprof_attr.start ~rate:config.Config.memprof_rate o
+    | _ -> Ddp_obs.Memprof_attr.Disabled
+  in
   let session = engine.Engine.create ?account config in
   let hooks =
     match tee with None -> session.Engine.hooks | Some h -> Sink.tee session.Engine.hooks h
@@ -62,9 +72,11 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
          backtrace is preserved across the cleanup. *)
       let bt = Printexc.get_raw_backtrace () in
       (try ignore (session.Engine.finish () : Engine.outcome) with _ -> ());
+      Ddp_obs.Memprof_attr.stop memprof;
       Printexc.raise_with_backtrace e bt
   in
   let eo = session.Engine.finish () in
+  Ddp_obs.Memprof_attr.stop memprof;
   let elapsed = Ddp_util.Clock.now () -. t0 in
   {
     engine = mode;
@@ -78,6 +90,10 @@ let run ?(mode = "serial") ?(config = Config.default) ?(mt = false) ?obs ?accoun
     parallel = parallel_of eo.Engine.extra;
     mt_delayed = mt_delayed_of eo.Engine.extra;
     elapsed;
+    notes =
+      (match memprof with
+      | Ddp_obs.Memprof_attr.Unavailable msg -> [ "memprof sampling " ^ msg ]
+      | Ddp_obs.Memprof_attr.Running | Ddp_obs.Memprof_attr.Disabled -> []);
   }
 
 let profile ?mode ?config ?mt ?obs ?account ?sched_seed ?input_seed ?symtab prog =

@@ -23,6 +23,9 @@ type outcome = {
       (** convenience projection of [extra] for the "parallel" engine *)
   mt_delayed : int;  (** accesses that went through the MT reorder buffer *)
   elapsed : float;
+  notes : string list;
+      (** degradations worth surfacing to the user, e.g. memprof
+          sampling requested but unavailable on this runtime *)
 }
 
 val modes : unit -> (string * string) list

@@ -104,12 +104,19 @@ let create_signature ?account (config : Config.t) =
       (fun obs ->
         let module Obs = Ddp_obs.Obs in
         if Obs.enabled obs then begin
+          (* The serial engine's only stage besides the Run frame itself:
+             the end-of-run statistics fold gets a Merge frame so serial
+             runs also show a finalize stage (and attribute its
+             allocation) in the self-profiling exports. *)
+          Obs.enter obs ~dom:0 Obs.Tag.Merge;
           Obs.add obs ~dom:0 Obs.C.sig_occupied
             (Sig_store.occupied reads + Sig_store.occupied writes);
           Obs.add obs ~dom:0 Obs.C.sig_overwrites
             (Sig_store.overwrites reads + Sig_store.overwrites writes);
           Obs.add obs ~dom:0 Obs.C.bytes_signatures
-            (Sig_store.bytes reads + Sig_store.bytes writes)
+            (Sig_store.bytes reads + Sig_store.bytes writes);
+          let d = Obs.leave obs ~dom:0 ~arg:1 in
+          Obs.add obs ~dom:0 Obs.C.merge_ns d
         end);
   }
 

@@ -19,27 +19,52 @@
 module Stats = Ddp_util.Stats
 module Hist = Stats.Histogram
 
+let schema_version = "ddp-metrics/2"
+
 let track_name dom = if dom = 0 then "producer" else Printf.sprintf "worker %d" (dom - 1)
+
+(* GC phase tracks (runtime-events fusion) sit at tid 1000+ring so they
+   never collide with pipeline domain tids. *)
+let gc_tid ring = 1000 + ring
 
 (* Chrome wants microseconds; both real (ns) and virtual (tick) clocks
    divide by 1000 so nesting survives the unit change. *)
 let usec ts = float_of_int ts /. 1000.0
 
-let chrome_trace (snap : Obs.snapshot) =
+let chrome_trace ?(gc = []) (snap : Obs.snapshot) =
+  let thread_meta ~tid ~name =
+    Json.Obj
+      [
+        ("name", Json.Str "thread_name");
+        ("ph", Json.Str "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.Str name) ]);
+      ]
+  in
   let meta =
-    List.concat_map
-      (fun dom ->
-        [
-          Json.Obj
-            [
-              ("name", Json.Str "thread_name");
-              ("ph", Json.Str "M");
-              ("pid", Json.Int 0);
-              ("tid", Json.Int dom);
-              ("args", Json.Obj [ ("name", Json.Str (track_name dom)) ]);
-            ];
-        ])
+    List.map
+      (fun dom -> thread_meta ~tid:dom ~name:(track_name dom))
       (List.init snap.Obs.n_domains Fun.id)
+  in
+  let gc_rings = List.sort_uniq compare (List.map (fun (p : Runtime_ev.phase) -> p.ring) gc) in
+  let gc_meta =
+    List.map (fun r -> thread_meta ~tid:(gc_tid r) ~name:(Printf.sprintf "gc ring %d" r)) gc_rings
+  in
+  (* Phase timestamps arrive already rebased to the hub epoch; events
+     from before hub creation clamp to 0 rather than going negative. *)
+  let gc_event (p : Runtime_ev.phase) =
+    Json.Obj
+      [
+        ("name", Json.Str p.name);
+        ("cat", Json.Str "gc");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int (gc_tid p.ring));
+        ("ts", Json.Float (usec (max 0 p.ts_ns)));
+        ("ph", Json.Str "X");
+        ("dur", Json.Float (usec p.dur_ns));
+        ("args", Json.Obj [ ("ring", Json.Int p.ring) ]);
+      ]
   in
   let event (e : Obs.event) =
     let common =
@@ -59,7 +84,8 @@ let chrome_trace (snap : Obs.snapshot) =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (meta @ List.map event snap.Obs.events));
+      ( "traceEvents",
+        Json.List (meta @ gc_meta @ List.map event snap.Obs.events @ List.map gc_event gc) );
       ("displayTimeUnit", Json.Str "ns");
       ("otherData", Json.Obj [ ("dropped_events", Json.Int snap.Obs.dropped) ]);
     ]
@@ -118,9 +144,41 @@ let metrics_json ?account ?(extra = []) (snap : Obs.snapshot) =
             @ [ ("total_peak", Json.Int (Ddp_util.Mem_account.total_peak acct)) ]) );
       ]
   in
+  (* The alloc section appears only on hubs that tracked allocation:
+     alloc deltas are wall-world Gc state, so including (empty) arrays on
+     virtual-clock runs would be noise, and omitting them keeps the vpar
+     golden exports byte-identical. *)
+  let alloc =
+    if not snap.Obs.alloc_tracked then []
+    else begin
+      let rows =
+        List.filter_map
+          (fun tag ->
+            let i = Obs.Tag.to_int tag in
+            if snap.Obs.alloc_spans.(i) = 0 && snap.Obs.memprof_samples.(i) = 0 then None
+            else
+              Some
+                ( Obs.Tag.name tag,
+                  Json.Obj
+                    [
+                      ("bytes", Json.Int snap.Obs.alloc_bytes.(i));
+                      ("spans", Json.Int snap.Obs.alloc_spans.(i));
+                      ("minor_gcs", Json.Int snap.Obs.alloc_minor_gcs.(i));
+                      ("major_gcs", Json.Int snap.Obs.alloc_major_gcs.(i));
+                      ("memprof_samples", Json.Int snap.Obs.memprof_samples.(i));
+                      ("memprof_words", Json.Int snap.Obs.memprof_words.(i));
+                    ] ))
+          (Array.to_list Obs.Tag.all)
+      in
+      [
+        ( "alloc",
+          Json.Obj (rows @ [ ("attributed_bytes", Json.Int (Obs.attributed_bytes snap)) ]) );
+      ]
+    end
+  in
   Json.Obj
     ([
-       ("schema", Json.Str "ddp-metrics/1");
+       ("schema", Json.Str schema_version);
        ("domains", Json.Int snap.Obs.n_domains);
        ("virtual_clock", Json.Bool snap.Obs.virtual_clock);
        ("dropped_events", Json.Int snap.Obs.dropped);
@@ -128,7 +186,22 @@ let metrics_json ?account ?(extra = []) (snap : Obs.snapshot) =
        ("per_domain", Json.Obj per_domain);
        ("histograms", Json.Obj hists);
      ]
-    @ mem @ extra)
+    @ alloc @ mem @ extra)
+
+(* Strict schema gate for consumers of saved metrics files: a missing or
+   mismatched version is an error with an actionable message, not a
+   best-effort parse (satellite of ISSUE 8). *)
+let check_schema ?(expect = schema_version) json =
+  match Json.member "schema" json with
+  | None -> Error (Printf.sprintf "no \"schema\" field (expected %S)" expect)
+  | Some v -> (
+    match Json.to_str v with
+    | Some s when s = expect -> Ok ()
+    | Some s ->
+      Error
+        (Printf.sprintf "schema mismatch: file has %S, this ddprof reads %S — re-export with a matching ddprof"
+           s expect)
+    | None -> Error (Printf.sprintf "\"schema\" field is not a string (expected %S)" expect))
 
 (* -- run summary ---------------------------------------------------------- *)
 
@@ -202,3 +275,56 @@ let pp_summary ppf (snap : Obs.snapshot) =
           e.arg
           (if e.arg = 1 then "" else "es"))
       rs
+
+(* -- per-stage allocation table ------------------------------------------- *)
+
+let pp_bytes ppf b =
+  let f = float_of_int b in
+  if b >= 1 lsl 30 then Format.fprintf ppf "%.2fGiB" (f /. 1073741824.0)
+  else if b >= 1 lsl 20 then Format.fprintf ppf "%.2fMiB" (f /. 1048576.0)
+  else if b >= 1 lsl 10 then Format.fprintf ppf "%.1fKiB" (f /. 1024.0)
+  else Format.fprintf ppf "%dB" b
+
+(* The attribution cross-check: per-stage self bytes summed over all
+   domains, against an externally measured [Gc.quick_stat] delta for the
+   whole run ([total_bytes]).  Coverage < 100% is allocation outside any
+   open span (domain bootstrap, post-run export); > 100% means the
+   caller's measurement window was narrower than the hub's. *)
+let pp_alloc_table ?total_bytes ppf (snap : Obs.snapshot) =
+  if not snap.Obs.alloc_tracked then
+    Format.fprintf ppf "allocation attribution off (hub created without track_alloc)@."
+  else begin
+    let attributed = Obs.attributed_bytes snap in
+    let events = Obs.counter snap Obs.C.events_processed in
+    Format.fprintf ppf "per-stage allocation (self bytes, all domains)@.";
+    Format.fprintf ppf "  %-18s %10s %8s %12s %12s %7s %9s %8s@." "stage" "bytes" "share"
+      "bytes/span" "bytes/event" "spans" "minor-gc" "memprof";
+    Array.iter
+      (fun tag ->
+        let i = Obs.Tag.to_int tag in
+        let b = snap.Obs.alloc_bytes.(i) and s = snap.Obs.alloc_spans.(i) in
+        if s > 0 || snap.Obs.memprof_samples.(i) > 0 then begin
+          let share = if attributed > 0 then 100.0 *. float_of_int b /. float_of_int attributed else 0.0 in
+          let per_span = if s > 0 then Format.asprintf "%a" pp_bytes (b / s) else "-" in
+          let per_event =
+            (* bytes/event only makes sense for the event-processing stage *)
+            if tag = Obs.Tag.Process && events > 0 then
+              Format.asprintf "%.1f" (float_of_int b /. float_of_int events)
+            else "-"
+          in
+          Format.fprintf ppf "  %-18s %10s %7.1f%% %12s %12s %7d %9d %8d@." (Obs.Tag.name tag)
+            (Format.asprintf "%a" pp_bytes b)
+            share per_span per_event s
+            snap.Obs.alloc_minor_gcs.(i)
+            snap.Obs.memprof_samples.(i)
+        end)
+      Obs.Tag.all;
+    Format.fprintf ppf "  %-18s %10s@." "total attributed" (Format.asprintf "%a" pp_bytes attributed);
+    match total_bytes with
+    | None -> ()
+    | Some total when total > 0 ->
+      Format.fprintf ppf "  %-18s %10s (coverage %.1f%% of Gc.quick_stat delta)@." "process total"
+        (Format.asprintf "%a" pp_bytes total)
+        (100.0 *. float_of_int attributed /. float_of_int total)
+    | Some total -> Format.fprintf ppf "  %-18s %10dB@." "process total" total
+  end

@@ -4,17 +4,37 @@
     [ddprof stats].  Iteration orders are fixed, so identical snapshots
     serialize byte-identically. *)
 
-val chrome_trace : Obs.snapshot -> Json.t
+val schema_version : string
+(** The metrics JSON schema this build writes and reads
+    ("ddp-metrics/2"; /2 added the optional [alloc] section). *)
+
+val chrome_trace : ?gc:Runtime_ev.phase list -> Obs.snapshot -> Json.t
 (** Spans become complete events ("X"), zero-duration marks instants
     ("i"); pid is always 0, tid is the domain index, and thread_name
-    metadata labels producer/worker tracks. *)
+    metadata labels producer/worker tracks.  [gc] fuses runtime-events
+    GC phases (timestamps already rebased to the hub epoch) as extra
+    "gc ring N" tracks at tid 1000+ring. *)
 
 val metrics_json :
   ?account:Ddp_util.Mem_account.t -> ?extra:(string * Json.t) list -> Obs.snapshot -> Json.t
 (** Merged counters, selected per-domain breakdowns, histograms (bucket
     triples [lo, hi, count] plus p50/p90/p99), and — when [account] is
-    given — Mem_account categories with high-water marks.  [extra]
-    appends caller context (engine, workload, ...) at the top level. *)
+    given — Mem_account categories with high-water marks.  Snapshots
+    from alloc-tracking hubs add an [alloc] section (per-stage self
+    bytes, GC counts, memprof samples).  [extra] appends caller context
+    (engine, workload, ...) at the top level. *)
+
+val check_schema : ?expect:string -> Json.t -> (unit, string) result
+(** Gate for consumers of saved metrics files: [Error msg] when the
+    ["schema"] field is missing, non-string, or differs from [expect]
+    (default {!schema_version}). *)
+
+val pp_alloc_table : ?total_bytes:int -> Format.formatter -> Obs.snapshot -> unit
+(** The per-stage allocation table (self bytes, share, bytes/span,
+    bytes/event for the process stage, GC counts, memprof samples).
+    [total_bytes] — an externally measured [Gc.quick_stat] allocation
+    delta for the run — adds a coverage line cross-checking that the
+    attributed total accounts for the process-global allocation. *)
 
 val pp_summary : Format.formatter -> Obs.snapshot -> unit
 (** Run summary: stall totals, load imbalance (max/mean worker events),

@@ -1,0 +1,44 @@
+(* Statistical allocation sampling attributed to obs spans.
+
+   [Gc.Memprof] callbacks run on the allocating domain at allocation
+   time, so crediting the sample to [Obs.note_sample] (which resolves
+   the calling domain's cell via [Obs.bind_domain] and reads its open
+   span stack) attributes each sample to the innermost open stage —
+   Process for worker-side boxing, Flush/Run for producer-side.
+
+   Gate, don't assume: OCaml 5.0/5.1 ship the Memprof API but its
+   [start] raises [Failure "not implemented in multicore"] at runtime
+   (statmemprof only returned in 5.3).  Everything compiles against the
+   API; at runtime we try to start and degrade to [Unavailable msg],
+   leaving the span-boundary [Gc.allocated_bytes] attribution as the
+   (always available) source of the per-stage table. *)
+
+type status =
+  | Running
+  | Unavailable of string
+  | Disabled
+
+let start ~rate hub =
+  if rate <= 0.0 || not (Obs.enabled hub) || not (Obs.alloc_tracked hub) then Disabled
+  else begin
+    let note (a : Gc.Memprof.allocation) =
+      Obs.note_sample hub ~words:a.size ~samples:a.n_samples;
+      None
+    in
+    match
+      Gc.Memprof.start ~sampling_rate:rate ~callstack_size:0
+        { Gc.Memprof.null_tracker with alloc_minor = note; alloc_major = note }
+    with
+    | () -> Running
+    | exception Failure msg -> Unavailable msg
+    | exception e -> Unavailable (Printexc.to_string e)
+  end
+
+let stop = function
+  | Running -> ( try Gc.Memprof.stop () with _ -> ())
+  | Unavailable _ | Disabled -> ()
+
+let describe = function
+  | Running -> "running"
+  | Disabled -> "disabled"
+  | Unavailable msg -> "unavailable: " ^ msg

@@ -1,0 +1,22 @@
+(** [Gc.Memprof]-based allocation sampling attributed to the innermost
+    open obs span of the allocating domain.
+
+    The runtime gate matters: on OCaml 5.0–5.2 [Gc.Memprof.start] raises
+    at runtime (statmemprof returned in 5.3), so {!start} degrades to
+    [Unavailable] instead of crashing, and the span-boundary
+    [Gc.allocated_bytes] attribution in {!Obs} remains the authoritative
+    per-stage table. *)
+
+type status =
+  | Running  (** sampling active; samples land in the hub's memprof arrays *)
+  | Unavailable of string  (** this runtime cannot sample; reason attached *)
+  | Disabled  (** rate 0, hub disabled, or allocation tracking off *)
+
+val start : rate:float -> Obs.t -> status
+(** Try to start sampling at [rate] (samples per allocated word, e.g.
+    1e-3).  Never raises. *)
+
+val stop : status -> unit
+(** Stop sampling if it was running.  Never raises. *)
+
+val describe : status -> string

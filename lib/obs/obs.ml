@@ -12,7 +12,22 @@
    - timestamps come from [Clock.monotonic_ns] (wall clock steps would
      corrupt span durations), or from a virtual tick counter so the
      deterministic single-domain scheduler (testkit vpar) produces
-     byte-identical traces for identical seeds. *)
+     byte-identical traces for identical seeds.
+
+   Self-profiling (ISSUE 8): each cell additionally carries an *open-span
+   stack* driven by {!enter}/{!leave}.  On a hub created with
+   [~track_alloc:true] every frame captures [Gc.allocated_bytes] (which
+   is domain-local on OCaml 5, so the single-writer discipline extends to
+   allocation counters for free) and the global GC collection counts from
+   [Gc.quick_stat]; leaving a frame attributes the *self* delta — the
+   frame's delta minus whatever its nested children already claimed — to
+   the frame's tag.  Because the producer's whole session sits under a
+   Run frame and each worker loop under a Worker frame, the per-tag self
+   bytes across all domains sum to (approximately) the process-global
+   allocation of the run, which is the property `ddprof run
+   --memprof-rate` cross-checks against a [Gc.quick_stat] delta.
+   Allocation tracking is forced off under the Virtual clock: Gc state is
+   wall-world and would break the byte-identical vpar exports. *)
 
 module Stats = Ddp_util.Stats
 module Clock = Ddp_util.Clock
@@ -30,8 +45,10 @@ module Tag = struct
     | Merge  (* end-of-run merge of worker dependence maps; arg = workers *)
     | Run  (* whole instrumented run; arg = 0 *)
     | Abort  (* supervisor aborted the run; arg = reason code *)
+    | Worker  (* one worker domain's whole consume loop; arg = worker id *)
 
-  let all = [| Flush; Process; Queue_full; Drain_wait; Drain; Redistribute; Merge; Run; Abort |]
+  let all =
+    [| Flush; Process; Queue_full; Drain_wait; Drain; Redistribute; Merge; Run; Abort; Worker |]
 
   let to_int = function
     | Flush -> 0
@@ -43,6 +60,7 @@ module Tag = struct
     | Merge -> 6
     | Run -> 7
     | Abort -> 8
+    | Worker -> 9
 
   let of_int i = all.(i)
 
@@ -56,6 +74,9 @@ module Tag = struct
     | Merge -> "merge"
     | Run -> "run"
     | Abort -> "abort"
+    | Worker -> "worker-loop"
+
+  let count = Array.length all
 end
 
 (* -- metric registry ------------------------------------------------------ *)
@@ -103,6 +124,10 @@ module C = struct
   (* Hybrid static/dynamic engine (ISSUE 5). *)
   let static_pruned_events = 34
   let static_pruned_deps = 35
+  (* Self-profiling (ISSUE 8): chunk consumption is counted on the worker
+     side too, so a live sampler can derive queue occupancy as
+     chunks_pushed - chunks_processed without touching the queues. *)
+  let chunks_processed = 36
 
   let names =
     [|
@@ -142,6 +167,7 @@ module C = struct
       "aborts";
       "static_pruned_events";
       "static_pruned_deps";
+      "chunks_processed";
     |]
 
   let n = Array.length names
@@ -164,6 +190,12 @@ type clock_kind =
   | Monotonic
   | Virtual
 
+(* Open-span stacks never exceed the pipeline's real nesting (Run >
+   Redistribute > Flush > Queue_full is the deepest chain, depth 4);
+   frames beyond the cap are counted but not recorded so a pathological
+   caller degrades telemetry instead of crashing. *)
+let stack_cap = 16
+
 type cell = {
   counters : int array;
   hists : Stats.Histogram.t array;
@@ -176,14 +208,37 @@ type cell = {
   ring_arg : int array;
   ring_mask : int;
   mutable ring_n : int;
+  (* Open-span stack (enter/leave).  Parallel int lanes again: tag,
+     entry timestamp, entry allocation counter, entry minor/major GC
+     counts, and the bytes/collections already attributed to completed
+     children of the frame. *)
+  stack_tag : int array;
+  stack_t0 : int array;
+  stack_a0 : int array;
+  stack_m0 : int array;
+  stack_j0 : int array;
+  stack_child_b : int array;
+  stack_child_m : int array;
+  stack_child_j : int array;
+  mutable depth : int;
+  (* Per-tag attribution, filled at leave/cancel time (self deltas). *)
+  alloc_bytes : int array;
+  alloc_spans : int array;
+  alloc_minor_gcs : int array;
+  alloc_major_gcs : int array;
+  (* Gc.Memprof samples landed while a frame of this tag was innermost. *)
+  memprof_samples : int array;
+  memprof_words : int array;
 }
 
 type t = {
   on : bool;
   clock : clock_kind;
+  track_alloc : bool;
   vtick : int Atomic.t;
   cells : cell array;
   t0 : int;  (* clock at creation: export subtracts it from timestamps *)
+  dom_map : int array;  (* Domain.id land 255 -> telemetry dom (memprof attribution) *)
 }
 
 let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
@@ -199,26 +254,47 @@ let make_cell ~ring_capacity =
     ring_arg = Array.make cap 0;
     ring_mask = cap - 1;
     ring_n = 0;
+    stack_tag = Array.make stack_cap 0;
+    stack_t0 = Array.make stack_cap 0;
+    stack_a0 = Array.make stack_cap 0;
+    stack_m0 = Array.make stack_cap 0;
+    stack_j0 = Array.make stack_cap 0;
+    stack_child_b = Array.make stack_cap 0;
+    stack_child_m = Array.make stack_cap 0;
+    stack_child_j = Array.make stack_cap 0;
+    depth = 0;
+    alloc_bytes = Array.make Tag.count 0;
+    alloc_spans = Array.make Tag.count 0;
+    alloc_minor_gcs = Array.make Tag.count 0;
+    alloc_major_gcs = Array.make Tag.count 0;
+    memprof_samples = Array.make Tag.count 0;
+    memprof_words = Array.make Tag.count 0;
   }
 
 let disabled =
   {
     on = false;
     clock = Monotonic;
+    track_alloc = false;
     vtick = Atomic.make 0;
     cells = [||];
     t0 = 0;
+    dom_map = [||];
   }
 
-let create ?(ring_capacity = 1 lsl 14) ?(clock = Monotonic) ~domains () =
+let create ?(ring_capacity = 1 lsl 14) ?(clock = Monotonic) ?(track_alloc = false) ~domains () =
   if domains <= 0 then invalid_arg "Obs.create: domains must be positive";
   let t =
     {
       on = true;
       clock;
+      (* Allocation deltas are wall-world Gc state: nondeterministic run
+         to run, so they would break the vpar byte-identical exports. *)
+      track_alloc = track_alloc && clock = Monotonic;
       vtick = Atomic.make 0;
       cells = Array.init domains (fun _ -> make_cell ~ring_capacity);
       t0 = 0;
+      dom_map = Array.make 256 0;
     }
   in
   match clock with Monotonic -> { t with t0 = Clock.monotonic_ns () } | Virtual -> t
@@ -226,6 +302,8 @@ let create ?(ring_capacity = 1 lsl 14) ?(clock = Monotonic) ~domains () =
 let enabled t = t.on
 let domains t = Array.length t.cells
 let clock_kind t = t.clock
+let alloc_tracked t = t.track_alloc
+let epoch_ns t = t.t0
 
 (* Raw clock read; only meaningful on an enabled hub. *)
 let now_raw t =
@@ -270,6 +348,126 @@ let[@inline] span t ~dom tag ~arg ~t0 =
     dur
   end
 
+(* -- open-span stack (enter/leave) ---------------------------------------- *)
+
+(* [Gc.allocated_bytes] is domain-local on OCaml 5 (minor + major -
+   promoted words of the calling domain), which is exactly the
+   single-writer counter attribution needs.  It returns an exact integer
+   as a float; runs stay far below 2^53 bytes. *)
+let[@inline] alloc_now () = int_of_float (Gc.allocated_bytes ())
+
+let enter t ~dom tag =
+  if t.on then begin
+    let c = cell t dom in
+    let d = c.depth in
+    if d < stack_cap then begin
+      c.stack_tag.(d) <- Tag.to_int tag;
+      c.stack_t0.(d) <- now_raw t;
+      c.stack_child_b.(d) <- 0;
+      c.stack_child_m.(d) <- 0;
+      c.stack_child_j.(d) <- 0;
+      if t.track_alloc then begin
+        let gs = Gc.quick_stat () in
+        c.stack_a0.(d) <- alloc_now ();
+        c.stack_m0.(d) <- gs.Gc.minor_collections;
+        c.stack_j0.(d) <- gs.Gc.major_collections
+      end
+    end;
+    c.depth <- d + 1
+  end
+
+(* Pop the innermost frame: attribute its self allocation delta (frame
+   delta minus what completed children already claimed) and optionally
+   emit the span into the trace ring.  A leave without a matching enter
+   is a silent no-op — telemetry must never take the pipeline down. *)
+let pop t ~dom ~emit:do_emit ~arg =
+  let c = cell t dom in
+  let d = c.depth - 1 in
+  if d < 0 then 0
+  else begin
+    c.depth <- d;
+    if d >= stack_cap then 0
+    else begin
+      let tag = c.stack_tag.(d) in
+      let t0 = c.stack_t0.(d) in
+      let ts1 = now_raw t in
+      let dur = if ts1 > t0 then ts1 - t0 else 0 in
+      if t.track_alloc then begin
+        let gs = Gc.quick_stat () in
+        let db = alloc_now () - c.stack_a0.(d) in
+        let dm = gs.Gc.minor_collections - c.stack_m0.(d) in
+        let dj = gs.Gc.major_collections - c.stack_j0.(d) in
+        c.alloc_bytes.(tag) <- c.alloc_bytes.(tag) + max 0 (db - c.stack_child_b.(d));
+        c.alloc_minor_gcs.(tag) <- c.alloc_minor_gcs.(tag) + max 0 (dm - c.stack_child_m.(d));
+        c.alloc_major_gcs.(tag) <- c.alloc_major_gcs.(tag) + max 0 (dj - c.stack_child_j.(d));
+        c.alloc_spans.(tag) <- c.alloc_spans.(tag) + 1;
+        if d > 0 then begin
+          c.stack_child_b.(d - 1) <- c.stack_child_b.(d - 1) + db;
+          c.stack_child_m.(d - 1) <- c.stack_child_m.(d - 1) + dm;
+          c.stack_child_j.(d - 1) <- c.stack_child_j.(d - 1) + dj
+        end
+      end
+      else if do_emit then c.alloc_spans.(tag) <- c.alloc_spans.(tag) + 1;
+      if do_emit then emit c ~ts:t0 ~dur ~tag:((tag * 2) + 1) ~arg;
+      dur
+    end
+  end
+
+let leave t ~dom ~arg = if t.on then pop t ~dom ~emit:true ~arg else 0
+
+let cancel t ~dom = if t.on then ignore (pop t ~dom ~emit:false ~arg:0 : int)
+
+let current_tag t ~dom =
+  if not t.on then None
+  else begin
+    let c = cell t dom in
+    if c.depth > 0 && c.depth <= stack_cap then Some (Tag.of_int c.stack_tag.(c.depth - 1))
+    else None
+  end
+
+(* -- memprof attribution hooks -------------------------------------------- *)
+
+(* A Gc.Memprof tracker callback runs on the allocating domain, so it
+   must find that domain's telemetry cell without help from the caller:
+   each pipeline domain registers itself once ([bind_domain]) and the
+   callback looks its own Domain.id up.  The map is a plain int array
+   indexed by (id land 255): ids are process-unique and small, writes are
+   one store, and a collision merely misattributes samples — never
+   crashes. *)
+let bind_domain t ~dom =
+  if t.on then t.dom_map.((Domain.self () :> int) land 255) <- dom
+
+let self_dom t = t.dom_map.((Domain.self () :> int) land 255)
+
+let note_sample t ~words ~samples =
+  if t.on && t.track_alloc then begin
+    let c = cell t (self_dom t) in
+    let tag =
+      if c.depth > 0 && c.depth <= stack_cap then c.stack_tag.(c.depth - 1)
+      else Tag.to_int Tag.Run
+    in
+    c.memprof_samples.(tag) <- c.memprof_samples.(tag) + samples;
+    c.memprof_words.(tag) <- c.memprof_words.(tag) + words
+  end
+
+(* -- live (racy) monitoring reads ----------------------------------------- *)
+
+(* Merged counters read while the pipeline is still running: each slot is
+   a plain int the owning domain stores without fences, so the values may
+   be stale — but OCaml's memory model guarantees no tearing on immediate
+   int array slots, and every counter is monotone, so a sampler sees a
+   (possibly slightly old) consistent-enough view.  For exact numbers use
+   {!snapshot} after the domains have joined. *)
+let counters_now t =
+  let out = Array.make C.n 0 in
+  Array.iter
+    (fun (c : cell) ->
+      for i = 0 to C.n - 1 do
+        out.(i) <- out.(i) + c.counters.(i)
+      done)
+    t.cells;
+  out
+
 (* -- snapshot ------------------------------------------------------------- *)
 
 type event = {
@@ -289,6 +487,13 @@ type snapshot = {
   events : event list;  (* all domains, sorted by (ts, dom) *)
   dropped : int;
   virtual_clock : bool;
+  alloc_tracked : bool;
+  alloc_bytes : int array;  (* merged self bytes, indexed by Tag.to_int *)
+  alloc_spans : int array;
+  alloc_minor_gcs : int array;
+  alloc_major_gcs : int array;
+  memprof_samples : int array;
+  memprof_words : int array;
 }
 
 let snapshot t =
@@ -301,6 +506,13 @@ let snapshot t =
     (fun (c : cell) ->
       Array.iteri (fun i h -> Stats.Histogram.merge_into ~src:h ~dst:hists.(i)) c.hists)
     t.cells;
+  let merge_tags field =
+    let out = Array.make Tag.count 0 in
+    Array.iter
+      (fun (c : cell) -> Array.iteri (fun i v -> out.(i) <- out.(i) + v) (field c))
+      t.cells;
+    out
+  in
   let dropped = ref 0 in
   let events = ref [] in
   Array.iteri
@@ -337,8 +549,17 @@ let snapshot t =
     events;
     dropped = !dropped;
     virtual_clock = (t.clock = Virtual);
+    alloc_tracked = t.track_alloc;
+    alloc_bytes = merge_tags (fun c -> c.alloc_bytes);
+    alloc_spans = merge_tags (fun c -> c.alloc_spans);
+    alloc_minor_gcs = merge_tags (fun c -> c.alloc_minor_gcs);
+    alloc_major_gcs = merge_tags (fun c -> c.alloc_major_gcs);
+    memprof_samples = merge_tags (fun c -> c.memprof_samples);
+    memprof_words = merge_tags (fun c -> c.memprof_words);
   }
 
 let counter snap id = snap.counters.(id)
 
 let counter_per_domain snap id = Array.map (fun pd -> pd.(id)) snap.per_domain
+
+let attributed_bytes snap = Array.fold_left ( + ) 0 snap.alloc_bytes

@@ -5,7 +5,15 @@
     Every domain of the profiling pipeline (producer = domain 0, worker
     [w] = domain [w+1]) is the single writer of its own cell, so the hot
     path needs no synchronization.  A disabled hub ({!disabled}) costs
-    one branch per call site. *)
+    one branch per call site.
+
+    Self-profiling (ISSUE 8): each cell also carries an open-span stack
+    ({!enter}/{!leave}/{!cancel}).  On a hub created with
+    [~track_alloc:true] every frame boundary captures the domain-local
+    [Gc.allocated_bytes] counter and the global GC collection counts, so
+    leaving a frame attributes the frame's *self* allocation (delta minus
+    nested children) to its tag — a per-stage bytes table whose total
+    matches the process-global allocation of the run. *)
 
 (** Event taxonomy of the trace rings. *)
 module Tag : sig
@@ -19,10 +27,15 @@ module Tag : sig
     | Merge  (** end-of-run merge of worker dependence maps *)
     | Run  (** whole instrumented run *)
     | Abort  (** supervisor aborted the run; arg = reason code *)
+    | Worker  (** one worker domain's whole consume loop; arg = worker id *)
 
+  val all : t array
   val to_int : t -> int
   val of_int : int -> t
   val name : t -> string
+
+  val count : int
+  (** number of tags; the length of per-tag attribution arrays *)
 end
 
 (** Counter ids (dense array indices; see [names]). *)
@@ -68,6 +81,10 @@ module C : sig
   val static_pruned_deps : int
   (** distinct (location, var, is-write) access sites pruning silenced *)
 
+  val chunks_processed : int
+  (** chunks consumed worker-side; [chunks_pushed - chunks_processed]
+      approximates live queue occupancy for the progress sampler *)
+
   val names : string array
   val n : int
 end
@@ -94,14 +111,25 @@ type t
 val disabled : t
 (** The always-off hub: every operation is one branch and a return. *)
 
-val create : ?ring_capacity:int -> ?clock:clock_kind -> domains:int -> unit -> t
+val create :
+  ?ring_capacity:int -> ?clock:clock_kind -> ?track_alloc:bool -> domains:int -> unit -> t
 (** [domains] = producer + workers (so [workers + 1] for the parallel
     pipeline, 1 for serial engines).  [ring_capacity] (default 2^14)
-    is per-domain and rounded up to a power of two. *)
+    is per-domain and rounded up to a power of two.  [track_alloc]
+    (default false) turns on per-stage allocation/GC attribution at
+    {!enter}/{!leave} boundaries; it is forced off under the [Virtual]
+    clock because Gc state is nondeterministic run to run. *)
 
 val enabled : t -> bool
 val domains : t -> int
 val clock_kind : t -> clock_kind
+
+val alloc_tracked : t -> bool
+(** whether this hub attributes allocation at span boundaries *)
+
+val epoch_ns : t -> int
+(** The monotonic clock value at hub creation; event timestamps are
+    relative to it.  0 under the Virtual clock. *)
 
 val now : t -> int
 (** Current timestamp (ns, or virtual ticks); 0 on a disabled hub. *)
@@ -120,7 +148,43 @@ val instant : t -> dom:int -> Tag.t -> arg:int -> unit
 
 val span : t -> dom:int -> Tag.t -> arg:int -> t0:int -> int
 (** Emit a span that started at [t0] (a prior {!now}) and ends now.
-    Returns the duration (0 on a disabled hub). *)
+    Returns the duration (0 on a disabled hub).  Stackless: no
+    allocation attribution; prefer {!enter}/{!leave} inside the
+    pipeline. *)
+
+val enter : t -> dom:int -> Tag.t -> unit
+(** Push an open span frame onto [dom]'s stack, capturing the entry
+    timestamp and (when {!alloc_tracked}) the allocation/GC counters.
+    Only the owning domain may call this. *)
+
+val leave : t -> dom:int -> arg:int -> int
+(** Pop the innermost frame: emit its span into the trace ring and
+    attribute its self allocation delta to its tag.  Returns the span
+    duration (0 on a disabled hub or unmatched leave). *)
+
+val cancel : t -> dom:int -> unit
+(** Pop the innermost frame *without* emitting a trace event, still
+    attributing its allocation (for spans that turn out not to be
+    delivered, e.g. a flush dropped by backpressure). *)
+
+val current_tag : t -> dom:int -> Tag.t option
+(** The innermost open span's tag, if any. *)
+
+val bind_domain : t -> dom:int -> unit
+(** Register the *calling* OS domain as telemetry domain [dom], so
+    asynchronous callbacks (Gc.Memprof trackers) running on it can find
+    its cell.  Each pipeline domain calls this once at startup. *)
+
+val note_sample : t -> words:int -> samples:int -> unit
+(** Credit a Gc.Memprof allocation sample to the calling domain's
+    innermost open span (or Run when none is open).  No-op unless
+    {!alloc_tracked}. *)
+
+val counters_now : t -> int array
+(** Merged counters read live, while the pipeline may still be running.
+    Monitoring only: values can be slightly stale (plain unfenced int
+    reads — no tearing, but no ordering either).  For exact numbers use
+    {!snapshot} after the domains have joined. *)
 
 type event = {
   dom : int;
@@ -139,6 +203,13 @@ type snapshot = {
   events : event list;  (** sorted by (ts, dom) *)
   dropped : int;  (** ring overwrites across all domains *)
   virtual_clock : bool;
+  alloc_tracked : bool;  (** whether the alloc arrays below carry data *)
+  alloc_bytes : int array;  (** self bytes per stage, indexed by [Tag.to_int] *)
+  alloc_spans : int array;  (** spans attributed per stage *)
+  alloc_minor_gcs : int array;  (** minor collections ending inside the stage *)
+  alloc_major_gcs : int array;
+  memprof_samples : int array;  (** Gc.Memprof samples landed per stage *)
+  memprof_words : int array;
 }
 
 val snapshot : t -> snapshot
@@ -147,3 +218,7 @@ val snapshot : t -> snapshot
 
 val counter : snapshot -> int -> int
 val counter_per_domain : snapshot -> int -> int array
+
+val attributed_bytes : snapshot -> int
+(** Sum of [alloc_bytes] over all stages: the allocation the span stacks
+    accounted for, to cross-check against a [Gc.quick_stat] delta. *)

@@ -1,0 +1,116 @@
+(* Live progress sampler: a monitoring domain that periodically reads
+   the hub's merged counters ([Obs.counters_now] — racy-but-monotone by
+   design) and renders them as an in-place status line and/or an NDJSON
+   stream, the scrape format the planned ddpd daemon will serve.
+
+   The sampler never writes to the hub and never blocks the pipeline:
+   it sleeps, reads plain int arrays, formats, and prints.  [stop] sets
+   an atomic flag, joins the domain, and emits one final sample from the
+   caller so even a run shorter than one interval produces at least one
+   NDJSON line. *)
+
+module Clock = Ddp_util.Clock
+
+let schema = "ddp-progress/1"
+
+type sink = {
+  status : (string -> unit) option;  (* in-place status line *)
+  out : out_channel option;  (* NDJSON stream *)
+}
+
+type t = {
+  hub : Obs.t;
+  sink : sink;
+  interval : float;
+  expect_events : int option;  (* for the ETA, when the caller knows *)
+  stop_flag : bool Atomic.t;
+  mutable sampler : unit Domain.t option;
+  t_start_ns : int;
+  mutable last_t : float;  (* seconds since start, previous sample *)
+  mutable last_events : int;
+}
+
+(* One NDJSON object per sample; keep keys sorted-stable so the stream
+   diffs cleanly.  eta_s is null until a rate and a target exist. *)
+let render_json ~t_s ~events ~rate ~queue_chunks ~dropped_events ~crashes ~eta =
+  let eta_field = match eta with None -> "null" | Some s -> Printf.sprintf "%.1f" s in
+  Printf.sprintf
+    {|{"schema":"%s","t_s":%.3f,"events":%d,"events_per_s":%.0f,"queue_chunks":%d,"dropped_events":%d,"worker_crashes":%d,"eta_s":%s}|}
+    schema t_s events rate queue_chunks dropped_events crashes eta_field
+
+let render_status ~t_s ~events ~rate ~queue_chunks ~dropped_events ~crashes ~eta =
+  let eta_str = match eta with None -> "" | Some s -> Printf.sprintf " | eta %.0fs" s in
+  let health = if crashes = 0 then "workers ok" else Printf.sprintf "%d worker CRASHES" crashes in
+  Printf.sprintf "\r[ddprof] %6.1fs | %.2e ev | %8.0f ev/s | q=%-3d | drops=%d | %s%s%!" t_s
+    (float_of_int events) rate queue_chunks dropped_events health eta_str
+
+let sample t =
+  let c = Obs.counters_now t.hub in
+  let t_s = float_of_int (Clock.monotonic_ns () - t.t_start_ns) /. 1e9 in
+  let events = c.(Obs.C.events_processed) in
+  let dt = t_s -. t.last_t in
+  let rate = if dt > 1e-9 then float_of_int (events - t.last_events) /. dt else 0.0 in
+  t.last_t <- t_s;
+  t.last_events <- events;
+  let queue_chunks = max 0 (c.(Obs.C.chunks_pushed) - c.(Obs.C.chunks_processed)) in
+  let dropped_events = c.(Obs.C.bp_dropped_events) in
+  let crashes = c.(Obs.C.worker_crashes) in
+  let eta =
+    match t.expect_events with
+    | Some target when rate > 1.0 && target > events ->
+        Some (float_of_int (target - events) /. rate)
+    | _ -> None
+  in
+  (match t.sink.out with
+  | Some oc ->
+      output_string oc
+        (render_json ~t_s ~events ~rate ~queue_chunks ~dropped_events ~crashes ~eta);
+      output_char oc '\n';
+      flush oc
+  | None -> ());
+  match t.sink.status with
+  | Some put -> put (render_status ~t_s ~events ~rate ~queue_chunks ~dropped_events ~crashes ~eta)
+  | None -> ()
+
+let loop t =
+  while not (Atomic.get t.stop_flag) do
+    (* Sleep in small slices so stop is responsive even with a long
+       interval. *)
+    let slept = ref 0.0 in
+    while (not (Atomic.get t.stop_flag)) && !slept < t.interval do
+      let step = Float.min 0.05 (t.interval -. !slept) in
+      Unix.sleepf step;
+      slept := !slept +. step
+    done;
+    if not (Atomic.get t.stop_flag) then sample t
+  done
+
+let start ?(interval = 0.5) ?expect_events ?status ?out hub =
+  let t =
+    {
+      hub;
+      sink = { status; out };
+      interval = Float.max 0.01 interval;
+      expect_events;
+      stop_flag = Atomic.make false;
+      sampler = None;
+      t_start_ns = Clock.monotonic_ns ();
+      last_t = 0.0;
+      last_events = 0;
+    }
+  in
+  if Obs.enabled hub then t.sampler <- Some (Domain.spawn (fun () -> loop t));
+  t
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  (match t.sampler with
+  | Some d ->
+      Domain.join d;
+      t.sampler <- None
+  | None -> ());
+  (* Final sample from the caller's domain: by now the pipeline domains
+     have joined (ddprof stops progress after Profiler.run returns), so
+     this one is exact, and every run emits >= 1 line. *)
+  if Obs.enabled t.hub then sample t;
+  match t.sink.status with Some put -> put "\n" | None -> ()

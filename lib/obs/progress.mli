@@ -1,0 +1,31 @@
+(** Live progress sampler: a monitoring domain that periodically renders
+    the hub's merged counters (events/s, queue occupancy, backpressure
+    drops, worker health, ETA) as an in-place status line and/or an
+    NDJSON stream ([schema] "ddp-progress/1", one object per line).
+
+    Read-only and racy by design: it uses [Obs.counters_now], so values
+    may be slightly stale; the final sample emitted by {!stop} (after
+    the pipeline domains joined) is exact.  {!stop} always emits that
+    final sample, so even a sub-interval run produces >= 1 line. *)
+
+val schema : string
+(** "ddp-progress/1" — the value of each line's ["schema"] field. *)
+
+type t
+
+val start :
+  ?interval:float ->
+  ?expect_events:int ->
+  ?status:(string -> unit) ->
+  ?out:out_channel ->
+  Obs.t ->
+  t
+(** Spawn the sampler domain (no-op on a disabled hub).  [interval]
+    (default 0.5s, floor 10ms) is the sampling period; [expect_events]
+    enables the ETA estimate; [status] receives the rendered in-place
+    line (e.g. prerr_string); [out] receives NDJSON lines (the channel
+    stays owned by the caller and is not closed). *)
+
+val stop : t -> unit
+(** Stop and join the sampler, then emit one exact final sample from the
+    calling domain.  Call after the profiled run returned. *)

@@ -1,0 +1,70 @@
+(* Self-monitoring consumer for OCaml 5 Runtime_events: GC phase spans
+   on the same timeline as the obs trace rings.
+
+   [Runtime_events.start] turns on the runtime's own per-domain ring
+   buffers; [create_cursor None] attaches to the *current* process, so
+   no files or external tooling are involved.  Ring timestamps are
+   CLOCK_MONOTONIC nanoseconds — the same base as Clock.monotonic_ns
+   (clock_stubs.c), so rebasing against [Obs.epoch_ns] puts GC phases
+   and obs spans on one Chrome-trace timeline.
+
+   Single-consumer discipline: [poll]/[finish] must be called from one
+   domain (ddprof polls from the main domain after the run).  The
+   runtime's rings hold the last 2^16 events per domain; a long run can
+   overwrite unread entries, which the [lost] counter reports rather
+   than hides. *)
+
+type phase = {
+  ring : int;  (* runtime-events ring id, approximately the domain index *)
+  name : string;  (* Runtime_events.runtime_phase_name *)
+  ts_ns : int;  (* absolute CLOCK_MONOTONIC ns of phase begin *)
+  dur_ns : int;
+}
+
+type t = {
+  cursor : Runtime_events.cursor;
+  callbacks : Runtime_events.Callbacks.t;
+  phases : phase list ref;  (* completed, reverse order *)
+  lost : int ref;
+}
+
+let ns_of ts = Int64.to_int (Runtime_events.Timestamp.to_int64 ts)
+
+let start () =
+  match
+    Runtime_events.start ();
+    Runtime_events.create_cursor None
+  with
+  | cursor ->
+      let starts : (int * Runtime_events.runtime_phase, int) Hashtbl.t = Hashtbl.create 64 in
+      let phases = ref [] in
+      let lost = ref 0 in
+      let runtime_begin ring ts phase = Hashtbl.replace starts (ring, phase) (ns_of ts) in
+      let runtime_end ring ts phase =
+        match Hashtbl.find_opt starts (ring, phase) with
+        | None -> ()
+        | Some t0 ->
+            Hashtbl.remove starts (ring, phase);
+            let t1 = ns_of ts in
+            phases :=
+              {
+                ring;
+                name = Runtime_events.runtime_phase_name phase;
+                ts_ns = t0;
+                dur_ns = max 0 (t1 - t0);
+              }
+              :: !phases
+      in
+      let lost_events _ring n = lost := !lost + n in
+      let callbacks = Runtime_events.Callbacks.create ~runtime_begin ~runtime_end ~lost_events () in
+      Some { cursor; callbacks; phases; lost }
+  | exception _ -> None
+
+let poll t = try ignore (Runtime_events.read_poll t.cursor t.callbacks None : int) with _ -> ()
+
+let lost t = !(t.lost)
+
+let finish t =
+  poll t;
+  (try Runtime_events.free_cursor t.cursor with _ -> ());
+  List.rev !(t.phases)

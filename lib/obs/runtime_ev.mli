@@ -1,0 +1,32 @@
+(** Self-monitoring consumer for OCaml 5 [Runtime_events]: collects GC
+    phase begin/end pairs from the runtime's own ring buffers so they
+    can be fused onto the obs Chrome-trace timeline.
+
+    Timestamps are absolute CLOCK_MONOTONIC nanoseconds — the same base
+    as [Clock.monotonic_ns] — so callers rebase with [Obs.epoch_ns].
+
+    Single consumer: call {!poll}/{!finish} from one domain only. *)
+
+type phase = {
+  ring : int;  (** runtime-events ring id (≈ domain index) *)
+  name : string;  (** e.g. "minor", "major_slice", "stw_leader" *)
+  ts_ns : int;  (** absolute monotonic ns of phase begin *)
+  dur_ns : int;
+}
+
+type t
+
+val start : unit -> t option
+(** Enable the runtime's event rings and attach a self cursor.  [None]
+    if this runtime cannot (never raises). *)
+
+val poll : t -> unit
+(** Drain currently buffered events.  The runtime keeps the last 2^16
+    events per domain; poll often enough or accept {!lost}. *)
+
+val lost : t -> int
+(** Events the runtime overwrote before we read them. *)
+
+val finish : t -> phase list
+(** Final poll, release the cursor, return completed phases in
+    chronological order. *)

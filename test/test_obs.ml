@@ -220,6 +220,207 @@ let test_vpar_deterministic_exports () =
     (Json.to_string (Export.chrome_trace snap_a)
     <> Json.to_string (Export.chrome_trace snap_c))
 
+(* -- self-profiling: span stacks + allocation attribution ------------------ *)
+
+let test_alloc_attribution_nesting () =
+  (* A frame's *self* allocation excludes its children: the 800 KB array
+     allocated inside the Process frame must land on Process, not Run. *)
+  let t = Obs.create ~track_alloc:true ~domains:1 () in
+  Alcotest.(check bool) "alloc tracked" true (Obs.alloc_tracked t);
+  Obs.enter t ~dom:0 Obs.Tag.Run;
+  Obs.enter t ~dom:0 Obs.Tag.Process;
+  let big = Sys.opaque_identity (Array.make 100_000 0.0) in
+  ignore (Sys.opaque_identity big.(42));
+  ignore (Obs.leave t ~dom:0 ~arg:100_000 : int);
+  ignore (Obs.leave t ~dom:0 ~arg:0 : int);
+  let snap = Obs.snapshot t in
+  Alcotest.(check bool) "snapshot carries alloc" true snap.Obs.alloc_tracked;
+  let proc = snap.Obs.alloc_bytes.(Obs.Tag.to_int Obs.Tag.Process) in
+  let run_self = snap.Obs.alloc_bytes.(Obs.Tag.to_int Obs.Tag.Run) in
+  Alcotest.(check bool) "array attributed to Process" true (proc >= 800_000);
+  Alcotest.(check bool) "not double-counted on Run" true (run_self < 800_000);
+  Alcotest.(check int) "one Process span" 1
+    snap.Obs.alloc_spans.(Obs.Tag.to_int Obs.Tag.Process);
+  Alcotest.(check bool) "attributed total covers the array" true
+    (Obs.attributed_bytes snap >= 800_000)
+
+let test_alloc_cancel_attributes_silently () =
+  (* cancel pops the frame without a trace event but still books its
+     allocation (a flush dropped by backpressure still allocated). *)
+  let t = Obs.create ~track_alloc:true ~domains:1 () in
+  Obs.enter t ~dom:0 Obs.Tag.Flush;
+  let a = Sys.opaque_identity (Array.make 50_000 0.0) in
+  ignore (Sys.opaque_identity a.(7));
+  Obs.cancel t ~dom:0;
+  let snap = Obs.snapshot t in
+  Alcotest.(check int) "no trace event" 0 (List.length snap.Obs.events);
+  Alcotest.(check bool) "allocation still attributed" true
+    (snap.Obs.alloc_bytes.(Obs.Tag.to_int Obs.Tag.Flush) >= 400_000)
+
+let test_virtual_clock_forces_alloc_off () =
+  (* Gc state is nondeterministic run to run, so the deterministic
+     virtual clock must refuse allocation tracking. *)
+  let t = Obs.create ~clock:Obs.Virtual ~track_alloc:true ~domains:1 () in
+  Alcotest.(check bool) "forced off under Virtual" false (Obs.alloc_tracked t)
+
+let test_counters_now_live () =
+  let t = Obs.create ~clock:Obs.Virtual ~domains:2 () in
+  Obs.add t ~dom:0 Obs.C.events_processed 10;
+  let a = (Obs.counters_now t).(Obs.C.events_processed) in
+  Obs.add t ~dom:1 Obs.C.events_processed 32;
+  let b = (Obs.counters_now t).(Obs.C.events_processed) in
+  Alcotest.(check int) "first read" 10 a;
+  Alcotest.(check int) "second read merges both domains" 42 b;
+  Alcotest.(check int) "agrees with the final snapshot" 42
+    (Obs.counter (Obs.snapshot t) Obs.C.events_processed)
+
+(* Property: concurrent single-writer domains never lose counts — the
+   merged snapshot after join is the exact sum, and a racy mid-run
+   [counters_now] read never exceeds it. *)
+let prop_concurrent_snapshot_merge =
+  QCheck.Test.make ~name:"concurrent snapshot merge is exact" ~count:30
+    QCheck.(list_of_size Gen.(int_range 1 4) (int_range 0 2000))
+    (fun counts ->
+      let n = List.length counts in
+      let t = Obs.create ~clock:Obs.Virtual ~domains:n () in
+      let live = Atomic.make 0 in
+      let domains =
+        List.mapi
+          (fun dom c ->
+            Domain.spawn (fun () ->
+                for _ = 1 to c do
+                  Obs.incr t ~dom Obs.C.events_processed
+                done;
+                Atomic.incr live))
+          counts
+      in
+      let racy = (Obs.counters_now t).(Obs.C.events_processed) in
+      List.iter Domain.join domains;
+      let snap = Obs.snapshot t in
+      let total = List.fold_left ( + ) 0 counts in
+      Obs.counter snap Obs.C.events_processed = total
+      && racy >= 0 && racy <= total
+      && Obs.counter_per_domain snap Obs.C.events_processed = Array.of_list counts)
+
+(* -- metrics schema gate --------------------------------------------------- *)
+
+let test_check_schema () =
+  let snap, _ = vpar_snapshot ~sched_seed:5 ~prog_seed:1234 in
+  let j = Export.metrics_json snap in
+  (match Export.check_schema j with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "current export rejected: %s" msg);
+  (match Export.check_schema (Json.Obj [ ("schema", Json.Str "ddp-metrics/1") ]) with
+  | Error msg ->
+    let has needle =
+      let n = String.length needle and m = String.length msg in
+      let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "message names both versions" true
+      (has "ddp-metrics/1" && has Export.schema_version)
+  | Ok () -> Alcotest.fail "older schema accepted");
+  (match Export.check_schema (Json.Obj [ ("counters", Json.Obj []) ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing schema accepted");
+  (match Export.check_schema ~expect:"ddp-metrics/1" (Json.Obj [ ("schema", Json.Str "ddp-metrics/1") ]) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "explicit expect rejected: %s" msg)
+
+(* -- runtime gates: memprof sampling and runtime-events -------------------- *)
+
+let test_memprof_gate_never_raises () =
+  (* On OCaml 5.0-5.2 Gc.Memprof.start raises in multicore programs;
+     start must degrade to a status, never crash, on every runtime. *)
+  let t = Obs.create ~track_alloc:true ~domains:1 () in
+  let st = Ddp_obs.Memprof_attr.start ~rate:0.001 t in
+  (match st with
+  | Ddp_obs.Memprof_attr.Running | Ddp_obs.Memprof_attr.Unavailable _ -> ()
+  | Ddp_obs.Memprof_attr.Disabled -> Alcotest.fail "alloc-tracking hub reported Disabled");
+  Alcotest.(check bool) "describe non-empty" true
+    (String.length (Ddp_obs.Memprof_attr.describe st) > 0);
+  Ddp_obs.Memprof_attr.stop st;
+  (* Rate 0 and non-tracking hubs are Disabled, not errors. *)
+  (match Ddp_obs.Memprof_attr.start ~rate:0.0 t with
+  | Ddp_obs.Memprof_attr.Disabled -> ()
+  | _ -> Alcotest.fail "rate 0 not Disabled");
+  let plain = Obs.create ~domains:1 () in
+  match Ddp_obs.Memprof_attr.start ~rate:0.001 plain with
+  | Ddp_obs.Memprof_attr.Disabled -> ()
+  | _ -> Alcotest.fail "non-tracking hub not Disabled"
+
+let test_runtime_ev_gate () =
+  (* start is None on runtimes without Runtime_events; when it works,
+     poll/finish must not crash and phases must be well-formed. *)
+  match Ddp_obs.Runtime_ev.start () with
+  | None -> ()
+  | Some r ->
+    Ddp_obs.Runtime_ev.poll r;
+    ignore (Sys.opaque_identity (Array.make 200_000 0.0));
+    Gc.minor ();
+    Alcotest.(check bool) "lost >= 0" true (Ddp_obs.Runtime_ev.lost r >= 0);
+    let phases = Ddp_obs.Runtime_ev.finish r in
+    List.iter
+      (fun (p : Ddp_obs.Runtime_ev.phase) ->
+        Alcotest.(check bool) "phase named" true (String.length p.name > 0);
+        Alcotest.(check bool) "duration >= 0" true (p.dur_ns >= 0))
+      phases
+
+(* -- live progress sampler ------------------------------------------------- *)
+
+let test_progress_ndjson () =
+  let t = Obs.create ~domains:2 () in
+  Obs.add t ~dom:0 Obs.C.chunks_pushed 8;
+  Obs.add t ~dom:1 Obs.C.events_processed 4096;
+  let path = Filename.temp_file "ddp_progress" ".ndjson" in
+  let oc = open_out path in
+  let statuses = ref 0 in
+  let p =
+    Ddp_obs.Progress.start ~interval:0.01 ~expect_events:8192
+      ~status:(fun _ -> incr statuses)
+      ~out:oc t
+  in
+  Unix.sleepf 0.05;
+  Obs.add t ~dom:1 Obs.C.events_processed 1024;
+  Ddp_obs.Progress.stop p;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check bool) "at least the final sample" true (List.length lines >= 1);
+  Alcotest.(check bool) "status line rendered" true (!statuses >= 1);
+  let prev_t = ref neg_infinity and prev_ev = ref (-1) in
+  List.iter
+    (fun line ->
+      let j = Json.parse line in
+      let str k = Option.bind (Json.member k j) Json.to_str in
+      let num k = Option.bind (Json.member k j) Json.to_float in
+      Alcotest.(check (option string)) "schema" (Some Ddp_obs.Progress.schema) (str "schema");
+      List.iter
+        (fun k ->
+          match num k with
+          | Some v -> Alcotest.(check bool) (k ^ " >= 0") true (v >= 0.0)
+          | None -> Alcotest.failf "field %s missing in %s" k line)
+        [ "t_s"; "events"; "events_per_s"; "queue_chunks"; "dropped_events"; "worker_crashes" ];
+      let t_s = Option.get (num "t_s") and ev = int_of_float (Option.get (num "events")) in
+      Alcotest.(check bool) "t_s monotone" true (t_s >= !prev_t);
+      Alcotest.(check bool) "events monotone" true (ev >= !prev_ev);
+      prev_t := t_s;
+      prev_ev := ev)
+    lines;
+  (* The exact final sample sees every count added before stop. *)
+  Alcotest.(check int) "final events exact" 5120 !prev_ev;
+  (* A disabled hub spawns nothing and writes nothing. *)
+  let p = Ddp_obs.Progress.start Obs.disabled in
+  Ddp_obs.Progress.stop p
+
 (* -- engine wrapper -------------------------------------------------------- *)
 
 let test_with_obs_serial () =
@@ -262,4 +463,13 @@ let suite =
     Alcotest.test_case "vpar deterministic exports" `Quick test_vpar_deterministic_exports;
     Alcotest.test_case "with_obs serial engine" `Quick test_with_obs_serial;
     Alcotest.test_case "with_obs disabled identity" `Quick test_with_obs_disabled_identity;
+    Alcotest.test_case "alloc attribution nesting" `Quick test_alloc_attribution_nesting;
+    Alcotest.test_case "alloc cancel attributes silently" `Quick test_alloc_cancel_attributes_silently;
+    Alcotest.test_case "virtual clock forces alloc off" `Quick test_virtual_clock_forces_alloc_off;
+    Alcotest.test_case "counters_now live reads" `Quick test_counters_now_live;
+    Alcotest.test_case "metrics schema gate" `Quick test_check_schema;
+    Alcotest.test_case "memprof gate never raises" `Quick test_memprof_gate_never_raises;
+    Alcotest.test_case "runtime-events gate" `Quick test_runtime_ev_gate;
+    Alcotest.test_case "progress ndjson" `Quick test_progress_ndjson;
+    Test_seed.to_alcotest prop_concurrent_snapshot_merge;
   ]

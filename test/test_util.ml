@@ -194,6 +194,40 @@ let test_histogram_percentile () =
       prev := v)
     [ 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ]
 
+let test_histogram_percentile_edges () =
+  let module H = Stats.Histogram in
+  (* Single sample: every percentile collapses into that sample's bucket. *)
+  let h = H.create () in
+  H.add h 5;
+  List.iter
+    (fun p ->
+      let v = H.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "single sample p%.0f in [4,7]" p)
+        true
+        (v >= 4.0 && v <= 7.0))
+    [ 0.0; 50.0; 100.0 ];
+  (* Bucket 0 (non-positive samples): percentiles stay at the floor. *)
+  let h0 = H.create () in
+  H.add h0 0;
+  H.add h0 (-3);
+  Alcotest.(check bool) "bucket-0 p100 <= 0" true (H.percentile h0 100.0 <= 0.0);
+  (* Top-bucket saturation: a max_int sample must keep percentiles finite
+     and inside the top bucket, not overflow the interpolation. *)
+  let ht = H.create () in
+  H.add ht max_int;
+  let p100 = H.percentile ht 100.0 in
+  Alcotest.(check bool) "top bucket finite" true (Float.is_finite p100);
+  Alcotest.(check bool) "top bucket >= its lower bound" true
+    (p100 >= float_of_int (H.lower_bound (H.nbuckets - 1)));
+  (* Mixed floor and ceiling: p0 and p100 land in the extreme buckets. *)
+  let hm = H.create () in
+  H.add hm 0;
+  H.add hm max_int;
+  Alcotest.(check bool) "mixed p0 at floor" true (H.percentile hm 0.0 <= 1.0);
+  Alcotest.(check bool) "mixed p100 at ceiling" true
+    (H.percentile hm 100.0 >= float_of_int (H.lower_bound (H.nbuckets - 1)))
+
 let test_mem_account_concurrent () =
   let t = Mem_account.create () in
   let domains =
@@ -247,6 +281,7 @@ let suite =
     Alcotest.test_case "histogram add/fold" `Quick test_histogram_add_fold;
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
+    Alcotest.test_case "histogram percentile edges" `Quick test_histogram_percentile_edges;
     Test_seed.to_alcotest prop_rng_bounds;
     Test_seed.to_alcotest prop_percentile_bounds;
   ]
