@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke fuzz-smoke fuzz-nightly bench _bench-collect bench-json bench-quick bench-baseline bench-ratchet bench-ratchet-selftest clean
+.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke daemon-smoke daemon-chaos fuzz-smoke fuzz-nightly bench _bench-collect bench-json bench-quick bench-baseline bench-ratchet bench-ratchet-selftest clean
 
 all: build
 
@@ -102,6 +102,37 @@ dag-smoke: build
 	done
 	@mkdir -p _dag
 	$(TIMEOUT) $(DDPCHECK) dag --seed $(DDP_SEED) --count 25 --out _dag
+
+# The daemon end to end, with the real ddpd binary: boot it on a fresh
+# socket, submit the kmeans workload (~5M events) and diff the daemon's
+# dependence keys against an in-process batch run (submit exits 1 on
+# any mismatch), scrape STATUS, then SIGTERM — the drain must flush
+# metrics and exit 0.  Log + final metrics land in _daemon/.
+daemon-smoke: build
+	@mkdir -p _daemon; rm -f _daemon/ddpd.sock; \
+	_build/default/bin/ddpd.exe --socket _daemon/ddpd.sock --idle-timeout 60 \
+	  --metrics-out _daemon/metrics.json >_daemon/ddpd.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	sleep 1; \
+	$(TIMEOUT) $(DDPROF) submit kmeans --daemon _daemon/ddpd.sock --mode serial --diff-batch || exit 1; \
+	$(DDPROF) daemon-status --daemon _daemon/ddpd.sock || exit 1; \
+	echo "== SIGTERM drain =="; \
+	kill -TERM $$pid; \
+	wait $$pid; code=$$?; \
+	trap - EXIT; \
+	test $$code -eq 0 || { echo "FAIL: drain exited $$code"; cat _daemon/ddpd.log; exit 1; }; \
+	test -f _daemon/metrics.json || { echo "FAIL: no metrics flushed on shutdown"; exit 1; }; \
+	echo "daemon-smoke OK: keys == batch run, STATUS served, drained with exit 0"
+
+# Supervision under fire: concurrent clients against an in-process
+# server with injected crashes, corrupt frames, truncations, stalls and
+# disconnects.  Victims must end Partial with loss == their obs
+# counters; survivors must match a serial batch run exactly.  Failure
+# reports land in _daemon/.
+daemon-chaos: build
+	@mkdir -p _daemon
+	$(TIMEOUT) $(DDPCHECK) daemon --seed $(DDP_SEED) --count 10 --clients 5 --out _daemon
 
 # Differential fuzzing + schedule exploration, small fixed-seed budget
 # (~30s): every engine diffed against the perfect oracle, the virtual

@@ -363,6 +363,18 @@ let run_dag seed count out =
     1
   end
 
+(* -- daemon chaos ---------------------------------------------------------- *)
+
+let clients_arg =
+  Arg.(
+    value & opt int 5
+    & info [ "clients" ] ~docv:"K"
+        ~doc:"Concurrent clients per run (minimum 4; at least one is a fault-injected victim).")
+
+let run_daemon seed count clients out =
+  let master = resolve_seed seed in
+  TK.Daemon_chaos.run ~clients ~count ~seed:master ?out ()
+
 (* -- commands ------------------------------------------------------------- *)
 
 let diff_cmd =
@@ -416,6 +428,16 @@ let all_cmd =
        ~doc:"Run diff, sched, mutants, soundness and dag sweeps (the CI smoke entry point).")
     Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg)
 
+let daemon_cmd =
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:
+         "Chaos-test the profiling daemon: concurrent clients against an in-process server with \
+          injected crashes, corrupt frames, truncations, stalls and disconnects; victims must end \
+          Partial with loss matching their obs counters, survivors must match a serial batch run \
+          exactly.")
+    Term.(const (fun s c k o -> Stdlib.exit (run_daemon s c k o)) $ seed_arg $ count_arg $ clients_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "ddpcheck" ~version:"1.0"
@@ -425,4 +447,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd; dag_cmd ]))
+          [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd; dag_cmd; daemon_cmd ]))

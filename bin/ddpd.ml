@@ -1,0 +1,125 @@
+(* ddpd: the data-dependence profiling daemon.
+
+   One process, one Unix-domain socket, N concurrent profiling sessions
+   multiplexed over a fixed pool of W worker domains.  See DESIGN.md
+   (lib/daemon) for the wire protocol and the supervision/degradation
+   ladder; `ddprof submit --daemon SOCK` is the matching client.
+
+   SIGTERM/SIGINT trigger a graceful drain: stop admitting, let
+   in-flight sessions finish (salvaging stragglers as Partial), flush
+   metrics, exit 0. *)
+
+let () = Ddp_baselines.Baseline_engines.register ()
+
+open Cmdliner
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"SOCK" ~doc:"Unix-domain socket path to listen on.")
+
+let workers_arg =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"W" ~doc:"Shared worker pool size (domains).")
+
+let max_sessions_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "max-sessions" ] ~docv:"N"
+        ~doc:"Admission slots: concurrent sessions beyond this get a typed BUSY retry-after reply.")
+
+let queue_budget_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-budget" ] ~docv:"N"
+        ~doc:
+          "Max queued batches per session; overflow is handled by the session's backpressure \
+           policy (from its HELLO).")
+
+let batch_size_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "batch-size" ] ~docv:"N" ~doc:"Events per batch handed to the worker pool.")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "idle-timeout" ] ~docv:"SECS"
+        ~doc:
+          "A session that sends no frame for SECS is aborted as stalled (Partial verdict, slots \
+           reclaimed).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECS"
+        ~doc:"Default wall-clock budget per session (a HELLO deadline= overrides it).")
+
+let watermark_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "degrade-watermark" ] ~docv:"N"
+        ~doc:
+          "Global queued-batch level at which the daemon degrades: sessions with a block policy \
+           are escalated to sampling before any admission is refused.")
+
+let drain_grace_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "drain-grace" ] ~docv:"SECS"
+        ~doc:"Seconds to let in-flight sessions finish on SIGTERM before salvaging them.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"Write the final ddpd-status/1 document to FILE on shutdown (crash-safe tmp+rename).")
+
+let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"No per-session log lines on stderr.")
+
+let run socket workers max_sessions queue_budget batch_size idle_timeout deadline watermark
+    drain_grace metrics_out quiet =
+  let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "ddpd: %s\n%!" s in
+  let cfg =
+    {
+      (Ddp_daemon.Server.default_config ~socket_path:socket) with
+      Ddp_daemon.Server.workers;
+      max_sessions;
+      queue_budget;
+      batch_size;
+      idle_timeout;
+      session_deadline = deadline;
+      degrade_watermark = watermark;
+      drain_grace;
+      metrics_out;
+      log;
+    }
+  in
+  let server =
+    try Ddp_daemon.Server.start cfg
+    with Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "ddpd: cannot listen on %s: %s %s\n" socket (Unix.error_message e) arg;
+      exit 1
+  in
+  (* Graceful drain on both signals; the handler only flips a flag, the
+     main thread (parked in [wait]) runs the actual drain and exits 0. *)
+  let request _ = Ddp_daemon.Server.request_stop server in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request);
+  Ddp_daemon.Server.wait server
+
+let main =
+  Cmd.v
+    (Cmd.info "ddpd"
+       ~doc:
+         "Data-dependence profiling daemon: concurrent sessions over a Unix-domain socket, \
+          multiplexed onto a fixed worker-domain pool, with admission control, per-tenant fault \
+          isolation and graceful degradation.  SIGTERM drains and exits 0.")
+    Term.(
+      const run $ socket_arg $ workers_arg $ max_sessions_arg $ queue_budget_arg $ batch_size_arg
+      $ idle_timeout_arg $ deadline_arg $ watermark_arg $ drain_grace_arg $ metrics_out_arg
+      $ quiet_arg)
+
+let () = exit (Cmd.eval main)

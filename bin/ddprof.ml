@@ -335,6 +335,8 @@ let run_cmd =
     | Some _ -> print_endline "static prune plan: (no variable proved dependence-free)"
     | None -> ());
     let account = Ddp_util.Mem_account.create () in
+    (* SIGINT/SIGTERM mid-record must not leave a stale FILE.tmp *)
+    if record <> None then Ddp_util.Tmp_file.install_signal_cleanup ();
     let recording = Option.map (fun path -> Ddp_minir.Trace_file.start_recording ~path) record in
     let tee = Option.map Ddp_minir.Trace_file.recording_hooks recording in
     let track_alloc = memprof_rate > 0.0 in
@@ -528,6 +530,7 @@ let path_arg =
 let record_cmd =
   let run name scale variant target_threads seed path =
     let prog = get_program ~variant ~target_threads ~scale name in
+    Ddp_util.Tmp_file.install_signal_cleanup ();
     Ddp_minir.Trace_file.record ~sched_seed:seed ~path prog;
     Printf.printf "trace written to %s\n" path
   in
@@ -1088,6 +1091,144 @@ let static_cmd =
     Term.(
       const run $ opt_name_arg $ scale_arg $ seed_arg $ json_out_arg $ compare_arg $ lint_arg)
 
+(* -- daemon client --------------------------------------------------------- *)
+
+let daemon_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "daemon" ] ~docv:"SOCK" ~doc:"Unix-domain socket path of a running ddpd.")
+
+let submit_cmd =
+  let retries_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Connect/BUSY retries before giving up (capped exponential backoff with jitter).")
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt int (64 * 1024)
+      & info [ "chunk-bytes" ] ~docv:"B"
+          ~doc:
+            "DATA frame payload size.  Small values stress the daemon's incremental decoder with \
+             arbitrary byte splits.")
+  in
+  let label_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "label" ] ~docv:"NAME" ~doc:"Session label shown in ddpd status (default: the workload name).")
+  in
+  let trace_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE" ~doc:"Submit a recorded trace file instead of running a workload.")
+  in
+  let diff_batch_arg =
+    Arg.(
+      value & flag
+      & info [ "diff-batch" ]
+          ~doc:
+            "Also profile the same stream as a one-shot batch run in this process and fail (exit \
+             1) unless the daemon's dependence keys are identical.")
+  in
+  let crash_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-crash" ] ~docv:"N"
+          ~doc:"Ask the daemon to arm an N-shot crash budget against this session (chaos testing).")
+  in
+  let run opt_name trace scale variant target_threads seed mode socket policy deadline retries
+      chunk label inject_crash diff_batch =
+    let events, symtab, default_label =
+      match (opt_name, trace) with
+      | Some name, None ->
+        let events, symtab = collect_events ~variant ~target_threads ~scale ~seed name in
+        (events, symtab, name)
+      | None, Some path ->
+        let events, symtab = Ddp_minir.Trace_file.load ~path in
+        (events, symtab, Filename.basename path)
+      | Some _, Some _ ->
+        Printf.eprintf "ddprof submit: give either a WORKLOAD or --trace FILE, not both\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "ddprof submit: need a WORKLOAD or --trace FILE\n";
+        exit 2
+    in
+    let name = Option.value label ~default:default_label in
+    match
+      Ddp_daemon.Client.submit ~retries ~seed ~policy ?deadline
+        ?inject_crash:(if inject_crash > 0 then Some inject_crash else None)
+        ~chunk_bytes:chunk ~socket ~name ~mode ~events ~symtab ()
+    with
+    | Error e ->
+      Printf.eprintf "ddprof submit: %s\n" (Ddp_daemon.Client.error_to_string e);
+      exit 1
+    | Ok r ->
+      Printf.printf "session %d (%s, mode %s): %s\n" r.Ddp_daemon.Client.session name mode
+        (if r.Ddp_daemon.Client.complete then "complete" else "PARTIAL");
+      Printf.printf "dependences: %d distinct, %d occurrences folded\n"
+        r.Ddp_daemon.Client.distinct r.Ddp_daemon.Client.occurrences;
+      Printf.printf "events: %d received, %d processed\n" r.Ddp_daemon.Client.events_received
+        r.Ddp_daemon.Client.events_processed;
+      if not r.Ddp_daemon.Client.complete then begin
+        List.iter (fun reason -> Printf.printf "  reason: %s\n" reason) r.Ddp_daemon.Client.reasons;
+        let l = r.Ddp_daemon.Client.loss in
+        Printf.printf "  loss: %d chunks dropped (%d events), %d unprocessed\n"
+          l.Ddp_core.Health.dropped_chunks l.Ddp_core.Health.dropped_events
+          l.Ddp_core.Health.unprocessed_chunks
+      end;
+      let diff_failed =
+        diff_batch
+        &&
+        let batch =
+          Ddp_core.Profiler.run ~mode (Ddp_core.Source.of_events ~symtab events)
+        in
+        let batch_keys = Ddp_core.Dep_store.key_set batch.Ddp_core.Profiler.deps in
+        let daemon_keys = Ddp_daemon.Client.dep_key_set r in
+        if Ddp_core.Dep_store.Key_set.equal batch_keys daemon_keys then begin
+          Printf.printf "diff-batch: %d dependence keys identical to the batch run\n"
+            (Ddp_core.Dep_store.Key_set.cardinal batch_keys);
+          false
+        end
+        else begin
+          Printf.eprintf "diff-batch: daemon %d keys vs batch %d keys — MISMATCH\n"
+            (Ddp_core.Dep_store.Key_set.cardinal daemon_keys)
+            (Ddp_core.Dep_store.Key_set.cardinal batch_keys);
+          true
+        end
+      in
+      if diff_failed then exit 1;
+      if not r.Ddp_daemon.Client.complete then exit 3
+  in
+  let opt_name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:"Workload to profile remotely.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Profile through a running ddpd instead of in-process: stream the workload's trace over \
+          the daemon socket and print the returned report.  Exit 3 when the daemon salvaged a \
+          partial result, 1 on daemon errors or a --diff-batch mismatch.")
+    Term.(
+      const run $ opt_name_arg $ trace_arg $ scale_arg $ variant_arg $ target_threads_arg
+      $ seed_arg $ mode_arg $ daemon_socket_arg $ backpressure_arg $ deadline_arg $ retries_arg
+      $ chunk_arg $ label_arg $ crash_arg $ diff_batch_arg)
+
+let daemon_status_cmd =
+  let run socket =
+    match Ddp_daemon.Client.status ~socket () with
+    | Error e ->
+      Printf.eprintf "ddprof daemon-status: %s\n" (Ddp_daemon.Client.error_to_string e);
+      exit 1
+    | Ok json -> print_endline (Ddp_obs.Json.to_string json)
+  in
+  Cmd.v
+    (Cmd.info "daemon-status"
+       ~doc:"Print a running ddpd's ddpd-status/1 document (admission state, per-tenant counters).")
+    Term.(const run $ daemon_socket_arg)
+
 (* -- races ---------------------------------------------------------------- *)
 
 let races_cmd =
@@ -1121,6 +1262,8 @@ let main =
       replay_cmd;
       foreign_export_cmd;
       foreign_diff_cmd;
+      submit_cmd;
+      daemon_status_cmd;
       distance_cmd;
       calltree_cmd;
       static_cmd;

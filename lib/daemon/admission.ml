@@ -1,0 +1,73 @@
+(* Admission control: a slot counter and the global queued-batch gauge
+   behind atomics, so the accept path and every receiver thread can
+   consult the ladder without a shared lock. *)
+
+module Json = Ddp_obs.Json
+
+type t = {
+  max_sessions : int;
+  degrade_watermark : int;
+  active : int Atomic.t;
+  queued : int Atomic.t;
+  admitted : int Atomic.t;
+  rejected : int Atomic.t;
+  draining : bool Atomic.t;
+}
+
+let create ~max_sessions ~degrade_watermark () =
+  {
+    max_sessions = max 1 max_sessions;
+    degrade_watermark = max 1 degrade_watermark;
+    active = Atomic.make 0;
+    queued = Atomic.make 0;
+    admitted = Atomic.make 0;
+    rejected = Atomic.make 0;
+    draining = Atomic.make false;
+  }
+
+type verdict = Admit | Busy of { retry_after_ms : int; draining : bool }
+
+(* Crude but monotone: the fuller the daemon, the longer the hint.  The
+   client treats it as a floor under its own jittered backoff. *)
+let retry_after_ms t =
+  50 + (25 * Atomic.get t.active) + (5 * Atomic.get t.queued)
+
+let rec try_admit t =
+  if Atomic.get t.draining then begin
+    Atomic.incr t.rejected;
+    Busy { retry_after_ms = retry_after_ms t; draining = true }
+  end
+  else
+    let a = Atomic.get t.active in
+    if a >= t.max_sessions then begin
+      Atomic.incr t.rejected;
+      Busy { retry_after_ms = retry_after_ms t; draining = false }
+    end
+    else if Atomic.compare_and_set t.active a (a + 1) then begin
+      Atomic.incr t.admitted;
+      Admit
+    end
+    else try_admit t (* lost the race; re-examine *)
+
+let release t = Atomic.decr t.active
+let active t = Atomic.get t.active
+let admitted_total t = Atomic.get t.admitted
+let rejected_total t = Atomic.get t.rejected
+let queue_delta t d = ignore (Atomic.fetch_and_add t.queued d : int)
+let queued t = Atomic.get t.queued
+let degraded t = Atomic.get t.queued >= t.degrade_watermark
+let begin_drain t = Atomic.set t.draining true
+let draining t = Atomic.get t.draining
+
+let status_json t =
+  Json.Obj
+    [
+      ("active", Json.Int (active t));
+      ("max_sessions", Json.Int t.max_sessions);
+      ("queued_batches", Json.Int (queued t));
+      ("degrade_watermark", Json.Int t.degrade_watermark);
+      ("degraded", Json.Bool (degraded t));
+      ("draining", Json.Bool (draining t));
+      ("admitted_total", Json.Int (admitted_total t));
+      ("rejected_total", Json.Int (rejected_total t));
+    ]

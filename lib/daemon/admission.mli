@@ -1,0 +1,45 @@
+(** Admission control and the daemon-level degradation ladder.
+
+    Three rungs, crossed in order as load grows:
+    {ol
+    {- {b Normal} — every session runs the backpressure policy it asked
+       for.}
+    {- {b Degraded} — the global queued-batch gauge is at or above the
+       watermark: tenants whose policy is [Block] are escalated to
+       [Sample] so the daemon sheds load instead of wedging receivers
+       (see {!Tenant}).}
+    {- {b Refusing} — all session slots are taken (or the daemon is
+       draining): HELLO gets a typed [BUSY retry-after-ms] reply and
+       nobody already admitted pays anything.}} *)
+
+type t
+
+val create : max_sessions:int -> degrade_watermark:int -> unit -> t
+
+type verdict = Admit | Busy of { retry_after_ms : int; draining : bool }
+
+val try_admit : t -> verdict
+(** Take a session slot if one is free and the daemon isn't draining. *)
+
+val release : t -> unit
+(** Give a slot back (session closed, however it ended). *)
+
+val active : t -> int
+val admitted_total : t -> int
+val rejected_total : t -> int
+
+val queue_delta : t -> int -> unit
+(** Tenants report enqueue (+1) / dequeue (-1) of batches here. *)
+
+val queued : t -> int
+(** Global queued-batch gauge. *)
+
+val degraded : t -> bool
+(** Rung 2: gauge at or above the watermark. *)
+
+val begin_drain : t -> unit
+(** Rung 3 forever: stop admitting (SIGTERM drain). *)
+
+val draining : t -> bool
+
+val status_json : t -> Ddp_obs.Json.t

@@ -1,0 +1,103 @@
+(* Fixed domain pool with a generation-counted sleep: a worker that
+   scans the whole rotation without finding work re-checks the
+   generation under the lock before parking, so a wake that raced with
+   the scan is never lost. *)
+
+type t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  mutable tenants : Tenant.t list;  (* rotation, newest last *)
+  mutable generation : int;  (* bumped on every wake *)
+  mutable stop : bool;
+  rr : int Atomic.t;  (* global scan offset: fairness across workers *)
+  mutable domains : unit Domain.t list;
+  n_workers : int;
+}
+
+let wake t =
+  Mutex.lock t.mu;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let snapshot t =
+  Mutex.lock t.mu;
+  let ts = t.tenants and g = t.generation and stop = t.stop in
+  Mutex.unlock t.mu;
+  (ts, g, stop)
+
+(* One scan over the rotation, starting at a rotating offset so workers
+   spread over tenants instead of convoying on the first one.  One
+   batch per tenant per visit = round-robin fairness. *)
+let scan t ~worker tenants =
+  let arr = Array.of_list tenants in
+  let n = Array.length arr in
+  if n = 0 then false
+  else begin
+    let start = Atomic.fetch_and_add t.rr 1 in
+    let did = ref false in
+    for i = 0 to n - 1 do
+      let tenant = arr.((start + i) mod n) in
+      if Tenant.pool_step tenant ~worker then did := true
+    done;
+    !did
+  end
+
+let worker_loop t ~worker =
+  let parked_gen = ref (-1) in
+  let running = ref true in
+  while !running do
+    let tenants, gen, stop = snapshot t in
+    if stop then running := false
+    else if scan t ~worker tenants then parked_gen := -1
+    else begin
+      (* nothing to do: park until the generation moves *)
+      ignore !parked_gen;
+      Mutex.lock t.mu;
+      while t.generation = gen && not t.stop do
+        Condition.wait t.cond t.mu
+      done;
+      Mutex.unlock t.mu
+    end
+  done
+
+let create ~workers () =
+  let n = max 1 workers in
+  let t =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      tenants = [];
+      generation = 0;
+      stop = false;
+      rr = Atomic.make 0;
+      domains = [];
+      n_workers = n;
+    }
+  in
+  t.domains <- List.init n (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:i));
+  t
+
+let add t tenant =
+  Mutex.lock t.mu;
+  t.tenants <- t.tenants @ [ tenant ];
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+let remove t tenant =
+  Mutex.lock t.mu;
+  t.tenants <- List.filter (fun x -> x != tenant) t.tenants;
+  Mutex.unlock t.mu
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let doms = t.domains in
+  t.domains <- [];
+  t.stop <- true;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu;
+  List.iter Domain.join doms
+
+let workers t = t.n_workers

@@ -1,0 +1,29 @@
+(** The shared worker pool: W domains, fixed at daemon start, serving
+    every admitted tenant round-robin — one batch per visit, so a deep
+    queue cannot monopolize a worker.
+
+    Workers never abort a tenant themselves and never see each other's
+    tenants mid-batch: all engine access goes through
+    {!Tenant.pool_step}'s busy CAS, and any exception a step raises is
+    contained there.  An idle pool parks on a condition variable;
+    {!wake} (called by tenants on enqueue) and {!shutdown} unpark it. *)
+
+type t
+
+val create : workers:int -> unit -> t
+(** Spawns [max 1 workers] domains immediately. *)
+
+val add : t -> Tenant.t -> unit
+(** Enter a tenant into the rotation. *)
+
+val remove : t -> Tenant.t -> unit
+(** Drop a tenant from the rotation (it no longer yields work anyway
+    once closed; this just keeps the scan short). *)
+
+val wake : t -> unit
+
+val shutdown : t -> unit
+(** Stop and join all workers.  Idempotent.  Tenants still in rotation
+    are left untouched (the server finalizes them separately). *)
+
+val workers : t -> int

@@ -1,0 +1,56 @@
+(** The daemon itself: accept loop on a Unix-domain socket, one
+    receiver thread per connection, one shared {!Pool} of worker
+    domains, {!Admission} in front.
+
+    Per-connection supervision: every way a session can go wrong —
+    corrupt or truncated trace bytes, protocol junk, an engine crash, a
+    stall past the idle/session deadline, a mid-stream disconnect —
+    aborts {e that} tenant with a [Partial] verdict (the REPORT is still
+    sent whenever the peer can be written to), releases its admission
+    slot, and leaves every other session untouched.
+
+    Graceful drain ({!stop}, wired to SIGTERM by the CLI): stop
+    admitting (HELLO answers BUSY with [draining=1]), give in-flight
+    sessions [drain_grace] seconds to finish naturally, then force-abort
+    stragglers so they still get a salvaged [Partial] report, join all
+    threads and the pool, flush metrics (spooled crash-safe through
+    {!Ddp_util.Tmp_file}), close and unlink the socket. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** shared pool size (domains) *)
+  max_sessions : int;  (** admission slots *)
+  queue_budget : int;  (** max queued batches per session *)
+  batch_size : int;  (** events per batch handed to the pool *)
+  idle_timeout : float;  (** seconds between frames before a stall abort *)
+  session_deadline : float option;  (** wall-clock budget per session *)
+  degrade_watermark : int;  (** global queued batches that flips Degraded *)
+  drain_grace : float;  (** seconds to let sessions finish on drain *)
+  metrics_out : string option;  (** final status JSON, written on stop *)
+  log : string -> unit;
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+val start : config -> t
+(** Bind + listen (replacing any stale socket file), spawn the pool and
+    the accept thread, return immediately. *)
+
+val stop : t -> unit
+(** Graceful drain as described above.  Idempotent; blocks until the
+    daemon is fully down. *)
+
+val stopping : t -> bool
+
+val request_stop : t -> unit
+(** Async-signal-safe stop request: flips a flag the main loop watches
+    (see {!wait}); safe to call from a [Sys.Signal_handle]. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} (or {!stop} from another thread), then
+    run the drain.  The CLI's main thread lives here. *)
+
+val status_json : t -> Ddp_obs.Json.t
+(** The [ddpd-status/1] document (also what the STATUS verb returns). *)

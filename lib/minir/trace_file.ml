@@ -22,7 +22,13 @@
    String.escaped.
 
    Version 1 (no [%class] header, no Sync events) is still read
-   bit-for-bit by [load]; [save ~version:`V1] writes it for tests. *)
+   bit-for-bit by [load]; [save ~version:`V1] writes it for tests.
+
+   Parsing is built on {!Stream}, an incremental push decoder: callers
+   feed byte chunks split at arbitrary boundaries (the daemon receives
+   traces as network frames) and pull decoded events; input ending
+   mid-line yields [Need_more], never a parse error.  [load] is the
+   whole-file specialization. *)
 
 let magic_v1 = "ddp-trace 1"
 let magic = "ddp-trace 2"
@@ -55,22 +61,27 @@ let sync_kind_of_int = function
   | 3 -> Some Event.Lock_release
   | _ -> None
 
-let write_class_header oc =
+(* -- writing --------------------------------------------------------------- *)
+
+(* The writer is parameterized over a string sink so the same emitter
+   serves [out_channel] recording and in-memory encoding ([to_buffer],
+   which the daemon client uses to frame traces for the wire). *)
+
+let emit_class_header emit =
   List.iter
     (fun c ->
-      Printf.fprintf oc "%%class %s" (Event.Class.name c);
-      List.iter (fun tag -> Printf.fprintf oc " %c" tag) (class_tags c);
-      output_char oc '\n')
+      emit (Printf.sprintf "%%class %s" (Event.Class.name c));
+      List.iter (fun tag -> emit (Printf.sprintf " %c" tag)) (class_tags c);
+      emit "\n")
     Event.Class.all
 
-(* -- recording ------------------------------------------------------------ *)
-
+let write_class_header oc = emit_class_header (output_string oc)
 let bool_int b = if b then 1 else 0
 
-(* Streaming hooks: events go straight to the channel, O(1) memory.
+(* Streaming hooks: events go straight to the sink, O(1) memory.
    Built class-by-class so the writer is itself a handler composition. *)
-let recorder_handler oc =
-  let p fmt = Printf.fprintf oc fmt in
+let emitter_handler emit =
+  let p fmt = Printf.ksprintf emit fmt in
   Handler.make
     ~memory:
       {
@@ -110,60 +121,70 @@ let recorder_handler oc =
       }
     ()
 
+let recorder_handler oc = emitter_handler (output_string oc)
 let recorder oc = Handler.hooks (recorder_handler oc)
 
-let write_symtab oc (symtab : Symtab.t) =
+let emit_symtab emit (symtab : Symtab.t) =
   Ddp_util.Intern.iter symtab.Symtab.vars (fun id name ->
-      Printf.fprintf oc "%%var %d %s\n" id (String.escaped name));
+      emit (Printf.sprintf "%%var %d %s\n" id (String.escaped name)));
   Ddp_util.Intern.iter symtab.Symtab.files (fun id name ->
-      Printf.fprintf oc "%%file %d %s\n" id (String.escaped name))
+      emit (Printf.sprintf "%%file %d %s\n" id (String.escaped name)))
+
+let write_symtab oc symtab = emit_symtab (output_string oc) symtab
 
 (* v2 files end with a sentinel, so truncation anywhere — even a cut
    that happens to leave a parseable final line — is always detected. *)
 let end_sentinel = "%end"
 
+(* Encode a complete v2 trace into a buffer: what [save] writes to disk,
+   as bytes in memory. *)
+let to_buffer buf events symtab =
+  let emit = Buffer.add_string buf in
+  emit magic;
+  emit "\n";
+  emit_class_header emit;
+  Event.replay (Handler.hooks (emitter_handler emit)) events;
+  emit_symtab emit symtab;
+  emit end_sentinel;
+  emit "\n"
+
 (* Streaming recording handle: lets a caller tee an arbitrary event
    stream (live run or replay) into a trace file while it also feeds a
    profiler, then seal the file with the run's symbol table.
 
-   Crash-safe: events stream into [path ^ ".tmp"], and only a successful
-   [finish_recording] renames it into place (atomic on POSIX).  An
-   interrupted or aborted recording therefore never leaves a truncated
-   file at [path] for a later [load] to reject — at worst it leaves a
-   [.tmp] that the next recording overwrites. *)
-type recording = {
-  oc : out_channel;
-  path : string;
-  tmp_path : string;
-  rec_hooks : Event.hooks;
-  mutable closed : bool;
-}
+   Crash-safe via {!Ddp_util.Tmp_file}: events stream into
+   [path ^ ".tmp"], and only a successful [finish_recording] renames it
+   into place (atomic on POSIX).  An interrupted or aborted recording
+   therefore never leaves a truncated file at [path] for a later [load]
+   to reject, and a CLI that calls
+   [Ddp_util.Tmp_file.install_signal_cleanup] doesn't even leave the
+   [.tmp] behind on SIGINT/SIGTERM. *)
+type recording = { tf : Ddp_util.Tmp_file.t; rec_hooks : Event.hooks; mutable closed : bool }
 
 let start_recording ~path =
-  let tmp_path = path ^ ".tmp" in
-  let oc = open_out tmp_path in
+  let tf = Ddp_util.Tmp_file.create ~path in
+  let oc = Ddp_util.Tmp_file.oc tf in
   output_string oc magic;
   output_char oc '\n';
   write_class_header oc;
-  { oc; path; tmp_path; rec_hooks = recorder oc; closed = false }
+  { tf; rec_hooks = recorder oc; closed = false }
 
 let recording_hooks r = r.rec_hooks
 
 let abort_recording r =
   if not r.closed then begin
     r.closed <- true;
-    close_out r.oc;
-    try Sys.remove r.tmp_path with Sys_error _ -> ()
+    Ddp_util.Tmp_file.abort r.tf
   end
 
 let finish_recording r symtab =
   if r.closed then invalid_arg "Trace_file.finish_recording: already closed";
-  write_symtab r.oc symtab;
-  output_string r.oc end_sentinel;
-  output_char r.oc '\n';
+  let oc = Ddp_util.Tmp_file.oc r.tf in
+  write_symtab oc symtab;
+  output_string oc end_sentinel;
+  output_char oc '\n';
   r.closed <- true;
-  close_out r.oc;
-  Sys.rename r.tmp_path r.path
+  Ddp_util.Tmp_file.commit r.tf
 
 (* Record a program run to [path]; returns the run's stats. *)
 let record ?sched_seed ?input_seed ~path prog =
@@ -223,19 +244,97 @@ let parse_ints line start =
          | Some n -> n
          | None -> fail "bad integer %S in line %S" s line)
 
-let load ~path =
-  let ic = open_in path in
-  let events = ref [] in
-  let symtab = Symtab.create () in
-  (* names must land at the recorded ids: insert in id order *)
-  let pending_vars = ref [] and pending_files = ref [] in
-  (* v2 only: tags declared by a [%class] header whose class this reader
-     does not know.  Events carrying such a tag are skipped — the header
-     vouches that they are well-formed event lines of a future class. *)
-  let skip_tags = ref [] in
-  let version = ref 1 in
-  let sealed = ref false in
-  let parse_class_decl line rest =
+(* Incremental push decoder.  Bytes go in via [feed] in chunks cut at
+   arbitrary boundaries; decoded events come out via [next].  A partial
+   line at the end of the fed input is held back (not an error) until
+   either more bytes complete it or [eof] declares the input finished —
+   at which point the held-back tail is parsed exactly as [input_line]
+   would have delivered it (a final line needs no trailing newline).
+   Symbol-table and class-header lines update internal state instead of
+   producing events; the accumulated {!symtab} is valid once [next]
+   returns [Done]. *)
+module Stream = struct
+  type step = Event of Event.t | Need_more | Done
+
+  type t = {
+    mutable cur : string;  (* chunk being scanned *)
+    mutable pos : int;  (* cursor into [cur] *)
+    chunks : string Queue.t;  (* fed, not yet scanned *)
+    partial : Buffer.t;  (* line fragment spanning chunk boundaries *)
+    events : Event.t Queue.t;
+    symtab : Symtab.t;
+    mutable version : int;
+    mutable saw_magic : bool;
+    mutable sealed : bool;
+    mutable finished : bool;
+    mutable at_eof : bool;
+    mutable skip_tags : char list;
+    mutable pending_vars : (int * string) list;
+    mutable pending_files : (int * string) list;
+  }
+
+  let create () =
+    {
+      cur = "";
+      pos = 0;
+      chunks = Queue.create ();
+      partial = Buffer.create 256;
+      events = Queue.create ();
+      symtab = Symtab.create ();
+      version = 1;
+      saw_magic = false;
+      sealed = false;
+      finished = false;
+      at_eof = false;
+      skip_tags = [];
+      pending_vars = [];
+      pending_files = [];
+    }
+
+  let feed t s =
+    if t.at_eof then invalid_arg "Trace_file.Stream.feed: after eof";
+    if s <> "" then Queue.add s t.chunks
+
+  let eof t = t.at_eof <- true
+
+  (* Pull the next complete line (consuming its '\n'), or — once [eof]
+     has been declared — the unterminated tail, exactly as [input_line]
+     delivers a final line with no trailing newline.  O(1) amortized per
+     byte: each byte is copied at most once into [partial]. *)
+  let rec take_line t =
+    if t.pos >= String.length t.cur then
+      if Queue.is_empty t.chunks then
+        if t.at_eof && Buffer.length t.partial > 0 then begin
+          let line = Buffer.contents t.partial in
+          Buffer.clear t.partial;
+          Some line
+        end
+        else None
+      else begin
+        t.cur <- Queue.pop t.chunks;
+        t.pos <- 0;
+        take_line t
+      end
+    else
+      match String.index_from_opt t.cur t.pos '\n' with
+      | Some i ->
+        let line =
+          if Buffer.length t.partial = 0 then String.sub t.cur t.pos (i - t.pos)
+          else begin
+            Buffer.add_substring t.partial t.cur t.pos (i - t.pos);
+            let l = Buffer.contents t.partial in
+            Buffer.clear t.partial;
+            l
+          end
+        in
+        t.pos <- i + 1;
+        Some line
+      | None ->
+        Buffer.add_substring t.partial t.cur t.pos (String.length t.cur - t.pos);
+        t.pos <- String.length t.cur;
+        take_line t
+
+  let parse_class_decl t line rest =
     match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
     | [] -> fail "bad class line %S" line
     | name :: tags ->
@@ -249,13 +348,15 @@ let load ~path =
         (* a known class must own exactly the tags we expect, or the
            writer speaks a different dialect of "version 2" *)
         if tags <> class_tags c then fail "class %S declares unexpected tags in %S" name line
-      | None -> skip_tags := tags @ !skip_tags)
-  in
-  let parse_line line =
-    if !sealed then fail "content after %%end sentinel: %S" line
+      | None -> t.skip_tags <- tags @ t.skip_tags)
+
+  let push t e = Queue.add e t.events
+
+  let parse_line t line =
+    if t.sealed then fail "content after %%end sentinel: %S" line
     else if line = "" then ()
     else if line = end_sentinel then
-      if !version >= 2 then sealed := true
+      if t.version >= 2 then t.sealed <- true
       else fail "end sentinel in a version-1 trace"
     else if line.[0] = '%' then begin
       match String.index_opt line ' ' with
@@ -264,7 +365,7 @@ let load ~path =
         let kind = String.sub line 1 (sp1 - 1) in
         let rest = String.sub line (sp1 + 1) (String.length line - sp1 - 1) in
         if kind = "class" then
-          if !version >= 2 then parse_class_decl line rest
+          if t.version >= 2 then parse_class_decl t line rest
           else fail "class header in a version-1 trace: %S" line
         else
           match String.index_opt rest ' ' with
@@ -281,8 +382,8 @@ let load ~path =
               with Scanf.Scan_failure _ | Failure _ | End_of_file ->
                 fail "bad escaped name %S in line %S" raw line
             in
-            if kind = "var" then pending_vars := (id, name) :: !pending_vars
-            else if kind = "file" then pending_files := (id, name) :: !pending_files
+            if kind = "var" then t.pending_vars <- (id, name) :: t.pending_vars
+            else if kind = "file" then t.pending_files <- (id, name) :: t.pending_files
             else fail "unknown symtab kind %S" kind)
     end
     else begin
@@ -290,52 +391,84 @@ let load ~path =
       let ints = parse_ints line 1 in
       match (tag, ints) with
       | 'R', [ addr; loc; var; thread; time; locked ] ->
-        events := Event.Read { addr; loc; var; thread; time; locked = locked <> 0 } :: !events
+        push t (Event.Read { addr; loc; var; thread; time; locked = locked <> 0 })
       | 'W', [ addr; loc; var; thread; time; locked ] ->
-        events := Event.Write { addr; loc; var; thread; time; locked = locked <> 0 } :: !events
-      | 'B', [ loc; thread; time ] -> events := Event.Region_enter { loc; thread; time } :: !events
-      | 'I', [ loc; thread; time ] -> events := Event.Region_iter { loc; thread; time } :: !events
+        push t (Event.Write { addr; loc; var; thread; time; locked = locked <> 0 })
+      | 'B', [ loc; thread; time ] -> push t (Event.Region_enter { loc; thread; time })
+      | 'I', [ loc; thread; time ] -> push t (Event.Region_iter { loc; thread; time })
       | 'E', [ loc; end_loc; iterations; thread; time ] ->
-        events := Event.Region_exit { loc; end_loc; iterations; thread; time } :: !events
-      | 'A', [ base; len; var ] -> events := Event.Alloc { base; len; var } :: !events
-      | 'F', [ base; len; var ] -> events := Event.Free { base; len; var } :: !events
-      | 'C', [ loc; func; thread; time ] -> events := Event.Call { loc; func; thread; time } :: !events
-      | 'T', [ func; thread; time ] -> events := Event.Return { func; thread; time } :: !events
-      | 'X', [ thread ] -> events := Event.Thread_end { thread } :: !events
-      | 'Y', [ kind; obj; thread; time ] when !version >= 2 -> (
+        push t (Event.Region_exit { loc; end_loc; iterations; thread; time })
+      | 'A', [ base; len; var ] -> push t (Event.Alloc { base; len; var })
+      | 'F', [ base; len; var ] -> push t (Event.Free { base; len; var })
+      | 'C', [ loc; func; thread; time ] -> push t (Event.Call { loc; func; thread; time })
+      | 'T', [ func; thread; time ] -> push t (Event.Return { func; thread; time })
+      | 'X', [ thread ] -> push t (Event.Thread_end { thread })
+      | 'Y', [ kind; obj; thread; time ] when t.version >= 2 -> (
         match sync_kind_of_int kind with
-        | Some kind -> events := Event.Sync { kind; obj; thread; time } :: !events
+        | Some kind -> push t (Event.Sync { kind; obj; thread; time })
         | None -> fail "unknown sync kind in line %S" line)
       | _ ->
-        if List.mem tag !skip_tags then () (* declared by an unknown class: skip *)
+        if List.mem tag t.skip_tags then () (* declared by an unknown class: skip *)
         else fail "malformed event line %S" line
     end
+
+  let consume_line t line =
+    if not t.saw_magic then begin
+      if line = magic then t.version <- 2
+      else if line = magic_v1 then t.version <- 1
+      else fail "bad magic %S (expected %S)" line magic;
+      t.saw_magic <- true
+    end
+    else parse_line t line
+
+  (* Install the pending symbol table once the input is complete: names
+     must land at the recorded ids, so insert in id order. *)
+  let finalize t =
+    if not t.saw_magic then fail "empty trace file";
+    if t.version >= 2 && not t.sealed then fail "truncated trace: missing %%end sentinel";
+    let insert intern pending =
+      List.sort compare pending
+      |> List.iteri (fun expected (id, name) ->
+             if id <> expected then fail "non-dense symtab ids in trace";
+             let actual = Ddp_util.Intern.intern intern name in
+             if actual <> id then fail "symtab id mismatch for %S" name)
+    in
+    insert t.symtab.Symtab.vars t.pending_vars;
+    insert t.symtab.Symtab.files t.pending_files;
+    t.finished <- true
+
+  let rec next t =
+    if not (Queue.is_empty t.events) then Event (Queue.pop t.events)
+    else if t.finished then Done
+    else
+      match take_line t with
+      | Some line ->
+        consume_line t line;
+        next t
+      | None ->
+        if not t.at_eof then Need_more
+        else begin
+          finalize t;
+          Done
+        end
+
+  let symtab t = t.symtab
+  let is_sealed t = t.sealed
+end
+
+let load ~path =
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let s = Stream.create () in
+  Stream.feed s contents;
+  Stream.eof s;
+  let events = ref [] in
+  let rec drain () =
+    match Stream.next s with
+    | Stream.Event e ->
+      events := e :: !events;
+      drain ()
+    | Stream.Done -> ()
+    | Stream.Need_more -> assert false (* eof was declared *)
   in
-  (try
-     (match input_line ic with
-     | l when l = magic -> version := 2
-     | l when l = magic_v1 -> version := 1
-     | l -> fail "bad magic %S (expected %S)" l magic
-     | exception End_of_file -> fail "empty trace file");
-     (try
-        while true do
-          parse_line (input_line ic)
-        done
-      with End_of_file -> ());
-     if !version >= 2 && not !sealed then
-       fail "truncated trace: missing %%end sentinel"
-   with e ->
-     let bt = Printexc.get_raw_backtrace () in
-     close_in ic;
-     Printexc.raise_with_backtrace e bt);
-  close_in ic;
-  let insert intern pending =
-    List.sort compare !pending
-    |> List.iteri (fun expected (id, name) ->
-           if id <> expected then fail "non-dense symtab ids in trace";
-           let actual = Ddp_util.Intern.intern intern name in
-           if actual <> id then fail "symtab id mismatch for %S" name)
-  in
-  insert symtab.Symtab.vars pending_vars;
-  insert symtab.Symtab.files pending_files;
-  (List.rev !events, symtab)
+  drain ();
+  (List.rev !events, Stream.symtab s)

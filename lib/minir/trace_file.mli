@@ -19,6 +19,11 @@ val recorder_handler : out_channel -> Handler.t
 
 val write_symtab : out_channel -> Symtab.t -> unit
 
+val to_buffer : Buffer.t -> Event.t list -> Symtab.t -> unit
+(** Encode a complete v2 trace (header, events, symtab, [%end] seal)
+    into a buffer — what {!save} writes to disk, as bytes in memory.
+    The daemon client uses this to frame traces for the wire. *)
+
 type recording
 (** A trace file being written: tee {!recording_hooks} into any event
     stream, then seal with {!finish_recording}. *)
@@ -49,3 +54,41 @@ val save : ?version:[ `V1 | `V2 ] -> path:string -> Event.t list -> Symtab.t -> 
 val load : path:string -> Event.t list * Symtab.t
 (** Parse a recorded trace, either version.  Raises {!Parse_error} on
     malformed input. *)
+
+(** Incremental push decoder: feed byte chunks split at {e arbitrary}
+    boundaries (network frames, partial reads) and pull decoded events.
+    Input ending mid-line yields {!step.Need_more}, never an exception;
+    {!Parse_error} is raised only for a line that is complete and
+    malformed, or at {!eof} for a trace that is truncated as a whole
+    (missing magic or [%end] seal).  [load] is the whole-file
+    specialization of this decoder, with identical acceptance. *)
+module Stream : sig
+  type step =
+    | Event of Event.t  (** one decoded event *)
+    | Need_more  (** input exhausted mid-line: feed more bytes or declare {!eof} *)
+    | Done  (** trace complete; {!symtab} is now valid *)
+
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+  (** Append a chunk of input.  Raises [Invalid_argument] after {!eof}. *)
+
+  val eof : t -> unit
+  (** Declare the input complete: no more {!feed} calls.  A final line
+      needs no trailing newline (matching [input_line]). *)
+
+  val next : t -> step
+  (** Decode and return the next event.  Raises {!Parse_error} on
+      malformed input as described above. *)
+
+  val symtab : t -> Symtab.t
+  (** The accumulated symbol table; fully populated once {!next} has
+      returned [Done]. *)
+
+  val is_sealed : t -> bool
+  (** Whether the [%end] sentinel has been decoded (v2 only) — lets a
+      server distinguish "client went quiet mid-trace" from "trace
+      complete, awaiting FIN". *)
+end

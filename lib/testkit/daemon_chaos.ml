@@ -1,0 +1,393 @@
+(* Chaos harness for the profiling daemon (`ddpcheck daemon`).
+
+   Each run boots an in-process server on a fresh socket and fires K
+   concurrent clients at it.  At least one client per run is a victim
+   with an injected fault — engine crash, corrupt frame, truncated
+   stream, stall past the idle timeout, or an abrupt disconnect — the
+   rest submit honestly.  The headline checks:
+
+     - every victim ends Partial, and its [Partial.loss] matches the
+       session's scraped obs counters field for field;
+     - every non-victim ends Complete with a dependence set identical
+       to a serial batch run of the same events (zero cross-tenant
+       contamination);
+     - the daemon itself survives: admission slots drain back to zero
+       and the server stops cleanly.
+
+   Victims that still converse (crash, corrupt, truncate, stall) are
+   verified from their REPORT; the disconnect victim never gets one, so
+   it is verified from the server's closed-session history via STATUS. *)
+
+module Event = Ddp_minir.Event
+module Interp = Ddp_minir.Interp
+module Symtab = Ddp_minir.Symtab
+module Trace_file = Ddp_minir.Trace_file
+module Dep_store = Ddp_core.Dep_store
+module Profiler = Ddp_core.Profiler
+module Source = Ddp_core.Source
+module Json = Ddp_obs.Json
+module Server = Ddp_daemon.Server
+module Client = Ddp_daemon.Client
+module Wire = Ddp_daemon.Wire
+
+type injection = Healthy | Crash | Corrupt | Truncate | Stall | Disconnect
+
+let injection_name = function
+  | Healthy -> "healthy"
+  | Crash -> "crash"
+  | Corrupt -> "corrupt"
+  | Truncate -> "truncate"
+  | Stall -> "stall"
+  | Disconnect -> "disconnect"
+
+(* rotated through client 0 so every sweep of >= 5 runs exercises every
+   fault class at least once *)
+let victim_kinds = [| Crash; Corrupt; Truncate; Stall; Disconnect |]
+
+type verdict = {
+  client : int;
+  injection : injection;
+  mutable session : int option;
+  mutable failures : string list;
+}
+
+let fail v fmt = Printf.ksprintf (fun s -> v.failures <- s :: v.failures) fmt
+
+(* -- workload ------------------------------------------------------------- *)
+
+type workload = {
+  events : Event.t list;
+  symtab : Symtab.t;
+  expected : Dep_store.Key_set.t;  (* serial batch run over the same events *)
+}
+
+let collect_workload ~seed =
+  let rec go s tries =
+    let prog = Prog_gen.generate ~seed:s () in
+    let hooks, get = Event.collector () in
+    let symtab = Symtab.create () in
+    let (_ : Interp.stats) = Interp.run ~hooks ~sched_seed:s ~symtab prog in
+    match get () with
+    | [] when tries < 16 -> go (s + 1) (tries + 1)
+    | events -> (events, symtab)
+  in
+  let events, symtab = go seed 0 in
+  let batch = Profiler.run ~mode:"serial" (Source.of_events ~symtab events) in
+  { events; symtab; expected = Dep_store.key_set batch.Profiler.deps }
+
+(* -- report JSON helpers --------------------------------------------------- *)
+
+let jint j k = match Option.bind (Json.member k j) Json.to_int with Some n -> n | None -> 0
+
+let jbool j k = match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+
+let counter j k = match Json.member "counters" j with Some c -> jint c k | None -> 0
+
+let reasons_of j =
+  match Option.bind (Json.member "reasons" j) Json.to_list with
+  | Some l -> List.filter_map Json.to_str l
+  | None -> []
+
+let has_reason j needle =
+  List.exists
+    (fun r ->
+      let lr = String.lowercase_ascii r in
+      let ln = String.lowercase_ascii needle in
+      let nl = String.length ln and rl = String.length lr in
+      let rec scan i = i + nl <= rl && (String.sub lr i nl = ln || scan (i + 1)) in
+      scan 0)
+    (reasons_of j)
+
+(* The ledger/counter agreement: Partial.loss must equal the session's
+   own obs counters exactly — same writes, two views. *)
+let check_loss_counters v j =
+  let loss k = match Json.member "loss" j with Some l -> jint l k | None -> 0 in
+  let pair what loss_key counter_key =
+    let l = loss loss_key and c = counter j counter_key in
+    if l <> c then fail v "%s: Partial.loss %d but obs counter %s=%d" what l counter_key c
+  in
+  pair "dropped chunks" "dropped_chunks" "bp_dropped_chunks";
+  pair "dropped events" "dropped_events" "bp_dropped_events";
+  pair "unprocessed chunks" "unprocessed_chunks" "unprocessed_chunks"
+
+let check_partial v j ~reason =
+  (match jbool j "complete" with
+  | Some false -> ()
+  | Some true -> fail v "victim reported Complete (injection %s)" (injection_name v.injection)
+  | None -> fail v "report missing \"complete\"");
+  if not (has_reason j reason) then
+    fail v "expected a %S degradation reason, got [%s]" reason
+      (String.concat "; " (reasons_of j));
+  check_loss_counters v j
+
+(* -- raw wire victims ------------------------------------------------------ *)
+
+let encode_trace wl =
+  let buf = Buffer.create 4096 in
+  Trace_file.to_buffer buf wl.events wl.symtab;
+  Buffer.contents buf
+
+(* Deliberately tiny DATA frames cut at arbitrary byte offsets: every
+   run re-exercises the incremental decoder's split tolerance. *)
+let send_bytes fd bytes ~upto =
+  let off = ref 0 in
+  while !off < upto do
+    let n = min 311 (upto - !off) in
+    Wire.write_frame fd Wire.Data (String.sub bytes !off n);
+    off := !off + n
+  done
+
+let dial_raw ~socket ~name v =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX socket);
+    Wire.write_frame fd Wire.Hello (Wire.kv_encode [ ("name", name); ("mode", "serial") ]);
+    match Wire.read_frame ~deadline:(Unix.gettimeofday () +. 10.0) fd with
+    | Some (Wire.Admit, kv) ->
+      v.session <- Option.bind (Wire.kv_get (Wire.kv_decode kv) "session") int_of_string_opt;
+      Some fd
+    | Some (ty, _) ->
+      fail v "raw dial: unexpected %s reply to HELLO" (Wire.frame_name ty);
+      Unix.close fd;
+      None
+    | None ->
+      fail v "raw dial: connection closed before ADMIT";
+      Unix.close fd;
+      None
+  with e ->
+    fail v "raw dial: %s" (Printexc.to_string e);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+
+let read_report fd =
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let rec go () =
+    match Wire.read_frame ~deadline fd with
+    | Some (Wire.Report, payload) -> Some (Json.parse payload)
+    | Some _ -> go ()
+    | None -> None
+  in
+  go ()
+
+let with_raw_session ~socket ~name v k =
+  match dial_raw ~socket ~name v with
+  | None -> ()
+  | Some fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try k fd
+        with e -> fail v "raw session: %s" (Printexc.to_string e))
+
+let expect_report v fd ~reason =
+  match read_report fd with
+  | Some j -> check_partial v j ~reason
+  | None -> fail v "no REPORT for the %s victim" (injection_name v.injection)
+  | exception Wire.Timeout -> fail v "timed out waiting for the victim report"
+  | exception Wire.Protocol_error msg -> fail v "bad victim report framing: %s" msg
+
+(* -- one client ------------------------------------------------------------ *)
+
+let run_client ~socket ~idle_timeout ~seed wl v =
+  let name = Printf.sprintf "chaos-%s-%d" (injection_name v.injection) v.client in
+  match v.injection with
+  | Healthy | Crash -> (
+    let inject_crash = if v.injection = Crash then Some 1 else None in
+    match
+      Client.submit ?inject_crash ~seed ~chunk_bytes:473 ~socket ~name ~mode:"serial"
+        ~events:wl.events ~symtab:wl.symtab ()
+    with
+    | Error e -> fail v "submit: %s" (Client.error_to_string e)
+    | Ok r -> (
+      v.session <- Some r.Client.session;
+      match v.injection with
+      | Healthy ->
+        if not r.Client.complete then
+          fail v "healthy session ended Partial: [%s]" (String.concat "; " r.Client.reasons);
+        if not (Dep_store.Key_set.equal (Client.dep_key_set r) wl.expected) then
+          fail v "dependence set differs from the serial batch run (contamination?)";
+        if r.Client.events_processed <> List.length wl.events then
+          fail v "processed %d of %d events yet reported Complete" r.Client.events_processed
+            (List.length wl.events)
+      | _ ->
+        if r.Client.complete then fail v "crash victim reported Complete";
+        if r.Client.worker_faults < 1 then fail v "crash victim carries no worker fault";
+        check_partial v r.Client.raw ~reason:"worker crash";
+        (* prefix of its own stream only: never another tenant's deps *)
+        if not (Dep_store.Key_set.subset (Client.dep_key_set r) wl.expected) then
+          fail v "crash victim reported deps outside its own stream (contamination)"))
+  | Corrupt ->
+    with_raw_session ~socket ~name v (fun fd ->
+        let bytes = encode_trace wl in
+        send_bytes fd bytes ~upto:(String.length bytes / 3);
+        Wire.write_frame fd Wire.Data "!! definitely not a trace line !!\n";
+        (try Wire.write_frame fd Wire.Fin "" with Unix.Unix_error _ -> ());
+        expect_report v fd ~reason:"corrupt")
+  | Truncate ->
+    with_raw_session ~socket ~name v (fun fd ->
+        let bytes = encode_trace wl in
+        (* a strict prefix: the %end seal never arrives *)
+        send_bytes fd bytes ~upto:(String.length bytes * 2 / 3);
+        Wire.write_frame fd Wire.Fin "";
+        expect_report v fd ~reason:"corrupt")
+  | Stall ->
+    with_raw_session ~socket ~name v (fun fd ->
+        let bytes = encode_trace wl in
+        send_bytes fd bytes ~upto:(min 1024 (String.length bytes));
+        Thread.delay (idle_timeout +. 0.8);
+        expect_report v fd ~reason:"deadline")
+  | Disconnect ->
+    with_raw_session ~socket ~name v (fun fd ->
+        let bytes = encode_trace wl in
+        send_bytes fd bytes ~upto:(min 1024 (String.length bytes))
+        (* fall out of the scope: the finally closes the socket at a
+           frame boundary with no FIN — a mid-stream disappearance *))
+
+(* -- one run --------------------------------------------------------------- *)
+
+let assign_injections ~rng ~run_idx ~clients =
+  Array.init clients (fun i ->
+      let injection =
+        if i = 0 then victim_kinds.(run_idx mod Array.length victim_kinds)
+        else if i = 1 then Healthy (* at least one contamination witness per run *)
+        else if Random.State.float rng 1.0 < 0.4 then
+          victim_kinds.(Random.State.int rng (Array.length victim_kinds))
+        else Healthy
+      in
+      { client = i; injection; session = None; failures = [] })
+
+(* After the dust settles the server's own view must agree: victims
+   closed Partial, survivors closed Complete, no session still holding
+   a slot.  A client owns its REPORT a beat before the server thread
+   releases the slot and records history, so [check_server_view] polls
+   until the view settles rather than asserting on the first scrape. *)
+let check_server_view_once ~socket verdicts =
+  let errs = ref [] in
+  (match Client.status ~socket () with
+  | Error e -> errs := Printf.sprintf "final STATUS failed: %s" (Client.error_to_string e) :: !errs
+  | Ok j ->
+    (match Option.bind (Json.member "admission" j) (fun a -> Json.member "active" a) with
+    | Some (Json.Int 0) -> ()
+    | Some (Json.Int n) -> errs := Printf.sprintf "%d admission slots never reclaimed" n :: !errs
+    | _ -> errs := "status missing admission.active" :: !errs);
+    let closed = match Option.bind (Json.member "closed" j) Json.to_list with Some l -> l | None -> [] in
+    Array.iter
+      (fun v ->
+        match v.session with
+        | None -> ()
+        | Some sid -> (
+          match List.find_opt (fun c -> jint c "session" = sid) closed with
+          | None -> errs := Printf.sprintf "session %d missing from closed history" sid :: !errs
+          | Some c -> (
+            match (jbool c "complete", v.injection) with
+            | Some true, Healthy | Some false, (Crash | Corrupt | Truncate | Stall | Disconnect) ->
+              ()
+            | Some got, _ ->
+              errs :=
+                Printf.sprintf "session %d (%s): server recorded complete=%b" sid
+                  (injection_name v.injection) got
+                :: !errs
+            | None, _ -> errs := Printf.sprintf "session %d: no complete flag" sid :: !errs)))
+      verdicts);
+  !errs
+
+let check_server_view ~socket verdicts =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    match check_server_view_once ~socket verdicts with
+    | [] -> []
+    | errs when Unix.gettimeofday () >= deadline -> errs
+    | _ ->
+      Thread.delay 0.05;
+      go ()
+  in
+  go ()
+
+let run_one ~master ~run_idx ~clients =
+  let rng = Random.State.make [| master; run_idx; 0xc4a05 |] in
+  let socket = Printf.sprintf "/tmp/ddp-chaos-%d-%d.sock" (Unix.getpid ()) run_idx in
+  (* Wide enough that a scheduling hiccup on a loaded box (K clients +
+     receiver threads + 2 pool domains) cannot spuriously trip the
+     stall detector on a healthy streamer; the stall victim sleeps
+     idle_timeout + 0.8 so detection stays deterministic. *)
+  let idle_timeout = 2.0 in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:socket) with
+      Server.workers = 2;
+      max_sessions = clients;
+      queue_budget = 8;
+      batch_size = 48;
+      idle_timeout;
+      drain_grace = 3.0;
+      log = ignore;
+    }
+  in
+  let server = Server.start cfg in
+  let verdicts = assign_injections ~rng ~run_idx ~clients in
+  let workloads =
+    Array.init clients (fun i -> collect_workload ~seed:(Seed.derive master ((run_idx * 64) + i)))
+  in
+  let threads =
+    Array.mapi
+      (fun i v ->
+        Thread.create
+          (fun () ->
+            try run_client ~socket ~idle_timeout ~seed:(Seed.derive master (1000 + i)) workloads.(i) v
+            with e -> fail v "client thread died: %s" (Printexc.to_string e))
+          ())
+      verdicts
+  in
+  Array.iter Thread.join threads;
+  let server_errs = check_server_view ~socket verdicts in
+  Server.stop server;
+  let failures =
+    List.concat
+      (server_errs
+      :: Array.to_list
+           (Array.map
+              (fun v ->
+                List.map
+                  (fun m -> Printf.sprintf "client %d (%s): %s" v.client (injection_name v.injection) m)
+                  (List.rev v.failures))
+              verdicts))
+  in
+  let victims =
+    Array.fold_left (fun n v -> if v.injection <> Healthy then n + 1 else n) 0 verdicts
+  in
+  (failures, victims, Array.to_list (Array.map (fun v -> injection_name v.injection) verdicts))
+
+let run ?(clients = 5) ~count ~seed ?out () =
+  let master = seed in
+  let clients = max 4 clients in
+  Printf.printf "ddpcheck daemon: %d runs x %d concurrent clients, master seed %d\n%!" count
+    clients master;
+  let code = ref 0 in
+  let total_victims = ref 0 in
+  for r = 0 to count - 1 do
+    let failures, victims, kinds = run_one ~master ~run_idx:r ~clients in
+    total_victims := !total_victims + victims;
+    if failures = [] then
+      Printf.printf "  run %d: ok (%s)\n%!" r (String.concat ", " kinds)
+    else begin
+      code := 1;
+      Printf.printf "FAIL [daemon] run %d (%s)\n%!" r (String.concat ", " kinds);
+      List.iter (fun m -> Printf.printf "    %s\n%!" m) failures;
+      match out with
+      | None -> ()
+      | Some dir ->
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        let path = Filename.concat dir (Printf.sprintf "daemon-run%d-seed%d.txt" r master) in
+        Out_channel.with_open_text path (fun oc ->
+            Printf.fprintf oc
+              "ddpcheck daemon failure\nmaster seed %d run %d\nrepro: DDP_SEED=%d ddpcheck daemon \
+               --count %d --clients %d\n\n%s\n"
+              master r master count clients
+              (String.concat "\n" failures))
+    end
+  done;
+  if !code = 0 then
+    Printf.printf "daemon: ok (%d runs, %d victims injected, survivors uncontaminated)\n%!" count
+      !total_victims
+  else Printf.printf "daemon: chaos sweep found failures\n%!";
+  !code

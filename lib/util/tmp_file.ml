@@ -1,0 +1,81 @@
+(* Crash-safe file publication (write .tmp, rename on success), with a
+   process-global registry so signal handlers can sweep every in-flight
+   temp file.  The registry is mutex-protected: the daemon spools from
+   several threads at once. *)
+
+type t = {
+  oc : out_channel;
+  path : string;
+  tmp_path : string;
+  mutable closed : bool;
+}
+
+let registry : t list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
+let register h = with_registry (fun () -> registry := h :: !registry)
+let unregister h = with_registry (fun () -> registry := List.filter (fun x -> x != h) !registry)
+let live_count () = with_registry (fun () -> List.length !registry)
+
+let create ~path =
+  let tmp_path = path ^ ".tmp" in
+  let oc = open_out tmp_path in
+  let h = { oc; path; tmp_path; closed = false } in
+  register h;
+  h
+
+let oc h = h.oc
+let path h = h.path
+let tmp_path h = h.tmp_path
+
+let abort h =
+  if not h.closed then begin
+    h.closed <- true;
+    unregister h;
+    close_out_noerr h.oc;
+    try Sys.remove h.tmp_path with Sys_error _ -> ()
+  end
+
+let commit h =
+  if h.closed then invalid_arg "Tmp_file.commit: already closed";
+  h.closed <- true;
+  unregister h;
+  close_out h.oc;
+  Sys.rename h.tmp_path h.path
+
+(* -- signal cleanup -------------------------------------------------------- *)
+
+(* OCaml signal numbers are internal (negative); map the two we handle to
+   the conventional 128+N exit codes without depending on Unix here. *)
+let exit_code_of_signal s =
+  if s = Sys.sigint then 130 else if s = Sys.sigterm then 143 else 128
+
+let installed = ref false
+
+let sweep_and_exit s =
+  (* Runs inside a signal handler: the interrupted thread may already
+     hold the registry mutex, so take a plain snapshot of the ref (a
+     single word read) and clean up without locking — the process exits
+     immediately after, so registry consistency no longer matters. *)
+  let live = !registry in
+  List.iter
+    (fun h ->
+      if not h.closed then begin
+        h.closed <- true;
+        close_out_noerr h.oc;
+        try Sys.remove h.tmp_path with Sys_error _ -> ()
+      end)
+    live;
+  Stdlib.exit (exit_code_of_signal s)
+
+let install_signal_cleanup () =
+  if not !installed then begin
+    installed := true;
+    List.iter
+      (fun s -> Sys.set_signal s (Sys.Signal_handle sweep_and_exit))
+      [ Sys.sigint; Sys.sigterm ]
+  end

@@ -1,0 +1,39 @@
+(** Crash-safe file publication: write to [path ^ ".tmp"], then either
+    {!commit} (atomic rename into place) or {!abort} (delete).  Every
+    open handle sits in a process-global registry, so a single
+    {!install_signal_cleanup} call makes SIGINT/SIGTERM delete all
+    in-flight temp files before the process dies — an interrupted run
+    never leaves a [.tmp] (or a truncated final file) behind.
+
+    Used by trace recording ({!Ddp_minir.Trace_file}), the daemon's
+    report/metrics spooling, and any other "publish on success only"
+    output. *)
+
+type t
+
+val create : path:string -> t
+(** Open [path ^ ".tmp"] for writing (truncating any stale leftover) and
+    register the handle for signal cleanup. *)
+
+val oc : t -> out_channel
+
+val path : t -> string
+(** The final (publication) path. *)
+
+val tmp_path : t -> string
+
+val commit : t -> unit
+(** Flush, close, rename [path ^ ".tmp"] into [path], unregister.
+    @raise Invalid_argument if the handle is already closed. *)
+
+val abort : t -> unit
+(** Close and delete the temp file without publishing; idempotent. *)
+
+val install_signal_cleanup : unit -> unit
+(** Idempotent, process-global: install SIGINT and SIGTERM handlers that
+    {!abort} every registered temp file and exit with the conventional
+    status (128 + signal number).  Call once from a CLI entry point that
+    spools temp files; library code never installs handlers on its own. *)
+
+val live_count : unit -> int
+(** Registered (open) temp files — exposed for tests. *)

@@ -3,6 +3,23 @@
    DDP_SEED=<n> seeds every randomized property (the seed is stamped
    into each QCheck test's name — see test_seed.ml). *)
 
+(* Child mode for the Tmp_file signal-hygiene test (test_util.ml):
+   OCaml 5 forbids [Unix.fork] once any domain has run, so the test
+   re-execs this very binary with DDP_TMPFILE_CHILD set.  The child
+   arms the sweeper, opens a pending file and parks until SIGTERM
+   (whose handler exits 143 after deleting the temp file). *)
+let () =
+  match Sys.getenv_opt "DDP_TMPFILE_CHILD" with
+  | None -> ()
+  | Some path ->
+    Ddp_util.Tmp_file.install_signal_cleanup ();
+    let t = Ddp_util.Tmp_file.create ~path in
+    output_string (Ddp_util.Tmp_file.oc t) "half-written";
+    flush (Ddp_util.Tmp_file.oc t);
+    while true do
+      Unix.sleepf 0.05
+    done
+
 let () =
   Printf.printf "randomized suites seeded with DDP_SEED=%d\n%!" Test_seed.seed;
   Alcotest.run "ddp"
@@ -39,4 +56,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("static", Test_static.suite);
       ("dag", Test_dag.suite);
+      ("daemon", Test_daemon.suite);
     ]

@@ -284,6 +284,89 @@ let test_block_no_faults_stays_complete () =
   Alcotest.(check int) "all events processed" 3000
     (Array.fold_left ( + ) 0 result.PP.per_worker_events)
 
+(* -- Health.merge edge cases ------------------------------------------------ *)
+(* The daemon composes verdicts (engine outcome + the tenant's own
+   ledger), so merge must behave on the awkward inputs: overlapping
+   reasons, reasons with no loss, and it must be commutative and
+   associative up to normalization (reason/fault multisets + summed
+   losses) — merge concatenates lists, so raw equality is too strict. *)
+
+let mk_loss a b c d =
+  { Health.dropped_chunks = a; dropped_events = b; dead_partitions = c; unprocessed_chunks = d }
+
+let test_merge_overlapping_reasons () =
+  let a = Health.degraded ~reasons:[ Health.Worker_crash; Health.Deadline 1.0 ] (mk_loss 1 2 0 0) in
+  let b = Health.degraded ~reasons:[ Health.Worker_crash ] (mk_loss 0 0 1 3) in
+  match Health.merge a b with
+  | Health.Complete -> Alcotest.fail "merge of two partials is Complete"
+  | Health.Partial d ->
+    Alcotest.(check int) "reasons concatenate (duplicates kept)" 3 (List.length d.Health.reasons);
+    Alcotest.(check int) "dropped chunks add" 1 d.Health.loss.Health.dropped_chunks;
+    Alcotest.(check int) "dropped events add" 2 d.Health.loss.Health.dropped_events;
+    Alcotest.(check int) "dead partitions add" 1 d.Health.loss.Health.dead_partitions;
+    Alcotest.(check int) "unprocessed add" 3 d.Health.loss.Health.unprocessed_chunks
+
+let test_merge_empty_loss_partial () =
+  (* a reason with zero loss must survive a merge with Complete in
+     either order: Complete is the identity, not an absorber *)
+  let a = Health.degraded ~reasons:[ Health.Stream_corrupt "x" ] Health.no_loss in
+  List.iter
+    (fun h ->
+      match h with
+      | Health.Complete -> Alcotest.fail "Complete absorbed an empty-loss Partial"
+      | Health.Partial d ->
+        Alcotest.(check int) "one reason" 1 (List.length d.Health.reasons);
+        Alcotest.(check bool) "loss stays empty" true (d.Health.loss = Health.no_loss))
+    [ Health.merge a Health.Complete; Health.merge Health.Complete a ];
+  match Health.merge Health.Complete Health.Complete with
+  | Health.Complete -> ()
+  | Health.Partial _ -> Alcotest.fail "Complete + Complete is not Complete"
+
+let health_gen =
+  let open QCheck.Gen in
+  let reason =
+    oneof
+      [
+        return Health.Worker_crash;
+        map (fun n -> Health.Deadline (float_of_int n)) (int_range 1 3);
+        map (fun s -> Health.Stream_corrupt s) (oneofl [ "a"; "b" ]);
+      ]
+  in
+  let fault =
+    map (fun w -> { Health.worker = w; exn_text = "boom"; backtrace = "" }) (int_range 0 2)
+  in
+  let small = int_bound 3 in
+  let loss = map (fun ((a, b), (c, d)) -> mk_loss a b c d) (pair (pair small small) (pair small small)) in
+  frequency
+    [
+      (1, return Health.Complete);
+      ( 3,
+        map
+          (fun ((rs, fs), l) -> Health.degraded ~reasons:rs ~faults:fs l)
+          (pair (pair (list_size small reason) (list_size small fault)) loss) );
+    ]
+
+let norm = function
+  | Health.Complete -> ([], [], (0, 0, 0, 0))
+  | Health.Partial d ->
+    ( List.sort compare (List.map Health.reason_to_string d.Health.reasons),
+      List.sort compare (List.map (fun f -> (f.Health.worker, f.Health.exn_text)) d.Health.faults),
+      ( d.Health.loss.Health.dropped_chunks,
+        d.Health.loss.Health.dropped_events,
+        d.Health.loss.Health.dead_partitions,
+        d.Health.loss.Health.unprocessed_chunks ) )
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"Health.merge commutative up to normalization" ~count:300
+    (QCheck.make QCheck.Gen.(pair health_gen health_gen))
+    (fun (a, b) -> norm (Health.merge a b) = norm (Health.merge b a))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"Health.merge associative up to normalization" ~count:300
+    (QCheck.make QCheck.Gen.(triple health_gen health_gen health_gen))
+    (fun (a, b, c) ->
+      norm (Health.merge a (Health.merge b c)) = norm (Health.merge (Health.merge a b) c))
+
 let suite =
   [
     Alcotest.test_case "crash contained (domains)" `Quick test_crash_contained_real;
@@ -298,4 +381,8 @@ let suite =
     Alcotest.test_case "partial report via profiler" `Quick test_partial_report_via_profiler;
     Alcotest.test_case "corrupt region stream partial" `Quick test_corrupt_region_stream_partial;
     Alcotest.test_case "block + no faults complete" `Quick test_block_no_faults_stays_complete;
+    Alcotest.test_case "Health.merge overlapping reasons" `Quick test_merge_overlapping_reasons;
+    Alcotest.test_case "Health.merge empty-loss partial" `Quick test_merge_empty_loss_partial;
+    Test_seed.to_alcotest prop_merge_commutative;
+    Test_seed.to_alcotest prop_merge_associative;
   ]

@@ -175,6 +175,105 @@ let test_escaped_names () =
     (Ddp_util.Intern.mem symtab.Ddp_minir.Symtab.vars "x y\\z");
   Sys.remove path
 
+(* -- incremental stream decoder --------------------------------------------- *)
+
+let encode_sample () =
+  let symtab = Ddp_minir.Symtab.create () in
+  let events, _ = Ddp_minir.Interp.trace ~symtab (sample_prog ()) in
+  let buf = Buffer.create 4096 in
+  TF.to_buffer buf events symtab;
+  (Buffer.contents buf, events)
+
+let drain st =
+  let rec go acc =
+    match TF.Stream.next st with
+    | TF.Stream.Event e -> go (e :: acc)
+    | TF.Stream.Need_more | TF.Stream.Done -> List.rev acc
+  in
+  go []
+
+(* The satellite contract: a v2 trace split into two chunks at EVERY
+   byte offset decodes to the same event list — a mid-line cut is a
+   typed [Need_more], never a parse error. *)
+let test_stream_every_split_point () =
+  let bytes, expected = encode_sample () in
+  let n = String.length bytes in
+  for cut = 0 to n do
+    let st = TF.Stream.create () in
+    TF.Stream.feed st (String.sub bytes 0 cut);
+    let head = drain st in
+    TF.Stream.feed st (String.sub bytes cut (n - cut));
+    TF.Stream.eof st;
+    let tail = drain st in
+    if head @ tail <> expected then
+      Alcotest.failf "split at byte %d/%d corrupted the event stream" cut n;
+    if TF.Stream.next st <> TF.Stream.Done then
+      Alcotest.failf "split at byte %d/%d: decoder not Done after eof" cut n;
+    if not (TF.Stream.is_sealed st) then Alcotest.failf "split at byte %d/%d: seal lost" cut n
+  done
+
+let test_stream_tiny_chunks () =
+  let bytes, expected = encode_sample () in
+  List.iter
+    (fun k ->
+      let st = TF.Stream.create () in
+      let acc = ref [] in
+      let i = ref 0 in
+      while !i < String.length bytes do
+        let len = min k (String.length bytes - !i) in
+        TF.Stream.feed st (String.sub bytes !i len);
+        i := !i + len;
+        acc := !acc @ drain st
+      done;
+      TF.Stream.eof st;
+      acc := !acc @ drain st;
+      Alcotest.(check bool)
+        (Printf.sprintf "identical events at chunk size %d" k)
+        true (!acc = expected);
+      (* the symtab survives re-chunking too *)
+      Alcotest.(check bool) "symtab recovered" true
+        (Ddp_util.Intern.mem (TF.Stream.symtab st).Ddp_minir.Symtab.vars "a"))
+    [ 1; 2; 3; 7; 64; 4096 ]
+
+let test_stream_mid_line_is_need_more () =
+  let bytes, _ = encode_sample () in
+  let st = TF.Stream.create () in
+  TF.Stream.feed st (String.sub bytes 0 4) (* inside the magic line *);
+  match TF.Stream.next st with
+  | TF.Stream.Need_more -> ()
+  | TF.Stream.Event _ -> Alcotest.fail "event decoded from a partial magic line"
+  | TF.Stream.Done -> Alcotest.fail "Done before the magic line completed"
+
+let test_stream_truncated_fails_at_eof () =
+  let bytes, _ = encode_sample () in
+  let st = TF.Stream.create () in
+  TF.Stream.feed st (String.sub bytes 0 (String.length bytes * 2 / 3));
+  ignore (drain st : Ddp_minir.Event.t list);
+  TF.Stream.eof st;
+  match drain st with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "truncated trace (no %end seal) accepted"
+
+let test_stream_garbage_still_errors () =
+  let bytes, _ = encode_sample () in
+  let header = String.sub bytes 0 (String.index bytes '\n' + 1) in
+  let st = TF.Stream.create () in
+  TF.Stream.feed st header;
+  TF.Stream.feed st "!! certainly not a trace line !!\n";
+  match drain st with
+  | exception TF.Parse_error _ -> ()
+  | _ -> Alcotest.fail "garbage line slipped through the incremental decoder"
+
+let test_stream_feed_after_eof () =
+  let bytes, _ = encode_sample () in
+  let st = TF.Stream.create () in
+  TF.Stream.feed st bytes;
+  TF.Stream.eof st;
+  ignore (drain st : Ddp_minir.Event.t list);
+  match TF.Stream.feed st "more" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "feed accepted after eof"
+
 let suite =
   [
     Alcotest.test_case "roundtrip events" `Quick test_roundtrip_events;
@@ -189,4 +288,10 @@ let suite =
     Alcotest.test_case "recording published atomically" `Quick
       test_recording_published_atomically;
     Alcotest.test_case "escaped names" `Quick test_escaped_names;
+    Alcotest.test_case "stream: every split point" `Quick test_stream_every_split_point;
+    Alcotest.test_case "stream: tiny chunks" `Quick test_stream_tiny_chunks;
+    Alcotest.test_case "stream: mid-line is Need_more" `Quick test_stream_mid_line_is_need_more;
+    Alcotest.test_case "stream: truncation fails at eof" `Quick test_stream_truncated_fails_at_eof;
+    Alcotest.test_case "stream: garbage still errors" `Quick test_stream_garbage_still_errors;
+    Alcotest.test_case "stream: feed after eof" `Quick test_stream_feed_after_eof;
   ]

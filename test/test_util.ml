@@ -260,6 +260,71 @@ let prop_percentile_bounds =
       let lo, hi = Stats.min_max a in
       v >= lo -. 1e-9 && v <= hi +. 1e-9)
 
+(* -- Tmp_file: crash-safe tmp+rename ---------------------------------------- *)
+
+let tmp_target name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ddp_test_tmpfile_%d_%s" (Unix.getpid ()) name)
+
+let test_tmp_file_commit () =
+  let path = tmp_target "commit.out" in
+  let t = Tmp_file.create ~path in
+  Alcotest.(check bool) "tmp exists while open" true (Sys.file_exists (Tmp_file.tmp_path t));
+  Alcotest.(check bool) "target absent while open" false (Sys.file_exists path);
+  output_string (Tmp_file.oc t) "payload";
+  Tmp_file.commit t;
+  Alcotest.(check bool) "target published" true (Sys.file_exists path);
+  Alcotest.(check bool) "tmp gone" false (Sys.file_exists (Tmp_file.tmp_path t));
+  Alcotest.(check string) "content intact" "payload"
+    (In_channel.with_open_text path In_channel.input_all);
+  Sys.remove path;
+  match Tmp_file.commit t with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double commit accepted"
+
+let test_tmp_file_abort () =
+  let path = tmp_target "abort.out" in
+  let t = Tmp_file.create ~path in
+  Tmp_file.abort t;
+  Tmp_file.abort t (* idempotent *);
+  Alcotest.(check bool) "tmp removed" false (Sys.file_exists (Tmp_file.tmp_path t));
+  Alcotest.(check bool) "target never appeared" false (Sys.file_exists path)
+
+(* The signal-hygiene satellite: a process killed mid-recording leaves
+   no [.tmp] behind.  OCaml 5 forbids fork after domains have run, so
+   the child is this very test binary re-exec'd in DDP_TMPFILE_CHILD
+   mode (see test/main.ml): it arms the sweeper, opens a pending file
+   and parks; we SIGTERM it and inspect the wreckage. *)
+let test_tmp_file_sigterm_sweep () =
+  let path = tmp_target "sigterm.out" in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (path ^ ".tmp") with Sys_error _ -> ());
+  let env = Array.append (Unix.environment ()) [| "DDP_TMPFILE_CHILD=" ^ path |] in
+  let pid =
+    Unix.create_process_env Sys.executable_name
+      [| Sys.executable_name |]
+      env Unix.stdin Unix.stdout Unix.stderr
+  in
+  (* the pending file appearing is the child's readiness signal *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Sys.file_exists (path ^ ".tmp"))) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.02
+  done;
+  if not (Sys.file_exists (path ^ ".tmp")) then begin
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    Alcotest.fail "child never opened its pending file"
+  end;
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 143 -> ()
+  | Unix.WEXITED n -> Alcotest.failf "child exited %d, wanted 143 (128+SIGTERM)" n
+  | Unix.WSIGNALED s -> Alcotest.failf "child killed by signal %d: sweeper never ran" s
+  | Unix.WSTOPPED _ -> Alcotest.fail "child stopped");
+  Alcotest.(check bool) "no .tmp survives the interrupt" false (Sys.file_exists (path ^ ".tmp"));
+  Alcotest.(check bool) "target never published" false (Sys.file_exists path)
+
 let suite =
   [
     Alcotest.test_case "intern roundtrip" `Quick test_intern_roundtrip;
@@ -282,6 +347,9 @@ let suite =
     Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "histogram percentile" `Quick test_histogram_percentile;
     Alcotest.test_case "histogram percentile edges" `Quick test_histogram_percentile_edges;
+    Alcotest.test_case "tmp_file commit" `Quick test_tmp_file_commit;
+    Alcotest.test_case "tmp_file abort" `Quick test_tmp_file_abort;
+    Alcotest.test_case "tmp_file SIGTERM sweep" `Quick test_tmp_file_sigterm_sweep;
     Test_seed.to_alcotest prop_rng_bounds;
     Test_seed.to_alcotest prop_percentile_bounds;
   ]
