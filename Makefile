@@ -2,7 +2,7 @@
 
 DDPROF   = dune exec --no-print-directory bin/ddprof.exe --
 DDPCHECK = dune exec --no-print-directory bin/ddpcheck.exe --
-MODES    = serial perfect parallel mt shadow hashtable hybrid dag
+MODES    = serial perfect parallel mt shadow hashtable hybrid dag hybrid-dag
 
 # Fixed seed so smoke runs are reproducible; override: make fuzz-smoke DDP_SEED=...
 DDP_SEED ?= 421
@@ -12,7 +12,7 @@ DDP_SEED ?= 421
 # Override or disable: make test TIMEOUT=
 TIMEOUT ?= timeout 1200
 
-.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke daemon-smoke daemon-chaos fuzz-smoke fuzz-nightly bench _bench-collect bench-json bench-quick bench-baseline bench-ratchet bench-ratchet-selftest clean
+.PHONY: all build check test smoke obs-smoke static-smoke foreign-smoke dag-smoke race-smoke daemon-smoke daemon-chaos fuzz-smoke fuzz-nightly bench _bench-collect bench-json bench-quick bench-baseline bench-ratchet bench-ratchet-selftest clean
 
 all: build
 
@@ -102,6 +102,22 @@ dag-smoke: build
 	done
 	@mkdir -p _dag
 	$(TIMEOUT) $(DDPCHECK) dag --seed $(DDP_SEED) --count 25 --out _dag
+
+# The static race lint end to end: `static --races` on every task-family
+# workload (the confusion check vs --mode dag exits 1 when the lint
+# missed a dynamically-observed race edge, and on any @race/@norace
+# ground-truth contradiction), the whole-registry lint with its
+# per-workload race verdicts, and a 25-program exhaustive-interleaving
+# sweep through the race-soundness gate (plus its lockset-mutant fire
+# drill).  The lint report lands in _race/lint.json for the CI artifact.
+race-smoke: build
+	@mkdir -p _race
+	@for w in fib-task fib-task-racy msort-task msort-task-racy scan-task scan-task-racy; do \
+	  echo "== static $$w --races =="; \
+	  $(DDPROF) static $$w --races || exit 1; \
+	done
+	$(DDPROF) static --lint-workloads --json-out _race/lint.json
+	$(TIMEOUT) $(DDPCHECK) races --seed $(DDP_SEED) --count 25 --out _race
 
 # The daemon end to end, with the real ddpd binary: boot it on a fresh
 # socket, submit the kmeans workload (~5M events) and diff the daemon's

@@ -286,6 +286,58 @@ let run_soundness seed count out =
   if !code = 0 then Printf.printf "soundness: gate armed and green\n%!";
   !code
 
+(* -- races ---------------------------------------------------------------- *)
+
+(* The race half of the static contract: over every schedule the
+   exhaustive oracle enumerates for a task program (Spawn/Sync/Lock
+   shape), the dependences the dag engine race-flags must all carry a
+   static race flag, and — as everywhere — every dynamic dependence
+   must sit in the static may set.  Then the fire drill: an analyzer
+   mutant with the race layer disabled must be caught. *)
+let run_races seed count out =
+  let master = resolve_seed seed in
+  Printf.printf
+    "ddpcheck races: static race lint vs the dag engine over %d task programs (every schedule), master seed %d\n%!"
+    count master;
+  let code = ref 0 in
+  (match TK.Soundness.sweep_races ~count ~base_seed:master () with
+  | None, checked, racy ->
+    Printf.printf "races: ok (%d programs, %d with dag races, all statically flagged)\n%!"
+      checked racy;
+    (* Coverage, not just absence of violations: a sweep in which no
+       program ever raced proves nothing about the lint. *)
+    if racy = 0 then begin
+      Printf.printf
+        "races: FAIL — sweep never saw a dag-engine race (generator stopped racing?)\n%!";
+      code := 1
+    end
+  | Some o, checked, _ ->
+    let body =
+      Printf.sprintf
+        "ddpcheck races: static race lint violated its soundness contract\n\
+         master seed: %d (program #%d of sweep)\n\
+         repro: DDP_SEED=%d ddpcheck races --count %d\n\n\
+         shrunk witness (%d statements):\n%s"
+        master checked master count
+        (TK.Prog_gen.stmt_count o.TK.Soundness.r_prog)
+        (TK.Soundness.race_report_to_string o)
+    in
+    Printf.printf "FAIL [races] %s\n%!" body;
+    save_counterexample ~out ~tag:"races" ~seed:master ~body;
+    code := 1);
+  (* fire drill: drop the race layer, the sweep must notice *)
+  let drill = max 50 count in
+  (match TK.Soundness.sweep_races ~lockset_mutant:true ~count:drill ~base_seed:master () with
+  | Some o, k, _ ->
+    Printf.printf "  mutant-lockset caught (program %d, shrunk witness: %d statements)\n%!" k
+      (TK.Prog_gen.stmt_count o.TK.Soundness.r_prog)
+  | None, k, _ ->
+    Printf.printf
+      "FAIL [races] mutant-lockset survived %d programs — the gate lost its teeth\n%!" k;
+    code := 1);
+  if !code = 0 then Printf.printf "races: gate armed and green\n%!";
+  !code
+
 (* -- dag ------------------------------------------------------------------ *)
 
 (* Schedules enumerated per program: deep enough that every small
@@ -400,7 +452,9 @@ let run_all seed count out par =
   (* ISSUE 5 acceptance: >= 200 programs through the soundness gate. *)
   let z = run_soundness seed (max 200 count) out in
   let g = run_dag seed count out in
-  if d + s + m + z + g = 0 then begin
+  (* ISSUE 10 acceptance: >= 200 task programs through the race gate. *)
+  let r = run_races seed (max 200 count) out in
+  if d + s + m + z + g + r = 0 then begin
     Printf.printf "ddpcheck: all sweeps green\n%!";
     0
   end
@@ -422,10 +476,20 @@ let dag_cmd =
           programs against a vector-clock happens-before oracle.")
     Term.(const (fun s c o -> Stdlib.exit (run_dag s c o)) $ seed_arg $ count_arg $ out_arg)
 
+let races_cmd =
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Check the static race lint's soundness contract (every dependence the SP-DAG engine \
+          race-flags on any enumerated schedule carries a static race flag) on generated task \
+          programs, then fire-drill the gate with a lockset-dropping mutant analyzer.")
+    Term.(const (fun s c o -> Stdlib.exit (run_races s c o)) $ seed_arg $ count_arg $ out_arg)
+
 let all_cmd =
   Cmd.v
     (Cmd.info "all"
-       ~doc:"Run diff, sched, mutants, soundness and dag sweeps (the CI smoke entry point).")
+       ~doc:
+         "Run diff, sched, mutants, soundness, dag and races sweeps (the CI smoke entry point).")
     Term.(const (fun s c o p -> Stdlib.exit (run_all s c o p)) $ seed_arg $ count_arg $ out_arg $ par_arg)
 
 let daemon_cmd =
@@ -447,4 +511,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ all_cmd; diff_cmd; sched_cmd; mutants_cmd; soundness_cmd; dag_cmd; daemon_cmd ]))
+          [
+            all_cmd;
+            diff_cmd;
+            sched_cmd;
+            mutants_cmd;
+            soundness_cmd;
+            dag_cmd;
+            races_cmd;
+            daemon_cmd;
+          ]))

@@ -159,6 +159,15 @@ let summarize ?account (outcome : Ddp_core.Profiler.outcome) =
   | Ddp_core.Engines.Dag { strands; spawns; joins } ->
     Printf.printf "sp-dag: %d strands over %d spawns / %d joins; race flags are schedule-independent\n"
       strands spawns joins
+  | Ddp_core.Engines.Hybrid_dag { pruned_events; pruned_sites; inner } ->
+    Printf.printf "hybrid-dag: %d access events skipped at %d statically pruned sites\n"
+      pruned_events pruned_sites;
+    (match inner with
+    | Ddp_core.Engines.Dag { strands; spawns; joins } ->
+      Printf.printf
+        "sp-dag: %d strands over %d spawns / %d joins; race flags are schedule-independent\n"
+        strands spawns joins
+    | _ -> ())
   | _ -> ());
   match account with
   | Some acct ->
@@ -302,14 +311,14 @@ let run_cmd =
         Printf.eprintf "ddprof run: WORKLOAD required (or pass --foreign FILE)\n";
         exit 2
     in
-    (* The hybrid engine needs its pruning plan up front: the static
+    (* The hybrid engines need their pruning plan up front: the static
        analysis decides which variables are dependence-free, and their
        pre-interned ids ride in on the config.  A foreign trace has no
-       program to analyze, so hybrid degenerates to the serial engine
+       program to analyze, so they degenerate to their inner engine
        (empty prune list). *)
     let plan =
       match (mode, prog) with
-      | "hybrid", Some prog -> Some (Ddp_static.Hybrid.plan prog)
+      | ("hybrid" | "hybrid-dag"), Some prog -> Some (Ddp_static.Hybrid.plan prog)
       | _ -> None
     in
     let config =
@@ -933,6 +942,21 @@ module Static_dep = Ddp_static.Static_dep
    cannot exist — a hard (exit-1) contradiction.  Parallel on a loop
    annotated serial is reported but tolerated: annotations are
    conservative for some workloads and the proof may simply be sharper. *)
+(* Race-verdict lint of one workload against the @race/@norace ground
+   truth of the task family.  A [Race_free] verdict on a @race workload
+   would mean the lint proved silence where a race provably exists; a
+   [Racy] (must-race) verdict on a @norace workload proves noise that
+   cannot happen.  Both are hard contradictions; [Race_unknown] is the
+   honest middle and never fails the gate. *)
+let race_contradiction ~name ~(verdict : Static_dep.race_verdict) =
+  match List.assoc_opt name Ddp_workloads.Tasks.ground_truth with
+  | None -> None
+  | Some racy -> (
+    match verdict with
+    | Static_dep.Race_free when racy -> Some "race-free-verdict-on-@race"
+    | Static_dep.Racy when not racy -> Some "racy-verdict-on-@norace"
+    | _ -> None)
+
 let static_lint ~json_out () =
   let hard = ref 0 and soft = ref 0 and loops = ref 0 in
   let per_workload =
@@ -963,7 +987,17 @@ let static_lint ~json_out () =
               (v, contradiction))
             report.Static_dep.loops
         in
-        (w.Ddp_workloads.Wl.name, report, entries))
+        let rv = Static_dep.program_race_verdict report in
+        let rc = race_contradiction ~name:w.Ddp_workloads.Wl.name ~verdict:rv in
+        (match rc with Some _ -> incr hard | None -> ());
+        (match List.assoc_opt w.Ddp_workloads.Wl.name Ddp_workloads.Tasks.ground_truth with
+        | Some racy ->
+          Printf.printf "  %-16s race: static=%s (annotated %s)%s\n" w.Ddp_workloads.Wl.name
+            (Static_dep.race_verdict_to_string rv)
+            (if racy then "@race" else "@norace")
+            (match rc with Some c -> " — " ^ c | None -> "")
+        | None -> ());
+        (w.Ddp_workloads.Wl.name, report, entries, rv, rc))
       Ddp_workloads.Registry.all
   in
   Printf.printf
@@ -980,10 +1014,16 @@ let static_lint ~json_out () =
           ( "workloads",
             Ddp_obs.Json.List
               (List.map
-                 (fun (name, report, entries) ->
+                 (fun (name, report, entries, rv, rc) ->
                    Ddp_obs.Json.Obj
                      [
                        ("name", Ddp_obs.Json.Str name);
+                       ( "race_verdict",
+                         Ddp_obs.Json.Str (Static_dep.race_verdict_to_string rv) );
+                       ( "race_contradiction",
+                         match rc with
+                         | Some c -> Ddp_obs.Json.Str c
+                         | None -> Ddp_obs.Json.Null );
                        ( "prunable",
                          Ddp_obs.Json.List
                            (List.map
@@ -1046,9 +1086,20 @@ let static_cmd =
           ~doc:
             "Analyze every registered workload and report loop verdicts that contradict the \
              ground-truth annotations (exit 1 on a Serial verdict for an annotated-parallel \
-             loop).")
+             loop, a race-free verdict on a @race task workload, or a racy verdict on a \
+             @norace one).")
   in
-  let run name scale seed json_out compare_mode lint =
+  let races_arg =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Race lint: print the per-spawn and whole-program race verdicts, diff the static \
+             race set against the SP-DAG engine's race-flagged dependences (exit 1 if the \
+             engine saw a race the lint did not flag), and check the @race/@norace ground \
+             truth where the workload has one.")
+  in
+  let run name scale seed json_out compare_mode lint races =
     if lint then static_lint ~json_out ()
     else
       match name with
@@ -1060,6 +1111,43 @@ let static_cmd =
         let prog = w.Ddp_workloads.Wl.seq ~scale in
         let report = Ddp_static.Analyze.analyze prog in
         print_string (Static_dep.render report);
+        if races then begin
+          let verdict = Static_dep.program_race_verdict report in
+          Printf.printf "\nrace lint: program verdict %s (%d race edge(s), %d proven)\n"
+            (Static_dep.race_verdict_to_string verdict)
+            report.Static_dep.stats.Static_dep.s_race_may
+            report.Static_dep.stats.Static_dep.s_race_must;
+          (* Confusion against the dag engine: its race flags are
+             schedule-independent, so one run is a full reference. *)
+          let outcome = Ddp_core.Profiler.profile ~mode:"dag" ~sched_seed:seed prog in
+          let var_name = Ddp_minir.Symtab.var_name outcome.Ddp_core.Profiler.symtab in
+          let dyn = Ddp_core.Accuracy.project_races ~var_name outcome.Ddp_core.Profiler.deps in
+          let sr = Static_dep.race_set report in
+          let module ES = Ddp_core.Accuracy.Edge_set in
+          let both = ES.inter sr dyn in
+          let missed = ES.diff dyn sr in
+          Printf.printf
+            "race confusion vs --mode dag: static %d, dynamic %d, both %d, static-only %d, \
+             dynamic-only %d, sound=%b\n"
+            (ES.cardinal sr) (ES.cardinal dyn) (ES.cardinal both)
+            (ES.cardinal (ES.diff sr dyn))
+            (ES.cardinal missed) (ES.is_empty missed);
+          ES.iter
+            (fun e ->
+              Printf.printf "  MISSED by lint: %s\n" (Ddp_core.Accuracy.Edge.to_string e))
+            missed;
+          (match race_contradiction ~name ~verdict with
+          | Some c ->
+            Printf.printf "race lint: ground-truth contradiction — %s\n" c;
+            exit 1
+          | None ->
+            (match List.assoc_opt name Ddp_workloads.Tasks.ground_truth with
+            | Some racy ->
+              Printf.printf "race lint: ground truth %s — consistent\n"
+                (if racy then "@race" else "@norace")
+            | None -> ()));
+          if not (ES.is_empty missed) then exit 1
+        end;
         (match compare_mode with
         | Some mode ->
           check_mode mode;
@@ -1086,10 +1174,12 @@ let static_cmd =
   Cmd.v
     (Cmd.info "static"
        ~doc:
-         "Static whole-program dependence analysis: must/may edges, affine loop verdicts, and \
-          the hybrid engine's pruning candidates — no execution involved.")
+         "Static whole-program dependence analysis: must/may edges, affine loop verdicts, the \
+          task race lint (--races), and the hybrid engines' pruning candidates — no execution \
+          involved.")
     Term.(
-      const run $ opt_name_arg $ scale_arg $ seed_arg $ json_out_arg $ compare_arg $ lint_arg)
+      const run $ opt_name_arg $ scale_arg $ seed_arg $ json_out_arg $ compare_arg $ lint_arg
+      $ races_arg)
 
 (* -- daemon client --------------------------------------------------------- *)
 

@@ -76,6 +76,25 @@ let project ~var_name store =
             acc)
     Edge_set.empty
 
+(* Same projection, restricted to the race-flagged dependences: the
+   comparison space for the static race lint's soundness contract. *)
+let project_races ~var_name store =
+  Dep_store.fold store
+    (fun (d : Dep.t) _count acc ->
+      match d.kind with
+      | Dep.INIT -> acc
+      | _ when not d.race -> acc
+      | kind ->
+          Edge_set.add
+            {
+              Edge.kind;
+              src_line = Ddp_minir.Loc.line (Dep.src_loc d);
+              sink_line = Ddp_minir.Loc.line (Dep.sink_loc d);
+              var = var_name (Dep.var d);
+            }
+            acc)
+    Edge_set.empty
+
 type confusion_row = {
   c_kind : Dep.kind;
   c_static_may : int;  (* static may-edges of this kind *)

@@ -39,6 +39,10 @@ val project : var_name:(int -> string) -> Dep_store.t -> Edge_set.t
     maps profiler variable ids back to source names (usually
     [Symtab.var_name]). *)
 
+val project_races : var_name:(int -> string) -> Dep_store.t -> Edge_set.t
+(** {!project} restricted to race-flagged dependences — the dynamic side
+    of the static race lint's soundness contract. *)
+
 type confusion_row = {
   c_kind : Dep.kind;
   c_static_may : int;

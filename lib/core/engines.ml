@@ -64,14 +64,73 @@ let mt =
 
 type Engine.extra += Hybrid of { pruned_events : int; pruned_sites : int }
 
-(* The hybrid static/dynamic engine: the serial signature engine behind a
-   filter that drops accesses to variables a static pass proved
-   dependence-free ([Config.static_prune], ids in the run's pre-interned
-   symtab).  The ids arrive through the config so the engine still fits
-   the registry's [Config.t -> session] shape; with the default empty
-   list it is the serial engine plus one closure indirection. *)
+(* The hybrid static/dynamic filter, shared by "hybrid" and "hybrid-dag":
+   an inner session behind a Memory-class gate that drops accesses to
+   variables a static pass proved dependence-free ([Config.static_prune],
+   ids in the run's pre-interned symtab).  The ids arrive through the
+   config so the engines still fit the registry's [Config.t -> session]
+   shape; with the default empty list the wrapper is one closure
+   indirection.  [wrap] turns the inner outcome plus pruning counters
+   into the engine's own [extra]. *)
 module Event = Ddp_minir.Event
 module Obs = Ddp_obs.Obs
+
+let prune_session config (inner : Engine.session) ~wrap =
+  match config.Config.static_prune with
+  | [] ->
+      {
+        inner with
+        Engine.finish =
+          (fun () ->
+            let o = inner.Engine.finish () in
+            { o with Engine.extra = wrap ~events:0 ~sites:0 o.Engine.extra });
+      }
+  | ids ->
+      let max_id = List.fold_left max 0 ids in
+      let mask = Bytes.make (max_id + 1) '\000' in
+      List.iter (fun i -> if i >= 0 then Bytes.set mask i '\001') ids;
+      let pruned v = v >= 0 && v <= max_id && Bytes.unsafe_get mask v = '\001' in
+      let events = ref 0 in
+      let sites = Hashtbl.create 32 in
+      let h = inner.Engine.hooks in
+      let skip ~loc ~var ~write =
+        incr events;
+        Hashtbl.replace sites (loc, var, write) ()
+      in
+      (* Override only the Memory class; every other class keeps the
+         inner engine's own closures (physically, via the fuse). *)
+      let hooks =
+        Ddp_minir.Handler.hooks
+          (Ddp_minir.Handler.make
+             ~memory:
+               {
+                 Event.on_read =
+                   (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                     if pruned var then skip ~loc ~var ~write:false
+                     else h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
+                 on_write =
+                   (fun ~addr ~loc ~var ~thread ~time ~locked ->
+                     if pruned var then skip ~loc ~var ~write:true
+                     else h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
+               }
+             ~region:(Event.region_of h) ~frame:(Event.frame_of h)
+             ~alloc:(Event.alloc_of h) ~sync:(Event.sync_of h) ())
+      in
+      {
+        Engine.hooks;
+        finish =
+          (fun () ->
+            let o = inner.Engine.finish () in
+            (match config.Config.obs with
+            | Some obs when Obs.enabled obs ->
+                Obs.add obs ~dom:0 Obs.C.static_pruned_events !events;
+                Obs.add obs ~dom:0 Obs.C.static_pruned_deps (Hashtbl.length sites)
+            | _ -> ());
+            {
+              o with
+              Engine.extra = wrap ~events:!events ~sites:(Hashtbl.length sites) o.Engine.extra;
+            });
+      }
 
 let hybrid =
   Engine.make ~name:"hybrid"
@@ -79,63 +138,10 @@ let hybrid =
       "serial signature engine skipping statically-proved independent accesses (Config.static_prune)"
     ~exact:false
     (fun ?account config ->
-      let inner = serial.Engine.create ?account config in
-      match config.Config.static_prune with
-      | [] ->
-          {
-            inner with
-            Engine.finish =
-              (fun () ->
-                let o = inner.Engine.finish () in
-                { o with Engine.extra = Hybrid { pruned_events = 0; pruned_sites = 0 } });
-          }
-      | ids ->
-          let max_id = List.fold_left max 0 ids in
-          let mask = Bytes.make (max_id + 1) '\000' in
-          List.iter (fun i -> if i >= 0 then Bytes.set mask i '\001') ids;
-          let pruned v = v >= 0 && v <= max_id && Bytes.unsafe_get mask v = '\001' in
-          let events = ref 0 in
-          let sites = Hashtbl.create 32 in
-          let h = inner.Engine.hooks in
-          let skip ~loc ~var ~write =
-            incr events;
-            Hashtbl.replace sites (loc, var, write) ()
-          in
-          (* Override only the Memory class; every other class keeps the
-             inner engine's own closures (physically, via the fuse). *)
-          let hooks =
-            Ddp_minir.Handler.hooks
-              (Ddp_minir.Handler.make
-                 ~memory:
-                   {
-                     Event.on_read =
-                       (fun ~addr ~loc ~var ~thread ~time ~locked ->
-                         if pruned var then skip ~loc ~var ~write:false
-                         else h.Event.on_read ~addr ~loc ~var ~thread ~time ~locked);
-                     on_write =
-                       (fun ~addr ~loc ~var ~thread ~time ~locked ->
-                         if pruned var then skip ~loc ~var ~write:true
-                         else h.Event.on_write ~addr ~loc ~var ~thread ~time ~locked);
-                   }
-                 ~region:(Event.region_of h) ~frame:(Event.frame_of h)
-                 ~alloc:(Event.alloc_of h) ~sync:(Event.sync_of h) ())
-          in
-          {
-            Engine.hooks;
-            finish =
-              (fun () ->
-                let o = inner.Engine.finish () in
-                (match config.Config.obs with
-                | Some obs when Obs.enabled obs ->
-                    Obs.add obs ~dom:0 Obs.C.static_pruned_events !events;
-                    Obs.add obs ~dom:0 Obs.C.static_pruned_deps (Hashtbl.length sites)
-                | _ -> ());
-                {
-                  o with
-                  Engine.extra =
-                    Hybrid { pruned_events = !events; pruned_sites = Hashtbl.length sites };
-                });
-          })
+      prune_session config
+        (serial.Engine.create ?account config)
+        ~wrap:(fun ~events ~sites _inner ->
+          Hybrid { pruned_events = events; pruned_sites = sites }))
 
 (* The SP-DAG engine: fork-join race detection done right.  The perfect
    store and Algorithm 1, with two substitutions: each access's
@@ -239,5 +245,26 @@ let dag =
             });
       })
 
-let builtin = [ serial; perfect; parallel; mt; hybrid; dag ]
+type Engine.extra += Hybrid_dag of { pruned_events : int; pruned_sites : int; inner : Engine.extra }
+
+(* The dag engine behind the same static prune gate: the race lint's
+   prune plan marks variables with no static dependence edge at all
+   (hence no race flag either), and by the race-soundness contract the
+   dag engine cannot derive a non-INIT dependence — let alone a race —
+   from their accesses on any schedule, so skipping them leaves the
+   dependence and race sets bit-identical while the perfect store holds
+   fewer addresses. *)
+let hybrid_dag =
+  Engine.make ~name:"hybrid-dag"
+    ~description:
+      "SP-DAG race engine skipping statically race- and dependence-free accesses (Config.static_prune)"
+    ~exact:true
+    ~consumes:Event.Class.[ Memory; Region; Frame; Alloc; Sync ]
+    (fun ?account config ->
+      prune_session config
+        (dag.Engine.create ?account config)
+        ~wrap:(fun ~events ~sites inner ->
+          Hybrid_dag { pruned_events = events; pruned_sites = sites; inner }))
+
+let builtin = [ serial; perfect; parallel; mt; hybrid; dag; hybrid_dag ]
 let () = List.iter Engine.register builtin

@@ -15,6 +15,11 @@ type Engine.extra += Dag of { strands : int; spawns : int; joins : int }
 (** Shape statistics of the "dag" engine's series-parallel DAG: strand
     ids allocated, and Task_spawn/Task_join events consumed. *)
 
+type Engine.extra += Hybrid_dag of { pruned_events : int; pruned_sites : int; inner : Engine.extra }
+(** Pruning volume of the "hybrid-dag" engine, wrapped around the inner
+    dag session's own {!Dag} statistics.  Also mirrored into the Obs
+    counters [static_pruned_events] / [static_pruned_deps]. *)
+
 val serial : Engine.t
 val perfect : Engine.t
 val parallel : Engine.t
@@ -32,5 +37,13 @@ val dag : Engine.t
     Task_join events (see {!Dag}): a cross-strand dependence is flagged
     iff the strands are logically parallel and not both lock-protected —
     independent of the schedule that happened to run. *)
+
+val hybrid_dag : Engine.t
+(** The dag engine behind the same [Config.static_prune] access filter
+    as "hybrid".  Pruned variables carry no static dependence edge (so
+    no race flag either); by the race-soundness contract their accesses
+    cannot contribute a non-INIT dependence or race on any schedule, so
+    the pruned run's dependence and race sets match the unpruned dag
+    engine's exactly (INIT pseudo-deps of pruned variables excepted). *)
 
 val builtin : Engine.t list

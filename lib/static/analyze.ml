@@ -34,7 +34,14 @@ module ISet = Set.Make (Int)
 
 type step = Seq of int | Loop of int | Alt of int | Par of int
 
-type access = { a_write : bool; a_line : int; a_sub : Affine.t; a_path : step list }
+type access = {
+  a_write : bool;
+  a_line : int;
+  a_sub : Affine.t;
+  a_path : step list;
+  a_strand : Spdag.strand;  (* SP-skeleton position at emission *)
+  a_must : bool;  (* executes in every complete run *)
+}
 
 type region = {
   r_name : string;
@@ -54,11 +61,16 @@ type loop_meta = {
   lm_reduction : string list;
   lm_trip : int option;  (* literal trip count, if bounds are literals *)
   lm_step : int option;  (* literal step *)
+  lm_lo : int option;  (* literal lower bound *)
   lm_straight : (int * string * Ast.expr) list;  (* direct-body Assigns *)
   mutable lm_names : Names.t;  (* scalars accessed within the loop *)
 }
 
-type emut = { mutable must : bool; mutable carr : ISet.t (* carrier header lines *) }
+type emut = {
+  mutable must : bool;
+  mutable carr : ISet.t;  (* carrier header lines *)
+  mutable race : Static_dep.race option;
+}
 
 type st = {
   mutable next_uid : int;
@@ -73,7 +85,12 @@ type st = {
   mutable active : loop_meta list;  (* enclosing loops, innermost first *)
   mutable globals : binding SMap.t;  (* env before current top-level stmt *)
   edges : (Dep.kind * int * int * string, emut) Hashtbl.t;
+  mutable sp : Spdag.node;  (* current static task of the walk *)
+  mutable in_must : bool;  (* current position executes in every complete run *)
+  mutable spawn_lines : ISet.t;  (* Spawn statement lines, for verdicts *)
+  race_sites : (int, Static_dep.race) Hashtbl.t;  (* site line -> worst race *)
   mutant : bool;
+  lockset_mutant : bool;
 }
 
 and binding = { b_reg : region; b_idx : int option (* loop uid when a valid index *) }
@@ -99,7 +116,16 @@ let new_region st ~name ~scalar ~refinable ~scope =
   r
 
 let emit st (r : region) ~write ~line ~sub ~path =
-  r.r_accs <- { a_write = write; a_line = line; a_sub = sub; a_path = path } :: r.r_accs;
+  r.r_accs <-
+    {
+      a_write = write;
+      a_line = line;
+      a_sub = sub;
+      a_path = path;
+      a_strand = Spdag.strand st.sp;
+      a_must = st.in_must;
+    }
+    :: r.r_accs;
   st.n_acc <- st.n_acc + 1;
   if r.r_scalar then
     List.iter (fun m -> m.lm_names <- Names.add r.r_name m.lm_names) st.active
@@ -179,7 +205,7 @@ let is_recursive st g = try Hashtbl.find st.recursive g with Not_found -> false
 (* ------------------------------------------------------------------ *)
 (* Loop metas                                                          *)
 
-let get_meta st ~header ~end_ ~is_for ~annotated ~reduction ~trip ~step ~straight =
+let get_meta st ~header ~end_ ~is_for ~annotated ~reduction ~trip ~step ~lo ~straight =
   match Hashtbl.find_opt st.meta_by_header header with
   | Some m -> m
   | None ->
@@ -192,6 +218,7 @@ let get_meta st ~header ~end_ ~is_for ~annotated ~reduction ~trip ~step ~straigh
           lm_reduction = reduction;
           lm_trip = trip;
           lm_step = step;
+          lm_lo = lo;
           lm_straight = straight;
           lm_names = Names.empty;
         }
@@ -250,21 +277,41 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
   | Ast.If (c, t, e) ->
       expr_reads st cu env ~line:s.line c;
       let pa = slot cu in
-      do_block st { cpre = pa @ [ Alt 0 ]; cpos = 0 } env t;
-      do_block st { cpre = pa @ [ Alt 1 ]; cpos = 0 } env e;
+      let entry = Spdag.save st.sp in
+      let must0 = st.in_must in
+      st.in_must <- false;
+      let walk_arm k b =
+        Spdag.restore st.sp entry;
+        let sc = Spdag.enter_scope st.sp in
+        do_block st { cpre = pa @ [ Alt k ]; cpos = 0 } env b;
+        Spdag.exit_scope st.sp sc ~loop:false;
+        Spdag.save st.sp
+      in
+      let tip_t = walk_arm 0 t in
+      let tip_e = walk_arm 1 e in
+      Spdag.restore st.sp entry;
+      Spdag.merge st.sp ~entry [ tip_t; tip_e ];
+      st.in_must <- must0;
       env
   | Ast.While (c, b) ->
       let uid = fresh st in
       let m =
         get_meta st ~header:s.line ~end_:s.end_line ~is_for:false ~annotated:false
-          ~reduction:[] ~trip:None ~step:None ~straight:[]
+          ~reduction:[] ~trip:None ~step:None ~lo:None ~straight:[]
       in
       Hashtbl.replace st.meta_by_uid uid m;
       let pw = slot cu in
       let cyc = { cpre = pw @ [ Loop uid ]; cpos = 0 } in
       st.active <- m :: st.active;
+      let must0 = st.in_must in
+      st.in_must <- false;
+      let entry = Spdag.save st.sp in
+      let sc = Spdag.enter_scope st.sp in
       expr_reads st cyc env ~line:s.line c;
       ignore (List.fold_left (do_stmt st cyc) env b);
+      Spdag.exit_scope st.sp sc ~loop:true;
+      Spdag.merge st.sp ~entry [ Spdag.save st.sp ];
+      st.in_must <- must0;
       st.active <- List.tl st.active;
       (* The final, failing condition evaluation happens after the last
          activation — model its reads outside the cycle. *)
@@ -274,6 +321,7 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
       expr_reads st cu env ~line:s.line f.lo;
       let trip = Cfg.trip_literal f.lo f.hi f.step in
       let stepl = match f.step with Ast.Int k when k <> 0 -> Some k | _ -> None in
+      let lol = match f.lo with Ast.Int k -> Some k | _ -> None in
       let uid = fresh st in
       let straight =
         List.filter_map
@@ -283,7 +331,7 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
       in
       let m =
         get_meta st ~header:s.line ~end_:s.end_line ~is_for:true ~annotated:f.parallel
-          ~reduction:f.reduction ~trip ~step:stepl ~straight
+          ~reduction:f.reduction ~trip ~step:stepl ~lo:lol ~straight
       in
       Hashtbl.replace st.meta_by_uid uid m;
       let ridx =
@@ -297,26 +345,50 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
           { b_reg = ridx; b_idx = (if valid_idx then Some uid else None) }
           env
       in
+      (* The bound/step expressions are also evaluated with the index one
+         step past the last body value (the failing condition), so any
+         array subscript inside them must not claim the body's iteration
+         range: degrade the index to Top there. *)
+      let env_x = SMap.add f.index { b_reg = ridx; b_idx = None } env in
       let pf = slot cu in
       let cyc = { cpre = pf @ [ Loop uid ]; cpos = 0 } in
       st.active <- m :: st.active;
+      let must0 = st.in_must in
+      st.in_must <- (must0 && match trip with Some t -> t >= 1 | None -> false);
+      let entry = Spdag.save st.sp in
+      let sc = Spdag.enter_scope st.sp in
       (* One activation: condition (hi reads + index read), body, then
          increment (step reads + index read + index write) — all
          attributed to the header line, as the interpreter does. *)
-      expr_reads st cyc env' ~line:s.line f.hi;
+      expr_reads st cyc env_x ~line:s.line f.hi;
       emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
       ignore (List.fold_left (do_stmt st cyc) env' f.body);
-      expr_reads st cyc env' ~line:s.line f.step;
+      expr_reads st cyc env_x ~line:s.line f.step;
       emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
       emit st ridx ~write:true ~line:s.line ~sub:(Affine.const 0) ~path:(slot cyc);
+      Spdag.exit_scope st.sp sc ~loop:true;
+      Spdag.merge st.sp ~entry [ Spdag.save st.sp ];
+      st.in_must <- must0;
       st.active <- List.tl st.active;
       (* Final failing condition evaluation, outside the cycle. *)
-      expr_reads st cu env' ~line:s.line f.hi;
+      expr_reads st cu env_x ~line:s.line f.hi;
       emit st ridx ~write:false ~line:s.line ~sub:(Affine.const 0) ~path:(slot cu);
       env
   | Ast.Par bs ->
       let pp = slot cu in
-      List.iteri (fun k b -> do_block st { cpre = pp @ [ Par k ]; cpos = 0 } env b) bs;
+      let arms =
+        List.mapi
+          (fun k b ->
+            let arm = Spdag.par_arm st.sp ~site:s.line in
+            let outer = st.sp in
+            st.sp <- arm;
+            do_block st { cpre = pp @ [ Par k ]; cpos = 0 } env b;
+            Spdag.finish arm;
+            st.sp <- outer;
+            arm)
+          bs
+      in
+      Spdag.par_done st.sp arms;
       env
   | Ast.Spawn b ->
       (* The task body may run anywhere between this spawn and the
@@ -326,11 +398,21 @@ and do_stmt st cu env (s : Ast.stmt) : binding SMap.t =
          edges in both directions, an over-approximation of every
          schedule.  (Unlike [Par] arms we deliberately do not consume a
          [Seq] slot: that would order the body before its block's
-         continuation, which only holds after the sync.) *)
+         continuation, which only holds after the sync.)  The SP
+         skeleton then refines: the child's window closes at the join
+         the interpreter guarantees (explicit Sync or frame exit). *)
       let u = fresh st in
+      st.spawn_lines <- ISet.add s.line st.spawn_lines;
+      let child = Spdag.spawn st.sp ~site:s.line in
+      let outer = st.sp in
+      st.sp <- child;
       do_block st { cpre = cu.cpre @ [ Par u ]; cpos = 0 } env b;
+      Spdag.finish child;
+      st.sp <- outer;
       env
-  | Ast.Sync -> env
+  | Ast.Sync ->
+      Spdag.sync st.sp;
+      env
   | Ast.Call_proc (g, args) ->
       List.iter (expr_reads st cu env ~line:s.line) args;
       (match Hashtbl.find_opt st.funcs g with
@@ -345,6 +427,9 @@ and inline st cu (fn : Ast.func) =
   let pc = slot cu in
   let icur = { cpre = pc; cpos = 0 } in
   let scope = List.length pc in
+  (* A procedure body is a task frame (the Cilk rule): children it
+     spawns are implicitly joined before the call returns. *)
+  Spdag.enter_frame st.sp;
   let fenv =
     List.fold_left
       (fun e p ->
@@ -353,7 +438,8 @@ and inline st cu (fn : Ast.func) =
         SMap.add p { b_reg = r; b_idx = None } e)
       st.globals fn.params
   in
-  ignore (List.fold_left (do_stmt st icur) fenv fn.fbody)
+  ignore (List.fold_left (do_stmt st icur) fenv fn.fbody);
+  Spdag.exit_frame st.sp
 
 (* Flatten a possibly-recursive call component under one synthetic Loop
    step.  Every leaf of every reachable function lands in the same
@@ -367,6 +453,39 @@ and soup st cu g =
   let cyc = { cpre = pc @ [ Loop uid ]; cpos = 0 } in
   let scope = List.length pc in
   let reach = reachable_funcs st.funcs [ g ] in
+  (* Task constructs anywhere in the component make every pair inside
+     it potentially parallel; their lines are the race-attribution
+     sites of the soup node. *)
+  let sites = ref ISet.empty in
+  let rec scan_sites (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Spawn b ->
+        sites := ISet.add s.line !sites;
+        st.spawn_lines <- ISet.add s.line st.spawn_lines;
+        List.iter scan_sites b
+    | Ast.Par bs ->
+        sites := ISet.add s.line !sites;
+        List.iter (List.iter scan_sites) bs
+    | Ast.If (_, t, e) ->
+        List.iter scan_sites t;
+        List.iter scan_sites e
+    | Ast.For f -> List.iter scan_sites f.body
+    | Ast.While (_, b) -> List.iter scan_sites b
+    | _ -> ()
+  in
+  Hashtbl.iter
+    (fun name () ->
+      match Hashtbl.find_opt st.funcs name with
+      | Some (f : Ast.func) -> List.iter scan_sites f.fbody
+      | None -> ())
+    reach;
+  let snode =
+    Spdag.soup st.sp ~sites:(ISet.elements !sites)
+      ~parallel:(not (ISet.is_empty !sites))
+  in
+  let outer_sp = st.sp and must0 = st.in_must in
+  st.sp <- snode;
+  st.in_must <- false;
   let locals = Hashtbl.create 16 in
   let local_region x =
     match Hashtbl.find_opt locals x with
@@ -448,7 +567,9 @@ and soup st cu g =
             (fun p -> touch ~force_local:true ~write:true ~line:f.header_line p)
             f.params;
           List.iter stmt f.fbody)
-    reach
+    reach;
+  st.sp <- outer_sp;
+  st.in_must <- must0
 
 (* ------------------------------------------------------------------ *)
 (* Pair analysis                                                       *)
@@ -486,18 +607,36 @@ let kind_of ~(src : access) ~(sink : access) =
   | false, true -> Some Dep.WAR
   | false, false -> None
 
-let note st ?(must = false) ?carrier ~kind ~src ~sink ~var () =
+let race_level = function Static_dep.Race_may -> 1 | Static_dep.Race_must -> 2
+
+let note st ?(must = false) ?carrier ?race ~kind ~src ~sink ~var () =
   let key = (kind, src, sink, var) in
   let e =
     match Hashtbl.find_opt st.edges key with
     | Some e -> e
     | None ->
-        let e = { must = false; carr = ISet.empty } in
+        let e = { must = false; carr = ISet.empty; race = None } in
         Hashtbl.replace st.edges key e;
         e
   in
   if must then e.must <- true;
+  (match race with
+  | Some rc
+    when match e.race with None -> true | Some r0 -> race_level rc > race_level r0 ->
+      e.race <- Some rc
+  | _ -> ());
   match carrier with Some h -> e.carr <- ISet.add h e.carr | None -> ()
+
+(* Attribute a race to the Spawn/Par sites on the SP-skeleton root path
+   of either endpoint, keeping the worst level per site. *)
+let attribute st rc (a : access) (b : access) =
+  let mark site =
+    match Hashtbl.find_opt st.race_sites site with
+    | Some r0 when race_level r0 >= race_level rc -> ()
+    | _ -> Hashtbl.replace st.race_sites site rc
+  in
+  List.iter mark (Spdag.sites_of a.a_strand);
+  List.iter mark (Spdag.sites_of b.a_strand)
 
 let carrier_info st u =
   match Hashtbl.find_opt st.meta_by_uid u with
@@ -512,58 +651,198 @@ let raw_refuted reach stable (r : region) header sink_line =
   && Names.mem r.r_name stable
   && List.mem sink_line (Reach.refuted_sinks reach ~header ~name:r.r_name)
 
-let pair st reach stable (r : region) (a : access) (b : access) =
-  let carr, rel = relate r.r_scope a b in
-  let same_iter src sink =
-    match kind_of ~src ~sink with
-    | Some kind when Affine.same_iter_alias src.a_sub sink.a_sub ->
-        note st ~kind ~src:src.a_line ~sink:sink.a_line ~var:r.r_name ()
-    | _ -> ()
-  in
-  (match rel with
-  | Before -> same_iter a b
-  | After -> same_iter b a
-  | Conc ->
-      same_iter a b;
-      same_iter b a
-  | Excl -> ());
-  if not st.mutant then
-    List.iter
-      (fun u ->
-        let trip, step, header = carrier_info st u in
-        let eligible = match trip with Some t -> t >= 2 | None -> true in
-        if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub b.a_sub then
-          let carried src sink =
-            match kind_of ~src ~sink with
-            | Some kind ->
-                let refuted =
-                  kind = Dep.RAW
-                  &&
-                  match header with
-                  | Some h -> raw_refuted reach stable r h sink.a_line
-                  | None -> false
-                in
-                if not refuted then
-                  note st
-                    ?carrier:(match header with Some h -> Some h | None -> None)
-                    ~kind ~src:src.a_line ~sink:sink.a_line ~var:r.r_name ()
-            | None -> ()
-          in
-          carried a b;
-          carried b a)
-      carr
+(* ------------------------------------------------------------------ *)
+(* Value-range disproof and must-alias over literal loop bounds        *)
 
-let self_pair st (r : region) (a : access) =
-  if a.a_write && not st.mutant then
+type rng = Rng_empty | Rng of int * int
+
+let uid_range st u =
+  match Hashtbl.find_opt st.meta_by_uid u with
+  | Some { lm_lo = Some lo; lm_step = Some s; lm_trip = Some t; _ } ->
+      if t = 0 then Some Rng_empty
+      else
+        let last = lo + ((t - 1) * s) in
+        Some (Rng (min lo last, max lo last))
+  | _ -> None
+
+(* The interval of values an affine subscript can take, when every loop
+   index in it has literal bounds.  [Rng_empty] means the access cannot
+   execute at all (a zero-trip loop body). *)
+let range_of st (a : Affine.t) =
+  match a with
+  | Affine.Top -> None
+  | Affine.Affine { c; terms } ->
+      let rec go lo hi = function
+        | [] -> Some (Rng (lo, hi))
+        | (u, k) :: tl -> (
+            match uid_range st u with
+            | Some Rng_empty -> Some Rng_empty
+            | Some (Rng (vlo, vhi)) ->
+                let x = k * vlo and y = k * vhi in
+                go (lo + min x y) (hi + max x y) tl
+            | None -> None)
+      in
+      go c c terms
+
+(* Two accesses with provably disjoint value ranges can never touch the
+   same cell: no dependence and no race, whatever the schedule. *)
+let ranges_disjoint st a b =
+  match (range_of st a, range_of st b) with
+  | Some Rng_empty, _ | _, Some Rng_empty -> true
+  | Some (Rng (alo, ahi)), Some (Rng (blo, bhi)) -> ahi < blo || bhi < alo
+  | _ -> false
+
+(* Is [v] one of the values loop [u]'s index actually takes? *)
+let iter_value st u v =
+  match Hashtbl.find_opt st.meta_by_uid u with
+  | Some { lm_lo = Some lo; lm_step = Some s; lm_trip = Some t; _ } when s <> 0 ->
+      (v - lo) mod s = 0
+      &&
+      let j = (v - lo) / s in
+      j >= 0 && j < t
+  | _ -> false
+
+(* Do the two subscripts provably address a common cell in some run?
+   Either they are the same affine form (shared indices cancel — valid
+   only within one activation, which [Race_must]'s exactness premise
+   guarantees), or they differ by one index term whose loop provably
+   reaches the solving value. *)
+let must_alias st a b =
+  match Affine.sub a b with
+  | Affine.Affine { c = 0; terms = [] } -> true
+  | Affine.Affine { c; terms = [ (u, k) ] } when k <> 0 && c mod k = 0 ->
+      iter_value st u (-c / k)
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Race classification                                                 *)
+
+(* Mirror of the dag engine's race rule: a dependence is race-flagged
+   unless the strands are ordered or *both* endpoints hold a lock (any
+   lock, not necessarily a common one).  [Race_must] strengthens a
+   warning into a proof: both endpoints execute in every run, their
+   strands are exactly (not conservatively) parallel, the cells
+   provably coincide, and one side provably never holds a lock. *)
+let race_of st locks (a : access) (b : access) =
+  if st.lockset_mutant then None
+  else if not (Spdag.mhp a.a_strand b.a_strand) then None
+  else
+    let musta = Lockset.must_held locks ~line:a.a_line
+    and mustb = Lockset.must_held locks ~line:b.a_line in
+    if (not (Lockset.ISet.is_empty musta)) && not (Lockset.ISet.is_empty mustb)
+    then None
+    else
+      let must =
+        a.a_must && b.a_must
+        && Spdag.exact a.a_strand && Spdag.exact b.a_strand
+        && must_alias st a.a_sub b.a_sub
+        && (Lockset.ISet.is_empty (Lockset.may_held locks ~line:a.a_line)
+           || Lockset.ISet.is_empty (Lockset.may_held locks ~line:b.a_line))
+      in
+      Some (if must then Static_dep.Race_must else Static_dep.Race_may)
+
+let pair st locks reach stable (r : region) (a : access) (b : access) =
+  if ranges_disjoint st a.a_sub b.a_sub then ()
+  else begin
+    let carr, rel = relate r.r_scope a b in
+    let srel = Spdag.relate a.a_strand b.a_strand in
+    (* Refine against the SP skeleton, in both directions.  Parallel
+       strands make the textual order meaningless: a spawned body and
+       the code after the spawn may execute either way round, so an
+       ordered path relation degrades to Conc (edges both ways, each
+       race-flagged).  Conversely a loop-independent Conc pair refines
+       to the SP order: a task joined by a sync runs before everything
+       after the join.  Shared carrier loops forbid that refinement —
+       iteration k of one side and iteration k+1 of the other can
+       execute in the reverse order. *)
+    let rel =
+      match (srel, rel) with
+      | Spdag.S_par, (Before | After) -> Conc
+      | Spdag.S_before, Conc when carr = [] -> Before
+      | Spdag.S_after, Conc when carr = [] -> After
+      | _ -> rel
+    in
+    let race = race_of st locks a b in
+    let hit = ref false in
+    let note' ?carrier ~kind ~src ~sink () =
+      hit := true;
+      note st ?carrier ?race ~kind ~src ~sink ~var:r.r_name ()
+    in
+    let same_iter src sink =
+      match kind_of ~src ~sink with
+      | Some kind when Affine.same_iter_alias src.a_sub sink.a_sub ->
+          note' ~kind ~src:src.a_line ~sink:sink.a_line ()
+      | _ -> ()
+    in
+    (match rel with
+    | Before -> same_iter a b
+    | After -> same_iter b a
+    | Conc ->
+        same_iter a b;
+        same_iter b a
+    | Excl -> ());
+    if not st.mutant then
+      List.iter
+        (fun u ->
+          let trip, step, header = carrier_info st u in
+          let eligible = match trip with Some t -> t >= 2 | None -> true in
+          if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub b.a_sub
+          then
+            let carried src sink =
+              match kind_of ~src ~sink with
+              | Some kind ->
+                  let refuted =
+                    (* Clearance reasoning assumes the iteration's own
+                       def executes before the use with nothing in
+                       between; a parallel src can write exactly there,
+                       so MHP pairs keep the edge. *)
+                    kind = Dep.RAW
+                    && srel <> Spdag.S_par
+                    &&
+                    match header with
+                    | Some h -> raw_refuted reach stable r h sink.a_line
+                    | None -> false
+                  in
+                  if not refuted then
+                    note'
+                      ?carrier:(match header with Some h -> Some h | None -> None)
+                      ~kind ~src:src.a_line ~sink:sink.a_line ()
+              | None -> ()
+            in
+            carried a b;
+            carried b a)
+        carr;
+    match (race, !hit) with Some rc, true -> attribute st rc a b | _ -> ()
+  end
+
+let self_pair st locks (r : region) (a : access) =
+  if a.a_write && not st.mutant then begin
+    (* Two dynamic instances of one write racing each other: possible
+       only for a multi-instance strand, refuted when every instance
+       holds a lock.  Never [Race_must] — multi-instance is inexact. *)
+    let race =
+      if st.lockset_mutant then None
+      else if
+        Spdag.self_par a.a_strand
+        && Lockset.ISet.is_empty (Lockset.must_held locks ~line:a.a_line)
+      then Some Static_dep.Race_may
+      else None
+    in
+    let hit = ref false in
     List.iter
       (fun u ->
         let trip, step, header = carrier_info st u in
         let eligible = match trip with Some t -> t >= 2 | None -> true in
-        if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub a.a_sub then
+        if eligible && Affine.carried_alias ~carrier:u ?trip ?step a.a_sub a.a_sub
+        then begin
+          hit := true;
           note st
             ?carrier:(match header with Some h -> Some h | None -> None)
-            ~kind:Dep.WAW ~src:a.a_line ~sink:a.a_line ~var:r.r_name ())
-      (self_carriers r.r_scope a)
+            ?race ~kind:Dep.WAW ~src:a.a_line ~sink:a.a_line ~var:r.r_name ()
+        end)
+      (self_carriers r.r_scope a);
+    match (race, !hit) with Some rc, true -> attribute st rc a a | _ -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
@@ -652,7 +931,8 @@ let fill_assigns tbl (prog : Ast.program) =
   List.iter stmt prog.body;
   List.iter (fun (f : Ast.func) -> List.iter stmt f.fbody) prog.funcs
 
-let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
+let analyze ?(mutant = false) ?(lockset_mutant = false) (prog : Ast.program) :
+    Static_dep.t =
   ignore (Ast.number prog);
   let st =
     {
@@ -668,7 +948,12 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
       active = [];
       globals = SMap.empty;
       edges = Hashtbl.create 256;
+      sp = Spdag.create ();
+      in_must = true;
+      spawn_lines = ISet.empty;
+      race_sites = Hashtbl.create 8;
       mutant;
+      lockset_mutant;
     }
   in
   List.iter (fun (f : Ast.func) -> Hashtbl.replace st.funcs f.fname f) prog.funcs;
@@ -684,8 +969,12 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
          st.globals <- env;
          do_stmt st root env s)
        SMap.empty prog.body);
+  (* Implicit program-end sync: the root task joins everything. *)
+  Spdag.finish st.sp;
   (* CFG dataflow facts *)
-  let reach = Reach.solve (Cfg.build prog) in
+  let cfgs = Cfg.build prog in
+  let reach = Reach.solve cfgs in
+  let locks = Lockset.solve prog cfgs in
   let stable = Cfg.stable_scalars prog in
   (* Pairwise tests per region *)
   List.iter
@@ -693,9 +982,9 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
       let accs = Array.of_list r.r_accs in
       let n = Array.length accs in
       for i = 0 to n - 1 do
-        self_pair st r accs.(i);
+        self_pair st locks r accs.(i);
         for j = i + 1 to n - 1 do
-          pair st reach stable r accs.(i) accs.(j)
+          pair st locks reach stable r accs.(i) accs.(j)
         done
       done)
     st.regions;
@@ -714,6 +1003,7 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
           e_var = var;
           e_must = e.must;
           e_carriers = ISet.elements e.carr;
+          e_race = e.race;
         }
         :: acc)
       st.edges []
@@ -750,10 +1040,22 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
     List.fold_left (fun s (r : region) -> Names.add r.r_name s) Names.empty st.regions
   in
   let prunable = Names.elements (Names.diff declared touched) in
+  let spawns =
+    ISet.elements st.spawn_lines
+    |> List.map (fun line ->
+           let v =
+             match Hashtbl.find_opt st.race_sites line with
+             | None -> Static_dep.Race_free
+             | Some Static_dep.Race_must -> Static_dep.Racy
+             | Some Static_dep.Race_may -> Static_dep.Race_unknown
+           in
+           { Static_dep.sv_line = line; sv_verdict = v })
+  in
   {
     Static_dep.prog = prog.name;
     edges;
     loops;
+    spawns;
     prunable;
     stats =
       {
@@ -761,5 +1063,13 @@ let analyze ?(mutant = false) (prog : Ast.program) : Static_dep.t =
         s_accesses = st.n_acc;
         s_may = List.length edges;
         s_must = List.length (List.filter (fun (e : Static_dep.edge) -> e.Static_dep.e_must) edges);
+        s_race_may =
+          List.length
+            (List.filter (fun (e : Static_dep.edge) -> e.Static_dep.e_race <> None) edges);
+        s_race_must =
+          List.length
+            (List.filter
+               (fun (e : Static_dep.edge) -> e.Static_dep.e_race = Some Static_dep.Race_must)
+               edges);
       };
   }

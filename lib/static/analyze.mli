@@ -4,20 +4,33 @@
     into an execution-tree path model (sequencing, loop, branch and
     [Par] steps), runs pairwise dependence tests per storage region —
     affine subscript tests (ZIV / strong SIV / GCD) for array accesses
-    under literal-bound [For] loops, conservative Top aliasing
-    otherwise — and refines/strengthens the result with the CFG
-    dataflow facts of {!Reach} (must-RAW claims, carried-RAW sink
-    refutation, must-serial evidence).
+    under literal-bound [For] loops, value-range disproof over literal
+    loop bounds, conservative Top aliasing otherwise — and
+    refines/strengthens the result with the CFG dataflow facts of
+    {!Reach} (must-RAW claims, carried-RAW sink refutation, must-serial
+    evidence).
 
-    Soundness contract (checked by [ddpcheck soundness]): for every
-    program, the returned may-edge set is a superset of the dependences
-    any execution under the default profiler configuration reports
-    (excluding INIT), and every must edge occurs in every complete
-    run.  Non-recursive calls are inlined; recursive call components
-    are "souped" under a synthetic carrier so every intra-component
-    pair is conservatively both-directions dependent. *)
+    Task-parallel programs additionally get a static race lint: the walk
+    builds an SP skeleton ({!Spdag}) mirroring the interpreter's task
+    runtime, a lockset dataflow ({!Lockset}) over the CFG, and flags
+    every edge whose endpoints may run in parallel without both being
+    provably lock-protected as [Race_may] — [Race_must] when the race is
+    proved to occur.  Each [Spawn] statement receives a verdict.
 
-val analyze : ?mutant:bool -> Ddp_minir.Ast.program -> Static_dep.t
+    Soundness contract (checked by [ddpcheck soundness] and [ddpcheck
+    races]): for every program, the returned may-edge set is a superset
+    of the dependences any execution under the default profiler
+    configuration reports (excluding INIT), every must edge occurs in
+    every complete run, and every dependence the dag engine race-flags
+    on any schedule lies in the race-flagged edge set.  Non-recursive
+    calls are inlined; recursive call components are "souped" under a
+    synthetic carrier so every intra-component pair is conservatively
+    both-directions dependent. *)
+
+val analyze :
+  ?mutant:bool -> ?lockset_mutant:bool -> Ddp_minir.Ast.program -> Static_dep.t
 (** [mutant] deliberately breaks the analysis (drops all loop-carried
-    edges) — the fire-drill hook proving the soundness checker can
-    catch an unsound analyzer.  Never set it in production code. *)
+    edges); [lockset_mutant] breaks the race lint (treats every access
+    as lock-protected, so no race is ever reported).  Both are
+    fire-drill hooks proving the soundness checkers can catch an
+    unsound analyzer.  Never set them in production code. *)

@@ -12,6 +12,11 @@
 module Ast = Ddp_minir.Ast
 module Names = Dataflow.Names
 
+type lock_op =
+  | Acquire of int
+  | Release of int
+  | Clear  (* task/arm entry: a fresh thread starts with no locks held *)
+
 type node = {
   id : int;
   line : int;
@@ -19,6 +24,8 @@ type node = {
   defs : Names.t;
   gen_only : Names.t;
   is_call : bool;
+  callee : string option;
+  lock : lock_op option;
   must : bool;
   mutable succs : int list;
   mutable preds : int list;
@@ -171,11 +178,23 @@ let build (prog : Ast.program) =
     let nodes_tbl = Hashtbl.create 64 in
     let counter = ref 0 in
     let loops = ref [] in
-    let add ~line ~uses ~defs ?(gen = Names.empty) ?(call = false) ~must () =
+    let add ~line ~uses ~defs ?(gen = Names.empty) ?(call = false) ?callee ?lock ~must () =
       let id = !counter in
       incr counter;
       Hashtbl.replace nodes_tbl id
-        { id; line; uses; defs; gen_only = gen; is_call = call; must; succs = []; preds = [] };
+        {
+          id;
+          line;
+          uses;
+          defs;
+          gen_only = gen;
+          is_call = call;
+          callee;
+          lock;
+          must;
+          succs = [];
+          preds = [];
+        };
       id
     in
     let node id = Hashtbl.find nodes_tbl id in
@@ -190,7 +209,14 @@ let build (prog : Ast.program) =
     let members lo hi = List.init (hi - lo + 1) (fun i -> lo + i) in
     let rec stmt ~must preds (s : Ast.stmt) : int list =
       match s.kind with
-      | Lock _ | Unlock _ | Nop | Free _ -> preds
+      | Nop | Free _ -> preds
+      | Lock k | Unlock k ->
+          let op = match s.kind with Ast.Lock _ -> Acquire k | _ -> Release k in
+          let id =
+            add ~line:s.line ~uses:Names.empty ~defs:Names.empty ~lock:op ~must ()
+          in
+          connect preds id;
+          [ id ]
       | Local (x, e) | Assign (x, e) ->
           let id =
             add ~line:s.line ~uses:(scalars_of_expr e) ~defs:(Names.singleton x) ~must ()
@@ -252,18 +278,37 @@ let build (prog : Ast.program) =
           loops :=
             { l_header = s.line; l_entry = cid; l_members = members cid inc } :: !loops;
           [ cid ]
-      | Par bs -> List.concat_map (fun b -> block ~must:false preds b) bs
+      (* Par arms and spawned bodies run on a fresh thread that starts
+         with no locks held: a [Clear] pseudo-node at each entry resets
+         the lockset dataflow without touching the scalar facts. *)
+      | Par bs ->
+          List.concat_map
+            (fun b ->
+              let cl =
+                add ~line:s.line ~uses:Names.empty ~defs:Names.empty ~lock:Clear
+                  ~must:false ()
+              in
+              connect preds cl;
+              block ~must:false [ cl ] b)
+            bs
       (* A spawned body may run anywhere between the spawn point and the
          enclosing sync: treat it like a may-taken branch (its defs are
          may-defs reaching the continuation) whose exits merge with the
          straight-line path. *)
-      | Spawn b -> block ~must:false preds b @ preds
+      | Spawn b ->
+          let cl =
+            add ~line:s.line ~uses:Names.empty ~defs:Names.empty ~lock:Clear
+              ~must:false ()
+          in
+          connect preds cl;
+          block ~must:false [ cl ] b @ preds
       | Sync -> preds
       | Call_proc (g, args) ->
           let sg = summary g in
           let uses = Names.union (scalars_of_exprs args) sg.s_reads in
           let id =
-            add ~line:s.line ~uses ~defs:Names.empty ~gen:sg.s_writes ~call:true ~must ()
+            add ~line:s.line ~uses ~defs:Names.empty ~gen:sg.s_writes ~call:true
+              ~callee:g ~must ()
           in
           connect preds id;
           [ id ]

@@ -12,6 +12,12 @@
 
 module Names = Dataflow.Names
 
+type lock_op =
+  | Acquire of int  (** [Lock k] *)
+  | Release of int  (** [Unlock k] *)
+  | Clear
+      (** [Spawn]-body / [Par]-arm entry: a fresh thread holds no locks *)
+
 type node = {
   id : int;
   line : int;
@@ -19,6 +25,8 @@ type node = {
   defs : Names.t;  (** definite scalar writes: gen + kill *)
   gen_only : Names.t;  (** may-writes via calls: gen, never kill *)
   is_call : bool;
+  callee : string option;  (** the called function, on call nodes *)
+  lock : lock_op option;  (** lockset transfer, on lock pseudo-nodes *)
   must : bool;
       (** node executes in every complete run of the routine: not under
           [If]/[While]/[Par], and only under [For]s with literal trip >= 1 *)

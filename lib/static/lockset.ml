@@ -1,0 +1,215 @@
+(* Flow-sensitive lockset analysis over the CFG, on the generic
+   Dataflow worklist solver.
+
+   Two facts per program point, both as instances of the same union-join
+   lattice over lock-id sets:
+
+   - MUST-held: the locks held on *every* path to the point.  Encoded by
+     complement — the solver propagates "may-NOT-held" sets (union-join,
+     bottom = empty), and must-held(p) = universe \ may-not-held(p).
+     Routine entries and thread entries ([Cfg.Clear]) seed the full
+     universe: nothing is held for sure.
+   - MAY-held: the locks held on *some* path (union-join directly).
+
+   The race layer refutes a candidate when both endpoints MUST hold a
+   lock — exactly the dag engine's rule, which clears a dependence when
+   both accesses carry the locked bit (any lock, not necessarily a
+   common one).  MAY-held works the other side: an endpoint with an
+   empty may-set provably never holds a lock, an ingredient of
+   [Race_must].
+
+   Calls are handled interprocedurally by a fixpoint over routine entry
+   seeds: a callee entry joins the lock state of every call site, and a
+   call node whose callee (transitively) touches any lock clobbers the
+   caller's facts — must-held drops to nothing, may-held widens to the
+   universe.  Sound both ways; exact for lock-free callees. *)
+
+module Ast = Ddp_minir.Ast
+module ISet = Set.Make (Int)
+
+module Lock_lattice = struct
+  type t = ISet.t
+
+  let equal = ISet.equal
+  let bottom = ISet.empty
+  let join = ISet.union
+end
+
+module Solver = Dataflow.Make (Lock_lattice)
+
+type t = {
+  universe : ISet.t;
+  (* per access line: union of may-not-held / may-held over every node
+     at that line, across routines and call contexts *)
+  not_held : (int, ISet.t) Hashtbl.t;
+  may : (int, ISet.t) Hashtbl.t;
+}
+
+let lock_ids (prog : Ast.program) =
+  let acc = ref ISet.empty in
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Lock k | Ast.Unlock k -> acc := ISet.add k !acc
+    | Ast.If (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Ast.For f -> List.iter stmt f.body
+    | Ast.While (_, b) -> List.iter stmt b
+    | Ast.Par bs -> List.iter (List.iter stmt) bs
+    | Ast.Spawn b -> List.iter stmt b
+    | _ -> ()
+  in
+  List.iter stmt prog.body;
+  List.iter (fun (f : Ast.func) -> List.iter stmt f.fbody) prog.funcs;
+  !acc
+
+(* Does a function (transitively) execute any Lock/Unlock?  One boolean
+   per function by fixpoint over the call graph. *)
+let lock_touchers (prog : Ast.program) =
+  let tbl = Hashtbl.create 8 in
+  let touches g = try Hashtbl.find tbl g with Not_found -> false in
+  let rec stmt (s : Ast.stmt) =
+    match s.kind with
+    | Ast.Lock _ | Ast.Unlock _ -> true
+    | Ast.Call_proc (g, _) -> touches g
+    | Ast.If (_, a, b) -> List.exists stmt a || List.exists stmt b
+    | Ast.For f -> List.exists stmt f.body
+    | Ast.While (_, b) -> List.exists stmt b
+    | Ast.Par bs -> List.exists (List.exists stmt) bs
+    | Ast.Spawn b -> List.exists stmt b
+    | _ -> false
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ast.func) ->
+        let v = List.exists stmt f.fbody in
+        if v && not (touches f.fname) then begin
+          Hashtbl.replace tbl f.fname true;
+          changed := true
+        end)
+      prog.funcs
+  done;
+  touches
+
+let merge_line tbl line s =
+  let prev = try Hashtbl.find tbl line with Not_found -> ISet.empty in
+  Hashtbl.replace tbl line (ISet.union prev s)
+
+let solve (prog : Ast.program) (cfgs : Cfg.t list) =
+  let universe = lock_ids prog in
+  let t = { universe; not_held = Hashtbl.create 64; may = Hashtbl.create 64 } in
+  if ISet.is_empty universe then t
+  else begin
+    let touches = lock_touchers prog in
+    (* entry seeds per routine, grown by the interprocedural fixpoint:
+       (may-not-held, may-held) at every call site of the routine *)
+    let seeds : (string, ISet.t * ISet.t) Hashtbl.t = Hashtbl.create 8 in
+    Hashtbl.replace seeds "main" (universe, ISet.empty);
+    let seed name =
+      try Hashtbl.find seeds name with Not_found -> (universe, ISet.empty)
+    in
+    let solve_routine (cfg : Cfg.t) =
+      let nodes = List.init (Array.length cfg.nodes) Fun.id in
+      let deps n = cfg.nodes.(n).Cfg.preds in
+      let entry_nh, entry_may = seed cfg.routine in
+      let transfer_of ~on_acquire ~on_release ~on_clear ~on_call n v =
+        let node = cfg.nodes.(n) in
+        match node.Cfg.lock with
+        | Some (Cfg.Acquire k) -> on_acquire k v
+        | Some (Cfg.Release k) -> on_release k v
+        | Some Cfg.Clear -> on_clear v
+        | None -> (
+            match node.Cfg.callee with
+            | Some g when touches g -> on_call v
+            | _ -> if node.Cfg.is_call then on_call v else v)
+      in
+      (* may-not-held: Lock removes, Unlock adds, thread entry and
+         lock-touching calls reset to "maybe nothing held" *)
+      let nh_transfer =
+        transfer_of
+          ~on_acquire:(fun k v -> ISet.remove k v)
+          ~on_release:(fun k v -> ISet.add k v)
+          ~on_clear:(fun _ -> universe)
+          ~on_call:(fun _ -> universe)
+      in
+      let nh_init n = if n = cfg.entry then entry_nh else ISet.empty in
+      let nh_in, _ = Solver.solve ~nodes ~deps ~transfer:nh_transfer ~init:nh_init () in
+      (* may-held: Lock adds, Unlock removes, thread entry resets to
+         nothing, lock-touching calls widen to everything *)
+      let may_transfer =
+        transfer_of
+          ~on_acquire:(fun k v -> ISet.add k v)
+          ~on_release:(fun k v -> ISet.remove k v)
+          ~on_clear:(fun _ -> ISet.empty)
+          ~on_call:(fun _ -> universe)
+      in
+      let may_init n = if n = cfg.entry then entry_may else ISet.empty in
+      let may_in, _ = Solver.solve ~nodes ~deps ~transfer:may_transfer ~init:may_init () in
+      (* feed callee seeds with the state at each call site *)
+      let changed = ref false in
+      Array.iter
+        (fun (node : Cfg.node) ->
+          match node.Cfg.callee with
+          | Some g ->
+              let known = Hashtbl.mem seeds g in
+              let snh, smay = seed g in
+              let snh' = ISet.union snh (nh_in node.Cfg.id) in
+              let smay' = ISet.union smay (may_in node.Cfg.id) in
+              if (not known) || not (ISet.equal snh snh' && ISet.equal smay smay')
+              then begin
+                Hashtbl.replace seeds g (snh', smay');
+                changed := true
+              end
+          | None -> ())
+        cfg.nodes;
+      (nh_in, may_in, !changed)
+    in
+    (* Interprocedural fixpoint: re-solve until no routine entry seed
+       grows.  Seeds only ever grow (union) inside a finite universe, so
+       this terminates; the round bound is belt and braces. *)
+    let max_rounds =
+      2 + (2 * List.length cfgs * (1 + ISet.cardinal universe))
+    in
+    let stable = ref false in
+    let rounds = ref 0 in
+    while (not !stable) && !rounds < max_rounds do
+      incr rounds;
+      stable := true;
+      List.iter
+        (fun cfg ->
+          let _, _, changed = solve_routine cfg in
+          if changed then stable := false)
+        cfgs
+    done;
+    (* Final pass: record per-line facts (the IN state — an access runs
+       under the locks held when its statement starts). *)
+    List.iter
+      (fun (cfg : Cfg.t) ->
+        let nh_in, may_in, _ = solve_routine cfg in
+        Array.iter
+          (fun (node : Cfg.node) ->
+            merge_line t.not_held node.Cfg.line (nh_in node.Cfg.id);
+            merge_line t.may node.Cfg.line (may_in node.Cfg.id))
+          cfg.nodes)
+      cfgs;
+    t
+  end
+
+(* Locks held on every path to every node at [line]; empty (no proof)
+   for lines with no CFG node — e.g. inlined parameter writes. *)
+let must_held t ~line =
+  if ISet.is_empty t.universe then ISet.empty
+  else
+    match Hashtbl.find_opt t.not_held line with
+    | Some nh -> ISet.diff t.universe nh
+    | None -> ISet.empty
+
+(* Locks possibly held at [line]; the full universe (no proof of
+   lock-freedom) for lines with no CFG node. *)
+let may_held t ~line =
+  if ISet.is_empty t.universe then ISet.empty
+  else match Hashtbl.find_opt t.may line with Some s -> s | None -> t.universe
+
+let universe t = t.universe

@@ -1,0 +1,34 @@
+(** Flow-sensitive lockset dataflow over the CFG ({!Dataflow} worklist
+    solver, union-join lattice over lock-id sets).
+
+    Per source line, two facts:
+    - {!must_held}: locks held on {e every} path to the line (computed
+      by complement — the solver propagates may-not-held sets).  The
+      race layer refutes a candidate when both endpoints must-hold a
+      lock, matching the dag engine's both-locked rule.
+    - {!may_held}: locks held on {e some} path.  An empty may-set is a
+      proof the endpoint never holds a lock — an ingredient of
+      [Race_must].
+
+    Thread entries ([Spawn] bodies, [Par] arms) reset to the empty
+    lockset via {!Cfg.Clear} pseudo-nodes; calls are interprocedural by
+    a fixpoint over routine-entry seeds, with lock-touching callees
+    clobbering the caller's facts.  Everything degrades toward "no
+    proof", never toward a wrong proof. *)
+
+module ISet : Set.S with type elt = int
+
+type t
+
+val solve : Ddp_minir.Ast.program -> Cfg.t list -> t
+
+val must_held : t -> line:int -> ISet.t
+(** Locks held on every path to every CFG node at [line]; empty when
+    nothing is provable (including lines outside the CFG). *)
+
+val may_held : t -> line:int -> ISet.t
+(** Locks possibly held at [line]; the full universe when nothing is
+    provable. *)
+
+val universe : t -> ISet.t
+(** Every lock id the program mentions. *)

@@ -1,0 +1,299 @@
+(* Static series-parallel skeleton for task-parallel MiniIR.
+
+   The dynamic dag engine (lib/core/dag.ml) maintains one interval label
+   per *task instance*; this module builds the same structure once, over
+   the program text, during the analyzer's extraction walk.  A [node] is
+   a static task — the whole program (root), one [Spawn] body, one [Par]
+   arm, or one recursive call component ("soup") — and carries an
+   interval [lo, hi] in its parent's step counter: the window of parent
+   steps the task may overlap.  A [strand] is a (node, step) position;
+   two strands compare exactly like dynamic dag labels: lift both to the
+   deepest common node and compare intervals, in O(depth).
+
+   Numbering mirrors the interpreter's task runtime:
+   - a statement occupies the node's current step [t];
+   - [spawn] starts the child at [lo = t+1] and bumps the parent to
+     [t+1], so everything textually before the spawn is ordered before
+     the child and everything after overlaps it;
+   - [sync] (and the implicit sync at every frame exit) closes the
+     joined children at [hi = t] and bumps to [t+1], so everything after
+     the sync is ordered after them.
+
+   Conservatism, never unsoundness: a sync only resolves children whose
+   spawn must-precedes it (same frame, spawn at or inside the sync's
+   scope chain) — children spawned under a different branch stay open
+   until the frame's implicit sync, which over-extends their window.  A
+   child escaping a loop body is widened to the loop-entry step and
+   marked [multi]: several of its instances may be live at once, so it
+   is parallel with everything it overlaps, itself included. *)
+
+type scope = { sc_entry : int; mutable sc_live : bool }
+
+type node = {
+  parent : node option;
+  depth : int;
+  sites : int list;  (* Spawn/Par statement lines that create this node *)
+  mutable lo : int;  (* first parent step the task may overlap *)
+  mutable hi : int;  (* last parent step (join); max_int while open *)
+  mutable multi : bool;  (* several instances may be live at once *)
+  mutable widened : bool;  (* interval stretched beyond the exact window *)
+  mutable step : int;  (* this node's own strand counter *)
+  mutable frames : frame list;  (* innermost first; base frame last *)
+  mutable scopes : scope list;  (* open If/loop scopes of the innermost frame *)
+}
+
+and frame = {
+  mutable pending : (node * scope list) list;
+  saved_scopes : scope list;  (* the enclosing frame's chain, restored on exit *)
+}
+
+type strand = { s_node : node; s_step : int }
+
+let create () =
+  {
+    parent = None;
+    depth = 0;
+    sites = [];
+    lo = 0;
+    hi = max_int;
+    multi = false;
+    widened = false;
+    step = 0;
+    frames = [ { pending = []; saved_scopes = [] } ];
+    scopes = [];
+  }
+
+let strand n = { s_node = n; s_step = n.step }
+
+let innermost n =
+  match n.frames with f :: _ -> f | [] -> invalid_arg "Spdag: node has no frame"
+
+(* ------------------------------------------------------------------ *)
+(* Building: spawn / sync / frames                                     *)
+
+let spawn parent ~site =
+  let s = parent.step in
+  parent.step <- s + 1;
+  let child =
+    {
+      parent = Some parent;
+      depth = parent.depth + 1;
+      sites = [ site ];
+      lo = s + 1;
+      hi = max_int;
+      multi = false;
+      widened = false;
+      step = 0;
+      frames = [ { pending = []; saved_scopes = [] } ];
+      scopes = [];
+    }
+  in
+  let f = innermost parent in
+  f.pending <- (child, parent.scopes) :: f.pending;
+  child
+
+(* [inside] iff the sync's scope chain is a suffix of the spawn's: the
+   spawn happened at or inside every scope the sync is under, so if the
+   spawn executed, the sync must follow it. *)
+let rec is_suffix ~suffix l =
+  if suffix == l then true
+  else
+    match (suffix, l) with
+    | [], _ -> true
+    | _, [] -> false
+    | _, _ :: tl -> suffix == tl || is_suffix ~suffix tl
+
+let join_child n (c, _) =
+  c.hi <- n.step;
+  if c.hi < c.lo then c.hi <- c.lo (* degenerate: spawned and joined at once *)
+
+let sync n =
+  let f = innermost n in
+  let joined, open_ =
+    List.partition (fun (_, sc) -> is_suffix ~suffix:n.scopes sc) f.pending
+  in
+  if joined <> [] then begin
+    List.iter (join_child n) joined;
+    n.step <- n.step + 1
+  end;
+  f.pending <- open_
+
+let enter_frame n =
+  let f = { pending = []; saved_scopes = n.scopes } in
+  n.frames <- f :: n.frames;
+  n.scopes <- []
+
+(* A frame exit is an unconditional sync of everything the frame
+   spawned, however deep the spawns were nested. *)
+let exit_frame n =
+  match n.frames with
+  | [] | [ _ ] -> invalid_arg "Spdag.exit_frame: base frame"
+  | f :: rest ->
+      if f.pending <> [] then begin
+        List.iter (join_child n) f.pending;
+        n.step <- n.step + 1
+      end;
+      n.frames <- rest;
+      n.scopes <- f.saved_scopes
+
+(* Close a node at the end of its body: the implicit sync of its base
+   frame (and, defensively, of any frame left open). *)
+let finish n =
+  let close f =
+    if f.pending <> [] then begin
+      List.iter (join_child n) f.pending;
+      n.step <- n.step + 1
+    end
+  in
+  List.iter close n.frames;
+  n.frames <- [ { pending = []; saved_scopes = [] } ];
+  n.scopes <- []
+
+(* ------------------------------------------------------------------ *)
+(* Building: scopes (If arms, loop bodies)                             *)
+
+let save n = n.step
+let restore n t = n.step <- t
+
+let enter_scope n =
+  let sc = { sc_entry = n.step; sc_live = true } in
+  n.scopes <- sc :: n.scopes;
+  sc
+
+(* Leaving a scope re-tags its surviving children to the parent scope
+   chain (a later, outer sync may still resolve them).  Leaving a *loop*
+   scope additionally widens survivors back to the loop-entry step and
+   marks them [multi]: the spawn re-executes every iteration with no
+   intervening join, so instances pile up and overlap the whole body. *)
+let exit_scope n sc ~loop =
+  (match n.scopes with
+  | s :: rest when s == sc ->
+      sc.sc_live <- false;
+      n.scopes <- rest
+  | _ -> invalid_arg "Spdag.exit_scope: not the innermost scope");
+  let f = innermost n in
+  f.pending <-
+    List.map
+      (fun ((c, chain) as entry) ->
+        if List.exists (fun s -> s == sc) chain then begin
+          if loop then begin
+            if c.lo > sc.sc_entry then begin
+              c.lo <- sc.sc_entry;
+              c.widened <- true
+            end;
+            c.multi <- true
+          end;
+          (c, n.scopes)
+        end
+        else entry)
+      f.pending
+
+(* After walking all arms of an [If] (each from the saved entry step):
+   continue at the latest arm step, plus one when any arm moved, so a
+   child joined inside one arm never shares a step with the
+   continuation.  Loop bodies use the same rule with one "arm". *)
+let merge n ~entry tips =
+  let t = List.fold_left max entry tips in
+  n.step <- (if t = entry then entry else t + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Building: Par arms and recursive soups                              *)
+
+let par_arm parent ~site =
+  {
+    parent = Some parent;
+    depth = parent.depth + 1;
+    sites = [ site ];
+    lo = parent.step + 1;
+    hi = max_int;
+    multi = false;
+    widened = false;
+    step = 0;
+    frames = [ { pending = []; saved_scopes = [] } ];
+    scopes = [];
+  }
+
+let par_done parent arms =
+  List.iter (fun a -> a.hi <- parent.step + 1) arms;
+  parent.step <- parent.step + 2
+
+(* A recursive call component collapses into one closed node: the call
+   statement returns only after its frame's implicit sync, so the whole
+   component sits strictly between the statements around the call.
+   When the component contains a [Spawn] or [Par], any two positions
+   inside it may run in parallel — the node is [multi]. *)
+let soup parent ~sites ~parallel =
+  let t = parent.step in
+  parent.step <- t + 2;
+  {
+    parent = Some parent;
+    depth = parent.depth + 1;
+    sites;
+    lo = t + 1;
+    hi = t + 1;
+    multi = parallel;
+    widened = false;
+    step = 0;
+    frames = [ { pending = []; saved_scopes = [] } ];
+    scopes = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+type rel = S_same | S_before | S_after | S_par
+
+let rec anc_multi n = n.multi || match n.parent with Some p -> anc_multi p | None -> false
+
+let rec path_exact n =
+  (not n.multi) && (not n.widened)
+  && match n.parent with Some p -> path_exact p | None -> true
+
+(* Lift a strand one node up: its window in the parent's counter. *)
+let lift (n, _lo, _hi) =
+  match n.parent with
+  | Some p -> (p, n.lo, n.hi)
+  | None -> invalid_arg "Spdag: lifting the root"
+
+let relate a b =
+  if a.s_node == b.s_node && a.s_step = b.s_step then
+    if anc_multi a.s_node then S_par else S_same
+  else begin
+    let ra = ref (a.s_node, a.s_step, a.s_step) in
+    let rb = ref (b.s_node, b.s_step, b.s_step) in
+    let depth (n, _, _) = n.depth in
+    while depth !ra > depth !rb do
+      ra := lift !ra
+    done;
+    while depth !rb > depth !ra do
+      rb := lift !rb
+    done;
+    let node (n, _, _) = n in
+    while not (node !ra == node !rb) do
+      ra := lift !ra;
+      rb := lift !rb
+    done;
+    let meet, alo, ahi = !ra in
+    let _, blo, bhi = !rb in
+    if anc_multi meet then S_par
+    else if ahi < blo then S_before
+    else if bhi < alo then S_after
+    else S_par
+  end
+
+let mhp a b = relate a b = S_par
+let self_par a = anc_multi a.s_node
+let exact a = path_exact a.s_node
+
+let sites_of a =
+  let rec go acc n =
+    let acc = List.rev_append n.sites acc in
+    match n.parent with Some p -> go acc p | None -> acc
+  in
+  go [] a.s_node
+
+let rel_to_string = function
+  | S_same -> "same"
+  | S_before -> "before"
+  | S_after -> "after"
+  | S_par -> "par"

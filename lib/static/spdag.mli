@@ -1,0 +1,101 @@
+(** Static series-parallel skeleton: the analyzer-side mirror of the
+    dynamic SP-DAG ({!Ddp_core.Dag}).
+
+    The analyzer's extraction walk builds one {!node} per static task —
+    program root, [Spawn] body, [Par] arm, recursive call component —
+    and labels every access with a {!strand} (node + step).  Two strands
+    then {!relate} exactly like dynamic dag labels: lift both to the
+    deepest common node, compare overlap windows — O(depth), schedule
+    independent.
+
+    Everything over-approximates parallelism, never order: [S_before] /
+    [S_after] are proofs that every pair of dynamic instances runs in
+    that order; [S_par] merely means no such proof exists. *)
+
+type node
+type scope
+
+type strand = { s_node : node; s_step : int }
+
+val create : unit -> node
+(** The root node (the program's main strand), with its base frame. *)
+
+val strand : node -> strand
+(** The current (node, step) position of the walk. *)
+
+(** {2 Building — called by the extraction walk, mirroring interp} *)
+
+val spawn : node -> site:int -> node
+(** Start a child task at the current step: everything before the spawn
+    is ordered before it, everything after overlaps it until a sync
+    resolves it.  Registers the child in the innermost frame. *)
+
+val sync : node -> unit
+(** Explicit [Sync]: joins the innermost frame's children whose spawn
+    must-precede this point (spawned at or inside the sync's open scope
+    chain).  Conditionally-reached children stay open — sound. *)
+
+val enter_frame : node -> unit
+(** A new task-pending frame: inlined procedure body. *)
+
+val exit_frame : node -> unit
+(** Implicit frame sync: unconditionally joins everything the frame
+    spawned, then drops the frame. *)
+
+val finish : node -> unit
+(** Close a node at the end of its body (implicit sync of its base
+    frame).  Call once per [Spawn] body / [Par] arm / program. *)
+
+val save : node -> int
+val restore : node -> int -> unit
+
+val enter_scope : node -> scope
+(** Open an [If]-arm or loop-body scope. *)
+
+val exit_scope : node -> scope -> loop:bool -> unit
+(** Close the innermost scope.  Survivor children are re-tagged to the
+    enclosing chain; with [~loop:true] they are also widened back to the
+    loop-entry step and marked multi-instance (the spawn re-executes
+    each iteration with no intervening join). *)
+
+val merge : node -> entry:int -> int list -> unit
+(** After walking branch arms from [entry]: continue at the latest arm
+    tip (+1 when any arm advanced). *)
+
+val par_arm : node -> site:int -> node
+(** One [Par] arm: all arms share the window [step+1, step+1]. *)
+
+val par_done : node -> node list -> unit
+(** Close all arms of a [Par] and advance past the join point. *)
+
+val soup : node -> sites:int list -> parallel:bool -> node
+(** One closed node for a recursive call component, strictly between the
+    statements around the call; [parallel] (the component contains a
+    [Spawn] or [Par]) makes every pair inside it mutually parallel. *)
+
+(** {2 Queries — valid once the walk is complete} *)
+
+type rel = S_same | S_before | S_after | S_par
+
+val relate : strand -> strand -> rel
+(** O(depth) comparison at the deepest common node.  Any multi-instance
+    node at or above the meet forces [S_par]: the two positions may
+    belong to different live instances of the same static task. *)
+
+val mhp : strand -> strand -> bool
+(** [relate a b = S_par]. *)
+
+val self_par : strand -> bool
+(** May two dynamic instances of this one position run in parallel?
+    (Some node on its root path is multi-instance.) *)
+
+val exact : strand -> bool
+(** No widening and no multi-instance node on the root path: the
+    strand's window is the exact dynamic one, so [S_par] against another
+    exact strand is definite parallelism, not an over-approximation. *)
+
+val sites_of : strand -> int list
+(** [Spawn]/[Par] statement lines of every node on the root path — the
+    sites a race at this strand is attributed to. *)
+
+val rel_to_string : rel -> string

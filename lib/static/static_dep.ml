@@ -7,6 +7,8 @@ module Dep = Ddp_core.Dep
 module Accuracy = Ddp_core.Accuracy
 module Json = Ddp_obs.Json
 
+type race = Race_may | Race_must
+
 type edge = {
   e_kind : Dep.kind;
   e_src : int;
@@ -14,9 +16,12 @@ type edge = {
   e_var : string;
   e_must : bool;
   e_carriers : int list;
+  e_race : race option;
 }
 
 type verdict = Parallel | Reduction | Serial | Unknown
+
+type race_verdict = Race_free | Racy | Race_unknown
 
 type loop_verdict = {
   v_header : int;
@@ -28,12 +33,22 @@ type loop_verdict = {
   v_live : string list;
 }
 
-type stats = { s_regions : int; s_accesses : int; s_may : int; s_must : int }
+type spawn_verdict = { sv_line : int; sv_verdict : race_verdict }
+
+type stats = {
+  s_regions : int;
+  s_accesses : int;
+  s_may : int;
+  s_must : int;
+  s_race_may : int;
+  s_race_must : int;
+}
 
 type t = {
   prog : string;
   edges : edge list;
   loops : loop_verdict list;
+  spawns : spawn_verdict list;
   prunable : string list;
   stats : stats;
 }
@@ -43,6 +58,19 @@ let verdict_to_string = function
   | Reduction -> "reduction"
   | Serial -> "serial"
   | Unknown -> "unknown"
+
+let race_verdict_to_string = function
+  | Race_free -> "race-free"
+  | Racy -> "racy"
+  | Race_unknown -> "unknown"
+
+(* The whole-program verdict: provably silent, provably noisy, or
+   neither.  [Par]-arm races count even though only [Spawn] statements
+   get per-site verdicts. *)
+let program_race_verdict t =
+  if List.exists (fun e -> e.e_race = Some Race_must) t.edges then Racy
+  else if List.exists (fun e -> e.e_race <> None) t.edges then Race_unknown
+  else Race_free
 
 let to_acc (e : edge) =
   { Accuracy.Edge.kind = e.e_kind; src_line = e.e_src; sink_line = e.e_sink; var = e.e_var }
@@ -56,20 +84,45 @@ let must_set t =
     (fun s e -> if e.e_must then Accuracy.Edge_set.add (to_acc e) s else s)
     Accuracy.Edge_set.empty t.edges
 
+let race_set t =
+  List.fold_left
+    (fun s e -> if e.e_race <> None then Accuracy.Edge_set.add (to_acc e) s else s)
+    Accuracy.Edge_set.empty t.edges
+
+let race_must_set t =
+  List.fold_left
+    (fun s e ->
+      if e.e_race = Some Race_must then Accuracy.Edge_set.add (to_acc e) s else s)
+    Accuracy.Edge_set.empty t.edges
+
 let edge_to_string e =
-  Printf.sprintf "%s %s %s: %d -> %d%s"
+  Printf.sprintf "%s %s %s: %d -> %d%s%s"
     (if e.e_must then "must" else "may ")
     (Dep.kind_to_string e.e_kind) e.e_var e.e_src e.e_sink
     (match e.e_carriers with
     | [] -> ""
     | ls -> " carried@" ^ String.concat "," (List.map string_of_int ls))
+    (match e.e_race with
+    | None -> ""
+    | Some Race_may -> " RACE?"
+    | Some Race_must -> " RACE!")
 
 let render t =
   let b = Buffer.create 1024 in
   Printf.bprintf b "static dependences for %s\n" t.prog;
-  Printf.bprintf b "regions %d, access sites %d, may edges %d (must %d)\n"
-    t.stats.s_regions t.stats.s_accesses t.stats.s_may t.stats.s_must;
+  Printf.bprintf b
+    "regions %d, access sites %d, may edges %d (must %d), race edges %d (must %d)\n"
+    t.stats.s_regions t.stats.s_accesses t.stats.s_may t.stats.s_must
+    t.stats.s_race_may t.stats.s_race_must;
   List.iter (fun e -> Printf.bprintf b "  %s\n" (edge_to_string e)) t.edges;
+  if t.spawns <> [] then begin
+    Printf.bprintf b "spawns:\n";
+    List.iter
+      (fun sv ->
+        Printf.bprintf b "  line %d: %s\n" sv.sv_line
+          (race_verdict_to_string sv.sv_verdict))
+      t.spawns
+  end;
   Printf.bprintf b "loops:\n";
   List.iter
     (fun v ->
@@ -91,18 +144,43 @@ let render t =
 
 let edge_json e =
   Json.Obj
-    [
-      ("kind", Json.Str (Dep.kind_to_string e.e_kind));
-      ("src", Json.Int e.e_src);
-      ("sink", Json.Int e.e_sink);
-      ("var", Json.Str e.e_var);
-      ("must", Json.Bool e.e_must);
-      ("carriers", Json.List (List.map (fun l -> Json.Int l) e.e_carriers));
-    ]
+    ([
+       ("kind", Json.Str (Dep.kind_to_string e.e_kind));
+       ("src", Json.Int e.e_src);
+       ("sink", Json.Int e.e_sink);
+       ("var", Json.Str e.e_var);
+       ("must", Json.Bool e.e_must);
+       ("carriers", Json.List (List.map (fun l -> Json.Int l) e.e_carriers));
+     ]
+    @
+    match e.e_race with
+    | None -> []
+    | Some Race_may -> [ ("race", Json.Str "may") ]
+    | Some Race_must -> [ ("race", Json.Str "must") ])
+
+(* Version stamp for saved static reports, gated like ddp-metrics/2: the
+   persistent dependence-graph consumer must refuse files it does not
+   understand rather than best-effort parse them. *)
+let schema_version = "ddp-static/1"
+
+let check_schema ?(expect = schema_version) json =
+  match Json.member "schema" json with
+  | None -> Error (Printf.sprintf "no \"schema\" field (expected %S)" expect)
+  | Some v -> (
+      match Json.to_str v with
+      | Some s when s = expect -> Ok ()
+      | Some s ->
+          Error
+            (Printf.sprintf
+               "schema mismatch: file has %S, this ddprof reads %S — re-export with a matching ddprof"
+               s expect)
+      | None ->
+          Error (Printf.sprintf "\"schema\" field is not a string (expected %S)" expect))
 
 let to_json t =
   Json.Obj
     [
+      ("schema", Json.Str schema_version);
       ("program", Json.Str t.prog);
       ( "stats",
         Json.Obj
@@ -111,7 +189,20 @@ let to_json t =
             ("accesses", Json.Int t.stats.s_accesses);
             ("may_edges", Json.Int t.stats.s_may);
             ("must_edges", Json.Int t.stats.s_must);
+            ("race_may_edges", Json.Int t.stats.s_race_may);
+            ("race_must_edges", Json.Int t.stats.s_race_must);
           ] );
+      ("race_verdict", Json.Str (race_verdict_to_string (program_race_verdict t)));
+      ( "spawns",
+        Json.List
+          (List.map
+             (fun sv ->
+               Json.Obj
+                 [
+                   ("line", Json.Int sv.sv_line);
+                   ("verdict", Json.Str (race_verdict_to_string sv.sv_verdict));
+                 ])
+             t.spawns) );
       ("edges", Json.List (List.map edge_json t.edges));
       ( "loops",
         Json.List

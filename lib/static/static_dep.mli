@@ -1,10 +1,19 @@
 (** Results of the static dependence analysis: must/may dependence edges
     over (source line, variable name) pairs, per-loop parallelizability
-    verdicts, and the list of variables proved dependence-free (the
-    hybrid engine's pruning candidates). *)
+    verdicts, race-lint findings over the task constructs, and the list
+    of variables proved dependence-free (the hybrid engines' pruning
+    candidates). *)
 
 module Dep = Ddp_core.Dep
 module Accuracy = Ddp_core.Accuracy
+
+type race =
+  | Race_may
+      (** endpoints may run in parallel and are not both provably
+          lock-protected — a data-race warning *)
+  | Race_must
+      (** both accesses provably execute, provably alias, provably run
+          in parallel, and at least one provably never holds a lock *)
 
 type edge = {
   e_kind : Dep.kind;  (** RAW, WAR or WAW — never INIT *)
@@ -15,6 +24,9 @@ type edge = {
   e_carriers : int list;
       (** header lines of loops that may carry the edge across iterations;
           [[]] means loop-independent only *)
+  e_race : race option;
+      (** [Some _] when the endpoints may execute concurrently (statically
+          parallel strands) without common lock protection *)
 }
 
 type verdict =
@@ -22,6 +34,11 @@ type verdict =
   | Reduction  (** carried scalar RAWs, all of recognized reduction shape *)
   | Serial  (** a carried RAW provably occurs (must-serial evidence) *)
   | Unknown  (** carried may-RAWs remain; nothing proved either way *)
+
+type race_verdict =
+  | Race_free  (** no may-race attributed — provably silent *)
+  | Racy  (** a [Race_must] attributed — provably noisy *)
+  | Race_unknown  (** may-races remain; nothing proved either way *)
 
 type loop_verdict = {
   v_header : int;  (** [For] statement line *)
@@ -35,22 +52,34 @@ type loop_verdict = {
           (live-variable dataflow) — the values an iteration may inherit *)
 }
 
+type spawn_verdict = { sv_line : int; sv_verdict : race_verdict }
+(** Per-[Spawn]-statement race verdict: races are attributed to the
+    spawn/[Par] sites on the SP-skeleton path of either endpoint. *)
+
 type stats = {
   s_regions : int;  (** declared scalar/array regions modeled *)
   s_accesses : int;  (** static access sites extracted *)
   s_may : int;
   s_must : int;
+  s_race_may : int;  (** edges flagged [Race_may] or stronger *)
+  s_race_must : int;  (** edges flagged [Race_must] *)
 }
 
 type t = {
   prog : string;
   edges : edge list;  (** deduplicated, sorted by (src, sink, kind, var) *)
   loops : loop_verdict list;  (** [For] loops in textual order *)
+  spawns : spawn_verdict list;  (** [Spawn] statements in textual order *)
   prunable : string list;  (** variables with no edge at all, sorted *)
   stats : stats;
 }
 
 val verdict_to_string : verdict -> string
+val race_verdict_to_string : race_verdict -> string
+
+val program_race_verdict : t -> race_verdict
+(** Whole-program verdict over all edges: [Racy] if any [Race_must],
+    [Race_unknown] if any race flag at all, else [Race_free]. *)
 
 val may_set : t -> Accuracy.Edge_set.t
 (** All edges, projected into the {!Accuracy.Edge} comparison space. *)
@@ -58,7 +87,23 @@ val may_set : t -> Accuracy.Edge_set.t
 val must_set : t -> Accuracy.Edge_set.t
 (** Only the must edges. *)
 
+val race_set : t -> Accuracy.Edge_set.t
+(** Edges carrying any race flag.  Soundness contract: every dependence
+    the dag engine race-flags on any schedule projects into this set. *)
+
+val race_must_set : t -> Accuracy.Edge_set.t
+(** Only the [Race_must] edges. *)
+
 val render : t -> string
-(** Human-readable report (edges, loop verdicts, prunable variables). *)
+(** Human-readable report (edges, spawn verdicts, loop verdicts,
+    prunable variables). *)
+
+val schema_version : string
+(** Version stamp written into {!to_json} output (["ddp-static/1"]). *)
+
+val check_schema : ?expect:string -> Ddp_obs.Json.t -> (unit, string) result
+(** Validate the ["schema"] field of a parsed static report against
+    [expect] (default {!schema_version}); [Error] carries a message
+    naming both versions. *)
 
 val to_json : t -> Ddp_obs.Json.t

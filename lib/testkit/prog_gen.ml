@@ -30,6 +30,7 @@ type shape = {
   allow_par : bool;  (* generate Par blocks (simulated threads) *)
   par_arms : int;  (* max arms per Par block *)
   allow_tasks : bool;  (* generate Spawn/Sync fork-join tasks (never with Par) *)
+  lock_ids : int;  (* lock ids for Lock..Unlock brackets; 0 disables them *)
 }
 
 let default_shape =
@@ -43,6 +44,7 @@ let default_shape =
     allow_par = false;
     par_arms = 3;
     allow_tasks = false;
+    lock_ids = 0;
   }
 
 (* Smaller bodies but simulated threads: the shape the scheduler and MT
@@ -53,9 +55,18 @@ let par_shape = { default_shape with allow_par = true; max_depth = 2; max_block 
    mix), shallow nesting, small blocks — sized so the exhaustive
    schedule oracle stays tractable.  Spawn bodies reference globals only
    (never an enclosing loop index): a pending task must not read a scope
-   that dies before the frame's sync. *)
+   that dies before the frame's sync.  Two lock ids make guarded /
+   unguarded access mixes common, so the dag engine's both-locked rule
+   and the static lockset both get exercised. *)
 let task_shape =
-  { default_shape with allow_tasks = true; max_depth = 2; max_block = 5; arr_size = 8 }
+  {
+    default_shape with
+    allow_tasks = true;
+    max_depth = 2;
+    max_block = 5;
+    arr_size = 8;
+    lock_ids = 2;
+  }
 
 (* -- generation ----------------------------------------------------------- *)
 
@@ -188,9 +199,33 @@ let rec gen_stmt shape ~idx_vars ~allow_par ~allow_tasks ~depth =
   in
   frequency (simple @ nested @ par @ tasks)
 
+(* Blocks are built from segments: a single statement, or a balanced
+   [Lock k .. Unlock k] bracket around simple statements only (no Sync,
+   Spawn or nested bracket inside — a task that waits or re-locks while
+   holding a lock could deadlock the runtime or trip its re-lock check),
+   so brackets never nest and never split across scopes. *)
 and gen_block shape ~idx_vars ~allow_par ~allow_tasks ~depth ~len =
-  Gen.list_size (Gen.int_range 1 len)
-    (gen_stmt shape ~idx_vars ~allow_par ~allow_tasks ~depth)
+  let single =
+    Gen.map (fun s -> [ s ]) (gen_stmt shape ~idx_vars ~allow_par ~allow_tasks ~depth)
+  in
+  let seg =
+    if shape.lock_ids <= 0 then single
+    else
+      Gen.frequency
+        [
+          (5, single);
+          ( 1,
+            Gen.map2
+              (fun k body ->
+                let id = k mod shape.lock_ids in
+                (B.lock id :: body) @ [ B.unlock id ])
+              Gen.small_nat
+              (Gen.list_size (Gen.int_range 1 2)
+                 (gen_stmt shape ~idx_vars ~allow_par:false ~allow_tasks:false ~depth:0))
+          );
+        ]
+  in
+  Gen.map List.concat (Gen.list_size (Gen.int_range 1 len) seg)
 
 let decls shape =
   List.init shape.arrays (fun k -> B.arr (array_name k) (B.i shape.arr_size))
@@ -241,10 +276,14 @@ let renumbered (prog : Ast.program) =
   let (_ : int) = Ast.number p in
   p
 
-(* Dropping a declaration would unbind later references; everything else
-   may go. *)
+(* Dropping a declaration would unbind later references, and dropping
+   half a lock bracket would unbalance it (the interpreter rejects
+   unlocking a lock it does not hold) — brackets shrink as a pair
+   instead.  Everything else may go. *)
 let droppable (s : Ast.stmt) =
-  match s.Ast.kind with Ast.Array_decl _ | Ast.Local _ -> false | _ -> true
+  match s.Ast.kind with
+  | Ast.Array_decl _ | Ast.Local _ | Ast.Lock _ | Ast.Unlock _ -> false
+  | _ -> true
 
 let shrink_int n =
   if n <= 1 then Iter.empty
@@ -333,7 +372,22 @@ let rec shrink_block (b : Ast.block) : Ast.block Iter.t =
         Iter.append
           (Iter.return (splice b i body))
           (Iter.map (fun body' -> replace_kind (Ast.Spawn body')) (shrink_block body))
-      | Ast.Array_decl _ | Ast.Free _ | Ast.Lock _ | Ast.Unlock _ | Ast.Nop | Ast.Sync
+      | Ast.Lock id ->
+        (* Drop the whole bracket: this Lock together with its matching
+           Unlock.  Generation keeps brackets flat and within one block,
+           so the match is the first Unlock of the same id after [i]. *)
+        let rec matching j = function
+          | [] -> Iter.empty
+          | s' :: rest -> (
+            match s'.Ast.kind with
+            | Ast.Unlock id' when id' = id ->
+              Iter.return
+                (List.concat
+                   (List.mapi (fun k x -> if k = i || k = j then [] else [ x ]) b))
+            | _ -> matching (j + 1) rest)
+        in
+        matching (i + 1) (List.filteri (fun k _ -> k > i) b)
+      | Ast.Array_decl _ | Ast.Free _ | Ast.Unlock _ | Ast.Nop | Ast.Sync
       | Ast.Call_proc _ -> Iter.empty
     in
     Iter.append drops structural

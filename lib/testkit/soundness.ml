@@ -10,7 +10,11 @@
 
    Comparison space is Accuracy.Edge — (kind, src line, sink line, var
    name) — which is schedule-insensitive for the may half; the must
-   half is only asserted against complete runs. *)
+   half is only asserted against complete runs.
+
+   The race half (ISSUE 10) lives further down: over every schedule the
+   exhaustive oracle enumerates for a task program, the dependences the
+   dag engine race-flags must project into the static race set. *)
 
 module Ast = Ddp_minir.Ast
 module Symtab = Ddp_minir.Symtab
@@ -19,7 +23,7 @@ module Accuracy = Ddp_core.Accuracy
 module Health = Ddp_core.Health
 module Static_dep = Ddp_static.Static_dep
 
-type flavor = Missing_may | Bogus_must
+type flavor = Missing_may | Bogus_must | Missing_race
 
 type violation = { flavor : flavor; sched_seed : int; edge : Accuracy.Edge.t }
 
@@ -111,6 +115,145 @@ let sweep ?(mutant = false) ?sched_seeds ?input_seed ?(count = 100) ?(base_seed 
 let flavor_to_string = function
   | Missing_may -> "dynamic dep missing from static may set"
   | Bogus_must -> "static must edge absent from a complete run"
+  | Missing_race -> "dag-engine race missing from static race set"
+
+(* -- race soundness: the lint vs the dag engine, every schedule ----------- *)
+
+(* The race half of the contract (ISSUE 10): on every schedule the
+   exhaustive oracle can enumerate, every dependence the dag engine
+   race-flags projects into the static race set (and, as before, every
+   dependence at all into the may set).  The dag engine's verdicts are
+   themselves schedule-independent and fuzzed against a vector-clock
+   oracle (ddpcheck dag), so agreeing with it on each enumerated
+   interleaving is agreeing with ground truth.  A [lockset_mutant]
+   analyzer (race layer disabled) exists to fire-drill this gate. *)
+
+type race_violation = {
+  r_flavor : flavor;
+  r_schedule : int;  (* index into the enumerated schedules *)
+  r_choices : int list;  (* scheduler picks that reproduce it *)
+  r_edge : Accuracy.Edge.t;
+}
+
+type race_outcome = {
+  r_prog : Ast.program;
+  r_report : Static_dep.t;
+  r_schedules : int;
+  r_exhausted : bool;  (* every interleaving visited within the limit *)
+  r_dag_races : int;  (* distinct race-flagged dynamic edges, all schedules *)
+  r_violations : race_violation list;
+}
+
+let race_violating (o : race_outcome) = o.r_violations <> []
+
+let check_races ?(lockset_mutant = false) ?(limit = 64) ?(input_seed = 7) prog =
+  let report = Ddp_static.Analyze.analyze ~lockset_mutant prog in
+  let may = Static_dep.may_set report in
+  let race = Static_dep.race_set report in
+  let symtab = Symtab.create () in
+  let runs, exhausted = Dag_oracle.enumerate ~limit ~input_seed ~symtab prog in
+  let var_name = Symtab.var_name symtab in
+  let viols = ref [] in
+  let seen = Hashtbl.create 16 in
+  let raced_union = ref Accuracy.Edge_set.empty in
+  let add r_flavor r_schedule r_choices r_edge =
+    let key = (r_flavor, r_edge) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      viols := { r_flavor; r_schedule; r_choices; r_edge } :: !viols
+    end
+  in
+  List.iteri
+    (fun i (r : Dag_oracle.run) ->
+      let deps = Dag_oracle.dag_deps r.Dag_oracle.events in
+      let dyn = Accuracy.project ~var_name deps in
+      let raced = Accuracy.project_races ~var_name deps in
+      raced_union := Accuracy.Edge_set.union !raced_union raced;
+      Accuracy.Edge_set.iter
+        (fun e ->
+          if not (Accuracy.Edge_set.mem e may) then
+            add Missing_may i r.Dag_oracle.choices e)
+        dyn;
+      Accuracy.Edge_set.iter
+        (fun e ->
+          if not (Accuracy.Edge_set.mem e race) then
+            add Missing_race i r.Dag_oracle.choices e)
+        raced)
+    runs;
+  {
+    r_prog = prog;
+    r_report = report;
+    r_schedules = List.length runs;
+    r_exhausted = exhausted;
+    r_dag_races = Accuracy.Edge_set.cardinal !raced_union;
+    r_violations = List.rev !viols;
+  }
+
+let shrink_races ?(lockset_mutant = false) ?limit ?input_seed ?(max_evals = 200)
+    (o : race_outcome) =
+  let evals = ref 0 in
+  let still prog =
+    incr evals;
+    try race_violating (check_races ~lockset_mutant ?limit ?input_seed prog)
+    with _ -> false
+  in
+  let exception Found of Ast.program in
+  let first_violating prog =
+    try
+      Prog_gen.shrink prog (fun cand ->
+          if !evals < max_evals && still cand then raise (Found cand));
+      None
+    with Found cand -> Some cand
+  in
+  let rec descend prog =
+    if !evals >= max_evals then prog
+    else match first_violating prog with None -> prog | Some cand -> descend cand
+  in
+  if not (race_violating o) then o
+  else check_races ~lockset_mutant ?limit ?input_seed (descend o.r_prog)
+
+(* Sweep task-shaped programs (Spawn/Sync/Lock nesting); returns the
+   first violating outcome shrunk, the number of programs checked, and
+   how many of them had a dag-engine race at all — a coverage signal the
+   caller should refuse to accept at zero. *)
+let sweep_races ?(lockset_mutant = false) ?limit ?input_seed ?(count = 200)
+    ?(base_seed = 1) () =
+  let checked = ref 0 in
+  let racy_progs = ref 0 in
+  let found = ref None in
+  (try
+     for i = 0 to count - 1 do
+       let prog = Prog_gen.generate ~shape:Prog_gen.task_shape ~seed:(base_seed + i) () in
+       incr checked;
+       let o = check_races ~lockset_mutant ?limit ?input_seed prog in
+       if o.r_dag_races > 0 then incr racy_progs;
+       if race_violating o then begin
+         found := Some (shrink_races ~lockset_mutant ?limit ?input_seed o);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (!found, !checked, !racy_progs)
+
+let race_report_to_string (o : race_outcome) =
+  let b = Buffer.create 256 in
+  Printf.bprintf b
+    "race soundness: %d violation(s) over %d schedule(s)%s, %d dag race edge(s), %d static race edge(s)\n"
+    (List.length o.r_violations) o.r_schedules
+    (if o.r_exhausted then "" else " (schedule cap hit)")
+    o.r_dag_races o.r_report.Static_dep.stats.Static_dep.s_race_may;
+  List.iter
+    (fun v ->
+      Printf.bprintf b "  [%s, schedule %d choices [%s]] %s\n"
+        (flavor_to_string v.r_flavor) v.r_schedule
+        (String.concat ";" (List.map string_of_int v.r_choices))
+        (Accuracy.Edge.to_string v.r_edge))
+    o.r_violations;
+  if race_violating o then begin
+    Printf.bprintf b "witness program:\n%s" (Prog_gen.print o.r_prog);
+    Printf.bprintf b "static report:\n%s" (Static_dep.render o.r_report)
+  end;
+  Buffer.contents b
 
 let report_to_string (o : outcome) =
   let b = Buffer.create 256 in

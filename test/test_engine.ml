@@ -14,7 +14,8 @@ module Event = Ddp_minir.Event
    enough in this executable). *)
 let () = Ddp_baselines.Baseline_engines.register ()
 
-let cli_modes = [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable"; "hybrid" ]
+let cli_modes =
+  [ "serial"; "perfect"; "parallel"; "mt"; "shadow"; "hashtable"; "hybrid"; "dag"; "hybrid-dag" ]
 
 let key_set (o : Ddp_core.Profiler.outcome) = Ddp_core.Dep_store.key_set o.deps
 
@@ -63,6 +64,8 @@ let test_exact_flags () =
       ("hashtable", true);
       ("stride", false);
       ("hybrid", false);
+      ("dag", true);
+      ("hybrid-dag", true);
     ]
 
 (* -- sinks ---------------------------------------------------------------- *)
@@ -274,6 +277,48 @@ let test_hybrid_obs_counters () =
     Alcotest.(check int) "site count matches counter" sites pruned_sites
   | _ -> Alcotest.fail "expected Hybrid extra"
 
+(* -- hybrid-dag: the same prune filter in front of the dag engine ---------- *)
+
+(* Identity contract (ISSUE 10): on the same schedule, hybrid-dag must
+   report exactly the dag engine's dependence AND race sets (non-INIT
+   projection — pruned variables legitimately lose their INIT pseudo-
+   edges, and a statically dependence-free variable can have no race). *)
+let hybrid_dag_vs_dag what prog =
+  let plan = Hybrid_plan.plan prog in
+  let config =
+    { Ddp_core.Config.default with static_prune = plan.Hybrid_plan.prune_ids }
+  in
+  let hd =
+    Ddp_core.Profiler.profile ~mode:"hybrid-dag" ~config ~sched_seed:11
+      ~symtab:plan.Hybrid_plan.symtab prog
+  in
+  let dag = Ddp_core.Profiler.profile ~mode:"dag" ~sched_seed:11 prog in
+  Alcotest.(check bool)
+    (what ^ ": hybrid-dag deps == dag deps")
+    true
+    (Accuracy.Edge_set.equal (edge_set hd) (edge_set dag));
+  let races (o : Ddp_core.Profiler.outcome) =
+    Accuracy.project_races ~var_name:(Ddp_minir.Symtab.var_name o.symtab) o.deps
+  in
+  Alcotest.(check bool)
+    (what ^ ": hybrid-dag races == dag races")
+    true
+    (Accuracy.Edge_set.equal (races hd) (races dag));
+  match hd.extra with
+  | Ddp_core.Engines.Hybrid_dag { pruned_events; inner = Ddp_core.Engines.Dag _; _ } ->
+    pruned_events
+  | _ -> Alcotest.fail (what ^ ": hybrid-dag must nest the dag extra")
+
+let test_hybrid_dag_equals_dag_tasks () =
+  let skipped_somewhere = ref false in
+  List.iter
+    (fun (name, _racy) ->
+      let prog = (Ddp_workloads.Registry.find name).Ddp_workloads.Wl.seq ~scale:1 in
+      if hybrid_dag_vs_dag name prog > 0 then skipped_somewhere := true)
+    Ddp_workloads.Tasks.ground_truth;
+  (* at least one task workload must actually exercise the filter *)
+  Alcotest.(check bool) "some task workload skips events" true !skipped_somewhere
+
 (* -- mt wrapper ----------------------------------------------------------- *)
 
 let test_with_mt_nests_extra () =
@@ -304,4 +349,6 @@ let suite =
     Alcotest.test_case "hybrid == serial on generated programs (fixed seeds)" `Slow
       test_hybrid_equals_serial_fixed_seeds;
     Alcotest.test_case "hybrid: obs pruning counters" `Quick test_hybrid_obs_counters;
+    Alcotest.test_case "hybrid-dag == dag on task workloads (deps + races)" `Slow
+      test_hybrid_dag_equals_dag_tasks;
   ]

@@ -13,12 +13,17 @@ module Analyze = Ddp_static.Analyze
 module Static_dep = Ddp_static.Static_dep
 module Hybrid = Ddp_static.Hybrid
 module Cfg = Ddp_static.Cfg
+module Spdag = Ddp_static.Spdag
 module Soundness = Ddp_testkit.Soundness
 
 let find_workload name = (Ddp_workloads.Registry.find name).Ddp_workloads.Wl.seq ~scale:1
 
 let verdict = Alcotest.testable
     (fun ppf v -> Format.pp_print_string ppf (Static_dep.verdict_to_string v))
+    ( = )
+
+let race_verdict = Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Static_dep.race_verdict_to_string v))
     ( = )
 
 let loop_verdicts report =
@@ -141,6 +146,69 @@ let test_affine_siv_bounds () =
   Alcotest.(check bool) "mul of two vars is Top" true
     (Affine.is_top (Affine.mul ix ix))
 
+(* Degenerate trips, negative steps and stride arithmetic: the corners
+   where an unsound shortcut would silently hide a dependence. *)
+let test_affine_edge_cases () =
+  let i = 4 in
+  let ix = Affine.var i in
+  let plus k = Affine.add ix (Affine.const k) in
+  let scale k = Affine.mul (Affine.const k) ix in
+  (* one iteration cannot carry anything; zero even less *)
+  Alcotest.(check bool) "trip 1 refutes any carried distance" false
+    (Affine.carried_alias ~carrier:i ~trip:1 ~step:1 ix (plus 1));
+  Alcotest.(check bool) "trip 0 refutes too" false
+    (Affine.carried_alias ~carrier:i ~trip:0 ~step:1 ix (plus 1));
+  (* negative step: i descends by 2, so distances must divide by 2 and
+     land within the trip, exactly as in the ascending case *)
+  Alcotest.(check bool) "step -2 refutes odd distance" false
+    (Affine.carried_alias ~carrier:i ~trip:100 ~step:(-2) ix (plus 3));
+  Alcotest.(check bool) "step -2 admits even distance within trip" true
+    (Affine.carried_alias ~carrier:i ~trip:2 ~step:(-2) ix (plus 2));
+  Alcotest.(check bool) "step -2 refutes distance beyond trip" false
+    (Affine.carried_alias ~carrier:i ~trip:2 ~step:(-2) ix (plus 4));
+  (* coprime strides 3i vs 5i+1 can meet (gcd 1 divides everything)... *)
+  Alcotest.(check bool) "coprime strides alias" true
+    (Affine.carried_alias ~carrier:i (scale 3) (Affine.add (scale 5) (Affine.const 1)));
+  (* ...while 2i vs 4i+1 never do (parity argument survives the MIV case) *)
+  Alcotest.(check bool) "even strides refute odd offset" false
+    (Affine.carried_alias ~carrier:i (scale 2) (Affine.add (scale 4) (Affine.const 1)))
+
+(* -- SP skeleton ----------------------------------------------------------- *)
+
+(* The static mirror of Dag's spawn/join pins: code before a spawn
+   precedes the child, the child overlaps the continuation until a sync
+   resolves it, and nothing is ordered the wrong way round. *)
+let test_spdag_spawn_sync_order () =
+  let n = Spdag.create () in
+  let pre = Spdag.strand n in
+  let child = Spdag.spawn n ~site:3 in
+  let c = Spdag.strand child in
+  Spdag.finish child;
+  let cont = Spdag.strand n in
+  Spdag.sync n;
+  let post = Spdag.strand n in
+  Spdag.finish n;
+  Alcotest.(check bool) "pre-spawn precedes child" true (Spdag.relate pre c = Spdag.S_before);
+  Alcotest.(check bool) "child after pre-spawn" true (Spdag.relate c pre = Spdag.S_after);
+  Alcotest.(check bool) "child MHP with continuation" true (Spdag.mhp c cont);
+  Alcotest.(check bool) "sync joins the child" true (Spdag.relate c post = Spdag.S_before);
+  Alcotest.(check bool) "single-instance strands are exact" true
+    (Spdag.exact c && Spdag.exact cont);
+  Alcotest.(check bool) "no self-parallelism outside loops" false (Spdag.self_par c);
+  Alcotest.(check bool) "race sites name the spawn" true (List.mem 3 (Spdag.sites_of c))
+
+(* Two spawns with no intervening sync are mutual MHP siblings. *)
+let test_spdag_siblings_mhp () =
+  let n = Spdag.create () in
+  let c1 = Spdag.spawn n ~site:1 in
+  let a = Spdag.strand c1 in
+  Spdag.finish c1;
+  let c2 = Spdag.spawn n ~site:2 in
+  let b = Spdag.strand c2 in
+  Spdag.finish c2;
+  Spdag.finish n;
+  Alcotest.(check bool) "siblings MHP" true (Spdag.mhp a b && Spdag.mhp b a)
+
 (* -- handwritten programs -------------------------------------------------- *)
 
 (* Disjoint affine stores: provably parallel, array prunable. *)
@@ -254,7 +322,134 @@ let test_recursion_soup_conservative () =
          e.Static_dep.e_var = "a" && e.Static_dep.e_kind = Ddp_core.Dep.WAW)
        report.Static_dep.edges)
 
+(* -- race lint ------------------------------------------------------------- *)
+
+(* Unsynced spawn racing the continuation on the same cell: both
+   accesses provably execute, provably alias, provably overlap, and
+   neither holds a lock — a must-race, attributed to the spawn. *)
+let test_race_unsynced_spawn () =
+  let prog =
+    B.program ~name:"unsynced"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.store "a" (B.i 0) (B.i 1) ];
+        B.store "a" (B.i 0) (B.i 2);
+      ]
+  in
+  let report = Analyze.analyze prog in
+  Alcotest.check race_verdict "provably racy" Static_dep.Racy
+    (Static_dep.program_race_verdict report);
+  (match report.Static_dep.spawns with
+  | [ sv ] ->
+    Alcotest.check race_verdict "attributed to the spawn" Static_dep.Racy
+      sv.Static_dep.sv_verdict
+  | l -> Alcotest.failf "expected one spawn verdict, got %d" (List.length l));
+  Alcotest.(check bool) "a race-flagged edge exists" true
+    (report.Static_dep.stats.Static_dep.s_race_must > 0)
+
+(* The same program with a sync between the endpoints is provably
+   silent: the child is joined before the second store runs. *)
+let test_race_sync_clears () =
+  let prog =
+    B.program ~name:"synced"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.store "a" (B.i 0) (B.i 1) ];
+        B.sync ();
+        B.store "a" (B.i 0) (B.i 2);
+      ]
+  in
+  Alcotest.check race_verdict "sync silences the pair" Static_dep.Race_free
+    (Static_dep.program_race_verdict (Analyze.analyze prog))
+
+(* Lockset refinement: both endpoints must-holding a lock silences the
+   pair.  The rule is the dag engine's — ANY lock on each side, not a
+   common one (mutual exclusion travels on each access's locked bit) —
+   so a distinct-lock pairing is silenced too; dropping the guard from
+   one endpoint brings the race back. *)
+let test_race_lock_guarded () =
+  let guarded k =
+    B.program ~name:"locked"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.lock 0; B.store "a" (B.i 0) (B.i 1); B.unlock 0 ];
+        B.lock k;
+        B.store "a" (B.i 0) (B.i 2);
+        B.unlock k;
+      ]
+  in
+  Alcotest.check race_verdict "common lock silences" Static_dep.Race_free
+    (Static_dep.program_race_verdict (Analyze.analyze (guarded 0)));
+  Alcotest.check race_verdict "distinct locks silence too (dag-engine rule)"
+    Static_dep.Race_free
+    (Static_dep.program_race_verdict (Analyze.analyze (guarded 1)));
+  let one_sided =
+    B.program ~name:"one-sided"
+      [
+        B.arr "a" (B.i 4);
+        B.spawn [ B.lock 0; B.store "a" (B.i 0) (B.i 1); B.unlock 0 ];
+        B.store "a" (B.i 0) (B.i 2);
+      ]
+  in
+  Alcotest.check race_verdict "an unguarded endpoint races" Static_dep.Racy
+    (Static_dep.program_race_verdict (Analyze.analyze one_sided))
+
+(* A spawn escaping a loop iteration: two dynamic instances of the same
+   store may overlap, so the access races with itself. *)
+let test_race_loop_escape_self () =
+  let prog =
+    B.program ~name:"escape"
+      [
+        B.arr "a" (B.i 4);
+        B.for_ "i" (B.i 0) (B.i 3) (fun _ -> [ B.spawn [ B.store "a" (B.i 0) (B.i 1) ] ]);
+      ]
+  in
+  let report = Analyze.analyze prog in
+  Alcotest.(check bool) "self-race flagged" true
+    (report.Static_dep.stats.Static_dep.s_race_may > 0);
+  Alcotest.(check bool) "never proved silent" true
+    (Static_dep.program_race_verdict report <> Static_dep.Race_free)
+
+(* -- ddp-static/1 schema gate ---------------------------------------------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_static_schema_gate () =
+  let report = Analyze.analyze (B.program ~name:"s" [ B.local "x" (B.i 1) ]) in
+  (match Static_dep.check_schema (Static_dep.to_json report) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("fresh report rejected: " ^ e));
+  (match
+     Static_dep.check_schema
+       (Ddp_obs.Json.Obj [ ("schema", Ddp_obs.Json.Str "ddp-static/0") ])
+   with
+  | Ok () -> Alcotest.fail "stale schema accepted"
+  | Error e ->
+    Alcotest.(check bool) "error names both versions" true
+      (contains e "ddp-static/0" && contains e Static_dep.schema_version));
+  match Static_dep.check_schema (Ddp_obs.Json.Obj [ ("edges", Ddp_obs.Json.List []) ]) with
+  | Ok () -> Alcotest.fail "missing schema field accepted"
+  | Error _ -> ()
+
 (* -- workloads ------------------------------------------------------------- *)
+
+(* Ground truth over the task family: a @race workload must never be
+   proved silent; the scan pair is decided exactly in both directions. *)
+let test_race_workload_ground_truth () =
+  List.iter
+    (fun (name, racy) ->
+      let rv = Static_dep.program_race_verdict (Analyze.analyze (find_workload name)) in
+      if racy then
+        Alcotest.(check bool) (name ^ ": @race proved silent") true
+          (rv <> Static_dep.Race_free))
+    Ddp_workloads.Tasks.ground_truth;
+  Alcotest.check race_verdict "scan-task proved silent" Static_dep.Race_free
+    (Static_dep.program_race_verdict (Analyze.analyze (find_workload "scan-task")));
+  Alcotest.check race_verdict "scan-task-racy proved noisy" Static_dep.Racy
+    (Static_dep.program_race_verdict (Analyze.analyze (find_workload "scan-task-racy")))
 
 let test_rgbyuv_prune_plan () =
   let plan = Hybrid.plan (find_workload "rgbyuv") in
@@ -313,12 +508,34 @@ let test_mutant_caught () =
   | None, n ->
     Alcotest.failf "mutant-static survived %d programs" n
 
+(* Race soundness: over every schedule the exhaustive oracle enumerates
+   for a random task program, whatever the dag engine race-flags must
+   project into the static race set (the full sweep lives in ddpcheck
+   races; this pins the contract in the unit suite). *)
+let prop_race_soundness =
+  QCheck.Test.make ~name:"static race set superset of dag races (task programs)" ~count:15
+    (Ddp_testkit.Prog_gen.arbitrary ~shape:Ddp_testkit.Prog_gen.task_shape ())
+    (fun prog -> (Soundness.check_races ~limit:48 prog).Soundness.r_violations = [])
+
+(* And the gate's own fire drill: an analyzer with the lockset/race
+   layer disabled must be caught by the same sweep. *)
+let test_lockset_mutant_caught () =
+  match Soundness.sweep_races ~lockset_mutant:true ~count:60 () with
+  | Some o, _, _ ->
+    Alcotest.(check bool) "witness shrunk to a race violation" true
+      (o.Soundness.r_violations <> [])
+  | None, n, _ -> Alcotest.failf "lockset-mutant survived %d task programs" n
+
 let suite =
   [
     Alcotest.test_case "ast: loops nested in funcs" `Quick test_ast_loops_in_funcs;
     Alcotest.test_case "ast: degenerate loops" `Quick test_ast_degenerate_loops;
     Alcotest.test_case "affine: algebra + GCD/ZIV" `Quick test_affine_algebra;
     Alcotest.test_case "affine: SIV trip/step bounds" `Quick test_affine_siv_bounds;
+    Alcotest.test_case "affine: degenerate trips, negative steps, strides" `Quick
+      test_affine_edge_cases;
+    Alcotest.test_case "spdag: spawn/sync ordering" `Quick test_spdag_spawn_sync_order;
+    Alcotest.test_case "spdag: sibling spawns MHP" `Quick test_spdag_siblings_mhp;
     Alcotest.test_case "verdict: disjoint stores parallel + prunable" `Quick
       test_verdict_parallel_prunable;
     Alcotest.test_case "verdict: sum reduction" `Quick test_verdict_reduction;
@@ -326,6 +543,12 @@ let suite =
     Alcotest.test_case "edges: must vs may" `Quick test_must_vs_may;
     Alcotest.test_case "refinement: privatizable scalar" `Quick test_carried_raw_refuted;
     Alcotest.test_case "recursion: conservative soup" `Quick test_recursion_soup_conservative;
+    Alcotest.test_case "race: unsynced spawn is must-racy" `Quick test_race_unsynced_spawn;
+    Alcotest.test_case "race: sync silences" `Quick test_race_sync_clears;
+    Alcotest.test_case "race: lockset refinement" `Quick test_race_lock_guarded;
+    Alcotest.test_case "race: loop-escaping spawn self-races" `Quick test_race_loop_escape_self;
+    Alcotest.test_case "schema: ddp-static/1 gate" `Quick test_static_schema_gate;
+    Alcotest.test_case "race: task workload ground truth" `Slow test_race_workload_ground_truth;
     Alcotest.test_case "rgbyuv: prune plan" `Quick test_rgbyuv_prune_plan;
     Alcotest.test_case "workloads: no hard contradictions" `Slow
       test_workloads_no_hard_contradiction;
@@ -333,4 +556,6 @@ let suite =
     Test_seed.to_alcotest prop_soundness;
     Test_seed.to_alcotest prop_soundness_par;
     Alcotest.test_case "mutant-static is caught" `Slow test_mutant_caught;
+    Test_seed.to_alcotest prop_race_soundness;
+    Alcotest.test_case "lockset-mutant is caught" `Slow test_lockset_mutant_caught;
   ]
